@@ -1,0 +1,163 @@
+//! Bag (multiset) operations.
+//!
+//! The extended abstract defers bags to the full paper ("in the full
+//! paper we present definitions and results for bags"); `genpar-mapping`
+//! already extends mappings to bags by perfect matching, and this module
+//! supplies the operations whose genericity the framework can then
+//! classify:
+//!
+//! * additive union `⊎` (multiplicities add) — fully generic, like `∪`;
+//! * monus `∸` (multiplicity subtraction) — needs equality, like `−`;
+//! * `bag_map` — closure, like `map`;
+//! * duplicate elimination `δ : ⟅τ⟆ → {τ}` and its section
+//!   `set_to_bag` — the bridges between the bag and set worlds
+//!   (δ is the bag analogue of `toset`).
+
+use crate::eval::EvalError;
+use genpar_value::Value;
+use std::collections::BTreeMap;
+
+fn as_bag<'a>(v: &'a Value, op: &'static str) -> Result<&'a BTreeMap<Value, usize>, EvalError> {
+    v.as_bag().ok_or_else(|| EvalError::Shape {
+        op,
+        found: v.to_string(),
+    })
+}
+
+/// Additive bag union: multiplicities add.
+pub fn bag_union(a: &Value, b: &Value) -> Result<Value, EvalError> {
+    let (x, y) = (as_bag(a, "⊎")?, as_bag(b, "⊎")?);
+    let mut out = x.clone();
+    for (v, n) in y {
+        *out.entry(v.clone()).or_insert(0) += n;
+    }
+    Ok(Value::Bag(out))
+}
+
+/// Bag monus: multiplicities subtract, floored at zero.
+pub fn bag_monus(a: &Value, b: &Value) -> Result<Value, EvalError> {
+    let (x, y) = (as_bag(a, "∸")?, as_bag(b, "∸")?);
+    let mut out = BTreeMap::new();
+    for (v, n) in x {
+        let m = y.get(v).copied().unwrap_or(0);
+        if *n > m {
+            out.insert(v.clone(), n - m);
+        }
+    }
+    Ok(Value::Bag(out))
+}
+
+/// Intersection with minimum multiplicities.
+pub fn bag_min_intersect(a: &Value, b: &Value) -> Result<Value, EvalError> {
+    let (x, y) = (as_bag(a, "∩⟅⟆")?, as_bag(b, "∩⟅⟆")?);
+    let mut out = BTreeMap::new();
+    for (v, n) in x {
+        if let Some(m) = y.get(v) {
+            out.insert(v.clone(), *n.min(m));
+        }
+    }
+    Ok(Value::Bag(out))
+}
+
+/// Map a function over a bag; images accumulate multiplicity (a
+/// non-injective `f` merges entries *additively*, unlike the set `map`).
+pub fn bag_map(f: &dyn Fn(&Value) -> Value, a: &Value) -> Result<Value, EvalError> {
+    let x = as_bag(a, "map⟅⟆")?;
+    let mut out: BTreeMap<Value, usize> = BTreeMap::new();
+    for (v, n) in x {
+        *out.entry(f(v)).or_insert(0) += n;
+    }
+    Ok(Value::Bag(out))
+}
+
+/// Duplicate elimination `δ : ⟅τ⟆ → {τ}`.
+pub fn dup_elim(a: &Value) -> Result<Value, EvalError> {
+    let x = as_bag(a, "δ")?;
+    Ok(Value::set(x.keys().cloned()))
+}
+
+/// The canonical section of δ: each element with multiplicity 1.
+pub fn set_to_bag(a: &Value) -> Result<Value, EvalError> {
+    let s = a.as_set().ok_or_else(|| EvalError::Shape {
+        op: "set→bag",
+        found: a.to_string(),
+    })?;
+    Ok(Value::bag(s.iter().cloned()))
+}
+
+/// Total multiplicity.
+pub fn bag_count(a: &Value) -> Result<i64, EvalError> {
+    Ok(as_bag(a, "count⟅⟆")?.values().map(|&n| n as i64).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+
+    fn b(s: &str) -> Value {
+        parse_value(s).unwrap()
+    }
+
+    #[test]
+    fn additive_union() {
+        let u = bag_union(&b("{|1, 1, 2|}"), &b("{|1, 3|}")).unwrap();
+        assert_eq!(u, b("{|1, 1, 1, 2, 3|}"));
+        assert_eq!(bag_union(&b("{| |}"), &b("{| |}")).unwrap(), b("{| |}"));
+    }
+
+    #[test]
+    fn monus_floors_at_zero() {
+        let m = bag_monus(&b("{|1, 1, 2|}"), &b("{|1, 2, 2|}")).unwrap();
+        assert_eq!(m, b("{|1|}"));
+        let all = bag_monus(&b("{|1|}"), &b("{|1, 1|}")).unwrap();
+        assert_eq!(all, b("{| |}"));
+    }
+
+    #[test]
+    fn min_intersection() {
+        let i = bag_min_intersect(&b("{|1, 1, 2|}"), &b("{|1, 3|}")).unwrap();
+        assert_eq!(i, b("{|1|}"));
+    }
+
+    #[test]
+    fn bag_map_accumulates() {
+        // collapse everything to 0: multiplicities add
+        let m = bag_map(&|_| Value::Int(0), &b("{|1, 2, 3|}")).unwrap();
+        assert_eq!(m, b("{|0, 0, 0|}"));
+        // vs set map, which would collapse to a single element
+        let s = dup_elim(&m).unwrap();
+        assert_eq!(s, b("{0}"));
+    }
+
+    #[test]
+    fn dup_elim_and_section() {
+        let d = dup_elim(&b("{|1, 1, 2|}")).unwrap();
+        assert_eq!(d, b("{1, 2}"));
+        // δ ∘ set_to_bag = id on sets
+        let s = b("{1, 2, 3}");
+        assert_eq!(dup_elim(&set_to_bag(&s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(bag_count(&b("{|1, 1, 2|}")).unwrap(), 3);
+        assert_eq!(bag_count(&b("{| |}")).unwrap(), 0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(bag_union(&Value::Int(1), &b("{| |}")).is_err());
+        assert!(dup_elim(&b("{1}")).is_err());
+        assert!(set_to_bag(&b("{|1|}")).is_err());
+    }
+
+    #[test]
+    fn union_monus_interplay() {
+        // (a ⊎ b) ∸ b = a  (bags, unlike sets, support cancellation)
+        let a = b("{|1, 1, 2|}");
+        let c = b("{|1, 2, 3|}");
+        let u = bag_union(&a, &c).unwrap();
+        assert_eq!(bag_monus(&u, &c).unwrap(), a);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's named queries, as reusable constructors.
+//!
+//! | name | paper | definition |
+//! |------|-------|------------|
+//! | `q1` | Ex. 2.2 | `π_{$1,$3}(R ⋈ R)` — relation composition `R ∘ R` |
+//! | `q2` | Ex. 2.2 | `R × R` |
+//! | `q3` | §2.3   | `π_{$1}(R)` |
+//! | `q4` | §2.3   | `σ_{$1=$2}(R)` |
+//! | `q5` | §2.4   | `σ_{$1=7}(R)` |
+//! | `q4_hat` | §3.2 | `σ̂_{$1=$2}(R)` (Chandra's projecting selection) |
+//! | `eq_adom` | Prop 3.5 | equality over the active domain |
+//! | `even` | Lemma 2.12 | cardinality parity |
+//! | `np` | Prop 4.16 | nest parity |
+//! | `complement` | §3.3 | `{t : ¬R(t)}` |
+
+use crate::expr::{Pred, Query};
+use genpar_value::Value;
+
+/// `Q₁ = π_{$1,$3}(R ⋈_{$2=$1} R)`, i.e. `R ∘ R` (Example 2.2).
+pub fn q1() -> Query {
+    Query::rel("R")
+        .join_on(Query::rel("R"), [(1, 0)])
+        .project([0, 3])
+}
+
+/// `Q₂ = R × R` (Example 2.2) — "invariant under all mappings".
+pub fn q2() -> Query {
+    Query::rel("R").product(Query::rel("R"))
+}
+
+/// `Q₃ = π_{$1}(R)` (Section 2.3) — fully generic in both modes.
+pub fn q3() -> Query {
+    Query::rel("R").project([0])
+}
+
+/// `Q₄ = σ_{$1=$2}(R)` (Section 2.3) — not rel-generic w.r.t. all
+/// mappings, rel-generic w.r.t. injective ones.
+pub fn q4() -> Query {
+    Query::rel("R").select(Pred::eq_cols(0, 1))
+}
+
+/// `σ̂_{$1=$2}(R)` (Section 3.2) — strong-fully generic, unlike `Q₄`.
+pub fn q4_hat() -> Query {
+    Query::rel("R").select_hat(0, 1)
+}
+
+/// `Q₅ = σ_{$1=7}(R)` (Section 2.4) — generic only w.r.t. mappings that
+/// strictly preserve `7` (more precisely: preserve the predicate `=₇`).
+pub fn q5() -> Query {
+    Query::rel("R").select(Pred::eq_const(0, Value::Int(7)))
+}
+
+/// `eq_adom` (Proposition 3.5): the equality relation over the active
+/// domain — rel-fully generic but *not* strong-fully generic.
+pub fn eq_adom() -> Query {
+    Query::EqAdom(Box::new(Query::rel("R")))
+}
+
+/// `even` (Lemma 2.12): cardinality parity of `R` — not strictly
+/// C-generic for any finite C over an infinite domain.
+pub fn even() -> Query {
+    Query::Even(Box::new(Query::rel("R")))
+}
+
+/// Nest-parity `np` (Proposition 4.16): fully generic but not parametric.
+pub fn np() -> Query {
+    Query::NestParity(Box::new(Query::rel("R")))
+}
+
+/// Complement `{t | ¬R(t)}` (Section 3.3): generic only once mappings are
+/// restricted to total and surjective ones.
+pub fn complement() -> Query {
+    Query::Complement(Box::new(Query::rel("R")))
+}
+
+/// All catalog queries with their paper names, for audits and examples.
+pub fn all_named() -> Vec<(&'static str, Query)> {
+    vec![
+        ("Q1 = π13(R ⋈ R)", q1()),
+        ("Q2 = R × R", q2()),
+        ("Q3 = π1(R)", q3()),
+        ("Q4 = σ(1=2)(R)", q4()),
+        ("Q4^ = σ̂(1=2)(R)", q4_hat()),
+        ("Q5 = σ(1=7)(R)", q5()),
+        ("eq_adom", eq_adom()),
+        ("even", even()),
+        ("np", np()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Db};
+    use genpar_value::parse::parse_value;
+
+    #[test]
+    fn catalog_queries_run_on_r1() {
+        let db = Db::new().with(
+            "R",
+            parse_value("{(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}").unwrap(),
+        );
+        for (name, q) in all_named() {
+            if name.starts_with("Q5") {
+                continue; // Q5 compares against an int; atoms are fine too (no match)
+            }
+            eval(&q, &db).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn q1_matches_paper() {
+        let db = Db::new().with(
+            "R",
+            parse_value("{(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}").unwrap(),
+        );
+        assert_eq!(
+            eval(&q1(), &db).unwrap(),
+            parse_value("{(e, g), (i, g)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn q4_vs_q4_hat() {
+        let db = Db::new().with("R", parse_value("{(a, a), (a, b)}").unwrap());
+        assert_eq!(eval(&q4(), &db).unwrap(), parse_value("{(a, a)}").unwrap());
+        assert_eq!(eval(&q4_hat(), &db).unwrap(), parse_value("{(a)}").unwrap());
+    }
+
+    #[test]
+    fn q5_selects_sevens() {
+        let db = Db::new().with("R", parse_value("{(7), (9)}").unwrap());
+        assert_eq!(eval(&q5(), &db).unwrap(), parse_value("{(7)}").unwrap());
+    }
+}

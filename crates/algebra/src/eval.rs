@@ -1,0 +1,864 @@
+//! Evaluation of queries over databases of complex values.
+
+use crate::expr::{Pred, Query, ValueFn};
+use genpar_value::enumerate::{enumerate, EnumLimits, Universe};
+use genpar_value::{CvType, Signature, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database: named complex values, plus the signature giving meaning to
+/// interpreted symbols and (optionally) a finite universe for full-domain
+/// operations such as [`Query::Complement`].
+pub struct Db {
+    relations: BTreeMap<String, Value>,
+    signature: Signature,
+    /// Universe for full-domain semantics (Section 3.3). `None` disables
+    /// `Complement`.
+    pub universe: Option<(Universe, CvType)>,
+}
+
+impl Db {
+    /// An empty database with an empty signature.
+    pub fn new() -> Self {
+        Db {
+            relations: BTreeMap::new(),
+            signature: Signature::new(),
+            universe: None,
+        }
+    }
+
+    /// A database with the standard integer signature.
+    pub fn with_standard_int() -> Self {
+        Db {
+            relations: BTreeMap::new(),
+            signature: Signature::standard_int(),
+            universe: None,
+        }
+    }
+
+    /// Insert/replace a named relation (builder style).
+    pub fn with(mut self, name: impl Into<String>, v: Value) -> Self {
+        self.relations.insert(name.into(), v);
+        self
+    }
+
+    /// Insert/replace a named relation.
+    pub fn set(&mut self, name: impl Into<String>, v: Value) {
+        self.relations.insert(name.into(), v);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over all relations.
+    pub fn relations(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.relations.iter()
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Mutable signature access (to register interpreted symbols).
+    pub fn signature_mut(&mut self) -> &mut Signature {
+        &mut self.signature
+    }
+
+    /// Enable full-domain semantics: complements are taken w.r.t. all
+    /// values of `ty` over `universe`.
+    pub fn with_universe(mut self, universe: Universe, ty: CvType) -> Self {
+        self.universe = Some((universe, ty));
+        self
+    }
+
+    /// The active domain of the whole database (union over relations).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for v in self.relations.values() {
+            out.extend(v.active_domain());
+        }
+        out
+    }
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Db::new()
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced relation is missing from the database.
+    UnknownRelation(String),
+    /// An operator was applied to a value of the wrong shape.
+    Shape {
+        /// Which operator failed.
+        op: &'static str,
+        /// Rendering of the offending value.
+        found: String,
+    },
+    /// An interpreted symbol is not in the signature.
+    UnknownSymbol(String),
+    /// `Complement` was evaluated without a universe, or the universe was
+    /// too large to enumerate.
+    NoUniverse,
+    /// A projection column index was out of range.
+    BadColumn(usize),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
+            EvalError::Shape { op, found } => write!(f, "{op}: unexpected value shape {found}"),
+            EvalError::UnknownSymbol(n) => write!(f, "unknown interpreted symbol {n}"),
+            EvalError::NoUniverse => write!(f, "complement requires a finite universe"),
+            EvalError::BadColumn(i) => write!(f, "column ${} out of range", i + 1),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Work counters filled in during evaluation, used by the optimizer
+/// benchmarks to compare plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Elements read from input collections.
+    pub tuples_scanned: u64,
+    /// Elements written to output collections.
+    pub tuples_emitted: u64,
+    /// Predicate/function applications.
+    pub fn_applications: u64,
+}
+
+/// Evaluate `q` against `db`.
+pub fn eval(q: &Query, db: &Db) -> Result<Value, EvalError> {
+    let mut stats = EvalStats::default();
+    eval_with_stats(q, db, &mut stats)
+}
+
+/// Evaluate `q` against `db`, accumulating work counters.
+pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Value, EvalError> {
+    match q {
+        Query::Rel(name) => db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownRelation(name.clone())),
+        Query::Lit(v) => Ok(v.clone()),
+        Query::Empty => Ok(Value::empty_set()),
+        Query::Project(cols, q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for t in &s {
+                stats.tuples_scanned += 1;
+                out.insert(project_tuple(t, cols)?);
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Select(p, q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for t in s {
+                stats.tuples_scanned += 1;
+                stats.fn_applications += 1;
+                if eval_pred(p, &t, db)? {
+                    out.insert(t);
+                }
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::SelectHat(i, j, q) => {
+            // σ̂_{i=j}(R) = {π_ĵ(t) | t ∈ R, t.i = t.j} (Section 3.2)
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for t in &s {
+                stats.tuples_scanned += 1;
+                let tup = t.as_tuple().ok_or_else(|| shape("σ̂", t))?;
+                let a = tup.get(*i).ok_or(EvalError::BadColumn(*i))?;
+                let b = tup.get(*j).ok_or(EvalError::BadColumn(*j))?;
+                if a == b {
+                    let projected: Vec<Value> = tup
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| k != j)
+                        .map(|(_, v)| v.clone())
+                        .collect();
+                    out.insert(Value::Tuple(projected));
+                }
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Product(a, b) => {
+            let sa = eval_set(a, db, stats)?;
+            let sb = eval_set(b, db, stats)?;
+            let mut out = BTreeSet::new();
+            for x in &sa {
+                for y in &sb {
+                    stats.tuples_scanned += 1;
+                    out.insert(concat_tuples(x, y)?);
+                }
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Union(a, b) => {
+            let mut sa = eval_set(a, db, stats)?;
+            let sb = eval_set(b, db, stats)?;
+            stats.tuples_scanned += (sa.len() + sb.len()) as u64;
+            sa.extend(sb);
+            stats.tuples_emitted += sa.len() as u64;
+            Ok(Value::Set(sa))
+        }
+        Query::Intersect(a, b) => {
+            let sa = eval_set(a, db, stats)?;
+            let sb = eval_set(b, db, stats)?;
+            stats.tuples_scanned += (sa.len() + sb.len()) as u64;
+            let out: BTreeSet<Value> = sa.intersection(&sb).cloned().collect();
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Difference(a, b) => {
+            let sa = eval_set(a, db, stats)?;
+            let sb = eval_set(b, db, stats)?;
+            stats.tuples_scanned += (sa.len() + sb.len()) as u64;
+            let out: BTreeSet<Value> = sa.difference(&sb).cloned().collect();
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Join(on, a, b) => {
+            let sa = eval_set(a, db, stats)?;
+            let sb = eval_set(b, db, stats)?;
+            // hash join on the first key pair, nested filter for the rest
+            let mut out = BTreeSet::new();
+            if let Some(&(i0, j0)) = on.first() {
+                let mut index: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
+                for t in &sb {
+                    stats.tuples_scanned += 1;
+                    let tup = t.as_tuple().ok_or_else(|| shape("⋈", t))?;
+                    let k = tup.get(j0).ok_or(EvalError::BadColumn(j0))?;
+                    index.entry(k).or_default().push(t);
+                }
+                for s in &sa {
+                    stats.tuples_scanned += 1;
+                    let stup = s.as_tuple().ok_or_else(|| shape("⋈", s))?;
+                    let k = stup.get(i0).ok_or(EvalError::BadColumn(i0))?;
+                    if let Some(matches) = index.get(k) {
+                        'next: for t in matches {
+                            let ttup = t.as_tuple().expect("indexed tuples");
+                            for &(i, j) in &on[1..] {
+                                let x = stup.get(i).ok_or(EvalError::BadColumn(i))?;
+                                let y = ttup.get(j).ok_or(EvalError::BadColumn(j))?;
+                                if x != y {
+                                    continue 'next;
+                                }
+                            }
+                            out.insert(concat_tuples(s, t)?);
+                        }
+                    }
+                }
+            } else {
+                // no key pairs: degenerate to product
+                for x in &sa {
+                    for y in &sb {
+                        stats.tuples_scanned += 1;
+                        out.insert(concat_tuples(x, y)?);
+                    }
+                }
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Map(f, q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for t in &s {
+                stats.tuples_scanned += 1;
+                stats.fn_applications += 1;
+                out.insert(apply_fn(f, t, db)?);
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Insert(c, q) => {
+            let mut s = eval_set(q, db, stats)?;
+            s.insert(c.clone());
+            stats.tuples_emitted += 1;
+            Ok(Value::Set(s))
+        }
+        Query::Singleton(q) => {
+            let v = eval_with_stats(q, db, stats)?;
+            stats.tuples_emitted += 1;
+            Ok(Value::set([v]))
+        }
+        Query::Flatten(q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for inner in &s {
+                stats.tuples_scanned += 1;
+                let is = inner.as_set().ok_or_else(|| shape("μ", inner))?;
+                out.extend(is.iter().cloned());
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Powerset(q) => {
+            let s = eval_set(q, db, stats)?;
+            let elems: Vec<Value> = s.into_iter().collect();
+            if elems.len() > 20 {
+                return Err(EvalError::Shape {
+                    op: "℘",
+                    found: format!("set of {} elements (powerset too large)", elems.len()),
+                });
+            }
+            let mut out = BTreeSet::new();
+            for mask in 0u64..(1u64 << elems.len()) {
+                let sub: BTreeSet<Value> = elems
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                out.insert(Value::Set(sub));
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::EqAdom(q) => {
+            let v = eval_with_stats(q, db, stats)?;
+            let adom = v.active_domain();
+            let out: BTreeSet<Value> = adom
+                .iter()
+                .map(|x| Value::tuple([x.clone(), x.clone()]))
+                .collect();
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Adom(q) => {
+            let v = eval_with_stats(q, db, stats)?;
+            Ok(Value::Set(v.active_domain()))
+        }
+        Query::Even(q) => {
+            let s = eval_set(q, db, stats)?;
+            Ok(Value::Bool(s.len() % 2 == 0))
+        }
+        Query::NestParity(q) => {
+            let v = eval_with_stats(q, db, stats)?;
+            Ok(Value::Bool(v.set_nesting_depth() % 2 == 0))
+        }
+        Query::Complement(q) => {
+            let s = eval_set(q, db, stats)?;
+            let (universe, ty) = db.universe.as_ref().ok_or(EvalError::NoUniverse)?;
+            let elem_ty = match ty {
+                CvType::Set(t) => (**t).clone(),
+                other => other.clone(),
+            };
+            let all = enumerate(&elem_ty, universe, EnumLimits::default())
+                .ok_or(EvalError::NoUniverse)?;
+            let out: BTreeSet<Value> = all.into_iter().filter(|v| !s.contains(v)).collect();
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::TuplePair(a, b) => {
+            let va = eval_with_stats(a, db, stats)?;
+            let vb = eval_with_stats(b, db, stats)?;
+            Ok(Value::tuple([va, vb]))
+        }
+        Query::Nest(keys, q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut groups: BTreeMap<Vec<Value>, BTreeSet<Value>> = BTreeMap::new();
+            for t in &s {
+                stats.tuples_scanned += 1;
+                let tup = t.as_tuple().ok_or_else(|| shape("ν", t))?;
+                let mut key = Vec::with_capacity(keys.len());
+                for &k in keys {
+                    key.push(tup.get(k).ok_or(EvalError::BadColumn(k))?.clone());
+                }
+                let rest: Vec<Value> = tup
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !keys.contains(i))
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                groups.entry(key).or_default().insert(Value::Tuple(rest));
+            }
+            let mut out = BTreeSet::new();
+            for (key, nested) in groups {
+                let mut row = key;
+                row.push(Value::Set(nested));
+                out.insert(Value::Tuple(row));
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+        Query::Unnest(col, q) => {
+            let s = eval_set(q, db, stats)?;
+            let mut out = BTreeSet::new();
+            for t in &s {
+                stats.tuples_scanned += 1;
+                let tup = t.as_tuple().ok_or_else(|| shape("μ (unnest)", t))?;
+                let inner = tup
+                    .get(*col)
+                    .ok_or(EvalError::BadColumn(*col))?
+                    .as_set()
+                    .ok_or_else(|| shape("μ (unnest)", t))?;
+                for elem in inner {
+                    let spliced: Vec<Value> = match elem.as_tuple() {
+                        Some(parts) => tup
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(i, v)| {
+                                if i == *col {
+                                    parts.to_vec()
+                                } else {
+                                    vec![v.clone()]
+                                }
+                            })
+                            .collect(),
+                        None => tup
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| if i == *col { elem.clone() } else { v.clone() })
+                            .collect(),
+                    };
+                    out.insert(Value::Tuple(spliced));
+                }
+            }
+            stats.tuples_emitted += out.len() as u64;
+            Ok(Value::Set(out))
+        }
+    }
+}
+
+fn shape(op: &'static str, v: &Value) -> EvalError {
+    EvalError::Shape {
+        op,
+        found: v.to_string(),
+    }
+}
+
+fn eval_set(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<BTreeSet<Value>, EvalError> {
+    match eval_with_stats(q, db, stats)? {
+        Value::Set(s) => Ok(s),
+        other => Err(shape("set operator", &other)),
+    }
+}
+
+fn project_tuple(t: &Value, cols: &[usize]) -> Result<Value, EvalError> {
+    let tup = t.as_tuple().ok_or_else(|| shape("π", t))?;
+    let mut out = Vec::with_capacity(cols.len());
+    for &c in cols {
+        out.push(tup.get(c).ok_or(EvalError::BadColumn(c))?.clone());
+    }
+    Ok(Value::Tuple(out))
+}
+
+fn concat_tuples(a: &Value, b: &Value) -> Result<Value, EvalError> {
+    let x = a.as_tuple().ok_or_else(|| shape("×", a))?;
+    let y = b.as_tuple().ok_or_else(|| shape("×", b))?;
+    Ok(Value::Tuple(x.iter().chain(y).cloned().collect()))
+}
+
+/// Evaluate a predicate on a tuple.
+pub fn eval_pred(p: &Pred, t: &Value, db: &Db) -> Result<bool, EvalError> {
+    match p {
+        Pred::True => Ok(true),
+        Pred::EqCols(i, j) => {
+            let tup = t.as_tuple().ok_or_else(|| shape("σ", t))?;
+            let a = tup.get(*i).ok_or(EvalError::BadColumn(*i))?;
+            let b = tup.get(*j).ok_or(EvalError::BadColumn(*j))?;
+            Ok(a == b)
+        }
+        Pred::EqConst(i, c) => {
+            let tup = t.as_tuple().ok_or_else(|| shape("σ", t))?;
+            Ok(tup.get(*i).ok_or(EvalError::BadColumn(*i))? == c)
+        }
+        Pred::Named(name, cols) => {
+            let pred = db
+                .signature()
+                .predicate(name)
+                .ok_or_else(|| EvalError::UnknownSymbol(name.clone()))?;
+            let tup = t.as_tuple().ok_or_else(|| shape("σ", t))?;
+            let mut args = Vec::with_capacity(cols.len());
+            for &c in cols {
+                args.push(tup.get(c).ok_or(EvalError::BadColumn(c))?.clone());
+            }
+            Ok((pred.eval)(&args))
+        }
+        Pred::And(a, b) => Ok(eval_pred(a, t, db)? && eval_pred(b, t, db)?),
+        Pred::Or(a, b) => Ok(eval_pred(a, t, db)? || eval_pred(b, t, db)?),
+        Pred::Not(a) => Ok(!eval_pred(a, t, db)?),
+    }
+}
+
+/// Apply a [`ValueFn`] to a value.
+pub fn apply_fn(f: &ValueFn, v: &Value, db: &Db) -> Result<Value, EvalError> {
+    match f {
+        ValueFn::Identity => Ok(v.clone()),
+        ValueFn::Proj(i) => v
+            .project(*i)
+            .cloned()
+            .ok_or_else(|| shape("π (fn)", v)),
+        ValueFn::Cols(cols) => project_tuple(v, cols),
+        ValueFn::Const(c) => Ok(c.clone()),
+        ValueFn::Compose(a, b) => {
+            let mid = apply_fn(a, v, db)?;
+            apply_fn(b, &mid, db)
+        }
+        ValueFn::Interp(name) => {
+            let func = db
+                .signature()
+                .function(name)
+                .ok_or_else(|| EvalError::UnknownSymbol(name.clone()))?;
+            let args: Vec<Value> = match v.as_tuple() {
+                Some(t) if func.args.len() != 1 => t.to_vec(),
+                _ => vec![v.clone()],
+            };
+            Ok((func.eval)(&args))
+        }
+        ValueFn::Pair(a, b) => Ok(Value::tuple([apply_fn(a, v, db)?, apply_fn(b, v, db)?])),
+        ValueFn::Custom(g) => Ok(g(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+
+    fn db_r(s: &str) -> Db {
+        Db::new().with("R", parse_value(s).unwrap())
+    }
+
+    fn run(q: &Query, db: &Db) -> Value {
+        eval(q, db).unwrap()
+    }
+
+    #[test]
+    fn rel_and_lit_and_empty() {
+        let db = db_r("{(a, b)}");
+        assert_eq!(run(&Query::rel("R"), &db), parse_value("{(a, b)}").unwrap());
+        assert_eq!(run(&Query::Lit(Value::Int(3)), &db), Value::Int(3));
+        assert_eq!(run(&Query::Empty, &db), Value::empty_set());
+        assert_eq!(
+            eval(&Query::rel("S"), &db),
+            Err(EvalError::UnknownRelation("S".into()))
+        );
+    }
+
+    #[test]
+    fn example_2_2_q1_composition() {
+        // Q1 = π$1,$3(R ⋈ R) on r1 returns {(e,g),(i,g)}
+        let db = db_r("{(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}");
+        let q1 = Query::rel("R")
+            .join_on(Query::rel("R"), [(1, 0)])
+            .project([0, 3]);
+        assert_eq!(run(&q1, &db), parse_value("{(e, g), (i, g)}").unwrap());
+    }
+
+    #[test]
+    fn example_2_2_q1_on_r2() {
+        let db = db_r("{(a, b), (b, c)}");
+        let q1 = Query::rel("R")
+            .join_on(Query::rel("R"), [(1, 0)])
+            .project([0, 3]);
+        assert_eq!(run(&q1, &db), parse_value("{(a, c)}").unwrap());
+    }
+
+    #[test]
+    fn example_2_2_q1_on_r3_is_empty() {
+        let db = db_r("{(e, j), (i, j), (f, g)}");
+        let q1 = Query::rel("R")
+            .join_on(Query::rel("R"), [(1, 0)])
+            .project([0, 3]);
+        assert_eq!(run(&q1, &db), Value::empty_set());
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let db = db_r("{(a), (b)}");
+        let q2 = Query::rel("R").product(Query::rel("R"));
+        let got = run(&q2, &db);
+        assert_eq!(got, parse_value("{(a,a),(a,b),(b,a),(b,b)}").unwrap());
+    }
+
+    #[test]
+    fn select_eq_cols_q4() {
+        let db = db_r("{(a, a), (a, b)}");
+        let q4 = Query::rel("R").select(Pred::eq_cols(0, 1));
+        assert_eq!(run(&q4, &db), parse_value("{(a, a)}").unwrap());
+    }
+
+    #[test]
+    fn select_eq_const_q5() {
+        let db = Db::new().with("R", parse_value("{(7), (8)}").unwrap());
+        let q5 = Query::rel("R").select(Pred::eq_const(0, Value::Int(7)));
+        assert_eq!(run(&q5, &db), parse_value("{(7)}").unwrap());
+    }
+
+    #[test]
+    fn select_named_predicate() {
+        let db = Db::with_standard_int().with("R", parse_value("{(1), (2), (3), (4)}").unwrap());
+        let q = Query::rel("R").select(Pred::Named("even".into(), vec![0]));
+        assert_eq!(run(&q, &db), parse_value("{(2), (4)}").unwrap());
+        let bad = Query::rel("R").select(Pred::Named("nope".into(), vec![0]));
+        assert_eq!(eval(&bad, &db), Err(EvalError::UnknownSymbol("nope".into())));
+    }
+
+    #[test]
+    fn select_hat_projects_out_equal_column() {
+        // σ̂_{1=2} on {(a,a,b), (a,b,c)} → {(a,b)}
+        let db = db_r("{(a, a, b), (a, b, c)}");
+        let q = Query::rel("R").select_hat(0, 1);
+        assert_eq!(run(&q, &db), parse_value("{(a, b)}").unwrap());
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = Db::new()
+            .with("R", parse_value("{(a), (b)}").unwrap())
+            .with("S", parse_value("{(b), (c)}").unwrap());
+        assert_eq!(
+            run(&Query::rel("R").union(Query::rel("S")), &db),
+            parse_value("{(a), (b), (c)}").unwrap()
+        );
+        assert_eq!(
+            run(&Query::rel("R").intersect(Query::rel("S")), &db),
+            parse_value("{(b)}").unwrap()
+        );
+        assert_eq!(
+            run(&Query::rel("R").difference(Query::rel("S")), &db),
+            parse_value("{(a)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn join_multi_key() {
+        let db = Db::new()
+            .with("R", parse_value("{(a, b), (a, c)}").unwrap())
+            .with("S", parse_value("{(a, b), (c, c)}").unwrap());
+        let q = Query::rel("R").join_on(Query::rel("S"), [(0, 0), (1, 1)]);
+        assert_eq!(run(&q, &db), parse_value("{(a, b, a, b)}").unwrap());
+    }
+
+    #[test]
+    fn join_with_no_keys_is_product() {
+        let db = db_r("{(a), (b)}");
+        let q = Query::rel("R").join_on(Query::rel("R"), []);
+        assert_eq!(run(&q, &db).len(), 4);
+    }
+
+    #[test]
+    fn map_applies_fn() {
+        let db = db_r("{(a, b), (b, c)}");
+        let q = Query::rel("R").map(ValueFn::Proj(0));
+        assert_eq!(run(&q, &db), parse_value("{a, b}").unwrap());
+        let q2 = Query::rel("R").map(ValueFn::Cols(vec![1, 0]));
+        assert_eq!(run(&q2, &db), parse_value("{(b, a), (c, b)}").unwrap());
+    }
+
+    #[test]
+    fn map_with_interp_fn() {
+        let db = Db::with_standard_int().with("R", parse_value("{1, 2}").unwrap());
+        let q = Query::rel("R").map(ValueFn::Interp("succ".into()));
+        assert_eq!(run(&q, &db), parse_value("{2, 3}").unwrap());
+    }
+
+    #[test]
+    fn insert_and_singleton_and_flatten() {
+        let db = db_r("{a}");
+        assert_eq!(
+            run(&Query::Insert(Value::atom(0, 1), Box::new(Query::rel("R"))), &db),
+            parse_value("{a, b}").unwrap()
+        );
+        assert_eq!(
+            run(&Query::Singleton(Box::new(Query::rel("R"))), &db),
+            parse_value("{{a}}").unwrap()
+        );
+        let db2 = db_r("{{a}, {b, c}}");
+        assert_eq!(
+            run(&Query::Flatten(Box::new(Query::rel("R"))), &db2),
+            parse_value("{a, b, c}").unwrap()
+        );
+    }
+
+    #[test]
+    fn powerset_small() {
+        let db = db_r("{a, b}");
+        let q = Query::Powerset(Box::new(Query::rel("R")));
+        assert_eq!(run(&q, &db).len(), 4);
+    }
+
+    #[test]
+    fn powerset_guards_size() {
+        let big = Value::set((0..25).map(|i| Value::atom(0, i)));
+        let db = Db::new().with("R", big);
+        assert!(matches!(
+            eval(&Query::Powerset(Box::new(Query::rel("R"))), &db),
+            Err(EvalError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn eq_adom_builds_identity_relation() {
+        let db = db_r("{(a, b)}");
+        let q = Query::EqAdom(Box::new(Query::rel("R")));
+        assert_eq!(run(&q, &db), parse_value("{(a, a), (b, b)}").unwrap());
+    }
+
+    #[test]
+    fn adom_and_even_and_nest_parity() {
+        let db = db_r("{(a, b), (b, c)}");
+        assert_eq!(
+            run(&Query::Adom(Box::new(Query::rel("R"))), &db),
+            parse_value("{a, b, c}").unwrap()
+        );
+        assert_eq!(run(&Query::Even(Box::new(Query::rel("R"))), &db), Value::Bool(true));
+        let db2 = db_r("{(a, b), (b, c), (a, c)}");
+        assert_eq!(run(&Query::Even(Box::new(Query::rel("R"))), &db2), Value::Bool(false));
+        // np: {(a,b)} has nesting depth 1 → odd
+        assert_eq!(
+            run(&Query::NestParity(Box::new(Query::rel("R"))), &db),
+            Value::Bool(false)
+        );
+        let db3 = db_r("{{a}}");
+        assert_eq!(
+            run(&Query::NestParity(Box::new(Query::rel("R"))), &db3),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn complement_needs_universe() {
+        let db = db_r("{a}");
+        assert_eq!(
+            eval(&Query::Complement(Box::new(Query::rel("R"))), &db),
+            Err(EvalError::NoUniverse)
+        );
+        let db = db_r("{a}").with_universe(
+            Universe::atoms_only(3),
+            CvType::set(CvType::domain(0)),
+        );
+        assert_eq!(
+            run(&Query::Complement(Box::new(Query::rel("R"))), &db),
+            parse_value("{b, c}").unwrap()
+        );
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let db = db_r("{(a, b), (b, c), (c, d)}");
+        let mut stats = EvalStats::default();
+        let q = Query::rel("R").select(Pred::True).project([0]);
+        eval_with_stats(&q, &db, &mut stats).unwrap();
+        assert_eq!(stats.tuples_scanned, 6); // 3 select + 3 project
+        assert_eq!(stats.fn_applications, 3);
+        assert!(stats.tuples_emitted >= 6);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let db = Db::new().with("R", Value::Int(3));
+        assert!(matches!(
+            eval(&Query::rel("R").project([0]), &db),
+            Err(EvalError::Shape { .. })
+        ));
+        let db2 = db_r("{a}");
+        assert!(matches!(
+            eval(&Query::rel("R").project([2]), &db2),
+            Err(EvalError::Shape { .. }) | Err(EvalError::BadColumn(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_pair_builds_database_tuples() {
+        let db = Db::new()
+            .with("R", parse_value("{a}").unwrap())
+            .with("S", parse_value("{b}").unwrap());
+        let q = Query::TuplePair(Box::new(Query::rel("R")), Box::new(Query::rel("S")));
+        assert_eq!(run(&q, &db), parse_value("({a}, {b})").unwrap());
+    }
+}
+
+#[cfg(test)]
+mod nest_tests {
+    use super::*;
+    use crate::expr::Query;
+    use genpar_value::parse::parse_value;
+
+    fn db_r(s: &str) -> Db {
+        Db::new().with("R", parse_value(s).unwrap())
+    }
+
+    #[test]
+    fn nest_groups_by_keys() {
+        // R = {(a,1),(a,2),(b,1)} ν[$1] → {(a,{(1),(2)}), (b,{(1)})}
+        let db = db_r("{(a, 1), (a, 2), (b, 1)}");
+        let q = Query::rel("R").nest([0]);
+        let got = eval(&q, &db).unwrap();
+        assert_eq!(
+            got,
+            parse_value("{(a, {(1), (2)}), (b, {(1)})}").unwrap()
+        );
+    }
+
+    #[test]
+    fn nest_on_all_columns_gives_unit_groups() {
+        let db = db_r("{(a, 1)}");
+        let q = Query::rel("R").nest([0, 1]);
+        let got = eval(&q, &db).unwrap();
+        assert_eq!(got, parse_value("{(a, 1, {()})}").unwrap());
+    }
+
+    #[test]
+    fn unnest_inverts_nest() {
+        let db = db_r("{(a, 1), (a, 2), (b, 1)}");
+        let q = Query::rel("R").nest([0]).unnest(1);
+        let got = eval(&q, &db).unwrap();
+        assert_eq!(got, parse_value("{(a, 1), (a, 2), (b, 1)}").unwrap());
+    }
+
+    #[test]
+    fn unnest_drops_empty_groups() {
+        // a tuple with an empty nested set contributes nothing
+        let db = db_r("{(a, {}), (b, {(1)})}");
+        let q = Query::rel("R").unnest(1);
+        let got = eval(&q, &db).unwrap();
+        assert_eq!(got, parse_value("{(b, 1)}").unwrap());
+    }
+
+    #[test]
+    fn unnest_of_non_tuple_elements_substitutes() {
+        let db = db_r("{(a, {x, y})}");
+        let q = Query::rel("R").unnest(1);
+        let got = eval(&q, &db).unwrap();
+        assert_eq!(got, parse_value("{(a, x), (a, y)}").unwrap());
+    }
+
+    #[test]
+    fn nest_errors_on_bad_column() {
+        let db = db_r("{(a)}");
+        assert!(matches!(
+            eval(&Query::rel("R").nest([4]), &db),
+            Err(EvalError::BadColumn(4))
+        ));
+        assert!(matches!(
+            eval(&Query::rel("R").unnest(0), &db),
+            Err(EvalError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn nest_displays() {
+        let q = Query::rel("R").nest([0]).unnest(1);
+        assert_eq!(q.to_string(), "μ[$2](ν[$1](R))");
+    }
+}

@@ -1,0 +1,225 @@
+//! Fixpoint and while operations.
+//!
+//! Section 3.2 closes with "in the full paper we present results about
+//! *fixpoint* and *while* operations"; this module provides the
+//! operations so the genericity framework can classify them:
+//!
+//! * [`inflationary_fixpoint`] — iterate `X ← X ∪ step(X)` to a fixpoint
+//!   (inflationary, so guaranteed to terminate over a finite domain);
+//! * [`while_loop`] — the (non-inflationary) while of \[9\]: iterate
+//!   `X ← body(X)` while `cond(X)` holds, with a step bound since
+//!   termination is not guaranteed;
+//! * [`transitive_closure`] — the canonical fixpoint query, implemented
+//!   via relation composition (`π₁,₄ ∘ σ̂₂₌₃ ∘ ×`, an equality-in-query-
+//!   only pipeline — which is *why* TC turns out strong-fully generic but
+//!   not rel-fully generic, exactly like `Q₁`).
+
+use crate::eval::EvalError;
+use genpar_value::Value;
+use std::collections::BTreeSet;
+
+/// Iterate `x ← x ∪ step(x)` until nothing new is added. Both `x` and
+/// the step results must be set values.
+pub fn inflationary_fixpoint(
+    initial: &Value,
+    mut step: impl FnMut(&Value) -> Result<Value, EvalError>,
+    max_iters: usize,
+) -> Result<Value, EvalError> {
+    let mut current: BTreeSet<Value> = initial
+        .as_set()
+        .ok_or_else(|| EvalError::Shape {
+            op: "fixpoint",
+            found: initial.to_string(),
+        })?
+        .clone();
+    for _ in 0..max_iters {
+        let cv = Value::Set(current.clone());
+        let next = step(&cv)?;
+        let ns = next.as_set().ok_or_else(|| EvalError::Shape {
+            op: "fixpoint step",
+            found: next.to_string(),
+        })?;
+        let before = current.len();
+        current.extend(ns.iter().cloned());
+        if current.len() == before {
+            return Ok(Value::Set(current));
+        }
+    }
+    Err(EvalError::Shape {
+        op: "fixpoint",
+        found: format!("no fixpoint within {max_iters} iterations"),
+    })
+}
+
+/// The while loop of the while-queries literature: repeat `x ← body(x)`
+/// as long as `cond(x)`; bounded by `max_iters` since while need not
+/// terminate.
+pub fn while_loop(
+    initial: &Value,
+    mut cond: impl FnMut(&Value) -> Result<bool, EvalError>,
+    mut body: impl FnMut(&Value) -> Result<Value, EvalError>,
+    max_iters: usize,
+) -> Result<Value, EvalError> {
+    let mut current = initial.clone();
+    for _ in 0..max_iters {
+        if !cond(&current)? {
+            return Ok(current);
+        }
+        current = body(&current)?;
+    }
+    Err(EvalError::Shape {
+        op: "while",
+        found: format!("loop did not exit within {max_iters} iterations"),
+    })
+}
+
+/// Relation composition `R ∘ S = {(x,z) | ∃y. R(x,y) ∧ S(y,z)}` — the
+/// equality-in-query-only building block of transitive closure.
+pub fn compose(r: &Value, s: &Value) -> Result<Value, EvalError> {
+    let (rs, ss) = match (r.as_set(), s.as_set()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EvalError::Shape {
+                op: "∘",
+                found: format!("{r} / {s}"),
+            })
+        }
+    };
+    let mut out = BTreeSet::new();
+    for t in rs {
+        let tt = t.as_tuple().ok_or_else(|| EvalError::Shape {
+            op: "∘",
+            found: t.to_string(),
+        })?;
+        if tt.len() != 2 {
+            return Err(EvalError::Shape {
+                op: "∘",
+                found: t.to_string(),
+            });
+        }
+        for u in ss {
+            let ut = u.as_tuple().ok_or_else(|| EvalError::Shape {
+                op: "∘",
+                found: u.to_string(),
+            })?;
+            if ut.len() == 2 && tt[1] == ut[0] {
+                out.insert(Value::tuple([tt[0].clone(), ut[1].clone()]));
+            }
+        }
+    }
+    Ok(Value::Set(out))
+}
+
+/// Transitive closure of a binary relation, via the inflationary fixpoint
+/// `TC ← TC ∪ (TC ∘ R)` seeded with `R`.
+pub fn transitive_closure(r: &Value) -> Result<Value, EvalError> {
+    let n = r.len().max(1);
+    inflationary_fixpoint(r, |tc| compose(tc, r), n + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+
+    #[test]
+    fn compose_follows_edges() {
+        let r = parse_value("{(a, b), (b, c)}").unwrap();
+        assert_eq!(compose(&r, &r).unwrap(), parse_value("{(a, c)}").unwrap());
+        let empty = compose(&parse_value("{(a, b)}").unwrap(), &parse_value("{(a, b)}").unwrap())
+            .unwrap();
+        assert_eq!(empty, parse_value("{}").unwrap());
+    }
+
+    #[test]
+    fn tc_of_a_path() {
+        let r = parse_value("{(a, b), (b, c), (c, d)}").unwrap();
+        let tc = transitive_closure(&r).unwrap();
+        assert_eq!(
+            tc,
+            parse_value("{(a, b), (b, c), (c, d), (a, c), (b, d), (a, d)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn tc_of_a_cycle_saturates() {
+        let r = parse_value("{(a, b), (b, a)}").unwrap();
+        let tc = transitive_closure(&r).unwrap();
+        assert_eq!(
+            tc,
+            parse_value("{(a, b), (b, a), (a, a), (b, b)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn tc_of_empty_is_empty() {
+        assert_eq!(
+            transitive_closure(&Value::empty_set()).unwrap(),
+            Value::empty_set()
+        );
+    }
+
+    #[test]
+    fn inflationary_fixpoint_reaches_stability() {
+        // step adds atom n+1 up to 3 (encoded as singleton tuples)
+        let step = |v: &Value| -> Result<Value, EvalError> {
+            let max = v
+                .as_set()
+                .unwrap()
+                .iter()
+                .filter_map(|t| t.project(0).and_then(|a| match a {
+                    Value::Atom(at) => Some(at.id),
+                    _ => None,
+                }))
+                .max()
+                .unwrap_or(0);
+            Ok(if max < 3 {
+                Value::set([Value::tuple([Value::atom(0, max + 1)])])
+            } else {
+                Value::empty_set()
+            })
+        };
+        let init = parse_value("{(a)}").unwrap();
+        let out = inflationary_fixpoint(&init, step, 10).unwrap();
+        assert_eq!(out, parse_value("{(a), (b), (c), (d)}").unwrap());
+    }
+
+    #[test]
+    fn fixpoint_budget_enforced() {
+        // a step that keeps growing forever
+        let mut i = 0u32;
+        let step = move |_: &Value| -> Result<Value, EvalError> {
+            i += 1;
+            Ok(Value::set([Value::tuple([Value::atom(0, i)])]))
+        };
+        let init = parse_value("{(a)}").unwrap();
+        assert!(inflationary_fixpoint(&init, step, 5).is_err());
+    }
+
+    #[test]
+    fn while_loop_runs_and_bounds() {
+        // double the set of ints until size ≥ 4
+        let cond = |v: &Value| Ok(v.len() < 4);
+        let body = |v: &Value| -> Result<Value, EvalError> {
+            let s = v.as_set().unwrap();
+            let shifted: Vec<Value> = s
+                .iter()
+                .map(|x| Value::Int(x.as_int().unwrap() + s.len() as i64))
+                .collect();
+            Ok(Value::Set(s.iter().cloned().chain(shifted).collect()))
+        };
+        let init = parse_value("{0}").unwrap();
+        let out = while_loop(&init, cond, body, 10).unwrap();
+        assert_eq!(out.len(), 4);
+        // non-terminating while hits the bound
+        let forever = while_loop(&init, |_| Ok(true), |v| Ok(v.clone()), 5);
+        assert!(forever.is_err());
+    }
+
+    #[test]
+    fn compose_rejects_non_binary() {
+        let r = parse_value("{(a, b, c)}").unwrap();
+        assert!(compose(&r, &r).is_err());
+        assert!(compose(&Value::Int(1), &r).is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! A textual surface syntax for queries, used by the `genpar` CLI and by
+//! tests/examples that want to state queries compactly.
+//!
+//! Grammar (function-call style, whitespace-insensitive; columns are
+//! 1-based like the paper's `$1`, `$2`):
+//!
+//! ```text
+//! query := NAME                                — input relation
+//!        | 'empty'
+//!        | 'pi'      '[' cols ']'   '(' query ')'
+//!        | 'select'  '[' pred ']'   '(' query ')'
+//!        | 'hat'     '[' col '=' col ']' '(' query ')'
+//!        | 'product' | 'union' | 'intersect' | 'diff'   '(' query ',' query ')'
+//!        | 'join'    '[' col '=' col {',' col '=' col} ']' '(' query ',' query ')'
+//!        | 'map'     '[' fn ']'     '(' query ')'
+//!        | 'insert'  '[' value ']'  '(' query ')'
+//!        | 'nest'    '[' cols ']'   '(' query ')'
+//!        | 'unnest'  '[' col ']'    '(' query ')'
+//!        | 'singleton' | 'flatten' | 'powerset' | 'eqadom'
+//!        | 'adom' | 'even' | 'np' | 'complement'          '(' query ')'
+//!        | 'lit'     '[' value ']'
+//! cols  := col {',' col}           col := '$' NAT
+//! pred  := 'true'
+//!        | col '=' col | col '=' value
+//!        | NAME '(' cols ')'       — interpreted predicate
+//!        | pred '&' pred | pred '|' pred | '!' pred | '(' pred ')'
+//! fn    := 'id' | col | 'cols' '(' cols ')' | 'const' '(' value ')' | NAME
+//! value := complex-value literal (genpar-value syntax)
+//! ```
+
+use crate::expr::{Pred, Query, ValueFn};
+use genpar_value::parse::{parse_value, ParseError as ValueParseError};
+use std::fmt;
+
+/// A query-parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl From<ValueParseError> for QueryParseError {
+    fn from(e: ValueParseError) -> Self {
+        QueryParseError {
+            pos: e.pos,
+            msg: format!("in value literal: {}", e.msg),
+        }
+    }
+}
+
+/// Parse a query.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = P { src: input, pos: 0 };
+    p.ws();
+    let q = p.query()?;
+    p.ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(q)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), QueryParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{tok}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 || !rest.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            return None;
+        }
+        self.pos += end;
+        Some(&rest[..end])
+    }
+
+    fn nat(&mut self) -> Result<usize, QueryParseError> {
+        self.ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n = rest[..end]
+            .parse::<usize>()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    /// `$N` (1-based) → 0-based column index.
+    fn col(&mut self) -> Result<usize, QueryParseError> {
+        self.expect("$")?;
+        let n = self.nat()?;
+        if n == 0 {
+            return Err(self.err("columns are 1-based ($1, $2, …)"));
+        }
+        Ok(n - 1)
+    }
+
+    fn cols(&mut self) -> Result<Vec<usize>, QueryParseError> {
+        let mut out = vec![self.col()?];
+        while self.eat(",") {
+            out.push(self.col()?);
+        }
+        Ok(out)
+    }
+
+    /// A bracketed complex-value literal: read to the matching `]`.
+    fn bracketed_value(&mut self) -> Result<genpar_value::Value, QueryParseError> {
+        self.ws();
+        // find the matching close bracket, counting nesting of [({ vs ])}
+        let rest = self.rest();
+        let mut depth = 0i32;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' | '(' | '{' => depth += 1,
+                ']' | ')' | '}' => {
+                    if depth == 0 && c == ']' {
+                        let v = parse_value(rest[..i].trim())?;
+                        self.pos += i;
+                        return Ok(v);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated value literal (expected ']')"))
+    }
+
+    fn query(&mut self) -> Result<Query, QueryParseError> {
+        self.ws();
+        let save = self.pos;
+        let Some(name) = self.ident() else {
+            return Err(self.err("expected a query"));
+        };
+        let unary = |p: &mut P<'a>, build: fn(Box<Query>) -> Query| -> Result<Query, QueryParseError> {
+            p.expect("(")?;
+            let q = p.query()?;
+            p.expect(")")?;
+            Ok(build(Box::new(q)))
+        };
+        match name {
+            "empty" => Ok(Query::Empty),
+            "lit" => {
+                self.expect("[")?;
+                let v = self.bracketed_value()?;
+                self.expect("]")?;
+                Ok(Query::Lit(v))
+            }
+            "pi" => {
+                self.expect("[")?;
+                let cols = self.cols()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Project(cols, Box::new(q)))
+            }
+            "select" => {
+                self.expect("[")?;
+                let p = self.pred()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Select(p, Box::new(q)))
+            }
+            "hat" => {
+                self.expect("[")?;
+                let i = self.col()?;
+                self.expect("=")?;
+                let j = self.col()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::SelectHat(i, j, Box::new(q)))
+            }
+            "product" | "union" | "intersect" | "diff" => {
+                self.expect("(")?;
+                let a = self.query()?;
+                self.expect(",")?;
+                let b = self.query()?;
+                self.expect(")")?;
+                Ok(match name {
+                    "product" => Query::Product(Box::new(a), Box::new(b)),
+                    "union" => Query::Union(Box::new(a), Box::new(b)),
+                    "intersect" => Query::Intersect(Box::new(a), Box::new(b)),
+                    _ => Query::Difference(Box::new(a), Box::new(b)),
+                })
+            }
+            "join" => {
+                self.expect("[")?;
+                let mut on = Vec::new();
+                loop {
+                    let i = self.col()?;
+                    self.expect("=")?;
+                    let j = self.col()?;
+                    on.push((i, j));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("]")?;
+                self.expect("(")?;
+                let a = self.query()?;
+                self.expect(",")?;
+                let b = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Join(on, Box::new(a), Box::new(b)))
+            }
+            "map" => {
+                self.expect("[")?;
+                let f = self.value_fn()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Map(f, Box::new(q)))
+            }
+            "insert" => {
+                self.expect("[")?;
+                let v = self.bracketed_value()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Insert(v, Box::new(q)))
+            }
+            "nest" => {
+                self.expect("[")?;
+                let cols = self.cols()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Nest(cols, Box::new(q)))
+            }
+            "unnest" => {
+                self.expect("[")?;
+                let col = self.col()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Unnest(col, Box::new(q)))
+            }
+            "singleton" => unary(self, Query::Singleton),
+            "flatten" => unary(self, Query::Flatten),
+            "powerset" => unary(self, Query::Powerset),
+            "eqadom" => unary(self, Query::EqAdom),
+            "adom" => unary(self, Query::Adom),
+            "even" => unary(self, Query::Even),
+            "np" => unary(self, Query::NestParity),
+            "complement" => unary(self, Query::Complement),
+            _ => {
+                // a relation name — but reject if it is followed by '('
+                // (probably a typo'd operator)
+                self.ws();
+                if self.rest().starts_with('(') {
+                    self.pos = save;
+                    Err(self.err(format!("unknown operator '{name}'")))
+                } else {
+                    Ok(Query::Rel(name.to_string()))
+                }
+            }
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, QueryParseError> {
+        let mut left = self.pred_atom()?;
+        loop {
+            if self.eat("&") {
+                let right = self.pred_atom()?;
+                left = left.and(right);
+            } else if self.eat("|") {
+                let right = self.pred_atom()?;
+                left = left.or(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, QueryParseError> {
+        self.ws();
+        if self.eat("!") {
+            return Ok(self.pred_atom()?.not());
+        }
+        if self.eat("(") {
+            let p = self.pred()?;
+            self.expect(")")?;
+            return Ok(p);
+        }
+        if self.rest().starts_with('$') {
+            let i = self.col()?;
+            self.expect("=")?;
+            self.ws();
+            if self.rest().starts_with('$') {
+                let j = self.col()?;
+                return Ok(Pred::eq_cols(i, j));
+            }
+            // a value literal up to the next ']' / '&' / '|' boundary
+            let rest = self.rest();
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| matches!(c, ']' | '&' | '|'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let v = parse_value(rest[..end].trim())?;
+            self.pos += end;
+            return Ok(Pred::eq_const(i, v));
+        }
+        if self.rest().starts_with("true") {
+            self.pos += 4;
+            return Ok(Pred::True);
+        }
+        // named predicate
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected a predicate"))?
+            .to_string();
+        self.expect("(")?;
+        let cols = self.cols()?;
+        self.expect(")")?;
+        Ok(Pred::Named(name, cols))
+    }
+
+    fn value_fn(&mut self) -> Result<ValueFn, QueryParseError> {
+        self.ws();
+        if self.rest().starts_with('$') {
+            let c = self.col()?;
+            return Ok(ValueFn::Proj(c));
+        }
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected a function"))?
+            .to_string();
+        match name.as_str() {
+            "id" => Ok(ValueFn::Identity),
+            "cols" => {
+                self.expect("(")?;
+                let cols = self.cols()?;
+                self.expect(")")?;
+                Ok(ValueFn::Cols(cols))
+            }
+            "const" => {
+                self.expect("(")?;
+                self.ws();
+                // read the literal up to the matching ')'
+                let rest = self.rest();
+                let mut depth = 0i32;
+                for (i, c) in rest.char_indices() {
+                    match c {
+                        '[' | '(' | '{' => depth += 1,
+                        ']' | '}' => depth -= 1,
+                        ')' => {
+                            if depth == 0 {
+                                let v = parse_value(rest[..i].trim())?;
+                                self.pos += i;
+                                self.expect(")")?;
+                                return Ok(ValueFn::Const(v));
+                            }
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                Err(self.err("unterminated const(…)"))
+            }
+            other => Ok(ValueFn::Interp(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Db};
+    use genpar_value::Value;
+
+    #[test]
+    fn parses_relations_and_ops() {
+        assert!(matches!(parse_query("R").unwrap(), Query::Rel(n) if n == "R"));
+        assert!(matches!(parse_query("empty").unwrap(), Query::Empty));
+        // the paper's π$1,$3 assumes a *natural* join (3 columns); our
+        // ⋈ keeps both join columns, so the equivalent is π$1,$4
+        let q = parse_query("pi[$1, $4](join[$2=$1](R, R))").unwrap();
+        assert_eq!(q.to_string(), crate::catalog::q1().to_string());
+    }
+
+    #[test]
+    fn parses_selections() {
+        let q = parse_query("select[$1=$2](R)").unwrap();
+        assert_eq!(q.to_string(), crate::catalog::q4().to_string());
+        let q5 = parse_query("select[$1=7](R)").unwrap();
+        assert_eq!(q5.to_string(), crate::catalog::q5().to_string());
+        let named = parse_query("select[even($1)](R)").unwrap();
+        assert!(matches!(named, Query::Select(Pred::Named(..), _)));
+        let combo = parse_query("select[$1=$2 & !even($1) | true](R)").unwrap();
+        assert!(matches!(combo, Query::Select(Pred::Or(..), _)));
+    }
+
+    #[test]
+    fn parses_hat_and_setops() {
+        let q = parse_query("hat[$1=$2](R)").unwrap();
+        assert!(matches!(q, Query::SelectHat(0, 1, _)));
+        for (src, check) in [
+            ("union(R, S)", "∪"),
+            ("intersect(R, S)", "∩"),
+            ("diff(R, S)", "−"),
+            ("product(R, S)", "×"),
+        ] {
+            let q = parse_query(src).unwrap();
+            assert!(q.to_string().contains(check), "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_map_variants() {
+        assert!(matches!(
+            parse_query("map[id](R)").unwrap(),
+            Query::Map(ValueFn::Identity, _)
+        ));
+        assert!(matches!(
+            parse_query("map[$2](R)").unwrap(),
+            Query::Map(ValueFn::Proj(1), _)
+        ));
+        assert!(matches!(
+            parse_query("map[cols($2, $1)](R)").unwrap(),
+            Query::Map(ValueFn::Cols(_), _)
+        ));
+        assert!(matches!(
+            parse_query("map[const({1, 2})](R)").unwrap(),
+            Query::Map(ValueFn::Const(_), _)
+        ));
+        assert!(matches!(
+            parse_query("map[succ](R)").unwrap(),
+            Query::Map(ValueFn::Interp(_), _)
+        ));
+    }
+
+    #[test]
+    fn parses_literals_and_insert() {
+        let q = parse_query("lit[{(a, b)}]").unwrap();
+        assert!(matches!(q, Query::Lit(_)));
+        let q = parse_query("insert[(7)](R)").unwrap();
+        assert!(matches!(q, Query::Insert(Value::Tuple(_), _)));
+        let q = parse_query("union(lit[{(a)}], R)").unwrap();
+        assert!(matches!(q, Query::Union(..)));
+    }
+
+    #[test]
+    fn parses_nest_unnest() {
+        let q = parse_query("unnest[$2](nest[$1](R))").unwrap();
+        assert_eq!(q.to_string(), "μ[$2](ν[$1](R))");
+        let db = Db::new().with(
+            "R",
+            genpar_value::parse::parse_value("{(a, 1), (a, 2)}").unwrap(),
+        );
+        assert_eq!(
+            eval(&q, &db).unwrap(),
+            genpar_value::parse::parse_value("{(a, 1), (a, 2)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_unary_builtins() {
+        for src in [
+            "singleton(R)",
+            "flatten(R)",
+            "powerset(R)",
+            "eqadom(R)",
+            "adom(R)",
+            "even(R)",
+            "np(R)",
+            "complement(R)",
+        ] {
+            parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parsed_queries_evaluate() {
+        let db = Db::new().with(
+            "R",
+            genpar_value::parse::parse_value("{(e, f), (f, g)}").unwrap(),
+        );
+        let q = parse_query("pi[$1, $4](join[$2=$1](R, R))").unwrap();
+        assert_eq!(
+            eval(&q, &db).unwrap(),
+            genpar_value::parse::parse_value("{(e, g)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("pi[$0](R)").is_err()); // 1-based
+        assert!(parse_query("pi[$1](R) trailing").is_err());
+        assert!(parse_query("frobnicate(R)").is_err());
+        assert!(parse_query("select[$1=](R)").is_err());
+        assert!(parse_query("union(R)").is_err());
+        let e = parse_query("pi[$1](").unwrap_err();
+        assert!(e.pos > 0);
+    }
+
+    #[test]
+    fn roundtrip_via_display_is_not_required_but_parse_is_stable() {
+        // parse(s) = parse(pretty-ish spacing of s)
+        let a = parse_query("union( R ,S )").unwrap();
+        let b = parse_query("union(R,S)").unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

@@ -1,0 +1,433 @@
+//! Output-type inference for queries.
+//!
+//! Section 4.3 closes with: "the type could be found using type
+//! inference, or could be verified using type checking" — the more
+//! general the type derived for a query, the more invariance information
+//! parametricity yields. This module infers the output [`CvType`] of a
+//! query from the types of its input relations, which the checker and
+//! probe use to avoid hand-written output types.
+
+use crate::expr::{Query, ValueFn};
+use genpar_value::{CvType, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeInferenceError(pub String);
+
+impl fmt::Display for TypeInferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type inference: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeInferenceError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeInferenceError> {
+    Err(TypeInferenceError(msg.into()))
+}
+
+/// The environment: types of the named input relations.
+pub type TypeEnv = BTreeMap<String, CvType>;
+
+/// Components of a set-of-tuples type, if the type has that shape.
+fn tuple_elems(t: &CvType) -> Option<&[CvType]> {
+    match t {
+        CvType::Set(inner) => match &**inner {
+            CvType::Tuple(ts) => Some(ts),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The element type of a set type.
+fn set_elem(t: &CvType) -> Option<&CvType> {
+    match t {
+        CvType::Set(inner) => Some(inner),
+        _ => None,
+    }
+}
+
+/// The most specific type of a literal value, when it is unambiguous
+/// (empty collections default element types to `D0`).
+pub fn type_of_value(v: &Value) -> CvType {
+    match v {
+        Value::Bool(_) => CvType::bool(),
+        Value::Int(_) => CvType::int(),
+        Value::Str(_) => CvType::str(),
+        Value::Atom(a) => CvType::Base(genpar_value::BaseType::Domain(a.domain)),
+        Value::Tuple(vs) => CvType::Tuple(vs.iter().map(type_of_value).collect()),
+        Value::Set(vs) => CvType::set(
+            vs.iter()
+                .next()
+                .map(type_of_value)
+                .unwrap_or_else(|| CvType::domain(0)),
+        ),
+        Value::Bag(vs) => CvType::bag(
+            vs.keys()
+                .next()
+                .map(type_of_value)
+                .unwrap_or_else(|| CvType::domain(0)),
+        ),
+        Value::List(vs) => CvType::list(
+            vs.first()
+                .map(type_of_value)
+                .unwrap_or_else(|| CvType::domain(0)),
+        ),
+    }
+}
+
+/// Infer the output type of `q` under `env`.
+pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError> {
+    match q {
+        Query::Rel(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| TypeInferenceError(format!("unknown relation {n}"))),
+        Query::Lit(v) => Ok(type_of_value(v)),
+        Query::Empty => Ok(CvType::set(CvType::tuple([]))),
+        Query::Project(cols, inner) => {
+            let t = infer_type(inner, env)?;
+            let elems = tuple_elems(&t).ok_or_else(|| {
+                TypeInferenceError(format!("π over non-relation type {t}"))
+            })?;
+            let picked: Result<Vec<CvType>, _> = cols
+                .iter()
+                .map(|&c| {
+                    elems
+                        .get(c)
+                        .cloned()
+                        .ok_or_else(|| TypeInferenceError(format!("π column ${} out of range", c + 1)))
+                })
+                .collect();
+            Ok(CvType::set(CvType::Tuple(picked?)))
+        }
+        Query::Select(_, inner) => infer_type(inner, env),
+        Query::SelectHat(i, j, inner) => {
+            let t = infer_type(inner, env)?;
+            let elems = tuple_elems(&t)
+                .ok_or_else(|| TypeInferenceError(format!("σ̂ over non-relation type {t}")))?;
+            if *i >= elems.len() || *j >= elems.len() {
+                return err(format!("σ̂ columns ${}/${} out of range", i + 1, j + 1));
+            }
+            let kept: Vec<CvType> = elems
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| k != j)
+                .map(|(_, t)| t.clone())
+                .collect();
+            Ok(CvType::set(CvType::Tuple(kept)))
+        }
+        Query::Product(a, b) | Query::Join(_, a, b) => {
+            let (ta, tb) = (infer_type(a, env)?, infer_type(b, env)?);
+            let ea = tuple_elems(&ta)
+                .ok_or_else(|| TypeInferenceError(format!("× over non-relation {ta}")))?;
+            let eb = tuple_elems(&tb)
+                .ok_or_else(|| TypeInferenceError(format!("× over non-relation {tb}")))?;
+            Ok(CvType::set(CvType::Tuple(
+                ea.iter().chain(eb).cloned().collect(),
+            )))
+        }
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Difference(a, b) => {
+            let (ta, tb) = (infer_type(a, env)?, infer_type(b, env)?);
+            if ta != tb {
+                return err(format!("set operation on mismatched types {ta} vs {tb}"));
+            }
+            Ok(ta)
+        }
+        Query::Map(f, inner) => {
+            let t = infer_type(inner, env)?;
+            let elem = set_elem(&t)
+                .ok_or_else(|| TypeInferenceError(format!("map over non-set {t}")))?;
+            Ok(CvType::set(fn_output_type(f, elem)?))
+        }
+        Query::Insert(v, inner) => {
+            let t = infer_type(inner, env)?;
+            let elem = set_elem(&t)
+                .ok_or_else(|| TypeInferenceError(format!("ins into non-set {t}")))?;
+            let vt = type_of_value(v);
+            if *elem != vt {
+                return err(format!("ins of {vt} into set of {elem}"));
+            }
+            Ok(t)
+        }
+        Query::Singleton(inner) => Ok(CvType::set(infer_type(inner, env)?)),
+        Query::Flatten(inner) => {
+            let t = infer_type(inner, env)?;
+            let outer = set_elem(&t)
+                .ok_or_else(|| TypeInferenceError(format!("μ over non-set {t}")))?;
+            match outer {
+                CvType::Set(_) => Ok(outer.clone()),
+                other => err(format!("μ over set of non-sets {other}")),
+            }
+        }
+        Query::Powerset(inner) => Ok(CvType::set(infer_type(inner, env)?)),
+        Query::EqAdom(inner) => {
+            // the adom is heterogeneous in general; when the input is a
+            // flat relation over one base type we can type it precisely
+            let t = infer_type(inner, env)?;
+            match uniform_base(&t) {
+                Some(b) => Ok(CvType::set(CvType::tuple([
+                    CvType::Base(b),
+                    CvType::Base(b),
+                ]))),
+                None => err(format!("eq_adom over non-uniform type {t}")),
+            }
+        }
+        Query::Adom(inner) => {
+            let t = infer_type(inner, env)?;
+            match uniform_base(&t) {
+                Some(b) => Ok(CvType::set(CvType::Base(b))),
+                None => err(format!("adom over non-uniform type {t}")),
+            }
+        }
+        Query::Even(_) | Query::NestParity(_) => Ok(CvType::bool()),
+        Query::Complement(inner) => infer_type(inner, env),
+        Query::TuplePair(a, b) => Ok(CvType::tuple([
+            infer_type(a, env)?,
+            infer_type(b, env)?,
+        ])),
+        Query::Nest(keys, inner) => {
+            let t = infer_type(inner, env)?;
+            let elems = tuple_elems(&t)
+                .ok_or_else(|| TypeInferenceError(format!("ν over non-relation {t}")))?;
+            for &k in keys {
+                if k >= elems.len() {
+                    return err(format!("ν key ${} out of range", k + 1));
+                }
+            }
+            let mut out: Vec<CvType> = keys.iter().map(|&k| elems[k].clone()).collect();
+            let rest: Vec<CvType> = elems
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !keys.contains(i))
+                .map(|(_, t)| t.clone())
+                .collect();
+            out.push(CvType::set(CvType::Tuple(rest)));
+            Ok(CvType::set(CvType::Tuple(out)))
+        }
+        Query::Unnest(col, inner) => {
+            let t = infer_type(inner, env)?;
+            let elems = tuple_elems(&t)
+                .ok_or_else(|| TypeInferenceError(format!("unnest over non-relation {t}")))?;
+            let nested = elems
+                .get(*col)
+                .ok_or_else(|| TypeInferenceError(format!("unnest column ${} missing", col + 1)))?;
+            let inner_elems: Vec<CvType> = match set_elem(nested) {
+                Some(CvType::Tuple(ts)) => ts.clone(),
+                Some(other) => vec![other.clone()],
+                None => return err(format!("unnest of non-set column {nested}")),
+            };
+            let out: Vec<CvType> = elems
+                .iter()
+                .enumerate()
+                .flat_map(|(i, t)| {
+                    if i == *col {
+                        inner_elems.clone()
+                    } else {
+                        vec![t.clone()]
+                    }
+                })
+                .collect();
+            Ok(CvType::set(CvType::Tuple(out)))
+        }
+    }
+}
+
+/// If every leaf of the type is the same base type, return it.
+fn uniform_base(t: &CvType) -> Option<genpar_value::BaseType> {
+    let leaves = t.leaves();
+    let first = *leaves.first()?;
+    leaves.iter().all(|&b| b == first).then_some(first)
+}
+
+fn fn_output_type(f: &ValueFn, input: &CvType) -> Result<CvType, TypeInferenceError> {
+    match f {
+        ValueFn::Identity => Ok(input.clone()),
+        ValueFn::Proj(i) => match input {
+            CvType::Tuple(ts) => ts
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| TypeInferenceError(format!("π{i} out of range for {input}"))),
+            other => err(format!("π{i} of non-tuple {other}")),
+        },
+        ValueFn::Cols(cols) => match input {
+            CvType::Tuple(ts) => {
+                let picked: Result<Vec<CvType>, _> = cols
+                    .iter()
+                    .map(|&c| {
+                        ts.get(c).cloned().ok_or_else(|| {
+                            TypeInferenceError(format!("column {c} out of range"))
+                        })
+                    })
+                    .collect();
+                Ok(CvType::Tuple(picked?))
+            }
+            other => err(format!("cols of non-tuple {other}")),
+        },
+        ValueFn::Const(v) => Ok(type_of_value(v)),
+        ValueFn::Compose(a, b) => {
+            let mid = fn_output_type(a, input)?;
+            fn_output_type(b, &mid)
+        }
+        ValueFn::Pair(a, b) => Ok(CvType::tuple([
+            fn_output_type(a, input)?,
+            fn_output_type(b, input)?,
+        ])),
+        ValueFn::Interp(name) => err(format!(
+            "interpreted function {name} needs a signature to type"
+        )),
+        ValueFn::Custom(_) => err("opaque function is untypeable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use genpar_value::BaseType;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.insert(
+            "R".into(),
+            CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2),
+        );
+        e.insert(
+            "S".into(),
+            CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2),
+        );
+        e
+    }
+
+    fn d0() -> CvType {
+        CvType::domain(0)
+    }
+
+    #[test]
+    fn relations_and_projections() {
+        assert_eq!(infer_type(&Query::rel("R"), &env()).unwrap(), env()["R"]);
+        assert_eq!(
+            infer_type(&Query::rel("R").project([0]), &env()).unwrap(),
+            CvType::set(CvType::tuple([d0()]))
+        );
+        assert!(infer_type(&Query::rel("R").project([5]), &env()).is_err());
+        assert!(infer_type(&Query::rel("Z"), &env()).is_err());
+    }
+
+    #[test]
+    fn products_concatenate_and_setops_match() {
+        let t = infer_type(&Query::rel("R").product(Query::rel("S")), &env()).unwrap();
+        assert_eq!(
+            t,
+            CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 4)
+        );
+        assert!(infer_type(&Query::rel("R").union(Query::rel("S")), &env()).is_ok());
+        let bad = Query::rel("R").union(Query::rel("R").project([0]));
+        assert!(infer_type(&bad, &env()).is_err());
+    }
+
+    #[test]
+    fn select_hat_drops_one_column() {
+        let t = infer_type(&Query::rel("R").select_hat(0, 1), &env()).unwrap();
+        assert_eq!(t, CvType::set(CvType::tuple([d0()])));
+        assert!(infer_type(&Query::rel("R").select_hat(0, 9), &env()).is_err());
+    }
+
+    #[test]
+    fn nest_unnest_types() {
+        let t = infer_type(&Query::rel("R").nest([0]), &env()).unwrap();
+        assert_eq!(
+            t,
+            CvType::set(CvType::tuple([
+                d0(),
+                CvType::set(CvType::tuple([d0()]))
+            ]))
+        );
+        let back = infer_type(&Query::rel("R").nest([0]).unnest(1), &env()).unwrap();
+        assert_eq!(back, env()["R"]);
+    }
+
+    #[test]
+    fn map_function_types() {
+        let q = Query::rel("R").map(ValueFn::Proj(0));
+        assert_eq!(
+            infer_type(&q, &env()).unwrap(),
+            CvType::set(d0())
+        );
+        let q2 = Query::rel("R").map(ValueFn::Cols(vec![1, 0, 1]));
+        assert_eq!(
+            infer_type(&q2, &env()).unwrap(),
+            CvType::set(CvType::tuple([d0(), d0(), d0()]))
+        );
+        let opaque = Query::rel("R").map(ValueFn::custom(|v| v.clone()));
+        assert!(infer_type(&opaque, &env()).is_err());
+    }
+
+    #[test]
+    fn scalar_outputs() {
+        assert_eq!(
+            infer_type(&Query::Even(Box::new(Query::rel("R"))), &env()).unwrap(),
+            CvType::bool()
+        );
+        assert_eq!(
+            infer_type(&Query::EqAdom(Box::new(Query::rel("R"))), &env()).unwrap(),
+            CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2)
+        );
+    }
+
+    #[test]
+    fn select_preserves_type() {
+        let q = Query::rel("R").select(Pred::eq_cols(0, 1));
+        assert_eq!(infer_type(&q, &env()).unwrap(), env()["R"]);
+    }
+
+    #[test]
+    fn singleton_flatten_powerset() {
+        let t = infer_type(&Query::Singleton(Box::new(Query::rel("R"))), &env()).unwrap();
+        assert_eq!(t, CvType::set(env()["R"].clone()));
+        let back = infer_type(
+            &Query::Flatten(Box::new(Query::Singleton(Box::new(Query::rel("R"))))),
+            &env(),
+        )
+        .unwrap();
+        assert_eq!(back, env()["R"]);
+        let ps = infer_type(&Query::Powerset(Box::new(Query::rel("R"))), &env()).unwrap();
+        assert_eq!(ps, CvType::set(env()["R"].clone()));
+    }
+
+    #[test]
+    fn literal_typing() {
+        use genpar_value::parse::parse_value;
+        let v = parse_value("{(a, 1)}").unwrap();
+        assert_eq!(
+            type_of_value(&v),
+            CvType::set(CvType::tuple([d0(), CvType::int()]))
+        );
+        // empty set defaults its element type
+        assert_eq!(type_of_value(&Value::empty_set()), CvType::set(d0()));
+    }
+
+    /// Inferred types agree with the evaluator on concrete data.
+    #[test]
+    fn inference_agrees_with_evaluation() {
+        use crate::eval::{eval, Db};
+        use genpar_value::parse::parse_value;
+        let data = parse_value("{(a, b), (b, c)}").unwrap();
+        let db = Db::new().with("R", data.clone()).with("S", data);
+        for q in [
+            Query::rel("R").project([1, 0]),
+            Query::rel("R").nest([1]),
+            Query::rel("R").select_hat(0, 1),
+            Query::rel("R").product(Query::rel("S")),
+            Query::rel("R").map(ValueFn::Proj(0)),
+            Query::Powerset(Box::new(Query::rel("R").project([0]))),
+        ] {
+            let t = infer_type(&q, &env()).unwrap();
+            let v = eval(&q, &db).unwrap();
+            assert!(v.has_type(&t), "{q} : inferred {t} but value {v}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Bench `checker` — dynamic genericity checking cost (Definition 2.9 by
+//! small-scope model checking) vs carrier size, mode, and sampled-vs-
+//! exhaustive quantification over mapping families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genpar_algebra::catalog;
+use genpar_core::check::{check_invariance, AlgebraQuery, CheckConfig};
+use genpar_mapping::{ExtensionMode, MappingClass};
+use genpar_value::{BaseType, CvType, DomainId};
+use std::hint::black_box;
+
+fn rel2() -> CvType {
+    CvType::relation(BaseType::Domain(DomainId(0)), 2)
+}
+
+fn bench_checker_atoms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/vs_atoms");
+    group.sample_size(10);
+    let q = AlgebraQuery::new(catalog::q3());
+    let out = CvType::set(CvType::tuple([CvType::domain(0)]));
+    for n_atoms in [3u32, 4, 6, 8] {
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            let cfg = CheckConfig {
+                mode,
+                n_atoms,
+                families: 10,
+                inputs_per_family: 10,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(mode.to_string(), n_atoms),
+                &n_atoms,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(check_invariance(
+                            &q,
+                            &rel2(),
+                            &out,
+                            &MappingClass::all(),
+                            &cfg,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_checker_exhaustive_vs_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/exhaustive_vs_sampled");
+    group.sample_size(10);
+    let q = AlgebraQuery::new(catalog::q1());
+    for exhaustive in [false, true] {
+        let cfg = CheckConfig {
+            mode: ExtensionMode::Strong,
+            n_atoms: 3,
+            families: 27, // 3^3 = matches exhaustive count
+            inputs_per_family: 8,
+            exhaustive_functions: exhaustive,
+            ..Default::default()
+        };
+        group.bench_function(
+            BenchmarkId::new(if exhaustive { "exhaustive" } else { "sampled" }, 3),
+            |b| {
+                b.iter(|| {
+                    black_box(check_invariance(
+                        &q,
+                        &rel2(),
+                        &rel2(),
+                        &MappingClass::functional(),
+                        &cfg,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counterexample_search(c: &mut Criterion) {
+    // Q4 fails for general mappings — time-to-first-counterexample
+    let mut group = c.benchmark_group("checker/counterexample_search");
+    group.sample_size(10);
+    let q = AlgebraQuery::new(catalog::q4());
+    let cfg = CheckConfig {
+        families: 200,
+        inputs_per_family: 50,
+        ..Default::default()
+    };
+    group.bench_function("q4_refutation", |b| {
+        b.iter(|| {
+            let out = check_invariance(&q, &rel2(), &rel2(), &MappingClass::all(), &cfg);
+            assert!(!out.is_invariant());
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checker_atoms,
+    bench_checker_exhaustive_vs_sampled,
+    bench_counterexample_search
+);
+criterion_main!(benches);

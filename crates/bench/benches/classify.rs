@@ -1,0 +1,68 @@
+//! Bench `classify` — static classifier throughput (Propositions 3.1–3.6
+//! as inference rules) vs query size, compared against the dynamic
+//! checker (the precision/cost trade-off DESIGN.md §6 calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genpar_algebra::{Pred, Query};
+use genpar_core::check::{check_invariance, AlgebraQuery, CheckConfig};
+use genpar_core::infer_requirements;
+use genpar_mapping::MappingClass;
+use genpar_value::{BaseType, CvType, DomainId, Value};
+use std::hint::black_box;
+
+fn deep_query(depth: usize) -> Query {
+    let mut q = Query::rel("R");
+    for i in 0..depth {
+        q = match i % 5 {
+            0 => q.union(Query::rel("S")),
+            1 => q.project(vec![0, 1]),
+            2 => q.select(Pred::eq_const(0, Value::atom(0, 1))),
+            3 => q.intersect(Query::rel("S")),
+            _ => q.select_hat(0, 1).project(vec![0, 0]),
+        };
+    }
+    q
+}
+
+fn bench_classifier_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/infer");
+    for depth in [4usize, 16, 64, 256] {
+        let q = deep_query(depth);
+        group.throughput(Throughput::Elements(q.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(infer_requirements(black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/static_vs_dynamic");
+    group.sample_size(10);
+    let q = deep_query(6);
+    let rel2 = CvType::relation(BaseType::Domain(DomainId(0)), 2);
+    group.bench_function("static", |b| {
+        b.iter(|| black_box(infer_requirements(&q)))
+    });
+    let aq = AlgebraQuery::new(q.clone());
+    let cfg = CheckConfig {
+        families: 10,
+        inputs_per_family: 10,
+        ..Default::default()
+    };
+    group.bench_function("dynamic", |b| {
+        b.iter(|| {
+            black_box(check_invariance(
+                &aq,
+                &rel2,
+                &rel2,
+                &MappingClass::injective(),
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier_throughput, bench_static_vs_dynamic);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Bench `extension` — cost of deciding `H^x(v₁, v₂)` (Definitions
+//! 2.3–2.5): rel vs strong, flat vs nested, plus the materialized-
+//! extension ablation (DESIGN.md §6): explicitly enumerating the extended
+//! mapping vs the structural decision procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genpar_bench::{nest, random_family, random_function, random_rel2};
+use genpar_mapping::extend::{postimages, relates, sample_postimage, ExtBudget, ExtensionMode};
+use genpar_value::{BaseType, CvType, DomainId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rel2() -> CvType {
+    CvType::relation(BaseType::Domain(DomainId(0)), 2)
+}
+
+fn bench_relates_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension/relates_flat");
+    for size in [8usize, 32, 128, 512] {
+        let fam = random_function(7, 16);
+        let v = random_rel2(1, size, 16);
+        let mut rng = StdRng::seed_from_u64(99);
+        let w = sample_postimage(
+            &mut rng,
+            &fam,
+            &rel2(),
+            ExtensionMode::Rel,
+            &v,
+            ExtBudget::default(),
+        )
+        .expect("total enough");
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.to_string(), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(relates(
+                            black_box(&fam),
+                            &rel2(),
+                            mode,
+                            black_box(&v),
+                            black_box(&w),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_relates_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension/relates_nested");
+    for depth in [0usize, 1, 2, 3] {
+        let fam = random_function(7, 8);
+        let base = random_rel2(2, 16, 8);
+        let v = nest(base, depth);
+        let mut ty = rel2();
+        for _ in 0..depth {
+            ty = CvType::set(ty);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let Some(w) = sample_postimage(
+            &mut rng,
+            &fam,
+            &ty,
+            ExtensionMode::Rel,
+            &v,
+            ExtBudget::default(),
+        ) else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("rel", depth), &depth, |b, _| {
+            b.iter(|| black_box(relates(&fam, &ty, ExtensionMode::Rel, &v, &w)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: materializing all rel-partners of a set (exponential) vs one
+/// structural `relates` decision.
+fn bench_materialize_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension/materialize_ablation");
+    group.sample_size(10);
+    let fam = random_family(11, 6, 0.4);
+    let ty = CvType::set(CvType::domain(0));
+    for size in [3usize, 5, 7] {
+        let v = genpar_value::Value::set((0..size as u32).map(|i| genpar_value::Value::atom(0, i)));
+        let mut rng = StdRng::seed_from_u64(3);
+        let Some(w) = sample_postimage(
+            &mut rng,
+            &fam,
+            &ty,
+            ExtensionMode::Rel,
+            &v,
+            ExtBudget::default(),
+        ) else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("structural", size), &size, |b, _| {
+            b.iter(|| black_box(relates(&fam, &ty, ExtensionMode::Rel, &v, &w)))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", size), &size, |b, _| {
+            b.iter(|| {
+                // enumerate ALL partners, then membership-test
+                let all = postimages(&fam, &ty, ExtensionMode::Rel, &v, ExtBudget::default())
+                    .unwrap_or_default();
+                black_box(all.contains(&w))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: deciding `strong` via element-preimage enumeration (the
+/// shipping `relates`) vs computing the unique strong partner and
+/// comparing (`sample_postimage`) — DESIGN.md §6's second ablation.
+fn bench_strong_strategy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension/strong_strategy");
+    for size in [16usize, 64, 256] {
+        let fam = random_function(13, 16);
+        // random relations are rarely strong-closed; close them first
+        let raw = random_rel2(4, size, 16);
+        let Some((v, w)) = genpar_core::check::strong_close(
+            &fam,
+            &rel2(),
+            &raw,
+            ExtBudget::default(),
+        ) else {
+            continue;
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = &mut rng;
+        group.bench_with_input(BenchmarkId::new("maximality_enum", size), &size, |b, _| {
+            b.iter(|| black_box(relates(&fam, &rel2(), ExtensionMode::Strong, &v, &w)))
+        });
+        group.bench_with_input(BenchmarkId::new("partner_compare", size), &size, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(7);
+                let p = sample_postimage(
+                    &mut r,
+                    &fam,
+                    &rel2(),
+                    ExtensionMode::Strong,
+                    &v,
+                    ExtBudget::default(),
+                );
+                black_box(p.as_ref() == Some(&w))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_relates_flat,
+    bench_relates_nested,
+    bench_materialize_ablation,
+    bench_strong_strategy_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Bench `lambda_rel` — System F normalization cost and the price of
+//! deciding the logical relation (Definitions 4.2–4.3) over the finite
+//! semantics, vs carrier size. Quantifies the "parametricity modeling is
+//! awkward" cost the reproduction plan anticipated: the ∀-quantification
+//! is exponential in the carrier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genpar_lambda::eval::eval_closed;
+use genpar_lambda::stdlib;
+use genpar_lambda::term::Term;
+use genpar_lambda::ty::Ty;
+use genpar_lambda::tyck::type_of;
+use genpar_parametricity::free_theorems::parametric;
+use genpar_parametricity::relation::RelConfig;
+use std::hint::black_box;
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda/normalize");
+    for n in [8usize, 64, 256] {
+        // append two n-element lists
+        let xs = Term::list(Ty::int(), (0..n as i64).map(Term::Int));
+        let t = Term::app(
+            Term::tyapp(stdlib::append(), Ty::int()),
+            Term::Tuple(vec![xs.clone(), xs]),
+        );
+        group.bench_with_input(BenchmarkId::new("append", n), &n, |b, _| {
+            b.iter(|| black_box(eval_closed(black_box(&t)).unwrap()))
+        });
+    }
+    for n in [8usize, 64, 256] {
+        let xs = Term::list(Ty::int(), (0..n as i64).map(Term::Int));
+        let t = Term::app(Term::tyapp(stdlib::reverse(), Ty::int()), xs);
+        group.bench_with_input(BenchmarkId::new("reverse", n), &n, |b, _| {
+            b.iter(|| black_box(eval_closed(black_box(&t)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_typechecking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda/typecheck");
+    for (name, t, _) in stdlib::expected_types() {
+        group.bench_function(name, |b| b.iter(|| black_box(type_of(black_box(&t)).unwrap())));
+    }
+    group.finish();
+}
+
+fn bench_parametricity_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda/parametricity");
+    group.sample_size(10);
+    for carrier in [1usize, 2, 3] {
+        let cfg = RelConfig {
+            carrier,
+            max_list: 2,
+            max_dom: 65536,
+            ..Default::default()
+        };
+        // append's input domain is (⟨X⟩×⟨X⟩)² pairs — quadratic in the
+        // carrier's list space; cap it at carrier 2
+        if carrier <= 2 {
+            group.bench_with_input(BenchmarkId::new("append", carrier), &carrier, |b, _| {
+                b.iter(|| black_box(parametric(&stdlib::append(), cfg).unwrap()))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("count", carrier), &carrier, |b, _| {
+            b.iter(|| black_box(parametric(&stdlib::count(), cfg).unwrap()))
+        });
+    }
+    // filter has a higher-order argument — the expensive shape
+    let cfg = RelConfig {
+        carrier: 2,
+        max_list: 2,
+        ..Default::default()
+    };
+    group.bench_function("filter/carrier-2", |b| {
+        b.iter(|| black_box(parametric(&stdlib::filter(), cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalization,
+    bench_typechecking,
+    bench_parametricity_decision
+);
+criterion_main!(benches);

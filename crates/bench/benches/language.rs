@@ -1,0 +1,89 @@
+//! Bench `language` — the query-language surface: calculus evaluation vs
+//! its algebra translation (the cost of active-domain enumeration),
+//! transitive-closure scaling, and parser throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genpar_algebra::calculus::{to_algebra, Formula};
+use genpar_algebra::eval::{eval, Db};
+use genpar_algebra::fixpoint::transitive_closure;
+use genpar_algebra::parse::parse_query;
+use genpar_bench::random_rel2;
+use genpar_value::Value;
+use std::hint::black_box;
+
+fn db_with(n_tuples: usize, n_atoms: u32) -> Db {
+    Db::new()
+        .with("R2", random_rel2(11, n_tuples, n_atoms))
+        .with("R1", {
+            let r = random_rel2(12, n_tuples, n_atoms);
+            // unary projection of a binary relation
+            Value::set(
+                r.as_set()
+                    .unwrap()
+                    .iter()
+                    .map(|t| Value::tuple([t.as_tuple().unwrap()[0].clone()])),
+            )
+        })
+}
+
+/// ∃x1. R2(x0, x1) ∧-free fragment query of width 2.
+fn formula() -> Formula {
+    Formula::exists(1, Formula::atom("R2", [0, 1]))
+        .or(Formula::atom("R1", [0]))
+}
+
+fn bench_calculus_vs_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("language/calculus_vs_algebra");
+    group.sample_size(10);
+    let f = formula();
+    let (q, _) = to_algebra(&f).expect("fragment formula translates");
+    for atoms in [6u32, 12, 24] {
+        let db = db_with(40, atoms);
+        group.bench_with_input(BenchmarkId::new("calculus", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(f.eval(&db).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("algebra", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(eval(&q, &db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("language/transitive_closure");
+    group.sample_size(10);
+    for (edges, atoms) in [(20usize, 10u32), (60, 20), (150, 40)] {
+        let r = random_rel2(21, edges, atoms);
+        group.throughput(Throughput::Elements(r.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| black_box(transitive_closure(black_box(&r)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("language/parse_query");
+    let shallow = "pi[$1](union(R, S))";
+    let mut deep = String::from("R");
+    for _ in 0..40 {
+        deep = format!("pi[$1,$2](select[$1=$2](union({deep}, S)))");
+    }
+    group.throughput(Throughput::Bytes(shallow.len() as u64));
+    group.bench_function("shallow", |b| {
+        b.iter(|| black_box(parse_query(black_box(shallow)).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(deep.len() as u64));
+    group.bench_function("deep", |b| {
+        b.iter(|| black_box(parse_query(black_box(&deep)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calculus_vs_algebra,
+    bench_transitive_closure,
+    bench_query_parser
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Bench `transfer` — Section 4.2 machinery: cost of the constructive
+//! Lemma 4.6 lift (sets → related lists) and `toset` descent vs set size,
+//! and type-classification throughput (Definitions 4.8/4.10/4.12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genpar_bench::random_function;
+use genpar_mapping::extend::{sample_postimage, ExtBudget, ExtensionMode};
+use genpar_parametricity::transfer::{self, LsTy};
+use genpar_value::{CvType, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lemma_4_6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/lemma_4_6_lift");
+    for size in [4u32, 16, 64] {
+        let fam = random_function(3, size * 2);
+        let elem = CvType::domain(0);
+        let s = Value::set((0..size).map(|i| Value::atom(0, i)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s2 = sample_postimage(
+            &mut rng,
+            &fam,
+            &CvType::set(elem.clone()),
+            ExtensionMode::Rel,
+            &s,
+            ExtBudget::default(),
+        )
+        .expect("function is total on carrier");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                black_box(transfer::lemma_4_6_backward(&fam, &elem, &s, &s2).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_toset_deep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/toset_deep");
+    for size in [16usize, 128, 1024] {
+        let inner: Vec<Value> = (0..size as u32)
+            .map(|i| Value::list([Value::atom(0, i % 8), Value::atom(0, i % 5)]))
+            .collect();
+        let v = Value::List(inner);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(transfer::toset_deep(black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_type_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/classify_types");
+    // deep nesting of arrows/lists to stress the classifiers
+    fn deep(n: usize) -> LsTy {
+        let mut t = LsTy::var(0);
+        for i in 0..n {
+            t = if i % 2 == 0 {
+                LsTy::arrow(LsTy::arrow(LsTy::var(0), LsTy::bool()), t)
+            } else {
+                LsTy::list(t)
+            };
+        }
+        t
+    }
+    for n in [8usize, 64, 512] {
+        let t = deep(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(t.classify()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma_4_6, bench_toset_deep, bench_type_classification);
+criterion_main!(benches);

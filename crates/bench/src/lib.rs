@@ -1,0 +1,58 @@
+//! Shared fixtures for the genpar benchmark harness.
+
+use genpar_mapping::MappingFamily;
+use genpar_value::random::random_relation;
+use genpar_value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random atom mapping family on `n` atoms with the given pair density.
+pub fn random_family(seed: u64, n: u32, density: f64) -> MappingFamily {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::new();
+    for x in 0..n {
+        for y in 0..n {
+            if rng.gen_bool(density) {
+                pairs.push((x, y));
+            }
+        }
+    }
+    MappingFamily::atoms(&pairs)
+}
+
+/// A random functional (homomorphism) family on `n` atoms.
+pub fn random_function(seed: u64, n: u32) -> MappingFamily {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(u32, u32)> = (0..n).map(|x| (x, rng.gen_range(0..n))).collect();
+    MappingFamily::atoms(&pairs)
+}
+
+/// A random binary relation of about `size` tuples over `n_atoms` atoms.
+pub fn random_rel2(seed: u64, size: usize, n_atoms: u32) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_relation(&mut rng, 2, size, n_atoms)
+}
+
+/// Nest a relation `depth` levels deep: `{{…{R}…}}`.
+pub fn nest(v: Value, depth: usize) -> Value {
+    (0..depth).fold(v, |acc, _| Value::set([acc]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(random_family(1, 4, 0.5), random_family(1, 4, 0.5));
+        assert_eq!(random_rel2(2, 10, 5), random_rel2(2, 10, 5));
+        let f = random_function(3, 4);
+        assert!(f.is_functional());
+    }
+
+    #[test]
+    fn nest_adds_depth() {
+        let v = nest(Value::empty_set(), 3);
+        assert_eq!(v.set_nesting_depth(), 4);
+    }
+}

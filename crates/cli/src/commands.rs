@@ -1,0 +1,342 @@
+//! Command implementations. Each returns the text to print, so the
+//! commands are directly testable.
+
+use crate::{dbfile, CliError, Command, USAGE};
+use genpar_algebra::parse::parse_query;
+use genpar_algebra::Query;
+use genpar_core::check::{check_invariance, AlgebraQuery, CheckConfig};
+use genpar_core::hierarchy::equality_usage;
+use genpar_core::infer_requirements;
+use genpar_core::probe::probe_tightest;
+use genpar_engine::{Catalog, Schema, Table};
+use genpar_mapping::{ExtensionMode, MappingClass};
+use genpar_optimizer::{optimize_costed, Constraints, RuleSet};
+use genpar_value::{BaseType, CvType, DomainId};
+use std::fmt::Write as _;
+
+/// Execute a parsed command.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Classify { query } => classify(query),
+        Command::Check { query, mode, class } => check(query, mode, class),
+        Command::Probe { query, mode, arity } => probe(query, mode, *arity),
+        Command::Run { query, db } => run(query, db),
+        Command::Optimize { query, db, union_key } => {
+            optimize_cmd(query, db.as_deref(), union_key.as_deref())
+        }
+        Command::Audit => audit(),
+    }
+}
+
+/// Classify the built-in catalog of paper queries.
+fn audit() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:<26} {:<46} strong-mode class",
+        "query", "equality use", "rel-mode class"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(140));
+    for (name, q) in genpar_algebra::catalog::all_named() {
+        let inf = infer_requirements(&q);
+        let _ = writeln!(
+            out,
+            "{:<22} {:<26} {:<46} {}",
+            name,
+            equality_usage(&q).to_string(),
+            inf.rel.to_string(),
+            inf.strong
+        );
+    }
+    Ok(out)
+}
+
+fn parse_q(query: &str) -> Result<Query, CliError> {
+    parse_query(query).map_err(|e| CliError(e.to_string()))
+}
+
+fn parse_mode(mode: &str) -> Result<ExtensionMode, CliError> {
+    match mode {
+        "rel" => Ok(ExtensionMode::Rel),
+        "strong" => Ok(ExtensionMode::Strong),
+        other => Err(CliError(format!("unknown mode '{other}' (rel|strong)"))),
+    }
+}
+
+fn parse_class(class: &str) -> Result<MappingClass, CliError> {
+    match class {
+        "all" => Ok(MappingClass::all()),
+        "total-surjective" => Ok(MappingClass::total_surjective()),
+        "functional" => Ok(MappingClass::functional()),
+        "injective" => Ok(MappingClass::injective()),
+        "bijective" => Ok(MappingClass::bijective()),
+        other => Err(CliError(format!(
+            "unknown class '{other}' (all|total-surjective|functional|injective|bijective)"
+        ))),
+    }
+}
+
+fn rel_ty(arity: usize) -> CvType {
+    CvType::relation(BaseType::Domain(DomainId(0)), arity)
+}
+
+/// Infer the query's output type assuming every referenced relation is a
+/// binary relation of `arity` atoms (falls back to the input type when
+/// inference fails, e.g. on opaque map functions).
+fn output_type_of(q: &Query, arity: usize) -> CvType {
+    let mut env = genpar_algebra::types::TypeEnv::new();
+    for name in q.rel_names() {
+        env.insert(name, rel_ty(arity));
+    }
+    genpar_algebra::types::infer_type(q, &env).unwrap_or_else(|_| rel_ty(arity))
+}
+
+fn classify(query: &str) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let inf = infer_requirements(&q);
+    let mut out = String::new();
+    let _ = writeln!(out, "query:          {q}");
+    let _ = writeln!(out, "equality usage: {}", equality_usage(&q));
+    let _ = writeln!(out, "rel mode:       {}", inf.rel);
+    let _ = writeln!(out, "strong mode:    {}", inf.strong);
+    let _ = writeln!(out, "\nderivation:");
+    for line in &inf.trace {
+        let _ = writeln!(out, "  • {line}");
+    }
+    Ok(out)
+}
+
+fn check(query: &str, mode: &str, class: &str) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let mode = parse_mode(mode)?;
+    let mc = parse_class(class)?;
+    let out_ty = output_type_of(&q, 2);
+    let aq = AlgebraQuery::new(q);
+    let cfg = CheckConfig {
+        mode,
+        ..Default::default()
+    };
+    let outcome = check_invariance(&aq, &rel_ty(2), &out_ty, &mc, &cfg);
+    Ok(match outcome {
+        genpar_core::check::CheckOutcome::Invariant { families, pairs, skipped } => format!(
+            "INVARIANT: no violation across {families} families / {pairs} related input pairs ({skipped} skipped)\n"
+        ),
+        genpar_core::check::CheckOutcome::Counterexample(cx) => {
+            format!("REFUTED:\n  {cx}\n")
+        }
+    })
+}
+
+fn probe(query: &str, mode: &str, arity: usize) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let mode = parse_mode(mode)?;
+    let out_ty = output_type_of(&q, arity);
+    let aq = AlgebraQuery::new(q);
+    let cfg = CheckConfig {
+        mode,
+        families: 40,
+        inputs_per_family: 30,
+        ..Default::default()
+    };
+    let report = probe_tightest(&aq, &rel_ty(arity), &out_ty, &cfg);
+    let mut out = report.to_string();
+    match report.tightest() {
+        Some(rung) => {
+            let _ = writeln!(out, "tightest class found: generic w.r.t. {rung} mappings");
+        }
+        None => {
+            let _ = writeln!(out, "no rung of the ladder holds — the query is not even classically generic at this shape");
+        }
+    }
+    Ok(out)
+}
+
+fn run(query: &str, db_path: &str) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let db = dbfile::load_db(db_path)?;
+    let v = genpar_algebra::eval::eval(&q, &db).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!("{v}\n"))
+}
+
+fn optimize_cmd(
+    query: &str,
+    db_path: Option<&str>,
+    union_key: Option<&str>,
+) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    // catalog from db file (for cardinalities) or a nominal default
+    let catalog = match db_path {
+        Some(p) => {
+            let db = dbfile::load_db(p)?;
+            let mut cat = Catalog::new();
+            for (name, v) in db.relations() {
+                let arity = v
+                    .as_set()
+                    .and_then(|s| s.iter().next())
+                    .and_then(|t| t.as_tuple())
+                    .map(|t| t.len())
+                    .unwrap_or(2);
+                cat.add(Table::from_value(
+                    name.clone(),
+                    Schema::uniform(CvType::domain(0), arity),
+                    &normalize_rel(v, arity),
+                ));
+            }
+            cat
+        }
+        None => {
+            // nominal 1000-row binary tables for every referenced relation
+            let mut cat = Catalog::new();
+            for name in q.rel_names() {
+                let mut t = Table::new(name, Schema::uniform(CvType::int(), 2));
+                for i in 0..1000 {
+                    t.insert(vec![
+                        genpar_value::Value::Int(i),
+                        genpar_value::Value::Int(i % 37),
+                    ]);
+                }
+                cat.add(t);
+            }
+            cat
+        }
+    };
+    let mut constraints = Constraints::none();
+    if let Some(spec) = union_key {
+        // "R,S:$1"
+        let (tables, col) = spec
+            .split_once(':')
+            .ok_or_else(|| CliError("--union-key wants R,S:$N".into()))?;
+        let col = col
+            .strip_prefix('$')
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError("--union-key wants a 1-based $N column".into()))?;
+        constraints = constraints.with_union_key(
+            tables.split(',').map(|s| s.trim().to_string()),
+            [col - 1],
+        );
+    }
+    let rules = RuleSet::with_constraints(constraints);
+    let (chosen, trace, base_est, new_est) = optimize_costed(&q, &rules, &catalog);
+    let mut out = String::new();
+    let _ = writeln!(out, "original:  {q}");
+    let _ = writeln!(out, "optimized: {chosen}");
+    if trace.steps.is_empty() {
+        let _ = writeln!(out, "(no profitable rewrite)");
+    } else {
+        let _ = write!(out, "{trace}");
+    }
+    let _ = writeln!(
+        out,
+        "estimated cost: {:.0} → {:.0} cells",
+        base_est.cost, new_est.cost
+    );
+    Ok(out)
+}
+
+/// Coerce a relation value to uniform-arity tuples (pad/skip oddballs) so
+/// it can be loaded into a schema'd table.
+fn normalize_rel(v: &genpar_value::Value, arity: usize) -> genpar_value::Value {
+    match v.as_set() {
+        Some(s) => genpar_value::Value::set(
+            s.iter()
+                .filter(|t| t.as_tuple().is_some_and(|tt| tt.len() == arity))
+                .cloned(),
+        ),
+        None => genpar_value::Value::empty_set(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_reports_both_modes() {
+        let out = classify("hat[$1=$2](R)").unwrap();
+        assert!(out.contains("rel mode"), "{out}");
+        assert!(out.contains("fully generic"), "{out}");
+        assert!(out.contains("injective"), "{out}");
+        assert!(out.contains('•'), "{out}");
+    }
+
+    #[test]
+    fn check_refutes_q4_and_verifies_q3() {
+        let out = check("select[$1=$2](R)", "rel", "all").unwrap();
+        assert!(out.starts_with("REFUTED"), "{out}");
+        let out = check("pi[$1,$2](R)", "rel", "all").unwrap();
+        assert!(out.starts_with("INVARIANT"), "{out}");
+        let out = check("select[$1=$2](R)", "rel", "injective").unwrap();
+        assert!(out.starts_with("INVARIANT"), "{out}");
+        // type inference lets non-arity-preserving queries check cleanly:
+        // π$1 has a 1-column output and is invariant for all mappings
+        let out = check("pi[$1](R)", "rel", "all").unwrap();
+        assert!(out.starts_with("INVARIANT"), "{out}");
+        // even returns bool — also typed correctly now
+        let out = check("even(R)", "rel", "injective").unwrap();
+        assert!(out.starts_with("INVARIANT"), "{out}");
+        let out = check("even(R)", "rel", "all").unwrap();
+        assert!(out.starts_with("REFUTED"), "{out}");
+    }
+
+    #[test]
+    fn probe_finds_q4_rung() {
+        let out = probe("select[$1=$2](R)", "rel", 2).unwrap();
+        assert!(out.contains("tightest class found"), "{out}");
+        assert!(out.contains("injective"), "{out}");
+    }
+
+    #[test]
+    fn run_evaluates_against_db_file() {
+        let dir = std::env::temp_dir().join("genpar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ex22.gdb");
+        std::fs::write(&path, "R = {(e, f), (f, g)}\n").unwrap();
+        let out = run(
+            "pi[$1,$4](join[$2=$1](R, R))",
+            path.to_str().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.trim(), "{(e, g)}");
+    }
+
+    #[test]
+    fn optimize_traces_rewrites() {
+        let out = optimize_cmd("pi[$1](union(R, S))", None, None).unwrap();
+        assert!(out.contains("ProjectThroughUnion"), "{out}");
+        assert!(out.contains("estimated cost"), "{out}");
+        // difference push only with the key flag
+        let out = optimize_cmd("pi[$1](diff(R, S))", None, None).unwrap();
+        assert!(out.contains("no profitable rewrite"), "{out}");
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(classify("pi[$0](R)").is_err());
+        assert!(check("R", "sideways", "all").is_err());
+        assert!(check("R", "rel", "weird").is_err());
+        assert!(run("R", "/nonexistent/path.gdb").is_err());
+        assert!(optimize_cmd("diff(R,S)", None, Some("R,S")).is_err());
+        assert!(optimize_cmd("diff(R,S)", None, Some("R,S:$0")).is_err());
+    }
+
+    #[test]
+    fn audit_prints_the_catalog() {
+        let out = audit().unwrap();
+        assert!(out.contains("Q4"), "{out}");
+        assert!(out.contains("eq_adom"), "{out}");
+        assert!(out.contains("fully generic"), "{out}");
+    }
+
+    #[test]
+    fn execute_dispatches() {
+        let out = execute(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = execute(&Command::Classify {
+            query: "R".into(),
+        })
+        .unwrap();
+        assert!(out.contains("fully generic"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The `.gdb` database file format: `name = <value literal>` per line.
+
+use crate::CliError;
+use genpar_algebra::Db;
+use genpar_value::parse::parse_value;
+
+/// Parse a database file's contents.
+pub fn parse_db(contents: &str) -> Result<Db, CliError> {
+    let mut db = Db::with_standard_int();
+    for (lineno, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(CliError(format!(
+                "db file line {}: expected `name = value`, got {raw:?}",
+                lineno + 1
+            )));
+        };
+        let name = name.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(CliError(format!(
+                "db file line {}: bad relation name {name:?}",
+                lineno + 1
+            )));
+        }
+        let v = parse_value(value.trim()).map_err(|e| {
+            CliError(format!("db file line {}: {e}", lineno + 1))
+        })?;
+        db.set(name, v);
+    }
+    Ok(db)
+}
+
+/// Load a database from a path.
+pub fn load_db(path: &str) -> Result<Db, CliError> {
+    let contents = std::fs::read_to_string(path)?;
+    parse_db(&contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::Value;
+
+    #[test]
+    fn parses_relations_and_comments() {
+        let db = parse_db(
+            "# Example 2.2\nR = {(e, f), (f, g)}\n\nS = {(a)}\ncounts = {1, 2, 3}\n",
+        )
+        .unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 2);
+        assert_eq!(db.get("S").unwrap().len(), 1);
+        assert_eq!(db.get("counts").unwrap(), &Value::set([
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3)
+        ]));
+        assert!(db.get("missing").is_none());
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        assert!(parse_db("just words").is_err());
+        assert!(parse_db("R = {oops").is_err());
+        assert!(parse_db("bad name! = {}").is_err());
+        let err = match parse_db("R = {}\nS = {1,\n") {
+            Err(e) => e,
+            Ok(_) => panic!("expected a parse error"),
+        };
+        assert!(err.0.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_db() {
+        let db = parse_db("").unwrap();
+        assert_eq!(db.relations().count(), 0);
+    }
+}

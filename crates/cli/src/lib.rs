@@ -1,0 +1,242 @@
+#![warn(missing_docs)]
+//! # genpar-cli — command-line access to the genericity toolkit
+//!
+//! The library half of the `genpar` binary: command parsing, the database
+//! file format, and the command implementations (testable without a
+//! process boundary).
+//!
+//! ```text
+//! genpar classify '<query>'                    static classification + trace
+//! genpar check    '<query>' [--mode M] [--class C]   dynamic invariance check
+//! genpar probe    '<query>' [--mode M]         tightest-class ladder
+//! genpar run      '<query>' --db FILE          evaluate against a database
+//! genpar optimize '<query>' [--db FILE] [--union-key R,S:$1]
+//! genpar audit                                 classify the paper's query catalog
+//! ```
+//!
+//! Database files bind relation names to complex-value literals:
+//!
+//! ```text
+//! # Example 2.2
+//! R = {(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}
+//! S = {(a, b)}
+//! ```
+
+pub mod commands;
+pub mod dbfile;
+
+use std::fmt;
+
+/// A CLI-level error (bad usage, parse failure, IO).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "genpar — genericity & parametricity toolkit (PODS'96 reproduction)
+
+USAGE:
+  genpar classify '<query>'
+  genpar check    '<query>' [--mode rel|strong] [--class all|total-surjective|functional|injective|bijective]
+  genpar probe    '<query>' [--mode rel|strong] [--arity N]
+  genpar run      '<query>' --db FILE
+  genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
+  genpar audit
+
+QUERY SYNTAX (columns are 1-based):
+  R | empty | lit[{(a,b)}]
+  pi[$1,$2](q)        select[$1=$2](q)      select[$1=7](q)
+  select[even($1)](q) hat[$1=$2](q)         map[id|$N|cols($..)|const(v)|name](q)
+  union(q,q) intersect(q,q) diff(q,q) product(q,q) join[$1=$1](q,q)
+  nest[$1](q) unnest[$2](q)
+  insert[(v)](q) singleton(q) flatten(q) powerset(q)
+  eqadom(q) adom(q) even(q) np(q) complement(q)
+
+DB FILE: lines of `name = <value literal>`; `#` comments.";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `classify <query>`
+    Classify {
+        /// The query text.
+        query: String,
+    },
+    /// `check <query> ...`
+    Check {
+        /// The query text.
+        query: String,
+        /// `rel` or `strong`.
+        mode: String,
+        /// Mapping-class name.
+        class: String,
+    },
+    /// `probe <query> ...`
+    Probe {
+        /// The query text.
+        query: String,
+        /// `rel` or `strong`.
+        mode: String,
+        /// Assumed arity of the input relations.
+        arity: usize,
+    },
+    /// `run <query> --db FILE`
+    Run {
+        /// The query text.
+        query: String,
+        /// Path to a `.gdb` database file.
+        db: String,
+    },
+    /// `optimize <query> ...`
+    Optimize {
+        /// The query text.
+        query: String,
+        /// Optional `.gdb` file for cardinalities.
+        db: Option<String>,
+        /// Optional `R,S:$N` union-key assertion.
+        union_key: Option<String>,
+    },
+    /// `audit` — classify the built-in paper catalog.
+    Audit,
+    /// `--help` or no args.
+    Help,
+}
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut rest: Vec<&String> = it.collect();
+
+    fn take_flag(rest: &mut Vec<&String>, flag: &str) -> Option<String> {
+        let idx = rest.iter().position(|a| a.as_str() == flag)?;
+        if idx + 1 < rest.len() {
+            let val = rest[idx + 1].clone();
+            rest.drain(idx..=idx + 1);
+            Some(val)
+        } else {
+            rest.remove(idx);
+            None
+        }
+    }
+
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "audit" => Ok(Command::Audit),
+        "classify" => {
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("classify needs a query".into()))?
+                .to_string();
+            Ok(Command::Classify { query })
+        }
+        "check" => {
+            let mode = take_flag(&mut rest, "--mode").unwrap_or_else(|| "rel".into());
+            let class = take_flag(&mut rest, "--class").unwrap_or_else(|| "all".into());
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("check needs a query".into()))?
+                .to_string();
+            Ok(Command::Check { query, mode, class })
+        }
+        "probe" => {
+            let mode = take_flag(&mut rest, "--mode").unwrap_or_else(|| "rel".into());
+            let arity = take_flag(&mut rest, "--arity")
+                .map(|a| a.parse::<usize>().map_err(|e| CliError(format!("bad --arity: {e}"))))
+                .transpose()?
+                .unwrap_or(2);
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("probe needs a query".into()))?
+                .to_string();
+            Ok(Command::Probe { query, mode, arity })
+        }
+        "run" => {
+            let db = take_flag(&mut rest, "--db")
+                .ok_or_else(|| CliError("run needs --db FILE".into()))?;
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("run needs a query".into()))?
+                .to_string();
+            Ok(Command::Run { query, db })
+        }
+        "optimize" => {
+            let db = take_flag(&mut rest, "--db");
+            let union_key = take_flag(&mut rest, "--union-key");
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("optimize needs a query".into()))?
+                .to_string();
+            Ok(Command::Optimize { query, db, union_key })
+        }
+        other => Err(CliError(format!("unknown command '{other}' (try --help)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_args(&argv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["audit"])).unwrap(), Command::Audit);
+        assert_eq!(
+            parse_args(&argv(&["classify", "pi[$1](R)"])).unwrap(),
+            Command::Classify {
+                query: "pi[$1](R)".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["check", "--mode", "strong", "R"])).unwrap(),
+            Command::Check {
+                query: "R".into(),
+                mode: "strong".into(),
+                class: "all".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["run", "--db", "x.gdb", "R"])).unwrap(),
+            Command::Run {
+                query: "R".into(),
+                db: "x.gdb".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["optimize", "--union-key", "R,S:$1", "diff(R,S)"])).unwrap(),
+            Command::Optimize {
+                query: "diff(R,S)".into(),
+                db: None,
+                union_key: Some("R,S:$1".into())
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&argv(&["classify"])).is_err());
+        assert!(parse_args(&argv(&["run", "R"])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["probe", "--arity", "x", "R"])).is_err());
+    }
+}

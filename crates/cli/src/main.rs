@@ -1,0 +1,14 @@
+//! The `genpar` binary. See [`genpar_cli`] for the library half.
+
+use genpar_cli::{commands, parse_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|cmd| commands::execute(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

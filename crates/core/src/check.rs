@@ -1,0 +1,567 @@
+//! The dynamic genericity checker: small-scope model checking of
+//! Definition 2.9.
+//!
+//! A query `Q` is invariant under `H^x` when `H^x(R₁,R₂)` implies
+//! `H^x(Q(R₁),Q(R₂))`. Over finite atom carriers this is decidable per
+//! family, and refutable by concrete counterexamples — exactly how the
+//! paper argues all of its negative results (Example 2.2's `r₃`,
+//! Section 2.3's `Q₄` witness, Lemma 2.12, Propositions 3.4/3.5/4.16).
+//!
+//! The checker generates related input pairs *constructively*: `rel`-mode
+//! partners come from [`genpar_mapping::extend::sample_postimage`];
+//! `strong`-mode partners are built by closing a random value under
+//! preimage∘postimage until the maximality condition of Definition 2.5(2)
+//! holds ([`strong_close`]).
+
+use crate::class::Requirements;
+use genpar_mapping::extend::{
+    postimages, preimages, sample_postimage, try_relates, ExtBudget,
+};
+use genpar_mapping::{ExtensionMode, MappingClass, MappingFamily};
+use genpar_value::enumerate::Universe;
+use genpar_value::random::{random_value, GenParams};
+use genpar_value::{CvType, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query under test: a total-enough function on complex values.
+///
+/// `apply` returns `None` when the input is outside the query's domain
+/// (ill-shaped); such inputs are skipped, mirroring the paper's "for any
+/// two *legal* inputs" in Definition 2.9(i).
+pub trait QueryFn {
+    /// Evaluate the query.
+    fn apply(&self, input: &Value) -> Option<Value>;
+    /// A display name for reports.
+    fn name(&self) -> &str {
+        "<query>"
+    }
+}
+
+impl<F: Fn(&Value) -> Option<Value>> QueryFn for F {
+    fn apply(&self, input: &Value) -> Option<Value> {
+        self(input)
+    }
+}
+
+/// A named query function built from a closure.
+pub struct NamedQuery<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Value) -> Option<Value>> NamedQuery<F> {
+    /// Wrap a closure with a display name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        NamedQuery {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&Value) -> Option<Value>> QueryFn for NamedQuery<F> {
+    fn apply(&self, input: &Value) -> Option<Value> {
+        (self.f)(input)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Checker parameters.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Extension mode `x`.
+    pub mode: ExtensionMode,
+    /// Number of atoms in domain 0 of the finite carrier.
+    pub n_atoms: u32,
+    /// Sampled mapping families per run (ignored when `exhaustive`).
+    pub families: usize,
+    /// Generated related input pairs per family.
+    pub inputs_per_family: usize,
+    /// RNG seed (runs are deterministic).
+    pub seed: u64,
+    /// Enumerate *all* total functions on the atom carrier instead of
+    /// sampling (sound and complete for functional classes on ≤ 4 atoms).
+    pub exhaustive_functions: bool,
+    /// Maximum collection size of generated inputs.
+    pub max_collection: usize,
+    /// Budget for extension-mode decisions.
+    pub budget: ExtBudget,
+    /// Integer window for generated values.
+    pub int_range: (i64, i64),
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            mode: ExtensionMode::Rel,
+            n_atoms: 4,
+            families: 40,
+            inputs_per_family: 25,
+            seed: 0xC0FFEE,
+            exhaustive_functions: false,
+            max_collection: 5,
+            budget: ExtBudget::default(),
+            int_range: (0, 9),
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Same configuration with the other extension mode.
+    pub fn with_mode(mut self, mode: ExtensionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// A concrete violation of invariance: related inputs with unrelated
+/// outputs.
+#[derive(Clone)]
+pub struct Counterexample {
+    /// The mapping family.
+    pub family: MappingFamily,
+    /// The extension mode.
+    pub mode: ExtensionMode,
+    /// Related input pair.
+    pub input1: Value,
+    /// Related input pair.
+    pub input2: Value,
+    /// The unrelated outputs.
+    pub output1: Value,
+    /// The unrelated outputs.
+    pub output2: Value,
+}
+
+impl fmt::Debug for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Counterexample {{ {} , mode {}: H^x({}, {}) but outputs {} vs {} unrelated }}",
+            self.family, self.mode, self.input1, self.input2, self.output1, self.output2
+        )
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Result of a checking run.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// No violation found: statistics on the evidence gathered.
+    Invariant {
+        /// Families examined.
+        families: usize,
+        /// Related input pairs verified.
+        pairs: usize,
+        /// Pairs skipped (partner construction failed / query undefined).
+        skipped: usize,
+    },
+    /// Invariance refuted.
+    Counterexample(Box<Counterexample>),
+}
+
+impl CheckOutcome {
+    /// True if no counterexample was found.
+    pub fn is_invariant(&self) -> bool {
+        matches!(self, CheckOutcome::Invariant { .. })
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            CheckOutcome::Counterexample(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Check invariance of `query : input_ty → output_ty` w.r.t. the families
+/// of `class` under `cfg`.
+pub fn check_invariance(
+    query: &dyn QueryFn,
+    input_ty: &CvType,
+    output_ty: &CvType,
+    class: &MappingClass,
+    cfg: &CheckConfig,
+) -> CheckOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut families_seen = 0usize;
+    let mut pairs = 0usize;
+    let mut skipped = 0usize;
+
+    let family_list: Vec<MappingFamily> = if cfg.exhaustive_functions {
+        class.enumerate_functions(cfg.n_atoms)
+    } else {
+        (0..cfg.families)
+            .map(|_| class.sample(&mut rng, cfg.n_atoms))
+            .collect()
+    };
+
+    let universe =
+        Universe::atoms_and_ints(cfg.n_atoms, cfg.int_range.1).with_int_range(cfg.int_range.0, cfg.int_range.1);
+    let params = GenParams {
+        max_collection: cfg.max_collection,
+    };
+
+    for family in family_list {
+        families_seen += 1;
+        for _ in 0..cfg.inputs_per_family {
+            let Some((v1, v2)) =
+                generate_related_pair(&mut rng, &family, input_ty, cfg.mode, &universe, params, cfg.budget)
+            else {
+                skipped += 1;
+                continue;
+            };
+            let (Some(o1), Some(o2)) = (query.apply(&v1), query.apply(&v2)) else {
+                skipped += 1;
+                continue;
+            };
+            match try_relates(&family, output_ty, cfg.mode, &o1, &o2, cfg.budget) {
+                Ok(true) => pairs += 1,
+                Ok(false) => {
+                    return CheckOutcome::Counterexample(Box::new(Counterexample {
+                        family,
+                        mode: cfg.mode,
+                        input1: v1,
+                        input2: v2,
+                        output1: o1,
+                        output2: o2,
+                    }))
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+    }
+    CheckOutcome::Invariant {
+        families: families_seen,
+        pairs,
+        skipped,
+    }
+}
+
+/// Check invariance against the class derived from `requirements`
+/// (validating a static classification), in the given mode.
+pub fn check_requirements(
+    query: &dyn QueryFn,
+    input_ty: &CvType,
+    output_ty: &CvType,
+    requirements: &Requirements,
+    cfg: &CheckConfig,
+) -> CheckOutcome {
+    check_invariance(
+        query,
+        input_ty,
+        output_ty,
+        &requirements.to_mapping_class(),
+        cfg,
+    )
+}
+
+/// Construct a related pair `(v₁, v₂)` with `H^x(v₁, v₂)`, retrying with
+/// fresh random values a bounded number of times.
+pub fn generate_related_pair<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    universe: &Universe,
+    params: GenParams,
+    budget: ExtBudget,
+) -> Option<(Value, Value)> {
+    for _ in 0..25 {
+        let v0 = random_value(rng, ty, universe, params)?;
+        match mode {
+            ExtensionMode::Rel => {
+                if let Some(v2) = sample_postimage(rng, family, ty, mode, &v0, budget) {
+                    return Some((v0, v2));
+                }
+            }
+            ExtensionMode::Strong => {
+                if let Some((v1, v2)) = strong_close(family, ty, &v0, budget) {
+                    // sanity: by construction this should hold
+                    if try_relates(family, ty, mode, &v1, &v2, budget) == Ok(true) {
+                        return Some((v1, v2));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Close `v` into a strong-related pair `(v', w)`.
+///
+/// At set nodes the pair is grown to a fixpoint of
+/// `A ← preimages(postimages(A))`, dropping elements with no partner —
+/// the least closed pair above (a subset of) `v` (see the uniqueness
+/// argument in `genpar-mapping::extend::strong_partner`).
+pub fn strong_close(
+    family: &MappingFamily,
+    ty: &CvType,
+    v: &Value,
+    budget: ExtBudget,
+) -> Option<(Value, Value)> {
+    match ty {
+        CvType::Base(_) => {
+            let post = postimages(family, ty, ExtensionMode::Strong, v, budget).ok()?;
+            let w = post.first()?.clone();
+            Some((v.clone(), w))
+        }
+        CvType::Tuple(ts) => {
+            let comps = v.as_tuple()?;
+            if comps.len() != ts.len() {
+                return None;
+            }
+            let mut lefts = Vec::with_capacity(comps.len());
+            let mut rights = Vec::with_capacity(comps.len());
+            for (t, c) in ts.iter().zip(comps) {
+                let (a, b) = strong_close(family, t, c, budget)?;
+                lefts.push(a);
+                rights.push(b);
+            }
+            Some((Value::Tuple(lefts), Value::Tuple(rights)))
+        }
+        CvType::List(t) => {
+            let items = v.as_list()?;
+            let mut lefts = Vec::with_capacity(items.len());
+            let mut rights = Vec::with_capacity(items.len());
+            for c in items {
+                let (a, b) = strong_close(family, t, c, budget)?;
+                lefts.push(a);
+                rights.push(b);
+            }
+            Some((Value::List(lefts), Value::List(rights)))
+        }
+        CvType::Bag(t) => {
+            let items: Vec<&Value> = v
+                .as_bag()?
+                .iter()
+                .flat_map(|(x, n)| std::iter::repeat_n(x, *n))
+                .collect();
+            let mut lefts = Vec::with_capacity(items.len());
+            let mut rights = Vec::with_capacity(items.len());
+            for c in items {
+                let (a, b) = strong_close(family, t, c, budget)?;
+                lefts.push(a);
+                rights.push(b);
+            }
+            Some((Value::bag(lefts), Value::bag(rights)))
+        }
+        CvType::Set(t) => {
+            // close each element first (nested sets become closed pairs)
+            let mut a: BTreeSet<Value> = BTreeSet::new();
+            for e in v.as_set()? {
+                if let Some((ec, _)) = strong_close(family, t, e, budget) {
+                    a.insert(ec);
+                }
+            }
+            // fixpoint of preimage ∘ postimage
+            for _ in 0..64 {
+                let mut b: BTreeSet<Value> = BTreeSet::new();
+                for x in &a {
+                    let post = postimages(family, t, ExtensionMode::Strong, x, budget).ok()?;
+                    b.extend(post);
+                }
+                let mut a2: BTreeSet<Value> = BTreeSet::new();
+                for y in &b {
+                    let pre = preimages(family, t, ExtensionMode::Strong, y, budget).ok()?;
+                    a2.extend(pre);
+                }
+                // drop elements without partners (they can never satisfy rel)
+                a2.retain(|x| {
+                    postimages(family, t, ExtensionMode::Strong, x, budget)
+                        .map(|p| !p.is_empty())
+                        .unwrap_or(false)
+                });
+                if a2 == a {
+                    return Some((Value::Set(a), Value::Set(b)));
+                }
+                a = a2;
+            }
+            None // no fixpoint within bound (shouldn't happen on finite carriers)
+        }
+    }
+}
+
+/// A convenience wrapper turning a single-relation `genpar-algebra` query
+/// into a [`QueryFn`]: the input value is bound to relation `R` in a
+/// database with the standard integer signature.
+pub struct AlgebraQuery {
+    query: genpar_algebra::Query,
+    display: String,
+}
+
+impl AlgebraQuery {
+    /// Wrap an algebra query reading relation `R`.
+    pub fn new(query: genpar_algebra::Query) -> Self {
+        let display = query.to_string();
+        AlgebraQuery { query, display }
+    }
+}
+
+impl QueryFn for AlgebraQuery {
+    fn apply(&self, input: &Value) -> Option<Value> {
+        let db = genpar_algebra::Db::with_standard_int().with("R", input.clone());
+        genpar_algebra::eval::eval(&self.query, &db).ok()
+    }
+    fn name(&self) -> &str {
+        &self.display
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_algebra::catalog;
+    use genpar_mapping::extend::relates;
+    use genpar_value::BaseType;
+
+    fn rel2() -> CvType {
+        CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2)
+    }
+
+    fn cfg(mode: ExtensionMode) -> CheckConfig {
+        CheckConfig {
+            mode,
+            families: 25,
+            inputs_per_family: 15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn q3_projection_is_fully_generic_both_modes() {
+        let q = AlgebraQuery::new(catalog::q3());
+        let out_ty = CvType::set(CvType::tuple([CvType::domain(0)]));
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            let r = check_invariance(&q, &rel2(), &out_ty, &MappingClass::all(), &cfg(mode));
+            assert!(r.is_invariant(), "{mode}: {:?}", r.counterexample());
+        }
+    }
+
+    #[test]
+    fn q2_product_is_fully_generic_rel() {
+        let q = AlgebraQuery::new(catalog::q2());
+        let out_ty = CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 4);
+        let r = check_invariance(&q, &rel2(), &out_ty, &MappingClass::all(), &cfg(ExtensionMode::Rel));
+        assert!(r.is_invariant(), "{:?}", r.counterexample());
+    }
+
+    #[test]
+    fn q4_not_rel_generic_for_all_mappings() {
+        // Section 2.3's witness: σ_{$1=$2} breaks under one-to-many maps.
+        let q = AlgebraQuery::new(catalog::q4());
+        let r = check_invariance(
+            &q,
+            &rel2(),
+            &rel2(),
+            &MappingClass::all(),
+            &cfg(ExtensionMode::Rel),
+        );
+        assert!(!r.is_invariant(), "expected a counterexample for Q4");
+    }
+
+    #[test]
+    fn q4_rel_generic_for_injective_mappings() {
+        let q = AlgebraQuery::new(catalog::q4());
+        let r = check_invariance(
+            &q,
+            &rel2(),
+            &rel2(),
+            &MappingClass::injective(),
+            &cfg(ExtensionMode::Rel),
+        );
+        assert!(r.is_invariant(), "{:?}", r.counterexample());
+    }
+
+    #[test]
+    fn exhaustive_functional_check_q1() {
+        // Q1 is preserved by strong homomorphisms; exhaustively check all
+        // total functions on 3 atoms in strong mode.
+        let q = AlgebraQuery::new(catalog::q1());
+        let mut c = cfg(ExtensionMode::Strong);
+        c.exhaustive_functions = true;
+        c.n_atoms = 3;
+        c.inputs_per_family = 10;
+        let r = check_invariance(
+            &q,
+            &rel2(),
+            &rel2(),
+            &MappingClass::functional(),
+            &c,
+        );
+        assert!(r.is_invariant(), "{:?}", r.counterexample());
+    }
+
+    #[test]
+    fn q1_not_invariant_under_plain_rel_homomorphisms() {
+        // Example 2.2: Q1 is not preserved by mere homomorphisms (r3).
+        let q = AlgebraQuery::new(catalog::q1());
+        let mut c = cfg(ExtensionMode::Rel);
+        c.families = 60;
+        c.inputs_per_family = 40;
+        let r = check_invariance(&q, &rel2(), &rel2(), &MappingClass::functional(), &c);
+        assert!(!r.is_invariant(), "expected Q1 to break under rel homomorphisms");
+    }
+
+    #[test]
+    fn strong_close_reproduces_example_2_2() {
+        // closing r3 under h must grow it to r1's closure
+        let family = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
+        let r3 = Value::atom_relation(&[(4, 9), (8, 9), (5, 6)]);
+        let (closed, partner) =
+            strong_close(&family, &rel2(), &r3, ExtBudget::default()).unwrap();
+        let r1 = Value::atom_relation(&[(4, 5), (8, 5), (4, 9), (8, 9), (5, 6), (9, 6)]);
+        let r2 = Value::atom_relation(&[(0, 1), (1, 2)]);
+        assert_eq!(closed, r1);
+        assert_eq!(partner, r2);
+        assert!(relates(&family, &rel2(), ExtensionMode::Strong, &closed, &partner));
+    }
+
+    #[test]
+    fn named_query_wrapper() {
+        let q = NamedQuery::new("id", |v: &Value| Some(v.clone()));
+        assert_eq!(q.name(), "id");
+        assert_eq!(q.apply(&Value::Int(1)), Some(Value::Int(1)));
+        let out = check_invariance(
+            &q,
+            &CvType::set(CvType::domain(0)),
+            &CvType::set(CvType::domain(0)),
+            &MappingClass::all(),
+            &cfg(ExtensionMode::Rel),
+        );
+        assert!(out.is_invariant());
+    }
+
+    #[test]
+    fn generated_pairs_are_related() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let class = MappingClass::all();
+        let u = Universe::atoms_only(4);
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            for _ in 0..20 {
+                let fam = class.sample(&mut rng, 4);
+                if let Some((a, b)) = generate_related_pair(
+                    &mut rng,
+                    &fam,
+                    &rel2(),
+                    mode,
+                    &u,
+                    GenParams::default(),
+                    ExtBudget::default(),
+                ) {
+                    assert!(relates(&fam, &rel2(), mode, &a, &b), "{mode} {fam}: {a} vs {b}");
+                }
+            }
+        }
+    }
+}

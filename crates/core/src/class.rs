@@ -1,0 +1,350 @@
+//! Genericity classes as requirement sets on mappings.
+//!
+//! Definition 2.9 parameterizes genericity by a class 𝓗 of mapping
+//! families and an extension mode. The classes the paper studies are all
+//! *downward-closed conjunctions of constraints* — all mappings, the
+//! functional ones, the injective ones, those preserving a set of
+//! constants (strictly or not), those preserving given predicates, the
+//! total-and-surjective ones — so a genericity class is represented here
+//! by the conjunction of constraints a query *requires* of a mapping
+//! family. The empty requirement set is full genericity; larger sets are
+//! weaker guarantees (Proposition 2.10).
+
+use genpar_mapping::{ExtensionMode, MappingClass};
+use genpar_value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How a constant must be preserved (Section 2.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Strictness {
+    /// `H(c, c)` holds.
+    Regular,
+    /// Additionally `H(x, y) ⇒ (x = c ⟺ y = c)`.
+    Strict,
+}
+
+impl Strictness {
+    /// The stronger of two strictness demands.
+    pub fn join(self, other: Strictness) -> Strictness {
+        use Strictness::*;
+        match (self, other) {
+            (Regular, Regular) => Regular,
+            _ => Strict,
+        }
+    }
+}
+
+/// A conjunction of constraints on mapping families: the query is generic
+/// w.r.t. every family satisfying all of them.
+///
+/// `Requirements::none()` ⇒ fully generic. The struct forms a join
+/// semilattice (`join` = union of constraints), which is what the closure
+/// rules of Proposition 3.1 compute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Requirements {
+    /// Mappings must be injective *functions* — i.e. preserve equality.
+    /// (The paper's "injective mappings"; the hierarchy step that Q₄
+    /// needs.)
+    pub injective: bool,
+    /// Mappings must be functional (extensions are homomorphisms).
+    pub functional: bool,
+    /// Mappings must be total on the carrier (Section 3.3).
+    pub total: bool,
+    /// Mappings must be surjective on the carrier (Section 3.3).
+    pub surjective: bool,
+    /// Constants that must be preserved, with strictness.
+    pub constants: BTreeMap<Value, Strictness>,
+    /// Interpreted predicates (by name) that must be preserved.
+    pub predicates: BTreeSet<String>,
+    /// Interpreted functions (by name) that must be preserved.
+    pub functions: BTreeSet<String>,
+    /// The classifier could not bound the query (opaque sub-function):
+    /// no genericity guarantee is derived.
+    pub unknown: bool,
+}
+
+impl Requirements {
+    /// No requirements: generic w.r.t. *all* mappings (full genericity).
+    pub fn none() -> Self {
+        Requirements::default()
+    }
+
+    /// Requires equality preservation (injective functional mappings).
+    pub fn equality() -> Self {
+        Requirements {
+            injective: true,
+            functional: true,
+            ..Default::default()
+        }
+    }
+
+    /// Requires totality and surjectivity (Section 3.3).
+    pub fn total_surjective() -> Self {
+        Requirements {
+            total: true,
+            surjective: true,
+            ..Default::default()
+        }
+    }
+
+    /// Requires preservation of one constant.
+    pub fn constant(c: Value, strictness: Strictness) -> Self {
+        let mut r = Requirements::none();
+        r.constants.insert(c, strictness);
+        r
+    }
+
+    /// Requires preservation of an interpreted predicate.
+    pub fn predicate(name: impl Into<String>) -> Self {
+        let mut r = Requirements::none();
+        r.predicates.insert(name.into());
+        r
+    }
+
+    /// Requires preservation of an interpreted function.
+    pub fn function(name: impl Into<String>) -> Self {
+        let mut r = Requirements::none();
+        r.functions.insert(name.into());
+        r
+    }
+
+    /// The unclassifiable element (top of the lattice).
+    pub fn unknown() -> Self {
+        Requirements {
+            unknown: true,
+            ..Default::default()
+        }
+    }
+
+    /// Union of constraints (the closure rules of Proposition 3.1: a
+    /// composite query requires whatever its parts require).
+    pub fn join(mut self, other: Requirements) -> Requirements {
+        self.injective |= other.injective;
+        self.functional |= other.functional;
+        self.total |= other.total;
+        self.surjective |= other.surjective;
+        for (c, s) in other.constants {
+            self.constants
+                .entry(c)
+                .and_modify(|e| *e = e.join(s))
+                .or_insert(s);
+        }
+        self.predicates.extend(other.predicates);
+        self.functions.extend(other.functions);
+        self.unknown |= other.unknown;
+        self
+    }
+
+    /// Is this a *weaker-or-equal* demand than `other`? (I.e. does every
+    /// family admitted by `other`'s class satisfy this one's constraints…
+    /// reversed: `self ⊑ other` means self's constraints ⊆ other's, so
+    /// self admits *more* families and hence certifies a *smaller* set of
+    /// queries — Proposition 2.10's monotonicity.)
+    pub fn subsumes(&self, other: &Requirements) -> bool {
+        if other.unknown {
+            return true; // everything is ≤ unknown
+        }
+        if self.unknown {
+            return false;
+        }
+        let bools = (!self.injective || other.injective)
+            && (!self.functional || other.functional)
+            && (!self.total || other.total)
+            && (!self.surjective || other.surjective);
+        if !bools {
+            return false;
+        }
+        for (c, s) in &self.constants {
+            match other.constants.get(c) {
+                Some(s2) if s2.join(*s) == *s2 => {}
+                _ => return false,
+            }
+        }
+        self.predicates.is_subset(&other.predicates)
+            && self.functions.is_subset(&other.functions)
+    }
+
+    /// Is the query fully generic under these requirements (no
+    /// constraints at all)?
+    pub fn is_fully_generic(&self) -> bool {
+        *self == Requirements::none()
+    }
+
+    /// Convert to the [`MappingClass`] the dynamic checker should sample
+    /// from to *validate* the classification.
+    pub fn to_mapping_class(&self) -> MappingClass {
+        let mut mc = MappingClass {
+            functional: self.functional || self.injective,
+            injective: self.injective,
+            total: self.total,
+            surjective: self.surjective,
+            ..MappingClass::all()
+        };
+        for (c, s) in &self.constants {
+            mc.constants
+                .push((c.clone(), matches!(s, Strictness::Strict)));
+        }
+        mc.predicates = self.predicates.iter().cloned().collect();
+        mc.functions = self.functions.iter().cloned().collect();
+        mc
+    }
+}
+
+impl fmt::Display for Requirements {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unknown {
+            return write!(f, "unclassifiable");
+        }
+        if self.is_fully_generic() {
+            return write!(f, "fully generic (all mappings)");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        if self.injective {
+            parts.push("injective (preserves =)".into());
+        } else if self.functional {
+            parts.push("functional".into());
+        }
+        if self.total {
+            parts.push("total".into());
+        }
+        if self.surjective {
+            parts.push("surjective".into());
+        }
+        for (c, s) in &self.constants {
+            parts.push(match s {
+                Strictness::Regular => format!("preserves {c}"),
+                Strictness::Strict => format!("strictly preserves {c}"),
+            });
+        }
+        for p in &self.predicates {
+            parts.push(format!("preserves pred {p}"));
+        }
+        for g in &self.functions {
+            parts.push(format!("preserves fn {g}"));
+        }
+        write!(f, "generic w.r.t. mappings: {}", parts.join(", "))
+    }
+}
+
+/// A genericity class: an extension mode plus the requirements its
+/// mappings must meet — the `x-Gen_𝓓(𝓗)` of Definition 2.9(ii).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericityClass {
+    /// The extension mode `x`.
+    pub mode: ExtensionMode,
+    /// The constraints defining 𝓗.
+    pub requirements: Requirements,
+}
+
+impl GenericityClass {
+    /// `x`-full genericity.
+    pub fn fully(mode: ExtensionMode) -> Self {
+        GenericityClass {
+            mode,
+            requirements: Requirements::none(),
+        }
+    }
+
+    /// Classical genericity: injective mappings, `rel` mode.
+    pub fn classical() -> Self {
+        GenericityClass {
+            mode: ExtensionMode::Rel,
+            requirements: Requirements::equality(),
+        }
+    }
+
+    /// Containment of *query* classes (Proposition 2.10): same mode, and
+    /// `self`'s mapping class contains `other`'s, i.e. `self`'s
+    /// requirements are a subset. Then every `self`-generic query is
+    /// `other`-generic.
+    pub fn contained_in(&self, other: &GenericityClass) -> bool {
+        self.mode == other.mode && self.requirements.subsumes(&other.requirements)
+    }
+}
+
+impl fmt::Display for GenericityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.mode, self.requirements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_union_of_constraints() {
+        let a = Requirements::equality();
+        let b = Requirements::constant(Value::Int(7), Strictness::Regular);
+        let j = a.clone().join(b.clone());
+        assert!(j.injective);
+        assert_eq!(j.constants[&Value::Int(7)], Strictness::Regular);
+        // join is commutative & idempotent
+        assert_eq!(j, b.clone().join(a.clone()));
+        assert_eq!(j.clone().join(j.clone()), j);
+    }
+
+    #[test]
+    fn strictness_joins_upward() {
+        let a = Requirements::constant(Value::Int(7), Strictness::Regular);
+        let b = Requirements::constant(Value::Int(7), Strictness::Strict);
+        assert_eq!(
+            a.join(b).constants[&Value::Int(7)],
+            Strictness::Strict
+        );
+    }
+
+    #[test]
+    fn subsumes_orders_the_lattice() {
+        let none = Requirements::none();
+        let eq = Requirements::equality();
+        let c7 = Requirements::constant(Value::Int(7), Strictness::Regular);
+        let c7s = Requirements::constant(Value::Int(7), Strictness::Strict);
+        assert!(none.subsumes(&eq));
+        assert!(none.subsumes(&none));
+        assert!(!eq.subsumes(&none));
+        assert!(c7.subsumes(&c7s));
+        assert!(!c7s.subsumes(&c7));
+        assert!(none.subsumes(&Requirements::unknown()));
+        assert!(!Requirements::unknown().subsumes(&none));
+    }
+
+    #[test]
+    fn prop_2_10_monotonicity_in_class_form() {
+        // Smaller requirements ⇒ class of generic queries contained in
+        // every class with larger requirements (same mode).
+        let fully = GenericityClass::fully(ExtensionMode::Rel);
+        let classical = GenericityClass::classical();
+        assert!(fully.contained_in(&classical));
+        assert!(!classical.contained_in(&fully));
+        let strong_fully = GenericityClass::fully(ExtensionMode::Strong);
+        assert!(!fully.contained_in(&strong_fully)); // incomparable modes
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        assert_eq!(
+            Requirements::none().to_string(),
+            "fully generic (all mappings)"
+        );
+        let r = Requirements::equality()
+            .join(Requirements::constant(Value::Int(7), Strictness::Strict));
+        let s = r.to_string();
+        assert!(s.contains("injective"), "{s}");
+        assert!(s.contains("strictly preserves 7"), "{s}");
+        assert_eq!(Requirements::unknown().to_string(), "unclassifiable");
+    }
+
+    #[test]
+    fn to_mapping_class_roundtrip_constraints() {
+        let r = Requirements::equality()
+            .join(Requirements::constant(Value::atom(0, 0), Strictness::Strict))
+            .join(Requirements::predicate("even"));
+        let mc = r.to_mapping_class();
+        assert!(mc.functional && mc.injective);
+        assert_eq!(mc.constants.len(), 1);
+        assert!(mc.constants[0].1); // strict
+        assert_eq!(mc.predicates, vec!["even".to_string()]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The four equality sub-languages of relational algebra (Section 3.2).
+//!
+//! "These results distinguish four sub-languages of relational algebra
+//! (calculus): one that uses no equality whatsoever, one that allows its
+//! use in the query but not in its output, one that allows its use in the
+//! output but not in the query (e.g. `x,x | r(x)`), and one that allows
+//! full usage of equality, and is thus generic only w.r.t. 1-1 mappings."
+
+use genpar_algebra::{Pred, Query, ValueFn};
+use std::fmt;
+
+/// The four-point equality-usage hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EqualityUsage {
+    /// No equality anywhere: the `×, Π, ∪, ∅̂, R` fragment
+    /// (Corollary 3.2) — fully generic in *both* modes.
+    None,
+    /// Equality tested inside the query but never exposed in the output
+    /// (σ̂, ∩, −): strong-fully generic, not rel-fully (Props 3.4/3.6).
+    InQueryOnly,
+    /// Equality exposed in the output but never tested (repeated
+    /// projection columns, `eq_adom`, `x,x | r(x)`): rel-fully generic,
+    /// not strong-fully (Prop 3.5).
+    InOutputOnly,
+    /// Both: generic only w.r.t. 1-1 mappings.
+    Full,
+}
+
+impl EqualityUsage {
+    /// Combine usages of subexpressions.
+    pub fn join(self, other: EqualityUsage) -> EqualityUsage {
+        use EqualityUsage::*;
+        match (self, other) {
+            (None, x) | (x, None) => x,
+            (Full, _) | (_, Full) => Full,
+            (InQueryOnly, InQueryOnly) => InQueryOnly,
+            (InOutputOnly, InOutputOnly) => InOutputOnly,
+            (InQueryOnly, InOutputOnly) | (InOutputOnly, InQueryOnly) => Full,
+        }
+    }
+}
+
+impl fmt::Display for EqualityUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqualityUsage::None => write!(f, "no equality"),
+            EqualityUsage::InQueryOnly => write!(f, "equality in query only"),
+            EqualityUsage::InOutputOnly => write!(f, "equality in output only"),
+            EqualityUsage::Full => write!(f, "full equality"),
+        }
+    }
+}
+
+/// Classify a query's equality usage (syntactic, conservative).
+pub fn equality_usage(q: &Query) -> EqualityUsage {
+    use EqualityUsage::*;
+    match q {
+        Query::Rel(_) | Query::Empty | Query::Lit(_) => None,
+        Query::Project(cols, inner) => {
+            let mut d = cols.clone();
+            d.sort_unstable();
+            d.dedup();
+            let here = if d.len() == cols.len() { None } else { InOutputOnly };
+            here.join(equality_usage(inner))
+        }
+        Query::Select(p, inner) => {
+            let here = if p.uses_equality() { Full } else { None };
+            // σ keeps the tested columns in the output, hence Full, except
+            // when the predicate is equality-free.
+            here.join(equality_usage(inner))
+        }
+        Query::SelectHat(_, _, inner) => InQueryOnly.join(equality_usage(inner)),
+        Query::Intersect(a, b) | Query::Difference(a, b) => InQueryOnly
+            .join(equality_usage(a))
+            .join(equality_usage(b)),
+        Query::Join(on, a, b) => {
+            let here = if on.is_empty() { None } else { Full };
+            here.join(equality_usage(a)).join(equality_usage(b))
+        }
+        Query::Product(a, b) | Query::Union(a, b) | Query::TuplePair(a, b) => {
+            equality_usage(a).join(equality_usage(b))
+        }
+        Query::Map(f, inner) => fn_usage(f).join(equality_usage(inner)),
+        Query::Insert(_, inner)
+        | Query::Singleton(inner)
+        | Query::Flatten(inner)
+        | Query::NestParity(inner) => equality_usage(inner),
+        Query::Powerset(inner) | Query::Adom(inner) => equality_usage(inner),
+        Query::EqAdom(inner) => InOutputOnly.join(equality_usage(inner)),
+        Query::Even(inner) | Query::Complement(inner) => Full.join(equality_usage(inner)),
+        // ν compares key values AND keeps them in the output
+        Query::Nest(_, inner) => Full.join(equality_usage(inner)),
+        Query::Unnest(_, inner) => equality_usage(inner),
+    }
+}
+
+fn fn_usage(f: &ValueFn) -> EqualityUsage {
+    use EqualityUsage::*;
+    match f {
+        ValueFn::Identity | ValueFn::Proj(_) | ValueFn::Const(_) | ValueFn::Interp(_) => None,
+        ValueFn::Cols(cols) => {
+            let mut d = cols.clone();
+            d.sort_unstable();
+            d.dedup();
+            if d.len() == cols.len() {
+                None
+            } else {
+                InOutputOnly
+            }
+        }
+        ValueFn::Compose(a, b) => fn_usage(a).join(fn_usage(b)),
+        ValueFn::Pair(a, b) => InOutputOnly.join(fn_usage(a)).join(fn_usage(b)),
+        ValueFn::Custom(_) => Full,
+    }
+}
+
+/// Does the query lie in the fully generic fragment of Corollary 3.2
+/// (no equality at all)?
+pub fn in_equality_free_fragment(q: &Query) -> bool {
+    equality_usage(q) == EqualityUsage::None && q.mentioned_constants().is_empty()
+}
+
+/// Build a σ on `$i = $j` — convenience used in tests of the hierarchy.
+pub fn sigma_eq(i: usize, j: usize) -> Query {
+    Query::rel("R").select(Pred::eq_cols(i, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_algebra::catalog;
+
+    #[test]
+    fn the_four_levels_are_realized() {
+        assert_eq!(equality_usage(&catalog::q3()), EqualityUsage::None);
+        assert_eq!(equality_usage(&catalog::q4_hat()), EqualityUsage::InQueryOnly);
+        assert_eq!(
+            equality_usage(&Query::rel("R").project([0, 0])),
+            EqualityUsage::InOutputOnly
+        );
+        assert_eq!(equality_usage(&catalog::q4()), EqualityUsage::Full);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        use EqualityUsage::*;
+        assert_eq!(None.join(InQueryOnly), InQueryOnly);
+        assert_eq!(InQueryOnly.join(InOutputOnly), Full);
+        assert_eq!(InOutputOnly.join(InOutputOnly), InOutputOnly);
+        assert_eq!(Full.join(None), Full);
+    }
+
+    #[test]
+    fn eq_adom_is_output_only() {
+        assert_eq!(equality_usage(&catalog::eq_adom()), EqualityUsage::InOutputOnly);
+    }
+
+    #[test]
+    fn difference_is_query_only() {
+        let q = Query::rel("R").difference(Query::rel("S"));
+        assert_eq!(equality_usage(&q), EqualityUsage::InQueryOnly);
+    }
+
+    #[test]
+    fn fragment_membership() {
+        assert!(in_equality_free_fragment(&catalog::q2()));
+        assert!(in_equality_free_fragment(&catalog::q3()));
+        assert!(!in_equality_free_fragment(&catalog::q4()));
+        assert!(!in_equality_free_fragment(&catalog::q5())); // mentions 7
+        assert!(!in_equality_free_fragment(&sigma_eq(0, 1)));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EqualityUsage::None.to_string(), "no equality");
+        assert_eq!(EqualityUsage::Full.to_string(), "full equality");
+    }
+}

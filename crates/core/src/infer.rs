@@ -1,0 +1,449 @@
+//! The static genericity classifier: the closure propositions of
+//! Section 3 as syntax-directed inference rules.
+//!
+//! For every operator of the `genpar-algebra` AST we know, from the paper,
+//! which constraints on mappings it forces — in each extension mode:
+//!
+//! | operator | `rel` requires | `strong` requires | paper |
+//! |---|---|---|---|
+//! | `R`, `∅̂`, π (distinct cols) | — | — | Prop 3.1, Cor 3.2 |
+//! | π with repeated cols | — | = | §3.2 (equality in output) |
+//! | ×, ∪, map(f), composition | join of parts | join of parts | Prop 3.1 |
+//! | σ with `$i=$j` | = | = | §2.3 (Q₄) |
+//! | σ̂ (projecting selection) | = | — | Prop 3.6 |
+//! | ∩, − | = | — | Prop 3.4 / Prop 3.6 |
+//! | ⋈ (equi-join) | = | = | derived: σ over × keeping join cols |
+//! | σ with `$i=c` | strictly preserves c | strictly preserves c | §2.4/§4.3 |
+//! | `ins_c`, literals | preserves constants | strictly preserves | §2.4/§4.3 |
+//! | σ with interpreted p | preserves p | preserves p | §2.5 |
+//! | map with interpreted f | preserves f | preserves f | §2.5 |
+//! | `eq_adom` | — | = | Prop 3.5 |
+//! | `even` | = | = | Lemma 2.12 |
+//! | `np` | — | — | Prop 4.16 |
+//! | complement | = ∧ total ∧ surjective | total ∧ surjective | Props 3.7/3.8 |
+//! | ℘, η, adom | — | = (conservative) | see module docs |
+//!
+//! The derived requirement set is **sound**: the query is x-generic w.r.t.
+//! every mapping family satisfying it (property-tested against the dynamic
+//! checker in `tests/`). It is *tightest derivable by these rules*, not
+//! always tight in the absolute sense — exactly the situation of the
+//! paper's closing remark that the interesting question is "not whether
+//! [a query] is generic but rather what is the tightest genericity class
+//! for it".
+
+use crate::class::{Requirements, Strictness};
+use genpar_algebra::{Pred, Query, ValueFn};
+use genpar_mapping::ExtensionMode;
+
+/// A classification result: per-mode requirement sets plus a human
+/// readable derivation trace.
+#[derive(Debug, Clone)]
+pub struct Inferred {
+    /// Requirements in `rel` mode.
+    pub rel: Requirements,
+    /// Requirements in `strong` mode.
+    pub strong: Requirements,
+    /// One line per AST node explaining its contribution.
+    pub trace: Vec<String>,
+}
+
+impl Inferred {
+    /// The requirements in the given mode.
+    pub fn for_mode(&self, mode: ExtensionMode) -> &Requirements {
+        match mode {
+            ExtensionMode::Rel => &self.rel,
+            ExtensionMode::Strong => &self.strong,
+        }
+    }
+}
+
+/// Infer per-mode genericity requirements for a query.
+pub fn infer_requirements(q: &Query) -> Inferred {
+    let mut trace = Vec::new();
+    let (rel, strong) = go(q, &mut trace);
+    Inferred { rel, strong, trace }
+}
+
+fn both(r: Requirements) -> (Requirements, Requirements) {
+    (r.clone(), r)
+}
+
+fn join2(
+    a: (Requirements, Requirements),
+    b: (Requirements, Requirements),
+) -> (Requirements, Requirements) {
+    (a.0.join(b.0), a.1.join(b.1))
+}
+
+fn go(q: &Query, trace: &mut Vec<String>) -> (Requirements, Requirements) {
+    match q {
+        Query::Rel(n) => {
+            trace.push(format!("{n}: base relation — fully generic (Cor 3.2)"));
+            both(Requirements::none())
+        }
+        Query::Empty => {
+            trace.push("∅̂: fully generic (Prop 3.1)".into());
+            both(Requirements::none())
+        }
+        Query::Lit(v) => {
+            trace.push(format!(
+                "literal {v}: requires preservation of its constants (§2.4), strict under strong"
+            ));
+            let mut rel = Requirements::none();
+            let mut strong = Requirements::none();
+            for c in v.active_domain() {
+                rel = rel.join(Requirements::constant(c.clone(), Strictness::Regular));
+                strong = strong.join(Requirements::constant(c, Strictness::Strict));
+            }
+            (rel, strong)
+        }
+        Query::Project(cols, inner) => {
+            let sub = go(inner, trace);
+            let mut distinct = cols.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() == cols.len() {
+                trace.push("π (distinct columns): fully generic (Prop 3.1)".into());
+                sub
+            } else {
+                trace.push(
+                    "π (repeated columns): emits equality in output — strong needs = (§3.2)"
+                        .into(),
+                );
+                (sub.0, sub.1.join(Requirements::equality()))
+            }
+        }
+        Query::Select(p, inner) => {
+            let sub = go(inner, trace);
+            join2(sub, pred_requirements(p, trace))
+        }
+        Query::SelectHat(_, _, inner) => {
+            let sub = go(inner, trace);
+            trace.push(
+                "σ̂: equality used but projected out — strong-fully generic (Prop 3.6); rel needs = (Prop 3.4/3.5)"
+                    .into(),
+            );
+            join2(sub, (Requirements::equality(), Requirements::none()))
+        }
+        Query::Product(a, b) => {
+            let ra = go(a, trace);
+            let rb = go(b, trace);
+            trace.push("×: closure (Prop 3.1)".into());
+            join2(ra, rb)
+        }
+        Query::Union(a, b) => {
+            let ra = go(a, trace);
+            let rb = go(b, trace);
+            trace.push("∪: closure (Prop 3.1)".into());
+            join2(ra, rb)
+        }
+        Query::Intersect(a, b) | Query::Difference(a, b) => {
+            let ra = go(a, trace);
+            let rb = go(b, trace);
+            trace.push(
+                "∩/−: implicit equality — rel needs = (Prop 3.4); strong-fully generic (Prop 3.6)"
+                    .into(),
+            );
+            join2(
+                join2(ra, rb),
+                (Requirements::equality(), Requirements::none()),
+            )
+        }
+        Query::Join(on, a, b) => {
+            let ra = go(a, trace);
+            let rb = go(b, trace);
+            if on.is_empty() {
+                trace.push("⋈ (no keys) = ×: closure (Prop 3.1)".into());
+                join2(ra, rb)
+            } else {
+                trace.push(
+                    "⋈: equality tested and both copies kept in output — needs = in both modes"
+                        .into(),
+                );
+                join2(join2(ra, rb), both(Requirements::equality()))
+            }
+        }
+        Query::Map(f, inner) => {
+            let sub = go(inner, trace);
+            trace.push("map(f): closure with f's class (Prop 3.1)".into());
+            join2(sub, fn_requirements(f, trace))
+        }
+        Query::Insert(c, inner) => {
+            let sub = go(inner, trace);
+            trace.push(format!(
+                "ins_{c}: requires preserving {c} — regular under rel, strict under strong (§4.3)"
+            ));
+            join2(
+                sub,
+                (
+                    Requirements::constant(c.clone(), Strictness::Regular),
+                    Requirements::constant(c.clone(), Strictness::Strict),
+                ),
+            )
+        }
+        Query::Singleton(inner) => {
+            let sub = go(inner, trace);
+            trace.push("η: rel-fully generic; strong needs = at base inputs (conservative)".into());
+            (sub.0, sub.1.join(Requirements::equality()))
+        }
+        Query::Flatten(inner) => {
+            let sub = go(inner, trace);
+            trace.push("μ: fully generic in both modes".into());
+            sub
+        }
+        Query::Powerset(inner) => {
+            let sub = go(inner, trace);
+            trace.push("℘: rel-fully generic; subsets need not be strong-closed, so strong needs =".into());
+            (sub.0, sub.1.join(Requirements::equality()))
+        }
+        Query::EqAdom(inner) => {
+            let sub = go(inner, trace);
+            trace.push("eq_adom: rel-fully generic, not strong-fully (Prop 3.5) — strong needs =".into());
+            (sub.0, sub.1.join(Requirements::equality()))
+        }
+        Query::Adom(inner) => {
+            let sub = go(inner, trace);
+            trace.push("adom: rel-fully generic; strong maximality can add foreign preimages, needs =".into());
+            (sub.0, sub.1.join(Requirements::equality()))
+        }
+        Query::Even(inner) => {
+            let sub = go(inner, trace);
+            trace.push("even: counts distinct elements — needs = (Lemma 2.12)".into());
+            join2(sub, both(Requirements::equality()))
+        }
+        Query::NestParity(inner) => {
+            let sub = go(inner, trace);
+            trace.push("np: depends only on type structure — fully generic (Prop 4.16)".into());
+            sub
+        }
+        Query::Complement(inner) => {
+            let sub = go(inner, trace);
+            trace.push(
+                "complement: needs total+surjective (Props 3.7/3.8); rel additionally needs ="
+                    .into(),
+            );
+            join2(
+                sub,
+                (
+                    Requirements::equality().join(Requirements::total_surjective()),
+                    Requirements::total_surjective(),
+                ),
+            )
+        }
+        Query::TuplePair(a, b) => {
+            let ra = go(a, trace);
+            let rb = go(b, trace);
+            trace.push("⟨·,·⟩: tuple extension is componentwise — closure".into());
+            join2(ra, rb)
+        }
+        Query::Nest(_, inner) => {
+            let sub = go(inner, trace);
+            trace.push("ν: grouping compares key values — needs = in both modes".into());
+            join2(sub, both(Requirements::equality()))
+        }
+        Query::Unnest(_, inner) => {
+            let sub = go(inner, trace);
+            trace.push("μ (unnest): rel-fully generic; strong needs = (conservative, cf. adom)".into());
+            (sub.0, sub.1.join(Requirements::equality()))
+        }
+    }
+}
+
+fn pred_requirements(p: &Pred, trace: &mut Vec<String>) -> (Requirements, Requirements) {
+    match p {
+        Pred::True => both(Requirements::none()),
+        Pred::EqCols(i, j) => {
+            trace.push(format!("σ ${}=${}: needs = (Q₄, §2.3)", i + 1, j + 1));
+            both(Requirements::equality())
+        }
+        Pred::EqConst(i, c) => {
+            trace.push(format!(
+                "σ ${}={c}: needs strict preservation of {c} (Q₅, §2.4/§4.3)",
+                i + 1
+            ));
+            both(Requirements::constant(c.clone(), Strictness::Strict))
+        }
+        Pred::Named(name, _) => {
+            trace.push(format!("σ {name}(…): needs preservation of {name} (§2.5)"));
+            both(Requirements::predicate(name.clone()))
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            join2(pred_requirements(a, trace), pred_requirements(b, trace))
+        }
+        Pred::Not(a) => {
+            // Prop 2.13: preserving p ⟺ preserving ¬p, so negation is free.
+            pred_requirements(a, trace)
+        }
+    }
+}
+
+fn fn_requirements(f: &ValueFn, trace: &mut Vec<String>) -> (Requirements, Requirements) {
+    match f {
+        ValueFn::Identity | ValueFn::Proj(_) => both(Requirements::none()),
+        ValueFn::Cols(cols) => {
+            let mut distinct = cols.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() == cols.len() {
+                both(Requirements::none())
+            } else {
+                trace.push("map π with repeated columns: strong needs =".into());
+                (Requirements::none(), Requirements::equality())
+            }
+        }
+        ValueFn::Const(c) => {
+            trace.push(format!("map const {c}: preserves {c} (strict under strong)"));
+            (
+                Requirements::constant(c.clone(), Strictness::Regular),
+                Requirements::constant(c.clone(), Strictness::Strict),
+            )
+        }
+        ValueFn::Compose(a, b) => join2(fn_requirements(a, trace), fn_requirements(b, trace)),
+        ValueFn::Interp(name) => {
+            trace.push(format!("map {name}: needs preservation of {name} (§2.5)"));
+            both(Requirements::function(name.clone()))
+        }
+        ValueFn::Pair(a, b) => {
+            trace.push("map pair: may duplicate values into output — strong needs =".into());
+            let j = join2(fn_requirements(a, trace), fn_requirements(b, trace));
+            (j.0, j.1.join(Requirements::equality()))
+        }
+        ValueFn::Custom(_) => {
+            trace.push("map <custom>: opaque — unclassifiable".into());
+            both(Requirements::unknown())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_algebra::catalog;
+    use genpar_value::Value;
+
+    #[test]
+    fn corollary_3_2_sublanguage_fully_generic() {
+        // ×, Π, ∪ over base relations and ∅̂: fully generic, both modes.
+        let q = Query::rel("R")
+            .product(Query::rel("S"))
+            .project([0, 1])
+            .union(Query::Empty);
+        let inf = infer_requirements(&q);
+        assert!(inf.rel.is_fully_generic(), "{}", inf.rel);
+        assert!(inf.strong.is_fully_generic(), "{}", inf.strong);
+    }
+
+    #[test]
+    fn q3_fully_generic_q4_needs_equality() {
+        let i3 = infer_requirements(&catalog::q3());
+        assert!(i3.rel.is_fully_generic());
+        assert!(i3.strong.is_fully_generic());
+        let i4 = infer_requirements(&catalog::q4());
+        assert!(i4.rel.injective);
+        assert!(i4.strong.injective);
+    }
+
+    #[test]
+    fn q4_hat_strong_fully_generic_rel_not() {
+        let i = infer_requirements(&catalog::q4_hat());
+        assert!(i.strong.is_fully_generic(), "{}", i.strong);
+        assert!(i.rel.injective);
+    }
+
+    #[test]
+    fn q5_needs_strict_constant() {
+        let i = infer_requirements(&catalog::q5());
+        assert_eq!(i.rel.constants[&Value::Int(7)], Strictness::Strict);
+        assert!(!i.rel.injective);
+    }
+
+    #[test]
+    fn prop_3_4_difference_needs_equality_in_rel_only() {
+        let q = Query::rel("R").difference(Query::rel("S"));
+        let i = infer_requirements(&q);
+        assert!(i.rel.injective);
+        assert!(i.strong.is_fully_generic(), "{}", i.strong);
+        let q2 = Query::rel("R").intersect(Query::rel("S"));
+        let i2 = infer_requirements(&q2);
+        assert!(i2.rel.injective);
+        assert!(i2.strong.is_fully_generic());
+    }
+
+    #[test]
+    fn prop_3_5_eq_adom_modes_differ() {
+        let i = infer_requirements(&catalog::eq_adom());
+        assert!(i.rel.is_fully_generic());
+        assert!(i.strong.injective);
+    }
+
+    #[test]
+    fn even_needs_equality_and_np_is_free() {
+        let ie = infer_requirements(&catalog::even());
+        assert!(ie.rel.injective && ie.strong.injective);
+        let inp = infer_requirements(&catalog::np());
+        assert!(inp.rel.is_fully_generic() && inp.strong.is_fully_generic());
+    }
+
+    #[test]
+    fn complement_needs_total_surjective() {
+        let i = infer_requirements(&catalog::complement());
+        assert!(i.strong.total && i.strong.surjective && !i.strong.injective);
+        assert!(i.rel.total && i.rel.surjective && i.rel.injective);
+    }
+
+    #[test]
+    fn insert_constant_mode_split() {
+        let q = Query::Insert(Value::Int(3), Box::new(Query::rel("R")));
+        let i = infer_requirements(&q);
+        assert_eq!(i.rel.constants[&Value::Int(3)], Strictness::Regular);
+        assert_eq!(i.strong.constants[&Value::Int(3)], Strictness::Strict);
+    }
+
+    #[test]
+    fn repeated_projection_columns_break_strong() {
+        let q = Query::rel("R").project([0, 0]);
+        let i = infer_requirements(&q);
+        assert!(i.rel.is_fully_generic());
+        assert!(i.strong.injective);
+    }
+
+    #[test]
+    fn interpreted_predicate_requires_preservation() {
+        let q = Query::rel("R").select(Pred::Named("even".into(), vec![0]));
+        let i = infer_requirements(&q);
+        assert!(i.rel.predicates.contains("even"));
+        assert!(!i.rel.injective);
+    }
+
+    #[test]
+    fn negation_is_free_prop_2_13() {
+        let q = Query::rel("R").select(Pred::Named("even".into(), vec![0]).not());
+        let pos = Query::rel("R").select(Pred::Named("even".into(), vec![0]));
+        assert_eq!(
+            infer_requirements(&q).rel,
+            infer_requirements(&pos).rel
+        );
+    }
+
+    #[test]
+    fn custom_fn_is_unclassifiable() {
+        let q = Query::rel("R").map(ValueFn::custom(|v| v.clone()));
+        let i = infer_requirements(&q);
+        assert!(i.rel.unknown);
+        assert!(i.strong.unknown);
+    }
+
+    #[test]
+    fn trace_explains_derivation() {
+        let i = infer_requirements(&catalog::q4());
+        assert!(i.trace.iter().any(|l| l.contains("needs =")), "{:?}", i.trace);
+        assert!(i.trace.iter().any(|l| l.contains("base relation")));
+    }
+
+    #[test]
+    fn q1_join_needs_equality() {
+        let i = infer_requirements(&catalog::q1());
+        assert!(i.rel.injective);
+        assert!(i.strong.injective);
+    }
+}

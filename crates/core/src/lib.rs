@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # genpar-core — the genericity framework
+//!
+//! This crate is the paper's primary contribution made executable: the
+//! hierarchy of genericity classes of Sections 2–3 together with two
+//! complementary decision tools.
+//!
+//! * [`class`] — genericity classes as *requirement sets* on mappings
+//!   (functionality, injectivity, totality/surjectivity, preserved
+//!   constants with strictness, preserved predicates/functions). The
+//!   subset order on requirements realizes Proposition 2.10: weaker
+//!   requirements ⇒ a larger class of mappings ⇒ a smaller class of
+//!   generic queries.
+//! * [`check`] — the **dynamic checker**: small-scope model checking of
+//!   Definition 2.9. Given a query (as a black-box function), an input
+//!   type expression and a genericity class, it samples/enumerates mapping
+//!   families of the class, constructs related input pairs via the
+//!   constructive extension of `genpar-mapping`, and verifies the outputs
+//!   are related — returning a concrete [`check::Counterexample`] when
+//!   they are not. All of the paper's negative results are reproduced this
+//!   way.
+//! * [`infer`] — the **static classifier**: the closure propositions
+//!   (3.1–3.6) turned into syntax-directed inference rules over the
+//!   `genpar-algebra` AST, deriving a *sound* requirement set for any
+//!   query: the query is x-generic w.r.t. every family meeting the derived
+//!   requirements. Soundness is property-tested against the dynamic
+//!   checker.
+//! * [`hierarchy`] — the four equality sub-languages of Section 3.2
+//!   (no equality / equality in query only / in output only / full).
+//! * [`domain`] — full-domain vs active-domain semantics (Section 3.3):
+//!   Propositions 3.7/3.8 and the four-Russians instance Theorem 3.9.
+//! * [`witness`] — canned counterexample constructions for the paper's
+//!   inexpressibility results (Lemma 2.12, Propositions 3.4, 3.5, 4.16).
+
+pub mod check;
+pub mod class;
+pub mod domain;
+pub mod hierarchy;
+pub mod infer;
+pub mod probe;
+pub mod witness;
+
+pub use check::{check_invariance, CheckConfig, CheckOutcome, Counterexample, QueryFn};
+pub use class::{GenericityClass, Requirements, Strictness};
+pub use infer::{infer_requirements, Inferred};
+pub use probe::{probe_tightest, ProbeReport, Rung};

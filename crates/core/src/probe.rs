@@ -1,0 +1,187 @@
+//! Probing for the tightest genericity class.
+//!
+//! "Given a query, the interesting question is not whether it is generic
+//! but rather what is the tightest genericity class for it"
+//! (Section 1). This module walks a ladder of standard classes from
+//! weakest constraints (all mappings — full genericity) to strongest
+//! (bijections — classical genericity), running the dynamic checker at
+//! each rung, and reports the tightest rung with no counterexample
+//! together with the per-rung evidence.
+
+use crate::check::{check_invariance, CheckConfig, CheckOutcome, QueryFn};
+use genpar_mapping::{ExtensionMode, MappingClass};
+use genpar_value::CvType;
+use std::fmt;
+
+/// One rung of the standard ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// All mappings (fully generic — the smallest query class).
+    AllMappings,
+    /// Total and surjective mappings (Section 3.3).
+    TotalSurjective,
+    /// Functional mappings (extensions are homomorphisms).
+    Functional,
+    /// Injective functions (preserve equality).
+    Injective,
+    /// Bijections on the carrier (classical genericity).
+    Bijective,
+}
+
+impl Rung {
+    /// Ladder order, weakest constraints first.
+    pub fn ladder() -> [Rung; 5] {
+        [
+            Rung::AllMappings,
+            Rung::TotalSurjective,
+            Rung::Functional,
+            Rung::Injective,
+            Rung::Bijective,
+        ]
+    }
+
+    /// The mapping class of the rung.
+    pub fn class(&self) -> MappingClass {
+        match self {
+            Rung::AllMappings => MappingClass::all(),
+            Rung::TotalSurjective => MappingClass::total_surjective(),
+            Rung::Functional => MappingClass::functional(),
+            Rung::Injective => MappingClass::injective(),
+            Rung::Bijective => MappingClass::bijective(),
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rung::AllMappings => write!(f, "all"),
+            Rung::TotalSurjective => write!(f, "total+surjective"),
+            Rung::Functional => write!(f, "functional"),
+            Rung::Injective => write!(f, "injective"),
+            Rung::Bijective => write!(f, "bijective"),
+        }
+    }
+}
+
+/// Result of probing one query in one mode.
+#[derive(Debug)]
+pub struct ProbeReport {
+    /// The extension mode probed.
+    pub mode: ExtensionMode,
+    /// Per-rung outcome, in ladder order.
+    pub rungs: Vec<(Rung, CheckOutcome)>,
+}
+
+impl ProbeReport {
+    /// The weakest rung (largest mapping class) with no counterexample —
+    /// the empirically tightest genericity class.
+    pub fn tightest(&self) -> Option<Rung> {
+        self.rungs
+            .iter()
+            .find(|(_, o)| o.is_invariant())
+            .map(|(r, _)| *r)
+    }
+}
+
+impl fmt::Display for ProbeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mode {}:", self.mode)?;
+        for (rung, outcome) in &self.rungs {
+            writeln!(
+                f,
+                "  {:<18} {}",
+                rung.to_string(),
+                if outcome.is_invariant() {
+                    "invariant".to_string()
+                } else {
+                    format!("refuted ({})", outcome.counterexample().unwrap())
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Probe the ladder for a query. Rungs below the tightest are still
+/// checked (their counterexamples are evidence the classification is
+/// tight, not merely unproven).
+pub fn probe_tightest(
+    query: &dyn QueryFn,
+    input_ty: &CvType,
+    output_ty: &CvType,
+    cfg: &CheckConfig,
+) -> ProbeReport {
+    let rungs = Rung::ladder()
+        .into_iter()
+        .map(|rung| {
+            let outcome = check_invariance(query, input_ty, output_ty, &rung.class(), cfg);
+            (rung, outcome)
+        })
+        .collect();
+    ProbeReport {
+        mode: cfg.mode,
+        rungs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::AlgebraQuery;
+    use genpar_algebra::catalog;
+    use genpar_value::{BaseType, DomainId};
+
+    fn rel2() -> CvType {
+        CvType::relation(BaseType::Domain(DomainId(0)), 2)
+    }
+
+    fn cfg() -> CheckConfig {
+        CheckConfig {
+            families: 40,
+            inputs_per_family: 30,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn q3_probes_to_all_mappings() {
+        let q = AlgebraQuery::new(catalog::q3());
+        let out = CvType::set(CvType::tuple([CvType::domain(0)]));
+        let report = probe_tightest(&q, &rel2(), &out, &cfg());
+        assert_eq!(report.tightest(), Some(Rung::AllMappings));
+    }
+
+    #[test]
+    fn q4_probes_to_injective() {
+        let q = AlgebraQuery::new(catalog::q4());
+        let report = probe_tightest(&q, &rel2(), &rel2(), &cfg());
+        assert_eq!(report.tightest(), Some(Rung::Injective));
+        // the report shows refutations below:
+        let text = report.to_string();
+        assert!(text.contains("refuted"), "{text}");
+        assert!(text.contains("invariant"), "{text}");
+    }
+
+    #[test]
+    fn q1_probes_to_functional_in_strong_mode() {
+        // Q1 is preserved by strong homomorphisms — the probe finds the
+        // Functional rung in strong mode, tighter than the static
+        // classifier's Injective.
+        let q = AlgebraQuery::new(catalog::q1());
+        let mut c = cfg();
+        c.mode = ExtensionMode::Strong;
+        c.n_atoms = 3;
+        let report = probe_tightest(&q, &rel2(), &rel2(), &c);
+        let tightest = report.tightest().expect("Q1 is at least classically generic");
+        assert!(tightest <= Rung::Functional, "got {tightest}");
+    }
+
+    #[test]
+    fn ladder_is_ordered() {
+        let l = Rung::ladder();
+        for w in l.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

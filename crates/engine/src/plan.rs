@@ -1,0 +1,492 @@
+//! Physical plans with work counters, and lowering from algebra queries.
+
+use crate::schema::Catalog;
+use genpar_algebra::{Pred, Query, ValueFn};
+use genpar_value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A physical operator tree.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Scan a named table.
+    Scan(String),
+    /// A constant relation.
+    Values(Vec<Vec<Value>>),
+    /// Filter by a predicate.
+    Filter(Pred, Box<PhysicalPlan>),
+    /// Project onto columns (deduplicating).
+    Project(Vec<usize>, Box<PhysicalPlan>),
+    /// Hash equi-join on column pairs.
+    HashJoin(Vec<(usize, usize)>, Box<PhysicalPlan>, Box<PhysicalPlan>),
+    /// Cartesian product.
+    Product(Box<PhysicalPlan>, Box<PhysicalPlan>),
+    /// Union (set).
+    Union(Box<PhysicalPlan>, Box<PhysicalPlan>),
+    /// Intersection (set).
+    Intersect(Box<PhysicalPlan>, Box<PhysicalPlan>),
+    /// Difference (set).
+    Difference(Box<PhysicalPlan>, Box<PhysicalPlan>),
+    /// Apply a function to every row (the row is passed as a tuple
+    /// value; the result must be a tuple).
+    MapRows(ValueFn, Box<PhysicalPlan>),
+}
+
+/// Execution work counters — the cost measure the optimizer benchmarks
+/// compare (rows that flow through operators, and hash probes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows produced by scans.
+    pub rows_scanned: u64,
+    /// Rows flowing into operators (work performed).
+    pub rows_processed: u64,
+    /// Cells flowing into operators (rows × tuple width) — the
+    /// byte-proportional cost that reveals when narrowing rewrites pay.
+    pub cells_processed: u64,
+    /// Rows in the final result.
+    pub rows_out: u64,
+    /// Hash-table probes in joins.
+    pub probes: u64,
+}
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Unknown table.
+    UnknownTable(String),
+    /// Predicate/function evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(n) => write!(f, "unknown table {n}"),
+            ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn cells(rows: &BTreeSet<Vec<Value>>) -> u64 {
+    rows.iter().map(|r| r.len() as u64).sum()
+}
+
+impl PhysicalPlan {
+    /// Execute against a catalog, producing sorted deduplicated rows and
+    /// work counters.
+    pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
+        let mut stats = ExecStats::default();
+        let rows = self.run(catalog, &mut stats)?;
+        stats.rows_out = rows.len() as u64;
+        Ok((rows.into_iter().collect(), stats))
+    }
+
+    fn run(
+        &self,
+        catalog: &Catalog,
+        stats: &mut ExecStats,
+    ) -> Result<BTreeSet<Vec<Value>>, ExecError> {
+        // helper for predicate evaluation against the algebra evaluator
+        let db = genpar_algebra::Db::with_standard_int();
+        match self {
+            PhysicalPlan::Scan(name) => {
+                let t = catalog
+                    .get(name)
+                    .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
+                stats.rows_scanned += t.len() as u64;
+                Ok(t.rows().cloned().collect())
+            }
+            PhysicalPlan::Values(rows) => Ok(rows.iter().cloned().collect()),
+            PhysicalPlan::Filter(p, inner) => {
+                let input = inner.run(catalog, stats)?;
+                let mut out = BTreeSet::new();
+                for row in input {
+                    stats.rows_processed += 1;
+                    stats.cells_processed += row.len() as u64;
+                    let tv = Value::Tuple(row.clone());
+                    if genpar_algebra::eval::eval_pred(p, &tv, &db)
+                        .map_err(|e| ExecError::Eval(e.to_string()))?
+                    {
+                        out.insert(row);
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Project(cols, inner) => {
+                let input = inner.run(catalog, stats)?;
+                let mut out = BTreeSet::new();
+                for row in input {
+                    stats.rows_processed += 1;
+                    stats.cells_processed += row.len() as u64;
+                    let mut projected = Vec::with_capacity(cols.len());
+                    for &c in cols {
+                        projected.push(
+                            row.get(c)
+                                .cloned()
+                                .ok_or_else(|| ExecError::Eval(format!("column {c} missing")))?,
+                        );
+                    }
+                    out.insert(projected);
+                }
+                Ok(out)
+            }
+            PhysicalPlan::HashJoin(on, left, right) => {
+                let l = left.run(catalog, stats)?;
+                let r = right.run(catalog, stats)?;
+                let mut out = BTreeSet::new();
+                if let Some(&(i0, j0)) = on.first() {
+                    let mut index: BTreeMap<&Value, Vec<&Vec<Value>>> = BTreeMap::new();
+                    for row in &r {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += row.len() as u64;
+                        index.entry(&row[j0]).or_default().push(row);
+                    }
+                    for lrow in &l {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += lrow.len() as u64;
+                        stats.probes += 1;
+                        if let Some(matches) = index.get(&lrow[i0]) {
+                            'next: for rrow in matches {
+                                for &(i, j) in &on[1..] {
+                                    if lrow[i] != rrow[j] {
+                                        continue 'next;
+                                    }
+                                }
+                                let mut joined = lrow.clone();
+                                joined.extend(rrow.iter().cloned());
+                                out.insert(joined);
+                            }
+                        }
+                    }
+                } else {
+                    for lrow in &l {
+                        for rrow in &r {
+                            stats.rows_processed += 1;
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            out.insert(joined);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Product(a, b) => {
+                let l = a.run(catalog, stats)?;
+                let r = b.run(catalog, stats)?;
+                let mut out = BTreeSet::new();
+                for lrow in &l {
+                    for rrow in &r {
+                        stats.rows_processed += 1;
+                        let mut joined = lrow.clone();
+                        joined.extend(rrow.iter().cloned());
+                        out.insert(joined);
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Union(a, b) => {
+                let mut l = a.run(catalog, stats)?;
+                let r = b.run(catalog, stats)?;
+                stats.rows_processed += (l.len() + r.len()) as u64;
+                stats.cells_processed += cells(&l) + cells(&r);
+                l.extend(r);
+                Ok(l)
+            }
+            PhysicalPlan::Intersect(a, b) => {
+                let l = a.run(catalog, stats)?;
+                let r = b.run(catalog, stats)?;
+                stats.rows_processed += (l.len() + r.len()) as u64;
+                stats.cells_processed += cells(&l) + cells(&r);
+                Ok(l.intersection(&r).cloned().collect())
+            }
+            PhysicalPlan::Difference(a, b) => {
+                let l = a.run(catalog, stats)?;
+                let r = b.run(catalog, stats)?;
+                stats.rows_processed += (l.len() + r.len()) as u64;
+                stats.cells_processed += cells(&l) + cells(&r);
+                Ok(l.difference(&r).cloned().collect())
+            }
+            PhysicalPlan::MapRows(f, inner) => {
+                let input = inner.run(catalog, stats)?;
+                let mut out = BTreeSet::new();
+                for row in input {
+                    stats.rows_processed += 1;
+                    stats.cells_processed += row.len() as u64;
+                    let tv = Value::Tuple(row);
+                    let mapped = genpar_algebra::eval::apply_fn(f, &tv, &db)
+                        .map_err(|e| ExecError::Eval(e.to_string()))?;
+                    match mapped {
+                        Value::Tuple(cols) => {
+                            out.insert(cols);
+                        }
+                        other => {
+                            out.insert(vec![other]);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Total number of operators.
+    pub fn size(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(_) | PhysicalPlan::Values(_) => 1,
+            PhysicalPlan::Filter(_, a) | PhysicalPlan::Project(_, a) | PhysicalPlan::MapRows(_, a) => {
+                1 + a.size()
+            }
+            PhysicalPlan::HashJoin(_, a, b)
+            | PhysicalPlan::Product(a, b)
+            | PhysicalPlan::Union(a, b)
+            | PhysicalPlan::Intersect(a, b)
+            | PhysicalPlan::Difference(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &PhysicalPlan, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            match p {
+                PhysicalPlan::Scan(n) => writeln!(f, "{pad}Scan {n}"),
+                PhysicalPlan::Values(rows) => writeln!(f, "{pad}Values ({} rows)", rows.len()),
+                PhysicalPlan::Filter(p0, a) => {
+                    writeln!(f, "{pad}Filter {p0:?}")?;
+                    go(a, indent + 1, f)
+                }
+                PhysicalPlan::Project(cols, a) => {
+                    writeln!(f, "{pad}Project {cols:?}")?;
+                    go(a, indent + 1, f)
+                }
+                PhysicalPlan::MapRows(g, a) => {
+                    writeln!(f, "{pad}Map {g:?}")?;
+                    go(a, indent + 1, f)
+                }
+                PhysicalPlan::HashJoin(on, a, b) => {
+                    writeln!(f, "{pad}HashJoin {on:?}")?;
+                    go(a, indent + 1, f)?;
+                    go(b, indent + 1, f)
+                }
+                PhysicalPlan::Product(a, b) => {
+                    writeln!(f, "{pad}Product")?;
+                    go(a, indent + 1, f)?;
+                    go(b, indent + 1, f)
+                }
+                PhysicalPlan::Union(a, b) => {
+                    writeln!(f, "{pad}Union")?;
+                    go(a, indent + 1, f)?;
+                    go(b, indent + 1, f)
+                }
+                PhysicalPlan::Intersect(a, b) => {
+                    writeln!(f, "{pad}Intersect")?;
+                    go(a, indent + 1, f)?;
+                    go(b, indent + 1, f)
+                }
+                PhysicalPlan::Difference(a, b) => {
+                    writeln!(f, "{pad}Difference")?;
+                    go(a, indent + 1, f)?;
+                    go(b, indent + 1, f)
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+/// Lower an algebra query to a physical plan. Supports the relational
+/// fragment (the operators Section 4.4's rewrites target); complex-value
+/// operators return `None`.
+pub fn lower(q: &Query) -> Option<PhysicalPlan> {
+    Some(match q {
+        Query::Rel(n) => PhysicalPlan::Scan(n.clone()),
+        Query::Empty => PhysicalPlan::Values(Vec::new()),
+        Query::Lit(Value::Set(items)) => {
+            let rows: Option<Vec<Vec<Value>>> = items
+                .iter()
+                .map(|v| v.as_tuple().map(|t| t.to_vec()))
+                .collect();
+            PhysicalPlan::Values(rows?)
+        }
+        Query::Lit(_) => return None,
+        Query::Project(cols, inner) => PhysicalPlan::Project(cols.clone(), Box::new(lower(inner)?)),
+        Query::Select(p, inner) => PhysicalPlan::Filter(p.clone(), Box::new(lower(inner)?)),
+        Query::Product(a, b) => PhysicalPlan::Product(Box::new(lower(a)?), Box::new(lower(b)?)),
+        Query::Union(a, b) => PhysicalPlan::Union(Box::new(lower(a)?), Box::new(lower(b)?)),
+        Query::Intersect(a, b) => {
+            PhysicalPlan::Intersect(Box::new(lower(a)?), Box::new(lower(b)?))
+        }
+        Query::Difference(a, b) => {
+            PhysicalPlan::Difference(Box::new(lower(a)?), Box::new(lower(b)?))
+        }
+        Query::Join(on, a, b) => {
+            PhysicalPlan::HashJoin(on.clone(), Box::new(lower(a)?), Box::new(lower(b)?))
+        }
+        Query::Map(f, inner) => PhysicalPlan::MapRows(f.clone(), Box::new(lower(inner)?)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use genpar_value::CvType;
+
+    fn catalog() -> Catalog {
+        let mut r = Table::new("R", Schema::uniform(CvType::int(), 2));
+        for i in 0..10 {
+            r.insert(vec![Value::Int(i), Value::Int(i % 3)]);
+        }
+        let mut s = Table::new("S", Schema::uniform(CvType::int(), 2));
+        for i in 5..15 {
+            s.insert(vec![Value::Int(i), Value::Int(i % 3)]);
+        }
+        Catalog::new().with(r).with(s)
+    }
+
+    #[test]
+    fn scan_counts_rows() {
+        let c = catalog();
+        let (rows, stats) = PhysicalPlan::Scan("R".into()).execute(&c).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats.rows_scanned, 10);
+        assert_eq!(stats.rows_out, 10);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = catalog();
+        assert_eq!(
+            PhysicalPlan::Scan("Z".into()).execute(&c).unwrap_err(),
+            ExecError::UnknownTable("Z".into())
+        );
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let c = catalog();
+        let p = PhysicalPlan::Project(
+            vec![1],
+            Box::new(PhysicalPlan::Filter(
+                Pred::eq_const(1, Value::Int(0)),
+                Box::new(PhysicalPlan::Scan("R".into())),
+            )),
+        );
+        let (rows, stats) = p.execute(&c).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]]);
+        assert_eq!(stats.rows_processed, 10 + 4); // filter 10, project 4 (0,3,6,9)
+    }
+
+    #[test]
+    fn hash_join_matches_product_filter() {
+        let c = catalog();
+        let join = PhysicalPlan::HashJoin(
+            vec![(0, 0)],
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        let (jrows, _) = join.execute(&c).unwrap();
+        let pf = PhysicalPlan::Filter(
+            Pred::eq_cols(0, 2),
+            Box::new(PhysicalPlan::Product(
+                Box::new(PhysicalPlan::Scan("R".into())),
+                Box::new(PhysicalPlan::Scan("S".into())),
+            )),
+        );
+        let (prows, pstats) = pf.execute(&c).unwrap();
+        assert_eq!(jrows, prows);
+        assert_eq!(jrows.len(), 5); // keys 5..10 overlap
+        // the join does strictly less work than product+filter
+        let (_, jstats) = join.execute(&c).unwrap();
+        assert!(jstats.rows_processed < pstats.rows_processed);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let c = catalog();
+        let join = PhysicalPlan::HashJoin(
+            vec![(0, 0), (1, 1)],
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        let (rows, _) = join.execute(&c).unwrap();
+        assert_eq!(rows.len(), 5); // same rows coincide on both columns
+    }
+
+    #[test]
+    fn set_operators() {
+        let c = catalog();
+        let u = PhysicalPlan::Union(
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        assert_eq!(u.execute(&c).unwrap().0.len(), 15);
+        let i = PhysicalPlan::Intersect(
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        assert_eq!(i.execute(&c).unwrap().0.len(), 5);
+        let d = PhysicalPlan::Difference(
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        assert_eq!(d.execute(&c).unwrap().0.len(), 5);
+    }
+
+    #[test]
+    fn map_rows_applies_fn() {
+        let c = catalog();
+        let m = PhysicalPlan::MapRows(
+            ValueFn::Cols(vec![1, 0]),
+            Box::new(PhysicalPlan::Scan("R".into())),
+        );
+        let (rows, _) = m.execute(&c).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].len(), 2);
+    }
+
+    #[test]
+    fn lowering_agrees_with_algebra_eval() {
+        use genpar_algebra::eval::eval;
+        let c = catalog();
+        let q = Query::rel("R")
+            .select(Pred::eq_cols(1, 1))
+            .union(Query::rel("S"))
+            .project([0]);
+        let plan = lower(&q).unwrap();
+        let (rows, _) = plan.execute(&c).unwrap();
+        // compare to the algebra evaluator on the same data
+        let db = genpar_algebra::Db::new()
+            .with("R", c.get("R").unwrap().to_value())
+            .with("S", c.get("S").unwrap().to_value());
+        let expected = eval(&q, &db).unwrap();
+        let got = Value::set(rows.into_iter().map(Value::Tuple));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lowering_rejects_complex_value_ops() {
+        assert!(lower(&Query::Powerset(Box::new(Query::rel("R")))).is_none());
+        assert!(lower(&Query::Lit(Value::Int(3))).is_none());
+    }
+
+    #[test]
+    fn plan_display_and_size() {
+        let p = PhysicalPlan::Project(
+            vec![0],
+            Box::new(PhysicalPlan::Union(
+                Box::new(PhysicalPlan::Scan("R".into())),
+                Box::new(PhysicalPlan::Scan("S".into())),
+            )),
+        );
+        assert_eq!(p.size(), 4);
+        let d = p.to_string();
+        assert!(d.contains("Project"), "{d}");
+        assert!(d.contains("Scan R"), "{d}");
+    }
+}

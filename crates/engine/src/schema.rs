@@ -1,0 +1,170 @@
+//! Schemas, key constraints, and the catalog.
+
+use crate::table::Table;
+use genpar_value::CvType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation schema: named, typed columns plus declared keys.
+///
+/// Keys carry the semantic information Section 4.4 needs: "let R and S be
+/// relations of employees and students, where their first columns are a
+/// common key (i.e. a key for R ∪ S) … then π₁ is injective on R ∪ S",
+/// licensing `Π₁(R − S) = Π₁(R) − Π₁(S)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// `(name, type)` per column.
+    pub columns: Vec<(String, CvType)>,
+    /// Each key is a set of column indices that functionally determine
+    /// the whole tuple.
+    pub keys: Vec<Vec<usize>>,
+}
+
+impl Schema {
+    /// A schema of uniformly-typed columns named `c0..`, no keys.
+    pub fn uniform(ty: CvType, arity: usize) -> Schema {
+        Schema {
+            columns: (0..arity).map(|i| (format!("c{i}"), ty.clone())).collect(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Declare a key (builder style).
+    pub fn with_key(mut self, cols: impl IntoIterator<Item = usize>) -> Schema {
+        self.keys.push(cols.into_iter().collect());
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Is `cols` a superset of some declared key? (Then projecting onto
+    /// `cols` is injective on any instance satisfying the constraints.)
+    pub fn cols_contain_key(&self, cols: &[usize]) -> bool {
+        self.keys
+            .iter()
+            .any(|k| k.iter().all(|c| cols.contains(c)))
+    }
+
+    /// The tuple type `{(τ₁ × … × τₙ)}` of relations with this schema.
+    pub fn relation_type(&self) -> CvType {
+        CvType::set(CvType::Tuple(
+            self.columns.iter().map(|(_, t)| t.clone()).collect(),
+        ))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, t)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {t}")?;
+        }
+        write!(f, ")")?;
+        for k in &self.keys {
+            write!(f, " key{k:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table under its name.
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, table: Table) -> Catalog {
+        self.add(table);
+        self
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Iterate over tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// The schema of a table, if present.
+    pub fn schema_of(&self, name: &str) -> Option<&Schema> {
+        self.get(name).map(|t| &t.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::Value;
+
+    #[test]
+    fn uniform_schema_shape() {
+        let s = Schema::uniform(CvType::int(), 3);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns[2].0, "c2");
+        assert_eq!(
+            s.relation_type(),
+            CvType::set(CvType::tuple([CvType::int(), CvType::int(), CvType::int()]))
+        );
+    }
+
+    #[test]
+    fn keys_and_containment() {
+        let s = Schema::uniform(CvType::int(), 3).with_key([0]).with_key([1, 2]);
+        assert!(s.cols_contain_key(&[0, 1]));
+        assert!(s.cols_contain_key(&[0]));
+        assert!(s.cols_contain_key(&[2, 1]));
+        assert!(!s.cols_contain_key(&[1]));
+        assert!(!Schema::uniform(CvType::int(), 2).cols_contain_key(&[0, 1]));
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let t = Table::new("R", Schema::uniform(CvType::int(), 1));
+        let mut c = Catalog::new();
+        c.add(t);
+        assert!(c.get("R").is_some());
+        assert!(c.get("S").is_none());
+        assert_eq!(c.schema_of("R").unwrap().arity(), 1);
+        assert_eq!(c.tables().count(), 1);
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = Schema::uniform(CvType::int(), 2).with_key([0]);
+        let d = s.to_string();
+        assert!(d.contains("c0: int"), "{d}");
+        assert!(d.contains("key[0]"), "{d}");
+    }
+
+    #[test]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("R", Schema::uniform(CvType::int(), 2));
+        assert!(t.insert(vec![Value::Int(1), Value::Int(2)]));
+        assert!(!t.insert(vec![Value::Int(1), Value::Int(2)])); // duplicate
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert(vec![Value::Int(1)])
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Set-semantics tables.
+
+use crate::schema::Schema;
+use genpar_value::Value;
+use std::collections::BTreeSet;
+
+/// A named table: a set of tuples satisfying a schema.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Schema (arity, types, keys).
+    pub schema: Schema,
+    rows: BTreeSet<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Insert a row; returns false if it was already present.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the schema, or if an
+    /// inserted row violates a declared key.
+    pub fn insert(&mut self, row: Vec<Value>) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} ≠ schema arity {} for table {}",
+            row.len(),
+            self.schema.arity(),
+            self.name
+        );
+        for key in &self.schema.keys {
+            let kv: Vec<&Value> = key.iter().map(|&i| &row[i]).collect();
+            if self
+                .rows
+                .iter()
+                .any(|r| key.iter().map(|&i| &r[i]).collect::<Vec<_>>() == kv && *r != row)
+            {
+                panic!(
+                    "key violation on {:?} inserting into {}: duplicate key value",
+                    key, self.name
+                );
+            }
+        }
+        self.rows.insert(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over rows in sorted order.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.rows.iter()
+    }
+
+    /// The table as a complex value `{(…), …}` — bridging to the
+    /// `genpar-algebra` world.
+    pub fn to_value(&self) -> Value {
+        Value::set(self.rows.iter().map(|r| Value::Tuple(r.clone())))
+    }
+
+    /// Build a table from a complex-value relation.
+    ///
+    /// # Panics
+    /// Panics if the value is not a set of tuples of the right arity, or
+    /// violates the schema's keys.
+    pub fn from_value(name: impl Into<String>, schema: Schema, v: &Value) -> Table {
+        let mut t = Table::new(name, schema);
+        for item in v.as_set().expect("relation value must be a set") {
+            let row = item.as_tuple().expect("relation elements must be tuples");
+            t.insert(row.to_vec());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+    use genpar_value::CvType;
+
+    #[test]
+    fn insert_and_iterate_sorted() {
+        let mut t = Table::new("R", Schema::uniform(CvType::int(), 2));
+        t.insert(vec![Value::Int(2), Value::Int(0)]);
+        t.insert(vec![Value::Int(1), Value::Int(9)]);
+        let rows: Vec<_> = t.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0] < rows[1]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn key_violation_panics() {
+        let mut t = Table::new("R", Schema::uniform(CvType::int(), 2).with_key([0]));
+        t.insert(vec![Value::Int(1), Value::Int(10)]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert(vec![Value::Int(1), Value::Int(11)])
+        }));
+        assert!(r.is_err());
+        // same full row is a no-op, not a violation
+        assert!(!t.insert(vec![Value::Int(1), Value::Int(10)]));
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = parse_value("{(1, 2), (3, 4)}").unwrap();
+        let t = Table::from_value("R", Schema::uniform(CvType::int(), 2), &v);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_value(), v);
+    }
+}

@@ -1,0 +1,168 @@
+//! Random workload generators for the optimization benchmarks.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use genpar_value::{CvType, Value};
+use rand::Rng;
+
+/// Parameters of a generated relation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of rows to attempt (duplicates collapse under set
+    /// semantics).
+    pub rows: usize,
+    /// Number of columns.
+    pub arity: usize,
+    /// Values are drawn from `0..value_range` per column — small ranges
+    /// create duplication, which is what makes projection-pushing pay.
+    pub value_range: i64,
+    /// Declare column 0 as a key and generate unique values for it.
+    pub key_on_first: bool,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            rows: 1000,
+            arity: 2,
+            value_range: 100,
+            key_on_first: false,
+        }
+    }
+}
+
+/// Generate a table.
+pub fn generate_table<R: Rng + ?Sized>(rng: &mut R, name: &str, spec: WorkloadSpec) -> Table {
+    let mut schema = Schema::uniform(CvType::int(), spec.arity);
+    if spec.key_on_first {
+        schema = schema.with_key([0]);
+    }
+    let mut t = Table::new(name, schema);
+    if spec.key_on_first {
+        // unique keys 0..rows, random payloads
+        for k in 0..spec.rows {
+            let mut row = vec![Value::Int(k as i64)];
+            for _ in 1..spec.arity {
+                row.push(Value::Int(rng.gen_range(0..spec.value_range.max(1))));
+            }
+            t.insert(row);
+        }
+    } else {
+        for _ in 0..spec.rows {
+            let row: Vec<Value> = (0..spec.arity)
+                .map(|_| Value::Int(rng.gen_range(0..spec.value_range.max(1))))
+                .collect();
+            // set semantics: duplicates silently collapse
+            let _ = t_insert_ignore(&mut t, row);
+        }
+    }
+    t
+}
+
+fn t_insert_ignore(t: &mut Table, row: Vec<Value>) -> bool {
+    // plain tables without keys cannot panic on insert
+    t.insert(row)
+}
+
+/// Generate a pair of tables `R`, `S` sharing a key on column 0 with a
+/// controlled overlap fraction — the employees/students shape of
+/// Section 4.4 (`π₁` is injective on `R ∪ S`).
+pub fn generate_keyed_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    arity: usize,
+    overlap: f64,
+) -> (Table, Table) {
+    let schema = || Schema::uniform(CvType::int(), arity).with_key([0]);
+    let mut r = Table::new("R", schema());
+    let mut s = Table::new("S", schema());
+    let overlap_rows = (rows as f64 * overlap) as usize;
+    let payload = |rng: &mut R, k: i64| -> Vec<Value> {
+        let mut row = vec![Value::Int(k)];
+        for _ in 1..arity {
+            row.push(Value::Int(rng.gen_range(0..1000)));
+        }
+        row
+    };
+    for k in 0..rows {
+        let row = payload(rng, k as i64);
+        r.insert(row.clone());
+        if k < overlap_rows {
+            // identical row in S (overlap region)
+            s.insert(row);
+        }
+    }
+    for k in rows..(2 * rows - overlap_rows) {
+        s.insert(payload(rng, k as i64));
+    }
+    (r, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_table_respects_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = generate_table(
+            &mut rng,
+            "R",
+            WorkloadSpec {
+                rows: 500,
+                arity: 3,
+                value_range: 50,
+                key_on_first: false,
+            },
+        );
+        assert!(t.len() <= 500);
+        assert!(t.len() > 100); // collisions exist but are bounded
+        assert!(t.rows().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn keyed_table_has_unique_keys_and_exact_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = generate_table(
+            &mut rng,
+            "R",
+            WorkloadSpec {
+                rows: 200,
+                arity: 2,
+                value_range: 5,
+                key_on_first: true,
+            },
+        );
+        assert_eq!(t.len(), 200);
+        assert!(t.schema.cols_contain_key(&[0]));
+    }
+
+    #[test]
+    fn keyed_pair_overlap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (r, s) = generate_keyed_pair(&mut rng, 100, 2, 0.3);
+        assert_eq!(r.len(), 100);
+        assert_eq!(s.len(), 100);
+        let rv: std::collections::BTreeSet<_> = r.rows().cloned().collect();
+        let overlap = s.rows().filter(|row| rv.contains(*row)).count();
+        assert_eq!(overlap, 30);
+    }
+
+    #[test]
+    fn small_value_range_creates_duplication() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = generate_table(
+            &mut rng,
+            "R",
+            WorkloadSpec {
+                rows: 1000,
+                arity: 1,
+                value_range: 10,
+                key_on_first: false,
+            },
+        );
+        assert!(t.len() <= 10);
+    }
+}

@@ -1,0 +1,257 @@
+//! Church encodings: products and lists are *expressible* in the pure
+//! 2nd-order λ-calculus.
+//!
+//! Section 4.1 adds `×` and `⟨⟩` as primitive constructors because "both
+//! products (tuples) and lists are expressible in the language". This
+//! module substantiates that remark: Church booleans, naturals, pairs and
+//! lists as pure System F terms, with conversions to and from the native
+//! constructs (which exercise type application deeply).
+
+use crate::term::Term;
+use crate::ty::Ty;
+
+/// `CBool = ∀X. X → X → X`.
+pub fn church_bool_ty() -> Ty {
+    Ty::forall(Ty::arrow(Ty::Var(0), Ty::arrow(Ty::Var(0), Ty::Var(0))))
+}
+
+/// `tru = ΛX. λt:X. λf:X. t`.
+pub fn tru() -> Term {
+    Term::tylam(Term::lam(Ty::Var(0), Term::lam(Ty::Var(0), Term::Var(1))))
+}
+
+/// `fls = ΛX. λt:X. λf:X. f`.
+pub fn fls() -> Term {
+    Term::tylam(Term::lam(Ty::Var(0), Term::lam(Ty::Var(0), Term::Var(0))))
+}
+
+/// Convert a Church boolean to a native one: `b [bool] true false`.
+pub fn church_bool_to_native(b: Term) -> Term {
+    Term::apps(
+        Term::tyapp(b, Ty::bool()),
+        [Term::Bool(true), Term::Bool(false)],
+    )
+}
+
+/// `CNat = ∀X. (X → X) → X → X`.
+pub fn church_nat_ty() -> Ty {
+    Ty::forall(Ty::arrow(
+        Ty::arrow(Ty::Var(0), Ty::Var(0)),
+        Ty::arrow(Ty::Var(0), Ty::Var(0)),
+    ))
+}
+
+/// The Church numeral `n = ΛX. λs:X→X. λz:X. sⁿ z`.
+pub fn church_nat(n: usize) -> Term {
+    let mut body = Term::Var(0); // z
+    for _ in 0..n {
+        body = Term::app(Term::Var(1), body); // s (...)
+    }
+    Term::tylam(Term::lam(
+        Ty::arrow(Ty::Var(0), Ty::Var(0)),
+        Term::lam(Ty::Var(0), body),
+    ))
+}
+
+/// Church addition `add = λm. λn. ΛX. λs. λz. m[X] s (n[X] s z)`.
+pub fn church_add() -> Term {
+    let cn = church_nat_ty();
+    Term::lam(
+        cn.clone(),
+        Term::lam(
+            cn,
+            Term::tylam(Term::lam(
+                Ty::arrow(Ty::Var(0), Ty::Var(0)),
+                Term::lam(Ty::Var(0), {
+                    // context: [m, n, s, z]
+                    let m = Term::Var(3);
+                    let n = Term::Var(2);
+                    let s = || Term::Var(1);
+                    let z = Term::Var(0);
+                    Term::app(
+                        Term::app(Term::tyapp(m, Ty::Var(0)), s()),
+                        Term::app(Term::app(Term::tyapp(n, Ty::Var(0)), s()), z),
+                    )
+                }),
+            )),
+        ),
+    )
+}
+
+/// Church multiplication `mul = λm. λn. ΛX. λs. m[X] (n[X] s)`.
+pub fn church_mul() -> Term {
+    let cn = church_nat_ty();
+    Term::lam(
+        cn.clone(),
+        Term::lam(
+            cn,
+            Term::tylam(Term::lam(Ty::arrow(Ty::Var(0), Ty::Var(0)), {
+                // context: [m, n, s]
+                let m = Term::Var(2);
+                let n = Term::Var(1);
+                let s = Term::Var(0);
+                Term::app(
+                    Term::tyapp(m, Ty::Var(0)),
+                    Term::app(Term::tyapp(n, Ty::Var(0)), s),
+                )
+            })),
+        ),
+    )
+}
+
+/// Convert a Church numeral to a native `int`: `n [int] succ 0`.
+pub fn church_nat_to_int(n: Term) -> Term {
+    Term::apps(
+        Term::tyapp(n, Ty::int()),
+        [
+            Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0)))),
+            Term::Int(0),
+        ],
+    )
+}
+
+/// `CList A = ∀X. (A → X → X) → X → X` (the fold of the list).
+pub fn church_list_ty(elem: Ty) -> Ty {
+    // under the new binder, elem's free vars shift by one
+    let a = elem.shift(1);
+    Ty::forall(Ty::arrow(
+        Ty::arrow(a, Ty::arrow(Ty::Var(0), Ty::Var(0))),
+        Ty::arrow(Ty::Var(0), Ty::Var(0)),
+    ))
+}
+
+/// The Church list of the given `int` elements:
+/// `ΛX. λc:int→X→X. λn:X. c a₁ (c a₂ (… n))`.
+pub fn church_int_list(items: &[i64]) -> Term {
+    let mut body = Term::Var(0); // n
+    for &x in items.iter().rev() {
+        body = Term::apps(Term::Var(1), [Term::Int(x), body]);
+    }
+    Term::tylam(Term::lam(
+        Ty::arrow(Ty::int(), Ty::arrow(Ty::Var(0), Ty::Var(0))),
+        Term::lam(Ty::Var(0), body),
+    ))
+}
+
+/// Convert a Church int-list to a native list:
+/// `l [⟨int⟩] (λh. λt. h ∷ t) ⟨⟩`.
+pub fn church_list_to_native(l: Term) -> Term {
+    Term::apps(
+        Term::tyapp(l, Ty::list(Ty::int())),
+        [
+            Term::lam(
+                Ty::int(),
+                Term::lam(Ty::list(Ty::int()), Term::cons(Term::Var(1), Term::Var(0))),
+            ),
+            Term::Nil(Ty::int()),
+        ],
+    )
+}
+
+/// Convert a native int-list term into the Church encoding by folding:
+/// `ΛX. λc. λn. foldr c n l` — the inverse of
+/// [`church_list_to_native`].
+pub fn native_list_to_church(l: Term) -> Term {
+    Term::tylam(Term::lam(
+        Ty::arrow(Ty::int(), Ty::arrow(Ty::Var(0), Ty::Var(0))),
+        Term::lam(Ty::Var(0), {
+            // foldr c n l; l is closed so no shifting worries
+            Term::fold(Term::Var(1), Term::Var(0), l)
+        }),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_closed, LValue};
+    use crate::tyck::type_of;
+
+    #[test]
+    fn booleans_typecheck_and_convert() {
+        assert_eq!(type_of(&tru()).unwrap(), church_bool_ty());
+        assert_eq!(type_of(&fls()).unwrap(), church_bool_ty());
+        assert_eq!(
+            eval_closed(&church_bool_to_native(tru())).unwrap(),
+            LValue::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&church_bool_to_native(fls())).unwrap(),
+            LValue::Bool(false)
+        );
+    }
+
+    #[test]
+    fn numerals_typecheck() {
+        for n in [0, 1, 5] {
+            assert_eq!(type_of(&church_nat(n)).unwrap(), church_nat_ty(), "{n}");
+        }
+    }
+
+    #[test]
+    fn numerals_convert_to_int() {
+        for n in [0usize, 1, 2, 7] {
+            assert_eq!(
+                eval_closed(&church_nat_to_int(church_nat(n))).unwrap(),
+                LValue::Int(n as i64)
+            );
+        }
+    }
+
+    #[test]
+    fn addition_and_multiplication() {
+        let two_plus_three = Term::apps(church_add(), [church_nat(2), church_nat(3)]);
+        assert_eq!(
+            eval_closed(&church_nat_to_int(two_plus_three)).unwrap(),
+            LValue::Int(5)
+        );
+        let two_times_three = Term::apps(church_mul(), [church_nat(2), church_nat(3)]);
+        assert_eq!(
+            eval_closed(&church_nat_to_int(two_times_three)).unwrap(),
+            LValue::Int(6)
+        );
+        // operations preserve the Church type
+        assert_eq!(
+            type_of(&Term::apps(church_add(), [church_nat(1), church_nat(1)])).unwrap(),
+            church_nat_ty()
+        );
+    }
+
+    #[test]
+    fn church_lists_roundtrip() {
+        let items = [3i64, 1, 4, 1, 5];
+        let church = church_int_list(&items);
+        assert_eq!(type_of(&church).unwrap(), church_list_ty(Ty::int()));
+        let native = eval_closed(&church_list_to_native(church)).unwrap();
+        assert_eq!(
+            native,
+            LValue::List(items.iter().map(|&n| LValue::Int(n)).collect())
+        );
+    }
+
+    #[test]
+    fn native_to_church_and_back() {
+        let l = Term::list(Ty::int(), [Term::Int(9), Term::Int(8)]);
+        let church = native_list_to_church(l);
+        assert_eq!(type_of(&church).unwrap(), church_list_ty(Ty::int()));
+        let back = eval_closed(&church_list_to_native(church)).unwrap();
+        assert_eq!(back, LValue::List(vec![LValue::Int(9), LValue::Int(8)]));
+    }
+
+    #[test]
+    fn church_length_without_native_lists() {
+        // count elements purely in the encoding: l [int] (λ_. succ) 0
+        let l = church_int_list(&[7, 7, 7]);
+        let len = Term::apps(
+            Term::tyapp(l, Ty::int()),
+            [
+                Term::lam(
+                    Ty::int(),
+                    Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0)))),
+                ),
+                Term::Int(0),
+            ],
+        );
+        assert_eq!(eval_closed(&len).unwrap(), LValue::Int(3));
+    }
+}

@@ -1,0 +1,361 @@
+//! Call-by-value evaluation with closures and table functions.
+//!
+//! Types are erased at runtime: `ΛX.e` evaluates its body lazily under a
+//! type closure, and `e[τ]` forces it. [`LValue::Table`] represents a
+//! *semantic* function by its finite graph — the form produced by
+//! [`crate::semantics`] when enumerating function spaces — and is
+//! applicable exactly like a closure, which lets the parametricity checker
+//! feed enumerated functions to term-level code.
+
+use crate::term::Term;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value of the λ-calculus fragment.
+#[derive(Clone)]
+pub enum LValue {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Tuple.
+    Tuple(Vec<LValue>),
+    /// List.
+    List(Vec<LValue>),
+    /// A λ-closure.
+    Closure {
+        /// Captured environment.
+        env: Env,
+        /// The λ body (binder already peeled).
+        body: Rc<Term>,
+    },
+    /// A suspended type abstraction.
+    TyClosure {
+        /// Captured environment.
+        env: Env,
+        /// The Λ body.
+        body: Rc<Term>,
+    },
+    /// A finite function graph (semantic function).
+    Table(Rc<Vec<(LValue, LValue)>>),
+}
+
+/// Evaluation environments: persistent vector of values, innermost last.
+pub type Env = Rc<Vec<LValue>>;
+
+impl fmt::Debug for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Int(n) => write!(f, "{n}"),
+            LValue::Bool(b) => write!(f, "{b}"),
+            LValue::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, ")")
+            }
+            LValue::List(vs) => {
+                write!(f, "⟨")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "⟩")
+            }
+            LValue::Closure { .. } => write!(f, "<closure>"),
+            LValue::TyClosure { .. } => write!(f, "<Λ-closure>"),
+            LValue::Table(t) => {
+                write!(f, "{{")?;
+                for (i, (a, b)) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a:?}↦{b:?}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl PartialEq for LValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (LValue::Int(a), LValue::Int(b)) => a == b,
+            (LValue::Bool(a), LValue::Bool(b)) => a == b,
+            (LValue::Tuple(a), LValue::Tuple(b)) | (LValue::List(a), LValue::List(b)) => a == b,
+            (LValue::Table(a), LValue::Table(b)) => a == b,
+            // closures are compared by identity only
+            (LValue::Closure { body: a, env: ea }, LValue::Closure { body: b, env: eb }) => {
+                Rc::ptr_eq(a, b) && Rc::ptr_eq(ea, eb)
+            }
+            (LValue::TyClosure { body: a, env: ea }, LValue::TyClosure { body: b, env: eb }) => {
+                Rc::ptr_eq(a, b) && Rc::ptr_eq(ea, eb)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl LValue {
+    /// Build a table function.
+    pub fn table(pairs: impl IntoIterator<Item = (LValue, LValue)>) -> LValue {
+        LValue::Table(Rc::new(pairs.into_iter().collect()))
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            LValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            LValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow list items.
+    pub fn as_list(&self) -> Option<&[LValue]> {
+        match self {
+            LValue::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Borrow tuple components.
+    pub fn as_tuple(&self) -> Option<&[LValue]> {
+        match self {
+            LValue::Tuple(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Is this an applicable function value?
+    pub fn is_function(&self) -> bool {
+        matches!(self, LValue::Closure { .. } | LValue::Table(_))
+    }
+}
+
+/// A runtime error (ill-typed application, table miss, …). Well-typed
+/// closed terms never produce one, except `Table` misses when a table is
+/// applied outside its enumerated carrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn rt<T>(msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError(msg.into()))
+}
+
+/// Evaluate a closed term.
+pub fn eval_closed(t: &Term) -> Result<LValue, EvalError> {
+    eval(t, &Rc::new(Vec::new()))
+}
+
+/// Evaluate under an environment.
+pub fn eval(t: &Term, env: &Env) -> Result<LValue, EvalError> {
+    match t {
+        Term::Var(i) => env
+            .iter()
+            .rev()
+            .nth(*i)
+            .cloned()
+            .ok_or_else(|| EvalError(format!("unbound variable #{i}"))),
+        Term::Lam(_, body) => Ok(LValue::Closure {
+            env: env.clone(),
+            body: Rc::new((**body).clone()),
+        }),
+        Term::App(f, a) => {
+            let fv = eval(f, env)?;
+            let av = eval(a, env)?;
+            apply(&fv, &av)
+        }
+        Term::TyLam { body, .. } => Ok(LValue::TyClosure {
+            env: env.clone(),
+            body: Rc::new((**body).clone()),
+        }),
+        Term::TyApp(f, _) => match eval(f, env)? {
+            LValue::TyClosure { env, body } => eval(&body, &env),
+            other => rt(format!("type application of non-Λ value {other:?}")),
+        },
+        Term::Tuple(ts) => Ok(LValue::Tuple(
+            ts.iter()
+                .map(|t| eval(t, env))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Term::Proj(i, t) => match eval(t, env)? {
+            LValue::Tuple(vs) => vs
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EvalError(format!("projection .{i} out of range"))),
+            other => rt(format!("projection from {other:?}")),
+        },
+        Term::Nil(_) => Ok(LValue::List(Vec::new())),
+        Term::Cons(h, t) => {
+            let hv = eval(h, env)?;
+            match eval(t, env)? {
+                LValue::List(mut vs) => {
+                    vs.insert(0, hv);
+                    Ok(LValue::List(vs))
+                }
+                other => rt(format!("cons onto {other:?}")),
+            }
+        }
+        Term::Fold(f, z, xs) => {
+            let fv = eval(f, env)?;
+            let zv = eval(z, env)?;
+            let xsv = match eval(xs, env)? {
+                LValue::List(vs) => vs,
+                other => return rt(format!("fold over {other:?}")),
+            };
+            let mut acc = zv;
+            for x in xsv.into_iter().rev() {
+                let g = apply(&fv, &x)?;
+                acc = apply(&g, &acc)?;
+            }
+            Ok(acc)
+        }
+        Term::If(c, a, b) => match eval(c, env)? {
+            LValue::Bool(true) => eval(a, env),
+            LValue::Bool(false) => eval(b, env),
+            other => rt(format!("if on {other:?}")),
+        },
+        Term::Eq(a, b) => {
+            let av = eval(a, env)?;
+            let bv = eval(b, env)?;
+            Ok(LValue::Bool(av == bv))
+        }
+        Term::Int(n) => Ok(LValue::Int(*n)),
+        Term::Bool(b) => Ok(LValue::Bool(*b)),
+        Term::Succ(t) => match eval(t, env)? {
+            LValue::Int(n) => Ok(LValue::Int(n + 1)),
+            other => rt(format!("succ of {other:?}")),
+        },
+    }
+}
+
+/// Apply a function value (closure or table) to an argument.
+pub fn apply(f: &LValue, a: &LValue) -> Result<LValue, EvalError> {
+    match f {
+        LValue::Closure { env, body } => {
+            let mut env2 = (**env).clone();
+            env2.push(a.clone());
+            eval(body, &Rc::new(env2))
+        }
+        LValue::Table(pairs) => pairs
+            .iter()
+            .find(|(x, _)| x == a)
+            .map(|(_, y)| y.clone())
+            .ok_or_else(|| EvalError(format!("table miss on {a:?}"))),
+        other => rt(format!("applying non-function {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Ty;
+
+    #[test]
+    fn identity_at_int() {
+        let i = Term::tylam(Term::lam(Ty::Var(0), Term::Var(0)));
+        let t = Term::app(Term::tyapp(i, Ty::int()), Term::Int(42));
+        assert_eq!(eval_closed(&t).unwrap(), LValue::Int(42));
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        // (λx:int. λy:int. x) 1 2 = 1
+        let t = Term::apps(
+            Term::lam(Ty::int(), Term::lam(Ty::int(), Term::Var(1))),
+            [Term::Int(1), Term::Int(2)],
+        );
+        assert_eq!(eval_closed(&t).unwrap(), LValue::Int(1));
+    }
+
+    #[test]
+    fn fold_computes_length() {
+        // count via fold: foldr (λx. λacc. succ acc) 0
+        let f = Term::lam(
+            Ty::int(),
+            Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0)))),
+        );
+        let xs = Term::list(Ty::int(), [Term::Int(5), Term::Int(5), Term::Int(5)]);
+        assert_eq!(
+            eval_closed(&Term::fold(f, Term::Int(0), xs)).unwrap(),
+            LValue::Int(3)
+        );
+    }
+
+    #[test]
+    fn fold_is_right_fold() {
+        // foldr cons ⟨⟩ = id; also check order with subtraction-like op:
+        // foldr (λx. λacc. x ∷ acc) ⟨⟩ ⟨1,2⟩ = ⟨1,2⟩
+        let f = Term::lam(
+            Ty::int(),
+            Term::lam(Ty::list(Ty::int()), Term::cons(Term::Var(1), Term::Var(0))),
+        );
+        let xs = Term::list(Ty::int(), [Term::Int(1), Term::Int(2)]);
+        assert_eq!(
+            eval_closed(&Term::fold(f, Term::Nil(Ty::int()), xs)).unwrap(),
+            LValue::List(vec![LValue::Int(1), LValue::Int(2)])
+        );
+    }
+
+    #[test]
+    fn if_and_eq() {
+        let t = Term::if_(
+            Term::eq(Term::Int(2), Term::Int(2)),
+            Term::Int(1),
+            Term::Int(0),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), LValue::Int(1));
+        let t2 = Term::eq(
+            Term::list(Ty::int(), [Term::Int(1)]),
+            Term::list(Ty::int(), [Term::Int(2)]),
+        );
+        assert_eq!(eval_closed(&t2).unwrap(), LValue::Bool(false));
+    }
+
+    #[test]
+    fn tables_apply_by_lookup() {
+        let f = LValue::table([(LValue::Int(1), LValue::Int(10)), (LValue::Int(2), LValue::Int(20))]);
+        assert_eq!(apply(&f, &LValue::Int(2)).unwrap(), LValue::Int(20));
+        assert!(apply(&f, &LValue::Int(3)).is_err());
+    }
+
+    #[test]
+    fn runtime_shape_errors() {
+        assert!(eval_closed(&Term::app(Term::Int(1), Term::Int(2))).is_err());
+        assert!(eval_closed(&Term::proj(0, Term::Int(1))).is_err());
+        assert!(eval_closed(&Term::Var(3)).is_err());
+    }
+
+    #[test]
+    fn value_equality_semantics() {
+        assert_eq!(LValue::List(vec![]), LValue::List(vec![]));
+        assert_ne!(LValue::Int(1), LValue::Bool(true));
+        let c1 = eval_closed(&Term::lam(Ty::int(), Term::Var(0))).unwrap();
+        let c2 = eval_closed(&Term::lam(Ty::int(), Term::Var(0))).unwrap();
+        assert_ne!(c1, c2); // distinct closures compare unequal
+        assert_eq!(c1, c1.clone()); // but identical ones are equal
+    }
+}

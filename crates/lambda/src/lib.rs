@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # genpar-lambda — the 2nd-order λ-calculus (System F)
+//!
+//! Section 4.1 of the paper works in the 2nd-order λ-calculus of Reynolds
+//! and Girard "with products and lists added" — "an expressive language
+//! with a polymorphic type system … more expressive than all current query
+//! languages of interest". This crate implements it:
+//!
+//! * [`ty::Ty`] — types: base types, type variables (de Bruijn), `→`, `∀`
+//!   (optionally **equality-bounded**, the paper's `∀X⁼` of Section 4.1,
+//!   used by list/set difference), products, lists;
+//! * [`term::Term`] — terms: λ-abstraction, application, type abstraction
+//!   `ΛX.e`, type application `e[τ]`, tuples, list constructors, `foldr`,
+//!   conditionals, and an `eq` primitive available only at
+//!   equality-admissible types;
+//! * [`tyck`] — a syntax-directed type checker;
+//! * [`eval`] — a call-by-value normalizer with closures, plus *table
+//!   functions* (finite function graphs) so that semantic function spaces
+//!   can be enumerated;
+//! * [`semantics`] — the "simple (set-theoretic) typed semantic domain" of
+//!   Section 4.2: exhaustive enumeration of the inhabitants of a
+//!   monomorphic type over a finite universe (function spaces included);
+//! * [`stdlib`] — the paper's running example terms: `I`, append `#`,
+//!   `zip`, `count`, `fold`, `map`, filter/σ, `ins`, `reverse`, and
+//!   equality-bounded list difference.
+//!
+//! The logical-relations interpretation of types (Definitions 4.2–4.3)
+//! and the parametricity checker live in `genpar-parametricity`, which
+//! builds on this crate.
+
+pub mod church;
+pub mod eval;
+pub mod semantics;
+pub mod stdlib;
+pub mod term;
+pub mod ty;
+pub mod tyck;
+
+pub use eval::{eval_closed, LValue};
+pub use term::Term;
+pub use ty::{BaseTy, Ty};
+pub use tyck::{type_of, TyckError};

@@ -1,0 +1,194 @@
+//! The finite set-theoretic semantic domain of Section 4.2.
+//!
+//! "We use a simple (set-theoretic) typed semantic domain … the domain for
+//! `α → β` includes all functions from the domain of `α` to that of `β`."
+//! Over finite universes every monomorphic type (here: without `∀`) has a
+//! finitely enumerable domain — function spaces become [`LValue::Table`]s
+//! — which is what makes the logical relation of Definitions 4.2–4.3
+//! decidable in `genpar-parametricity`.
+
+use crate::eval::LValue;
+use crate::ty::{BaseTy, Ty};
+
+/// Enumeration parameters: the finite universe.
+#[derive(Debug, Clone, Copy)]
+pub struct SemUniverse {
+    /// Integers `0..n_ints` inhabit `int` (they double as abstract
+    /// elements when a type variable is instantiated at `int`).
+    pub n_ints: i64,
+    /// Maximum list length enumerated.
+    pub max_list: usize,
+    /// Hard cap on domain size (function spaces explode as `|B|^|A|`);
+    /// enumeration returns `None` beyond it.
+    pub max_dom: usize,
+}
+
+impl Default for SemUniverse {
+    fn default() -> Self {
+        SemUniverse {
+            n_ints: 3,
+            max_list: 2,
+            max_dom: 4096,
+        }
+    }
+}
+
+/// Enumerate all inhabitants of a `∀`-free closed type over the universe.
+/// Type variables are not allowed (instantiate first); returns `None` if
+/// the domain exceeds `max_dom` or the type contains `Var`/`Forall`.
+pub fn enumerate_domain(ty: &Ty, u: SemUniverse) -> Option<Vec<LValue>> {
+    let out = match ty {
+        Ty::Var(_) | Ty::Forall { .. } => return None,
+        Ty::Base(BaseTy::Bool) => vec![LValue::Bool(false), LValue::Bool(true)],
+        Ty::Base(BaseTy::Int) => (0..u.n_ints).map(LValue::Int).collect(),
+        Ty::Prod(ts) => {
+            let parts: Vec<Vec<LValue>> = ts
+                .iter()
+                .map(|t| enumerate_domain(t, u))
+                .collect::<Option<_>>()?;
+            let mut acc: Vec<Vec<LValue>> = vec![Vec::new()];
+            for p in &parts {
+                let mut next = Vec::with_capacity(acc.len() * p.len());
+                for prefix in &acc {
+                    for v in p {
+                        let mut row = prefix.clone();
+                        row.push(v.clone());
+                        next.push(row);
+                    }
+                }
+                if next.len() > u.max_dom {
+                    return None;
+                }
+                acc = next;
+            }
+            acc.into_iter().map(LValue::Tuple).collect()
+        }
+        Ty::List(t) => {
+            let elems = enumerate_domain(t, u)?;
+            let mut out: Vec<Vec<LValue>> = vec![Vec::new()];
+            let mut frontier: Vec<Vec<LValue>> = vec![Vec::new()];
+            for _ in 0..u.max_list {
+                let mut next = Vec::new();
+                for prefix in &frontier {
+                    for v in &elems {
+                        let mut l = prefix.clone();
+                        l.push(v.clone());
+                        next.push(l);
+                    }
+                }
+                out.extend(next.iter().cloned());
+                if out.len() > u.max_dom {
+                    return None;
+                }
+                frontier = next;
+            }
+            out.into_iter().map(LValue::List).collect()
+        }
+        Ty::Arrow(a, b) => {
+            let dom = enumerate_domain(a, u)?;
+            let cod = enumerate_domain(b, u)?;
+            if dom.is_empty() {
+                return Some(vec![LValue::table([])]);
+            }
+            if cod.is_empty() {
+                return Some(Vec::new());
+            }
+            // |cod|^|dom| tables
+            let total = (cod.len() as u64).checked_pow(dom.len() as u32)?;
+            if total as usize > u.max_dom {
+                return None;
+            }
+            let mut out = Vec::with_capacity(total as usize);
+            for code in 0..total {
+                let mut c = code;
+                let mut table = Vec::with_capacity(dom.len());
+                for x in &dom {
+                    table.push((x.clone(), cod[(c % cod.len() as u64) as usize].clone()));
+                    c /= cod.len() as u64;
+                }
+                out.push(LValue::table(table));
+            }
+            out
+        }
+    };
+    (out.len() <= u.max_dom).then_some(out)
+}
+
+/// Size of a type's domain, if enumerable under the universe.
+pub fn domain_size(ty: &Ty, u: SemUniverse) -> Option<usize> {
+    enumerate_domain(ty, u).map(|v| v.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::apply;
+
+    #[test]
+    fn base_domains() {
+        let u = SemUniverse::default();
+        assert_eq!(domain_size(&Ty::bool(), u), Some(2));
+        assert_eq!(domain_size(&Ty::int(), u), Some(3));
+    }
+
+    #[test]
+    fn product_domains_multiply() {
+        let u = SemUniverse::default();
+        assert_eq!(domain_size(&Ty::pair(Ty::bool(), Ty::int()), u), Some(6));
+        assert_eq!(domain_size(&Ty::prod([]), u), Some(1)); // unit
+    }
+
+    #[test]
+    fn list_domains_sum_lengths() {
+        let u = SemUniverse { n_ints: 2, max_list: 2, max_dom: 4096 };
+        // lengths 0,1,2 over 2 elements: 1 + 2 + 4 = 7
+        assert_eq!(domain_size(&Ty::list(Ty::int()), u), Some(7));
+    }
+
+    #[test]
+    fn function_domains_exponentiate() {
+        let u = SemUniverse { n_ints: 2, max_list: 1, max_dom: 4096 };
+        // bool → int(2): 2^2 = 4
+        assert_eq!(domain_size(&Ty::arrow(Ty::bool(), Ty::int()), u), Some(4));
+        // all 4 tables are distinct and applicable
+        let fns = enumerate_domain(&Ty::arrow(Ty::bool(), Ty::int()), u).unwrap();
+        for f in &fns {
+            apply(f, &LValue::Bool(true)).unwrap();
+            apply(f, &LValue::Bool(false)).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_domain_function_space() {
+        // int(0) → bool has exactly one function (the empty table)
+        let u = SemUniverse { n_ints: 0, max_list: 1, max_dom: 64 };
+        assert_eq!(domain_size(&Ty::arrow(Ty::int(), Ty::bool()), u), Some(1));
+        // bool → int(0) has none
+        assert_eq!(domain_size(&Ty::arrow(Ty::bool(), Ty::int()), u), Some(0));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let u = SemUniverse { n_ints: 4, max_list: 3, max_dom: 100 };
+        // int(4) → int(4): 4^4 = 256 > 100
+        assert_eq!(domain_size(&Ty::arrow(Ty::int(), Ty::int()), u), None);
+    }
+
+    #[test]
+    fn polymorphic_types_not_enumerable() {
+        let u = SemUniverse::default();
+        assert_eq!(enumerate_domain(&Ty::Var(0), u), None);
+        assert_eq!(
+            enumerate_domain(&Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0))), u),
+            None
+        );
+    }
+
+    #[test]
+    fn higher_order_domains() {
+        let u = SemUniverse { n_ints: 2, max_list: 1, max_dom: 4096 };
+        // (bool → bool) → bool: dom = 4 fns, cod = 2 → 2^4 = 16
+        let t = Ty::arrow(Ty::arrow(Ty::bool(), Ty::bool()), Ty::bool());
+        assert_eq!(domain_size(&t, u), Some(16));
+    }
+}

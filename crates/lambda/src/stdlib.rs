@@ -1,0 +1,527 @@
+//! The paper's running example terms, with their Section 4 types.
+//!
+//! All are closed, well-typed System F terms (verified by tests), built on
+//! `foldr` as the list eliminator.
+
+use crate::term::Term;
+use crate::ty::Ty;
+
+/// `I = ΛX. λx:X. x : ∀X. X → X` — the universal identity (Section 4.1).
+pub fn id() -> Term {
+    Term::tylam(Term::lam(Ty::Var(0), Term::Var(0)))
+}
+
+/// Append `# : ∀X. ⟨X⟩ × ⟨X⟩ → ⟨X⟩` (Section 4.1's flagship example).
+///
+/// `#(u, v) = foldr cons v u`.
+pub fn append() -> Term {
+    let x = Ty::Var(0);
+    Term::tylam(Term::lam(
+        Ty::pair(Ty::list(x.clone()), Ty::list(x.clone())),
+        Term::fold(
+            Term::lam(
+                x.clone(),
+                Term::lam(Ty::list(x.clone()), Term::cons(Term::Var(1), Term::Var(0))),
+            ),
+            Term::proj(1, Term::Var(0)),
+            Term::proj(0, Term::Var(0)),
+        ),
+    ))
+}
+
+/// `count : ∀X. ⟨X⟩ → int` (Section 4.1) — list length.
+pub fn count() -> Term {
+    let x = Ty::Var(0);
+    Term::tylam(Term::lam(
+        Ty::list(x.clone()),
+        Term::fold(
+            Term::lam(x, Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0))))),
+            Term::Int(0),
+            Term::Var(0),
+        ),
+    ))
+}
+
+/// `map : ∀X. ∀Y. (X → Y) → ⟨X⟩ → ⟨Y⟩`.
+pub fn map() -> Term {
+    let x = Ty::Var(1);
+    let y = Ty::Var(0);
+    Term::tylam(Term::tylam(Term::lam(
+        Ty::arrow(x.clone(), y.clone()),
+        Term::lam(
+            Ty::list(x.clone()),
+            Term::fold(
+                Term::lam(
+                    x,
+                    Term::lam(
+                        Ty::list(y.clone()),
+                        Term::cons(Term::app(Term::Var(3), Term::Var(1)), Term::Var(0)),
+                    ),
+                ),
+                Term::Nil(y),
+                Term::Var(0),
+            ),
+        ),
+    )))
+}
+
+/// Filter `σ : ∀X. (X → bool) → ⟨X⟩ → ⟨X⟩` — the list selection whose
+/// LtoS type Example 4.14 highlights.
+pub fn filter() -> Term {
+    let x = Ty::Var(0);
+    Term::tylam(Term::lam(
+        Ty::arrow(x.clone(), Ty::bool()),
+        Term::lam(
+            Ty::list(x.clone()),
+            Term::fold(
+                Term::lam(
+                    x.clone(),
+                    Term::lam(
+                        Ty::list(x),
+                        Term::if_(
+                            Term::app(Term::Var(3), Term::Var(1)),
+                            Term::cons(Term::Var(1), Term::Var(0)),
+                            Term::Var(0),
+                        ),
+                    ),
+                ),
+                Term::Nil(Ty::Var(0)),
+                Term::Var(0),
+            ),
+        ),
+    ))
+}
+
+/// `zip`-shaped pairing `: ∀X. ∀Y. ⟨X⟩ × ⟨Y⟩ → ⟨X × Y⟩` (Section 4.1).
+///
+/// System F's `foldr` consumes lists from the right, so positional zip is
+/// encoded by folding over `reverse u` (visiting elements left-to-right)
+/// with a state `(remaining ys, reversed output)`, peeling one `y` per
+/// step via fold-encoded `take1`/`tail`, and reversing the output at the
+/// end. Truncates to the shorter list, like ML's zip.
+pub fn zip() -> Term {
+    let x = || Ty::Var(1);
+    let y = || Ty::Var(0);
+    let xy = || Ty::pair(x(), y());
+    let pair_list = || Ty::list(xy());
+    // state S = ⟨Y⟩ × ⟨X×Y⟩  (remaining ys, output so far, reversed)
+    let s = || Ty::pair(Ty::list(y()), pair_list());
+    // take1 ys : ⟨Y⟩ — singleton head or empty. foldr visits the last
+    // element first and each step *replaces* the accumulator, so the
+    // leftmost element wins.
+    let take1 = |ys: Term| {
+        Term::fold(
+            Term::lam(
+                y(),
+                Term::lam(Ty::list(y()), Term::cons(Term::Var(1), Term::Nil(y()))),
+            ),
+            Term::Nil(y()),
+            ys,
+        )
+    };
+    // tail ys = π₀ (foldr (λa. λ(t, s). (s, a∷s)) (⟨⟩, ⟨⟩) ys)
+    let tail = |ys: Term| {
+        Term::proj(
+            0,
+            Term::fold(
+                Term::lam(
+                    y(),
+                    Term::lam(
+                        Ty::pair(Ty::list(y()), Ty::list(y())),
+                        Term::Tuple(vec![
+                            Term::proj(1, Term::Var(0)),
+                            Term::cons(Term::Var(1), Term::proj(1, Term::Var(0))),
+                        ]),
+                    ),
+                ),
+                Term::Tuple(vec![Term::Nil(y()), Term::Nil(y())]),
+                ys,
+            ),
+        )
+    };
+    // step a (ys, out) = (tail ys, map (λh. (a,h)) (take1 ys) ++ out)
+    // Body context (innermost last): [p, a, st] → st=Var(0), a=Var(1).
+    let step = Term::lam(
+        x(),
+        Term::lam(s(), {
+            let ys = || Term::proj(0, Term::Var(0));
+            let out = Term::proj(1, Term::Var(0));
+            // headpairs = map (λh. (a, h)) (take1 ys): inside the fold's
+            // two binders, a is Var(3) and h is Var(1)
+            let consed = Term::fold(
+                Term::lam(
+                    y(),
+                    Term::lam(
+                        pair_list(),
+                        Term::cons(
+                            Term::Tuple(vec![Term::Var(3), Term::Var(1)]),
+                            Term::Var(0),
+                        ),
+                    ),
+                ),
+                out,
+                take1(ys()),
+            );
+            Term::Tuple(vec![tail(ys()), consed])
+        }),
+    );
+    // zip (u, v) = reverse[X×Y] (π₁ (foldr step (v, ⟨⟩) (reverse[X] u)))
+    Term::tylam(Term::tylam(Term::lam(
+        Ty::pair(Ty::list(x()), Ty::list(y())),
+        Term::app(
+            Term::tyapp(reverse(), xy()),
+            Term::proj(
+                1,
+                Term::fold(
+                    step,
+                    Term::Tuple(vec![Term::proj(1, Term::Var(0)), Term::Nil(xy())]),
+                    Term::app(Term::tyapp(reverse(), x()), Term::proj(0, Term::Var(0))),
+                ),
+            ),
+        ),
+    )))
+}
+
+/// `reverse : ∀X. ⟨X⟩ → ⟨X⟩`.
+pub fn reverse() -> Term {
+    let x = Ty::Var(0);
+    // reverse = foldr (λa. λacc. acc # ⟨a⟩) ⟨⟩
+    Term::tylam(Term::lam(
+        Ty::list(x.clone()),
+        Term::fold(
+            Term::lam(
+                x.clone(),
+                Term::lam(Ty::list(x.clone()), {
+                    // acc # ⟨a⟩ via fold
+                    Term::fold(
+                        Term::lam(
+                            x.clone(),
+                            Term::lam(Ty::list(x.clone()), Term::cons(Term::Var(1), Term::Var(0))),
+                        ),
+                        Term::cons(Term::Var(1), Term::Nil(x.clone())),
+                        Term::Var(0),
+                    )
+                }),
+            ),
+            Term::Nil(x),
+            Term::Var(0),
+        ),
+    ))
+}
+
+/// `ins : ∀X. X → ⟨X⟩ → ⟨X⟩` — the list analogue of the paper's `ins_c`
+/// (Section 4.3), i.e. `cons` curried.
+pub fn ins() -> Term {
+    let x = Ty::Var(0);
+    Term::tylam(Term::lam(
+        x.clone(),
+        Term::lam(Ty::list(x), Term::cons(Term::Var(1), Term::Var(0))),
+    ))
+}
+
+/// `concat : ∀X. ⟨⟨X⟩⟩ → ⟨X⟩` — flatten a list of lists; the list
+/// analogue of the set algebra's μ (flatten), used by the Section 4.2
+/// transfer (`concat ↦ μ` just as `# ↦ ∪`).
+pub fn concat() -> Term {
+    let x = || Ty::Var(0);
+    // concat = foldr (λxs. λacc. xs # acc) ⟨⟩, with # inlined
+    let append_inline = Term::fold(
+        Term::lam(
+            x(),
+            Term::lam(Ty::list(x()), Term::cons(Term::Var(1), Term::Var(0))),
+        ),
+        Term::Var(0), // acc
+        Term::Var(1), // xs
+    );
+    Term::tylam(Term::lam(
+        Ty::list(Ty::list(x())),
+        Term::fold(
+            Term::lam(Ty::list(x()), Term::lam(Ty::list(x()), append_inline)),
+            Term::Nil(x()),
+            Term::Var(0),
+        ),
+    ))
+}
+
+/// List difference `− : ∀X⁼. ⟨X⟩ × ⟨X⟩ → ⟨X⟩` (Section 4.1): removes
+/// from the first list all elements occurring in the second. Requires the
+/// equality bound — it is *not* expressible at the unbounded type.
+pub fn list_diff() -> Term {
+    let x = || Ty::Var(0);
+    // member e ys = foldr (λa. λb. if a = e then true else b) false ys
+    let member = |e: Term, ys: Term| {
+        Term::fold(
+            Term::lam(
+                x(),
+                Term::lam(
+                    Ty::bool(),
+                    Term::if_(Term::eq(Term::Var(1), e), Term::Bool(true), Term::Var(0)),
+                ),
+            ),
+            Term::Bool(false),
+            ys,
+        )
+    };
+    Term::tylam_eq(Term::lam(
+        Ty::pair(Ty::list(x()), Ty::list(x())),
+        Term::fold(
+            Term::lam(
+                x(),
+                Term::lam(
+                    Ty::list(x()),
+                    Term::if_(
+                        // Var usage inside member: e is Var(1) from here,
+                        // ys (the subtrahend) is p.1 where p is Var(2)
+                        member(Term::Var(3), Term::proj(1, Term::Var(2))),
+                        Term::Var(0),
+                        Term::cons(Term::Var(1), Term::Var(0)),
+                    ),
+                ),
+            ),
+            Term::Nil(x()),
+            Term::proj(0, Term::Var(0)),
+        ),
+    ))
+}
+
+/// The types the paper assigns to these terms, for reference and tests.
+pub fn expected_types() -> Vec<(&'static str, Term, Ty)> {
+    let x0 = Ty::Var(0);
+    vec![
+        ("id", id(), Ty::forall(Ty::arrow(x0.clone(), x0.clone()))),
+        (
+            "append",
+            append(),
+            Ty::forall(Ty::arrow(
+                Ty::pair(Ty::list(x0.clone()), Ty::list(x0.clone())),
+                Ty::list(x0.clone()),
+            )),
+        ),
+        (
+            "count",
+            count(),
+            Ty::forall(Ty::arrow(Ty::list(x0.clone()), Ty::int())),
+        ),
+        (
+            "map",
+            map(),
+            Ty::forall(Ty::forall(Ty::arrow(
+                Ty::arrow(Ty::Var(1), Ty::Var(0)),
+                Ty::arrow(Ty::list(Ty::Var(1)), Ty::list(Ty::Var(0))),
+            ))),
+        ),
+        (
+            "filter",
+            filter(),
+            Ty::forall(Ty::arrow(
+                Ty::arrow(x0.clone(), Ty::bool()),
+                Ty::arrow(Ty::list(x0.clone()), Ty::list(x0.clone())),
+            )),
+        ),
+        (
+            "zip",
+            zip(),
+            Ty::forall(Ty::forall(Ty::arrow(
+                Ty::pair(Ty::list(Ty::Var(1)), Ty::list(Ty::Var(0))),
+                Ty::list(Ty::pair(Ty::Var(1), Ty::Var(0))),
+            ))),
+        ),
+        (
+            "reverse",
+            reverse(),
+            Ty::forall(Ty::arrow(Ty::list(x0.clone()), Ty::list(x0.clone()))),
+        ),
+        (
+            "ins",
+            ins(),
+            Ty::forall(Ty::arrow(
+                x0.clone(),
+                Ty::arrow(Ty::list(x0.clone()), Ty::list(x0.clone())),
+            )),
+        ),
+        (
+            "concat",
+            concat(),
+            Ty::forall(Ty::arrow(
+                Ty::list(Ty::list(x0.clone())),
+                Ty::list(x0.clone()),
+            )),
+        ),
+        (
+            "list_diff",
+            list_diff(),
+            Ty::forall_eq(Ty::arrow(
+                Ty::pair(Ty::list(x0.clone()), Ty::list(x0.clone())),
+                Ty::list(x0),
+            )),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{apply, eval_closed, LValue};
+    use crate::tyck::type_of;
+
+    fn int_list(ns: &[i64]) -> Term {
+        Term::list(Ty::int(), ns.iter().map(|&n| Term::Int(n)))
+    }
+
+    fn lv_int_list(ns: &[i64]) -> LValue {
+        LValue::List(ns.iter().map(|&n| LValue::Int(n)).collect())
+    }
+
+    #[test]
+    fn stdlib_terms_have_their_paper_types() {
+        for (name, term, ty) in expected_types() {
+            assert_eq!(type_of(&term).unwrap(), ty, "{name}");
+        }
+    }
+
+    #[test]
+    fn append_appends() {
+        let t = Term::app(
+            Term::tyapp(append(), Ty::int()),
+            Term::Tuple(vec![int_list(&[1, 2]), int_list(&[3])]),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn append_with_empty() {
+        let t = Term::app(
+            Term::tyapp(append(), Ty::int()),
+            Term::Tuple(vec![int_list(&[]), int_list(&[7])]),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[7]));
+    }
+
+    #[test]
+    fn count_counts() {
+        let t = Term::app(Term::tyapp(count(), Ty::int()), int_list(&[9, 9, 9, 9]));
+        assert_eq!(eval_closed(&t).unwrap(), LValue::Int(4));
+        let t0 = Term::app(Term::tyapp(count(), Ty::bool()), Term::Nil(Ty::bool()));
+        assert_eq!(eval_closed(&t0).unwrap(), LValue::Int(0));
+    }
+
+    #[test]
+    fn map_maps() {
+        let succ = Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0))));
+        let t = Term::apps(
+            Term::tyapp(Term::tyapp(map(), Ty::int()), Ty::int()),
+            [succ, int_list(&[1, 2, 3])],
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[2, 3, 4]));
+    }
+
+    #[test]
+    fn filter_filters() {
+        // keep elements equal to 2
+        let p = Term::lam(Ty::int(), Term::eq(Term::Var(0), Term::Int(2)));
+        let t = Term::apps(
+            Term::tyapp(filter(), Ty::int()),
+            [p, int_list(&[1, 2, 3, 2])],
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[2, 2]));
+    }
+
+    #[test]
+    fn zip_zips_equal_lengths() {
+        let t = Term::app(
+            Term::tyapp(Term::tyapp(zip(), Ty::int()), Ty::bool()),
+            Term::Tuple(vec![
+                int_list(&[1, 2]),
+                Term::list(Ty::bool(), [Term::Bool(true), Term::Bool(false)]),
+            ]),
+        );
+        let got = eval_closed(&t).unwrap();
+        assert_eq!(
+            got,
+            LValue::List(vec![
+                LValue::Tuple(vec![LValue::Int(1), LValue::Bool(true)]),
+                LValue::Tuple(vec![LValue::Int(2), LValue::Bool(false)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn zip_truncates_on_short_second() {
+        let t = Term::app(
+            Term::tyapp(Term::tyapp(zip(), Ty::int()), Ty::int()),
+            Term::Tuple(vec![int_list(&[1, 2, 3]), int_list(&[10])]),
+        );
+        let got = eval_closed(&t).unwrap();
+        assert_eq!(
+            got,
+            LValue::List(vec![LValue::Tuple(vec![LValue::Int(1), LValue::Int(10)])])
+        );
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let t = Term::app(Term::tyapp(reverse(), Ty::int()), int_list(&[1, 2, 3]));
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn ins_conses() {
+        let t = Term::apps(
+            Term::tyapp(ins(), Ty::int()),
+            [Term::Int(0), int_list(&[1])],
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[0, 1]));
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let ll = Term::list(
+            Ty::list(Ty::int()),
+            [int_list(&[1, 2]), int_list(&[]), int_list(&[3])],
+        );
+        let t = Term::app(Term::tyapp(concat(), Ty::int()), ll);
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn concat_of_empty_is_empty() {
+        let t = Term::app(
+            Term::tyapp(concat(), Ty::int()),
+            Term::Nil(Ty::list(Ty::int())),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[]));
+    }
+
+    #[test]
+    fn list_diff_removes_members() {
+        let t = Term::app(
+            Term::tyapp(list_diff(), Ty::int()),
+            Term::Tuple(vec![int_list(&[1, 2, 3, 2]), int_list(&[2, 4])]),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), lv_int_list(&[1, 3]));
+    }
+
+    #[test]
+    fn list_diff_rejects_non_eq_instantiation() {
+        assert!(type_of(&Term::tyapp(list_diff(), Ty::arrow(Ty::int(), Ty::int()))).is_err());
+        assert!(type_of(&Term::tyapp(list_diff(), Ty::list(Ty::int()))).is_ok());
+    }
+
+    #[test]
+    fn polymorphic_instantiation_at_different_types() {
+        // count works uniformly: lists of lists
+        let inner = Term::list(Ty::int(), [Term::Int(1)]);
+        let t = Term::app(
+            Term::tyapp(count(), Ty::list(Ty::int())),
+            Term::list(Ty::list(Ty::int()), [inner.clone(), inner]),
+        );
+        assert_eq!(eval_closed(&t).unwrap(), LValue::Int(2));
+    }
+
+    #[test]
+    fn closures_from_stdlib_apply() {
+        let f = eval_closed(&Term::tyapp(count(), Ty::int())).unwrap();
+        assert!(f.is_function());
+        assert_eq!(apply(&f, &lv_int_list(&[1, 2])).unwrap(), LValue::Int(2));
+    }
+}

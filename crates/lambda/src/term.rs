@@ -1,0 +1,160 @@
+//! System F terms (de Bruijn indices for both term and type variables).
+
+use crate::ty::Ty;
+use std::fmt;
+
+/// A term of the 2nd-order λ-calculus with products, lists and an
+/// equality primitive for `∀X⁼`-bounded polymorphism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Term variable (de Bruijn index).
+    Var(usize),
+    /// `λx:T. e`.
+    Lam(Ty, Box<Term>),
+    /// Application `e₁ e₂`.
+    App(Box<Term>, Box<Term>),
+    /// Type abstraction `ΛX. e`; `eq_bounded` makes it `ΛX⁼. e`.
+    TyLam {
+        /// Is the bound variable restricted to equality types?
+        eq_bounded: bool,
+        /// The body.
+        body: Box<Term>,
+    },
+    /// Type application `e[τ]`.
+    TyApp(Box<Term>, Ty),
+    /// Tuple formation.
+    Tuple(Vec<Term>),
+    /// Projection `e.i` (0-based).
+    Proj(usize, Box<Term>),
+    /// Empty list at element type.
+    Nil(Ty),
+    /// `cons h t`.
+    Cons(Box<Term>, Box<Term>),
+    /// `foldr f z xs` — the list eliminator: `foldr f z ⟨⟩ = z`,
+    /// `foldr f z (h∷t) = f h (foldr f z t)`.
+    Fold(Box<Term>, Box<Term>, Box<Term>),
+    /// Conditional.
+    If(Box<Term>, Box<Term>, Box<Term>),
+    /// Structural equality — type checked only at equality-admissible
+    /// types (Section 4.1's `X⁼`).
+    Eq(Box<Term>, Box<Term>),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer successor (interpreted base function, used by `count`).
+    Succ(Box<Term>),
+}
+
+impl Term {
+    /// `λx:T. e`.
+    pub fn lam(ty: Ty, body: Term) -> Term {
+        Term::Lam(ty, Box::new(body))
+    }
+    /// `e₁ e₂`.
+    pub fn app(f: Term, a: Term) -> Term {
+        Term::App(Box::new(f), Box::new(a))
+    }
+    /// Left-nested multi-application.
+    pub fn apps(f: Term, args: impl IntoIterator<Item = Term>) -> Term {
+        args.into_iter().fold(f, Term::app)
+    }
+    /// `ΛX. e`.
+    pub fn tylam(body: Term) -> Term {
+        Term::TyLam {
+            eq_bounded: false,
+            body: Box::new(body),
+        }
+    }
+    /// `ΛX⁼. e`.
+    pub fn tylam_eq(body: Term) -> Term {
+        Term::TyLam {
+            eq_bounded: true,
+            body: Box::new(body),
+        }
+    }
+    /// `e[τ]`.
+    pub fn tyapp(f: Term, ty: Ty) -> Term {
+        Term::TyApp(Box::new(f), ty)
+    }
+    /// `cons`.
+    pub fn cons(h: Term, t: Term) -> Term {
+        Term::Cons(Box::new(h), Box::new(t))
+    }
+    /// Literal list from terms.
+    pub fn list(elem_ty: Ty, items: impl IntoIterator<Item = Term>) -> Term {
+        let items: Vec<Term> = items.into_iter().collect();
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::Nil(elem_ty), |acc, h| Term::cons(h, acc))
+    }
+    /// `foldr f z xs`.
+    pub fn fold(f: Term, z: Term, xs: Term) -> Term {
+        Term::Fold(Box::new(f), Box::new(z), Box::new(xs))
+    }
+    /// Conditional.
+    pub fn if_(c: Term, t: Term, e: Term) -> Term {
+        Term::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+    /// Equality test.
+    pub fn eq(a: Term, b: Term) -> Term {
+        Term::Eq(Box::new(a), Box::new(b))
+    }
+    /// Projection.
+    pub fn proj(i: usize, t: Term) -> Term {
+        Term::Proj(i, Box::new(t))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(i) => write!(f, "#{i}"),
+            Term::Lam(ty, b) => write!(f, "λ:{ty}. {b}"),
+            Term::App(a, b) => write!(f, "({a} {b})"),
+            Term::TyLam { eq_bounded, body } => {
+                write!(f, "Λ{}. {body}", if *eq_bounded { "X⁼" } else { "X" })
+            }
+            Term::TyApp(a, ty) => write!(f, "{a}[{ty}]"),
+            Term::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Proj(i, t) => write!(f, "{t}.{i}"),
+            Term::Nil(ty) => write!(f, "⟨⟩:{ty}"),
+            Term::Cons(h, t) => write!(f, "({h} ∷ {t})"),
+            Term::Fold(g, z, xs) => write!(f, "foldr {g} {z} {xs}"),
+            Term::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+            Term::Eq(a, b) => write!(f, "({a} = {b})"),
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Bool(b) => write!(f, "{b}"),
+            Term::Succ(t) => write!(f, "succ {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_shape_terms() {
+        let id = Term::tylam(Term::lam(Ty::Var(0), Term::Var(0)));
+        assert_eq!(id.to_string(), "ΛX. λ:?0. #0"); // type display is depth-agnostic inside terms
+        let l = Term::list(Ty::int(), [Term::Int(1), Term::Int(2)]);
+        assert_eq!(l.to_string(), "(1 ∷ (2 ∷ ⟨⟩:int))");
+    }
+
+    #[test]
+    fn apps_left_nest() {
+        let t = Term::apps(Term::Var(0), [Term::Int(1), Term::Int(2)]);
+        assert_eq!(t.to_string(), "((#0 1) 2)");
+    }
+}

@@ -1,0 +1,330 @@
+//! System F types with products and lists.
+
+use std::fmt;
+
+/// Base types of the λ-calculus fragment.
+///
+/// The paper notes "in the 2nd-order λ calculus we can choose base types
+/// arbitrarily" (Section 4.2, embedding monomorphic set types as base
+/// types); `Int` doubles as the carrier of abstract elements in the
+/// finite semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseTy {
+    /// Booleans (the special type whose mappings are the identity).
+    Bool,
+    /// Integers.
+    Int,
+}
+
+impl fmt::Display for BaseTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseTy::Bool => write!(f, "bool"),
+            BaseTy::Int => write!(f, "int"),
+        }
+    }
+}
+
+/// A System F type. Type variables use de Bruijn indices: `Var(0)` is the
+/// innermost `∀` binder.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A type variable (de Bruijn index).
+    Var(usize),
+    /// A base type.
+    Base(BaseTy),
+    /// Function type `S → T`.
+    Arrow(Box<Ty>, Box<Ty>),
+    /// Universal quantification `∀X.T` — `eq_bounded` restricts the
+    /// variable to equality types (the paper's `∀X⁼`, Section 4.1).
+    Forall {
+        /// Is this the bounded quantifier `∀X⁼`?
+        eq_bounded: bool,
+        /// The body (with `Var(0)` bound).
+        body: Box<Ty>,
+    },
+    /// Product type.
+    Prod(Vec<Ty>),
+    /// List type `⟨T⟩`.
+    List(Box<Ty>),
+}
+
+impl Ty {
+    /// `bool`.
+    pub fn bool() -> Ty {
+        Ty::Base(BaseTy::Bool)
+    }
+    /// `int`.
+    pub fn int() -> Ty {
+        Ty::Base(BaseTy::Int)
+    }
+    /// `S → T`.
+    pub fn arrow(s: Ty, t: Ty) -> Ty {
+        Ty::Arrow(Box::new(s), Box::new(t))
+    }
+    /// Right-nested arrows `t₁ → t₂ → … → r`.
+    pub fn arrows(args: impl IntoIterator<Item = Ty>, ret: Ty) -> Ty {
+        let args: Vec<Ty> = args.into_iter().collect();
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, a| Ty::arrow(a, acc))
+    }
+    /// `∀X.T`.
+    pub fn forall(body: Ty) -> Ty {
+        Ty::Forall {
+            eq_bounded: false,
+            body: Box::new(body),
+        }
+    }
+    /// `∀X⁼.T`.
+    pub fn forall_eq(body: Ty) -> Ty {
+        Ty::Forall {
+            eq_bounded: true,
+            body: Box::new(body),
+        }
+    }
+    /// `⟨T⟩`.
+    pub fn list(t: Ty) -> Ty {
+        Ty::List(Box::new(t))
+    }
+    /// Product.
+    pub fn prod(ts: impl IntoIterator<Item = Ty>) -> Ty {
+        Ty::Prod(ts.into_iter().collect())
+    }
+    /// Binary product `S × T`.
+    pub fn pair(s: Ty, t: Ty) -> Ty {
+        Ty::prod([s, t])
+    }
+
+    /// Shift free variables ≥ `cutoff` by `d` (standard de Bruijn shift).
+    pub fn shift_above(&self, d: isize, cutoff: usize) -> Ty {
+        match self {
+            Ty::Var(i) => {
+                if *i >= cutoff {
+                    Ty::Var((*i as isize + d) as usize)
+                } else {
+                    Ty::Var(*i)
+                }
+            }
+            Ty::Base(b) => Ty::Base(*b),
+            Ty::Arrow(a, b) => Ty::arrow(a.shift_above(d, cutoff), b.shift_above(d, cutoff)),
+            Ty::Forall { eq_bounded, body } => Ty::Forall {
+                eq_bounded: *eq_bounded,
+                body: Box::new(body.shift_above(d, cutoff + 1)),
+            },
+            Ty::Prod(ts) => Ty::Prod(ts.iter().map(|t| t.shift_above(d, cutoff)).collect()),
+            Ty::List(t) => Ty::list(t.shift_above(d, cutoff)),
+        }
+    }
+
+    /// Shift all free variables by `d`.
+    pub fn shift(&self, d: isize) -> Ty {
+        self.shift_above(d, 0)
+    }
+
+    /// Capture-avoiding substitution `self[j := s]`.
+    pub fn subst(&self, j: usize, s: &Ty) -> Ty {
+        match self {
+            Ty::Var(i) if *i == j => s.clone(),
+            Ty::Var(i) => Ty::Var(*i),
+            Ty::Base(b) => Ty::Base(*b),
+            Ty::Arrow(a, b) => Ty::arrow(a.subst(j, s), b.subst(j, s)),
+            Ty::Forall { eq_bounded, body } => Ty::Forall {
+                eq_bounded: *eq_bounded,
+                body: Box::new(body.subst(j + 1, &s.shift(1))),
+            },
+            Ty::Prod(ts) => Ty::Prod(ts.iter().map(|t| t.subst(j, s)).collect()),
+            Ty::List(t) => Ty::list(t.subst(j, s)),
+        }
+    }
+
+    /// β-reduction at the type level for `(∀X.body)[arg]`: substitute
+    /// `Var(0) := arg` and unshift.
+    pub fn instantiate(&self, arg: &Ty) -> Ty {
+        // self is the *body* under the binder
+        self.subst(0, &arg.shift(1)).shift(-1)
+    }
+
+    /// Is the type closed (no free variables)?
+    pub fn is_closed(&self) -> bool {
+        self.max_free_var().is_none()
+    }
+
+    /// The largest free de Bruijn index, if any.
+    pub fn max_free_var(&self) -> Option<usize> {
+        fn go(t: &Ty, depth: usize) -> Option<usize> {
+            match t {
+                Ty::Var(i) => (*i >= depth).then(|| i - depth),
+                Ty::Base(_) => None,
+                Ty::Arrow(a, b) => go(a, depth).into_iter().chain(go(b, depth)).max(),
+                Ty::Forall { body, .. } => go(body, depth + 1),
+                Ty::Prod(ts) => ts.iter().filter_map(|t| go(t, depth)).max(),
+                Ty::List(t) => go(t, depth),
+            }
+        }
+        go(self, 0)
+    }
+
+    /// Is the type monomorphic (no `∀` and no free variables)?
+    pub fn is_monomorphic(&self) -> bool {
+        fn no_forall(t: &Ty) -> bool {
+            match t {
+                Ty::Var(_) | Ty::Base(_) => true,
+                Ty::Arrow(a, b) => no_forall(a) && no_forall(b),
+                Ty::Forall { .. } => false,
+                Ty::Prod(ts) => ts.iter().all(no_forall),
+                Ty::List(t) => no_forall(t),
+            }
+        }
+        self.is_closed() && no_forall(self)
+    }
+
+    /// Equality admissibility: can `eq` be used at this type? Base types
+    /// and products/lists thereof qualify; variables qualify only when
+    /// bound by `∀X⁼` (`eq_vars[i]` true for binder at index `i`).
+    pub fn eq_admissible(&self, eq_vars: &[bool]) -> bool {
+        match self {
+            Ty::Var(i) => eq_vars.get(*i).copied().unwrap_or(false),
+            Ty::Base(_) => true,
+            Ty::Arrow(..) | Ty::Forall { .. } => false,
+            Ty::Prod(ts) => ts.iter().all(|t| t.eq_admissible(eq_vars)),
+            Ty::List(t) => t.eq_admissible(eq_vars),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn name(i: usize, depth: usize) -> String {
+            // depth = number of binders; variable i refers to binder
+            // (depth - 1 - i) counting outermost = 0
+            let outer = depth.checked_sub(1 + i);
+            match outer {
+                Some(0) => "X".into(),
+                Some(1) => "Y".into(),
+                Some(2) => "Z".into(),
+                Some(n) => format!("X{n}"),
+                None => format!("?{i}"),
+            }
+        }
+        fn go(t: &Ty, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match t {
+                Ty::Var(i) => write!(f, "{}", name(*i, depth)),
+                Ty::Base(b) => write!(f, "{b}"),
+                Ty::Arrow(a, b) => {
+                    let needs_parens = matches!(**a, Ty::Arrow(..) | Ty::Forall { .. });
+                    if needs_parens {
+                        write!(f, "(")?;
+                        go(a, depth, f)?;
+                        write!(f, ")")?;
+                    } else {
+                        go(a, depth, f)?;
+                    }
+                    write!(f, " → ")?;
+                    go(b, depth, f)
+                }
+                Ty::Forall { eq_bounded, body } => {
+                    let v = name(0, depth + 1);
+                    write!(f, "∀{v}{}.", if *eq_bounded { "⁼" } else { "" })?;
+                    go(body, depth + 1, f)
+                }
+                Ty::Prod(ts) => {
+                    write!(f, "(")?;
+                    for (i, t) in ts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " × ")?;
+                        }
+                        go(t, depth, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Ty::List(t) => {
+                    write!(f, "⟨")?;
+                    go(t, depth, f)?;
+                    write!(f, "⟩")
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_type_displays_like_paper() {
+        // # : ∀X.⟨X⟩ × ⟨X⟩ → ⟨X⟩
+        let t = Ty::forall(Ty::arrow(
+            Ty::pair(Ty::list(Ty::Var(0)), Ty::list(Ty::Var(0))),
+            Ty::list(Ty::Var(0)),
+        ));
+        assert_eq!(t.to_string(), "∀X.(⟨X⟩ × ⟨X⟩) → ⟨X⟩");
+    }
+
+    #[test]
+    fn zip_type_two_binders() {
+        // zip : ∀X.∀Y.⟨X⟩ × ⟨Y⟩ → ⟨X × Y⟩
+        let t = Ty::forall(Ty::forall(Ty::arrow(
+            Ty::pair(Ty::list(Ty::Var(1)), Ty::list(Ty::Var(0))),
+            Ty::list(Ty::pair(Ty::Var(1), Ty::Var(0))),
+        )));
+        assert_eq!(t.to_string(), "∀X.∀Y.(⟨X⟩ × ⟨Y⟩) → ⟨(X × Y)⟩");
+    }
+
+    #[test]
+    fn instantiate_substitutes_binder() {
+        // body of ∀X. X → X  instantiated at int
+        let body = Ty::arrow(Ty::Var(0), Ty::Var(0));
+        assert_eq!(body.instantiate(&Ty::int()), Ty::arrow(Ty::int(), Ty::int()));
+    }
+
+    #[test]
+    fn instantiate_under_nested_binder() {
+        // ∀X. (∀Y. Y → X)  — instantiate X := int:
+        let body = Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(1)));
+        let got = body.instantiate(&Ty::int());
+        assert_eq!(got, Ty::forall(Ty::arrow(Ty::Var(0), Ty::int())));
+    }
+
+    #[test]
+    fn shift_respects_cutoff() {
+        let t = Ty::arrow(Ty::Var(0), Ty::Var(2));
+        assert_eq!(
+            t.shift_above(3, 1),
+            Ty::arrow(Ty::Var(0), Ty::Var(5))
+        );
+    }
+
+    #[test]
+    fn closedness_and_monomorphism() {
+        let id = Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0)));
+        assert!(id.is_closed());
+        assert!(!id.is_monomorphic());
+        assert!(Ty::arrow(Ty::int(), Ty::int()).is_monomorphic());
+        assert!(!Ty::Var(0).is_closed());
+        assert_eq!(Ty::list(Ty::Var(3)).max_free_var(), Some(3));
+        assert_eq!(id.max_free_var(), None);
+    }
+
+    #[test]
+    fn eq_admissibility() {
+        assert!(Ty::int().eq_admissible(&[]));
+        assert!(Ty::list(Ty::pair(Ty::int(), Ty::bool())).eq_admissible(&[]));
+        assert!(!Ty::arrow(Ty::int(), Ty::int()).eq_admissible(&[]));
+        // Var(0) admissible only if its binder is eq-bounded
+        assert!(Ty::Var(0).eq_admissible(&[true]));
+        assert!(!Ty::Var(0).eq_admissible(&[false]));
+        assert!(!Ty::Var(0).eq_admissible(&[]));
+    }
+
+    #[test]
+    fn arrows_builder_right_nests() {
+        let t = Ty::arrows([Ty::int(), Ty::bool()], Ty::int());
+        assert_eq!(
+            t,
+            Ty::arrow(Ty::int(), Ty::arrow(Ty::bool(), Ty::int()))
+        );
+    }
+}

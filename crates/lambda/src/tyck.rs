@@ -1,0 +1,325 @@
+//! Syntax-directed type checking for System F with products and lists.
+
+use crate::term::Term;
+use crate::ty::Ty;
+use std::fmt;
+
+/// A type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TyckError(pub String);
+
+impl fmt::Display for TyckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TyckError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TyckError> {
+    Err(TyckError(msg.into()))
+}
+
+/// Typing context.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    /// Types of term variables, innermost last; indices count from the
+    /// end (`Var(0)` = last).
+    terms: Vec<Ty>,
+    /// For each type binder (innermost last), whether it is `∀X⁼`.
+    ty_eq: Vec<bool>,
+}
+
+impl Ctx {
+    fn lookup(&self, i: usize) -> Option<&Ty> {
+        self.terms.iter().rev().nth(i)
+    }
+    /// `eq_vars` slice indexed by de Bruijn level: `eq_vars[i]` answers
+    /// for type variable `Var(i)` (innermost binder at 0).
+    fn eq_vars(&self) -> Vec<bool> {
+        self.ty_eq.iter().rev().copied().collect()
+    }
+}
+
+/// Compute the type of a closed term.
+pub fn type_of(t: &Term) -> Result<Ty, TyckError> {
+    check(t, &mut Ctx::default())
+}
+
+fn check(t: &Term, ctx: &mut Ctx) -> Result<Ty, TyckError> {
+    match t {
+        Term::Var(i) => ctx
+            .lookup(*i)
+            .cloned()
+            .ok_or_else(|| TyckError(format!("unbound variable #{i}"))),
+        Term::Lam(ty, body) => {
+            if let Some(max) = ty.max_free_var() {
+                if max >= ctx.ty_eq.len() {
+                    return err(format!("annotation {ty} mentions unbound type variable"));
+                }
+            }
+            ctx.terms.push(ty.clone());
+            let out = check(body, ctx)?;
+            ctx.terms.pop();
+            Ok(Ty::arrow(ty.clone(), out))
+        }
+        Term::App(f, a) => {
+            let tf = check(f, ctx)?;
+            let ta = check(a, ctx)?;
+            match tf {
+                Ty::Arrow(arg, ret) if *arg == ta => Ok(*ret),
+                Ty::Arrow(arg, _) => err(format!("argument type {ta} ≠ expected {arg}")),
+                other => err(format!("applying non-function of type {other}")),
+            }
+        }
+        Term::TyLam { eq_bounded, body } => {
+            // entering a type binder: free type variables in the term
+            // context shift by one
+            let saved = ctx.terms.clone();
+            for ty in ctx.terms.iter_mut() {
+                *ty = ty.shift(1);
+            }
+            ctx.ty_eq.push(*eq_bounded);
+            let out = check(body, ctx);
+            ctx.ty_eq.pop();
+            ctx.terms = saved;
+            Ok(Ty::Forall {
+                eq_bounded: *eq_bounded,
+                body: Box::new(out?),
+            })
+        }
+        Term::TyApp(f, arg) => {
+            if let Some(max) = arg.max_free_var() {
+                if max >= ctx.ty_eq.len() {
+                    return err(format!("type argument {arg} mentions unbound type variable"));
+                }
+            }
+            match check(f, ctx)? {
+                Ty::Forall { eq_bounded, body } => {
+                    if eq_bounded && !arg.eq_admissible(&ctx.eq_vars()) {
+                        return err(format!(
+                            "type argument {arg} is not an equality type (∀X⁼ bound)"
+                        ));
+                    }
+                    Ok(body.instantiate(arg))
+                }
+                other => err(format!("type application of non-polymorphic type {other}")),
+            }
+        }
+        Term::Tuple(ts) => Ok(Ty::Prod(
+            ts.iter()
+                .map(|t| check(t, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Term::Proj(i, t) => match check(t, ctx)? {
+            Ty::Prod(ts) => ts
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| TyckError(format!("projection .{i} out of range"))),
+            other => err(format!("projection from non-product {other}")),
+        },
+        Term::Nil(ty) => {
+            if let Some(max) = ty.max_free_var() {
+                if max >= ctx.ty_eq.len() {
+                    return err(format!("nil annotation {ty} mentions unbound type variable"));
+                }
+            }
+            Ok(Ty::list(ty.clone()))
+        }
+        Term::Cons(h, t) => {
+            let th = check(h, ctx)?;
+            match check(t, ctx)? {
+                Ty::List(e) if *e == th => Ok(Ty::list(th)),
+                Ty::List(e) => err(format!("cons head {th} vs list of {e}")),
+                other => err(format!("cons onto non-list {other}")),
+            }
+        }
+        Term::Fold(f, z, xs) => {
+            let tf = check(f, ctx)?;
+            let tz = check(z, ctx)?;
+            let txs = check(xs, ctx)?;
+            let elem = match txs {
+                Ty::List(e) => *e,
+                other => return err(format!("fold over non-list {other}")),
+            };
+            // f : elem → tz → tz
+            let expected = Ty::arrow(elem.clone(), Ty::arrow(tz.clone(), tz.clone()));
+            if tf == expected {
+                Ok(tz)
+            } else {
+                err(format!("fold function {tf} ≠ expected {expected}"))
+            }
+        }
+        Term::If(c, a, b) => {
+            let tc = check(c, ctx)?;
+            if tc != Ty::bool() {
+                return err(format!("if condition has type {tc}"));
+            }
+            let ta = check(a, ctx)?;
+            let tb = check(b, ctx)?;
+            if ta == tb {
+                Ok(ta)
+            } else {
+                err(format!("if branches disagree: {ta} vs {tb}"))
+            }
+        }
+        Term::Eq(a, b) => {
+            let ta = check(a, ctx)?;
+            let tb = check(b, ctx)?;
+            if ta != tb {
+                return err(format!("eq on different types: {ta} vs {tb}"));
+            }
+            if !ta.eq_admissible(&ctx.eq_vars()) {
+                return err(format!(
+                    "eq at non-equality type {ta} (needs ∀X⁼ bound or base/product/list)"
+                ));
+            }
+            Ok(Ty::bool())
+        }
+        Term::Int(_) => Ok(Ty::int()),
+        Term::Bool(_) => Ok(Ty::bool()),
+        Term::Succ(t) => match check(t, ctx)? {
+            ty if ty == Ty::int() => Ok(Ty::int()),
+            other => err(format!("succ of non-int {other}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_forall_type() {
+        // I = ΛX. λx:X. x : ∀X. X → X   (Section 4.1's example)
+        let i = Term::tylam(Term::lam(Ty::Var(0), Term::Var(0)));
+        assert_eq!(type_of(&i).unwrap(), Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0))));
+        // I[int] : int → int
+        let i_int = Term::tyapp(i, Ty::int());
+        assert_eq!(type_of(&i_int).unwrap(), Ty::arrow(Ty::int(), Ty::int()));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        assert!(type_of(&Term::Var(0)).is_err());
+        assert!(type_of(&Term::lam(Ty::int(), Term::Var(1))).is_err());
+    }
+
+    #[test]
+    fn application_checks_argument() {
+        let f = Term::lam(Ty::int(), Term::Var(0));
+        assert_eq!(type_of(&Term::app(f.clone(), Term::Int(1))).unwrap(), Ty::int());
+        assert!(type_of(&Term::app(f, Term::Bool(true))).is_err());
+        assert!(type_of(&Term::app(Term::Int(1), Term::Int(2))).is_err());
+    }
+
+    #[test]
+    fn tuples_and_projections() {
+        let t = Term::Tuple(vec![Term::Int(1), Term::Bool(true)]);
+        assert_eq!(type_of(&t).unwrap(), Ty::pair(Ty::int(), Ty::bool()));
+        assert_eq!(type_of(&Term::proj(1, t.clone())).unwrap(), Ty::bool());
+        assert!(type_of(&Term::proj(2, t)).is_err());
+        assert!(type_of(&Term::proj(0, Term::Int(3))).is_err());
+    }
+
+    #[test]
+    fn list_constructors() {
+        let l = Term::list(Ty::int(), [Term::Int(1), Term::Int(2)]);
+        assert_eq!(type_of(&l).unwrap(), Ty::list(Ty::int()));
+        assert!(type_of(&Term::cons(Term::Bool(true), l)).is_err());
+        assert!(type_of(&Term::cons(Term::Int(1), Term::Int(2))).is_err());
+    }
+
+    #[test]
+    fn fold_types() {
+        // foldr (λx:int. λacc:int. succ acc) 0 ⟨1,2,3⟩ : int
+        let f = Term::lam(
+            Ty::int(),
+            Term::lam(Ty::int(), Term::Succ(Box::new(Term::Var(0)))),
+        );
+        let xs = Term::list(Ty::int(), [Term::Int(1), Term::Int(2), Term::Int(3)]);
+        let t = Term::fold(f, Term::Int(0), xs);
+        assert_eq!(type_of(&t).unwrap(), Ty::int());
+    }
+
+    #[test]
+    fn fold_rejects_mismatched_function() {
+        let f = Term::lam(Ty::bool(), Term::lam(Ty::int(), Term::Var(0)));
+        let xs = Term::list(Ty::int(), [Term::Int(1)]);
+        assert!(type_of(&Term::fold(f, Term::Int(0), xs)).is_err());
+    }
+
+    #[test]
+    fn if_requires_bool_and_agreeing_branches() {
+        assert!(type_of(&Term::if_(Term::Int(1), Term::Int(2), Term::Int(3))).is_err());
+        assert!(type_of(&Term::if_(Term::Bool(true), Term::Int(2), Term::Bool(false))).is_err());
+        assert_eq!(
+            type_of(&Term::if_(Term::Bool(true), Term::Int(2), Term::Int(3))).unwrap(),
+            Ty::int()
+        );
+    }
+
+    #[test]
+    fn eq_bounded_quantification() {
+        // ΛX⁼. λx:X. λy:X. x = y  : ∀X⁼. X → X → bool
+        let t = Term::tylam_eq(Term::lam(
+            Ty::Var(0),
+            Term::lam(Ty::Var(0), Term::eq(Term::Var(1), Term::Var(0))),
+        ));
+        let ty = type_of(&t).unwrap();
+        assert_eq!(
+            ty,
+            Ty::forall_eq(Ty::arrow(Ty::Var(0), Ty::arrow(Ty::Var(0), Ty::bool())))
+        );
+        // instantiating at int is fine; at int→int is rejected
+        assert!(type_of(&Term::tyapp(t.clone(), Ty::int())).is_ok());
+        assert!(type_of(&Term::tyapp(t, Ty::arrow(Ty::int(), Ty::int()))).is_err());
+    }
+
+    #[test]
+    fn unbounded_quantifier_rejects_eq() {
+        // ΛX. λx:X. x = x  is ill-typed (X not an equality type)
+        let t = Term::tylam(Term::lam(Ty::Var(0), Term::eq(Term::Var(0), Term::Var(0))));
+        assert!(type_of(&t).is_err());
+    }
+
+    #[test]
+    fn type_application_instantiates() {
+        // append-shaped: ΛX. λp:⟨X⟩×⟨X⟩. p.0  : ∀X.⟨X⟩×⟨X⟩→⟨X⟩
+        let t = Term::tylam(Term::lam(
+            Ty::pair(Ty::list(Ty::Var(0)), Ty::list(Ty::Var(0))),
+            Term::proj(0, Term::Var(0)),
+        ));
+        let at_int = Term::tyapp(t, Ty::int());
+        assert_eq!(
+            type_of(&at_int).unwrap(),
+            Ty::arrow(
+                Ty::pair(Ty::list(Ty::int()), Ty::list(Ty::int())),
+                Ty::list(Ty::int())
+            )
+        );
+    }
+
+    #[test]
+    fn nested_tylam_shifts_context() {
+        // ΛX. λx:X. ΛY. λy:Y. x   : ∀X. X → ∀Y. Y → X
+        let t = Term::tylam(Term::lam(
+            Ty::Var(0),
+            Term::tylam(Term::lam(Ty::Var(0), Term::Var(1))),
+        ));
+        let ty = type_of(&t).unwrap();
+        assert_eq!(
+            ty,
+            Ty::forall(Ty::arrow(
+                Ty::Var(0),
+                Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(1)))
+            ))
+        );
+    }
+
+    #[test]
+    fn succ_is_int_only() {
+        assert_eq!(type_of(&Term::Succ(Box::new(Term::Int(1)))).unwrap(), Ty::int());
+        assert!(type_of(&Term::Succ(Box::new(Term::Bool(true)))).is_err());
+    }
+}

@@ -1,0 +1,880 @@
+//! Extension of base-domain mappings to complex-value types
+//! (Definitions 2.3–2.5) and the decision procedure `H^x(v₁, v₂)`.
+//!
+//! Extended mappings over set types are exponentially large if
+//! materialized (a mapping on `n` atoms induces up to `2ⁿ × 2ⁿ` related
+//! set pairs), so this module never materializes them: relatedness is
+//! decided *structurally* by recursion on the type, and the `strong` mode's
+//! maximality condition is decided by enumerating element preimages /
+//! postimages on demand, under an explicit budget.
+
+use crate::family::{MappingFamily, MappingRef};
+use genpar_value::{CvType, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The extension mode for set constructors (Definition 2.5).
+///
+/// * `Rel` — `{K}ʳᵉˡ(R₁,R₂)` iff every element of `R₁` has a `K`-partner
+///   in `R₂` and vice versa; generalizes unrestricted homomorphisms.
+/// * `Strong` — additionally each of `R₁`, `R₂` is the *maximal* set
+///   standing in the `rel` relation to the other; generalizes Chandra's
+///   strong homomorphisms.
+///
+/// The paper labels every set node of a type with a mode and notes mixed
+/// extensions are possible but does not pursue them ("in the sequel, we do
+/// not consider further 'mixed extensions'"); we likewise apply one mode
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtensionMode {
+    /// The `rel` mode.
+    Rel,
+    /// The `strong` mode.
+    Strong,
+}
+
+impl fmt::Display for ExtensionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtensionMode::Rel => write!(f, "rel"),
+            ExtensionMode::Strong => write!(f, "strong"),
+        }
+    }
+}
+
+/// Budget bounding the exponential corners of the decision procedure
+/// (preimage enumeration for `strong` maximality at nested set types).
+#[derive(Debug, Clone, Copy)]
+pub struct ExtBudget {
+    /// Maximum number of candidate values enumerated in any single
+    /// preimage/postimage computation.
+    pub max_candidates: usize,
+}
+
+impl Default for ExtBudget {
+    fn default() -> Self {
+        ExtBudget { max_candidates: 200_000 }
+    }
+}
+
+/// The budget was exhausted; the relatedness query is undecided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtError;
+
+impl fmt::Display for ExtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extension-mode budget exhausted (nested strong maximality)")
+    }
+}
+
+impl std::error::Error for ExtError {}
+
+/// Decide `H^x(v₁, v₂)` with the default budget, panicking if the budget
+/// is exhausted (only possible for deeply nested `strong` set types).
+pub fn relates(
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    a: &Value,
+    b: &Value,
+) -> bool {
+    try_relates(family, ty, mode, a, b, ExtBudget::default())
+        .expect("extension budget exhausted; use try_relates with a larger budget")
+}
+
+/// Decide `H^x(v₁, v₂)` under `budget`.
+pub fn try_relates(
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    a: &Value,
+    b: &Value,
+    budget: ExtBudget,
+) -> Result<bool, ExtError> {
+    match ty {
+        CvType::Base(bt) => Ok(match family.get(*bt) {
+            MappingRef::Finite(m) => m.holds(a, b),
+            MappingRef::Identity => a == b,
+        }),
+        CvType::Tuple(ts) => {
+            let (xs, ys) = match (a.as_tuple(), b.as_tuple()) {
+                (Some(x), Some(y)) if x.len() == ts.len() && y.len() == ts.len() => (x, y),
+                _ => return Ok(false),
+            };
+            for ((t, x), y) in ts.iter().zip(xs).zip(ys) {
+                if !try_relates(family, t, mode, x, y, budget)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        CvType::List(t) => {
+            let (xs, ys) = match (a.as_list(), b.as_list()) {
+                (Some(x), Some(y)) if x.len() == y.len() => (x, y),
+                _ => return Ok(false),
+            };
+            for (x, y) in xs.iter().zip(ys) {
+                if !try_relates(family, t, mode, x, y, budget)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        CvType::Set(t) => {
+            let (xs, ys) = match (a.as_set(), b.as_set()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Ok(false),
+            };
+            if !rel_condition(family, t, mode, xs, ys, budget)? {
+                return Ok(false);
+            }
+            match mode {
+                ExtensionMode::Rel => Ok(true),
+                ExtensionMode::Strong => {
+                    // Maximality: R₁ must contain every x with a partner in
+                    // R₂, and symmetrically.
+                    for y in ys {
+                        for x in preimages(family, t, mode, y, budget)? {
+                            if !xs.contains(&x) {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    for x in xs {
+                        for y in postimages(family, t, mode, x, budget)? {
+                            if !ys.contains(&y) {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    Ok(true)
+                }
+            }
+        }
+        CvType::Bag(t) => {
+            // Perfect-matching extension: |b₁| = |b₂| and the elements can
+            // be paired off (with multiplicity) so that paired elements
+            // are related. Restricts to Def. 2.4 on lists modulo order.
+            let (xs, ys) = match (a.as_bag(), b.as_bag()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Ok(false),
+            };
+            let left: Vec<&Value> = xs
+                .iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, *n))
+                .collect();
+            let right: Vec<&Value> = ys
+                .iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, *n))
+                .collect();
+            if left.len() != right.len() {
+                return Ok(false);
+            }
+            // adjacency
+            let mut adj: Vec<Vec<usize>> = Vec::with_capacity(left.len());
+            for x in &left {
+                let mut row = Vec::new();
+                for (j, y) in right.iter().enumerate() {
+                    if try_relates(family, t, mode, x, y, budget)? {
+                        row.push(j);
+                    }
+                }
+                adj.push(row);
+            }
+            Ok(bipartite_perfect_matching(&adj, right.len()))
+        }
+    }
+}
+
+/// The shared `rel` condition of Definition 2.5(1).
+fn rel_condition(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    mode: ExtensionMode,
+    xs: &BTreeSet<Value>,
+    ys: &BTreeSet<Value>,
+    budget: ExtBudget,
+) -> Result<bool, ExtError> {
+    for x in xs {
+        let mut found = false;
+        for y in ys {
+            if try_relates(family, elem_ty, mode, x, y, budget)? {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+    }
+    for y in ys {
+        let mut found = false;
+        for x in xs {
+            if try_relates(family, elem_ty, mode, x, y, budget)? {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Hungarian-style augmenting-path bipartite matching; `adj[i]` lists the
+/// right-side vertices compatible with left vertex `i`.
+fn bipartite_perfect_matching(adj: &[Vec<usize>], n_right: usize) -> bool {
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    fn augment(
+        i: usize,
+        adj: &[Vec<usize>],
+        seen: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &j in &adj[i] {
+            if !seen[j] {
+                seen[j] = true;
+                if match_right[j].is_none()
+                    || augment(match_right[j].unwrap(), adj, seen, match_right)
+                {
+                    match_right[j] = Some(i);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    for i in 0..adj.len() {
+        let mut seen = vec![false; n_right];
+        if !augment(i, adj, &mut seen, &mut match_right) {
+            return false;
+        }
+    }
+    true
+}
+
+/// All values `x` of `ty` with `H^x(x, y)` — the preimage of `y` under the
+/// extended mapping. Finite because the family's members are finite (the
+/// identity contributes exactly `{y}`).
+pub fn preimages(
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    y: &Value,
+    budget: ExtBudget,
+) -> Result<Vec<Value>, ExtError> {
+    images_impl(family, ty, mode, y, budget, Direction::Backward)
+}
+
+/// All values `y` of `ty` with `H^x(x, y)` — the postimage of `x`.
+pub fn postimages(
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    x: &Value,
+    budget: ExtBudget,
+) -> Result<Vec<Value>, ExtError> {
+    images_impl(family, ty, mode, x, budget, Direction::Forward)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn images_impl(
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    v: &Value,
+    budget: ExtBudget,
+    dir: Direction,
+) -> Result<Vec<Value>, ExtError> {
+    let out = match ty {
+        CvType::Base(bt) => match family.get(*bt) {
+            MappingRef::Finite(m) => match dir {
+                Direction::Forward => m.images_of(v),
+                Direction::Backward => m.preimages_of(v),
+            },
+            MappingRef::Identity => vec![v.clone()],
+        },
+        CvType::Tuple(ts) => {
+            let comps = match v.as_tuple() {
+                Some(c) if c.len() == ts.len() => c,
+                _ => return Ok(Vec::new()),
+            };
+            let mut acc: Vec<Vec<Value>> = vec![Vec::new()];
+            for (t, c) in ts.iter().zip(comps) {
+                let imgs = images_impl(family, t, mode, c, budget, dir)?;
+                let mut next = Vec::with_capacity(acc.len() * imgs.len());
+                for prefix in &acc {
+                    for i in &imgs {
+                        let mut row = prefix.clone();
+                        row.push(i.clone());
+                        next.push(row);
+                    }
+                }
+                if next.len() > budget.max_candidates {
+                    return Err(ExtError);
+                }
+                acc = next;
+            }
+            acc.into_iter().map(Value::Tuple).collect()
+        }
+        CvType::List(t) => {
+            let items = match v.as_list() {
+                Some(i) => i,
+                None => return Ok(Vec::new()),
+            };
+            let mut acc: Vec<Vec<Value>> = vec![Vec::new()];
+            for c in items {
+                let imgs = images_impl(family, t, mode, c, budget, dir)?;
+                let mut next = Vec::with_capacity(acc.len() * imgs.len());
+                for prefix in &acc {
+                    for i in &imgs {
+                        let mut row = prefix.clone();
+                        row.push(i.clone());
+                        next.push(row);
+                    }
+                }
+                if next.len() > budget.max_candidates {
+                    return Err(ExtError);
+                }
+                acc = next;
+            }
+            acc.into_iter().map(Value::List).collect()
+        }
+        CvType::Set(t) => {
+            let elems: Vec<&Value> = match v.as_set() {
+                Some(s) => s.iter().collect(),
+                None => return Ok(Vec::new()),
+            };
+            match mode {
+                ExtensionMode::Strong => {
+                    // Under strong, the partner of a set is unique when it
+                    // exists: the element-wise image closure (see the
+                    // image-closure argument in DESIGN.md / docs of
+                    // `strong_partner`).
+                    match strong_partner(family, t, v, budget, dir)? {
+                        Some(w) => vec![w],
+                        None => Vec::new(),
+                    }
+                }
+                ExtensionMode::Rel => {
+                    // Every set W ⊆ ⋃ images(e) such that rel(v, W); we
+                    // enumerate subsets of the union under budget.
+                    let mut pool: BTreeSet<Value> = BTreeSet::new();
+                    for e in &elems {
+                        for i in images_impl(family, t, mode, e, budget, dir)? {
+                            pool.insert(i);
+                        }
+                    }
+                    let pool: Vec<Value> = pool.into_iter().collect();
+                    if pool.len() >= usize::BITS as usize
+                        || (1usize << pool.len()) > budget.max_candidates
+                    {
+                        return Err(ExtError);
+                    }
+                    let mut out = Vec::new();
+                    for mask in 0u64..(1u64 << pool.len()) {
+                        let w: BTreeSet<Value> = pool
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, v)| v.clone())
+                            .collect();
+                        let wv = Value::Set(w);
+                        let ok = match dir {
+                            Direction::Forward => {
+                                try_relates(family, &CvType::set((**t).clone()), mode, v, &wv, budget)?
+                            }
+                            Direction::Backward => {
+                                try_relates(family, &CvType::set((**t).clone()), mode, &wv, v, budget)?
+                            }
+                        };
+                        if ok {
+                            out.push(wv);
+                        }
+                    }
+                    out
+                }
+            }
+        }
+        CvType::Bag(t) => {
+            // Enumerate multiset images elementwise (cartesian product of
+            // element images, collapsed to bags).
+            let items: Vec<&Value> = match v.as_bag() {
+                Some(b) => b
+                    .iter()
+                    .flat_map(|(v, n)| std::iter::repeat_n(v, *n))
+                    .collect(),
+                None => return Ok(Vec::new()),
+            };
+            let mut acc: Vec<Vec<Value>> = vec![Vec::new()];
+            for c in items {
+                let imgs = images_impl(family, t, mode, c, budget, dir)?;
+                let mut next = Vec::with_capacity(acc.len() * imgs.len());
+                for prefix in &acc {
+                    for i in &imgs {
+                        let mut row = prefix.clone();
+                        row.push(i.clone());
+                        next.push(row);
+                    }
+                }
+                if next.len() > budget.max_candidates {
+                    return Err(ExtError);
+                }
+                acc = next;
+            }
+            let mut out: Vec<Value> = acc.into_iter().map(Value::bag).collect();
+            out.sort();
+            out.dedup();
+            out
+        }
+    };
+    Ok(out)
+}
+
+/// Sample a random partner `y` with `H^x(v, y)`, if one exists.
+///
+/// For `Rel` mode this is a cheap constructive sampler: base values pick a
+/// random image, tuples/lists/bags proceed pointwise, and each set maps to
+/// the union of randomly chosen image sets of its elements (every such
+/// union satisfies Definition 2.5(1)). For `Strong` mode the partner of a
+/// set is unique when it exists, so the result is deterministic at set
+/// nodes. Returns `None` when no partner exists (e.g. a value outside
+/// `dom(H)`).
+pub fn sample_postimage<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    family: &MappingFamily,
+    ty: &CvType,
+    mode: ExtensionMode,
+    v: &Value,
+    budget: ExtBudget,
+) -> Option<Value> {
+    match ty {
+        CvType::Base(bt) => match family.get(*bt) {
+            MappingRef::Finite(m) => {
+                let imgs = m.images_of(v);
+                if imgs.is_empty() {
+                    None
+                } else {
+                    Some(imgs[rng.gen_range(0..imgs.len())].clone())
+                }
+            }
+            MappingRef::Identity => Some(v.clone()),
+        },
+        CvType::Tuple(ts) => {
+            let comps = v.as_tuple()?;
+            if comps.len() != ts.len() {
+                return None;
+            }
+            let mut out = Vec::with_capacity(comps.len());
+            for (t, c) in ts.iter().zip(comps) {
+                out.push(sample_postimage(rng, family, t, mode, c, budget)?);
+            }
+            Some(Value::Tuple(out))
+        }
+        CvType::List(t) => {
+            let items = v.as_list()?;
+            let mut out = Vec::with_capacity(items.len());
+            for c in items {
+                out.push(sample_postimage(rng, family, t, mode, c, budget)?);
+            }
+            Some(Value::List(out))
+        }
+        CvType::Bag(t) => {
+            let items: Vec<&Value> = v
+                .as_bag()?
+                .iter()
+                .flat_map(|(x, n)| std::iter::repeat_n(x, *n))
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for c in items {
+                out.push(sample_postimage(rng, family, t, mode, c, budget)?);
+            }
+            Some(Value::bag(out))
+        }
+        CvType::Set(t) => match mode {
+            ExtensionMode::Strong => {
+                strong_partner(family, t, v, budget, Direction::Forward).ok()?
+            }
+            ExtensionMode::Rel => {
+                let elems = v.as_set()?;
+                let mut out = BTreeSet::new();
+                for e in elems {
+                    // one mandatory image per element…
+                    out.insert(sample_postimage(rng, family, t, mode, e, budget)?);
+                    // …plus occasional extras, to exercise non-functional
+                    // image choices
+                    if rng.gen_bool(0.3) {
+                        if let Some(extra) = sample_postimage(rng, family, t, mode, e, budget) {
+                            out.insert(extra);
+                        }
+                    }
+                }
+                Some(Value::Set(out))
+            }
+        },
+    }
+}
+
+/// The unique `strong` partner of set `v` in direction `dir`, if any.
+///
+/// For `{K}ˢᵗʳᵒⁿᵍ(R₁, R₂)`: the `rel` half forces `R₂ ⊆ image(R₁)` and
+/// maximality forces `R₂ ⊇ image(R₁)`, so `R₂ = image(R₁)` — and then
+/// maximality of `R₁` requires `R₁ = preimage(R₂)`. Hence the partner
+/// exists iff `v` is closed under preimage∘image, and is then unique.
+/// (This is also why Proposition 2.8(ii) holds: on set types the strong
+/// extension is injective.)
+fn strong_partner(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    v: &Value,
+    budget: ExtBudget,
+    dir: Direction,
+) -> Result<Option<Value>, ExtError> {
+    let elems: Vec<&Value> = match v.as_set() {
+        Some(s) => s.iter().collect(),
+        None => return Ok(None),
+    };
+    let mut image: BTreeSet<Value> = BTreeSet::new();
+    for e in &elems {
+        let imgs = images_impl(family, elem_ty, ExtensionMode::Strong, e, budget, dir)?;
+        if imgs.is_empty() {
+            // an element with no partner: rel condition unsatisfiable
+            return Ok(None);
+        }
+        image.extend(imgs);
+    }
+    // closure check: preimage of the image must equal v
+    let back = match dir {
+        Direction::Forward => Direction::Backward,
+        Direction::Backward => Direction::Forward,
+    };
+    let mut closure: BTreeSet<Value> = BTreeSet::new();
+    for y in &image {
+        closure.extend(images_impl(family, elem_ty, ExtensionMode::Strong, y, budget, back)?);
+    }
+    let vset: BTreeSet<Value> = elems.into_iter().cloned().collect();
+    if closure == vset {
+        Ok(Some(Value::Set(image)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::CvType;
+
+    /// Example 2.2 data. Letters: a=0 b=1 c=2 d=3 e=4 f=5 g=6 i=8 j=9.
+    fn h() -> MappingFamily {
+        MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)])
+    }
+    fn r1() -> Value {
+        Value::atom_relation(&[(4, 5), (8, 5), (4, 9), (8, 9), (5, 6), (9, 6)])
+    }
+    fn r2() -> Value {
+        Value::atom_relation(&[(0, 1), (1, 2)])
+    }
+    fn r3() -> Value {
+        // r1 minus {(e,f),(i,f),(j,g)}
+        Value::atom_relation(&[(4, 9), (8, 9), (5, 6)])
+    }
+    fn rel_ty() -> CvType {
+        CvType::relation(genpar_value::BaseType::Domain(genpar_value::DomainId(0)), 2)
+    }
+
+    #[test]
+    fn example_2_6_rel_holds_for_r1_r2() {
+        assert!(relates(&h(), &rel_ty(), ExtensionMode::Rel, &r1(), &r2()));
+    }
+
+    #[test]
+    fn example_2_6_strong_holds_for_r1_r2() {
+        assert!(relates(&h(), &rel_ty(), ExtensionMode::Strong, &r1(), &r2()));
+    }
+
+    #[test]
+    fn example_2_6_rel_holds_for_r3_r2() {
+        assert!(relates(&h(), &rel_ty(), ExtensionMode::Rel, &r3(), &r2()));
+    }
+
+    #[test]
+    fn example_2_6_strong_fails_for_r3_r2() {
+        assert!(!relates(&h(), &rel_ty(), ExtensionMode::Strong, &r3(), &r2()));
+    }
+
+    #[test]
+    fn base_extension_uses_family() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        let t = CvType::domain(0);
+        assert!(relates(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), &Value::atom(0, 1)));
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), &Value::atom(0, 0)));
+        // int defaults to identity
+        assert!(relates(&f, &CvType::int(), ExtensionMode::Rel, &Value::Int(5), &Value::Int(5)));
+    }
+
+    #[test]
+    fn tuple_extension_componentwise() {
+        // Section 2.3 example: R1={[a,a]}, R2={[b,c]} related by
+        // H={(a,b),(a,c)} under rel — attributes map independently.
+        let f = MappingFamily::atoms(&[(0, 1), (0, 2)]);
+        let t = CvType::tuple([CvType::domain(0), CvType::domain(0)]);
+        let aa = Value::tuple([Value::atom(0, 0), Value::atom(0, 0)]);
+        let bc = Value::tuple([Value::atom(0, 1), Value::atom(0, 2)]);
+        assert!(relates(&f, &t, ExtensionMode::Rel, &aa, &bc));
+        let set_t = CvType::set(t);
+        assert!(relates(
+            &f,
+            &set_t,
+            ExtensionMode::Rel,
+            &Value::set([aa]),
+            &Value::set([bc])
+        ));
+    }
+
+    #[test]
+    fn list_extension_requires_equal_length_and_order() {
+        let f = MappingFamily::atoms(&[(0, 1), (2, 3)]);
+        let t = CvType::list(CvType::domain(0));
+        let l1 = Value::list([Value::atom(0, 0), Value::atom(0, 2)]);
+        let l2 = Value::list([Value::atom(0, 1), Value::atom(0, 3)]);
+        let l2_rev = Value::list([Value::atom(0, 3), Value::atom(0, 1)]);
+        let l2_short = Value::list([Value::atom(0, 1)]);
+        assert!(relates(&f, &t, ExtensionMode::Rel, &l1, &l2));
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &l1, &l2_rev));
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &l1, &l2_short));
+    }
+
+    #[test]
+    fn empty_sets_relate() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        let t = CvType::set(CvType::domain(0));
+        assert!(relates(&f, &t, ExtensionMode::Rel, &Value::empty_set(), &Value::empty_set()));
+        assert!(relates(&f, &t, ExtensionMode::Strong, &Value::empty_set(), &Value::empty_set()));
+        assert!(!relates(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::set([Value::atom(0, 0)]),
+            &Value::empty_set()
+        ));
+    }
+
+    #[test]
+    fn rel_set_requires_mutual_coverage() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        let t = CvType::set(CvType::domain(0));
+        let s0 = Value::set([Value::atom(0, 0)]);
+        let s1 = Value::set([Value::atom(0, 1)]);
+        let s12 = Value::set([Value::atom(0, 1), Value::atom(0, 2)]);
+        assert!(relates(&f, &t, ExtensionMode::Rel, &s0, &s1));
+        // 2 has no preimage → second condition fails
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &s0, &s12));
+    }
+
+    #[test]
+    fn strong_set_demands_maximality_on_both_sides() {
+        // K = {(e,a),(i,a)}: {e} rel {a} holds but strong fails (i missing).
+        let f = MappingFamily::atoms(&[(4, 0), (8, 0)]);
+        let t = CvType::set(CvType::domain(0));
+        let just_e = Value::set([Value::atom(0, 4)]);
+        let ei = Value::set([Value::atom(0, 4), Value::atom(0, 8)]);
+        let a = Value::set([Value::atom(0, 0)]);
+        assert!(relates(&f, &t, ExtensionMode::Rel, &just_e, &a));
+        assert!(!relates(&f, &t, ExtensionMode::Strong, &just_e, &a));
+        assert!(relates(&f, &t, ExtensionMode::Strong, &ei, &a));
+    }
+
+    #[test]
+    fn strong_codomain_maximality() {
+        // K = {(g,c),(g,d)}: {g} strong {c} fails (d missing on the right).
+        let f = MappingFamily::atoms(&[(6, 2), (6, 3)]);
+        let t = CvType::set(CvType::domain(0));
+        let g = Value::set([Value::atom(0, 6)]);
+        let c = Value::set([Value::atom(0, 2)]);
+        let cd = Value::set([Value::atom(0, 2), Value::atom(0, 3)]);
+        assert!(!relates(&f, &t, ExtensionMode::Strong, &g, &c));
+        assert!(relates(&f, &t, ExtensionMode::Strong, &g, &cd));
+    }
+
+    #[test]
+    fn strong_extension_is_injective_on_set_types() {
+        // Prop 2.8(ii): if v and w both strong-relate to u, then v = w.
+        let f = h();
+        let t = rel_ty();
+        // the unique strong preimage of r2 is r1's strong closure
+        let pre = preimages(&f, &t, ExtensionMode::Strong, &r2(), ExtBudget::default()).unwrap();
+        assert_eq!(pre.len(), 1);
+        assert!(relates(&f, &t, ExtensionMode::Strong, &pre[0], &r2()));
+    }
+
+    #[test]
+    fn rel_preserves_totality_surjectivity() {
+        // Prop 2.8(i) at set level: if H total/surjective then every set
+        // over dom(H) has a rel image and vice versa.
+        let f = MappingFamily::atoms(&[(0, 0), (1, 0)]);
+        let t = CvType::set(CvType::domain(0));
+        let s = Value::set([Value::atom(0, 0), Value::atom(0, 1)]);
+        let post = postimages(&f, &t, ExtensionMode::Rel, &s, ExtBudget::default()).unwrap();
+        assert!(!post.is_empty());
+        for p in &post {
+            assert!(relates(&f, &t, ExtensionMode::Rel, &s, p));
+        }
+    }
+
+    #[test]
+    fn bag_extension_matches_multiplicities() {
+        let f = MappingFamily::atoms(&[(0, 1), (0, 2)]);
+        let t = CvType::bag(CvType::domain(0));
+        let b_aa = Value::bag([Value::atom(0, 0), Value::atom(0, 0)]);
+        let b_12 = Value::bag([Value::atom(0, 1), Value::atom(0, 2)]);
+        let b_1 = Value::bag([Value::atom(0, 1)]);
+        // ⟅a,a⟆ matches ⟅b,c⟆ (a↦b, a↦c) but not ⟅b⟆ (size mismatch)
+        assert!(relates(&f, &t, ExtensionMode::Rel, &b_aa, &b_12));
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &b_aa, &b_1));
+    }
+
+    #[test]
+    fn bag_extension_needs_perfect_matching() {
+        // x↦p only; y↦p,q. ⟅x,y⟆ vs ⟅q,q⟆ has no perfect matching
+        // (x can't take q).
+        let f = MappingFamily::atoms(&[(0, 10), (1, 10), (1, 11)]);
+        let t = CvType::bag(CvType::domain(0));
+        let xy = Value::bag([Value::atom(0, 0), Value::atom(0, 1)]);
+        let qq = Value::bag([Value::atom(0, 11), Value::atom(0, 11)]);
+        let pq = Value::bag([Value::atom(0, 10), Value::atom(0, 11)]);
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &xy, &qq));
+        assert!(relates(&f, &t, ExtensionMode::Rel, &xy, &pq));
+    }
+
+    #[test]
+    fn mismatched_shapes_do_not_relate() {
+        let f = MappingFamily::new();
+        let t = CvType::set(CvType::int());
+        assert!(!relates(&f, &t, ExtensionMode::Rel, &Value::Int(1), &Value::empty_set()));
+        assert!(!relates(
+            &f,
+            &CvType::tuple([CvType::int()]),
+            ExtensionMode::Rel,
+            &Value::Int(1),
+            &Value::tuple([Value::Int(1)])
+        ));
+    }
+
+    #[test]
+    fn preimages_of_base_values() {
+        let f = h();
+        let t = CvType::domain(0);
+        let pre = preimages(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), ExtBudget::default())
+            .unwrap();
+        assert_eq!(pre, vec![Value::atom(0, 4), Value::atom(0, 8)]); // a ↤ {e,i}
+    }
+
+    #[test]
+    fn postimages_of_tuples_are_products() {
+        let f = MappingFamily::atoms(&[(0, 1), (0, 2)]);
+        let t = CvType::tuple([CvType::domain(0), CvType::domain(0)]);
+        let aa = Value::tuple([Value::atom(0, 0), Value::atom(0, 0)]);
+        let post = postimages(&f, &t, ExtensionMode::Rel, &aa, ExtBudget::default()).unwrap();
+        assert_eq!(post.len(), 4); // {b,c} × {b,c}
+    }
+
+    #[test]
+    fn rel_postimages_of_sets_enumerate_all_partners() {
+        let f = MappingFamily::atoms(&[(0, 1), (0, 2)]);
+        let t = CvType::set(CvType::domain(0));
+        let s = Value::set([Value::atom(0, 0)]);
+        let post = postimages(&f, &t, ExtensionMode::Rel, &s, ExtBudget::default()).unwrap();
+        // partners of {a}: {b}, {c}, {b,c}
+        assert_eq!(post.len(), 3);
+        for p in &post {
+            assert!(relates(&f, &t, ExtensionMode::Rel, &s, p));
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let pairs: Vec<(u32, u32)> = (0..20).flat_map(|x| (0..20).map(move |y| (x, y))).collect();
+        let f = MappingFamily::atoms(&pairs);
+        let t = CvType::set(CvType::domain(0));
+        let s = Value::set((0..20).map(|i| Value::atom(0, i)));
+        let tight = ExtBudget { max_candidates: 16 };
+        assert_eq!(
+            postimages(&f, &t, ExtensionMode::Rel, &s, tight),
+            Err(ExtError)
+        );
+    }
+
+    #[test]
+    fn sampled_postimages_are_related() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = h();
+        let t = rel_ty();
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            for _ in 0..20 {
+                if let Some(img) =
+                    sample_postimage(&mut rng, &f, &t, mode, &r1(), ExtBudget::default())
+                {
+                    assert!(relates(&f, &t, mode, &r1(), &img), "{mode}: r1 vs {img}");
+                }
+            }
+        }
+        // strong partner of r1 is exactly r2
+        let img = sample_postimage(
+            &mut rng,
+            &f,
+            &t,
+            ExtensionMode::Strong,
+            &r1(),
+            ExtBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(img, r2());
+    }
+
+    #[test]
+    fn sample_postimage_none_outside_domain() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        // atom 5 has no image
+        assert_eq!(
+            sample_postimage(
+                &mut rng,
+                &f,
+                &CvType::domain(0),
+                ExtensionMode::Rel,
+                &Value::atom(0, 5),
+                ExtBudget::default()
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn inverse_family_relates_swapped() {
+        // Prop 2.8(iv): {H⁻¹}^x = ({H}^x)⁻¹ — spot check on Example 2.2.
+        let f = h();
+        let inv = f.inverse();
+        let t = rel_ty();
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            assert_eq!(
+                relates(&f, &t, mode, &r1(), &r2()),
+                relates(&inv, &t, mode, &r2(), &r1())
+            );
+            assert_eq!(
+                relates(&f, &t, mode, &r3(), &r2()),
+                relates(&inv, &t, mode, &r2(), &r3())
+            );
+        }
+    }
+}

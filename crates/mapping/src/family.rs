@@ -1,0 +1,692 @@
+//! Families of base-domain mappings (the paper's `H = {Hᵢ : dᵢ × dᵢ'}`)
+//! and the classes of mappings whose extensions define genericity classes.
+
+use crate::finite::Mapping;
+use crate::preserve;
+use genpar_value::{BaseType, CvType, Value};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A family of mappings on base domains, at most one per base type.
+///
+/// Section 2.2 disallows families in which "two mappings have the same
+/// domain and codomain" (the extension would be ambiguous); indexing by the
+/// domain-side base type enforces a slightly stronger, unambiguous
+/// discipline that suffices for every construction in the paper.
+///
+/// Base types without an entry extend as the **identity**: this is how the
+/// paper treats `bool` (Section 2.5 requires mappings to be the identity on
+/// `bool`) and constant base types in Section 4 ("a base type leaf `b`
+/// corresponds to the identity mapping `I_b`").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MappingFamily {
+    maps: BTreeMap<BaseType, Mapping>,
+}
+
+/// Either a finite mapping or the (implicit, total) identity.
+pub enum MappingRef<'a> {
+    /// An explicit finite mapping of the family.
+    Finite(&'a Mapping),
+    /// The identity on the base type (total and surjective on any carrier).
+    Identity,
+}
+
+impl MappingFamily {
+    /// The empty family: every base type extends as the identity.
+    pub fn new() -> Self {
+        MappingFamily::default()
+    }
+
+    /// A family with a single mapping on `D0 × D0` atoms — the common case
+    /// of the paper's single-domain examples.
+    pub fn single(m: Mapping) -> Self {
+        let mut f = MappingFamily::new();
+        f.set(m);
+        f
+    }
+
+    /// Shorthand: a single-domain family from atom-id pairs.
+    pub fn atoms(pairs: &[(u32, u32)]) -> Self {
+        MappingFamily::single(Mapping::atom_pairs(pairs))
+    }
+
+    /// Install the mapping for its domain-side base type.
+    ///
+    /// # Panics
+    /// Panics if the mapping's domain type is not a base type, or if it is
+    /// `bool` with a non-identity mapping (Section 2.5 fixes `bool`).
+    pub fn set(&mut self, m: Mapping) {
+        let b = match m.dom_ty() {
+            CvType::Base(b) => *b,
+            other => panic!("family mappings must have base-type domains, got {other}"),
+        };
+        if b == BaseType::Bool {
+            assert!(
+                m.pairs().all(|(x, y)| x == y),
+                "mappings must be the identity on bool (Section 2.5)"
+            );
+        }
+        self.maps.insert(b, m);
+    }
+
+    /// Look up the mapping that applies to base type `b`.
+    pub fn get(&self, b: BaseType) -> MappingRef<'_> {
+        match self.maps.get(&b) {
+            Some(m) => MappingRef::Finite(m),
+            None => MappingRef::Identity,
+        }
+    }
+
+    /// The explicit mappings of the family.
+    pub fn mappings(&self) -> impl Iterator<Item = (&BaseType, &Mapping)> {
+        self.maps.iter()
+    }
+
+    /// Does `H_b(x, y)` hold for base values `x`, `y` of base type `b`?
+    pub fn holds_base(&self, x: &Value, y: &Value) -> bool {
+        match x.base_type() {
+            Some(b) => match self.get(b) {
+                MappingRef::Finite(m) => m.holds(x, y),
+                MappingRef::Identity => x == y,
+            },
+            None => false,
+        }
+    }
+
+    /// Pointwise inverse family: `H⁻¹ = {Hᵢ⁻¹}` (Proposition 2.8(iv)).
+    ///
+    /// Only valid when every member maps a base type to itself (otherwise
+    /// the inverse family would be keyed by the codomain types); the
+    /// paper's propositions use same-domain mappings throughout.
+    pub fn inverse(&self) -> MappingFamily {
+        let mut out = MappingFamily::new();
+        for m in self.maps.values() {
+            out.set(m.inverse());
+        }
+        out
+    }
+
+    /// Pointwise composition `self ∘ g` in diagrammatic order
+    /// (Proposition 2.8(iii)); members missing on either side compose with
+    /// the identity.
+    pub fn then(&self, g: &MappingFamily) -> MappingFamily {
+        let mut out = MappingFamily::new();
+        for (b, m) in &self.maps {
+            match g.maps.get(b) {
+                Some(n) => out.set(m.then(n)),
+                None => out.set(m.clone()),
+            }
+        }
+        for (b, n) in &g.maps {
+            if !self.maps.contains_key(b) {
+                out.set(n.clone());
+            }
+        }
+        out
+    }
+
+    /// Are all members functional (so the extension is a homomorphism)?
+    pub fn is_functional(&self) -> bool {
+        self.maps.values().all(Mapping::is_functional)
+    }
+
+    /// Are all members injective relations?
+    pub fn is_injective(&self) -> bool {
+        self.maps.values().all(Mapping::is_injective)
+    }
+}
+
+impl fmt::Display for MappingFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H = {{")?;
+        for (i, (b, m)) in self.maps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{b}: {m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A class of mapping families — the parameter 𝓗 of Definition 2.9(ii).
+///
+/// Constraints compose: the class is the set of families satisfying all of
+/// them. `MappingClass::all()` is the full class (fully generic queries);
+/// adding `injective` and `functional` and `total` and `surjective` reaches
+/// the classical isomorphism-based genericity.
+#[derive(Debug, Clone, Default)]
+pub struct MappingClass {
+    /// Require every member functional.
+    pub functional: bool,
+    /// Require every member injective.
+    pub injective: bool,
+    /// Require totality on the generator's carrier.
+    pub total: bool,
+    /// Require surjectivity on the generator's carrier.
+    pub surjective: bool,
+    /// First-order constants that must be preserved (Section 2.4.1);
+    /// `strict` per constant.
+    pub constants: Vec<(Value, bool)>,
+    /// Names of interpreted predicates (resolved against a signature by
+    /// the checker) that must be preserved (Section 2.5).
+    pub predicates: Vec<String>,
+    /// Names of interpreted functions that must be preserved.
+    pub functions: Vec<String>,
+}
+
+impl MappingClass {
+    /// The class of *all* mappings: fully generic queries are generic
+    /// w.r.t. this class.
+    pub fn all() -> Self {
+        MappingClass::default()
+    }
+
+    /// The class of functional mappings (extensions are homomorphisms).
+    pub fn functional() -> Self {
+        MappingClass {
+            functional: true,
+            ..Default::default()
+        }
+    }
+
+    /// The class of injective functional mappings (extensions embed
+    /// isomorphically) — classical genericity uses the total+surjective
+    /// subclass of these.
+    pub fn injective() -> Self {
+        MappingClass {
+            functional: true,
+            injective: true,
+            ..Default::default()
+        }
+    }
+
+    /// Total and surjective mappings (Section 3.3, Propositions 3.7–3.9).
+    pub fn total_surjective() -> Self {
+        MappingClass {
+            total: true,
+            surjective: true,
+            ..Default::default()
+        }
+    }
+
+    /// Classical genericity: bijections on the carrier.
+    pub fn bijective() -> Self {
+        MappingClass {
+            functional: true,
+            injective: true,
+            total: true,
+            surjective: true,
+            ..Default::default()
+        }
+    }
+
+    /// Add a preserved constant (regular preservation).
+    pub fn preserving(mut self, c: Value) -> Self {
+        self.constants.push((c, false));
+        self
+    }
+
+    /// Add a strictly preserved constant.
+    pub fn strictly_preserving(mut self, c: Value) -> Self {
+        self.constants.push((c, true));
+        self
+    }
+
+    /// Add a preserved predicate (by signature name).
+    pub fn preserving_pred(mut self, name: impl Into<String>) -> Self {
+        self.predicates.push(name.into());
+        self
+    }
+
+    /// Does `family` belong to this class, relative to a finite carrier of
+    /// atoms `0..n_atoms` in domain 0 (for the totality/surjectivity
+    /// requirements)?
+    ///
+    /// Constant preservation is checked per Section 2.4.1; predicate and
+    /// function preservation must be checked by the caller against a
+    /// signature (see [`crate::preserve`]) since this struct stores names
+    /// only.
+    pub fn admits(&self, family: &MappingFamily, n_atoms: u32) -> bool {
+        if self.functional && !family.is_functional() {
+            return false;
+        }
+        if self.injective && !family.is_injective() {
+            return false;
+        }
+        let carrier: Vec<Value> = (0..n_atoms).map(|i| Value::atom(0, i)).collect();
+        for (_, m) in family.mappings() {
+            if self.total && m.dom_ty() == &CvType::domain(0) && !m.is_total_on(carrier.iter()) {
+                return false;
+            }
+            if self.surjective
+                && m.cod_ty() == &CvType::domain(0)
+                && !m.is_surjective_on(carrier.iter())
+            {
+                return false;
+            }
+        }
+        for (c, strict) in &self.constants {
+            let ok = if *strict {
+                preserve::strictly_preserves_constant(family, c)
+            } else {
+                preserve::preserves_constant(family, c)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sample a random family in this class on atoms `0..n_atoms` of
+    /// domain 0 (and, when integer constants are to be preserved, on the
+    /// integer window containing them).
+    ///
+    /// The sampler is *sound* (every returned family is in the class) and,
+    /// on the atom fragment, *complete in the limit* (every family of the
+    /// class on that carrier has positive probability).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n_atoms: u32) -> MappingFamily {
+        // Leaving `int`/`bool`/`str` at the default identity preserves all
+        // interpreted constants strictly, so only the atom mapping is
+        // randomized; rejection-sample until the class admits it.
+        for _ in 0..10_000 {
+            let family = MappingFamily::single(self.sample_atom_mapping(rng, n_atoms));
+            if self.admits(&family, n_atoms) {
+                return family;
+            }
+        }
+        panic!("MappingClass::sample: no admissible family found in 10000 draws for {self:?} on {n_atoms} atoms");
+    }
+
+    /// Sample a family with one random mapping per listed domain
+    /// (`(domain id, carrier size)` pairs) — the multi-domain setting the
+    /// paper generalizes to. Structural constraints apply per domain;
+    /// constant preservation is honoured on domain 0 (as in [`Self::sample`]).
+    pub fn sample_multi<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        domains: &[(u32, u32)],
+    ) -> MappingFamily {
+        for _ in 0..10_000 {
+            let mut family = MappingFamily::new();
+            for &(dom, n) in domains {
+                let m0 = self.sample_atom_mapping(rng, n);
+                if dom == 0 {
+                    family.set(m0);
+                } else {
+                    // re-home the sampled pairs into the target domain
+                    let pairs: Vec<(Value, Value)> = m0
+                        .pairs()
+                        .map(|(x, y)| {
+                            let (a, b) = match (x, y) {
+                                (Value::Atom(a), Value::Atom(b)) => (a.id, b.id),
+                                _ => unreachable!("atom mapping"),
+                            };
+                            (Value::atom(dom, a), Value::atom(dom, b))
+                        })
+                        .collect();
+                    family.set(Mapping::from_pairs(
+                        CvType::domain(dom),
+                        CvType::domain(dom),
+                        pairs,
+                    ));
+                }
+            }
+            let n0 = domains
+                .iter()
+                .find(|(d, _)| *d == 0)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            let structural_ok = (!self.functional || family.is_functional())
+                && (!self.injective || family.is_injective());
+            if structural_ok && self.admits(&family, n0) {
+                return family;
+            }
+        }
+        panic!("MappingClass::sample_multi: no admissible family in 10000 draws");
+    }
+
+    fn sample_atom_mapping<R: Rng + ?Sized>(&self, rng: &mut R, n_atoms: u32) -> Mapping {
+        let n = n_atoms.max(1);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        if self.functional && self.injective && self.total && self.surjective {
+            // random permutation
+            let mut perm: Vec<u32> = (0..n).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            pairs = (0..n).map(|i| (i, perm[i as usize])).collect();
+        } else if self.functional {
+            for x in 0..n {
+                if self.total || rng.gen_bool(0.8) {
+                    let y = if self.injective {
+                        // build an injective partial function: pick distinct ys
+                        loop {
+                            let y = rng.gen_range(0..n);
+                            if !pairs.iter().any(|&(_, y2)| y2 == y) {
+                                break y;
+                            }
+                        }
+                    } else {
+                        rng.gen_range(0..n)
+                    };
+                    pairs.push((x, y));
+                }
+            }
+            if self.surjective {
+                // patch missing codomain elements (may break functionality;
+                // fall back to permutation when inconsistent)
+                for y in 0..n {
+                    if !pairs.iter().any(|&(_, y2)| y2 == y) {
+                        let x = rng.gen_range(0..n);
+                        if !pairs.iter().any(|&(x2, _)| x2 == x) {
+                            pairs.push((x, y));
+                        }
+                    }
+                }
+            }
+        } else {
+            // general relation: each potential pair present w.p. density
+            let density = 0.3;
+            for x in 0..n {
+                for y in 0..n {
+                    if rng.gen_bool(density) {
+                        pairs.push((x, y));
+                    }
+                }
+            }
+            if self.total {
+                for x in 0..n {
+                    if !pairs.iter().any(|&(x2, _)| x2 == x) {
+                        pairs.push((x, rng.gen_range(0..n)));
+                    }
+                }
+            }
+            if self.surjective {
+                for y in 0..n {
+                    if !pairs.iter().any(|&(_, y2)| y2 == y) {
+                        pairs.push((rng.gen_range(0..n), y));
+                    }
+                }
+            }
+            if self.injective {
+                // thin out to injectivity: keep first pair per codomain
+                let mut seen = std::collections::BTreeSet::new();
+                pairs.retain(|&(_, y)| seen.insert(y));
+            }
+        }
+        // Honour preserved atom constants.
+        for (c, strict) in &self.constants {
+            if let Value::Atom(a) = c {
+                if a.domain.0 == 0 {
+                    let id = a.id;
+                    if *strict {
+                        pairs.retain(|&(x, y)| (x == id) == (y == id));
+                    }
+                    if !pairs.contains(&(id, id)) {
+                        if self.functional {
+                            pairs.retain(|&(x, _)| x != id);
+                        }
+                        if self.injective {
+                            pairs.retain(|&(_, y)| y != id);
+                        }
+                        pairs.push((id, id));
+                    }
+                }
+            }
+        }
+        Mapping::atom_pairs(&pairs)
+    }
+
+    /// Exhaustively enumerate all *functional* families in this class on
+    /// atoms `0..n_atoms` (total functions dom→cod, filtered by the other
+    /// constraints). Exponential: `n_atomsⁿ_atoms` candidates — intended
+    /// for n ≤ 4.
+    pub fn enumerate_functions(&self, n_atoms: u32) -> Vec<MappingFamily> {
+        let n = n_atoms as usize;
+        let mut out = Vec::new();
+        let total = (n as u64).checked_pow(n as u32).unwrap_or(u64::MAX);
+        for code in 0..total {
+            let mut c = code;
+            let mut pairs = Vec::with_capacity(n);
+            for x in 0..n {
+                pairs.push((x as u32, (c % n as u64) as u32));
+                c /= n as u64;
+            }
+            let family = MappingFamily::atoms(&pairs);
+            if self.admits(&family, n_atoms) {
+                out.push(family);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_lookup_is_identity() {
+        let f = MappingFamily::new();
+        assert!(f.holds_base(&Value::Int(3), &Value::Int(3)));
+        assert!(!f.holds_base(&Value::Int(3), &Value::Int(4)));
+        assert!(f.holds_base(&Value::Bool(true), &Value::Bool(true)));
+    }
+
+    #[test]
+    fn explicit_mapping_overrides_identity() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        assert!(f.holds_base(&Value::atom(0, 0), &Value::atom(0, 1)));
+        assert!(!f.holds_base(&Value::atom(0, 0), &Value::atom(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "identity on bool")]
+    fn bool_must_be_identity() {
+        let m = Mapping::from_pairs(
+            CvType::bool(),
+            CvType::bool(),
+            [(Value::Bool(true), Value::Bool(false))],
+        );
+        MappingFamily::single(m);
+    }
+
+    #[test]
+    fn family_composition_and_inverse() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        let g = MappingFamily::atoms(&[(1, 2)]);
+        let fg = f.then(&g);
+        assert!(fg.holds_base(&Value::atom(0, 0), &Value::atom(0, 2)));
+        let inv = fg.inverse();
+        assert!(inv.holds_base(&Value::atom(0, 2), &Value::atom(0, 0)));
+    }
+
+    #[test]
+    fn class_admits_checks_structure() {
+        let h = MappingFamily::atoms(&[(0, 1), (1, 1)]); // functional, not injective
+        assert!(MappingClass::all().admits(&h, 2));
+        assert!(MappingClass::functional().admits(&h, 2));
+        assert!(!MappingClass::injective().admits(&h, 2));
+        let bij = MappingFamily::atoms(&[(0, 1), (1, 0)]);
+        assert!(MappingClass::bijective().admits(&bij, 2));
+        let partial = MappingFamily::atoms(&[(0, 0)]);
+        assert!(!MappingClass::total_surjective().admits(&partial, 2));
+    }
+
+    #[test]
+    fn sampler_is_sound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for class in [
+            MappingClass::all(),
+            MappingClass::functional(),
+            MappingClass::injective(),
+            MappingClass::bijective(),
+            MappingClass::total_surjective(),
+            MappingClass::all().preserving(Value::atom(0, 1)),
+            MappingClass::injective().strictly_preserving(Value::atom(0, 0)),
+        ] {
+            for _ in 0..30 {
+                let f = class.sample(&mut rng, 4);
+                assert!(class.admits(&f, 4), "class {class:?} produced {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_functions_counts() {
+        // all total functions on 2 atoms: 2^2 = 4
+        let fams = MappingClass::functional().enumerate_functions(2);
+        assert_eq!(fams.len(), 4);
+        // bijections on 3 atoms: 3! = 6
+        let bij = MappingClass::bijective().enumerate_functions(3);
+        assert_eq!(bij.len(), 6);
+    }
+
+    #[test]
+    fn preserved_constant_respected_by_enumeration() {
+        let c = Value::atom(0, 0);
+        let fams = MappingClass::functional()
+            .preserving(c.clone())
+            .enumerate_functions(2);
+        // total functions f on {a,b} with f(a)=a: f(b) free → 2
+        assert_eq!(fams.len(), 2);
+        for f in &fams {
+            assert!(f.holds_base(&c, &c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_domain_tests {
+    use super::*;
+    use crate::extend::{relates, ExtensionMode};
+    use genpar_value::CvType;
+
+    /// The paper's generalization "from one (almost) abstract domain to
+    /// many domains": one mapping per base domain, extended jointly.
+    #[test]
+    fn two_domain_family_extends_componentwise() {
+        let mut fam = MappingFamily::new();
+        // D0: a ↦ b
+        fam.set(Mapping::atom_pairs(&[(0, 1)]));
+        // D1: 0 ↦ 1 (atoms of the second domain)
+        fam.set(Mapping::from_pairs(
+            CvType::domain(1),
+            CvType::domain(1),
+            [(Value::atom(1, 0), Value::atom(1, 1))],
+        ));
+        let ty = CvType::set(CvType::tuple([CvType::domain(0), CvType::domain(1)]));
+        let v1 = Value::set([Value::tuple([Value::atom(0, 0), Value::atom(1, 0)])]);
+        let v2 = Value::set([Value::tuple([Value::atom(0, 1), Value::atom(1, 1)])]);
+        assert!(relates(&fam, &ty, ExtensionMode::Rel, &v1, &v2));
+        // crossing the domains is ill-typed data and never relates
+        let crossed = Value::set([Value::tuple([Value::atom(1, 1), Value::atom(0, 1)])]);
+        assert!(!relates(&fam, &ty, ExtensionMode::Rel, &v1, &crossed));
+    }
+
+    #[test]
+    fn unmentioned_domain_defaults_to_identity() {
+        let fam = MappingFamily::atoms(&[(0, 1)]); // only D0
+        let ty = CvType::tuple([CvType::domain(0), CvType::domain(1)]);
+        let v1 = Value::tuple([Value::atom(0, 0), Value::atom(1, 7)]);
+        let v2 = Value::tuple([Value::atom(0, 1), Value::atom(1, 7)]);
+        let v3 = Value::tuple([Value::atom(0, 1), Value::atom(1, 8)]);
+        assert!(relates(&fam, &ty, ExtensionMode::Rel, &v1, &v2));
+        assert!(!relates(&fam, &ty, ExtensionMode::Rel, &v1, &v3));
+    }
+
+    #[test]
+    fn per_domain_structure_checks_are_independent() {
+        let mut fam = MappingFamily::new();
+        fam.set(Mapping::atom_pairs(&[(0, 1), (1, 1)])); // D0: not injective
+        fam.set(Mapping::from_pairs(
+            CvType::domain(1),
+            CvType::domain(1),
+            [(Value::atom(1, 0), Value::atom(1, 0))],
+        )); // D1: injective
+        assert!(fam.is_functional());
+        assert!(!fam.is_injective());
+        assert_eq!(fam.mappings().count(), 2);
+    }
+
+    #[test]
+    fn family_display_lists_all_domains() {
+        let mut fam = MappingFamily::new();
+        fam.set(Mapping::atom_pairs(&[(0, 1)]));
+        fam.set(Mapping::from_pairs(
+            CvType::domain(1),
+            CvType::domain(1),
+            [(Value::atom(1, 0), Value::atom(1, 1))],
+        ));
+        let text = fam.to_string();
+        assert!(text.contains("D0"), "{text}");
+        assert!(text.contains("D1"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod sample_multi_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multi_domain_sampler_is_sound() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for class in [
+            MappingClass::all(),
+            MappingClass::functional(),
+            MappingClass::injective(),
+        ] {
+            for _ in 0..20 {
+                let fam = class.sample_multi(&mut rng, &[(0, 3), (1, 4)]);
+                assert_eq!(fam.mappings().count(), 2);
+                if class.functional {
+                    assert!(fam.is_functional());
+                }
+                if class.injective {
+                    assert!(fam.is_injective());
+                }
+                // every pair lives in its own domain
+                for (b, m) in fam.mappings() {
+                    for (x, y) in m.pairs() {
+                        assert_eq!(x.base_type(), Some(*b));
+                        assert_eq!(y.base_type(), Some(*b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_domain_extension_checks() {
+        use crate::extend::{relates, ExtensionMode};
+        let mut rng = StdRng::seed_from_u64(22);
+        let class = MappingClass::functional();
+        let fam = class.sample_multi(&mut rng, &[(0, 3), (1, 3)]);
+        // a cross-domain tuple relates exactly when each side does
+        let ty = CvType::tuple([CvType::domain(0), CvType::domain(1)]);
+        for x0 in 0..3u32 {
+            for x1 in 0..3u32 {
+                let v = Value::tuple([Value::atom(0, x0), Value::atom(1, x1)]);
+                for y0 in 0..3u32 {
+                    for y1 in 0..3u32 {
+                        let w = Value::tuple([Value::atom(0, y0), Value::atom(1, y1)]);
+                        let expect = fam.holds_base(&Value::atom(0, x0), &Value::atom(0, y0))
+                            && fam.holds_base(&Value::atom(1, x1), &Value::atom(1, y1));
+                        assert_eq!(
+                            relates(&fam, &ty, ExtensionMode::Rel, &v, &w),
+                            expect
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

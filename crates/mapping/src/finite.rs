@@ -1,0 +1,413 @@
+//! Finite typed binary relations ("mappings", Section 2.2).
+
+use genpar_value::{CvType, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite binary relation between the domains of two types, written
+/// `H : τ × τ'` in the paper.
+///
+/// Mappings are *not* required to be total, surjective, or functional in
+/// either direction (Section 2.2: "we also do not require mappings to be
+/// total or surjective on the mapped domains"). The running example
+///
+/// ```text
+/// K = {(e,a), (i,a), (f,b), (j,b), (g,c), (g,d)}
+/// ```
+///
+/// is functional in neither direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    dom_ty: CvType,
+    cod_ty: CvType,
+    pairs: BTreeSet<(Value, Value)>,
+    /// Forward index x ↦ {y : H(x,y)}.
+    fwd: BTreeMap<Value, BTreeSet<Value>>,
+    /// Backward index y ↦ {x : H(x,y)}.
+    bwd: BTreeMap<Value, BTreeSet<Value>>,
+}
+
+impl Mapping {
+    /// Build a mapping from explicit pairs.
+    ///
+    /// # Panics
+    /// Panics if a pair is ill-typed w.r.t. `dom_ty`/`cod_ty` — mappings
+    /// are typed objects (Section 2.2: "note that mappings are typed").
+    pub fn from_pairs(
+        dom_ty: CvType,
+        cod_ty: CvType,
+        pairs: impl IntoIterator<Item = (Value, Value)>,
+    ) -> Self {
+        let mut m = Mapping {
+            dom_ty,
+            cod_ty,
+            pairs: BTreeSet::new(),
+            fwd: BTreeMap::new(),
+            bwd: BTreeMap::new(),
+        };
+        for (x, y) in pairs {
+            m.insert(x, y);
+        }
+        m
+    }
+
+    /// The empty mapping between two types.
+    pub fn empty(dom_ty: CvType, cod_ty: CvType) -> Self {
+        Mapping::from_pairs(dom_ty, cod_ty, [])
+    }
+
+    /// The identity mapping on an explicit finite carrier.
+    pub fn identity(ty: CvType, carrier: impl IntoIterator<Item = Value>) -> Self {
+        let pairs: Vec<_> = carrier.into_iter().map(|v| (v.clone(), v)).collect();
+        Mapping::from_pairs(ty.clone(), ty, pairs)
+    }
+
+    /// Graph of a function `f` on an explicit finite carrier.
+    pub fn from_fn(
+        dom_ty: CvType,
+        cod_ty: CvType,
+        carrier: impl IntoIterator<Item = Value>,
+        f: impl Fn(&Value) -> Value,
+    ) -> Self {
+        let pairs: Vec<_> = carrier
+            .into_iter()
+            .map(|x| {
+                let y = f(&x);
+                (x, y)
+            })
+            .collect();
+        Mapping::from_pairs(dom_ty, cod_ty, pairs)
+    }
+
+    /// Convenience: a mapping between atoms of domain 0, from `(id, id)`
+    /// pairs — the shape of the paper's `h` and `K` examples.
+    pub fn atom_pairs(pairs: &[(u32, u32)]) -> Self {
+        Mapping::from_pairs(
+            CvType::domain(0),
+            CvType::domain(0),
+            pairs
+                .iter()
+                .map(|&(x, y)| (Value::atom(0, x), Value::atom(0, y))),
+        )
+    }
+
+    /// Add a pair.
+    ///
+    /// # Panics
+    /// Panics on ill-typed values.
+    pub fn insert(&mut self, x: Value, y: Value) {
+        assert!(
+            x.has_type(&self.dom_ty),
+            "mapping pair domain side {x} is not of type {}",
+            self.dom_ty
+        );
+        assert!(
+            y.has_type(&self.cod_ty),
+            "mapping pair codomain side {y} is not of type {}",
+            self.cod_ty
+        );
+        if self.pairs.insert((x.clone(), y.clone())) {
+            self.fwd.entry(x.clone()).or_default().insert(y.clone());
+            self.bwd.entry(y).or_default().insert(x);
+        }
+    }
+
+    /// The domain-side type τ.
+    pub fn dom_ty(&self) -> &CvType {
+        &self.dom_ty
+    }
+
+    /// The codomain-side type τ'.
+    pub fn cod_ty(&self) -> &CvType {
+        &self.cod_ty
+    }
+
+    /// Does `H(x, x')` hold?
+    pub fn holds(&self, x: &Value, y: &Value) -> bool {
+        self.fwd.get(x).is_some_and(|ys| ys.contains(y))
+    }
+
+    /// All pairs, in sorted order.
+    pub fn pairs(&self) -> impl Iterator<Item = &(Value, Value)> {
+        self.pairs.iter()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `dom(H)`: the values with at least one image.
+    pub fn domain(&self) -> impl Iterator<Item = &Value> {
+        self.fwd.keys()
+    }
+
+    /// `co-dom(H)`: the values with at least one preimage.
+    pub fn codomain(&self) -> impl Iterator<Item = &Value> {
+        self.bwd.keys()
+    }
+
+    /// Images of `x`: `{y : H(x,y)}`.
+    pub fn images_of(&self, x: &Value) -> Vec<Value> {
+        self.fwd
+            .get(x)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Preimages of `y`: `{x : H(x,y)}`.
+    pub fn preimages_of(&self, y: &Value) -> Vec<Value> {
+        self.bwd
+            .get(y)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Is the mapping a partial function (each `x` has ≤ 1 image)?
+    pub fn is_functional(&self) -> bool {
+        self.fwd.values().all(|ys| ys.len() <= 1)
+    }
+
+    /// Is the mapping injective as a relation (each `y` has ≤ 1 preimage)?
+    pub fn is_injective(&self) -> bool {
+        self.bwd.values().all(|xs| xs.len() <= 1)
+    }
+
+    /// Is the mapping total on the given carrier of its domain type?
+    pub fn is_total_on<'a>(&self, carrier: impl IntoIterator<Item = &'a Value>) -> bool {
+        carrier.into_iter().all(|x| self.fwd.contains_key(x))
+    }
+
+    /// Is the mapping surjective onto the given carrier of its codomain
+    /// type?
+    pub fn is_surjective_on<'a>(&self, carrier: impl IntoIterator<Item = &'a Value>) -> bool {
+        carrier.into_iter().all(|y| self.bwd.contains_key(y))
+    }
+
+    /// The inverse mapping `H⁻¹ : τ' × τ`. Always exists — "the inverse of
+    /// a function, even of a strong homomorphism, is not necessarily a
+    /// function! So, let us generalize to relations" (Section 2.2).
+    pub fn inverse(&self) -> Mapping {
+        Mapping::from_pairs(
+            self.cod_ty.clone(),
+            self.dom_ty.clone(),
+            self.pairs.iter().map(|(x, y)| (y.clone(), x.clone())),
+        )
+    }
+
+    /// Relational composition `self ∘ other` in diagrammatic order:
+    /// `(self.then(g))(x, z) ⟺ ∃y. self(x,y) ∧ g(y,z)`.
+    ///
+    /// # Panics
+    /// Panics if `self.cod_ty() != g.dom_ty()`.
+    pub fn then(&self, g: &Mapping) -> Mapping {
+        assert_eq!(
+            self.cod_ty, g.dom_ty,
+            "composition type mismatch: {} vs {}",
+            self.cod_ty, g.dom_ty
+        );
+        let mut out = Mapping::empty(self.dom_ty.clone(), g.cod_ty.clone());
+        for (x, y) in &self.pairs {
+            if let Some(zs) = g.fwd.get(y) {
+                for z in zs {
+                    out.insert(x.clone(), z.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Union of two mappings of identical type.
+    pub fn union(&self, other: &Mapping) -> Mapping {
+        assert_eq!(self.dom_ty, other.dom_ty);
+        assert_eq!(self.cod_ty, other.cod_ty);
+        Mapping::from_pairs(
+            self.dom_ty.clone(),
+            self.cod_ty.clone(),
+            self.pairs.iter().chain(other.pairs.iter()).cloned(),
+        )
+    }
+
+    /// Restrict the mapping to pairs whose domain side is in `keep`.
+    pub fn restrict_domain(&self, keep: &BTreeSet<Value>) -> Mapping {
+        Mapping::from_pairs(
+            self.dom_ty.clone(),
+            self.cod_ty.clone(),
+            self.pairs
+                .iter()
+                .filter(|(x, _)| keep.contains(x))
+                .cloned(),
+        )
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (x, y)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({x}, {y})")?;
+        }
+        write!(f, "}} : {} × {}", self.dom_ty, self.cod_ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's mapping K (Section 2.2):
+    /// K = {(e,a),(i,a),(f,b),(j,b),(g,c),(g,d)}.
+    /// Letters: a=0 b=1 c=2 d=3 e=4 f=5 g=6 i=8 j=9.
+    fn k() -> Mapping {
+        Mapping::atom_pairs(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2), (6, 3)])
+    }
+
+    /// The paper's homomorphism h (Example 2.2):
+    /// h(e)=h(i)=a, h(f)=h(j)=b, h(g)=c.
+    fn h() -> Mapping {
+        Mapping::atom_pairs(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)])
+    }
+
+    #[test]
+    fn k_is_functional_in_neither_direction() {
+        let k = k();
+        assert!(!k.is_functional()); // g ↦ c and g ↦ d
+        assert!(!k.is_injective()); // e ↦ a and i ↦ a
+    }
+
+    #[test]
+    fn h_is_functional_but_not_injective() {
+        let h = h();
+        assert!(h.is_functional());
+        assert!(!h.is_injective());
+        assert!(!h.inverse().is_functional());
+        assert!(h.inverse().is_injective());
+    }
+
+    #[test]
+    fn holds_and_indices() {
+        let k = k();
+        assert!(k.holds(&Value::atom(0, 4), &Value::atom(0, 0))); // (e,a)
+        assert!(!k.holds(&Value::atom(0, 4), &Value::atom(0, 1))); // (e,b)
+        assert_eq!(
+            k.images_of(&Value::atom(0, 6)),
+            vec![Value::atom(0, 2), Value::atom(0, 3)] // g ↦ {c, d}
+        );
+        assert_eq!(
+            k.preimages_of(&Value::atom(0, 0)),
+            vec![Value::atom(0, 4), Value::atom(0, 8)] // a ↤ {e, i}
+        );
+        assert!(k.images_of(&Value::atom(0, 25)).is_empty());
+    }
+
+    #[test]
+    fn totality_and_surjectivity_are_relative_to_carriers() {
+        let h = h();
+        let dom: Vec<Value> = [4u32, 5, 6, 8, 9].iter().map(|&i| Value::atom(0, i)).collect();
+        let cod: Vec<Value> = [0u32, 1, 2].iter().map(|&i| Value::atom(0, i)).collect();
+        assert!(h.is_total_on(dom.iter()));
+        assert!(h.is_surjective_on(cod.iter()));
+        let bigger: Vec<Value> = (0..10).map(|i| Value::atom(0, i)).collect();
+        assert!(!h.is_total_on(bigger.iter()));
+        assert!(!h.is_surjective_on(bigger.iter()));
+    }
+
+    #[test]
+    fn inverse_involutive() {
+        let k = k();
+        assert_eq!(k.inverse().inverse(), k);
+        assert_eq!(k.inverse().len(), k.len());
+    }
+
+    #[test]
+    fn composition_follows_pairs() {
+        // f: e→a, i→a ; g: a→x(=23)
+        let f = Mapping::atom_pairs(&[(4, 0), (8, 0)]);
+        let g = Mapping::atom_pairs(&[(0, 23)]);
+        let fg = f.then(&g);
+        assert_eq!(fg.len(), 2);
+        assert!(fg.holds(&Value::atom(0, 4), &Value::atom(0, 23)));
+        assert!(fg.holds(&Value::atom(0, 8), &Value::atom(0, 23)));
+    }
+
+    #[test]
+    fn composition_with_empty_is_empty() {
+        let k = k();
+        let e = Mapping::empty(CvType::domain(0), CvType::domain(0));
+        assert!(k.then(&e).is_empty());
+        assert!(e.then(&k).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "composition type mismatch")]
+    fn composition_requires_matching_types() {
+        let k = k();
+        let m = Mapping::empty(CvType::int(), CvType::int());
+        let _ = k.then(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not of type")]
+    fn insert_rejects_ill_typed() {
+        let mut m = Mapping::empty(CvType::int(), CvType::int());
+        m.insert(Value::Bool(true), Value::Int(1));
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let carrier: Vec<Value> = (0..3).map(Value::Int).collect();
+        let id = Mapping::identity(CvType::int(), carrier.clone());
+        assert!(id.is_functional());
+        assert!(id.is_injective());
+        assert!(id.is_total_on(carrier.iter()));
+        assert!(id.is_surjective_on(carrier.iter()));
+        assert!(id.holds(&Value::Int(1), &Value::Int(1)));
+        assert!(!id.holds(&Value::Int(1), &Value::Int(2)));
+    }
+
+    #[test]
+    fn from_fn_graph() {
+        let m = Mapping::from_fn(
+            CvType::int(),
+            CvType::int(),
+            (0..4).map(Value::Int),
+            |v| Value::Int(v.as_int().unwrap() * 2),
+        );
+        assert!(m.holds(&Value::Int(3), &Value::Int(6)));
+        assert!(m.is_functional());
+        assert!(m.is_injective());
+    }
+
+    #[test]
+    fn union_and_restrict() {
+        let a = Mapping::atom_pairs(&[(0, 1)]);
+        let b = Mapping::atom_pairs(&[(2, 3)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        let keep: BTreeSet<Value> = [Value::atom(0, 0)].into_iter().collect();
+        let r = u.restrict_domain(&keep);
+        assert_eq!(r.len(), 1);
+        assert!(r.holds(&Value::atom(0, 0), &Value::atom(0, 1)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut m = Mapping::atom_pairs(&[(0, 1)]);
+        m.insert(Value::atom(0, 0), Value::atom(0, 1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn display_mapping() {
+        let m = Mapping::atom_pairs(&[(0, 1)]);
+        assert_eq!(m.to_string(), "{(a, b)} : D0 × D0");
+    }
+}

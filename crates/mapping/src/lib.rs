@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # genpar-mapping — relational mappings and extension modes
+//!
+//! Section 2.2 of the paper generalizes the injective functions of
+//! classical genericity to arbitrary binary relations ("mappings") between
+//! domains, and extends them to complex-value types by interpreting every
+//! type constructor as a *mapping constructor*:
+//!
+//! * tuples extend componentwise (Definition 2.3),
+//! * lists extend pointwise on equal-length lists (Definition 2.4),
+//! * sets extend in (at least) two modes, `rel` and `strong`
+//!   (Definition 2.5), generalizing Chandra's unrestricted and strong
+//!   homomorphisms,
+//! * bags extend by perfect matching (the extended abstract defers bags to
+//!   the full paper; matching is the unique extension that restricts to
+//!   Definition 2.4 on lists when order is forgotten — see [`extend`]).
+//!
+//! The crate provides:
+//!
+//! * [`finite::Mapping`] — a finite typed binary relation with the algebra
+//!   used by Proposition 2.8 (composition, inverse, totality/surjectivity/
+//!   functionality/injectivity tests);
+//! * [`family::MappingFamily`] — the paper's `H = {Hᵢ : dᵢ × dᵢ'}`, one
+//!   mapping per base type, with identity as the default for base types
+//!   not mentioned (mappings are required to be the identity on `bool`,
+//!   Section 2.5);
+//! * [`extend`] — the structural decision procedure `H^x(v₁, v₂)` for both
+//!   extension modes, plus constructive image/preimage computation (used
+//!   by the genericity checker to *generate* related instances);
+//! * [`preserve`] — (strict) preservation of first-order constants
+//!   (Section 2.4.1) and preservation of interpreted functions and
+//!   predicates under the functional view (Section 2.5);
+//! * [`family::MappingClass`] — the classes of mappings (all, total,
+//!   surjective, functional, injective, constant/predicate-preserving…)
+//!   whose extensions define the genericity classes of Section 3, with
+//!   random and exhaustive generators.
+
+pub mod extend;
+pub mod family;
+pub mod finite;
+pub mod mixed;
+pub mod preserve;
+
+pub use extend::{ExtBudget, ExtError, ExtensionMode};
+pub use family::{MappingClass, MappingFamily};
+pub use finite::Mapping;

@@ -1,0 +1,494 @@
+//! Mixed extension modes: a mode label per set node.
+//!
+//! Section 2.2: "if we label each set node of T with an extension mode,
+//! then there is a unique mapping constructor associated with each
+//! internal node" — the paper then restricts attention to uniform
+//! labellings ("we do not consider further 'mixed extensions'"). This
+//! module implements the general case: a [`ModedType`] carries an
+//! [`ExtensionMode`] on every set constructor, and
+//! [`relates_mixed`] decides the induced relation.
+//!
+//! Mixed extensions genuinely differ from both uniform ones: with
+//! `{rel {strong D}}`, the *outer* set may drop partners while the inner
+//! sets must be closed — see the tests.
+
+use crate::extend::{ExtBudget, ExtError, ExtensionMode};
+use crate::family::{MappingFamily, MappingRef};
+use genpar_value::{BaseType, CvType, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A complex-value type with a mode label on every set node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModedType {
+    /// A base-type leaf.
+    Base(BaseType),
+    /// Product.
+    Tuple(Vec<ModedType>),
+    /// A set node with its extension mode.
+    Set(ExtensionMode, Box<ModedType>),
+    /// Bag.
+    Bag(Box<ModedType>),
+    /// List.
+    List(Box<ModedType>),
+}
+
+impl ModedType {
+    /// Label every set node of a [`CvType`] with the same mode (recovers
+    /// the paper's uniform extensions).
+    pub fn uniform(ty: &CvType, mode: ExtensionMode) -> ModedType {
+        match ty {
+            CvType::Base(b) => ModedType::Base(*b),
+            CvType::Tuple(ts) => {
+                ModedType::Tuple(ts.iter().map(|t| ModedType::uniform(t, mode)).collect())
+            }
+            CvType::Set(t) => ModedType::Set(mode, Box::new(ModedType::uniform(t, mode))),
+            CvType::Bag(t) => ModedType::Bag(Box::new(ModedType::uniform(t, mode))),
+            CvType::List(t) => ModedType::List(Box::new(ModedType::uniform(t, mode))),
+        }
+    }
+
+    /// Shorthand for a set node.
+    pub fn set(mode: ExtensionMode, t: ModedType) -> ModedType {
+        ModedType::Set(mode, Box::new(t))
+    }
+
+    /// Forget the labels.
+    pub fn erase(&self) -> CvType {
+        match self {
+            ModedType::Base(b) => CvType::Base(*b),
+            ModedType::Tuple(ts) => CvType::Tuple(ts.iter().map(ModedType::erase).collect()),
+            ModedType::Set(_, t) => CvType::set(t.erase()),
+            ModedType::Bag(t) => CvType::bag(t.erase()),
+            ModedType::List(t) => CvType::list(t.erase()),
+        }
+    }
+}
+
+impl fmt::Display for ModedType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModedType::Base(b) => write!(f, "{b}"),
+            ModedType::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " × ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            ModedType::Set(m, t) => write!(f, "{{{t}}}^{m}"),
+            ModedType::Bag(t) => write!(f, "⟅{t}⟆"),
+            ModedType::List(t) => write!(f, "⟨{t}⟩"),
+        }
+    }
+}
+
+/// Decide the mixed-mode extension relation.
+pub fn relates_mixed(
+    family: &MappingFamily,
+    ty: &ModedType,
+    a: &Value,
+    b: &Value,
+) -> bool {
+    try_relates_mixed(family, ty, a, b, ExtBudget::default())
+        .expect("extension budget exhausted in mixed relates")
+}
+
+/// Decide the mixed-mode extension relation under a budget.
+pub fn try_relates_mixed(
+    family: &MappingFamily,
+    ty: &ModedType,
+    a: &Value,
+    b: &Value,
+    budget: ExtBudget,
+) -> Result<bool, ExtError> {
+    match ty {
+        ModedType::Base(bt) => Ok(match family.get(*bt) {
+            MappingRef::Finite(m) => m.holds(a, b),
+            MappingRef::Identity => a == b,
+        }),
+        ModedType::Tuple(ts) => {
+            let (xs, ys) = match (a.as_tuple(), b.as_tuple()) {
+                (Some(x), Some(y)) if x.len() == ts.len() && y.len() == ts.len() => (x, y),
+                _ => return Ok(false),
+            };
+            for ((t, x), y) in ts.iter().zip(xs).zip(ys) {
+                if !try_relates_mixed(family, t, x, y, budget)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        ModedType::List(t) => {
+            let (xs, ys) = match (a.as_list(), b.as_list()) {
+                (Some(x), Some(y)) if x.len() == y.len() => (x, y),
+                _ => return Ok(false),
+            };
+            for (x, y) in xs.iter().zip(ys) {
+                if !try_relates_mixed(family, t, x, y, budget)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        ModedType::Bag(t) => {
+            let (xs, ys) = match (a.as_bag(), b.as_bag()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Ok(false),
+            };
+            let left: Vec<&Value> = xs
+                .iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, *n))
+                .collect();
+            let right: Vec<&Value> = ys
+                .iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, *n))
+                .collect();
+            if left.len() != right.len() {
+                return Ok(false);
+            }
+            // greedy backtracking matching (small bags)
+            fn matching(
+                i: usize,
+                left: &[&Value],
+                right: &[&Value],
+                used: &mut Vec<bool>,
+                family: &MappingFamily,
+                t: &ModedType,
+                budget: ExtBudget,
+            ) -> Result<bool, ExtError> {
+                if i == left.len() {
+                    return Ok(true);
+                }
+                for j in 0..right.len() {
+                    if !used[j] && try_relates_mixed(family, t, left[i], right[j], budget)? {
+                        used[j] = true;
+                        if matching(i + 1, left, right, used, family, t, budget)? {
+                            return Ok(true);
+                        }
+                        used[j] = false;
+                    }
+                }
+                Ok(false)
+            }
+            let mut used = vec![false; right.len()];
+            matching(0, &left, &right, &mut used, family, t, budget)
+        }
+        ModedType::Set(mode, t) => {
+            let (xs, ys) = match (a.as_set(), b.as_set()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Ok(false),
+            };
+            // rel condition
+            for x in xs {
+                let mut found = false;
+                for y in ys {
+                    if try_relates_mixed(family, t, x, y, budget)? {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    return Ok(false);
+                }
+            }
+            for y in ys {
+                let mut found = false;
+                for x in xs {
+                    if try_relates_mixed(family, t, x, y, budget)? {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    return Ok(false);
+                }
+            }
+            if *mode == ExtensionMode::Rel {
+                return Ok(true);
+            }
+            // strong maximality via preimage/postimage enumeration
+            for y in ys {
+                for x in preimages_mixed(family, t, y, budget)? {
+                    if !xs.contains(&x) {
+                        return Ok(false);
+                    }
+                }
+            }
+            for x in xs {
+                for y in postimages_mixed(family, t, x, budget)? {
+                    if !ys.contains(&y) {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// All `x` with mixed-relatedness to `y` (preimage).
+pub fn preimages_mixed(
+    family: &MappingFamily,
+    ty: &ModedType,
+    y: &Value,
+    budget: ExtBudget,
+) -> Result<Vec<Value>, ExtError> {
+    images_mixed(family, ty, y, budget, false)
+}
+
+/// All `y` mixed-related from `x` (postimage).
+pub fn postimages_mixed(
+    family: &MappingFamily,
+    ty: &ModedType,
+    x: &Value,
+    budget: ExtBudget,
+) -> Result<Vec<Value>, ExtError> {
+    images_mixed(family, ty, x, budget, true)
+}
+
+fn images_mixed(
+    family: &MappingFamily,
+    ty: &ModedType,
+    v: &Value,
+    budget: ExtBudget,
+    forward: bool,
+) -> Result<Vec<Value>, ExtError> {
+    let out = match ty {
+        ModedType::Base(bt) => match family.get(*bt) {
+            MappingRef::Finite(m) => {
+                if forward {
+                    m.images_of(v)
+                } else {
+                    m.preimages_of(v)
+                }
+            }
+            MappingRef::Identity => vec![v.clone()],
+        },
+        ModedType::Tuple(ts) => {
+            let comps = match v.as_tuple() {
+                Some(c) if c.len() == ts.len() => c,
+                _ => return Ok(Vec::new()),
+            };
+            product_images(family, ts.iter().zip(comps), budget, forward)?
+                .into_iter()
+                .map(Value::Tuple)
+                .collect()
+        }
+        ModedType::List(t) => {
+            let items = match v.as_list() {
+                Some(i) => i,
+                None => return Ok(Vec::new()),
+            };
+            product_images(
+                family,
+                std::iter::repeat(t.as_ref()).zip(items),
+                budget,
+                forward,
+            )?
+            .into_iter()
+            .map(Value::List)
+            .collect()
+        }
+        ModedType::Bag(t) => {
+            let items: Vec<&Value> = match v.as_bag() {
+                Some(b) => b
+                    .iter()
+                    .flat_map(|(x, n)| std::iter::repeat_n(x, *n))
+                    .collect(),
+                None => return Ok(Vec::new()),
+            };
+            let mut vs: Vec<Value> = product_images(
+                family,
+                std::iter::repeat(t.as_ref()).zip(items),
+                budget,
+                forward,
+            )?
+            .into_iter()
+            .map(Value::bag)
+            .collect();
+            vs.sort();
+            vs.dedup();
+            vs
+        }
+        ModedType::Set(mode, t) => {
+            let elems: Vec<&Value> = match v.as_set() {
+                Some(s) => s.iter().collect(),
+                None => return Ok(Vec::new()),
+            };
+            let mut pool: BTreeSet<Value> = BTreeSet::new();
+            for e in &elems {
+                pool.extend(images_mixed(family, t, e, budget, forward)?);
+            }
+            let pool: Vec<Value> = pool.into_iter().collect();
+            if pool.len() >= usize::BITS as usize || (1usize << pool.len()) > budget.max_candidates
+            {
+                return Err(ExtError);
+            }
+            let mut out = Vec::new();
+            for mask in 0u64..(1u64 << pool.len()) {
+                let w: BTreeSet<Value> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, x)| x.clone())
+                    .collect();
+                let wv = Value::Set(w);
+                let ok = if forward {
+                    try_relates_mixed(family, &ModedType::Set(*mode, t.clone()), v, &wv, budget)?
+                } else {
+                    try_relates_mixed(family, &ModedType::Set(*mode, t.clone()), &wv, v, budget)?
+                };
+                if ok {
+                    out.push(wv);
+                }
+            }
+            out
+        }
+    };
+    Ok(out)
+}
+
+fn product_images<'a, 'b>(
+    family: &MappingFamily,
+    parts: impl Iterator<Item = (&'a ModedType, &'b Value)>,
+    budget: ExtBudget,
+    forward: bool,
+) -> Result<Vec<Vec<Value>>, ExtError> {
+    let mut acc: Vec<Vec<Value>> = vec![Vec::new()];
+    for (t, c) in parts {
+        let imgs = images_mixed(family, t, c, budget, forward)?;
+        let mut next = Vec::with_capacity(acc.len() * imgs.len());
+        for prefix in &acc {
+            for i in &imgs {
+                let mut row = prefix.clone();
+                row.push(i.clone());
+                next.push(row);
+            }
+        }
+        if next.len() > budget.max_candidates {
+            return Err(ExtError);
+        }
+        acc = next;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extend::relates;
+    use genpar_value::parse::parse_value;
+
+    fn fam() -> MappingFamily {
+        // e,i ↦ a
+        MappingFamily::atoms(&[(4, 0), (8, 0)])
+    }
+
+    #[test]
+    fn uniform_labels_agree_with_uniform_relates() {
+        let f = fam();
+        let cv = CvType::set(CvType::set(CvType::domain(0)));
+        let v1 = parse_value("{{e}, {e, i}}").unwrap();
+        let v2 = parse_value("{{a}}").unwrap();
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            let moded = ModedType::uniform(&cv, mode);
+            assert_eq!(
+                relates_mixed(&f, &moded, &v1, &v2),
+                relates(&f, &cv, mode, &v1, &v2),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_outer_rel_inner_strong_differs_from_both_uniforms() {
+        let f = fam();
+        // inner strong demands closed inner sets; outer rel allows
+        // dropping outer elements with no strong partner… but every outer
+        // element must still have SOME partner.
+        // v1 = {{e}, {e,i}}: {e} has NO strong partner (not closed),
+        //                    {e,i} strong-partners {a}.
+        let v1 = parse_value("{{e}, {e, i}}").unwrap();
+        let v2 = parse_value("{{a}}").unwrap();
+        let mixed = ModedType::set(
+            ExtensionMode::Rel,
+            ModedType::set(ExtensionMode::Strong, ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))),
+        );
+        // uniform rel: holds ({e} rel-partners {a})
+        assert!(relates(
+            &f,
+            &CvType::set(CvType::set(CvType::domain(0))),
+            ExtensionMode::Rel,
+            &v1,
+            &v2
+        ));
+        // uniform strong: fails (outer maximality + inner strong)
+        assert!(!relates(
+            &f,
+            &CvType::set(CvType::set(CvType::domain(0))),
+            ExtensionMode::Strong,
+            &v1,
+            &v2
+        ));
+        // mixed rel(strong): fails — {e} has no strong partner at all
+        assert!(!relates_mixed(&f, &mixed, &v1, &v2));
+        // dropping the unclosed inner set restores it:
+        let v1b = parse_value("{{e, i}}").unwrap();
+        assert!(relates_mixed(&f, &mixed, &v1b, &v2));
+    }
+
+    #[test]
+    fn mixed_outer_strong_inner_rel() {
+        let f = fam();
+        let mixed = ModedType::set(
+            ExtensionMode::Strong,
+            ModedType::set(ExtensionMode::Rel, ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))),
+        );
+        // outer strong maximality over inner-rel partners: v1 must contain
+        // every inner set rel-related to some element of v2.
+        let v1 = parse_value("{{e}, {i}, {e, i}}").unwrap();
+        let v2 = parse_value("{{a}}").unwrap();
+        assert!(relates_mixed(&f, &mixed, &v1, &v2));
+        // missing {i} breaks outer-strong maximality:
+        let v1b = parse_value("{{e}, {e, i}}").unwrap();
+        assert!(!relates_mixed(&f, &mixed, &v1b, &v2));
+    }
+
+    #[test]
+    fn erase_and_uniform_roundtrip() {
+        let cv = CvType::tuple([
+            CvType::set(CvType::domain(0)),
+            CvType::list(CvType::bag(CvType::int())),
+        ]);
+        let m = ModedType::uniform(&cv, ExtensionMode::Strong);
+        assert_eq!(m.erase(), cv);
+    }
+
+    #[test]
+    fn display_moded() {
+        let m = ModedType::set(
+            ExtensionMode::Rel,
+            ModedType::set(ExtensionMode::Strong, ModedType::Base(BaseType::Int)),
+        );
+        assert_eq!(m.to_string(), "{{int}^strong}^rel");
+    }
+
+    #[test]
+    fn bag_and_list_nodes_pass_through() {
+        let f = MappingFamily::atoms(&[(0, 1)]);
+        let m = ModedType::List(Box::new(ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))));
+        let l1 = parse_value("[a, a]").unwrap();
+        let l2 = parse_value("[b, b]").unwrap();
+        assert!(relates_mixed(&f, &m, &l1, &l2));
+        let b = ModedType::Bag(Box::new(ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))));
+        let b1 = parse_value("{|a, a|}").unwrap();
+        let b2 = parse_value("{|b, b|}").unwrap();
+        assert!(relates_mixed(&f, &b, &b1, &b2));
+        let b3 = parse_value("{|b|}").unwrap();
+        assert!(!relates_mixed(&f, &b, &b1, &b3));
+    }
+}

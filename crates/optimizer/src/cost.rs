@@ -1,0 +1,251 @@
+//! A cardinality-based cost model, and cost-guarded optimization.
+//!
+//! Section 4.4 derives *equivalences*; an optimizer still needs to decide
+//! whether firing one helps. The Series C experiment (EXPERIMENTS.md)
+//! shows the key-aware `Π(R − S)` push has a genuine crossover in tuple
+//! width, so [`optimize_costed`] estimates the work of the original and
+//! rewritten plans and keeps whichever is cheaper — equivalence supplied
+//! by genericity, profitability by the model.
+
+use crate::rewrite::{optimize, RewriteTrace};
+use crate::rules::{arity_of, pred_columns, RuleSet};
+use genpar_algebra::{Pred, Query};
+use genpar_engine::Catalog;
+
+/// Cardinality and cost estimates for a query under a catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output tuple width.
+    pub width: f64,
+    /// Estimated total cells processed by the whole subtree.
+    pub cost: f64,
+}
+
+/// Default selectivity of an equality predicate against a constant.
+const EQ_CONST_SELECTIVITY: f64 = 0.1;
+/// Default selectivity of a column-equality predicate.
+const EQ_COLS_SELECTIVITY: f64 = 0.2;
+
+/// Estimate a query bottom-up. Unknown shapes get pessimistic defaults
+/// (cardinality of the largest input).
+pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
+    match q {
+        Query::Rel(n) => {
+            let (rows, width) = catalog
+                .get(n)
+                .map(|t| (t.len() as f64, t.schema.arity() as f64))
+                .unwrap_or((0.0, 1.0));
+            Estimate { rows, width, cost: 0.0 }
+        }
+        Query::Empty => Estimate { rows: 0.0, width: 1.0, cost: 0.0 },
+        Query::Lit(v) => Estimate {
+            rows: v.len() as f64,
+            width: 1.0,
+            cost: 0.0,
+        },
+        Query::Project(cols, inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: i.rows, // conservative: duplicates may collapse
+                width: cols.len() as f64,
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        Query::Select(p, inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: i.rows * selectivity(p),
+                width: i.width,
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        Query::SelectHat(_, _, inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: i.rows * EQ_COLS_SELECTIVITY,
+                width: (i.width - 1.0).max(1.0),
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        Query::Union(a, b) => {
+            let (x, y) = (estimate(a, catalog), estimate(b, catalog));
+            Estimate {
+                rows: x.rows + y.rows,
+                width: x.width.max(y.width),
+                cost: x.cost + y.cost + (x.rows * x.width + y.rows * y.width),
+            }
+        }
+        Query::Intersect(a, b) | Query::Difference(a, b) => {
+            let (x, y) = (estimate(a, catalog), estimate(b, catalog));
+            Estimate {
+                rows: x.rows * 0.5,
+                width: x.width,
+                cost: x.cost + y.cost + (x.rows * x.width + y.rows * y.width),
+            }
+        }
+        Query::Product(a, b) => {
+            let (x, y) = (estimate(a, catalog), estimate(b, catalog));
+            Estimate {
+                rows: x.rows * y.rows,
+                width: x.width + y.width,
+                cost: x.cost + y.cost + x.rows * y.rows * (x.width + y.width),
+            }
+        }
+        Query::Join(on, a, b) => {
+            let (x, y) = (estimate(a, catalog), estimate(b, catalog));
+            let out_rows = if on.is_empty() {
+                x.rows * y.rows
+            } else {
+                // foreign-key-ish heuristic
+                (x.rows * y.rows / x.rows.max(y.rows).max(1.0)).max(1.0)
+            };
+            Estimate {
+                rows: out_rows,
+                width: x.width + y.width,
+                cost: x.cost + y.cost + (x.rows * x.width + y.rows * y.width),
+            }
+        }
+        Query::Map(_, inner) | Query::Insert(_, inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: i.rows,
+                width: i.width,
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        // complex-value operators: coarse defaults
+        _ => {
+            let arity = arity_of(q, catalog).unwrap_or(1) as f64;
+            Estimate { rows: 100.0, width: arity, cost: 100.0 * arity }
+        }
+    }
+}
+
+fn selectivity(p: &Pred) -> f64 {
+    match p {
+        Pred::True => 1.0,
+        Pred::EqCols(..) => EQ_COLS_SELECTIVITY,
+        Pred::EqConst(..) => EQ_CONST_SELECTIVITY,
+        Pred::Named(..) => 0.5,
+        Pred::And(a, b) => selectivity(a) * selectivity(b),
+        Pred::Or(a, b) => (selectivity(a) + selectivity(b)).min(1.0),
+        Pred::Not(a) => 1.0 - selectivity(a),
+    }
+}
+
+impl Estimate {
+    /// Sanity: columns mentioned by a predicate are within the width.
+    pub fn covers_pred(&self, p: &Pred) -> bool {
+        pred_columns(p)
+            .into_iter()
+            .all(|c| (c as f64) < self.width)
+    }
+}
+
+/// Optimize, then keep the rewritten query only if the model estimates it
+/// cheaper. Returns the chosen query, the trace, and both estimates.
+pub fn optimize_costed(
+    q: &Query,
+    rules: &RuleSet,
+    catalog: &Catalog,
+) -> (Query, RewriteTrace, Estimate, Estimate) {
+    let base_est = estimate(q, catalog);
+    let (rewritten, trace) = optimize(q, rules, catalog);
+    let new_est = estimate(&rewritten, catalog);
+    if new_est.cost < base_est.cost {
+        (rewritten, trace, base_est, new_est)
+    } else {
+        (q.clone(), RewriteTrace::default(), base_est, new_est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Constraints;
+    use genpar_engine::workload::generate_keyed_pair;
+    use genpar_engine::{lower, Catalog};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keyed_catalog(arity: usize) -> Catalog {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (r, s) = generate_keyed_pair(&mut rng, 2_000, arity, 0.5);
+        Catalog::new().with(r).with(s)
+    }
+
+    fn keyed_rules() -> RuleSet {
+        RuleSet::with_constraints(
+            Constraints::none().with_union_key(["R".to_string(), "S".to_string()], [0]),
+        )
+    }
+
+    #[test]
+    fn estimates_scale_with_catalog() {
+        let cat = keyed_catalog(3);
+        let e = estimate(&Query::rel("R"), &cat);
+        assert_eq!(e.rows, 2000.0);
+        assert_eq!(e.width, 3.0);
+        let u = estimate(&Query::rel("R").union(Query::rel("S")), &cat);
+        assert_eq!(u.rows, 4000.0);
+        assert!(u.cost > 0.0);
+    }
+
+    #[test]
+    fn selection_reduces_estimated_rows() {
+        let cat = keyed_catalog(2);
+        let base = estimate(&Query::rel("R"), &cat).rows;
+        let sel = estimate(
+            &Query::rel("R").select(Pred::eq_const(0, genpar_value::Value::Int(3))),
+            &cat,
+        )
+        .rows;
+        assert!(sel < base);
+    }
+
+    #[test]
+    fn costed_optimizer_respects_the_series_c_crossover() {
+        // narrow rows: model must keep the ORIGINAL Π(R − S)
+        let q = Query::rel("R").difference(Query::rel("S")).project([0]);
+        let cat2 = keyed_catalog(2);
+        let (chosen2, trace2, _, _) = optimize_costed(&q, &keyed_rules(), &cat2);
+        assert!(trace2.steps.is_empty(), "narrow rows must not rewrite");
+        assert!(matches!(chosen2, Query::Project(..)));
+
+        // wide rows: model must take the rewrite
+        let cat8 = keyed_catalog(8);
+        let (chosen8, trace8, base_est, new_est) = optimize_costed(&q, &keyed_rules(), &cat8);
+        assert!(!trace8.steps.is_empty(), "wide rows must rewrite");
+        assert!(matches!(chosen8, Query::Difference(..)));
+        assert!(new_est.cost < base_est.cost);
+
+        // and the model's decisions match the engine's actual counters
+        for (cat, q_chosen) in [(&cat2, &chosen2), (&cat8, &chosen8)] {
+            let (_, chosen_stats) = lower(q_chosen).unwrap().execute(cat).unwrap();
+            let (_, base_stats) = lower(&q).unwrap().execute(cat).unwrap();
+            assert!(
+                chosen_stats.cells_processed <= base_stats.cells_processed,
+                "model picked a worse plan: {chosen_stats:?} vs {base_stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn costed_optimizer_always_pushes_projection_through_union() {
+        let cat = keyed_catalog(3);
+        let q = Query::rel("R").union(Query::rel("S")).project([0]);
+        let (chosen, trace, _, _) = optimize_costed(&q, &RuleSet::standard(), &cat);
+        assert!(!trace.steps.is_empty());
+        assert!(matches!(chosen, Query::Union(..)));
+    }
+
+    #[test]
+    fn pred_coverage_check() {
+        let cat = keyed_catalog(2);
+        let e = estimate(&Query::rel("R"), &cat);
+        assert!(e.covers_pred(&Pred::eq_cols(0, 1)));
+        assert!(!e.covers_pred(&Pred::eq_cols(0, 5)));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # genpar-optimizer — rewrites justified by genericity/parametricity
+//!
+//! Section 4.4 of the paper turns invariance into *commutation*: a query
+//! invariant under a class of mappings commutes with every mapping in the
+//! class. Since `map(f)` **is** the `rel`-extension of a functional
+//! mapping `f` (`{f}ʳᵉˡ = map(f)`), genericity facts become algebraic
+//! laws:
+//!
+//! * `map(f)(R ∪ S) = map(f)(R) ∪ map(f)(S)` for **any** `f` — `∪` is
+//!   fully generic, so `f` "could be any user-defined method, in any
+//!   programming language, about which we know nothing";
+//! * `Π₁(R ∪ S) = Π₁(R) ∪ Π₁(S)` — needs parametricity, not mere
+//!   genericity: `π₁` relates values of *different* structures, which
+//!   only the Section 4 relations allow;
+//! * `Π₁(R − S) = Π₁(R) − Π₁(S)` — **only** when column 1 is a key for
+//!   `R ∪ S`, making `π₁` injective there; `−` is generic only w.r.t.
+//!   injective mappings (Proposition 3.4).
+//!
+//! The [`rules`] module implements these (plus the classical
+//! σ/π-cascades they generalize) as rewrite rules carrying a
+//! *justification*: which genericity/parametricity fact licenses them and
+//! which side conditions were checked. The [`rewrite`] engine applies
+//! them bottom-up to fixpoint and records a trace. Soundness (rewritten ≡
+//! original on all databases) is property-tested in `tests/`.
+
+pub mod cost;
+pub mod rewrite;
+pub mod rules;
+
+pub use cost::{estimate, optimize_costed, Estimate};
+pub use rewrite::{optimize, RewriteTrace};
+pub use rules::{Constraints, Rule, RuleSet};

@@ -1,0 +1,272 @@
+//! The rewrite rules and their side conditions.
+
+use genpar_algebra::{Pred, Query};
+use genpar_engine::Catalog;
+use std::fmt;
+
+/// Semantic constraints the optimizer may rely on beyond per-table
+/// schemas.
+///
+/// A `union_key` entry `(tables, cols)` asserts that `cols` form a key
+/// for the union of the named tables — the paper's "common key … a key
+/// for R ∪ S" (Section 4.4). Per-table keys do *not* imply this (the same
+/// key value could appear in both tables with different payloads), so it
+/// is a separate, instance-level promise, which the workload generator
+/// `genpar-engine::workload::generate_keyed_pair` honours.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    /// `(sorted table names, key columns)` assertions.
+    pub union_keys: Vec<(Vec<String>, Vec<usize>)>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Constraints {
+        Constraints::default()
+    }
+
+    /// Assert a key for the union of tables.
+    pub fn with_union_key(
+        mut self,
+        tables: impl IntoIterator<Item = String>,
+        cols: impl IntoIterator<Item = usize>,
+    ) -> Constraints {
+        let mut ts: Vec<String> = tables.into_iter().collect();
+        ts.sort();
+        self.union_keys.push((ts, cols.into_iter().collect()));
+        self
+    }
+
+    /// Do `cols` contain a key for the union of the given base tables?
+    pub fn cols_key_for_union(&self, tables: &[&str], cols: &[usize]) -> bool {
+        let mut ts: Vec<String> = tables.iter().map(|s| s.to_string()).collect();
+        ts.sort();
+        self.union_keys.iter().any(|(names, key)| {
+            *names == ts && key.iter().all(|c| cols.contains(c))
+        })
+    }
+}
+
+/// A rewrite rule: a named transformation with a genericity/parametricity
+/// justification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `map(f)(A ∪ B) → map(f)(A) ∪ map(f)(B)` — full genericity of `∪`.
+    MapThroughUnion,
+    /// `map(f)(A × B) → ...` not included: tuple widths change; see docs.
+    /// `π(A ∪ B) → π(A) ∪ π(B)` — parametricity of `∪` (Cor 4.15).
+    ProjectThroughUnion,
+    /// `π(A − B) → π(A) − π(B)` when the columns contain a key for the
+    /// union (injectivity side condition, Prop 3.4 + §4.4).
+    ProjectThroughDifference,
+    /// `σ_p(A ∪ B) → σ_p(A) ∪ σ_p(B)` — closure of genericity classes
+    /// under ∪ (Prop 3.1).
+    FilterThroughUnion,
+    /// `σ_p(A × B) → σ_p(A) × B` when `p` touches only left columns.
+    FilterThroughProduct,
+    /// `π_c1(π_c2(A)) → π_{c2∘c1}(A)`.
+    ProjectCascade,
+    /// `σ_p(σ_q(A)) → σ_{p∧q}(A)`.
+    FilterFuse,
+    /// `map(f)(A − B) → map(f)(A) − map(f)(B)` when `f` is injective on
+    /// the instance — only fired when the key constraint proves it.
+    MapThroughDifferenceKeyed,
+}
+
+impl Rule {
+    /// The paper fact licensing the rule.
+    pub fn justification(&self) -> &'static str {
+        match self {
+            Rule::MapThroughUnion => {
+                "∪ is fully generic (Cor 3.2); map(f) = {f}^rel commutes for ANY f (§4.4)"
+            }
+            Rule::ProjectThroughUnion => {
+                "∪ is parametric at ∀X.{X}×{X}→{X} (Cor 4.15); π relates across structures (§4.4)"
+            }
+            Rule::ProjectThroughDifference => {
+                "− is generic w.r.t. injective mappings (Prop 3.4); key makes π injective (§4.4)"
+            }
+            Rule::FilterThroughUnion => "genericity classes closed under ∪ (Prop 3.1)",
+            Rule::FilterThroughProduct => "genericity classes closed under × (Prop 3.1)",
+            Rule::ProjectCascade => "composition closure (Prop 3.1)",
+            Rule::FilterFuse => "composition closure (Prop 3.1)",
+            Rule::MapThroughDifferenceKeyed => {
+                "− is generic w.r.t. injective mappings (Prop 3.4); keyed map is injective"
+            }
+        }
+    }
+
+    /// All rules, in application priority order.
+    pub fn all() -> Vec<Rule> {
+        vec![
+            Rule::FilterFuse,
+            Rule::ProjectCascade,
+            Rule::FilterThroughUnion,
+            Rule::FilterThroughProduct,
+            Rule::ProjectThroughUnion,
+            Rule::ProjectThroughDifference,
+            Rule::MapThroughUnion,
+            Rule::MapThroughDifferenceKeyed,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A set of enabled rules with the constraint context.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    /// Enabled rules, in priority order.
+    pub rules: Vec<Rule>,
+    /// Instance-level constraints.
+    pub constraints: Constraints,
+}
+
+impl RuleSet {
+    /// All rules, no constraints.
+    pub fn standard() -> RuleSet {
+        RuleSet {
+            rules: Rule::all(),
+            constraints: Constraints::none(),
+        }
+    }
+
+    /// All rules with constraints.
+    pub fn with_constraints(constraints: Constraints) -> RuleSet {
+        RuleSet {
+            rules: Rule::all(),
+            constraints,
+        }
+    }
+
+    /// Only the listed rules.
+    pub fn only(rules: impl IntoIterator<Item = Rule>) -> RuleSet {
+        RuleSet {
+            rules: rules.into_iter().collect(),
+            constraints: Constraints::none(),
+        }
+    }
+}
+
+/// The arity (tuple width) of a query's output relation, when derivable
+/// from the catalog. Needed by column-sensitive side conditions.
+pub fn arity_of(q: &Query, catalog: &Catalog) -> Option<usize> {
+    match q {
+        Query::Rel(n) => catalog.schema_of(n).map(|s| s.arity()),
+        Query::Empty => None,
+        Query::Lit(v) => v
+            .as_set()
+            .and_then(|s| s.iter().next())
+            .and_then(|t| t.as_tuple())
+            .map(|t| t.len()),
+        Query::Project(cols, _) => Some(cols.len()),
+        Query::Select(_, inner) => arity_of(inner, catalog),
+        Query::SelectHat(_, _, inner) => arity_of(inner, catalog).map(|a| a.saturating_sub(1)),
+        Query::Product(a, b) | Query::Join(_, a, b) => {
+            Some(arity_of(a, catalog)? + arity_of(b, catalog)?)
+        }
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Difference(a, b) => {
+            arity_of(a, catalog).or_else(|| arity_of(b, catalog))
+        }
+        _ => None,
+    }
+}
+
+/// The base tables a query reads, if it is a pure base-table expression
+/// over ∪/−/∩ (used by the union-key side condition).
+pub fn base_tables(q: &Query) -> Option<Vec<&str>> {
+    match q {
+        Query::Rel(n) => Some(vec![n.as_str()]),
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Difference(a, b) => {
+            let mut l = base_tables(a)?;
+            l.extend(base_tables(b)?);
+            Some(l)
+        }
+        _ => None,
+    }
+}
+
+/// Columns mentioned by a predicate.
+pub fn pred_columns(p: &Pred) -> Vec<usize> {
+    match p {
+        Pred::True => Vec::new(),
+        Pred::EqCols(i, j) => vec![*i, *j],
+        Pred::EqConst(i, _) => vec![*i],
+        Pred::Named(_, cols) => cols.clone(),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            let mut out = pred_columns(a);
+            out.extend(pred_columns(b));
+            out
+        }
+        Pred::Not(a) => pred_columns(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_engine::{Schema, Table};
+    use genpar_value::CvType;
+
+    #[test]
+    fn constraints_union_key_lookup() {
+        let c = Constraints::none().with_union_key(["R".to_string(), "S".to_string()], [0]);
+        assert!(c.cols_key_for_union(&["R", "S"], &[0, 1]));
+        assert!(c.cols_key_for_union(&["S", "R"], &[0]));
+        assert!(!c.cols_key_for_union(&["R", "S"], &[1]));
+        assert!(!c.cols_key_for_union(&["R", "T"], &[0]));
+        assert!(!Constraints::none().cols_key_for_union(&["R", "S"], &[0]));
+    }
+
+    #[test]
+    fn arity_inference() {
+        let cat = Catalog::new()
+            .with(Table::new("R", Schema::uniform(CvType::int(), 2)))
+            .with(Table::new("S", Schema::uniform(CvType::int(), 3)));
+        assert_eq!(arity_of(&Query::rel("R"), &cat), Some(2));
+        assert_eq!(
+            arity_of(&Query::rel("R").product(Query::rel("S")), &cat),
+            Some(5)
+        );
+        assert_eq!(arity_of(&Query::rel("R").project([0]), &cat), Some(1));
+        assert_eq!(
+            arity_of(&Query::rel("R").select_hat(0, 1), &cat),
+            Some(1)
+        );
+        assert_eq!(arity_of(&Query::rel("Z"), &cat), None);
+    }
+
+    #[test]
+    fn base_table_extraction() {
+        let q = Query::rel("R").union(Query::rel("S"));
+        assert_eq!(base_tables(&q), Some(vec!["R", "S"]));
+        assert_eq!(base_tables(&Query::rel("R").project([0])), None);
+        let d = Query::rel("R").difference(Query::rel("S"));
+        assert_eq!(base_tables(&d), Some(vec!["R", "S"]));
+    }
+
+    #[test]
+    fn pred_column_extraction() {
+        let p = Pred::eq_cols(0, 2).and(Pred::eq_const(1, genpar_value::Value::Int(5)));
+        let mut cols = pred_columns(&p);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_rule_has_a_justification() {
+        for r in Rule::all() {
+            assert!(!r.justification().is_empty());
+            assert!(
+                r.justification().contains("Prop")
+                    || r.justification().contains("Cor")
+                    || r.justification().contains('§'),
+                "{r}: justification should cite the paper"
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Deriving algebraic laws from types, automatically.
+//!
+//! Section 4.4's closing thought: "many algebraic laws can be derived
+//! from parametricity. It follows that, hopefully, type checking and type
+//! inference algorithms can be used to verify or discover such properties
+//! automatically." This module does exactly that: it pattern-matches a
+//! polymorphic set-operation's type ([`crate::transfer::LsTy`]) and
+//! *derives* the commutation law the parametricity theorem licenses —
+//! `map(f)` being the `rel`-extension of the functional mapping `f`:
+//!
+//! * `op : ∀X.{X} → {X}`        ⟹ `map(f) ∘ op = op ∘ map(f)`, any `f`;
+//! * `op : ∀X.{X} × {X} → {X}`  ⟹ `map(f)(op(a,b)) = op(map(f)a, map(f)b)`;
+//! * `op : ∀X.X → {X} → {X}`    ⟹ `map(f)(op(c, s)) = op(f(c), map(f)s)`
+//!   (the `ins` shape of Section 4.3);
+//! * the same shapes under `∀X⁼` ⟹ the law holds for **injective** `f`
+//!   only (set difference is the worked example).
+//!
+//! Each derived law carries a dynamic checker, so "discovered" laws are
+//! immediately validated — and the `∀X⁼` restriction is *witnessed*: the
+//! checker finds concrete violations when a non-injective `f` is applied
+//! to an equality-bounded operation.
+
+use crate::transfer::LsTy;
+use genpar_value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The shape of a derived commutation law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LawShape {
+    /// `map(f) ∘ op = op ∘ map(f)` for unary set ops.
+    Unary,
+    /// `map(f)(op(a, b)) = op(map(f) a, map(f) b)` for binary set ops.
+    Binary,
+    /// `map(f)(op(c, s)) = op(f c, map(f) s)` for element-parameterized
+    /// ops (`ins`).
+    ElementThenSet,
+}
+
+/// A law derived from a type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedLaw {
+    /// The commutation shape.
+    pub shape: LawShape,
+    /// Does the law require `f` injective (the type was `∀X⁼`)?
+    pub requires_injective: bool,
+}
+
+impl fmt::Display for DerivedLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let eq = if self.requires_injective {
+            " (for injective f only — ∀X⁼)"
+        } else {
+            " (for ANY f)"
+        };
+        match self.shape {
+            LawShape::Unary => write!(f, "map(f) ∘ op = op ∘ map(f){eq}"),
+            LawShape::Binary => write!(f, "map(f)(op(a,b)) = op(map(f)a, map(f)b){eq}"),
+            LawShape::ElementThenSet => write!(f, "map(f)(op(c,s)) = op(f c, map(f)s){eq}"),
+        }
+    }
+}
+
+/// Derive the commutation law for an operation of the given type scheme.
+/// `eq_bounded` says whether the (implicit, outermost) quantifier is
+/// `∀X⁼`. Returns `None` if the type has none of the recognized shapes.
+pub fn derive_law(ty: &LsTy, eq_bounded: bool) -> Option<DerivedLaw> {
+    let x = LsTy::var(0);
+    let set_x = LsTy::set(x.clone());
+    let shape = if *ty == LsTy::arrow(set_x.clone(), set_x.clone()) {
+        LawShape::Unary
+    } else if *ty == LsTy::arrow(LsTy::prod([set_x.clone(), set_x.clone()]), set_x.clone()) {
+        LawShape::Binary
+    } else if *ty == LsTy::arrow(x, LsTy::arrow(set_x.clone(), set_x)) {
+        LawShape::ElementThenSet
+    } else {
+        return None;
+    };
+    Some(DerivedLaw {
+        shape,
+        requires_injective: eq_bounded,
+    })
+}
+
+/// `map(f)` on a set value.
+fn map_set(f: &dyn Fn(&Value) -> Value, s: &Value) -> Value {
+    Value::set(s.as_set().expect("set operand").iter().map(f))
+}
+
+/// A violation of a derived law: the two sides differ on an instance.
+#[derive(Debug, Clone)]
+pub struct LawViolation {
+    /// Rendering of the left-hand side.
+    pub lhs: String,
+    /// Rendering of the right-hand side.
+    pub rhs: String,
+}
+
+impl fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "law violated: {} ≠ {}", self.lhs, self.rhs)
+    }
+}
+
+/// Check a unary law instance.
+pub fn check_unary(
+    op: &dyn Fn(&Value) -> Value,
+    f: &dyn Fn(&Value) -> Value,
+    s: &Value,
+) -> Result<(), LawViolation> {
+    let lhs = map_set(f, &op(s));
+    let rhs = op(&map_set(f, s));
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            lhs: lhs.to_string(),
+            rhs: rhs.to_string(),
+        })
+    }
+}
+
+/// Check a binary law instance.
+pub fn check_binary(
+    op: &dyn Fn(&Value, &Value) -> Value,
+    f: &dyn Fn(&Value) -> Value,
+    a: &Value,
+    b: &Value,
+) -> Result<(), LawViolation> {
+    let lhs = map_set(f, &op(a, b));
+    let rhs = op(&map_set(f, a), &map_set(f, b));
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            lhs: lhs.to_string(),
+            rhs: rhs.to_string(),
+        })
+    }
+}
+
+/// Check an element-then-set (`ins`) law instance.
+pub fn check_element_then_set(
+    op: &dyn Fn(&Value, &Value) -> Value,
+    f: &dyn Fn(&Value) -> Value,
+    c: &Value,
+    s: &Value,
+) -> Result<(), LawViolation> {
+    let lhs = map_set(f, &op(c, s));
+    let rhs = op(&f(c), &map_set(f, s));
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            lhs: lhs.to_string(),
+            rhs: rhs.to_string(),
+        })
+    }
+}
+
+/// The standard operation catalog with their types — the inputs a
+/// law-discovery pass would read off a library's signatures.
+pub fn standard_catalog() -> Vec<(&'static str, LsTy, bool)> {
+    let x = LsTy::var(0);
+    let set_x = || LsTy::set(LsTy::var(0));
+    vec![
+        (
+            "∪",
+            LsTy::arrow(LsTy::prod([set_x(), set_x()]), set_x()),
+            false,
+        ),
+        (
+            "−",
+            LsTy::arrow(LsTy::prod([set_x(), set_x()]), set_x()),
+            true, // ∀X⁼
+        ),
+        ("id", LsTy::arrow(set_x(), set_x()), false),
+        ("ins", LsTy::arrow(x, LsTy::arrow(set_x(), set_x())), false),
+        (
+            "∩",
+            LsTy::arrow(LsTy::prod([set_x(), set_x()]), set_x()),
+            true, // ∀X⁼
+        ),
+    ]
+}
+
+/// Set union/difference/intersection as closures over `Value`.
+pub mod ops {
+    use super::*;
+
+    /// `∪`.
+    pub fn union(a: &Value, b: &Value) -> Value {
+        Value::Set(
+            a.as_set()
+                .unwrap()
+                .union(b.as_set().unwrap())
+                .cloned()
+                .collect::<BTreeSet<_>>(),
+        )
+    }
+
+    /// `−`.
+    pub fn difference(a: &Value, b: &Value) -> Value {
+        Value::Set(
+            a.as_set()
+                .unwrap()
+                .difference(b.as_set().unwrap())
+                .cloned()
+                .collect::<BTreeSet<_>>(),
+        )
+    }
+
+    /// `∩`.
+    pub fn intersection(a: &Value, b: &Value) -> Value {
+        Value::Set(
+            a.as_set()
+                .unwrap()
+                .intersection(b.as_set().unwrap())
+                .cloned()
+                .collect::<BTreeSet<_>>(),
+        )
+    }
+
+    /// `ins`.
+    pub fn ins(c: &Value, s: &Value) -> Value {
+        let mut out = s.as_set().unwrap().clone();
+        out.insert(c.clone());
+        Value::Set(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+    use proptest::prelude::*;
+
+    #[test]
+    fn derivation_matches_shapes() {
+        for (name, ty, eq) in standard_catalog() {
+            let law = derive_law(&ty, eq).unwrap_or_else(|| panic!("{name} should derive"));
+            match name {
+                "∪" | "−" | "∩" => assert_eq!(law.shape, LawShape::Binary, "{name}"),
+                "id" => assert_eq!(law.shape, LawShape::Unary),
+                "ins" => assert_eq!(law.shape, LawShape::ElementThenSet),
+                _ => unreachable!(),
+            }
+            assert_eq!(law.requires_injective, eq, "{name}");
+        }
+        // unrecognized shapes derive nothing
+        assert!(derive_law(&LsTy::arrow(LsTy::var(0), LsTy::bool()), false).is_none());
+    }
+
+    #[test]
+    fn law_display_names_the_side_condition() {
+        let l = derive_law(
+            &LsTy::arrow(
+                LsTy::prod([LsTy::set(LsTy::var(0)), LsTy::set(LsTy::var(0))]),
+                LsTy::set(LsTy::var(0)),
+            ),
+            true,
+        )
+        .unwrap();
+        assert!(l.to_string().contains("injective"));
+    }
+
+    #[test]
+    fn union_law_holds_even_for_collapsing_f() {
+        // f glues everything — ∪'s law (no ∀X⁼) still holds
+        let collapse = |_: &Value| Value::Int(0);
+        check_binary(
+            &ops::union,
+            &collapse,
+            &parse_value("{1, 2}").unwrap(),
+            &parse_value("{3}").unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn difference_law_breaks_for_collapsing_f_and_holds_for_injective() {
+        // the ∀X⁼ side condition is real: collapse breaks −
+        let collapse = |_: &Value| Value::Int(0);
+        let a = parse_value("{1, 2}").unwrap();
+        let b = parse_value("{2}").unwrap();
+        assert!(check_binary(&ops::difference, &collapse, &a, &b).is_err());
+        // but an injective f commutes
+        let inj = |v: &Value| Value::Int(v.as_int().unwrap() * 2 + 1);
+        check_binary(&ops::difference, &inj, &a, &b).unwrap();
+    }
+
+    #[test]
+    fn ins_law_holds_for_any_f() {
+        let collapse = |_: &Value| Value::Int(9);
+        check_element_then_set(
+            &ops::ins,
+            &collapse,
+            &Value::Int(5),
+            &parse_value("{1, 2}").unwrap(),
+        )
+        .unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// ∪'s derived law never fails, for arbitrary (possibly
+        /// collapsing) functions encoded as modular maps.
+        #[test]
+        fn union_law_prop(xs in proptest::collection::btree_set(0i64..12, 0..8),
+                          ys in proptest::collection::btree_set(0i64..12, 0..8),
+                          modulus in 1i64..6) {
+            let a = Value::set(xs.iter().map(|&n| Value::Int(n)));
+            let b = Value::set(ys.iter().map(|&n| Value::Int(n)));
+            let f = move |v: &Value| Value::Int(v.as_int().unwrap() % modulus);
+            prop_assert!(check_binary(&ops::union, &f, &a, &b).is_ok());
+        }
+
+        /// −'s derived law holds for injective f on every instance.
+        #[test]
+        fn difference_law_injective_prop(xs in proptest::collection::btree_set(0i64..12, 0..8),
+                                         ys in proptest::collection::btree_set(0i64..12, 0..8)) {
+            let a = Value::set(xs.iter().map(|&n| Value::Int(n)));
+            let b = Value::set(ys.iter().map(|&n| Value::Int(n)));
+            let inj = |v: &Value| Value::Int(v.as_int().unwrap() * 7 - 3);
+            prop_assert!(check_binary(&ops::difference, &inj, &a, &b).is_ok());
+            prop_assert!(check_binary(&ops::intersection, &inj, &a, &b).is_ok());
+        }
+
+        /// ins's derived law holds for arbitrary f (regular preservation
+        /// suffices — the §4.3 contrast with σ₌c).
+        #[test]
+        fn ins_law_prop(xs in proptest::collection::btree_set(0i64..12, 0..8),
+                        c in 0i64..12, modulus in 1i64..6) {
+            let s = Value::set(xs.iter().map(|&n| Value::Int(n)));
+            let f = move |v: &Value| Value::Int(v.as_int().unwrap() % modulus);
+            prop_assert!(check_element_then_set(&ops::ins, &f, &Value::Int(c), &s).is_ok());
+        }
+    }
+}

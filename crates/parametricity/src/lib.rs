@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # genpar-parametricity — the parametricity theorem, executable
+//!
+//! Section 4 of the paper relates genericity to Reynolds/Wadler
+//! parametricity: every type expression denotes a *mapping constructor*
+//! (Definitions 4.2–4.3 extend Section 2's constructors with `→` and
+//! `∀`), and the parametricity theorem states `𝒯(l, l)` for every
+//! closed term `l : T` of the 2nd-order λ-calculus.
+//!
+//! * [`relation`] — the logical relation `𝒯` as a decision procedure
+//!   over the finite set-theoretic semantics of `genpar-lambda`:
+//!   base types are identities, `→` is Definition 4.2 (related inputs ↦
+//!   related outputs, decided by enumerating the input relation), `∀` is
+//!   Definition 4.3 (quantification over relations, realized by
+//!   exhaustive-or-sampled relation environments), `∀X⁼` quantifies over
+//!   partial bijections only.
+//! * [`free_theorems`] — `parametric(t)`: check `𝒯(t, t)` for a term;
+//!   plus the paper's instantiated free theorems (append `#`, `zip`,
+//!   `count`, `σ`, `ins`) stated and tested in their Section 4.1 forms,
+//!   and the Proposition 4.16 refutation that nest-parity is not
+//!   parametric.
+//! * [`transfer`] — Section 4.2's list↔set machinery: the `toset`
+//!   analogy (Definition 4.7), the `s-to-l` / `l-to-s` / `LtoS` type
+//!   classifiers (Definitions 4.8/4.10/4.12), both halves of Lemma 4.6
+//!   (constructively), and checkers for Theorem 4.13 / Corollary 4.15
+//!   that pull parametricity from list functions to their analogous set
+//!   functions (`# ↦ ∪` and friends).
+
+pub mod free_theorems;
+pub mod laws;
+pub mod naturality;
+pub mod relation;
+pub mod transfer;
+
+pub use free_theorems::{parametric, ParametricityViolation};
+pub use relation::{related, FinRel, RelConfig, RelEnv};
+pub use transfer::{LsTy, TypeClass};

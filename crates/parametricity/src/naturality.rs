@@ -1,0 +1,165 @@
+//! Naturality of the set-monad operations, from parametricity.
+//!
+//! The discussion section notes that the core constructs of the monadic
+//! algebra of \[5\] (Breazu-Tannen, Buneman, Wong: *Naturally embedded
+//! query languages*) "can be expressed using only regular universal
+//! quantification and are thus fully generic", and that "their naturality
+//! theorem states that their language is parametric". This module makes
+//! the naturality laws executable:
+//!
+//! * `η` (singleton) is natural: `map(f) ∘ η = η ∘ f`,
+//! * `μ` (flatten) is natural: `map(f) ∘ μ = μ ∘ map(map(f))`,
+//! * `map` is a functor: `map(id) = id`, `map(g ∘ f) = map(g) ∘ map(f)`.
+//!
+//! Each law is exactly the free theorem of the operation's polymorphic
+//! type (`η : ∀X.X→{X}`, `μ : ∀X.{{X}}→{X}`, instantiated at the
+//! *functional* mapping `f` — Section 4.4's reading of `map(f)` as
+//! `{f}ʳᵉˡ`).
+
+use genpar_value::Value;
+use std::collections::BTreeSet;
+
+/// `η(x) = {x}`.
+pub fn eta(x: &Value) -> Value {
+    Value::set([x.clone()])
+}
+
+/// `μ({S₁, …, Sₙ}) = ⋃ Sᵢ` (panics on non-set-of-sets, like the typed
+/// operation would).
+pub fn mu(s: &Value) -> Value {
+    let outer = s.as_set().expect("μ of a set of sets");
+    let mut out = BTreeSet::new();
+    for inner in outer {
+        out.extend(inner.as_set().expect("μ of a set of sets").iter().cloned());
+    }
+    Value::Set(out)
+}
+
+/// `map(f)(S) = {f(x) : x ∈ S}`.
+pub fn map_set(f: &dyn Fn(&Value) -> Value, s: &Value) -> Value {
+    Value::set(s.as_set().expect("map over a set").iter().map(f))
+}
+
+/// Check `map(f)(η(x)) = η(f(x))` for one instance.
+pub fn eta_natural(f: &dyn Fn(&Value) -> Value, x: &Value) -> bool {
+    map_set(f, &eta(x)) == eta(&f(x))
+}
+
+/// Check `map(f)(μ(S)) = μ(map(map(f))(S))` for one instance.
+pub fn mu_natural(f: &dyn Fn(&Value) -> Value, s: &Value) -> bool {
+    let lhs = map_set(f, &mu(s));
+    let rhs = mu(&map_set(&|inner: &Value| map_set(f, inner), s));
+    lhs == rhs
+}
+
+/// Check the functor laws for one instance:
+/// `map(id) = id` and `map(g ∘ f) = map(g) ∘ map(f)`.
+pub fn functor_laws(
+    f: &dyn Fn(&Value) -> Value,
+    g: &dyn Fn(&Value) -> Value,
+    s: &Value,
+) -> bool {
+    let id_law = map_set(&|v: &Value| v.clone(), s) == *s;
+    let comp = map_set(&|v: &Value| g(&f(v)), s);
+    let staged = map_set(g, &map_set(f, s));
+    id_law && comp == staged
+}
+
+/// The three monad laws for (η, μ) — not naturality, but the companion
+/// structure \[5\] relies on:
+/// `μ ∘ η = id`, `μ ∘ map(η) = id`, `μ ∘ μ = μ ∘ map(μ)`.
+pub fn monad_laws(s_flat: &Value, s_nested3: &Value) -> bool {
+    // μ(η(S)) = S
+    let left_unit = mu(&eta(s_flat)) == *s_flat;
+    // μ(map(η)(S)) = S
+    let right_unit = mu(&map_set(&eta, s_flat)) == *s_flat;
+    // μ(μ(T)) = μ(map(μ)(T)) for T : {{{X}}}
+    let assoc = mu(&mu(s_nested3)) == mu(&map_set(&|v: &Value| mu(v), s_nested3));
+    left_unit && right_unit && assoc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+    use proptest::prelude::*;
+
+    fn shift(v: &Value) -> Value {
+        match v {
+            Value::Int(n) => Value::Int(n + 10),
+            other => other.clone(),
+        }
+    }
+
+    fn dup(v: &Value) -> Value {
+        Value::tuple([v.clone(), v.clone()])
+    }
+
+    #[test]
+    fn eta_and_mu_basics() {
+        assert_eq!(eta(&Value::Int(1)), parse_value("{1}").unwrap());
+        assert_eq!(
+            mu(&parse_value("{{1, 2}, {2, 3}, {}}").unwrap()),
+            parse_value("{1, 2, 3}").unwrap()
+        );
+        assert_eq!(mu(&Value::empty_set()), Value::empty_set());
+    }
+
+    #[test]
+    fn naturality_on_examples() {
+        assert!(eta_natural(&shift, &Value::Int(5)));
+        assert!(mu_natural(
+            &shift,
+            &parse_value("{{1, 2}, {3}}").unwrap()
+        ));
+        // a non-injective f still works — that is the point of full
+        // genericity of η/μ (collapse is fine)
+        let collapse = |_: &Value| Value::Int(0);
+        assert!(mu_natural(&collapse, &parse_value("{{1}, {2}}").unwrap()));
+    }
+
+    #[test]
+    fn monad_laws_on_examples() {
+        assert!(monad_laws(
+            &parse_value("{1, 2, 3}").unwrap(),
+            &parse_value("{{{1}, {2}}, {{2, 3}}}").unwrap()
+        ));
+        assert!(monad_laws(&Value::empty_set(), &Value::empty_set()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn eta_natural_prop(n in -20i64..20) {
+            prop_assert!(eta_natural(&shift, &Value::Int(n)));
+            prop_assert!(eta_natural(&dup, &Value::Int(n)));
+        }
+
+        #[test]
+        fn mu_natural_prop(sets in proptest::collection::vec(
+            proptest::collection::btree_set(-5i64..5, 0..4), 0..4)) {
+            let s = Value::set(sets.iter().map(|inner| {
+                Value::set(inner.iter().map(|&n| Value::Int(n)))
+            }));
+            prop_assert!(mu_natural(&shift, &s));
+            prop_assert!(mu_natural(&dup, &s));
+            // collapse to a constant — full genericity means even this works
+            prop_assert!(mu_natural(&|_| Value::Int(0), &s));
+        }
+
+        #[test]
+        fn functor_laws_prop(xs in proptest::collection::btree_set(-5i64..5, 0..8)) {
+            let s = Value::set(xs.iter().map(|&n| Value::Int(n)));
+            prop_assert!(functor_laws(&shift, &dup, &s));
+        }
+
+        #[test]
+        fn monad_laws_prop(xs in proptest::collection::btree_set(-5i64..5, 0..6)) {
+            let flat = Value::set(xs.iter().map(|&n| Value::Int(n)));
+            // build a 3-nested value out of the flat one
+            let nested3 = Value::set([Value::set([flat.clone()]), Value::empty_set()]);
+            prop_assert!(monad_laws(&flat, &nested3));
+        }
+    }
+}

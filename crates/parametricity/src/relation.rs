@@ -1,0 +1,494 @@
+//! The logical relation `𝒯` of Definitions 4.2–4.3 over the finite
+//! semantics.
+
+use genpar_lambda::eval::{apply, LValue};
+use genpar_lambda::ty::{BaseTy, Ty};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A finite relation between two finite carriers of semantic values — the
+/// interpretation of a type variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinRel {
+    /// Carrier of the left type α.
+    pub left: Vec<LValue>,
+    /// Carrier of the right type β.
+    pub right: Vec<LValue>,
+    /// The related pairs.
+    pub pairs: Vec<(LValue, LValue)>,
+}
+
+impl FinRel {
+    /// The identity relation on a carrier.
+    pub fn identity(carrier: Vec<LValue>) -> FinRel {
+        let pairs = carrier.iter().map(|v| (v.clone(), v.clone())).collect();
+        FinRel {
+            left: carrier.clone(),
+            right: carrier,
+            pairs,
+        }
+    }
+
+    /// Does the relation hold?
+    pub fn holds(&self, a: &LValue, b: &LValue) -> bool {
+        self.pairs.iter().any(|(x, y)| x == a && y == b)
+    }
+
+    /// Is this a partial bijection (the `∀X⁼` case)?
+    pub fn is_partial_bijection(&self) -> bool {
+        for (i, (x1, y1)) in self.pairs.iter().enumerate() {
+            for (x2, y2) in &self.pairs[i + 1..] {
+                if (x1 == x2) != (y1 == y2) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for FinRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a:?},{b:?})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A relation environment: interpretations for the free type variables,
+/// innermost binder last (indexing mirrors `Ty::Var`'s de Bruijn scheme).
+pub type RelEnv = Vec<FinRel>;
+
+/// Parameters of the decision procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct RelConfig {
+    /// Carrier size for type variables (elements are `Int` values).
+    pub carrier: usize,
+    /// How many relations to try per `∀` (exhaustive when the space
+    /// `2^(carrier²)` is ≤ this, sampled otherwise).
+    pub forall_samples: usize,
+    /// Maximum list length enumerated at list-typed `→` inputs.
+    pub max_list: usize,
+    /// Hard cap on enumerated domains.
+    pub max_dom: usize,
+    /// RNG seed for sampled quantification.
+    pub seed: u64,
+}
+
+impl Default for RelConfig {
+    fn default() -> Self {
+        RelConfig {
+            carrier: 2,
+            forall_samples: 60,
+            max_list: 2,
+            max_dom: 4096,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// The relation failed to be decided within the budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelBudget;
+
+impl fmt::Display for RelBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logical-relation budget exhausted")
+    }
+}
+
+impl std::error::Error for RelBudget {}
+
+/// Decide `𝒯(v₁, v₂)` at type `ty` under `env`.
+///
+/// `∀` is approximated by exhaustive/sampled quantification over
+/// relations between `Int` carriers of size `cfg.carrier` — sound for
+/// refutation (a found violation is real) and complete in the small-scope
+/// sense for verification.
+pub fn related(
+    ty: &Ty,
+    env: &RelEnv,
+    v1: &LValue,
+    v2: &LValue,
+    cfg: RelConfig,
+) -> Result<bool, RelBudget> {
+    match ty {
+        Ty::Var(i) => {
+            let r = env
+                .iter()
+                .rev()
+                .nth(*i)
+                .unwrap_or_else(|| panic!("unbound type variable {i} in relation env"));
+            Ok(r.holds(v1, v2))
+        }
+        Ty::Base(_) => Ok(v1 == v2),
+        Ty::Prod(ts) => {
+            let (a, b) = match (v1.as_tuple(), v2.as_tuple()) {
+                (Some(a), Some(b)) if a.len() == ts.len() && b.len() == ts.len() => (a, b),
+                _ => return Ok(false),
+            };
+            for ((t, x), y) in ts.iter().zip(a).zip(b) {
+                if !related(t, env, x, y, cfg)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Ty::List(t) => {
+            let (a, b) = match (v1.as_list(), v2.as_list()) {
+                (Some(a), Some(b)) if a.len() == b.len() => (a, b),
+                _ => return Ok(false),
+            };
+            for (x, y) in a.iter().zip(b) {
+                if !related(t, env, x, y, cfg)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Ty::Arrow(a, b) => {
+            if !v1.is_function() || !v2.is_function() {
+                return Ok(false);
+            }
+            for (x, y) in enumerate_relation(a, env, cfg)? {
+                let (fx, gy) = match (apply(v1, &x), apply(v2, &y)) {
+                    (Ok(fx), Ok(gy)) => (fx, gy),
+                    // a table miss means the argument escaped the
+                    // enumerated carrier — treat as outside the domain
+                    _ => continue,
+                };
+                if !related(b, env, &fx, &gy, cfg)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Ty::Forall { eq_bounded, body } => {
+            // v1, v2 must be type closures; type erasure means their
+            // α-components are the forced bodies.
+            let f1 = force_tyclosure(v1)?;
+            let f2 = force_tyclosure(v2)?;
+            for rel in quantifier_relations(*eq_bounded, cfg) {
+                let mut env2 = env.clone();
+                env2.push(rel);
+                if !related(body, &env2, &f1, &f2, cfg)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn force_tyclosure(v: &LValue) -> Result<LValue, RelBudget> {
+    match v {
+        LValue::TyClosure { env, body } => {
+            genpar_lambda::eval::eval(body, env).map_err(|_| RelBudget)
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// Enumerate the pairs of the relation at `ty` under `env` — the inputs
+/// the `→` case must quantify over.
+pub fn enumerate_relation(
+    ty: &Ty,
+    env: &RelEnv,
+    cfg: RelConfig,
+) -> Result<Vec<(LValue, LValue)>, RelBudget> {
+    let left = enumerate_side(ty, env, cfg, Side::Left)?;
+    let right = enumerate_side(ty, env, cfg, Side::Right)?;
+    if left.len().saturating_mul(right.len()) > cfg.max_dom * 4 {
+        return Err(RelBudget);
+    }
+    let mut out = Vec::new();
+    for x in &left {
+        for y in &right {
+            if related(ty, env, x, y, cfg)? {
+                out.push((x.clone(), y.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Enumerate one side's carrier of `ty` (type variables contribute their
+/// left/right carriers).
+fn enumerate_side(
+    ty: &Ty,
+    env: &RelEnv,
+    cfg: RelConfig,
+    side: Side,
+) -> Result<Vec<LValue>, RelBudget> {
+    let out = match ty {
+        Ty::Var(i) => {
+            let r = env.iter().rev().nth(*i).ok_or(RelBudget)?;
+            match side {
+                Side::Left => r.left.clone(),
+                Side::Right => r.right.clone(),
+            }
+        }
+        Ty::Base(BaseTy::Bool) => vec![LValue::Bool(false), LValue::Bool(true)],
+        Ty::Base(BaseTy::Int) => (0..cfg.carrier as i64).map(LValue::Int).collect(),
+        Ty::Prod(ts) => {
+            let mut acc: Vec<Vec<LValue>> = vec![Vec::new()];
+            for t in ts {
+                let vs = enumerate_side(t, env, cfg, side)?;
+                let mut next = Vec::with_capacity(acc.len() * vs.len());
+                for prefix in &acc {
+                    for v in &vs {
+                        let mut row = prefix.clone();
+                        row.push(v.clone());
+                        next.push(row);
+                    }
+                }
+                if next.len() > cfg.max_dom {
+                    return Err(RelBudget);
+                }
+                acc = next;
+            }
+            acc.into_iter().map(LValue::Tuple).collect()
+        }
+        Ty::List(t) => {
+            let elems = enumerate_side(t, env, cfg, side)?;
+            let mut out: Vec<Vec<LValue>> = vec![Vec::new()];
+            let mut frontier: Vec<Vec<LValue>> = vec![Vec::new()];
+            for _ in 0..cfg.max_list {
+                let mut next = Vec::new();
+                for prefix in &frontier {
+                    for v in &elems {
+                        let mut l = prefix.clone();
+                        l.push(v.clone());
+                        next.push(l);
+                    }
+                }
+                out.extend(next.iter().cloned());
+                if out.len() > cfg.max_dom {
+                    return Err(RelBudget);
+                }
+                frontier = next;
+            }
+            out.into_iter().map(LValue::List).collect()
+        }
+        Ty::Arrow(a, b) => {
+            // tables from one side's domain to the same side's codomain
+            let dom = enumerate_side(a, env, cfg, side)?;
+            let cod = enumerate_side(b, env, cfg, side)?;
+            if dom.is_empty() {
+                return Ok(vec![LValue::table([])]);
+            }
+            if cod.is_empty() {
+                return Ok(Vec::new());
+            }
+            let total = (cod.len() as u64)
+                .checked_pow(dom.len() as u32)
+                .ok_or(RelBudget)?;
+            if total as usize > cfg.max_dom {
+                return Err(RelBudget);
+            }
+            let mut out = Vec::with_capacity(total as usize);
+            for code in 0..total {
+                let mut c = code;
+                let mut table = Vec::with_capacity(dom.len());
+                for x in &dom {
+                    table.push((x.clone(), cod[(c % cod.len() as u64) as usize].clone()));
+                    c /= cod.len() as u64;
+                }
+                out.push(LValue::table(table));
+            }
+            out
+        }
+        Ty::Forall { .. } => return Err(RelBudget),
+    };
+    if out.len() > cfg.max_dom {
+        return Err(RelBudget);
+    }
+    Ok(out)
+}
+
+/// The relations a `∀` quantifies over: exhaustive when feasible, sampled
+/// otherwise; `eq_bounded` restricts to partial bijections.
+///
+/// Carriers are `Int` values `0..carrier` on both sides (the relation is
+/// still free to be any subset — the carriers merely name the abstract
+/// elements, as Section 4.2 does when it "chooses base types
+/// arbitrarily").
+pub fn quantifier_relations(eq_bounded: bool, cfg: RelConfig) -> Vec<FinRel> {
+    let carrier: Vec<LValue> = (0..cfg.carrier as i64).map(LValue::Int).collect();
+    let n = carrier.len();
+    let bits = n * n;
+    let mut out = Vec::new();
+    // exhaustive when the subset space is small (carrier ≤ 3 → ≤ 512
+    // relations); sampled beyond that
+    if bits <= 9 {
+        // exhaustive over all subsets of carrier × carrier
+        for mask in 0u64..(1u64 << bits) {
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if mask & (1 << (i * n + j)) != 0 {
+                        pairs.push((carrier[i].clone(), carrier[j].clone()));
+                    }
+                }
+            }
+            let rel = FinRel {
+                left: carrier.clone(),
+                right: carrier.clone(),
+                pairs,
+            };
+            if !eq_bounded || rel.is_partial_bijection() {
+                out.push(rel);
+            }
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        out.push(FinRel::identity(carrier.clone()));
+        for _ in 0..cfg.forall_samples {
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if rng.gen_bool(0.4) {
+                        pairs.push((carrier[i].clone(), carrier[j].clone()));
+                    }
+                }
+            }
+            let rel = FinRel {
+                left: carrier.clone(),
+                right: carrier.clone(),
+                pairs,
+            };
+            if !eq_bounded || rel.is_partial_bijection() {
+                out.push(rel);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_lambda::eval::eval_closed;
+    use genpar_lambda::stdlib;
+    use genpar_lambda::term::Term;
+
+    fn cfg() -> RelConfig {
+        RelConfig::default()
+    }
+
+    #[test]
+    fn base_relation_is_identity() {
+        assert!(related(&Ty::int(), &vec![], &LValue::Int(3), &LValue::Int(3), cfg()).unwrap());
+        assert!(!related(&Ty::int(), &vec![], &LValue::Int(3), &LValue::Int(4), cfg()).unwrap());
+    }
+
+    #[test]
+    fn var_relation_uses_env() {
+        let r = FinRel {
+            left: vec![LValue::Int(0)],
+            right: vec![LValue::Int(7)],
+            pairs: vec![(LValue::Int(0), LValue::Int(7))],
+        };
+        let env = vec![r];
+        assert!(related(&Ty::Var(0), &env, &LValue::Int(0), &LValue::Int(7), cfg()).unwrap());
+        assert!(!related(&Ty::Var(0), &env, &LValue::Int(7), &LValue::Int(0), cfg()).unwrap());
+    }
+
+    #[test]
+    fn lists_relate_pointwise_equal_length() {
+        let r = FinRel {
+            left: vec![LValue::Int(0)],
+            right: vec![LValue::Int(1)],
+            pairs: vec![(LValue::Int(0), LValue::Int(1))],
+        };
+        let env = vec![r];
+        let t = Ty::list(Ty::Var(0));
+        let l0 = LValue::List(vec![LValue::Int(0), LValue::Int(0)]);
+        let l1 = LValue::List(vec![LValue::Int(1), LValue::Int(1)]);
+        let l1s = LValue::List(vec![LValue::Int(1)]);
+        assert!(related(&t, &env, &l0, &l1, cfg()).unwrap());
+        assert!(!related(&t, &env, &l0, &l1s, cfg()).unwrap());
+    }
+
+    #[test]
+    fn arrow_relation_definition_4_2() {
+        // f, g : bool → bool; f = id, g = id → related
+        let id_table = || {
+            LValue::table([
+                (LValue::Bool(false), LValue::Bool(false)),
+                (LValue::Bool(true), LValue::Bool(true)),
+            ])
+        };
+        let neg_table = LValue::table([
+            (LValue::Bool(false), LValue::Bool(true)),
+            (LValue::Bool(true), LValue::Bool(false)),
+        ]);
+        let t = Ty::arrow(Ty::bool(), Ty::bool());
+        assert!(related(&t, &vec![], &id_table(), &id_table(), cfg()).unwrap());
+        assert!(!related(&t, &vec![], &id_table(), &neg_table, cfg()).unwrap());
+    }
+
+    #[test]
+    fn identity_term_is_parametric_at_its_type() {
+        let v = eval_closed(&stdlib::id()).unwrap();
+        let ty = genpar_lambda::tyck::type_of(&stdlib::id()).unwrap();
+        assert!(related(&ty, &vec![], &v, &v, cfg()).unwrap());
+    }
+
+    #[test]
+    fn constant_function_is_not_parametric_at_identity_type() {
+        // ΛX. λx:X. x is the ONLY inhabitant of ∀X.X→X; a type-erased
+        // cheat that returns a fixed Int is not related to itself.
+        let cheat = Term::tylam(Term::lam(Ty::Var(0), Term::Int(0)));
+        // (ill-typed as ∀X.X→X, but evaluable — parametricity rejects it)
+        let v = eval_closed(&cheat).unwrap();
+        let ty = Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0)));
+        assert!(!related(&ty, &vec![], &v, &v, cfg()).unwrap());
+    }
+
+    #[test]
+    fn eq_bounded_quantifier_only_sees_partial_bijections() {
+        for rel in quantifier_relations(true, cfg()) {
+            assert!(rel.is_partial_bijection());
+        }
+        // the unbounded quantifier sees non-bijections too
+        assert!(quantifier_relations(false, cfg())
+            .iter()
+            .any(|r| !r.is_partial_bijection()));
+    }
+
+    #[test]
+    fn enumerate_relation_filters_pairs() {
+        let r = FinRel {
+            left: vec![LValue::Int(0), LValue::Int(1)],
+            right: vec![LValue::Int(5)],
+            pairs: vec![(LValue::Int(0), LValue::Int(5))],
+        };
+        let env = vec![r];
+        let pairs = enumerate_relation(&Ty::Var(0), &env, cfg()).unwrap();
+        assert_eq!(pairs.len(), 1);
+        let pairs2 = enumerate_relation(&Ty::pair(Ty::Var(0), Ty::Var(0)), &env, cfg()).unwrap();
+        assert_eq!(pairs2.len(), 1); // ((0,0),(5,5))
+    }
+
+    #[test]
+    fn budget_errors_surface() {
+        let mut c = cfg();
+        c.max_dom = 2;
+        let t = Ty::arrow(Ty::pair(Ty::int(), Ty::int()), Ty::bool());
+        let v = LValue::table([]);
+        assert_eq!(related(&t, &vec![], &v, &v, c), Err(RelBudget));
+    }
+}

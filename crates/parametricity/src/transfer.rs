@@ -1,0 +1,632 @@
+//! Section 4.2: transferring parametricity from lists to sets.
+//!
+//! The 2nd-order λ-calculus has lists but not sets; the paper bridges the
+//! gap with the `toset` analogy (Definition 4.7), the `s-to-l` / `l-to-s`
+//! type restrictions (Definitions 4.8/4.10), Lemma 4.6 relating `toset`
+//! to the `rel` extension mode, and Theorem 4.13/Corollary 4.15 pulling
+//! `𝒯^list(l,l)` down to `𝒯^set(s,s)` for analogous values at `LtoS`
+//! types. This module implements the machinery over `genpar-value`
+//! complex values and `genpar-mapping` extensions.
+
+use genpar_mapping::extend::{relates, ExtensionMode};
+use genpar_mapping::MappingFamily;
+use genpar_value::{BaseType, CvType, Value};
+use std::fmt;
+
+/// List/set type expressions with function types — the `T^list` / `T^set`
+/// expressions of Section 4.2. `List` nodes mark the positions that
+/// `related_set_type` turns into `Set`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsTy {
+    /// Type variable (by number; all variables are implicitly
+    /// ∀-quantified at the outside, Definition 4.12).
+    Var(u32),
+    /// A base type.
+    Base(BaseType),
+    /// Product.
+    Prod(Vec<LsTy>),
+    /// List constructor `⟨…⟩`.
+    List(Box<LsTy>),
+    /// Set constructor `{…}` (appears in `T^set` forms).
+    Set(Box<LsTy>),
+    /// Function type.
+    Arrow(Box<LsTy>, Box<LsTy>),
+}
+
+impl LsTy {
+    /// `bool`.
+    pub fn bool() -> LsTy {
+        LsTy::Base(BaseType::Bool)
+    }
+    /// Variable shorthand.
+    pub fn var(i: u32) -> LsTy {
+        LsTy::Var(i)
+    }
+    /// List shorthand.
+    pub fn list(t: LsTy) -> LsTy {
+        LsTy::List(Box::new(t))
+    }
+    /// Set shorthand.
+    pub fn set(t: LsTy) -> LsTy {
+        LsTy::Set(Box::new(t))
+    }
+    /// Arrow shorthand.
+    pub fn arrow(a: LsTy, b: LsTy) -> LsTy {
+        LsTy::Arrow(Box::new(a), Box::new(b))
+    }
+    /// Product shorthand.
+    pub fn prod(ts: impl IntoIterator<Item = LsTy>) -> LsTy {
+        LsTy::Prod(ts.into_iter().collect())
+    }
+
+    /// `T^list → T^set`: replace every list constructor by a set
+    /// constructor ("if every occurrence of ⟨⟩ is replaced by {} we
+    /// obtain a pure set type expression"; the types are then *related*).
+    pub fn related_set_type(&self) -> LsTy {
+        match self {
+            LsTy::Var(i) => LsTy::Var(*i),
+            LsTy::Base(b) => LsTy::Base(*b),
+            LsTy::Prod(ts) => LsTy::Prod(ts.iter().map(LsTy::related_set_type).collect()),
+            LsTy::List(t) => LsTy::set(t.related_set_type()),
+            LsTy::Set(t) => LsTy::set(t.related_set_type()),
+            LsTy::Arrow(a, b) => LsTy::arrow(a.related_set_type(), b.related_set_type()),
+        }
+    }
+
+    /// Definition 4.8: an **s-to-l** type contains no universal
+    /// quantifiers (our `LsTy` has none) and no `⟨⟩` under `→`.
+    pub fn is_s_to_l(&self) -> bool {
+        fn no_list_under_arrow(t: &LsTy, under_arrow: bool) -> bool {
+            match t {
+                LsTy::Var(_) | LsTy::Base(_) => true,
+                LsTy::Prod(ts) => ts.iter().all(|t| no_list_under_arrow(t, under_arrow)),
+                LsTy::List(t) | LsTy::Set(t) => {
+                    !under_arrow && no_list_under_arrow(t, under_arrow)
+                }
+                LsTy::Arrow(a, b) => {
+                    no_list_under_arrow(a, true) && no_list_under_arrow(b, true)
+                }
+            }
+        }
+        no_list_under_arrow(self, false)
+    }
+
+    /// Definition 4.10: an **l-to-s** type has every arrow's *domain*
+    /// s-to-l (and no quantifiers).
+    pub fn is_l_to_s(&self) -> bool {
+        match self {
+            LsTy::Var(_) | LsTy::Base(_) => true,
+            LsTy::Prod(ts) => ts.iter().all(LsTy::is_l_to_s),
+            LsTy::List(t) | LsTy::Set(t) => t.is_l_to_s(),
+            LsTy::Arrow(a, b) => a.is_s_to_l() && b.is_l_to_s(),
+        }
+    }
+
+    /// Definition 4.12: an **LtoS** type is `∀X⃗. T` with `T` l-to-s;
+    /// since `LsTy` keeps quantifiers implicit and outermost, this is
+    /// just [`LsTy::is_l_to_s`].
+    pub fn is_lto_s(&self) -> bool {
+        self.is_l_to_s()
+    }
+
+    /// The classification bucket (for audits/examples).
+    pub fn classify(&self) -> TypeClass {
+        if self.is_s_to_l() {
+            TypeClass::StoL
+        } else if self.is_l_to_s() {
+            TypeClass::LtoS
+        } else {
+            TypeClass::Neither
+        }
+    }
+
+    /// Convert a function-free `LsTy` to a [`CvType`] (lists stay lists,
+    /// sets stay sets); `None` if an arrow or variable occurs.
+    pub fn to_cv_type(&self) -> Option<CvType> {
+        match self {
+            LsTy::Var(_) | LsTy::Arrow(..) => None,
+            LsTy::Base(b) => Some(CvType::Base(*b)),
+            LsTy::Prod(ts) => ts
+                .iter()
+                .map(LsTy::to_cv_type)
+                .collect::<Option<Vec<_>>>()
+                .map(CvType::Tuple),
+            LsTy::List(t) => t.to_cv_type().map(CvType::list),
+            LsTy::Set(t) => t.to_cv_type().map(CvType::set),
+        }
+    }
+
+    /// Substitute a `CvType` for every variable and convert, for checking
+    /// values at an instance of the type scheme.
+    pub fn instantiate_cv(&self, tau: &CvType) -> Option<CvType> {
+        match self {
+            LsTy::Var(_) => Some(tau.clone()),
+            LsTy::Arrow(..) => None,
+            LsTy::Base(b) => Some(CvType::Base(*b)),
+            LsTy::Prod(ts) => ts
+                .iter()
+                .map(|t| t.instantiate_cv(tau))
+                .collect::<Option<Vec<_>>>()
+                .map(CvType::Tuple),
+            LsTy::List(t) => t.instantiate_cv(tau).map(CvType::list),
+            LsTy::Set(t) => t.instantiate_cv(tau).map(CvType::set),
+        }
+    }
+}
+
+impl fmt::Display for LsTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsTy::Var(i) => match i {
+                0 => write!(f, "X"),
+                1 => write!(f, "Y"),
+                n => write!(f, "X{n}"),
+            },
+            LsTy::Base(b) => write!(f, "{b}"),
+            LsTy::Prod(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " × ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            LsTy::List(t) => write!(f, "⟨{t}⟩"),
+            LsTy::Set(t) => write!(f, "{{{t}}}"),
+            LsTy::Arrow(a, b) => match **a {
+                LsTy::Arrow(..) => write!(f, "({a}) → {b}"),
+                _ => write!(f, "{a} → {b}"),
+            },
+        }
+    }
+}
+
+/// The classification of a list type expression (Example 4.14 buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeClass {
+    /// s-to-l (hence also l-to-s / LtoS).
+    StoL,
+    /// LtoS but not s-to-l.
+    LtoS,
+    /// Not LtoS — the transfer technique does not apply.
+    Neither,
+}
+
+impl fmt::Display for TypeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeClass::StoL => write!(f, "s-to-l"),
+            TypeClass::LtoS => write!(f, "LtoS"),
+            TypeClass::Neither => write!(f, "not LtoS"),
+        }
+    }
+}
+
+/// `toset` extended to all nesting levels (the complex-value fragment of
+/// Definition 4.7): replace every list by the set of (converted)
+/// elements. Total and surjective from list values onto set values.
+pub fn toset_deep(v: &Value) -> Value {
+    match v {
+        Value::List(items) => Value::set(items.iter().map(toset_deep)),
+        Value::Set(items) => Value::set(items.iter().map(toset_deep)),
+        Value::Bag(items) => Value::bag(
+            items
+                .iter()
+                .flat_map(|(x, n)| std::iter::repeat_n(toset_deep(x), *n)),
+        ),
+        Value::Tuple(items) => Value::Tuple(items.iter().map(toset_deep).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Are `l` (a list value) and `s` (a set value) **analogous**
+/// (Definition 4.7, complex-value fragment)? For function-free types this
+/// is exactly `toset_deep(l) == s`.
+pub fn analogous(l: &Value, s: &Value) -> bool {
+    toset_deep(l) == toset_deep(s)
+}
+
+/// Lemma 4.6(1): if `⟨H⟩(l, l')` then `{H}ʳᵉˡ(toset l, toset l')`.
+/// Returns the two sets for inspection.
+pub fn lemma_4_6_forward(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    l: &Value,
+    l2: &Value,
+) -> Option<(Value, Value)> {
+    let list_ty = CvType::list(elem_ty.clone());
+    if !relates(family, &list_ty, ExtensionMode::Rel, l, l2) {
+        return None;
+    }
+    let s = l.toset()?;
+    let s2 = l2.toset()?;
+    let set_ty = CvType::set(elem_ty.clone());
+    assert!(
+        relates(family, &set_ty, ExtensionMode::Rel, &s, &s2),
+        "Lemma 4.6(1) failed: toset images not rel-related"
+    );
+    Some((s, s2))
+}
+
+/// Lemma 4.6(2), constructively: given `{H}ʳᵉˡ(s, s')`, build lists
+/// `l, l'` with `toset l = s`, `toset l' = s'` and `⟨H⟩(l, l')`.
+///
+/// Construction: one position per element of `s` paired with a partner in
+/// `s'`, then one position per element of `s'` paired with a partner in
+/// `s` — both partner sets are nonempty by the `rel` condition.
+pub fn lemma_4_6_backward(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    s: &Value,
+    s2: &Value,
+) -> Option<(Value, Value)> {
+    let set_ty = CvType::set(elem_ty.clone());
+    if !relates(family, &set_ty, ExtensionMode::Rel, s, s2) {
+        return None;
+    }
+    let (sa, sb) = (s.as_set()?, s2.as_set()?);
+    let mut l = Vec::new();
+    let mut l2 = Vec::new();
+    for x in sa {
+        let y = sb
+            .iter()
+            .find(|y| relates(family, elem_ty, ExtensionMode::Rel, x, y))?;
+        l.push(x.clone());
+        l2.push(y.clone());
+    }
+    for y in sb {
+        let x = sa
+            .iter()
+            .find(|x| relates(family, elem_ty, ExtensionMode::Rel, x, y))?;
+        l.push(x.clone());
+        l2.push(y.clone());
+    }
+    let lv = Value::List(l);
+    let l2v = Value::List(l2);
+    debug_assert_eq!(lv.toset().unwrap(), *s);
+    debug_assert_eq!(l2v.toset().unwrap(), *s2);
+    debug_assert!(relates(
+        family,
+        &CvType::list(elem_ty.clone()),
+        ExtensionMode::Rel,
+        &lv,
+        &l2v
+    ));
+    Some((lv, l2v))
+}
+
+/// Theorem 4.13 for a concrete analogous pair of unary functions
+/// `f_list ↦ f_set` at an LtoS type `⟨X⟩ → ⟨X⟩`-shaped instance: verify
+/// that whenever `{H}ʳᵉˡ(s, s')`, also `{H}ʳᵉˡ(f_set s, f_set s')`,
+/// *using only* the list function's parametricity — i.e. compute via
+/// lists (Lemma 4.9 lift, apply `f_list`, Lemma 4.6(1) descent) and check
+/// the direct set-level computation agrees up to `rel`.
+pub fn transfer_check_unary(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    f_list: &dyn Fn(&Value) -> Value,
+    f_set: &dyn Fn(&Value) -> Value,
+    s: &Value,
+    s2: &Value,
+) -> Result<(), String> {
+    let set_ty = CvType::set(elem_ty.clone());
+    if !relates(family, &set_ty, ExtensionMode::Rel, s, s2) {
+        return Ok(()); // premise fails
+    }
+    // lift (Lemma 4.9 via 4.6(2))
+    let (l, l2) = lemma_4_6_backward(family, elem_ty, s, s2)
+        .ok_or_else(|| "lifting failed despite rel premise".to_string())?;
+    // list-level application must produce toset-analogous results
+    let fl = f_list(&l);
+    let fl2 = f_list(&l2);
+    let fs = f_set(s);
+    let fs2 = f_set(s2);
+    if toset_deep(&fl) != toset_deep(&fs) {
+        return Err(format!(
+            "f_list and f_set are not analogous: toset({fl}) = {} ≠ {fs}",
+            toset_deep(&fl)
+        ));
+    }
+    if toset_deep(&fl2) != toset_deep(&fs2) {
+        return Err(format!(
+            "f_list and f_set are not analogous on the second input: {fl2} vs {fs2}"
+        ));
+    }
+    // descent: outputs related at the set level (Lemma 4.6(1))
+    if relates(family, &set_ty, ExtensionMode::Rel, &fs, &fs2) {
+        Ok(())
+    } else {
+        Err(format!("set outputs not rel-related: {fs} vs {fs2}"))
+    }
+}
+
+/// Corollary 4.15 instance for `∪`: since `# : ∀X.⟨X⟩×⟨X⟩→⟨X⟩` is LtoS
+/// and `# ↦ ∪` (the paper's worked example), `∪` satisfies
+/// `(∀X.{X}×{X}→{X})(∪, ∪)`: related input pairs give related unions.
+pub fn corollary_4_15_union(
+    family: &MappingFamily,
+    elem_ty: &CvType,
+    r: &Value,
+    s: &Value,
+    r2: &Value,
+    s2: &Value,
+) -> Result<(), String> {
+    let set_ty = CvType::set(elem_ty.clone());
+    if !(relates(family, &set_ty, ExtensionMode::Rel, r, r2)
+        && relates(family, &set_ty, ExtensionMode::Rel, s, s2))
+    {
+        return Ok(());
+    }
+    let union = |a: &Value, b: &Value| {
+        Value::Set(
+            a.as_set()
+                .unwrap()
+                .union(b.as_set().unwrap())
+                .cloned()
+                .collect(),
+        )
+    };
+    let u1 = union(r, s);
+    let u2 = union(r2, s2);
+    if relates(family, &set_ty, ExtensionMode::Rel, &u1, &u2) {
+        Ok(())
+    } else {
+        Err(format!("∪ outputs not rel-related: {u1} vs {u2}"))
+    }
+}
+
+/// The Example 4.14 catalog: named types with their classification.
+pub fn example_4_14_catalog() -> Vec<(&'static str, LsTy, TypeClass)> {
+    let x = LsTy::var(0);
+    let y = LsTy::var(1);
+    vec![
+        (
+            "σ : ∀X.(X → bool) → ⟨X⟩ → ⟨X⟩",
+            LsTy::arrow(
+                LsTy::arrow(x.clone(), LsTy::bool()),
+                LsTy::arrow(LsTy::list(x.clone()), LsTy::list(x.clone())),
+            ),
+            TypeClass::LtoS,
+        ),
+        (
+            "bad-σ : ∀X.(⟨X⟩ → bool) → ⟨X⟩ → ⟨X⟩",
+            LsTy::arrow(
+                LsTy::arrow(LsTy::list(x.clone()), LsTy::bool()),
+                LsTy::arrow(LsTy::list(x.clone()), LsTy::list(x.clone())),
+            ),
+            TypeClass::Neither,
+        ),
+        (
+            "fold : ∀X.∀Y.(X → Y → Y) → Y → ⟨X⟩ → Y",
+            LsTy::arrow(
+                LsTy::arrow(x.clone(), LsTy::arrow(y.clone(), y.clone())),
+                LsTy::arrow(y.clone(), LsTy::arrow(LsTy::list(x.clone()), y.clone())),
+            ),
+            TypeClass::LtoS,
+        ),
+        (
+            "ext : ∀X.∀Y.(X → ⟨Y⟩) → ⟨X⟩ → ⟨Y⟩",
+            LsTy::arrow(
+                LsTy::arrow(x.clone(), LsTy::list(y.clone())),
+                LsTy::arrow(LsTy::list(x.clone()), LsTy::list(y.clone())),
+            ),
+            TypeClass::Neither,
+        ),
+        (
+            "# : ∀X.⟨X⟩ × ⟨X⟩ → ⟨X⟩",
+            LsTy::arrow(
+                LsTy::prod([LsTy::list(x.clone()), LsTy::list(x.clone())]),
+                LsTy::list(x.clone()),
+            ),
+            TypeClass::LtoS,
+        ),
+        (
+            "X → bool (s-to-l)",
+            LsTy::arrow(x, LsTy::bool()),
+            TypeClass::StoL,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_value::parse::parse_value;
+
+    fn fam() -> MappingFamily {
+        // h of Example 2.2
+        MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)])
+    }
+
+    #[test]
+    fn example_4_14_classifications_match_paper() {
+        for (name, ty, expected) in example_4_14_catalog() {
+            assert_eq!(ty.classify(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn s_to_l_details() {
+        let x = LsTy::var(0);
+        assert!(LsTy::arrow(x.clone(), LsTy::bool()).is_s_to_l());
+        assert!(!LsTy::arrow(LsTy::list(x.clone()), LsTy::bool()).is_s_to_l());
+        assert!(LsTy::list(x.clone()).is_s_to_l()); // list NOT under arrow
+        assert!(!LsTy::arrow(x.clone(), LsTy::list(x.clone())).is_s_to_l());
+        assert!(LsTy::prod([x.clone(), LsTy::bool()]).is_s_to_l());
+    }
+
+    #[test]
+    fn related_set_type_swaps_constructors() {
+        let t = LsTy::arrow(LsTy::list(LsTy::var(0)), LsTy::list(LsTy::var(0)));
+        assert_eq!(
+            t.related_set_type(),
+            LsTy::arrow(LsTy::set(LsTy::var(0)), LsTy::set(LsTy::var(0)))
+        );
+    }
+
+    #[test]
+    fn toset_deep_flattens_duplicates_at_all_levels() {
+        let l = parse_value("[[a, a], [a, a], [b]]").unwrap();
+        let s = toset_deep(&l);
+        assert_eq!(s, parse_value("{{a}, {b}}").unwrap());
+        assert!(analogous(&l, &s));
+    }
+
+    #[test]
+    fn lemma_4_6_forward_holds() {
+        let f = fam();
+        let elem = CvType::domain(0);
+        let l = parse_value("[e, i, f]").unwrap();
+        let l2 = parse_value("[a, a, b]").unwrap();
+        let (s, s2) = lemma_4_6_forward(&f, &elem, &l, &l2).unwrap();
+        assert_eq!(s, parse_value("{e, i, f}").unwrap());
+        assert_eq!(s2, parse_value("{a, b}").unwrap());
+    }
+
+    #[test]
+    fn lemma_4_6_backward_constructs_witnesses() {
+        let f = fam();
+        let elem = CvType::domain(0);
+        let s = parse_value("{e, i, f}").unwrap();
+        let s2 = parse_value("{a, b}").unwrap();
+        let (l, l2) = lemma_4_6_backward(&f, &elem, &s, &s2).unwrap();
+        assert_eq!(l.toset().unwrap(), s);
+        assert_eq!(l2.toset().unwrap(), s2);
+        assert_eq!(l.len(), l2.len());
+    }
+
+    #[test]
+    fn lemma_4_6_backward_fails_on_unrelated_sets() {
+        let f = fam();
+        let elem = CvType::domain(0);
+        let s = parse_value("{e}").unwrap();
+        let s2 = parse_value("{c}").unwrap(); // e ↦ a only, not c
+        assert!(lemma_4_6_backward(&f, &elem, &s, &s2).is_none());
+    }
+
+    #[test]
+    fn theorem_4_13_via_identity_and_dedup() {
+        // f_list = reverse (parametric), f_set = identity (its analogue):
+        // toset(reverse l) = toset l.
+        let f = fam();
+        let elem = CvType::domain(0);
+        let s = parse_value("{e, f}").unwrap();
+        let s2 = parse_value("{a, b}").unwrap();
+        let reverse = |v: &Value| {
+            let mut items = v.as_list().unwrap().to_vec();
+            items.reverse();
+            Value::List(items)
+        };
+        let ident = |v: &Value| v.clone();
+        transfer_check_unary(&f, &elem, &reverse, &ident, &s, &s2).unwrap();
+    }
+
+    #[test]
+    fn transfer_detects_non_analogous_pairs() {
+        // f_list = reverse, f_set = "drop everything" — not analogous
+        let f = fam();
+        let elem = CvType::domain(0);
+        let s = parse_value("{e}").unwrap();
+        let s2 = parse_value("{a}").unwrap();
+        let reverse = |v: &Value| v.clone();
+        let drop_all = |_: &Value| Value::empty_set();
+        assert!(transfer_check_unary(&f, &elem, &reverse, &drop_all, &s, &s2).is_err());
+    }
+
+    #[test]
+    fn concat_maps_to_flatten_under_toset() {
+        // concat ↦ μ (flatten): toset(concat ll) = μ(toset-deep ll)
+        let ll = parse_value("[[e, i], [], [f]]").unwrap();
+        let concat = |v: &Value| -> Value {
+            Value::List(
+                v.as_list()
+                    .unwrap()
+                    .iter()
+                    .flat_map(|l| l.as_list().unwrap().iter().cloned())
+                    .collect(),
+            )
+        };
+        let flatten = |v: &Value| -> Value {
+            Value::Set(
+                v.as_set()
+                    .unwrap()
+                    .iter()
+                    .flat_map(|s| s.as_set().unwrap().iter().cloned())
+                    .collect(),
+            )
+        };
+        let lhs = toset_deep(&concat(&ll));
+        let rhs = flatten(&toset_deep(&ll));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn transfer_flatten_via_lists() {
+        // Theorem 4.13 instance at {{X}} → {X}: flatten inherits rel
+        // invariance from concat's parametricity.
+        let f = fam();
+        let elem = CvType::set(CvType::domain(0));
+        let s = parse_value("{{e, i}, {f}}").unwrap();
+        let s2 = parse_value("{{a}, {b}}").unwrap();
+        let set_ty = CvType::set(elem.clone());
+        if relates(&f, &set_ty, ExtensionMode::Rel, &s, &s2) {
+            let flatten = |v: &Value| -> Value {
+                Value::Set(
+                    v.as_set()
+                        .unwrap()
+                        .iter()
+                        .flat_map(|x| x.as_set().unwrap().iter().cloned())
+                        .collect(),
+                )
+            };
+            let o1 = flatten(&s);
+            let o2 = flatten(&s2);
+            assert!(relates(
+                &f,
+                &CvType::set(CvType::domain(0)),
+                ExtensionMode::Rel,
+                &o1,
+                &o2
+            ));
+        } else {
+            panic!("fixture sets should be rel-related");
+        }
+    }
+
+    #[test]
+    fn corollary_4_15_union_instances() {
+        let f = fam();
+        let elem = CvType::domain(0);
+        let r = parse_value("{e, i}").unwrap();
+        let s = parse_value("{f}").unwrap();
+        let r2 = parse_value("{a}").unwrap();
+        let s2 = parse_value("{b}").unwrap();
+        corollary_4_15_union(&f, &elem, &r, &s, &r2, &s2).unwrap();
+    }
+
+    #[test]
+    fn lsty_to_cv_type() {
+        let t = LsTy::prod([LsTy::list(LsTy::bool()), LsTy::set(LsTy::Base(BaseType::Int))]);
+        assert_eq!(
+            t.to_cv_type(),
+            Some(CvType::tuple([
+                CvType::list(CvType::bool()),
+                CvType::set(CvType::int())
+            ]))
+        );
+        assert_eq!(LsTy::var(0).to_cv_type(), None);
+        assert_eq!(
+            LsTy::list(LsTy::var(0)).instantiate_cv(&CvType::int()),
+            Some(CvType::list(CvType::int()))
+        );
+    }
+
+    #[test]
+    fn display_types() {
+        let (name, ty, _) = &example_4_14_catalog()[0];
+        assert!(name.contains('σ'));
+        assert_eq!(ty.to_string(), "(X → bool) → ⟨X⟩ → ⟨X⟩");
+    }
+}

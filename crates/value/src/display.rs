@@ -1,0 +1,92 @@
+//! Human-readable rendering of complex values, mirroring the paper's
+//! notation: tuples `(a, b)`, sets `{…}`, bags `⟅…⟆`, lists `⟨…⟩`.
+
+use crate::value::Value;
+use std::fmt;
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                join(f, vs.iter())?;
+                write!(f, ")")
+            }
+            Value::Set(vs) => {
+                write!(f, "{{")?;
+                join(f, vs.iter())?;
+                write!(f, "}}")
+            }
+            Value::Bag(vs) => {
+                write!(f, "⟅")?;
+                let mut first = true;
+                for (v, n) in vs {
+                    for _ in 0..*n {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{v}")?;
+                    }
+                }
+                write!(f, "⟆")
+            }
+            Value::List(vs) => {
+                write!(f, "⟨")?;
+                join(f, vs.iter())?;
+                write!(f, "⟩")
+            }
+        }
+    }
+}
+
+fn join<'a>(
+    f: &mut fmt::Formatter<'_>,
+    items: impl Iterator<Item = &'a Value>,
+) -> fmt::Result {
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_notation() {
+        let v = Value::set([
+            Value::tuple([Value::atom(0, 0), Value::atom(0, 1)]),
+            Value::tuple([Value::atom(0, 1), Value::atom(0, 2)]),
+        ]);
+        assert_eq!(v.to_string(), "{(a, b), (b, c)}");
+    }
+
+    #[test]
+    fn renders_lists_and_bags() {
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]).to_string(),
+            "⟨1, 2⟩"
+        );
+        assert_eq!(
+            Value::bag([Value::Int(1), Value::Int(1), Value::Int(3)]).to_string(),
+            "⟅1, 1, 3⟆"
+        );
+    }
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::unit().to_string(), "()");
+        assert_eq!(Value::empty_set().to_string(), "{}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Exhaustive enumeration of the inhabitants of a complex-value type over a
+//! finite universe.
+//!
+//! Genericity (Definition 2.9) and parametricity (Theorem 4.4) are
+//! ∀-statements over all values and mappings. On *finite* base domains all
+//! value spaces except lists/bags are finite, so the checkers in
+//! `genpar-core` and `genpar-parametricity` can decide these statements by
+//! enumeration (small-scope model checking) and refute them with concrete
+//! counterexamples. Lists and bags are unbounded in length, so enumeration
+//! takes an explicit length bound.
+
+use crate::base::BaseType;
+use crate::ty::CvType;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A finite universe: the inhabitants allowed for each base type.
+///
+/// Interpreted types get finite windows (`int` ∈ `int_range`, fixed string
+/// pool); each uninterpreted domain `d` gets atoms `0..atoms(d)`.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Inclusive range of integers in the universe.
+    pub int_range: (i64, i64),
+    /// Strings in the universe.
+    pub strings: Vec<String>,
+    /// Number of atoms per domain id.
+    pub atoms: BTreeMap<u32, u32>,
+}
+
+impl Universe {
+    /// A universe with atoms `0..n` in domain 0, integers `0..=max_int`,
+    /// and no strings — sufficient for all of the paper's examples.
+    pub fn atoms_and_ints(n_atoms: u32, max_int: i64) -> Self {
+        let mut atoms = BTreeMap::new();
+        atoms.insert(0, n_atoms);
+        Universe {
+            int_range: (0, max_int),
+            strings: Vec::new(),
+            atoms,
+        }
+    }
+
+    /// A universe with only `n` atoms in domain 0 (the classical
+    /// uninterpreted setting).
+    pub fn atoms_only(n: u32) -> Self {
+        Universe::atoms_and_ints(n, -1).with_int_range(1, 0) // empty int range
+    }
+
+    /// Replace the integer range.
+    pub fn with_int_range(mut self, lo: i64, hi: i64) -> Self {
+        self.int_range = (lo, hi);
+        self
+    }
+
+    /// Add a domain with `n` atoms.
+    pub fn with_domain(mut self, domain: u32, n: u32) -> Self {
+        self.atoms.insert(domain, n);
+        self
+    }
+
+    /// Add strings to the universe.
+    pub fn with_strings(mut self, ss: impl IntoIterator<Item = String>) -> Self {
+        self.strings.extend(ss);
+        self
+    }
+
+    /// The inhabitants of a base type in this universe.
+    pub fn base_values(&self, b: BaseType) -> Vec<Value> {
+        match b {
+            BaseType::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            BaseType::Int => (self.int_range.0..=self.int_range.1).map(Value::Int).collect(),
+            BaseType::Str => self.strings.iter().cloned().map(Value::Str).collect(),
+            BaseType::Domain(d) => {
+                let n = self.atoms.get(&d.0).copied().unwrap_or(0);
+                (0..n).map(|i| Value::atom(d.0, i)).collect()
+            }
+        }
+    }
+}
+
+/// Bounds that keep enumeration of unbounded constructors finite.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumLimits {
+    /// Maximum list length and maximum bag cardinality (with multiplicity).
+    pub max_seq_len: usize,
+    /// Hard cap on the number of values produced per type; enumeration
+    /// returns `None` when a type has more inhabitants than this (so
+    /// callers can fall back to sampling).
+    pub max_values: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits {
+            max_seq_len: 3,
+            max_values: 100_000,
+        }
+    }
+}
+
+/// Enumerate every inhabitant of `ty` over `universe`, subject to
+/// `limits`. Returns `None` if the space exceeds `limits.max_values`
+/// (sets of sets explode quickly: a type with `n` inhabitants has `2ⁿ`
+/// sets).
+pub fn enumerate(ty: &CvType, universe: &Universe, limits: EnumLimits) -> Option<Vec<Value>> {
+    match ty {
+        CvType::Base(b) => {
+            let vs = universe.base_values(*b);
+            (vs.len() <= limits.max_values).then_some(vs)
+        }
+        CvType::Tuple(ts) => {
+            let parts: Vec<Vec<Value>> = ts
+                .iter()
+                .map(|t| enumerate(t, universe, limits))
+                .collect::<Option<_>>()?;
+            let mut total: usize = 1;
+            for p in &parts {
+                total = total.checked_mul(p.len())?;
+                if total > limits.max_values {
+                    return None;
+                }
+            }
+            let mut out = vec![Vec::new()];
+            for p in &parts {
+                let mut next = Vec::with_capacity(out.len() * p.len());
+                for prefix in &out {
+                    for v in p {
+                        let mut row = prefix.clone();
+                        row.push(v.clone());
+                        next.push(row);
+                    }
+                }
+                out = next;
+            }
+            Some(out.into_iter().map(Value::Tuple).collect())
+        }
+        CvType::Set(t) => {
+            let elems = enumerate(t, universe, limits)?;
+            if elems.len() >= usize::BITS as usize
+                || (1usize << elems.len()) > limits.max_values
+            {
+                return None;
+            }
+            let n = elems.len();
+            let mut out = Vec::with_capacity(1 << n);
+            for mask in 0u64..(1u64 << n) {
+                let s = elems
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                out.push(Value::Set(s));
+            }
+            Some(out)
+        }
+        CvType::List(t) => {
+            let elems = enumerate(t, universe, limits)?;
+            let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+            let mut frontier: Vec<Vec<Value>> = vec![Vec::new()];
+            for _ in 0..limits.max_seq_len {
+                let mut next = Vec::new();
+                for prefix in &frontier {
+                    for v in &elems {
+                        let mut l = prefix.clone();
+                        l.push(v.clone());
+                        next.push(l);
+                    }
+                }
+                out.extend(next.iter().cloned());
+                if out.len() > limits.max_values {
+                    return None;
+                }
+                frontier = next;
+            }
+            Some(out.into_iter().map(Value::List).collect())
+        }
+        CvType::Bag(t) => {
+            // Bags of size ≤ max_seq_len = sorted lists; enumerate lists
+            // and keep the sorted ones to avoid duplicates.
+            let elems = enumerate(t, universe, limits)?;
+            let lists = enumerate(
+                &CvType::list((**t).clone()),
+                universe,
+                limits,
+            )?;
+            let _ = elems;
+            let mut out: Vec<Value> = lists
+                .into_iter()
+                .filter_map(|l| match l {
+                    Value::List(items) => {
+                        let sorted = items.windows(2).all(|w| w[0] <= w[1]);
+                        sorted.then(|| Value::bag(items))
+                    }
+                    _ => None,
+                })
+                .collect();
+            out.sort();
+            out.dedup();
+            (out.len() <= limits.max_values).then_some(out)
+        }
+    }
+}
+
+/// Count the inhabitants without materializing them, where finitely
+/// countable under the same limits. (`None` = over budget.)
+pub fn count(ty: &CvType, universe: &Universe, limits: EnumLimits) -> Option<usize> {
+    enumerate(ty, universe, limits).map(|v| v.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_base_types() {
+        let u = Universe::atoms_and_ints(3, 1);
+        assert_eq!(
+            enumerate(&CvType::bool(), &u, EnumLimits::default()).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            enumerate(&CvType::int(), &u, EnumLimits::default()).unwrap().len(),
+            2 // 0..=1
+        );
+        assert_eq!(
+            enumerate(&CvType::domain(0), &u, EnumLimits::default()).unwrap().len(),
+            3
+        );
+        // unregistered domain is empty
+        assert_eq!(
+            enumerate(&CvType::domain(9), &u, EnumLimits::default()).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn enumerates_tuples_as_products() {
+        let u = Universe::atoms_only(3);
+        let t = CvType::tuple([CvType::domain(0), CvType::domain(0)]);
+        let vs = enumerate(&t, &u, EnumLimits::default()).unwrap();
+        assert_eq!(vs.len(), 9);
+        // all distinct
+        let mut sorted = vs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn enumerates_sets_as_powerset() {
+        let u = Universe::atoms_only(3);
+        let t = CvType::set(CvType::domain(0));
+        let vs = enumerate(&t, &u, EnumLimits::default()).unwrap();
+        assert_eq!(vs.len(), 8); // 2^3
+        assert!(vs.contains(&Value::empty_set()));
+    }
+
+    #[test]
+    fn enumerates_nested_sets() {
+        let u = Universe::atoms_only(2);
+        let t = CvType::set(CvType::set(CvType::domain(0)));
+        let vs = enumerate(&t, &u, EnumLimits::default()).unwrap();
+        assert_eq!(vs.len(), 16); // 2^(2^2)
+    }
+
+    #[test]
+    fn enumerates_lists_up_to_length() {
+        let u = Universe::atoms_only(2);
+        let t = CvType::list(CvType::domain(0));
+        let limits = EnumLimits { max_seq_len: 2, ..Default::default() };
+        let vs = enumerate(&t, &u, limits).unwrap();
+        // lengths 0,1,2 → 1 + 2 + 4
+        assert_eq!(vs.len(), 7);
+    }
+
+    #[test]
+    fn enumerates_bags_without_duplicates() {
+        let u = Universe::atoms_only(2);
+        let t = CvType::bag(CvType::domain(0));
+        let limits = EnumLimits { max_seq_len: 2, ..Default::default() };
+        let vs = enumerate(&t, &u, limits).unwrap();
+        // multisets over {a,b} of size ≤ 2: {}, {a}, {b}, {a,a}, {a,b}, {b,b}
+        assert_eq!(vs.len(), 6);
+        let mut sorted = vs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let u = Universe::atoms_only(10);
+        let t = CvType::set(CvType::set(CvType::domain(0)));
+        let limits = EnumLimits { max_seq_len: 3, max_values: 1000 };
+        assert_eq!(enumerate(&t, &u, limits), None);
+        assert_eq!(count(&t, &u, limits), None);
+    }
+
+    #[test]
+    fn all_enumerated_values_typecheck() {
+        let u = Universe::atoms_and_ints(2, 1);
+        let t = CvType::set(CvType::tuple([CvType::domain(0), CvType::int()]));
+        for v in enumerate(&t, &u, EnumLimits::default()).unwrap() {
+            assert!(v.has_type(&t), "{v} : {t}");
+        }
+    }
+}

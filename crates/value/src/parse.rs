@@ -1,0 +1,311 @@
+//! A small parser for complex-value literals, used by tests and examples
+//! to state instances in notation close to the paper's.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! value   := scalar | tuple | set | bag | list
+//! scalar  := int | "true" | "false" | string | atom
+//! atom    := 'a'..'z'            (atom of domain 0: a=0, b=1, …)
+//!          | 'D' nat '#' nat     (atom of arbitrary domain)
+//! tuple   := '(' [value {',' value}] ')'
+//! set     := '{' [value {',' value}] '}'
+//! list    := '[' [value {',' value}] ']'   or  '⟨' … '⟩'
+//! bag     := '{|' [value {',' value}] '|}' or  '⟅' … '⟆'
+//! string  := '"' chars '"'
+//! ```
+
+use crate::value::Value;
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complex-value literal.
+pub fn parse_value(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { s: input.as_bytes(), pos: 0, src: input };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek_char() == Some(c) {
+            self.bump_char();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek_char() {
+            None => Err(self.err("unexpected end of input")),
+            Some('(') => self.seq('(', ')', Value::Tuple),
+            Some('{') if self.starts_with("{|") => {
+                self.pos += 2;
+                self.bag_body("|}")
+            }
+            Some('{') => self.seq('{', '}', Value::set),
+            Some('⟅') => {
+                self.bump_char();
+                self.bag_body("⟆")
+            }
+            Some('[') => self.seq('[', ']', Value::List),
+            Some('⟨') => self.seq('⟨', '⟩', Value::List),
+            Some('"') => self.string(),
+            Some(c) if c.is_ascii_digit() || c == '-' => self.int(),
+            Some('t') if self.starts_with("true") => {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some('f') if self.starts_with("false") => {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some('D') => self.qualified_atom(),
+            Some(c) if c.is_ascii_lowercase() => {
+                self.bump_char();
+                Ok(Value::atom(0, c as u32 - 'a' as u32))
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
+        }
+    }
+
+    fn seq(
+        &mut self,
+        open: char,
+        close: char,
+        build: impl FnOnce(Vec<Value>) -> Value,
+    ) -> Result<Value, ParseError> {
+        self.expect(open)?;
+        let items = self.items(close)?;
+        Ok(build(items))
+    }
+
+    fn bag_body(&mut self, close: &str) -> Result<Value, ParseError> {
+        let mut items = Vec::new();
+        self.skip_ws();
+        if !self.starts_with(close) {
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                if !self.eat(',') {
+                    break;
+                }
+            }
+        }
+        self.skip_ws();
+        if self.starts_with(close) {
+            self.pos += close.len();
+            Ok(Value::bag(items))
+        } else {
+            Err(self.err(format!("expected '{close}'")))
+        }
+    }
+
+    fn items(&mut self, close: char) -> Result<Vec<Value>, ParseError> {
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(close) {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect(close)?;
+            return Ok(items);
+        }
+    }
+
+    fn string(&mut self) -> Result<Value, ParseError> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let s = self.src[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(Value::Str(s));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn int(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| self.err(format!("bad integer: {e}")))
+    }
+
+    fn nat(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse::<u32>()
+            .map_err(|e| self.err(format!("bad number: {e}")))
+    }
+
+    fn qualified_atom(&mut self) -> Result<Value, ParseError> {
+        self.expect('D')?;
+        let dom = self.nat()?;
+        self.expect('#')?;
+        let id = self.nat()?;
+        Ok(Value::atom(dom, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_relation() {
+        // r2 = {(a,b),(b,c)} from Example 2.2
+        let v = parse_value("{(a, b), (b, c)}").unwrap();
+        assert_eq!(v, Value::atom_relation(&[(0, 1), (1, 2)]));
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_value("\"hi\"").unwrap(), Value::str("hi"));
+        assert_eq!(parse_value("e").unwrap(), Value::atom(0, 4));
+        assert_eq!(parse_value("D2#5").unwrap(), Value::atom(2, 5));
+    }
+
+    #[test]
+    fn parses_collections() {
+        assert_eq!(
+            parse_value("[1, 2, 2]").unwrap(),
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(2)])
+        );
+        assert_eq!(
+            parse_value("⟨1, 2⟩").unwrap(),
+            Value::list([Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            parse_value("{|1, 1, 2|}").unwrap(),
+            Value::bag([Value::Int(1), Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            parse_value("⟅1, 1⟆").unwrap(),
+            Value::bag([Value::Int(1), Value::Int(1)])
+        );
+        assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
+        assert_eq!(parse_value("()").unwrap(), Value::unit());
+        assert_eq!(parse_value("{| |}").unwrap(), Value::bag([]));
+    }
+
+    #[test]
+    fn parses_nesting() {
+        let v = parse_value("{{a}, {}}").unwrap();
+        assert_eq!(
+            v,
+            Value::set([Value::set([Value::atom(0, 0)]), Value::empty_set()])
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in [
+            "{(a, b), (b, c)}",
+            "⟨1, 2, 3⟩",
+            "(true, {1, 2}, ⟨⟩)",
+            "⟅1, 1, 2⟆",
+            "{}",
+        ] {
+            let v = parse_value(s).unwrap();
+            assert_eq!(parse_value(&v.to_string()).unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("{1, 2").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("(1,]").is_err());
+        assert!(parse_value("\"open").is_err());
+        assert!(parse_value("D1").is_err());
+        assert!(parse_value("Z").is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Complex value types (Definition 2.1) and type expressions
+//! (Definition 2.7).
+
+use crate::base::BaseType;
+use std::fmt;
+
+/// A complex value type over a signature Σ (Definition 2.1): a tree whose
+/// leaves are base types and whose internal nodes are the type constructors
+/// `×` (products/tuples), `{}` (sets), `⟅⟆` (bags) and `⟨⟩` (lists).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CvType {
+    /// A base type leaf.
+    Base(BaseType),
+    /// Product of `n` types (n-ary tuples). `Tuple(vec![])` is the unit
+    /// type with the single value `()`.
+    Tuple(Vec<CvType>),
+    /// Finite sets of elements of the inner type.
+    Set(Box<CvType>),
+    /// Finite bags (multisets) of elements of the inner type.
+    Bag(Box<CvType>),
+    /// Finite lists of elements of the inner type.
+    List(Box<CvType>),
+}
+
+impl CvType {
+    /// Shorthand for `Base(BaseType::Bool)`.
+    pub fn bool() -> Self {
+        CvType::Base(BaseType::Bool)
+    }
+    /// Shorthand for `Base(BaseType::Int)`.
+    pub fn int() -> Self {
+        CvType::Base(BaseType::Int)
+    }
+    /// Shorthand for `Base(BaseType::Str)`.
+    pub fn str() -> Self {
+        CvType::Base(BaseType::Str)
+    }
+    /// Shorthand for a domain leaf.
+    pub fn domain(id: u32) -> Self {
+        CvType::Base(BaseType::Domain(crate::DomainId(id)))
+    }
+    /// Shorthand for `Set(t)`.
+    pub fn set(t: CvType) -> Self {
+        CvType::Set(Box::new(t))
+    }
+    /// Shorthand for `Bag(t)`.
+    pub fn bag(t: CvType) -> Self {
+        CvType::Bag(Box::new(t))
+    }
+    /// Shorthand for `List(t)`.
+    pub fn list(t: CvType) -> Self {
+        CvType::List(Box::new(t))
+    }
+    /// Shorthand for a product type.
+    pub fn tuple(ts: impl IntoIterator<Item = CvType>) -> Self {
+        CvType::Tuple(ts.into_iter().collect())
+    }
+    /// The type of flat `n`-ary relations over one base type: `{b × … × b}`.
+    pub fn relation(b: BaseType, arity: usize) -> Self {
+        CvType::set(CvType::tuple(std::iter::repeat_n(CvType::Base(b), arity)))
+    }
+
+    /// Does the type contain a set constructor anywhere?
+    /// (Proposition 2.8(ii) hinges on this.)
+    pub fn contains_set(&self) -> bool {
+        match self {
+            CvType::Base(_) => false,
+            CvType::Set(_) => true,
+            CvType::Tuple(ts) => ts.iter().any(CvType::contains_set),
+            CvType::Bag(t) | CvType::List(t) => t.contains_set(),
+        }
+    }
+
+    /// Does the type contain a bag or list constructor anywhere?
+    pub fn contains_collection(&self) -> bool {
+        match self {
+            CvType::Base(_) => false,
+            CvType::Set(_) | CvType::Bag(_) | CvType::List(_) => true,
+            CvType::Tuple(ts) => ts.iter().any(CvType::contains_collection),
+        }
+    }
+
+    /// Maximum constructor-nesting depth; a base type has depth 0.
+    pub fn depth(&self) -> usize {
+        match self {
+            CvType::Base(_) => 0,
+            CvType::Tuple(ts) => 1 + ts.iter().map(CvType::depth).max().unwrap_or(0),
+            CvType::Set(t) | CvType::Bag(t) | CvType::List(t) => 1 + t.depth(),
+        }
+    }
+
+    /// All base types occurring at the leaves, in left-to-right order and
+    /// with duplicates.
+    pub fn leaves(&self) -> Vec<BaseType> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<BaseType>) {
+        match self {
+            CvType::Base(b) => out.push(*b),
+            CvType::Tuple(ts) => ts.iter().for_each(|t| t.collect_leaves(out)),
+            CvType::Set(t) | CvType::Bag(t) | CvType::List(t) => t.collect_leaves(out),
+        }
+    }
+
+    /// The `n`-fold nested set type `{ⁿ self}ⁿ` used by the nest-parity
+    /// query of Proposition 4.16.
+    pub fn nested_set(self, n: usize) -> CvType {
+        (0..n).fold(self, |t, _| CvType::set(t))
+    }
+}
+
+impl fmt::Display for CvType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvType::Base(b) => write!(f, "{b}"),
+            CvType::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " × ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            CvType::Set(t) => write!(f, "{{{t}}}"),
+            CvType::Bag(t) => write!(f, "⟅{t}⟆"),
+            CvType::List(t) => write!(f, "⟨{t}⟩"),
+        }
+    }
+}
+
+/// A type variable appearing in a [`TypeExpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TyVar(pub u32);
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // X, Y, Z, X3, X4, ...
+        match self.0 {
+            0 => write!(f, "X"),
+            1 => write!(f, "Y"),
+            2 => write!(f, "Z"),
+            n => write!(f, "X{n}"),
+        }
+    }
+}
+
+/// A type expression `T(X₁,…,Xₙ)` (Definition 2.7): a tree with type
+/// variables (and possibly base types) at the leaves and the complex-value
+/// type constructors at internal nodes.
+///
+/// Substituting concrete base types for the variables yields *associated
+/// types*; substituting mappings yields the extended mapping constructors
+/// of `genpar-mapping`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeExpr {
+    /// A type-variable leaf.
+    Var(TyVar),
+    /// A constant base-type leaf (allowed by Section 4's generalization;
+    /// corresponds to the identity mapping on that base type).
+    Base(BaseType),
+    /// Product.
+    Tuple(Vec<TypeExpr>),
+    /// Set.
+    Set(Box<TypeExpr>),
+    /// Bag.
+    Bag(Box<TypeExpr>),
+    /// List.
+    List(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// Shorthand for `Var(TyVar(i))`.
+    pub fn var(i: u32) -> Self {
+        TypeExpr::Var(TyVar(i))
+    }
+    /// Shorthand for `Set(t)`.
+    pub fn set(t: TypeExpr) -> Self {
+        TypeExpr::Set(Box::new(t))
+    }
+    /// Shorthand for `Bag(t)`.
+    pub fn bag(t: TypeExpr) -> Self {
+        TypeExpr::Bag(Box::new(t))
+    }
+    /// Shorthand for `List(t)`.
+    pub fn list(t: TypeExpr) -> Self {
+        TypeExpr::List(Box::new(t))
+    }
+    /// Shorthand for a product.
+    pub fn tuple(ts: impl IntoIterator<Item = TypeExpr>) -> Self {
+        TypeExpr::Tuple(ts.into_iter().collect())
+    }
+    /// The type expression of flat `arity`-ary relations over one variable:
+    /// `{X × … × X}`.
+    pub fn relation(v: TyVar, arity: usize) -> Self {
+        TypeExpr::set(TypeExpr::tuple(
+            std::iter::repeat_n(TypeExpr::Var(v), arity),
+        ))
+    }
+
+    /// The set of variables occurring in the expression, sorted.
+    pub fn vars(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<TyVar>) {
+        match self {
+            TypeExpr::Var(v) => out.push(*v),
+            TypeExpr::Base(_) => {}
+            TypeExpr::Tuple(ts) => ts.iter().for_each(|t| t.collect_vars(out)),
+            TypeExpr::Set(t) | TypeExpr::Bag(t) | TypeExpr::List(t) => t.collect_vars(out),
+        }
+    }
+
+    /// `T(τ₁/X₁,…,τₙ/Xₙ)`: substitute concrete types for variables. The
+    /// function `subst` gives the type for each variable; variables not in
+    /// its domain are an error, so it returns `Option`.
+    pub fn substitute(&self, subst: &dyn Fn(TyVar) -> Option<CvType>) -> Option<CvType> {
+        match self {
+            TypeExpr::Var(v) => subst(*v),
+            TypeExpr::Base(b) => Some(CvType::Base(*b)),
+            TypeExpr::Tuple(ts) => ts
+                .iter()
+                .map(|t| t.substitute(subst))
+                .collect::<Option<Vec<_>>>()
+                .map(CvType::Tuple),
+            TypeExpr::Set(t) => t.substitute(subst).map(CvType::set),
+            TypeExpr::Bag(t) => t.substitute(subst).map(CvType::bag),
+            TypeExpr::List(t) => t.substitute(subst).map(CvType::list),
+        }
+    }
+
+    /// Substitute a single type for *all* variables (the common unary
+    /// case `T(τ/X)`).
+    pub fn instantiate(&self, tau: &CvType) -> CvType {
+        self.substitute(&|_| Some(tau.clone()))
+            .expect("closure is total")
+    }
+
+    /// Is the expression ground (variable-free)? A ground expression is a
+    /// plain [`CvType`].
+    pub fn is_ground(&self) -> bool {
+        self.vars().is_empty()
+    }
+
+    /// View a ground expression as a [`CvType`].
+    pub fn to_cv_type(&self) -> Option<CvType> {
+        self.substitute(&|_| None)
+    }
+
+    /// Embed a [`CvType`] as a variable-free type expression.
+    pub fn from_cv_type(t: &CvType) -> TypeExpr {
+        match t {
+            CvType::Base(b) => TypeExpr::Base(*b),
+            CvType::Tuple(ts) => TypeExpr::Tuple(ts.iter().map(TypeExpr::from_cv_type).collect()),
+            CvType::Set(t) => TypeExpr::set(TypeExpr::from_cv_type(t)),
+            CvType::Bag(t) => TypeExpr::bag(TypeExpr::from_cv_type(t)),
+            CvType::List(t) => TypeExpr::list(TypeExpr::from_cv_type(t)),
+        }
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Var(v) => write!(f, "{v}"),
+            TypeExpr::Base(b) => write!(f, "{b}"),
+            TypeExpr::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " × ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            TypeExpr::Set(t) => write!(f, "{{{t}}}"),
+            TypeExpr::Bag(t) => write!(f, "⟅{t}⟆"),
+            TypeExpr::List(t) => write!(f, "⟨{t}⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_type_shape() {
+        let t = CvType::relation(BaseType::Int, 2);
+        assert_eq!(
+            t,
+            CvType::set(CvType::tuple([CvType::int(), CvType::int()]))
+        );
+        assert_eq!(t.to_string(), "{(int × int)}");
+    }
+
+    #[test]
+    fn contains_set_detection() {
+        assert!(!CvType::int().contains_set());
+        assert!(CvType::set(CvType::int()).contains_set());
+        assert!(CvType::tuple([CvType::int(), CvType::set(CvType::int())]).contains_set());
+        assert!(CvType::list(CvType::set(CvType::int())).contains_set());
+        assert!(!CvType::list(CvType::bag(CvType::int())).contains_set());
+        assert!(CvType::list(CvType::bag(CvType::int())).contains_collection());
+        assert!(!CvType::tuple([CvType::int()]).contains_collection());
+    }
+
+    #[test]
+    fn depth_counts_constructors() {
+        assert_eq!(CvType::int().depth(), 0);
+        assert_eq!(CvType::set(CvType::int()).depth(), 1);
+        assert_eq!(
+            CvType::set(CvType::tuple([CvType::int(), CvType::int()])).depth(),
+            2
+        );
+        assert_eq!(CvType::int().nested_set(5).depth(), 5);
+    }
+
+    #[test]
+    fn leaves_in_order() {
+        let t = CvType::tuple([CvType::int(), CvType::set(CvType::domain(0)), CvType::int()]);
+        assert_eq!(
+            t.leaves(),
+            vec![
+                BaseType::Int,
+                BaseType::Domain(crate::DomainId(0)),
+                BaseType::Int
+            ]
+        );
+    }
+
+    #[test]
+    fn type_expr_substitution_associated_types() {
+        // T(X) = {X × X}; associated types T(int), T(D0).
+        let t = TypeExpr::relation(TyVar(0), 2);
+        assert_eq!(t.instantiate(&CvType::int()), CvType::relation(BaseType::Int, 2));
+        assert_eq!(
+            t.instantiate(&CvType::domain(0)),
+            CvType::relation(BaseType::Domain(crate::DomainId(0)), 2)
+        );
+    }
+
+    #[test]
+    fn type_expr_multi_var_substitution() {
+        // T(X, Y) = {X × Y}
+        let t = TypeExpr::set(TypeExpr::tuple([TypeExpr::var(0), TypeExpr::var(1)]));
+        assert_eq!(t.vars(), vec![TyVar(0), TyVar(1)]);
+        let got = t
+            .substitute(&|v| {
+                Some(if v == TyVar(0) {
+                    CvType::int()
+                } else {
+                    CvType::str()
+                })
+            })
+            .unwrap();
+        assert_eq!(got, CvType::set(CvType::tuple([CvType::int(), CvType::str()])));
+    }
+
+    #[test]
+    fn substitution_fails_on_unbound_var() {
+        let t = TypeExpr::var(3);
+        assert_eq!(t.substitute(&|_| None), None);
+        assert!(!t.is_ground());
+    }
+
+    #[test]
+    fn ground_roundtrip() {
+        let t = CvType::set(CvType::tuple([CvType::int(), CvType::bool()]));
+        let e = TypeExpr::from_cv_type(&t);
+        assert!(e.is_ground());
+        assert_eq!(e.to_cv_type(), Some(t));
+    }
+
+    #[test]
+    fn display_type_expr() {
+        let t = TypeExpr::set(TypeExpr::tuple([TypeExpr::var(0), TypeExpr::var(1)]));
+        assert_eq!(t.to_string(), "{(X × Y)}");
+        assert_eq!(TypeExpr::list(TypeExpr::var(2)).to_string(), "⟨Z⟩");
+        assert_eq!(TypeExpr::bag(TypeExpr::var(3)).to_string(), "⟅X3⟆");
+    }
+}

@@ -1,0 +1,436 @@
+//! Complex values and dynamic type checking.
+
+use crate::base::{Atom, BaseType};
+use crate::ty::CvType;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite complex value.
+///
+/// Values form the carrier of every domain construction in the paper:
+/// databases are tuples of complex values, queries are functions from
+/// complex values to complex values, and the mappings of Section 2.2 relate
+/// complex values of associated types.
+///
+/// `Value` carries a derived total order, which gives sets and bags a
+/// canonical normal form (`BTreeSet`/`BTreeMap`) — two equal sets always
+/// have identical representations, so `==` is true set equality.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An uninterpreted atom.
+    Atom(Atom),
+    /// An n-ary tuple; `Tuple(vec![])` is the unit value.
+    Tuple(Vec<Value>),
+    /// A finite set.
+    Set(BTreeSet<Value>),
+    /// A finite bag: element ↦ multiplicity ≥ 1.
+    Bag(BTreeMap<Value, usize>),
+    /// A finite list.
+    List(Vec<Value>),
+}
+
+/// A dynamic type error: a value did not inhabit the expected type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// The expected type.
+    pub expected: CvType,
+    /// Rendering of the offending (sub)value.
+    pub found: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} does not have type {}", self.found, self.expected)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl Value {
+    /// The unit value `()`.
+    pub fn unit() -> Self {
+        Value::Tuple(Vec::new())
+    }
+
+    /// Shorthand for an atom of domain `dom`.
+    pub fn atom(dom: u32, id: u32) -> Self {
+        Value::Atom(Atom::new(crate::DomainId(dom), id))
+    }
+
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Build a set value from an iterator.
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// Build a list value from an iterator.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Build a tuple value from an iterator.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Build a bag value from an iterator of elements (multiplicities
+    /// accumulate).
+    pub fn bag(items: impl IntoIterator<Item = Value>) -> Self {
+        let mut m: BTreeMap<Value, usize> = BTreeMap::new();
+        for v in items {
+            *m.entry(v).or_insert(0) += 1;
+        }
+        Value::Bag(m)
+    }
+
+    /// Build a flat binary relation of atoms in domain 0 from `(id, id)`
+    /// pairs — the shape of the paper's running examples r₁, r₂, r₃.
+    pub fn atom_relation(pairs: &[(u32, u32)]) -> Self {
+        Value::set(
+            pairs
+                .iter()
+                .map(|&(x, y)| Value::tuple([Value::atom(0, x), Value::atom(0, y)])),
+        )
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Self {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// Is this the empty set?
+    pub fn is_empty_set(&self) -> bool {
+        matches!(self, Value::Set(s) if s.is_empty())
+    }
+
+    /// Number of elements for collections; tuple width for tuples; 1 for
+    /// base values. Bag size counts multiplicities.
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Set(s) => s.len(),
+            Value::Bag(b) => b.values().sum(),
+            Value::List(l) => l.len(),
+            Value::Tuple(t) => t.len(),
+            _ => 1,
+        }
+    }
+
+    /// True for empty collections / 0-tuples.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Value::Set(s) => s.is_empty(),
+            Value::Bag(b) => b.is_empty(),
+            Value::List(l) => l.is_empty(),
+            Value::Tuple(t) => t.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Dynamic type check: does this value inhabit `ty`?
+    pub fn has_type(&self, ty: &CvType) -> bool {
+        self.check_type(ty).is_ok()
+    }
+
+    /// Dynamic type check with an error describing the first mismatch.
+    pub fn check_type(&self, ty: &CvType) -> Result<(), TypeError> {
+        let err = || TypeError {
+            expected: ty.clone(),
+            found: self.to_string(),
+        };
+        match (self, ty) {
+            (Value::Bool(_), CvType::Base(BaseType::Bool))
+            | (Value::Int(_), CvType::Base(BaseType::Int))
+            | (Value::Str(_), CvType::Base(BaseType::Str)) => Ok(()),
+            (Value::Atom(a), CvType::Base(BaseType::Domain(d))) if a.domain == *d => Ok(()),
+            (Value::Tuple(vs), CvType::Tuple(ts)) if vs.len() == ts.len() => vs
+                .iter()
+                .zip(ts)
+                .try_for_each(|(v, t)| v.check_type(t)),
+            (Value::Set(vs), CvType::Set(t)) => vs.iter().try_for_each(|v| v.check_type(t)),
+            (Value::Bag(vs), CvType::Bag(t)) => {
+                vs.keys().try_for_each(|v| v.check_type(t))
+            }
+            (Value::List(vs), CvType::List(t)) => vs.iter().try_for_each(|v| v.check_type(t)),
+            _ => Err(err()),
+        }
+    }
+
+    /// The *active domain* of the value: the set of base values (booleans,
+    /// integers, strings, atoms) occurring anywhere inside it
+    /// (Section 3.3). Returned in sorted order without duplicates.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_adom(&mut out);
+        out
+    }
+
+    fn collect_adom(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            Value::Bool(_) | Value::Int(_) | Value::Str(_) | Value::Atom(_) => {
+                out.insert(self.clone());
+            }
+            Value::Tuple(vs) | Value::List(vs) => vs.iter().for_each(|v| v.collect_adom(out)),
+            Value::Set(vs) => vs.iter().for_each(|v| v.collect_adom(out)),
+            Value::Bag(vs) => vs.keys().for_each(|v| v.collect_adom(out)),
+        }
+    }
+
+    /// Set-constructor nesting depth along the deepest path: atoms have
+    /// depth 0, `{v}` has depth `1 + depth(v)`. Used by the nest-parity
+    /// query of Proposition 4.16.
+    pub fn set_nesting_depth(&self) -> usize {
+        match self {
+            Value::Set(s) => 1 + s.iter().map(Value::set_nesting_depth).max().unwrap_or(0),
+            Value::Tuple(vs) | Value::List(vs) => {
+                vs.iter().map(Value::set_nesting_depth).max().unwrap_or(0)
+            }
+            Value::Bag(b) => b.keys().map(Value::set_nesting_depth).max().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Project component `i` from a tuple value (0-based).
+    pub fn project(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Tuple(vs) => vs.get(i),
+            _ => None,
+        }
+    }
+
+    /// Iterate over a set value's elements, if this is a set.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements of a list value.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Borrow the components of a tuple value.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Borrow the entries of a bag value.
+    pub fn as_bag(&self) -> Option<&BTreeMap<Value, usize>> {
+        match self {
+            Value::Bag(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extract a bool, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract an int, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Is this a base (non-constructed) value?
+    pub fn is_base(&self) -> bool {
+        matches!(
+            self,
+            Value::Bool(_) | Value::Int(_) | Value::Str(_) | Value::Atom(_)
+        )
+    }
+
+    /// The most specific type of a base value; `None` for constructed
+    /// values (whose element types are not inferable when empty).
+    pub fn base_type(&self) -> Option<BaseType> {
+        match self {
+            Value::Bool(_) => Some(BaseType::Bool),
+            Value::Int(_) => Some(BaseType::Int),
+            Value::Str(_) => Some(BaseType::Str),
+            Value::Atom(a) => Some(BaseType::Domain(a.domain)),
+            _ => None,
+        }
+    }
+
+    /// Convert a list value to the set of its elements (`toset` of
+    /// Section 4.2, at the outermost level only; the nested version lives
+    /// in `genpar-parametricity`).
+    pub fn toset(&self) -> Option<Value> {
+        self.as_list()
+            .map(|l| Value::set(l.iter().cloned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::CvType;
+
+    fn r1() -> Value {
+        // Example 2.2: r1 = {(e,f),(i,f),(e,j),(i,j),(f,g),(j,g)}
+        // letters: a=0 ... e=4, f=5, g=6, i=8, j=9
+        Value::atom_relation(&[(4, 5), (8, 5), (4, 9), (8, 9), (5, 6), (9, 6)])
+    }
+
+    #[test]
+    fn set_is_canonical() {
+        let s1 = Value::set([Value::Int(2), Value::Int(1), Value::Int(2)]);
+        let s2 = Value::set([Value::Int(1), Value::Int(2)]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn bag_counts_multiplicity() {
+        let b = Value::bag([Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.as_bag().unwrap()[&Value::Int(1)], 2);
+    }
+
+    #[test]
+    fn list_preserves_order_and_duplicates() {
+        let l = Value::list([Value::Int(2), Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.as_list().unwrap()[0], Value::Int(2));
+        assert_ne!(l, Value::list([Value::Int(1), Value::Int(2), Value::Int(2)]));
+    }
+
+    #[test]
+    fn type_check_accepts_well_typed() {
+        let t = CvType::relation(BaseType::Domain(crate::DomainId(0)), 2);
+        assert!(r1().has_type(&t));
+    }
+
+    #[test]
+    fn type_check_rejects_wrong_arity() {
+        let t = CvType::relation(BaseType::Domain(crate::DomainId(0)), 3);
+        assert!(!r1().has_type(&t));
+    }
+
+    #[test]
+    fn type_check_rejects_wrong_domain() {
+        let t = CvType::relation(BaseType::Domain(crate::DomainId(1)), 2);
+        let err = r1().check_type(&t).unwrap_err();
+        // the error points at the innermost mismatching leaf
+        assert_eq!(err.expected, CvType::domain(1));
+    }
+
+    #[test]
+    fn type_check_rejects_base_mismatch() {
+        assert!(!Value::Int(1).has_type(&CvType::bool()));
+        assert!(Value::Bool(true).has_type(&CvType::bool()));
+        assert!(Value::str("x").has_type(&CvType::str()));
+        assert!(!Value::str("x").has_type(&CvType::int()));
+    }
+
+    #[test]
+    fn empty_set_inhabits_every_set_type() {
+        assert!(Value::empty_set().has_type(&CvType::set(CvType::int())));
+        assert!(Value::empty_set().has_type(&CvType::set(CvType::set(CvType::bool()))));
+        assert!(!Value::empty_set().has_type(&CvType::int()));
+    }
+
+    #[test]
+    fn unit_value_and_type() {
+        assert!(Value::unit().has_type(&CvType::tuple([])));
+        assert!(Value::unit().is_empty());
+    }
+
+    #[test]
+    fn active_domain_collects_leaves() {
+        let v = Value::tuple([
+            Value::Int(1),
+            Value::set([Value::Int(2), Value::atom(0, 0)]),
+            Value::list([Value::Int(1)]),
+        ]);
+        let adom = v.active_domain();
+        assert_eq!(
+            adom.into_iter().collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::atom(0, 0)]
+        );
+    }
+
+    #[test]
+    fn active_domain_of_r1_has_five_atoms() {
+        // adom(r1) = {e, f, g, i, j}
+        assert_eq!(r1().active_domain().len(), 5);
+    }
+
+    #[test]
+    fn set_nesting_depth() {
+        assert_eq!(Value::Int(3).set_nesting_depth(), 0);
+        assert_eq!(Value::set([Value::Int(3)]).set_nesting_depth(), 1);
+        assert_eq!(
+            Value::set([Value::set([Value::Int(3)])]).set_nesting_depth(),
+            2
+        );
+        // nesting passes through tuples and lists
+        assert_eq!(
+            Value::tuple([Value::set([Value::Int(1)])]).set_nesting_depth(),
+            1
+        );
+        assert_eq!(Value::empty_set().set_nesting_depth(), 1);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut vs = vec![
+            Value::set([Value::Int(2)]),
+            Value::Int(5),
+            Value::Bool(true),
+            Value::list([Value::Int(1)]),
+            Value::atom(0, 1),
+        ];
+        vs.sort();
+        let again = {
+            let mut w = vs.clone();
+            w.sort();
+            w
+        };
+        assert_eq!(vs, again);
+    }
+
+    #[test]
+    fn toset_on_list() {
+        let l = Value::list([Value::Int(2), Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.toset(), Some(Value::set([Value::Int(1), Value::Int(2)])));
+        assert_eq!(Value::Int(1).toset(), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(9).as_int(), Some(9));
+        assert_eq!(Value::Int(9).as_bool(), None);
+        let t = Value::tuple([Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.project(1), Some(&Value::Int(2)));
+        assert_eq!(t.project(2), None);
+        assert!(Value::Int(1).is_base());
+        assert!(!t.is_base());
+        assert_eq!(Value::atom(3, 7).base_type(), Some(BaseType::Domain(crate::DomainId(3))));
+        assert_eq!(t.base_type(), None);
+    }
+}

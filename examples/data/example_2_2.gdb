@@ -1,0 +1,7 @@
+# The relations of Example 2.2 (Beeri, Milo & Ta-Shma, PODS 1996).
+# Load with:  genpar run '<query>' --db examples/data/example_2_2.gdb
+r1 = {(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}
+r2 = {(a, b), (b, c)}
+r3 = {(e, j), (i, j), (f, g)}
+# a small int relation for Q5 = select[$1=7](nums)
+nums = {(7), (8), (9)}

@@ -1,0 +1,112 @@
+//! Free theorems: the parametricity theorem on System F terms.
+//!
+//! Type-checks the paper's Section 4.1 example terms, verifies the
+//! parametricity theorem `𝒯(t, t)` for each over the finite semantics,
+//! demonstrates the `∀X⁼` bound on list difference, and refutes
+//! parametricity for nest-parity (Proposition 4.16). Finishes with the
+//! Section 4.2 list→set transfer on `# ↦ ∪` (Corollary 4.15).
+//!
+//! Run with: `cargo run --example free_theorems`
+
+use genpar::lambda::stdlib;
+use genpar::lambda::term::Term;
+use genpar::lambda::ty::Ty;
+use genpar::lambda::tyck::type_of;
+use genpar::parametricity::free_theorems::parametric;
+use genpar::parametricity::relation::RelConfig;
+use genpar::parametricity::transfer;
+use genpar::prelude::*;
+use genpar_mapping::MappingFamily;
+use genpar_value::parse::parse_value;
+
+fn main() {
+    println!("=== Parametricity: theorems for free (Section 4) ===\n");
+
+    let cfg = RelConfig::default();
+
+    println!("-- Theorem 4.4 over the finite semantics --");
+    for (name, term, _) in stdlib::expected_types() {
+        let mut c = cfg;
+        if name == "zip" {
+            c.max_list = 2; // two nested ∀ — keep the domain small
+        }
+        match parametric(&term, c) {
+            Ok(ty) => println!("  ✓ {name:<10} : {ty}   — 𝒯(t,t) verified"),
+            Err(e) => println!("  ✗ {name:<10} — {e}"),
+        }
+    }
+
+    println!("\n-- ∀X⁼: equality-bounded polymorphism (Section 4.1) --");
+    let diff = stdlib::list_diff();
+    println!("  list difference : {}", type_of(&diff).unwrap());
+    let at_fn_type = Term::tyapp(diff, Ty::arrow(Ty::int(), Ty::int()));
+    println!(
+        "  instantiating at int→int: {}",
+        match type_of(&at_fn_type) {
+            Ok(_) => "accepted (BUG!)".to_string(),
+            Err(e) => format!("rejected — {e}"),
+        }
+    );
+
+    println!("\n-- Proposition 4.16: nest parity is generic but NOT parametric --");
+    // genericity half: np only sees the (fixed) structure of its input
+    // type, so extensions of base mappings can never change its answer.
+    // parametricity half: a relation may cross structures:
+    let (d2, d3) = genpar::genericity::witness::prop_4_16_depth_pair();
+    println!("  H : X × Y with X := D, Y := {{D}} relates {d2} to {d3}");
+    println!(
+        "  np({d2}) = {}  vs  np({d3}) = {}  → (∀X.{{X}}→bool)(np,np) fails",
+        d2.set_nesting_depth() % 2 == 0,
+        d3.set_nesting_depth() % 2 == 0,
+    );
+
+    println!("\n-- Section 4.2: pulling parametricity from lists to sets --");
+    for (name, _ty, class) in transfer::example_4_14_catalog() {
+        println!("  {name:<46} classified {class}");
+    }
+
+    println!("\n-- Corollary 4.15: # ↦ ∪ transfer on Example 2.2's h --");
+    let h = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
+    let elem = CvType::domain(0);
+    let r = parse_value("{e, i}").unwrap();
+    let s = parse_value("{f, j}").unwrap();
+    let r2 = parse_value("{a}").unwrap();
+    let s2 = parse_value("{b}").unwrap();
+    match transfer::corollary_4_15_union(&h, &elem, &r, &s, &r2, &s2) {
+        Ok(()) => println!(
+            "  {{H}}ʳᵉˡ({r},{r2}) ∧ {{H}}ʳᵉˡ({s},{s2}) ⇒ {{H}}ʳᵉˡ(∪,∪)  ✓"
+        ),
+        Err(e) => println!("  VIOLATION: {e}"),
+    }
+
+    // §4.4: laws discovered from types alone
+    println!("\n-- §4.4: algebraic laws derived from types, automatically --");
+    use genpar::parametricity::laws;
+    for (name, ty, eq_bounded) in laws::standard_catalog() {
+        match laws::derive_law(&ty, eq_bounded) {
+            Some(law) => println!("  {name:<4} : {ty:<24} ⟹  {law}"),
+            None => println!("  {name:<4} : {ty:<24} (no law derivable)"),
+        }
+    }
+    // …and the ∀X⁼ side condition is real:
+    let collapse = |_: &genpar_value::Value| genpar_value::Value::Int(0);
+    let a = parse_value("{1, 2}").unwrap();
+    let bb = parse_value("{2}").unwrap();
+    match laws::check_binary(&laws::ops::difference, &collapse, &a, &bb) {
+        Err(v) => println!("  − with collapsing f: {v}   (∀X⁼ earns its bound)"),
+        Ok(()) => println!("  − with collapsing f unexpectedly commuted"),
+    }
+
+    // Lemma 4.6 both directions, constructively
+    println!("\n-- Lemma 4.6: toset vs the rel extension --");
+    let sa = parse_value("{e, i, f}").unwrap();
+    let sb = parse_value("{a, b}").unwrap();
+    if let Some((l, l2)) = transfer::lemma_4_6_backward(&h, &elem, &sa, &sb) {
+        println!("  {sa} ~rel {sb} lifts to lists {l} ~⟨H⟩ {l2}");
+        println!(
+            "  toset round-trip: {} and {}",
+            l.toset().unwrap(),
+            l2.toset().unwrap()
+        );
+    }
+}

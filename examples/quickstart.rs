@@ -1,0 +1,123 @@
+//! Quickstart: the paper's Example 2.2, end to end.
+//!
+//! Builds the relations r₁, r₂, r₃ and the homomorphism h of Example 2.2,
+//! shows that `Q₁ = π₁,₃(R ⋈ R)` commutes with h on r₁ but not on r₃
+//! (and why: strong vs plain homomorphisms), and lets the dynamic
+//! genericity checker rediscover both facts automatically.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use genpar::genericity::check::{check_invariance, AlgebraQuery, CheckConfig};
+use genpar::genericity::infer_requirements;
+use genpar::mapping::extend::{relates, ExtensionMode};
+use genpar::mapping::{MappingClass, MappingFamily};
+use genpar::prelude::*;
+use genpar_algebra::catalog;
+use genpar_algebra::eval::{eval, Db};
+use genpar_value::parse::parse_value;
+
+fn main() {
+    println!("=== On Genericity and Parametricity — quickstart (Example 2.2) ===\n");
+
+    // r1 = {(e,f),(i,f),(e,j),(i,j),(f,g),(j,g)}
+    let r1 = parse_value("{(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}").unwrap();
+    // r2 = h(r1) = {(a,b),(b,c)}
+    let r2 = parse_value("{(a, b), (b, c)}").unwrap();
+    // r3 = r1 minus {(e,f),(i,f),(j,g)}
+    let r3 = parse_value("{(e, j), (i, j), (f, g)}").unwrap();
+    // h(e)=h(i)=a, h(f)=h(j)=b, h(g)=c   (letters: a=0 … e=4 f=5 g=6 i=8 j=9)
+    let h = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
+
+    let rel2 = CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2);
+    let q1 = catalog::q1();
+
+    println!("r1 = {r1}");
+    println!("r2 = {r2}");
+    println!("r3 = {r3}");
+    println!("h  = {h}\n");
+
+    // Q1 on each relation
+    for (name, r) in [("r1", &r1), ("r2", &r2), ("r3", &r3)] {
+        let db = Db::new().with("R", r.clone());
+        println!("Q1({name}) = {}", eval(&q1, &db).unwrap());
+    }
+    println!();
+
+    // h relates r1 to r2 in both modes, but r3 to r2 only in rel mode:
+    for (name, r) in [("r1", &r1), ("r3", &r3)] {
+        for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
+            println!(
+                "{mode:>6}-related({name}, r2)? {}",
+                relates(&h, &rel2, mode, r, &r2)
+            );
+        }
+    }
+    println!();
+
+    // Q1 commutes with h on r1 (h is a strong homomorphism there)…
+    let db1 = Db::new().with("R", r1.clone());
+    let db2 = Db::new().with("R", r2.clone());
+    let out1 = eval(&q1, &db1).unwrap();
+    let out2 = eval(&q1, &db2).unwrap();
+    println!(
+        "Q1(h(r1)) = h(Q1(r1))?  {}  ({out1} vs {out2})",
+        relates(&h, &rel2, ExtensionMode::Rel, &out1, &out2)
+    );
+    // …but not on r3 (h is only a plain homomorphism there):
+    let db3 = Db::new().with("R", r3.clone());
+    let out3 = eval(&q1, &db3).unwrap();
+    println!(
+        "Q1(h(r3)) = h(Q1(r3))?  {}  ({out3} vs {out2})\n",
+        relates(&h, &rel2, ExtensionMode::Rel, &out3, &out2)
+    );
+
+    // The static classifier derives Q1's genericity requirements…
+    let inferred = infer_requirements(&q1);
+    println!("static classification of Q1:");
+    println!("  rel    mode: {}", inferred.rel);
+    println!("  strong mode: {}", inferred.strong);
+
+    // …and the dynamic checker confirms / refutes per class:
+    let q = AlgebraQuery::new(q1);
+    let rel_all = check_invariance(
+        &q,
+        &rel2,
+        &rel2,
+        &MappingClass::functional(),
+        &CheckConfig {
+            families: 60,
+            inputs_per_family: 40,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\ndynamic check, rel mode, all homomorphisms: {}",
+        if rel_all.is_invariant() {
+            "no violation found".to_string()
+        } else {
+            format!("REFUTED\n  {}", rel_all.counterexample().unwrap())
+        }
+    );
+
+    let strong_fn = check_invariance(
+        &q,
+        &rel2,
+        &rel2,
+        &MappingClass::functional(),
+        &CheckConfig {
+            mode: ExtensionMode::Strong,
+            exhaustive_functions: true,
+            n_atoms: 3,
+            inputs_per_family: 15,
+            ..Default::default()
+        },
+    );
+    println!(
+        "dynamic check, strong mode, ALL functions on 3 atoms (exhaustive): {}",
+        if strong_fn.is_invariant() {
+            "invariant — Q1 is preserved by strong homomorphisms, as the paper says"
+        } else {
+            "refuted (unexpected!)"
+        }
+    );
+}

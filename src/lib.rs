@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # genpar — executable reproduction of *On Genericity and Parametricity*
+//!
+//! Umbrella crate re-exporting the whole workspace. See `README.md` for a
+//! tour and `DESIGN.md` for the paper-to-module map.
+//!
+//! ```
+//! use genpar::prelude::*;
+//! use genpar::mapping::extend::{relates, ExtensionMode};
+//! use genpar::mapping::MappingFamily;
+//! use genpar::genericity::infer_requirements;
+//! use genpar_algebra::catalog;
+//! use genpar_value::parse::parse_value;
+//!
+//! // Example 2.2's homomorphism h relates r1 to r2 in both modes…
+//! let h = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
+//! let r1 = parse_value("{(e, f), (i, f), (e, j), (i, j), (f, g), (j, g)}").unwrap();
+//! let r2 = parse_value("{(a, b), (b, c)}").unwrap();
+//! let ty = CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 2);
+//! assert!(relates(&h, &ty, ExtensionMode::Strong, &r1, &r2));
+//!
+//! // …and the classifier knows Q4 = σ_{$1=$2}(R) needs equality.
+//! let inferred = infer_requirements(&catalog::q4());
+//! assert!(inferred.rel.injective);
+//! assert!(inferred.strong.injective);
+//! ```
+
+pub use genpar_algebra as algebra;
+pub use genpar_core as genericity;
+pub use genpar_engine as engine;
+pub use genpar_lambda as lambda;
+pub use genpar_mapping as mapping;
+pub use genpar_optimizer as optimizer;
+pub use genpar_parametricity as parametricity;
+pub use genpar_value as value;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use genpar_value::{BaseType, CvType, TypeExpr, Value};
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the System F substrate: the stdlib terms
+//! agree with their Rust reference semantics on random inputs, typing is
+//! stable under instantiation, and evaluation is deterministic.
+
+use genpar::lambda::eval::{apply, eval_closed, LValue};
+use genpar::lambda::stdlib;
+use genpar::lambda::term::Term;
+use genpar::lambda::ty::Ty;
+use genpar::lambda::tyck::type_of;
+use proptest::prelude::*;
+
+fn int_list_term(ns: &[i64]) -> Term {
+    Term::list(Ty::int(), ns.iter().map(|&n| Term::Int(n)))
+}
+
+fn lv_ints(ns: &[i64]) -> LValue {
+    LValue::List(ns.iter().map(|&n| LValue::Int(n)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// append agrees with Vec concatenation.
+    #[test]
+    fn append_is_concatenation(xs in proptest::collection::vec(-5i64..5, 0..8),
+                               ys in proptest::collection::vec(-5i64..5, 0..8)) {
+        let t = Term::app(
+            Term::tyapp(stdlib::append(), Ty::int()),
+            Term::Tuple(vec![int_list_term(&xs), int_list_term(&ys)]),
+        );
+        let mut expect = xs.clone();
+        expect.extend(&ys);
+        prop_assert_eq!(eval_closed(&t).unwrap(), lv_ints(&expect));
+    }
+
+    /// count agrees with len.
+    #[test]
+    fn count_is_len(xs in proptest::collection::vec(-5i64..5, 0..10)) {
+        let t = Term::app(Term::tyapp(stdlib::count(), Ty::int()), int_list_term(&xs));
+        prop_assert_eq!(eval_closed(&t).unwrap(), LValue::Int(xs.len() as i64));
+    }
+
+    /// reverse agrees with Vec::reverse and is an involution.
+    #[test]
+    fn reverse_is_involutive(xs in proptest::collection::vec(-5i64..5, 0..8)) {
+        let rev = |l: Term| Term::app(Term::tyapp(stdlib::reverse(), Ty::int()), l);
+        let once = eval_closed(&rev(int_list_term(&xs))).unwrap();
+        let mut expect = xs.clone();
+        expect.reverse();
+        prop_assert_eq!(&once, &lv_ints(&expect));
+        let twice = eval_closed(&rev(rev(int_list_term(&xs)))).unwrap();
+        prop_assert_eq!(twice, lv_ints(&xs));
+    }
+
+    /// zip agrees with Iterator::zip (truncating).
+    #[test]
+    fn zip_is_iterator_zip(xs in proptest::collection::vec(-5i64..5, 0..6),
+                           ys in proptest::collection::vec(-5i64..5, 0..6)) {
+        let t = Term::app(
+            Term::tyapp(Term::tyapp(stdlib::zip(), Ty::int()), Ty::int()),
+            Term::Tuple(vec![int_list_term(&xs), int_list_term(&ys)]),
+        );
+        let expect = LValue::List(
+            xs.iter()
+                .zip(&ys)
+                .map(|(&a, &b)| LValue::Tuple(vec![LValue::Int(a), LValue::Int(b)]))
+                .collect(),
+        );
+        prop_assert_eq!(eval_closed(&t).unwrap(), expect);
+    }
+
+    /// concat agrees with Vec flatten.
+    #[test]
+    fn concat_is_flatten(xss in proptest::collection::vec(
+        proptest::collection::vec(-5i64..5, 0..4), 0..4)) {
+        let inner: Vec<Term> = xss.iter().map(|xs| int_list_term(xs)).collect();
+        let t = Term::app(
+            Term::tyapp(stdlib::concat(), Ty::int()),
+            Term::list(Ty::list(Ty::int()), inner),
+        );
+        let expect: Vec<i64> = xss.iter().flatten().copied().collect();
+        prop_assert_eq!(eval_closed(&t).unwrap(), lv_ints(&expect));
+    }
+
+    /// list difference agrees with retain-not-member.
+    #[test]
+    fn list_diff_is_retain(xs in proptest::collection::vec(-3i64..3, 0..8),
+                           ys in proptest::collection::vec(-3i64..3, 0..4)) {
+        let t = Term::app(
+            Term::tyapp(stdlib::list_diff(), Ty::int()),
+            Term::Tuple(vec![int_list_term(&xs), int_list_term(&ys)]),
+        );
+        let expect: Vec<i64> = xs.iter().copied().filter(|x| !ys.contains(x)).collect();
+        prop_assert_eq!(eval_closed(&t).unwrap(), lv_ints(&expect));
+    }
+
+    /// filter agrees with Vec::retain under a table predicate.
+    #[test]
+    fn filter_is_retain(xs in proptest::collection::vec(0i64..6, 0..8),
+                        keep in proptest::collection::vec(any::<bool>(), 6)) {
+        // predicate as a table over 0..6
+        let p = LValue::table(
+            (0..6).map(|i| (LValue::Int(i), LValue::Bool(keep[i as usize]))),
+        );
+        let f = eval_closed(&Term::tyapp(stdlib::filter(), Ty::int())).unwrap();
+        let partial = apply(&f, &p).unwrap();
+        let got = apply(&partial, &lv_ints(&xs)).unwrap();
+        let expect: Vec<i64> = xs.iter().copied().filter(|&x| keep[x as usize]).collect();
+        prop_assert_eq!(got, lv_ints(&expect));
+    }
+
+    /// Evaluation is deterministic and type checking is stable.
+    #[test]
+    fn deterministic_and_stably_typed(xs in proptest::collection::vec(-5i64..5, 0..6)) {
+        let t = Term::app(Term::tyapp(stdlib::reverse(), Ty::int()), int_list_term(&xs));
+        prop_assert_eq!(eval_closed(&t).unwrap(), eval_closed(&t).unwrap());
+        prop_assert_eq!(type_of(&t).unwrap(), Ty::list(Ty::int()));
+    }
+
+    /// Free theorem of count, concretely: counts of ⟨H⟩-related lists
+    /// always coincide (the "int must be constant" argument of §4.1).
+    #[test]
+    fn count_free_theorem_concrete(pairs in proptest::collection::vec((0i64..4, 0i64..4), 1..6),
+                                   picks in proptest::collection::vec(0usize..6, 0..6)) {
+        let h = pairs;
+        let related: Vec<(i64, i64)> = picks
+            .iter()
+            .map(|&i| h[i % h.len()])
+            .collect();
+        let xs: Vec<i64> = related.iter().map(|p| p.0).collect();
+        let ys: Vec<i64> = related.iter().map(|p| p.1).collect();
+        let count = |l: &[i64]| {
+            eval_closed(&Term::app(
+                Term::tyapp(stdlib::count(), Ty::int()),
+                int_list_term(l),
+            ))
+            .unwrap()
+        };
+        prop_assert_eq!(count(&xs), count(&ys));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wadler's flagship free theorem, computed entirely inside System F:
+    /// `map f ∘ reverse = reverse ∘ map f` — a consequence of reverse's
+    /// type ∀X.⟨X⟩→⟨X⟩ alone (Theorem 4.4).
+    #[test]
+    fn reverse_free_theorem(xs in proptest::collection::vec(0i64..6, 0..8),
+                            img in proptest::collection::vec(0i64..20, 6)) {
+        // f as a table over the carrier 0..6
+        let f = LValue::table((0..6).map(|i| (LValue::Int(i), LValue::Int(img[i as usize]))));
+        let rev = eval_closed(&Term::tyapp(stdlib::reverse(), Ty::int())).unwrap();
+        let map_ii = eval_closed(&Term::tyapp(
+            Term::tyapp(stdlib::map(), Ty::int()),
+            Ty::int(),
+        ))
+        .unwrap();
+        let map_f = apply(&map_ii, &f).unwrap();
+        let l = lv_ints(&xs);
+        let lhs = apply(&map_f, &apply(&rev, &l).unwrap()).unwrap();
+        let rhs = apply(&rev, &apply(&map_f, &l).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The σ free theorem of §4.3, in its directly checkable form:
+    /// `map f (filter (p ∘ f) l) = filter p (map f l)` — filter's type
+    /// ∀X.(X→bool)→⟨X⟩→⟨X⟩ forces it.
+    #[test]
+    fn filter_naturality(xs in proptest::collection::vec(0i64..6, 0..8),
+                         img in proptest::collection::vec(0i64..6, 6),
+                         keep in proptest::collection::vec(any::<bool>(), 6)) {
+        let f = LValue::table((0..6).map(|i| (LValue::Int(i), LValue::Int(img[i as usize]))));
+        let p = LValue::table((0..6).map(|i| (LValue::Int(i), LValue::Bool(keep[i as usize]))));
+        // p ∘ f as a table
+        let p_of_f = LValue::table((0..6).map(|i| {
+            (LValue::Int(i), LValue::Bool(keep[img[i as usize] as usize]))
+        }));
+        let filter_i = eval_closed(&Term::tyapp(stdlib::filter(), Ty::int())).unwrap();
+        let map_ii = eval_closed(&Term::tyapp(
+            Term::tyapp(stdlib::map(), Ty::int()),
+            Ty::int(),
+        ))
+        .unwrap();
+        let map_f = apply(&map_ii, &f).unwrap();
+        let l = lv_ints(&xs);
+        let lhs = apply(
+            &map_f,
+            &apply(&apply(&filter_i, &p_of_f).unwrap(), &l).unwrap(),
+        )
+        .unwrap();
+        let rhs = apply(
+            &apply(&filter_i, &p).unwrap(),
+            &apply(&map_f, &l).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+}

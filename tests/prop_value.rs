@@ -1,0 +1,128 @@
+//! Property-based tests of the data-model substrate: parser/printer
+//! round-trips, ordering laws, type checking of enumerated values, and
+//! the toset analogy's algebraic identities.
+
+use genpar::parametricity::transfer::toset_deep;
+use genpar::prelude::*;
+use genpar_value::enumerate::{enumerate, EnumLimits, Universe};
+use genpar_value::parse::parse_value;
+use proptest::prelude::*;
+
+/// A proptest strategy for complex values over small atoms/ints.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(|i| Value::atom(0, i)),
+        (-3i64..7).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,5}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 48, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::bag),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity on every value.
+    #[test]
+    fn display_parse_roundtrip(v in value_strategy()) {
+        let rendered = v.to_string();
+        let parsed = parse_value(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse {rendered}: {e}"));
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// Value ordering is total and antisymmetric (Ord laws spot-check).
+    #[test]
+    fn ordering_laws(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // totality & antisymmetry
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+        }
+        // transitivity (one direction)
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// The active domain of a composite contains the active domains of
+    /// its parts.
+    #[test]
+    fn adom_monotone(a in value_strategy(), b in value_strategy()) {
+        let pair = Value::tuple([a.clone(), b.clone()]);
+        let ad = pair.active_domain();
+        prop_assert!(a.active_domain().is_subset(&ad));
+        prop_assert!(b.active_domain().is_subset(&ad));
+    }
+
+    /// toset_deep is idempotent and removes all list constructors.
+    #[test]
+    fn toset_deep_idempotent(v in value_strategy()) {
+        let once = toset_deep(&v);
+        let twice = toset_deep(&once);
+        prop_assert_eq!(&once, &twice);
+        fn has_list(v: &Value) -> bool {
+            match v {
+                Value::List(_) => true,
+                Value::Tuple(vs) => vs.iter().any(has_list),
+                Value::Set(vs) => vs.iter().any(has_list),
+                Value::Bag(vs) => vs.keys().any(has_list),
+                _ => false,
+            }
+        }
+        prop_assert!(!has_list(&once));
+    }
+
+    /// toset commutes with list append at the top level (the `# ↦ ∪`
+    /// equation behind Corollary 4.15).
+    #[test]
+    fn toset_of_append_is_union(
+        xs in proptest::collection::vec((0u32..6).prop_map(|i| Value::atom(0, i)), 0..6),
+        ys in proptest::collection::vec((0u32..6).prop_map(|i| Value::atom(0, i)), 0..6),
+    ) {
+        let appended = Value::list(xs.iter().cloned().chain(ys.iter().cloned()));
+        let lhs = appended.toset().unwrap();
+        let (sx, sy) = (Value::list(xs).toset().unwrap(), Value::list(ys).toset().unwrap());
+        let rhs = Value::Set(
+            sx.as_set().unwrap().union(sy.as_set().unwrap()).cloned().collect(),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+/// Enumeration produces exactly the declared counts and only well-typed
+/// values, on a grid of small types.
+#[test]
+fn enumeration_counts_and_types() {
+    let u = Universe::atoms_and_ints(2, 1); // 2 atoms, ints {0,1}
+    let cases: Vec<(CvType, usize)> = vec![
+        (CvType::bool(), 2),
+        (CvType::int(), 2),
+        (CvType::domain(0), 2),
+        (CvType::tuple([CvType::bool(), CvType::domain(0)]), 4),
+        (CvType::set(CvType::bool()), 4),
+        (CvType::set(CvType::tuple([CvType::domain(0), CvType::domain(0)])), 16),
+        (CvType::set(CvType::set(CvType::bool())), 16),
+    ];
+    for (ty, expected) in cases {
+        let vs = enumerate(&ty, &u, EnumLimits::default()).unwrap();
+        assert_eq!(vs.len(), expected, "{ty}");
+        for v in &vs {
+            assert!(v.has_type(&ty), "{v} : {ty}");
+        }
+        // no duplicates
+        let mut sorted = vs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), expected, "{ty} has duplicates");
+    }
+}
