@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn atom_evaluates_to_relation() {
         let f = Formula::atom("R", [0, 1]);
-        assert_eq!(f.eval(&db()).unwrap(), parse_value("{(a, b), (b, c)}").unwrap());
+        assert_eq!(
+            f.eval(&db()).unwrap(),
+            parse_value("{(a, b), (b, c)}").unwrap()
+        );
     }
 
     #[test]
@@ -295,10 +298,7 @@ mod tests {
     #[test]
     fn unknown_relation_errors() {
         let f = Formula::atom("Z", [0]);
-        assert!(matches!(
-            f.eval(&db()),
-            Err(EvalError::UnknownRelation(_))
-        ));
+        assert!(matches!(f.eval(&db()), Err(EvalError::UnknownRelation(_))));
     }
 }
 
@@ -418,10 +418,7 @@ mod translation_tests {
     #[test]
     fn nested_combination() {
         // ∃x1. (R(x0,x1) ∧ S(x2)) ∨ (R(x2,...)) — build a richer one
-        let f = Formula::exists(
-            1,
-            Formula::atom("R", [0, 1]).and(Formula::atom("S", [2])),
-        );
+        let f = Formula::exists(1, Formula::atom("R", [0, 1]).and(Formula::atom("S", [2])));
         check_agree(&f);
     }
 
@@ -437,17 +434,11 @@ mod translation_tests {
     fn translated_queries_are_fully_generic_syntactically() {
         // the translation only uses π (distinct cols), ×, ∪ — i.e. the
         // Corollary 3.2 sub-language; Prop 3.3 via translation.
-        let f = Formula::exists(
-            1,
-            Formula::atom("R", [1, 0]).and(Formula::atom("S", [2])),
-        )
-        .or(Formula::exists(9, Formula::atom("R", [0, 2])).or(Formula::atom("R", [0, 2])));
+        let f = Formula::exists(1, Formula::atom("R", [1, 0]).and(Formula::atom("S", [2])))
+            .or(Formula::exists(9, Formula::atom("R", [0, 2])).or(Formula::atom("R", [0, 2])));
         // note: inner Exists(9,…) is vacuous → whole thing fails to
         // translate; use the valid part
-        let g = Formula::exists(
-            1,
-            Formula::atom("R", [1, 0]).and(Formula::atom("S", [2])),
-        );
+        let g = Formula::exists(1, Formula::atom("R", [1, 0]).and(Formula::atom("S", [2])));
         assert!(to_algebra(&f).is_none());
         let (q, _) = to_algebra(&g).unwrap();
         // no equality anywhere in the translated query

@@ -140,11 +140,61 @@ pub struct EvalStats {
 /// Evaluate `q` against `db`.
 pub fn eval(q: &Query, db: &Db) -> Result<Value, EvalError> {
     let mut stats = EvalStats::default();
-    eval_with_stats(q, db, &mut stats)
+    let out = eval_with_stats(q, db, &mut stats)?;
+    genpar_obs::counter("algebra.tuples_scanned", stats.tuples_scanned);
+    genpar_obs::counter("algebra.tuples_emitted", stats.tuples_emitted);
+    genpar_obs::counter("algebra.fn_applications", stats.fn_applications);
+    Ok(out)
 }
 
-/// Evaluate `q` against `db`, accumulating work counters.
+/// The span name of a query node's outermost operator.
+pub fn op_name(q: &Query) -> &'static str {
+    match q {
+        Query::Rel(_) => "alg.Rel",
+        Query::Lit(_) => "alg.Lit",
+        Query::Empty => "alg.Empty",
+        Query::Project(..) => "alg.Project",
+        Query::Select(..) => "alg.Select",
+        Query::SelectHat(..) => "alg.SelectHat",
+        Query::Product(..) => "alg.Product",
+        Query::Union(..) => "alg.Union",
+        Query::Intersect(..) => "alg.Intersect",
+        Query::Difference(..) => "alg.Difference",
+        Query::Join(..) => "alg.Join",
+        Query::Map(..) => "alg.Map",
+        Query::Insert(..) => "alg.Insert",
+        Query::Singleton(..) => "alg.Singleton",
+        Query::Flatten(..) => "alg.Flatten",
+        Query::Powerset(..) => "alg.Powerset",
+        Query::EqAdom(..) => "alg.EqAdom",
+        Query::Adom(..) => "alg.Adom",
+        Query::Even(..) => "alg.Even",
+        Query::NestParity(..) => "alg.NestParity",
+        Query::Complement(..) => "alg.Complement",
+        Query::TuplePair(..) => "alg.TuplePair",
+        Query::Nest(..) => "alg.Nest",
+        Query::Unnest(..) => "alg.Unnest",
+    }
+}
+
+/// Evaluate `q` against `db`, accumulating work counters. Each operator
+/// node gets an obs span (parent/child mirrors the query tree) carrying
+/// `rows_in`/`rows_out` where the operator consumes/produces sets.
 pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Value, EvalError> {
+    let mut sp = genpar_obs::span(op_name(q));
+    let out = eval_node(q, db, stats, &mut sp)?;
+    if let Value::Set(s) = &out {
+        sp.field("rows_out", s.len() as u64);
+    }
+    Ok(out)
+}
+
+fn eval_node(
+    q: &Query,
+    db: &Db,
+    stats: &mut EvalStats,
+    sp: &mut genpar_obs::SpanGuard,
+) -> Result<Value, EvalError> {
     match q {
         Query::Rel(name) => db
             .get(name)
@@ -154,6 +204,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Empty => Ok(Value::empty_set()),
         Query::Project(cols, q) => {
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut out = BTreeSet::new();
             for t in &s {
                 stats.tuples_scanned += 1;
@@ -164,6 +215,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         }
         Query::Select(p, q) => {
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut out = BTreeSet::new();
             for t in s {
                 stats.tuples_scanned += 1;
@@ -178,6 +230,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::SelectHat(i, j, q) => {
             // σ̂_{i=j}(R) = {π_ĵ(t) | t ∈ R, t.i = t.j} (Section 3.2)
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut out = BTreeSet::new();
             for t in &s {
                 stats.tuples_scanned += 1;
@@ -200,6 +253,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Product(a, b) => {
             let sa = eval_set(a, db, stats)?;
             let sb = eval_set(b, db, stats)?;
+            sp.field("rows_in", (sa.len() + sb.len()) as u64);
             let mut out = BTreeSet::new();
             for x in &sa {
                 for y in &sb {
@@ -213,6 +267,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Union(a, b) => {
             let mut sa = eval_set(a, db, stats)?;
             let sb = eval_set(b, db, stats)?;
+            sp.field("rows_in", (sa.len() + sb.len()) as u64);
             stats.tuples_scanned += (sa.len() + sb.len()) as u64;
             sa.extend(sb);
             stats.tuples_emitted += sa.len() as u64;
@@ -221,6 +276,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Intersect(a, b) => {
             let sa = eval_set(a, db, stats)?;
             let sb = eval_set(b, db, stats)?;
+            sp.field("rows_in", (sa.len() + sb.len()) as u64);
             stats.tuples_scanned += (sa.len() + sb.len()) as u64;
             let out: BTreeSet<Value> = sa.intersection(&sb).cloned().collect();
             stats.tuples_emitted += out.len() as u64;
@@ -229,6 +285,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Difference(a, b) => {
             let sa = eval_set(a, db, stats)?;
             let sb = eval_set(b, db, stats)?;
+            sp.field("rows_in", (sa.len() + sb.len()) as u64);
             stats.tuples_scanned += (sa.len() + sb.len()) as u64;
             let out: BTreeSet<Value> = sa.difference(&sb).cloned().collect();
             stats.tuples_emitted += out.len() as u64;
@@ -237,6 +294,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         Query::Join(on, a, b) => {
             let sa = eval_set(a, db, stats)?;
             let sb = eval_set(b, db, stats)?;
+            sp.field("rows_in", (sa.len() + sb.len()) as u64);
             // hash join on the first key pair, nested filter for the rest
             let mut out = BTreeSet::new();
             if let Some(&(i0, j0)) = on.first() {
@@ -279,6 +337,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         }
         Query::Map(f, q) => {
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut out = BTreeSet::new();
             for t in &s {
                 stats.tuples_scanned += 1;
@@ -374,6 +433,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         }
         Query::Nest(keys, q) => {
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut groups: BTreeMap<Vec<Value>, BTreeSet<Value>> = BTreeMap::new();
             for t in &s {
                 stats.tuples_scanned += 1;
@@ -401,6 +461,7 @@ pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Valu
         }
         Query::Unnest(col, q) => {
             let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
             let mut out = BTreeSet::new();
             for t in &s {
                 stats.tuples_scanned += 1;
@@ -503,10 +564,7 @@ pub fn eval_pred(p: &Pred, t: &Value, db: &Db) -> Result<bool, EvalError> {
 pub fn apply_fn(f: &ValueFn, v: &Value, db: &Db) -> Result<Value, EvalError> {
     match f {
         ValueFn::Identity => Ok(v.clone()),
-        ValueFn::Proj(i) => v
-            .project(*i)
-            .cloned()
-            .ok_or_else(|| shape("π (fn)", v)),
+        ValueFn::Proj(i) => v.project(*i).cloned().ok_or_else(|| shape("π (fn)", v)),
         ValueFn::Cols(cols) => project_tuple(v, cols),
         ValueFn::Const(c) => Ok(c.clone()),
         ValueFn::Compose(a, b) => {
@@ -610,7 +668,10 @@ mod tests {
         let q = Query::rel("R").select(Pred::Named("even".into(), vec![0]));
         assert_eq!(run(&q, &db), parse_value("{(2), (4)}").unwrap());
         let bad = Query::rel("R").select(Pred::Named("nope".into(), vec![0]));
-        assert_eq!(eval(&bad, &db), Err(EvalError::UnknownSymbol("nope".into())));
+        assert_eq!(
+            eval(&bad, &db),
+            Err(EvalError::UnknownSymbol("nope".into()))
+        );
     }
 
     #[test]
@@ -676,7 +737,10 @@ mod tests {
     fn insert_and_singleton_and_flatten() {
         let db = db_r("{a}");
         assert_eq!(
-            run(&Query::Insert(Value::atom(0, 1), Box::new(Query::rel("R"))), &db),
+            run(
+                &Query::Insert(Value::atom(0, 1), Box::new(Query::rel("R"))),
+                &db
+            ),
             parse_value("{a, b}").unwrap()
         );
         assert_eq!(
@@ -721,9 +785,15 @@ mod tests {
             run(&Query::Adom(Box::new(Query::rel("R"))), &db),
             parse_value("{a, b, c}").unwrap()
         );
-        assert_eq!(run(&Query::Even(Box::new(Query::rel("R"))), &db), Value::Bool(true));
+        assert_eq!(
+            run(&Query::Even(Box::new(Query::rel("R"))), &db),
+            Value::Bool(true)
+        );
         let db2 = db_r("{(a, b), (b, c), (a, c)}");
-        assert_eq!(run(&Query::Even(Box::new(Query::rel("R"))), &db2), Value::Bool(false));
+        assert_eq!(
+            run(&Query::Even(Box::new(Query::rel("R"))), &db2),
+            Value::Bool(false)
+        );
         // np: {(a,b)} has nesting depth 1 → odd
         assert_eq!(
             run(&Query::NestParity(Box::new(Query::rel("R"))), &db),
@@ -743,10 +813,7 @@ mod tests {
             eval(&Query::Complement(Box::new(Query::rel("R"))), &db),
             Err(EvalError::NoUniverse)
         );
-        let db = db_r("{a}").with_universe(
-            Universe::atoms_only(3),
-            CvType::set(CvType::domain(0)),
-        );
+        let db = db_r("{a}").with_universe(Universe::atoms_only(3), CvType::set(CvType::domain(0)));
         assert_eq!(
             run(&Query::Complement(Box::new(Query::rel("R"))), &db),
             parse_value("{b, c}").unwrap()
@@ -804,10 +871,7 @@ mod nest_tests {
         let db = db_r("{(a, 1), (a, 2), (b, 1)}");
         let q = Query::rel("R").nest([0]);
         let got = eval(&q, &db).unwrap();
-        assert_eq!(
-            got,
-            parse_value("{(a, {(1), (2)}), (b, {(1)})}").unwrap()
-        );
+        assert_eq!(got, parse_value("{(a, {(1), (2)}), (b, {(1)})}").unwrap());
     }
 
     #[test]

@@ -126,8 +126,11 @@ mod tests {
     fn compose_follows_edges() {
         let r = parse_value("{(a, b), (b, c)}").unwrap();
         assert_eq!(compose(&r, &r).unwrap(), parse_value("{(a, c)}").unwrap());
-        let empty = compose(&parse_value("{(a, b)}").unwrap(), &parse_value("{(a, b)}").unwrap())
-            .unwrap();
+        let empty = compose(
+            &parse_value("{(a, b)}").unwrap(),
+            &parse_value("{(a, b)}").unwrap(),
+        )
+        .unwrap();
         assert_eq!(empty, parse_value("{}").unwrap());
     }
 
@@ -145,10 +148,7 @@ mod tests {
     fn tc_of_a_cycle_saturates() {
         let r = parse_value("{(a, b), (b, a)}").unwrap();
         let tc = transitive_closure(&r).unwrap();
-        assert_eq!(
-            tc,
-            parse_value("{(a, b), (b, a), (a, a), (b, b)}").unwrap()
-        );
+        assert_eq!(tc, parse_value("{(a, b), (b, a), (a, a), (b, b)}").unwrap());
     }
 
     #[test]
@@ -167,10 +167,12 @@ mod tests {
                 .as_set()
                 .unwrap()
                 .iter()
-                .filter_map(|t| t.project(0).and_then(|a| match a {
-                    Value::Atom(at) => Some(at.id),
-                    _ => None,
-                }))
+                .filter_map(|t| {
+                    t.project(0).and_then(|a| match a {
+                        Value::Atom(at) => Some(at.id),
+                        _ => None,
+                    })
+                })
                 .max()
                 .unwrap_or(0);
             Ok(if max < 3 {

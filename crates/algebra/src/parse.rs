@@ -190,12 +190,13 @@ impl<'a> P<'a> {
         let Some(name) = self.ident() else {
             return Err(self.err("expected a query"));
         };
-        let unary = |p: &mut P<'a>, build: fn(Box<Query>) -> Query| -> Result<Query, QueryParseError> {
-            p.expect("(")?;
-            let q = p.query()?;
-            p.expect(")")?;
-            Ok(build(Box::new(q)))
-        };
+        let unary =
+            |p: &mut P<'a>, build: fn(Box<Query>) -> Query| -> Result<Query, QueryParseError> {
+                p.expect("(")?;
+                let q = p.query()?;
+                p.expect(")")?;
+                Ok(build(Box::new(q)))
+            };
         match name {
             "empty" => Ok(Query::Empty),
             "lit" => {

@@ -90,16 +90,14 @@ pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError
         Query::Empty => Ok(CvType::set(CvType::tuple([]))),
         Query::Project(cols, inner) => {
             let t = infer_type(inner, env)?;
-            let elems = tuple_elems(&t).ok_or_else(|| {
-                TypeInferenceError(format!("π over non-relation type {t}"))
-            })?;
+            let elems = tuple_elems(&t)
+                .ok_or_else(|| TypeInferenceError(format!("π over non-relation type {t}")))?;
             let picked: Result<Vec<CvType>, _> = cols
                 .iter()
                 .map(|&c| {
-                    elems
-                        .get(c)
-                        .cloned()
-                        .ok_or_else(|| TypeInferenceError(format!("π column ${} out of range", c + 1)))
+                    elems.get(c).cloned().ok_or_else(|| {
+                        TypeInferenceError(format!("π column ${} out of range", c + 1))
+                    })
                 })
                 .collect();
             Ok(CvType::set(CvType::Tuple(picked?)))
@@ -139,14 +137,14 @@ pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError
         }
         Query::Map(f, inner) => {
             let t = infer_type(inner, env)?;
-            let elem = set_elem(&t)
-                .ok_or_else(|| TypeInferenceError(format!("map over non-set {t}")))?;
+            let elem =
+                set_elem(&t).ok_or_else(|| TypeInferenceError(format!("map over non-set {t}")))?;
             Ok(CvType::set(fn_output_type(f, elem)?))
         }
         Query::Insert(v, inner) => {
             let t = infer_type(inner, env)?;
-            let elem = set_elem(&t)
-                .ok_or_else(|| TypeInferenceError(format!("ins into non-set {t}")))?;
+            let elem =
+                set_elem(&t).ok_or_else(|| TypeInferenceError(format!("ins into non-set {t}")))?;
             let vt = type_of_value(v);
             if *elem != vt {
                 return err(format!("ins of {vt} into set of {elem}"));
@@ -156,8 +154,8 @@ pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError
         Query::Singleton(inner) => Ok(CvType::set(infer_type(inner, env)?)),
         Query::Flatten(inner) => {
             let t = infer_type(inner, env)?;
-            let outer = set_elem(&t)
-                .ok_or_else(|| TypeInferenceError(format!("μ over non-set {t}")))?;
+            let outer =
+                set_elem(&t).ok_or_else(|| TypeInferenceError(format!("μ over non-set {t}")))?;
             match outer {
                 CvType::Set(_) => Ok(outer.clone()),
                 other => err(format!("μ over set of non-sets {other}")),
@@ -185,10 +183,7 @@ pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError
         }
         Query::Even(_) | Query::NestParity(_) => Ok(CvType::bool()),
         Query::Complement(inner) => infer_type(inner, env),
-        Query::TuplePair(a, b) => Ok(CvType::tuple([
-            infer_type(a, env)?,
-            infer_type(b, env)?,
-        ])),
+        Query::TuplePair(a, b) => Ok(CvType::tuple([infer_type(a, env)?, infer_type(b, env)?])),
         Query::Nest(keys, inner) => {
             let t = infer_type(inner, env)?;
             let elems = tuple_elems(&t)
@@ -258,9 +253,9 @@ fn fn_output_type(f: &ValueFn, input: &CvType) -> Result<CvType, TypeInferenceEr
                 let picked: Result<Vec<CvType>, _> = cols
                     .iter()
                     .map(|&c| {
-                        ts.get(c).cloned().ok_or_else(|| {
-                            TypeInferenceError(format!("column {c} out of range"))
-                        })
+                        ts.get(c)
+                            .cloned()
+                            .ok_or_else(|| TypeInferenceError(format!("column {c} out of range")))
                     })
                     .collect();
                 Ok(CvType::Tuple(picked?))
@@ -341,10 +336,7 @@ mod tests {
         let t = infer_type(&Query::rel("R").nest([0]), &env()).unwrap();
         assert_eq!(
             t,
-            CvType::set(CvType::tuple([
-                d0(),
-                CvType::set(CvType::tuple([d0()]))
-            ]))
+            CvType::set(CvType::tuple([d0(), CvType::set(CvType::tuple([d0()]))]))
         );
         let back = infer_type(&Query::rel("R").nest([0]).unnest(1), &env()).unwrap();
         assert_eq!(back, env()["R"]);
@@ -353,10 +345,7 @@ mod tests {
     #[test]
     fn map_function_types() {
         let q = Query::rel("R").map(ValueFn::Proj(0));
-        assert_eq!(
-            infer_type(&q, &env()).unwrap(),
-            CvType::set(d0())
-        );
+        assert_eq!(infer_type(&q, &env()).unwrap(), CvType::set(d0()));
         let q2 = Query::rel("R").map(ValueFn::Cols(vec![1, 0, 1]));
         assert_eq!(
             infer_type(&q2, &env()).unwrap(),

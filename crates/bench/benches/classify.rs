@@ -41,9 +41,7 @@ fn bench_static_vs_dynamic(c: &mut Criterion) {
     group.sample_size(10);
     let q = deep_query(6);
     let rel2 = CvType::relation(BaseType::Domain(DomainId(0)), 2);
-    group.bench_function("static", |b| {
-        b.iter(|| black_box(infer_requirements(&q)))
-    });
+    group.bench_function("static", |b| b.iter(|| black_box(infer_requirements(&q))));
     let aq = AlgebraQuery::new(q.clone());
     let cfg = CheckConfig {
         families: 10,
@@ -64,5 +62,9 @@ fn bench_static_vs_dynamic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classifier_throughput, bench_static_vs_dynamic);
+criterion_group!(
+    benches,
+    bench_classifier_throughput,
+    bench_static_vs_dynamic
+);
 criterion_main!(benches);

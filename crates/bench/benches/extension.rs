@@ -31,21 +31,17 @@ fn bench_relates_flat(c: &mut Criterion) {
         )
         .expect("total enough");
         for mode in [ExtensionMode::Rel, ExtensionMode::Strong] {
-            group.bench_with_input(
-                BenchmarkId::new(mode.to_string(), size),
-                &size,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(relates(
-                            black_box(&fam),
-                            &rel2(),
-                            mode,
-                            black_box(&v),
-                            black_box(&w),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode.to_string(), size), &size, |b, _| {
+                b.iter(|| {
+                    black_box(relates(
+                        black_box(&fam),
+                        &rel2(),
+                        mode,
+                        black_box(&v),
+                        black_box(&w),
+                    ))
+                })
+            });
         }
     }
     group.finish();
@@ -123,12 +119,9 @@ fn bench_strong_strategy_ablation(c: &mut Criterion) {
         let fam = random_function(13, 16);
         // random relations are rarely strong-closed; close them first
         let raw = random_rel2(4, size, 16);
-        let Some((v, w)) = genpar_core::check::strong_close(
-            &fam,
-            &rel2(),
-            &raw,
-            ExtBudget::default(),
-        ) else {
+        let Some((v, w)) =
+            genpar_core::check::strong_close(&fam, &rel2(), &raw, ExtBudget::default())
+        else {
             continue;
         };
         let mut rng = StdRng::seed_from_u64(7);

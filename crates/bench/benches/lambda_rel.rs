@@ -40,7 +40,9 @@ fn bench_normalization(c: &mut Criterion) {
 fn bench_typechecking(c: &mut Criterion) {
     let mut group = c.benchmark_group("lambda/typecheck");
     for (name, t, _) in stdlib::expected_types() {
-        group.bench_function(name, |b| b.iter(|| black_box(type_of(black_box(&t)).unwrap())));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(type_of(black_box(&t)).unwrap()))
+        });
     }
     group.finish();
 }

@@ -28,8 +28,7 @@ fn db_with(n_tuples: usize, n_atoms: u32) -> Db {
 
 /// ∃x1. R2(x0, x1) ∧-free fragment query of width 2.
 fn formula() -> Formula {
-    Formula::exists(1, Formula::atom("R2", [0, 1]))
-        .or(Formula::atom("R1", [0]))
+    Formula::exists(1, Formula::atom("R2", [0, 1])).or(Formula::atom("R1", [0]))
 }
 
 fn bench_calculus_vs_algebra(c: &mut Criterion) {

@@ -28,9 +28,7 @@ fn bench_lemma_4_6(c: &mut Criterion) {
         )
         .expect("function is total on carrier");
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
-                black_box(transfer::lemma_4_6_backward(&fam, &elem, &s, &s2).unwrap())
-            })
+            b.iter(|| black_box(transfer::lemma_4_6_backward(&fam, &elem, &s, &s2).unwrap()))
         });
     }
     group.finish();
@@ -73,5 +71,10 @@ fn bench_type_classification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lemma_4_6, bench_toset_deep, bench_type_classification);
+criterion_group!(
+    benches,
+    bench_lemma_4_6,
+    bench_toset_deep,
+    bench_type_classification
+);
 criterion_main!(benches);

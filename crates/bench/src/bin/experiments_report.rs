@@ -8,8 +8,8 @@ use genpar_algebra::catalog;
 use genpar_algebra::Query;
 use genpar_core::check::{check_invariance, AlgebraQuery, CheckConfig};
 use genpar_core::hierarchy::equality_usage;
-use genpar_core::witness;
 use genpar_core::infer_requirements;
+use genpar_core::witness;
 use genpar_engine::workload::{generate_keyed_pair, generate_table, WorkloadSpec};
 use genpar_engine::{lower, Catalog};
 use genpar_lambda::stdlib;
@@ -34,6 +34,26 @@ struct Row {
     verdict: String,
 }
 
+/// Per-experiment obs metrics: the counters recorded between two
+/// [`capture`] calls, i.e. during one experiment block.
+struct Metrics {
+    label: &'static str,
+    micros: u64,
+    counters: Vec<(String, u64)>,
+}
+
+/// Snapshot the global obs registry into a labelled metrics record and
+/// reset it, so the next experiment starts from zero.
+fn capture(metrics: &mut Vec<Metrics>, label: &'static str) {
+    let snap = genpar_obs::snapshot();
+    metrics.push(Metrics {
+        label,
+        micros: snap.uptime_micros,
+        counters: snap.counters.into_iter().collect(),
+    });
+    genpar_obs::reset();
+}
+
 fn check(rows: &mut Vec<Row>, id: &'static str, claim: &'static str, ok: bool, detail: String) {
     rows.push(Row {
         id,
@@ -44,6 +64,8 @@ fn check(rows: &mut Vec<Row>, id: &'static str, claim: &'static str, ok: bool, d
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
+    let mut metrics: Vec<Metrics> = Vec::new();
+    genpar_obs::reset();
 
     // ---------- Section 2 ----------
     {
@@ -53,20 +75,56 @@ fn main() {
         let r3 = parse_value("{(e, j), (i, j), (f, g)}").unwrap();
         let q1 = AlgebraQuery::new(catalog::q1());
         use genpar_core::check::QueryFn;
-        let ok = relates(&h, &rel2(), ExtensionMode::Rel, &q1.apply(&r1).unwrap(), &q1.apply(&r2).unwrap())
-            && !relates(&h, &rel2(), ExtensionMode::Rel, &q1.apply(&r3).unwrap(), &q1.apply(&r2).unwrap());
-        check(&mut rows, "E2.2", "Q1 commutes with h on r1 but not r3", ok, String::new());
+        let ok = relates(
+            &h,
+            &rel2(),
+            ExtensionMode::Rel,
+            &q1.apply(&r1).unwrap(),
+            &q1.apply(&r2).unwrap(),
+        ) && !relates(
+            &h,
+            &rel2(),
+            ExtensionMode::Rel,
+            &q1.apply(&r3).unwrap(),
+            &q1.apply(&r2).unwrap(),
+        );
+        check(
+            &mut rows,
+            "E2.2",
+            "Q1 commutes with h on r1 but not r3",
+            ok,
+            String::new(),
+        );
 
         let ok = relates(&h, &rel2(), ExtensionMode::Rel, &r1, &r2)
             && relates(&h, &rel2(), ExtensionMode::Strong, &r1, &r2)
             && relates(&h, &rel2(), ExtensionMode::Rel, &r3, &r2)
             && !relates(&h, &rel2(), ExtensionMode::Strong, &r3, &r2);
-        check(&mut rows, "E2.6", "rel/strong split on (r1,r2) vs (r3,r2)", ok, String::new());
+        check(
+            &mut rows,
+            "E2.6",
+            "rel/strong split on (r1,r2) vs (r3,r2)",
+            ok,
+            String::new(),
+        );
     }
+    capture(&mut metrics, "E2.2+E2.6");
     {
         let q4 = AlgebraQuery::new(catalog::q4());
-        let fail = check_invariance(&q4, &rel2(), &rel2(), &MappingClass::all(), &CheckConfig::default());
-        let hold = check_invariance(&q4, &rel2(), &rel2(), &MappingClass::injective(), &CheckConfig::default());
+        let fail = check_invariance(
+            &q4,
+            &rel2(),
+            &rel2(),
+            &MappingClass::all(),
+            &CheckConfig::default(),
+        );
+        let hold = check_invariance(
+            &q4,
+            &rel2(),
+            &rel2(),
+            &MappingClass::injective(),
+            &CheckConfig::default(),
+        );
         check(
             &mut rows,
             "E2.9",
@@ -75,6 +133,7 @@ fn main() {
             String::new(),
         );
     }
+    capture(&mut metrics, "E2.9");
     {
         let cx = witness::lemma_2_12_even(&[0, 1, 2]);
         check(
@@ -85,10 +144,14 @@ fn main() {
             format!("witness family {}", cx.family),
         );
     }
+    capture(&mut metrics, "E2.12");
 
     // ---------- Section 3 ----------
     {
-        let q = Query::rel("R").product(Query::rel("R")).project([0, 2]).union(Query::Empty);
+        let q = Query::rel("R")
+            .product(Query::rel("R"))
+            .project([0, 2])
+            .union(Query::Empty);
         let inf = infer_requirements(&q);
         check(
             &mut rows,
@@ -100,9 +163,21 @@ fn main() {
     }
     {
         let cx = witness::prop_3_4_difference(&[]);
-        check(&mut rows, "E3.4", "− not rel-fully generic", cx.mode == ExtensionMode::Rel, String::new());
+        check(
+            &mut rows,
+            "E3.4",
+            "− not rel-fully generic",
+            cx.mode == ExtensionMode::Rel,
+            String::new(),
+        );
         let cx = witness::prop_3_5_eq_adom_strong();
-        check(&mut rows, "E3.5", "eq_adom rel-fully but not strong-fully generic", cx.mode == ExtensionMode::Strong, String::new());
+        check(
+            &mut rows,
+            "E3.5",
+            "eq_adom rel-fully but not strong-fully generic",
+            cx.mode == ExtensionMode::Strong,
+            String::new(),
+        );
     }
     {
         let hat = AlgebraQuery::new(catalog::q4_hat());
@@ -114,7 +189,13 @@ fn main() {
             &MappingClass::all(),
             &CheckConfig::default().with_mode(ExtensionMode::Strong),
         );
-        check(&mut rows, "E3.6", "σ̂ is strong-fully generic (Chandra)", strong.is_invariant(), String::new());
+        check(
+            &mut rows,
+            "E3.6",
+            "σ̂ is strong-fully generic (Chandra)",
+            strong.is_invariant(),
+            String::new(),
+        );
     }
     {
         let levels: Vec<String> = catalog::all_named()
@@ -130,22 +211,41 @@ fn main() {
         );
     }
 
+    capture(&mut metrics, "E3.*");
+
     // ---------- Section 4 ----------
     {
         let mut all_ok = true;
         let mut names = Vec::new();
         for (name, term, _) in stdlib::expected_types() {
-            let cfg = RelConfig { max_list: 2, ..Default::default() };
+            let cfg = RelConfig {
+                max_list: 2,
+                ..Default::default()
+            };
             let ok = parametric(&term, cfg).is_ok();
             all_ok &= ok;
             names.push(format!("{name}:{}", if ok { "✓" } else { "✗" }));
         }
-        check(&mut rows, "E4.4", "parametricity theorem for the stdlib", all_ok, names.join(" "));
+        check(
+            &mut rows,
+            "E4.4",
+            "parametricity theorem for the stdlib",
+            all_ok,
+            names.join(" "),
+        );
     }
     {
         let catalog_cls = transfer::example_4_14_catalog();
-        let ok = catalog_cls.iter().all(|(_, t, expect)| t.classify() == *expect);
-        check(&mut rows, "E4.14", "σ LtoS, ext not, fold LtoS, …", ok, String::new());
+        let ok = catalog_cls
+            .iter()
+            .all(|(_, t, expect)| t.classify() == *expect);
+        check(
+            &mut rows,
+            "E4.14",
+            "σ LtoS, ext not, fold LtoS, …",
+            ok,
+            String::new(),
+        );
     }
     {
         let (d2, d3) = witness::prop_4_16_depth_pair();
@@ -160,13 +260,21 @@ fn main() {
         )
         .is_invariant();
         let not_parametric = d2.set_nesting_depth() % 2 != d3.set_nesting_depth() % 2;
-        check(&mut rows, "E4.16", "np fully generic but not parametric", generic && not_parametric, String::new());
+        check(
+            &mut rows,
+            "E4.16",
+            "np fully generic but not parametric",
+            generic && not_parametric,
+            String::new(),
+        );
     }
+
+    capture(&mut metrics, "E4.*");
 
     // ---------- tightest-class ladder (the §1 closing question) ----------
     {
-        use genpar_core::probe::probe_tightest;
         use genpar_core::check::CheckConfig;
+        use genpar_core::probe::probe_tightest;
         let out1 = CvType::set(CvType::tuple([CvType::domain(0)]));
         let ladder: Vec<(&str, genpar_algebra::Query, CvType)> = vec![
             ("Q3 = π1(R)", catalog::q3(), out1.clone()),
@@ -199,6 +307,7 @@ fn main() {
             format!("[{}]", lines.join("; ")),
         );
     }
+    capture(&mut metrics, "§1-probe");
 
     // ---------- print the claim table ----------
     println!("==================================================================");
@@ -216,10 +325,18 @@ fn main() {
     println!("==================================================================\n");
 
     println!("Series A: Π₁(R ∪ S) vs pushed, sweep over rows (value_range=50, arity=3)");
-    println!("{:>10} {:>16} {:>16} {:>8}", "rows", "base cells", "rewritten cells", "speedup");
+    println!(
+        "{:>10} {:>16} {:>16} {:>8}",
+        "rows", "base cells", "rewritten cells", "speedup"
+    );
     for rows_n in [1_000usize, 5_000, 20_000, 50_000] {
         let mut rng = StdRng::seed_from_u64(1);
-        let spec = WorkloadSpec { rows: rows_n, arity: 3, value_range: 50, key_on_first: false };
+        let spec = WorkloadSpec {
+            rows: rows_n,
+            arity: 3,
+            value_range: 50,
+            key_on_first: false,
+        };
         let cat = Catalog::new()
             .with(generate_table(&mut rng, "R", spec))
             .with(generate_table(&mut rng, "S", spec));
@@ -236,11 +353,21 @@ fn main() {
         );
     }
 
+    capture(&mut metrics, "Series A");
+
     println!("\nSeries B: Π₁(R ∪ S), sweep over duplication (rows=20000, arity=3)");
-    println!("{:>12} {:>16} {:>16} {:>8}", "value_range", "base cells", "rewritten cells", "speedup");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "value_range", "base cells", "rewritten cells", "speedup"
+    );
     for range in [10i64, 50, 200, 1000] {
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = WorkloadSpec { rows: 20_000, arity: 3, value_range: range, key_on_first: false };
+        let spec = WorkloadSpec {
+            rows: 20_000,
+            arity: 3,
+            value_range: range,
+            key_on_first: false,
+        };
         let cat = Catalog::new()
             .with(generate_table(&mut rng, "R", spec))
             .with(generate_table(&mut rng, "S", spec));
@@ -257,9 +384,14 @@ fn main() {
         );
     }
 
+    capture(&mut metrics, "Series B");
+
     println!("\nSeries C: Π₁(R − S) key-aware push, sweep over tuple width");
     println!("(the crossover: pushing pays only once rows are wide enough)");
-    println!("{:>8} {:>16} {:>16} {:>8}", "arity", "base cells", "rewritten cells", "speedup");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "arity", "base cells", "rewritten cells", "speedup"
+    );
     for arity in [2usize, 3, 4, 6, 8, 12] {
         let mut rng = StdRng::seed_from_u64(3);
         let (r, s) = generate_keyed_pair(&mut rng, 20_000, arity, 0.5);
@@ -281,19 +413,29 @@ fn main() {
         );
     }
 
+    capture(&mut metrics, "Series C");
+
     println!("\nSeries D: map(f)(R ∪ S) with opaque f — full-genericity law");
-    println!("{:>10} {:>16} {:>16} {:>8}", "rows", "base rows", "rewritten rows", "speedup");
+    println!(
+        "{:>10} {:>16} {:>16} {:>8}",
+        "rows", "base rows", "rewritten rows", "speedup"
+    );
     for rows_n in [1_000usize, 10_000, 50_000] {
         let mut rng = StdRng::seed_from_u64(4);
-        let spec = WorkloadSpec { rows: rows_n, arity: 2, value_range: 40, key_on_first: false };
+        let spec = WorkloadSpec {
+            rows: rows_n,
+            arity: 2,
+            value_range: 40,
+            key_on_first: false,
+        };
         let cat = Catalog::new()
             .with(generate_table(&mut rng, "R", spec))
             .with(generate_table(&mut rng, "S", spec));
-        let q = Query::rel("R").union(Query::rel("S")).map(
-            genpar_algebra::ValueFn::custom(|v| {
+        let q = Query::rel("R")
+            .union(Query::rel("S"))
+            .map(genpar_algebra::ValueFn::custom(|v| {
                 Value::tuple([v.project(0).cloned().unwrap_or(Value::Int(0))])
-            }),
-        );
+            }));
         let (opt, _) = optimize(&q, &RuleSet::standard(), &cat);
         let (_, sa) = lower(&q).unwrap().execute(&cat).unwrap();
         let (_, sb) = lower(&opt).unwrap().execute(&cat).unwrap();
@@ -306,7 +448,35 @@ fn main() {
         );
     }
 
-    let failed = rows.iter().filter(|r| r.verdict.starts_with("FAILED")).count();
+    capture(&mut metrics, "Series D");
+
+    // ---------- per-experiment metrics ----------
+    println!("\n==================================================================");
+    println!(" Per-experiment metrics (genpar-obs counters)");
+    println!("==================================================================\n");
+    for m in &metrics {
+        let line = m
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<10} {:>9.1}ms  {}",
+            m.label,
+            m.micros as f64 / 1e3,
+            if line.is_empty() {
+                "(no counters)"
+            } else {
+                &line
+            }
+        );
+    }
+
+    let failed = rows
+        .iter()
+        .filter(|r| r.verdict.starts_with("FAILED"))
+        .count();
     println!(
         "\n{} claims checked, {} reproduced, {} failed",
         rows.len(),

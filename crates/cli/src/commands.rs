@@ -22,9 +22,22 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Check { query, mode, class } => check(query, mode, class),
         Command::Probe { query, mode, arity } => probe(query, mode, *arity),
         Command::Run { query, db } => run(query, db),
-        Command::Optimize { query, db, union_key } => {
-            optimize_cmd(query, db.as_deref(), union_key.as_deref())
-        }
+        Command::Optimize {
+            query,
+            db,
+            union_key,
+        } => optimize_cmd(query, db.as_deref(), union_key.as_deref()),
+        Command::Explain {
+            query,
+            db,
+            union_key,
+        } => explain_cmd(query, db.as_deref(), union_key.as_deref()),
+        Command::Profile {
+            query,
+            db,
+            union_key,
+            json,
+        } => profile_cmd(query, db.as_deref(), union_key.as_deref(), *json),
         Command::Audit => audit(),
     }
 }
@@ -159,14 +172,11 @@ fn run(query: &str, db_path: &str) -> Result<String, CliError> {
     Ok(format!("{v}\n"))
 }
 
-fn optimize_cmd(
-    query: &str,
-    db_path: Option<&str>,
-    union_key: Option<&str>,
-) -> Result<String, CliError> {
-    let q = parse_q(query)?;
-    // catalog from db file (for cardinalities) or a nominal default
-    let catalog = match db_path {
+/// Build an execution/costing catalog: from a `.gdb` file (real
+/// cardinalities) when given, else nominal 1000-row binary tables for
+/// every relation the query mentions.
+fn build_catalog(q: &Query, db_path: Option<&str>) -> Result<Catalog, CliError> {
+    match db_path {
         Some(p) => {
             let db = dbfile::load_db(p)?;
             let mut cat = Catalog::new();
@@ -183,10 +193,9 @@ fn optimize_cmd(
                     &normalize_rel(v, arity),
                 ));
             }
-            cat
+            Ok(cat)
         }
         None => {
-            // nominal 1000-row binary tables for every referenced relation
             let mut cat = Catalog::new();
             for name in q.rel_names() {
                 let mut t = Table::new(name, Schema::uniform(CvType::int(), 2));
@@ -198,9 +207,13 @@ fn optimize_cmd(
                 }
                 cat.add(t);
             }
-            cat
+            Ok(cat)
         }
-    };
+    }
+}
+
+/// Parse an `R,S:$N` union-key assertion into rewrite constraints.
+fn build_rules(union_key: Option<&str>) -> Result<RuleSet, CliError> {
     let mut constraints = Constraints::none();
     if let Some(spec) = union_key {
         // "R,S:$1"
@@ -212,12 +225,20 @@ fn optimize_cmd(
             .and_then(|n| n.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .ok_or_else(|| CliError("--union-key wants a 1-based $N column".into()))?;
-        constraints = constraints.with_union_key(
-            tables.split(',').map(|s| s.trim().to_string()),
-            [col - 1],
-        );
+        constraints =
+            constraints.with_union_key(tables.split(',').map(|s| s.trim().to_string()), [col - 1]);
     }
-    let rules = RuleSet::with_constraints(constraints);
+    Ok(RuleSet::with_constraints(constraints))
+}
+
+fn optimize_cmd(
+    query: &str,
+    db_path: Option<&str>,
+    union_key: Option<&str>,
+) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let catalog = build_catalog(&q, db_path)?;
+    let rules = build_rules(union_key)?;
     let (chosen, trace, base_est, new_est) = optimize_costed(&q, &rules, &catalog);
     let mut out = String::new();
     let _ = writeln!(out, "original:  {q}");
@@ -233,6 +254,136 @@ fn optimize_cmd(
         base_est.cost, new_est.cost
     );
     Ok(out)
+}
+
+/// Look up a field of an obs event by key, rendered as text.
+fn event_field(e: &genpar_obs::Event, key: &str) -> String {
+    e.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.to_string())
+        .unwrap_or_default()
+}
+
+/// `explain`: the full optimizer story for one query — which Section 4.4
+/// rewrites fired (with their genericity justifications), which matched
+/// but were blocked by a side condition, what the cost model decided, and
+/// the physical plan that would run.
+fn explain_cmd(
+    query: &str,
+    db_path: Option<&str>,
+    union_key: Option<&str>,
+) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let catalog = build_catalog(&q, db_path)?;
+    let rules = build_rules(union_key)?;
+    genpar_obs::reset();
+    let (chosen, trace, base_est, new_est) = optimize_costed(&q, &rules, &catalog);
+    let snap = genpar_obs::snapshot();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "query:     {q}");
+    let _ = writeln!(out, "optimized: {chosen}");
+    let _ = writeln!(out);
+    if trace.steps.is_empty() {
+        // distinguish "nothing matched" from "matched but cost-rejected"
+        let rejected = snap.events.iter().any(|e| {
+            e.kind == "optimizer.plan_choice"
+                && event_field(e, "chosen") == "original"
+                && event_field(e, "steps") != "0"
+        });
+        if rejected {
+            let _ = writeln!(
+                out,
+                "rewrites fired but the cost model kept the original plan."
+            );
+        } else {
+            let _ = writeln!(out, "no rewrite fired.");
+        }
+    } else {
+        let _ = writeln!(out, "rewrite trace:");
+        let _ = write!(out, "{trace}");
+    }
+    // blocked rewrites: pattern matched, genericity side condition failed
+    let mut blocked: Vec<String> = Vec::new();
+    for e in snap
+        .events
+        .iter()
+        .filter(|e| e.kind == "optimizer.rewrite" && event_field(e, "fired") == "false")
+    {
+        let line = format!(
+            "  ✗ {}  blocked: {}\n      on {}",
+            event_field(e, "rule"),
+            event_field(e, "blocked_by"),
+            event_field(e, "expr"),
+        );
+        if !blocked.contains(&line) {
+            blocked.push(line);
+        }
+    }
+    if !blocked.is_empty() {
+        let _ = writeln!(out, "blocked rewrites:");
+        for line in &blocked {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "estimated cost: {:.0} → {:.0} cells",
+        base_est.cost, new_est.cost
+    );
+    let _ = writeln!(out, "\nchosen plan:");
+    match genpar_engine::lower(&chosen) {
+        Some(plan) => {
+            for line in plan.to_string().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  (complex-value query — not lowerable to the flat physical engine)"
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `profile`: optimize and execute the query with a fresh obs registry,
+/// then dump the metrics snapshot (span tree, counters, events) as an
+/// ASCII tree or JSON.
+fn profile_cmd(
+    query: &str,
+    db_path: Option<&str>,
+    union_key: Option<&str>,
+    json: bool,
+) -> Result<String, CliError> {
+    let q = parse_q(query)?;
+    let catalog = build_catalog(&q, db_path)?;
+    let rules = build_rules(union_key)?;
+    genpar_obs::reset();
+    let (chosen, _trace, _base, _new) = optimize_costed(&q, &rules, &catalog);
+    match genpar_engine::lower(&chosen) {
+        Some(plan) => {
+            plan.execute(&catalog)
+                .map_err(|e| CliError(e.to_string()))?;
+        }
+        None => {
+            // complex-value query: fall back to the algebra interpreter
+            // over the catalog's relations
+            let mut db = genpar_algebra::eval::Db::with_standard_int();
+            for t in catalog.tables() {
+                db.set(t.name.clone(), t.to_value());
+            }
+            genpar_algebra::eval::eval(&chosen, &db).map_err(|e| CliError(e.to_string()))?;
+        }
+    }
+    let snap = genpar_obs::snapshot();
+    if json {
+        Ok(format!("{}\n", snap.to_json_string()))
+    } else {
+        Ok(format!("query: {q}\n\n{}", snap.render_tree()))
+    }
 }
 
 /// Coerce a relation value to uniform-arity tuples (pad/skip oddballs) so
@@ -293,11 +444,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ex22.gdb");
         std::fs::write(&path, "R = {(e, f), (f, g)}\n").unwrap();
-        let out = run(
-            "pi[$1,$4](join[$2=$1](R, R))",
-            path.to_str().unwrap(),
-        )
-        .unwrap();
+        let out = run("pi[$1,$4](join[$2=$1](R, R))", path.to_str().unwrap()).unwrap();
         assert_eq!(out.trim(), "{(e, g)}");
     }
 
@@ -309,6 +456,51 @@ mod tests {
         // difference push only with the key flag
         let out = optimize_cmd("pi[$1](diff(R, S))", None, None).unwrap();
         assert!(out.contains("no profitable rewrite"), "{out}");
+    }
+
+    #[test]
+    fn explain_shows_trace_and_plan() {
+        let out = explain_cmd("pi[$1](union(R, S))", None, None).unwrap();
+        assert!(out.contains("ProjectThroughUnion"), "{out}");
+        assert!(out.contains("Cor 4.15"), "{out}");
+        assert!(out.contains("chosen plan:"), "{out}");
+        assert!(out.contains("Scan R"), "{out}");
+        assert!(out.contains("estimated cost"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_blocked_difference_push() {
+        // without the union-key assertion the Prop 3.4 side condition
+        // fails: the rule must show up as blocked, not fired
+        let out = explain_cmd("pi[$1](diff(R, S))", None, None).unwrap();
+        assert!(out.contains("blocked rewrites:"), "{out}");
+        assert!(out.contains("ProjectThroughDifference"), "{out}");
+        assert!(out.contains("Prop 3.4"), "{out}");
+        // with the assertion the rule fires, but on narrow 2-column
+        // tables the cost model keeps the original (the Series C
+        // crossover) — explain must say so instead of "no rewrite fired"
+        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1")).unwrap();
+        assert!(out.contains("cost model kept the original"), "{out}");
+        assert!(!out.contains("no rewrite fired"), "{out}");
+    }
+
+    #[test]
+    fn profile_renders_tree_and_json() {
+        let out = profile_cmd("pi[$1](union(R, S))", None, None, false).unwrap();
+        assert!(out.contains("spans:"), "{out}");
+        assert!(out.contains("engine.execute"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        let out = profile_cmd("pi[$1](union(R, S))", None, None, true).unwrap();
+        let parsed = genpar_obs::Json::parse(&out).expect("profile --json emits valid JSON");
+        assert!(parsed.get("counters").is_some(), "{out}");
+        assert!(parsed.get("spans").is_some(), "{out}");
+    }
+
+    #[test]
+    fn profile_falls_back_to_the_interpreter() {
+        // powerset is complex-valued — not lowerable to the flat engine
+        let out = profile_cmd("even(R)", None, None, false).unwrap();
+        assert!(out.contains("counters:"), "{out}");
     }
 
     #[test]
@@ -333,10 +525,7 @@ mod tests {
     fn execute_dispatches() {
         let out = execute(&Command::Help).unwrap();
         assert!(out.contains("USAGE"));
-        let out = execute(&Command::Classify {
-            query: "R".into(),
-        })
-        .unwrap();
+        let out = execute(&Command::Classify { query: "R".into() }).unwrap();
         assert!(out.contains("fully generic"));
     }
 }

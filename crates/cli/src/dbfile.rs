@@ -25,9 +25,8 @@ pub fn parse_db(contents: &str) -> Result<Db, CliError> {
                 lineno + 1
             )));
         }
-        let v = parse_value(value.trim()).map_err(|e| {
-            CliError(format!("db file line {}: {e}", lineno + 1))
-        })?;
+        let v = parse_value(value.trim())
+            .map_err(|e| CliError(format!("db file line {}: {e}", lineno + 1)))?;
         db.set(name, v);
     }
     Ok(db)
@@ -46,17 +45,14 @@ mod tests {
 
     #[test]
     fn parses_relations_and_comments() {
-        let db = parse_db(
-            "# Example 2.2\nR = {(e, f), (f, g)}\n\nS = {(a)}\ncounts = {1, 2, 3}\n",
-        )
-        .unwrap();
+        let db = parse_db("# Example 2.2\nR = {(e, f), (f, g)}\n\nS = {(a)}\ncounts = {1, 2, 3}\n")
+            .unwrap();
         assert_eq!(db.get("R").unwrap().len(), 2);
         assert_eq!(db.get("S").unwrap().len(), 1);
-        assert_eq!(db.get("counts").unwrap(), &Value::set([
-            Value::Int(1),
-            Value::Int(2),
-            Value::Int(3)
-        ]));
+        assert_eq!(
+            db.get("counts").unwrap(),
+            &Value::set([Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
         assert!(db.get("missing").is_none());
     }
 

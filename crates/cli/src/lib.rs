@@ -11,8 +11,13 @@
 //! genpar probe    '<query>' [--mode M]         tightest-class ladder
 //! genpar run      '<query>' --db FILE          evaluate against a database
 //! genpar optimize '<query>' [--db FILE] [--union-key R,S:$1]
+//! genpar explain  '<query>' [--db FILE] [--union-key R,S:$1]
+//! genpar profile  '<query>' [--db FILE] [--union-key R,S:$1] [--json]
 //! genpar audit                                 classify the paper's query catalog
 //! ```
+//!
+//! All commands accept `--quiet` (or `GENPAR_OBS=off`) to disable the
+//! observability layer entirely.
 //!
 //! Database files bind relation names to complex-value literals:
 //!
@@ -54,7 +59,11 @@ USAGE:
   genpar probe    '<query>' [--mode rel|strong] [--arity N]
   genpar run      '<query>' --db FILE
   genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
+  genpar explain  '<query>' [--db FILE] [--union-key R,S:$N]
+  genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json]
   genpar audit
+
+  --quiet (any command) or GENPAR_OBS=off disables observability.
 
 QUERY SYNTAX (columns are 1-based):
   R | empty | lit[{(a,b)}]
@@ -109,6 +118,26 @@ pub enum Command {
         /// Optional `R,S:$N` union-key assertion.
         union_key: Option<String>,
     },
+    /// `explain <query> ...` — rewrite trace, blocked rules, chosen plan.
+    Explain {
+        /// The query text.
+        query: String,
+        /// Optional `.gdb` file for cardinalities.
+        db: Option<String>,
+        /// Optional `R,S:$N` union-key assertion.
+        union_key: Option<String>,
+    },
+    /// `profile <query> ...` — run the query and dump the obs snapshot.
+    Profile {
+        /// The query text.
+        query: String,
+        /// Optional `.gdb` file to run against.
+        db: Option<String>,
+        /// Optional `R,S:$N` union-key assertion.
+        union_key: Option<String>,
+        /// Emit the snapshot as JSON instead of a tree.
+        json: bool,
+    },
     /// `audit` — classify the built-in paper catalog.
     Audit,
     /// `--help` or no args.
@@ -122,6 +151,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     };
     let mut rest: Vec<&String> = it.collect();
+
+    fn take_switch(rest: &mut Vec<&String>, flag: &str) -> bool {
+        match rest.iter().position(|a| a.as_str() == flag) {
+            Some(idx) => {
+                rest.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
 
     fn take_flag(rest: &mut Vec<&String>, flag: &str) -> Option<String> {
         let idx = rest.iter().position(|a| a.as_str() == flag)?;
@@ -157,7 +196,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "probe" => {
             let mode = take_flag(&mut rest, "--mode").unwrap_or_else(|| "rel".into());
             let arity = take_flag(&mut rest, "--arity")
-                .map(|a| a.parse::<usize>().map_err(|e| CliError(format!("bad --arity: {e}"))))
+                .map(|a| {
+                    a.parse::<usize>()
+                        .map_err(|e| CliError(format!("bad --arity: {e}")))
+                })
                 .transpose()?
                 .unwrap_or(2);
             let query = rest
@@ -182,7 +224,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .first()
                 .ok_or_else(|| CliError("optimize needs a query".into()))?
                 .to_string();
-            Ok(Command::Optimize { query, db, union_key })
+            Ok(Command::Optimize {
+                query,
+                db,
+                union_key,
+            })
+        }
+        "explain" => {
+            let db = take_flag(&mut rest, "--db");
+            let union_key = take_flag(&mut rest, "--union-key");
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("explain needs a query".into()))?
+                .to_string();
+            Ok(Command::Explain {
+                query,
+                db,
+                union_key,
+            })
+        }
+        "profile" => {
+            let db = take_flag(&mut rest, "--db");
+            let union_key = take_flag(&mut rest, "--union-key");
+            let json = take_switch(&mut rest, "--json");
+            let query = rest
+                .first()
+                .ok_or_else(|| CliError("profile needs a query".into()))?
+                .to_string();
+            Ok(Command::Profile {
+                query,
+                db,
+                union_key,
+                json,
+            })
         }
         other => Err(CliError(format!("unknown command '{other}' (try --help)"))),
     }
@@ -230,11 +304,39 @@ mod tests {
                 union_key: Some("R,S:$1".into())
             }
         );
+        assert_eq!(
+            parse_args(&argv(&["explain", "pi[$1](union(R, S))"])).unwrap(),
+            Command::Explain {
+                query: "pi[$1](union(R, S))".into(),
+                db: None,
+                union_key: None
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["profile", "--json", "--db", "x.gdb", "R"])).unwrap(),
+            Command::Profile {
+                query: "R".into(),
+                db: Some("x.gdb".into()),
+                union_key: None,
+                json: true
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["profile", "R"])).unwrap(),
+            Command::Profile {
+                query: "R".into(),
+                db: None,
+                union_key: None,
+                json: false
+            }
+        );
     }
 
     #[test]
     fn rejects_bad_usage() {
         assert!(parse_args(&argv(&["classify"])).is_err());
+        assert!(parse_args(&argv(&["explain"])).is_err());
+        assert!(parse_args(&argv(&["profile", "--json"])).is_err());
         assert!(parse_args(&argv(&["run", "R"])).is_err());
         assert!(parse_args(&argv(&["frobnicate"])).is_err());
         assert!(parse_args(&argv(&["probe", "--arity", "x", "R"])).is_err());

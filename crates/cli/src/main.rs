@@ -3,7 +3,13 @@
 use genpar_cli::{commands, parse_args};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --quiet (anywhere on the line) disables the observability layer,
+    // like GENPAR_OBS=off, before any command runs.
+    if args.iter().any(|a| a == "--quiet") {
+        args.retain(|a| a != "--quiet");
+        genpar_obs::set_enabled(false);
+    }
     match parse_args(&args).and_then(|cmd| commands::execute(&cmd)) {
         Ok(out) => print!("{out}"),
         Err(e) => {

@@ -1,0 +1,61 @@
+//! Integration: the quickstart flow from README.md — `explain` and
+//! `profile` against the Example 2.2 database must tell the Section 4.4
+//! optimization story end to end.
+
+use genpar_cli::{commands, parse_args};
+
+fn example_db() -> String {
+    format!(
+        "{}/../../examples/data/example_2_2.gdb",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn run(args: &[&str]) -> String {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let cmd = parse_args(&argv).expect("args parse");
+    commands::execute(&cmd).expect("command runs")
+}
+
+#[test]
+fn explain_example_2_2_names_section_4_4_rules() {
+    let db = example_db();
+    let out = run(&["explain", "pi[$1](union(r1, r3))", "--db", &db]);
+    // the fired rule, by name and by justification
+    assert!(out.contains("ProjectThroughUnion"), "{out}");
+    assert!(out.contains("Cor 4.15"), "{out}");
+    // the cost model's verdict and the physical plan it implies
+    assert!(out.contains("estimated cost"), "{out}");
+    assert!(out.contains("chosen plan:"), "{out}");
+    assert!(out.contains("Scan r1"), "{out}");
+    assert!(out.contains("Scan r3"), "{out}");
+}
+
+#[test]
+fn explain_example_2_2_blocks_difference_push_without_key() {
+    let db = example_db();
+    let out = run(&["explain", "pi[$1](diff(r1, r3))", "--db", &db]);
+    assert!(out.contains("blocked rewrites:"), "{out}");
+    assert!(out.contains("ProjectThroughDifference"), "{out}");
+    assert!(out.contains("Prop 3.4"), "{out}");
+}
+
+#[test]
+fn profile_example_2_2_reports_engine_counters() {
+    let db = example_db();
+    let out = run(&["profile", "pi[$1](union(r1, r3))", "--db", &db, "--json"]);
+    let j = genpar_obs::Json::parse(&out).expect("profile --json is valid JSON");
+    let counters = j.get("counters").expect("counters object");
+    let scanned = counters
+        .get("engine.rows_scanned")
+        .and_then(|v| v.as_int())
+        .expect("engine.rows_scanned recorded");
+    assert!(scanned > 0, "{out}");
+    assert!(
+        counters
+            .get("optimizer.rules_fired")
+            .and_then(|v| v.as_int())
+            == Some(1),
+        "{out}"
+    );
+}

@@ -14,16 +14,14 @@
 //! holds ([`strong_close`]).
 
 use crate::class::Requirements;
-use genpar_mapping::extend::{
-    postimages, preimages, sample_postimage, try_relates, ExtBudget,
-};
+use genpar_mapping::extend::{postimages, preimages, sample_postimage, try_relates, ExtBudget};
 use genpar_mapping::{ExtensionMode, MappingClass, MappingFamily};
 use genpar_value::enumerate::Universe;
 use genpar_value::random::{random_value, GenParams};
 use genpar_value::{CvType, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A query under test: a total-enough function on complex values.
@@ -193,10 +191,31 @@ pub fn check_invariance(
     class: &MappingClass,
     cfg: &CheckConfig,
 ) -> CheckOutcome {
+    let _sp = genpar_obs::span("check.invariance");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut families_seen = 0usize;
     let mut pairs = 0usize;
     let mut skipped = 0usize;
+    let mut probes = 0u64;
+
+    // Memoize query applications: generated inputs over a small carrier
+    // repeat often, and QueryFn is a pure function of its input.
+    let mut cache: BTreeMap<Value, Option<Value>> = BTreeMap::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    const CACHE_CAP: usize = 8192;
+    let mut apply = |v: &Value| -> Option<Value> {
+        if let Some(hit) = cache.get(v) {
+            cache_hits += 1;
+            return hit.clone();
+        }
+        cache_misses += 1;
+        let out = query.apply(v);
+        if cache.len() < CACHE_CAP {
+            cache.insert(v.clone(), out.clone());
+        }
+        out
+    };
 
     let family_list: Vec<MappingFamily> = if cfg.exhaustive_functions {
         class.enumerate_functions(cfg.n_atoms)
@@ -206,45 +225,73 @@ pub fn check_invariance(
             .collect()
     };
 
-    let universe =
-        Universe::atoms_and_ints(cfg.n_atoms, cfg.int_range.1).with_int_range(cfg.int_range.0, cfg.int_range.1);
+    let universe = Universe::atoms_and_ints(cfg.n_atoms, cfg.int_range.1)
+        .with_int_range(cfg.int_range.0, cfg.int_range.1);
     let params = GenParams {
         max_collection: cfg.max_collection,
     };
 
-    for family in family_list {
+    let mut witness: Option<Counterexample> = None;
+    'families: for family in family_list {
         families_seen += 1;
         for _ in 0..cfg.inputs_per_family {
-            let Some((v1, v2)) =
-                generate_related_pair(&mut rng, &family, input_ty, cfg.mode, &universe, params, cfg.budget)
-            else {
+            probes += 1;
+            let Some((v1, v2)) = generate_related_pair(
+                &mut rng, &family, input_ty, cfg.mode, &universe, params, cfg.budget,
+            ) else {
                 skipped += 1;
                 continue;
             };
-            let (Some(o1), Some(o2)) = (query.apply(&v1), query.apply(&v2)) else {
+            let (Some(o1), Some(o2)) = (apply(&v1), apply(&v2)) else {
                 skipped += 1;
                 continue;
             };
             match try_relates(&family, output_ty, cfg.mode, &o1, &o2, cfg.budget) {
                 Ok(true) => pairs += 1,
                 Ok(false) => {
-                    return CheckOutcome::Counterexample(Box::new(Counterexample {
+                    witness = Some(Counterexample {
                         family,
                         mode: cfg.mode,
                         input1: v1,
                         input2: v2,
                         output1: o1,
                         output2: o2,
-                    }))
+                    });
+                    break 'families;
                 }
                 Err(_) => skipped += 1,
             }
         }
     }
-    CheckOutcome::Invariant {
-        families: families_seen,
-        pairs,
-        skipped,
+
+    genpar_obs::counter("check.runs", 1);
+    genpar_obs::counter("check.families", families_seen as u64);
+    genpar_obs::counter("check.probes", probes);
+    genpar_obs::counter("check.pairs_verified", pairs as u64);
+    genpar_obs::counter("check.skipped", skipped as u64);
+    genpar_obs::counter("check.cache_hits", cache_hits);
+    genpar_obs::counter("check.cache_misses", cache_misses);
+
+    match witness {
+        Some(c) => {
+            genpar_obs::counter("check.witnesses", 1);
+            genpar_obs::event(
+                "check.witness",
+                [
+                    ("query", genpar_obs::FieldValue::from(query.name())),
+                    ("family", genpar_obs::FieldValue::from(c.family.to_string())),
+                    ("mode", genpar_obs::FieldValue::from(c.mode.to_string())),
+                    ("input1", genpar_obs::FieldValue::from(c.input1.to_string())),
+                    ("input2", genpar_obs::FieldValue::from(c.input2.to_string())),
+                ],
+            );
+            CheckOutcome::Counterexample(Box::new(c))
+        }
+        None => CheckOutcome::Invariant {
+            families: families_seen,
+            pairs,
+            skipped,
+        },
     }
 }
 
@@ -452,7 +499,13 @@ mod tests {
     fn q2_product_is_fully_generic_rel() {
         let q = AlgebraQuery::new(catalog::q2());
         let out_ty = CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), 4);
-        let r = check_invariance(&q, &rel2(), &out_ty, &MappingClass::all(), &cfg(ExtensionMode::Rel));
+        let r = check_invariance(
+            &q,
+            &rel2(),
+            &out_ty,
+            &MappingClass::all(),
+            &cfg(ExtensionMode::Rel),
+        );
         assert!(r.is_invariant(), "{:?}", r.counterexample());
     }
 
@@ -492,13 +545,7 @@ mod tests {
         c.exhaustive_functions = true;
         c.n_atoms = 3;
         c.inputs_per_family = 10;
-        let r = check_invariance(
-            &q,
-            &rel2(),
-            &rel2(),
-            &MappingClass::functional(),
-            &c,
-        );
+        let r = check_invariance(&q, &rel2(), &rel2(), &MappingClass::functional(), &c);
         assert!(r.is_invariant(), "{:?}", r.counterexample());
     }
 
@@ -510,7 +557,10 @@ mod tests {
         c.families = 60;
         c.inputs_per_family = 40;
         let r = check_invariance(&q, &rel2(), &rel2(), &MappingClass::functional(), &c);
-        assert!(!r.is_invariant(), "expected Q1 to break under rel homomorphisms");
+        assert!(
+            !r.is_invariant(),
+            "expected Q1 to break under rel homomorphisms"
+        );
     }
 
     #[test]
@@ -518,13 +568,18 @@ mod tests {
         // closing r3 under h must grow it to r1's closure
         let family = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
         let r3 = Value::atom_relation(&[(4, 9), (8, 9), (5, 6)]);
-        let (closed, partner) =
-            strong_close(&family, &rel2(), &r3, ExtBudget::default()).unwrap();
+        let (closed, partner) = strong_close(&family, &rel2(), &r3, ExtBudget::default()).unwrap();
         let r1 = Value::atom_relation(&[(4, 5), (8, 5), (4, 9), (8, 9), (5, 6), (9, 6)]);
         let r2 = Value::atom_relation(&[(0, 1), (1, 2)]);
         assert_eq!(closed, r1);
         assert_eq!(partner, r2);
-        assert!(relates(&family, &rel2(), ExtensionMode::Strong, &closed, &partner));
+        assert!(relates(
+            &family,
+            &rel2(),
+            ExtensionMode::Strong,
+            &closed,
+            &partner
+        ));
     }
 
     #[test]
@@ -559,7 +614,10 @@ mod tests {
                     GenParams::default(),
                     ExtBudget::default(),
                 ) {
-                    assert!(relates(&fam, &rel2(), mode, &a, &b), "{mode} {fam}: {a} vs {b}");
+                    assert!(
+                        relates(&fam, &rel2(), mode, &a, &b),
+                        "{mode} {fam}: {a} vs {b}"
+                    );
                 }
             }
         }

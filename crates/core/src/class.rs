@@ -161,8 +161,7 @@ impl Requirements {
                 _ => return false,
             }
         }
-        self.predicates.is_subset(&other.predicates)
-            && self.functions.is_subset(&other.functions)
+        self.predicates.is_subset(&other.predicates) && self.functions.is_subset(&other.functions)
     }
 
     /// Is the query fully generic under these requirements (no
@@ -289,10 +288,7 @@ mod tests {
     fn strictness_joins_upward() {
         let a = Requirements::constant(Value::Int(7), Strictness::Regular);
         let b = Requirements::constant(Value::Int(7), Strictness::Strict);
-        assert_eq!(
-            a.join(b).constants[&Value::Int(7)],
-            Strictness::Strict
-        );
+        assert_eq!(a.join(b).constants[&Value::Int(7)], Strictness::Strict);
     }
 
     #[test]
@@ -339,7 +335,10 @@ mod tests {
     #[test]
     fn to_mapping_class_roundtrip_constraints() {
         let r = Requirements::equality()
-            .join(Requirements::constant(Value::atom(0, 0), Strictness::Strict))
+            .join(Requirements::constant(
+                Value::atom(0, 0),
+                Strictness::Strict,
+            ))
             .join(Requirements::predicate("even"));
         let mc = r.to_mapping_class();
         assert!(mc.functional && mc.injective);

@@ -60,7 +60,11 @@ pub fn equality_usage(q: &Query) -> EqualityUsage {
             let mut d = cols.clone();
             d.sort_unstable();
             d.dedup();
-            let here = if d.len() == cols.len() { None } else { InOutputOnly };
+            let here = if d.len() == cols.len() {
+                None
+            } else {
+                InOutputOnly
+            };
             here.join(equality_usage(inner))
         }
         Query::Select(p, inner) => {
@@ -70,9 +74,9 @@ pub fn equality_usage(q: &Query) -> EqualityUsage {
             here.join(equality_usage(inner))
         }
         Query::SelectHat(_, _, inner) => InQueryOnly.join(equality_usage(inner)),
-        Query::Intersect(a, b) | Query::Difference(a, b) => InQueryOnly
-            .join(equality_usage(a))
-            .join(equality_usage(b)),
+        Query::Intersect(a, b) | Query::Difference(a, b) => {
+            InQueryOnly.join(equality_usage(a)).join(equality_usage(b))
+        }
         Query::Join(on, a, b) => {
             let here = if on.is_empty() { None } else { Full };
             here.join(equality_usage(a)).join(equality_usage(b))
@@ -133,7 +137,10 @@ mod tests {
     #[test]
     fn the_four_levels_are_realized() {
         assert_eq!(equality_usage(&catalog::q3()), EqualityUsage::None);
-        assert_eq!(equality_usage(&catalog::q4_hat()), EqualityUsage::InQueryOnly);
+        assert_eq!(
+            equality_usage(&catalog::q4_hat()),
+            EqualityUsage::InQueryOnly
+        );
         assert_eq!(
             equality_usage(&Query::rel("R").project([0, 0])),
             EqualityUsage::InOutputOnly
@@ -152,7 +159,10 @@ mod tests {
 
     #[test]
     fn eq_adom_is_output_only() {
-        assert_eq!(equality_usage(&catalog::eq_adom()), EqualityUsage::InOutputOnly);
+        assert_eq!(
+            equality_usage(&catalog::eq_adom()),
+            EqualityUsage::InOutputOnly
+        );
     }
 
     #[test]

@@ -107,8 +107,7 @@ fn go(q: &Query, trace: &mut Vec<String>) -> (Requirements, Requirements) {
                 sub
             } else {
                 trace.push(
-                    "π (repeated columns): emits equality in output — strong needs = (§3.2)"
-                        .into(),
+                    "π (repeated columns): emits equality in output — strong needs = (§3.2)".into(),
                 );
                 (sub.0, sub.1.join(Requirements::equality()))
             }
@@ -193,17 +192,24 @@ fn go(q: &Query, trace: &mut Vec<String>) -> (Requirements, Requirements) {
         }
         Query::Powerset(inner) => {
             let sub = go(inner, trace);
-            trace.push("℘: rel-fully generic; subsets need not be strong-closed, so strong needs =".into());
+            trace.push(
+                "℘: rel-fully generic; subsets need not be strong-closed, so strong needs =".into(),
+            );
             (sub.0, sub.1.join(Requirements::equality()))
         }
         Query::EqAdom(inner) => {
             let sub = go(inner, trace);
-            trace.push("eq_adom: rel-fully generic, not strong-fully (Prop 3.5) — strong needs =".into());
+            trace.push(
+                "eq_adom: rel-fully generic, not strong-fully (Prop 3.5) — strong needs =".into(),
+            );
             (sub.0, sub.1.join(Requirements::equality()))
         }
         Query::Adom(inner) => {
             let sub = go(inner, trace);
-            trace.push("adom: rel-fully generic; strong maximality can add foreign preimages, needs =".into());
+            trace.push(
+                "adom: rel-fully generic; strong maximality can add foreign preimages, needs ="
+                    .into(),
+            );
             (sub.0, sub.1.join(Requirements::equality()))
         }
         Query::Even(inner) => {
@@ -243,7 +249,9 @@ fn go(q: &Query, trace: &mut Vec<String>) -> (Requirements, Requirements) {
         }
         Query::Unnest(_, inner) => {
             let sub = go(inner, trace);
-            trace.push("μ (unnest): rel-fully generic; strong needs = (conservative, cf. adom)".into());
+            trace.push(
+                "μ (unnest): rel-fully generic; strong needs = (conservative, cf. adom)".into(),
+            );
             (sub.0, sub.1.join(Requirements::equality()))
         }
     }
@@ -292,7 +300,9 @@ fn fn_requirements(f: &ValueFn, trace: &mut Vec<String>) -> (Requirements, Requi
             }
         }
         ValueFn::Const(c) => {
-            trace.push(format!("map const {c}: preserves {c} (strict under strong)"));
+            trace.push(format!(
+                "map const {c}: preserves {c} (strict under strong)"
+            ));
             (
                 Requirements::constant(c.clone(), Strictness::Regular),
                 Requirements::constant(c.clone(), Strictness::Strict),
@@ -419,10 +429,7 @@ mod tests {
     fn negation_is_free_prop_2_13() {
         let q = Query::rel("R").select(Pred::Named("even".into(), vec![0]).not());
         let pos = Query::rel("R").select(Pred::Named("even".into(), vec![0]));
-        assert_eq!(
-            infer_requirements(&q).rel,
-            infer_requirements(&pos).rel
-        );
+        assert_eq!(infer_requirements(&q).rel, infer_requirements(&pos).rel);
     }
 
     #[test]
@@ -436,7 +443,11 @@ mod tests {
     #[test]
     fn trace_explains_derivation() {
         let i = infer_requirements(&catalog::q4());
-        assert!(i.trace.iter().any(|l| l.contains("needs =")), "{:?}", i.trace);
+        assert!(
+            i.trace.iter().any(|l| l.contains("needs =")),
+            "{:?}",
+            i.trace
+        );
         assert!(i.trace.iter().any(|l| l.contains("base relation")));
     }
 

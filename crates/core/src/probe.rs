@@ -112,13 +112,43 @@ pub fn probe_tightest(
     output_ty: &CvType,
     cfg: &CheckConfig,
 ) -> ProbeReport {
-    let rungs = Rung::ladder()
+    let _sp = genpar_obs::span("probe.tightest");
+    let rungs: Vec<(Rung, CheckOutcome)> = Rung::ladder()
         .into_iter()
         .map(|rung| {
+            let mut sp = genpar_obs::span("probe.rung");
             let outcome = check_invariance(query, input_ty, output_ty, &rung.class(), cfg);
+            genpar_obs::counter("probe.rungs", 1);
+            sp.field("invariant", outcome.is_invariant() as u64);
+            genpar_obs::event(
+                "probe.rung",
+                [
+                    ("query", genpar_obs::FieldValue::from(query.name())),
+                    ("rung", genpar_obs::FieldValue::from(rung.to_string())),
+                    ("mode", genpar_obs::FieldValue::from(cfg.mode.to_string())),
+                    (
+                        "invariant",
+                        genpar_obs::FieldValue::Bool(outcome.is_invariant()),
+                    ),
+                ],
+            );
             (rung, outcome)
         })
         .collect();
+    if let Some(t) = rungs
+        .iter()
+        .find(|(_, o)| o.is_invariant())
+        .map(|(r, _)| *r)
+    {
+        genpar_obs::event(
+            "probe.tightest",
+            [
+                ("query", genpar_obs::FieldValue::from(query.name())),
+                ("rung", genpar_obs::FieldValue::from(t.to_string())),
+                ("mode", genpar_obs::FieldValue::from(cfg.mode.to_string())),
+            ],
+        );
+    }
     ProbeReport {
         mode: cfg.mode,
         rungs,
@@ -173,7 +203,9 @@ mod tests {
         c.mode = ExtensionMode::Strong;
         c.n_atoms = 3;
         let report = probe_tightest(&q, &rel2(), &rel2(), &c);
-        let tightest = report.tightest().expect("Q1 is at least classically generic");
+        let tightest = report
+            .tightest()
+            .expect("Q1 is at least classically generic");
         assert!(tightest <= Rung::Functional, "got {tightest}");
     }
 

@@ -74,12 +74,36 @@ fn cells(rows: &BTreeSet<Vec<Value>>) -> u64 {
 }
 
 impl PhysicalPlan {
+    /// The obs span name of this operator node.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::Scan(_) => "plan.Scan",
+            PhysicalPlan::Values(_) => "plan.Values",
+            PhysicalPlan::Filter(..) => "plan.Filter",
+            PhysicalPlan::Project(..) => "plan.Project",
+            PhysicalPlan::HashJoin(..) => "plan.HashJoin",
+            PhysicalPlan::Product(..) => "plan.Product",
+            PhysicalPlan::Union(..) => "plan.Union",
+            PhysicalPlan::Intersect(..) => "plan.Intersect",
+            PhysicalPlan::Difference(..) => "plan.Difference",
+            PhysicalPlan::MapRows(..) => "plan.MapRows",
+        }
+    }
+
     /// Execute against a catalog, producing sorted deduplicated rows and
-    /// work counters.
+    /// work counters. The run is wrapped in an `engine.execute` obs span
+    /// and the final [`ExecStats`] are folded into `engine.*` counters.
     pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
+        let _sp = genpar_obs::span("engine.execute");
         let mut stats = ExecStats::default();
         let rows = self.run(catalog, &mut stats)?;
         stats.rows_out = rows.len() as u64;
+        genpar_obs::counter("engine.executions", 1);
+        genpar_obs::counter("engine.rows_scanned", stats.rows_scanned);
+        genpar_obs::counter("engine.rows_processed", stats.rows_processed);
+        genpar_obs::counter("engine.cells_processed", stats.cells_processed);
+        genpar_obs::counter("engine.rows_out", stats.rows_out);
+        genpar_obs::counter("engine.probes", stats.probes);
         Ok((rows.into_iter().collect(), stats))
     }
 
@@ -87,6 +111,18 @@ impl PhysicalPlan {
         &self,
         catalog: &Catalog,
         stats: &mut ExecStats,
+    ) -> Result<BTreeSet<Vec<Value>>, ExecError> {
+        let mut sp = genpar_obs::span(self.op_name());
+        let out = self.run_node(catalog, stats, &mut sp)?;
+        sp.field("rows_out", out.len() as u64);
+        Ok(out)
+    }
+
+    fn run_node(
+        &self,
+        catalog: &Catalog,
+        stats: &mut ExecStats,
+        sp: &mut genpar_obs::SpanGuard,
     ) -> Result<BTreeSet<Vec<Value>>, ExecError> {
         // helper for predicate evaluation against the algebra evaluator
         let db = genpar_algebra::Db::with_standard_int();
@@ -96,11 +132,18 @@ impl PhysicalPlan {
                     .get(name)
                     .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
                 stats.rows_scanned += t.len() as u64;
+                sp.field("rows_in", t.len() as u64);
                 Ok(t.rows().cloned().collect())
             }
-            PhysicalPlan::Values(rows) => Ok(rows.iter().cloned().collect()),
+            PhysicalPlan::Values(rows) => {
+                // a constant relation is a row source just like a scan
+                stats.rows_scanned += rows.len() as u64;
+                sp.field("rows_in", rows.len() as u64);
+                Ok(rows.iter().cloned().collect())
+            }
             PhysicalPlan::Filter(p, inner) => {
                 let input = inner.run(catalog, stats)?;
+                sp.field("rows_in", input.len() as u64);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;
@@ -116,6 +159,7 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Project(cols, inner) => {
                 let input = inner.run(catalog, stats)?;
+                sp.field("rows_in", input.len() as u64);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;
@@ -135,6 +179,7 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin(on, left, right) => {
                 let l = left.run(catalog, stats)?;
                 let r = right.run(catalog, stats)?;
+                sp.field("rows_in", (l.len() + r.len()) as u64);
                 let mut out = BTreeSet::new();
                 if let Some(&(i0, j0)) = on.first() {
                     let mut index: BTreeMap<&Value, Vec<&Vec<Value>>> = BTreeMap::new();
@@ -164,6 +209,7 @@ impl PhysicalPlan {
                     for lrow in &l {
                         for rrow in &r {
                             stats.rows_processed += 1;
+                            stats.cells_processed += (lrow.len() + rrow.len()) as u64;
                             let mut joined = lrow.clone();
                             joined.extend(rrow.iter().cloned());
                             out.insert(joined);
@@ -175,10 +221,12 @@ impl PhysicalPlan {
             PhysicalPlan::Product(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
+                sp.field("rows_in", (l.len() + r.len()) as u64);
                 let mut out = BTreeSet::new();
                 for lrow in &l {
                     for rrow in &r {
                         stats.rows_processed += 1;
+                        stats.cells_processed += (lrow.len() + rrow.len()) as u64;
                         let mut joined = lrow.clone();
                         joined.extend(rrow.iter().cloned());
                         out.insert(joined);
@@ -189,6 +237,7 @@ impl PhysicalPlan {
             PhysicalPlan::Union(a, b) => {
                 let mut l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
+                sp.field("rows_in", (l.len() + r.len()) as u64);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 l.extend(r);
@@ -197,6 +246,7 @@ impl PhysicalPlan {
             PhysicalPlan::Intersect(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
+                sp.field("rows_in", (l.len() + r.len()) as u64);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 Ok(l.intersection(&r).cloned().collect())
@@ -204,12 +254,14 @@ impl PhysicalPlan {
             PhysicalPlan::Difference(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
+                sp.field("rows_in", (l.len() + r.len()) as u64);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 Ok(l.difference(&r).cloned().collect())
             }
             PhysicalPlan::MapRows(f, inner) => {
                 let input = inner.run(catalog, stats)?;
+                sp.field("rows_in", input.len() as u64);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;
@@ -235,9 +287,9 @@ impl PhysicalPlan {
     pub fn size(&self) -> usize {
         match self {
             PhysicalPlan::Scan(_) | PhysicalPlan::Values(_) => 1,
-            PhysicalPlan::Filter(_, a) | PhysicalPlan::Project(_, a) | PhysicalPlan::MapRows(_, a) => {
-                1 + a.size()
-            }
+            PhysicalPlan::Filter(_, a)
+            | PhysicalPlan::Project(_, a)
+            | PhysicalPlan::MapRows(_, a) => 1 + a.size(),
             PhysicalPlan::HashJoin(_, a, b)
             | PhysicalPlan::Product(a, b)
             | PhysicalPlan::Union(a, b)
@@ -316,9 +368,7 @@ pub fn lower(q: &Query) -> Option<PhysicalPlan> {
         Query::Select(p, inner) => PhysicalPlan::Filter(p.clone(), Box::new(lower(inner)?)),
         Query::Product(a, b) => PhysicalPlan::Product(Box::new(lower(a)?), Box::new(lower(b)?)),
         Query::Union(a, b) => PhysicalPlan::Union(Box::new(lower(a)?), Box::new(lower(b)?)),
-        Query::Intersect(a, b) => {
-            PhysicalPlan::Intersect(Box::new(lower(a)?), Box::new(lower(b)?))
-        }
+        Query::Intersect(a, b) => PhysicalPlan::Intersect(Box::new(lower(a)?), Box::new(lower(b)?)),
         Query::Difference(a, b) => {
             PhysicalPlan::Difference(Box::new(lower(a)?), Box::new(lower(b)?))
         }
@@ -401,7 +451,7 @@ mod tests {
         let (prows, pstats) = pf.execute(&c).unwrap();
         assert_eq!(jrows, prows);
         assert_eq!(jrows.len(), 5); // keys 5..10 overlap
-        // the join does strictly less work than product+filter
+                                    // the join does strictly less work than product+filter
         let (_, jstats) = join.execute(&c).unwrap();
         assert!(jstats.rows_processed < pstats.rows_processed);
     }
@@ -473,6 +523,58 @@ mod tests {
     fn lowering_rejects_complex_value_ops() {
         assert!(lower(&Query::Powerset(Box::new(Query::rel("R")))).is_none());
         assert!(lower(&Query::Lit(Value::Int(3))).is_none());
+    }
+
+    #[test]
+    fn every_operator_populates_stats() {
+        // regression: Values used to count nothing, and Product /
+        // keyless HashJoin skipped cells_processed
+        let c = catalog();
+        let vals = PhysicalPlan::Values(vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(3), Value::Int(4)],
+        ]);
+        let (_, vstats) = vals.execute(&c).unwrap();
+        assert_eq!(vstats.rows_scanned, 2);
+        assert_eq!(vstats.rows_out, 2);
+
+        let prod = PhysicalPlan::Product(
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        let (_, pstats) = prod.execute(&c).unwrap();
+        assert_eq!(pstats.rows_processed, 100);
+        assert_eq!(pstats.cells_processed, 100 * 4, "product counts cells");
+
+        let keyless = PhysicalPlan::HashJoin(
+            vec![],
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        let (_, kstats) = keyless.execute(&c).unwrap();
+        assert_eq!(kstats.cells_processed, 100 * 4, "keyless join counts cells");
+    }
+
+    #[test]
+    fn execute_records_obs_spans() {
+        let c = catalog();
+        genpar_obs::reset();
+        let p = PhysicalPlan::Project(vec![0], Box::new(PhysicalPlan::Scan("R".into())));
+        p.execute(&c).unwrap();
+        let snap = genpar_obs::snapshot();
+        let exec = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "engine.execute")
+            .expect("engine.execute span recorded");
+        let project = exec
+            .children
+            .iter()
+            .find(|s| s.name == "plan.Project")
+            .expect("plan.Project nested under engine.execute");
+        assert_eq!(project.fields["rows_in"], 10);
+        assert_eq!(project.children[0].name, "plan.Scan");
+        assert!(snap.counters["engine.rows_scanned"] >= 10);
     }
 
     #[test]

@@ -43,9 +43,7 @@ impl Schema {
     /// Is `cols` a superset of some declared key? (Then projecting onto
     /// `cols` is injective on any instance satisfying the constraints.)
     pub fn cols_contain_key(&self, cols: &[usize]) -> bool {
-        self.keys
-            .iter()
-            .any(|k| k.iter().all(|c| cols.contains(c)))
+        self.keys.iter().any(|k| k.iter().all(|c| cols.contains(c)))
     }
 
     /// The tuple type `{(τ₁ × … × τₙ)}` of relations with this schema.
@@ -130,7 +128,9 @@ mod tests {
 
     #[test]
     fn keys_and_containment() {
-        let s = Schema::uniform(CvType::int(), 3).with_key([0]).with_key([1, 2]);
+        let s = Schema::uniform(CvType::int(), 3)
+            .with_key([0])
+            .with_key([1, 2]);
         assert!(s.cols_contain_key(&[0, 1]));
         assert!(s.cols_contain_key(&[0]));
         assert!(s.cols_contain_key(&[2, 1]));

@@ -337,7 +337,10 @@ mod tests {
 
     #[test]
     fn tables_apply_by_lookup() {
-        let f = LValue::table([(LValue::Int(1), LValue::Int(10)), (LValue::Int(2), LValue::Int(20))]);
+        let f = LValue::table([
+            (LValue::Int(1), LValue::Int(10)),
+            (LValue::Int(2), LValue::Int(20)),
+        ]);
         assert_eq!(apply(&f, &LValue::Int(2)).unwrap(), LValue::Int(20));
         assert!(apply(&f, &LValue::Int(3)).is_err());
     }

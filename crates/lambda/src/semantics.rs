@@ -140,14 +140,22 @@ mod tests {
 
     #[test]
     fn list_domains_sum_lengths() {
-        let u = SemUniverse { n_ints: 2, max_list: 2, max_dom: 4096 };
+        let u = SemUniverse {
+            n_ints: 2,
+            max_list: 2,
+            max_dom: 4096,
+        };
         // lengths 0,1,2 over 2 elements: 1 + 2 + 4 = 7
         assert_eq!(domain_size(&Ty::list(Ty::int()), u), Some(7));
     }
 
     #[test]
     fn function_domains_exponentiate() {
-        let u = SemUniverse { n_ints: 2, max_list: 1, max_dom: 4096 };
+        let u = SemUniverse {
+            n_ints: 2,
+            max_list: 1,
+            max_dom: 4096,
+        };
         // bool → int(2): 2^2 = 4
         assert_eq!(domain_size(&Ty::arrow(Ty::bool(), Ty::int()), u), Some(4));
         // all 4 tables are distinct and applicable
@@ -161,7 +169,11 @@ mod tests {
     #[test]
     fn empty_domain_function_space() {
         // int(0) → bool has exactly one function (the empty table)
-        let u = SemUniverse { n_ints: 0, max_list: 1, max_dom: 64 };
+        let u = SemUniverse {
+            n_ints: 0,
+            max_list: 1,
+            max_dom: 64,
+        };
         assert_eq!(domain_size(&Ty::arrow(Ty::int(), Ty::bool()), u), Some(1));
         // bool → int(0) has none
         assert_eq!(domain_size(&Ty::arrow(Ty::bool(), Ty::int()), u), Some(0));
@@ -169,7 +181,11 @@ mod tests {
 
     #[test]
     fn budget_respected() {
-        let u = SemUniverse { n_ints: 4, max_list: 3, max_dom: 100 };
+        let u = SemUniverse {
+            n_ints: 4,
+            max_list: 3,
+            max_dom: 100,
+        };
         // int(4) → int(4): 4^4 = 256 > 100
         assert_eq!(domain_size(&Ty::arrow(Ty::int(), Ty::int()), u), None);
     }
@@ -186,7 +202,11 @@ mod tests {
 
     #[test]
     fn higher_order_domains() {
-        let u = SemUniverse { n_ints: 2, max_list: 1, max_dom: 4096 };
+        let u = SemUniverse {
+            n_ints: 2,
+            max_list: 1,
+            max_dom: 4096,
+        };
         // (bool → bool) → bool: dom = 4 fns, cod = 2 → 2^4 = 16
         let t = Ty::arrow(Ty::arrow(Ty::bool(), Ty::bool()), Ty::bool());
         assert_eq!(domain_size(&t, u), Some(16));

@@ -153,10 +153,7 @@ pub fn zip() -> Term {
                     y(),
                     Term::lam(
                         pair_list(),
-                        Term::cons(
-                            Term::Tuple(vec![Term::Var(3), Term::Var(1)]),
-                            Term::Var(0),
-                        ),
+                        Term::cons(Term::Tuple(vec![Term::Var(3), Term::Var(1)]), Term::Var(0)),
                     ),
                 ),
                 out,

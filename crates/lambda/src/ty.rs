@@ -65,9 +65,7 @@ impl Ty {
     /// Right-nested arrows `t₁ → t₂ → … → r`.
     pub fn arrows(args: impl IntoIterator<Item = Ty>, ret: Ty) -> Ty {
         let args: Vec<Ty> = args.into_iter().collect();
-        args.into_iter()
-            .rev()
-            .fold(ret, |acc, a| Ty::arrow(a, acc))
+        args.into_iter().rev().fold(ret, |acc, a| Ty::arrow(a, acc))
     }
     /// `∀X.T`.
     pub fn forall(body: Ty) -> Ty {
@@ -277,7 +275,10 @@ mod tests {
     fn instantiate_substitutes_binder() {
         // body of ∀X. X → X  instantiated at int
         let body = Ty::arrow(Ty::Var(0), Ty::Var(0));
-        assert_eq!(body.instantiate(&Ty::int()), Ty::arrow(Ty::int(), Ty::int()));
+        assert_eq!(
+            body.instantiate(&Ty::int()),
+            Ty::arrow(Ty::int(), Ty::int())
+        );
     }
 
     #[test]
@@ -291,10 +292,7 @@ mod tests {
     #[test]
     fn shift_respects_cutoff() {
         let t = Ty::arrow(Ty::Var(0), Ty::Var(2));
-        assert_eq!(
-            t.shift_above(3, 1),
-            Ty::arrow(Ty::Var(0), Ty::Var(5))
-        );
+        assert_eq!(t.shift_above(3, 1), Ty::arrow(Ty::Var(0), Ty::Var(5)));
     }
 
     #[test]
@@ -322,9 +320,6 @@ mod tests {
     #[test]
     fn arrows_builder_right_nests() {
         let t = Ty::arrows([Ty::int(), Ty::bool()], Ty::int());
-        assert_eq!(
-            t,
-            Ty::arrow(Ty::int(), Ty::arrow(Ty::bool(), Ty::int()))
-        );
+        assert_eq!(t, Ty::arrow(Ty::int(), Ty::arrow(Ty::bool(), Ty::int())));
     }
 }

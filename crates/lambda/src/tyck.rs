@@ -91,7 +91,9 @@ fn check(t: &Term, ctx: &mut Ctx) -> Result<Ty, TyckError> {
         Term::TyApp(f, arg) => {
             if let Some(max) = arg.max_free_var() {
                 if max >= ctx.ty_eq.len() {
-                    return err(format!("type argument {arg} mentions unbound type variable"));
+                    return err(format!(
+                        "type argument {arg} mentions unbound type variable"
+                    ));
                 }
             }
             match check(f, ctx)? {
@@ -121,7 +123,9 @@ fn check(t: &Term, ctx: &mut Ctx) -> Result<Ty, TyckError> {
         Term::Nil(ty) => {
             if let Some(max) = ty.max_free_var() {
                 if max >= ctx.ty_eq.len() {
-                    return err(format!("nil annotation {ty} mentions unbound type variable"));
+                    return err(format!(
+                        "nil annotation {ty} mentions unbound type variable"
+                    ));
                 }
             }
             Ok(Ty::list(ty.clone()))
@@ -193,7 +197,10 @@ mod tests {
     fn identity_has_forall_type() {
         // I = ΛX. λx:X. x : ∀X. X → X   (Section 4.1's example)
         let i = Term::tylam(Term::lam(Ty::Var(0), Term::Var(0)));
-        assert_eq!(type_of(&i).unwrap(), Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0))));
+        assert_eq!(
+            type_of(&i).unwrap(),
+            Ty::forall(Ty::arrow(Ty::Var(0), Ty::Var(0)))
+        );
         // I[int] : int → int
         let i_int = Term::tyapp(i, Ty::int());
         assert_eq!(type_of(&i_int).unwrap(), Ty::arrow(Ty::int(), Ty::int()));
@@ -208,7 +215,10 @@ mod tests {
     #[test]
     fn application_checks_argument() {
         let f = Term::lam(Ty::int(), Term::Var(0));
-        assert_eq!(type_of(&Term::app(f.clone(), Term::Int(1))).unwrap(), Ty::int());
+        assert_eq!(
+            type_of(&Term::app(f.clone(), Term::Int(1))).unwrap(),
+            Ty::int()
+        );
         assert!(type_of(&Term::app(f, Term::Bool(true))).is_err());
         assert!(type_of(&Term::app(Term::Int(1), Term::Int(2))).is_err());
     }
@@ -252,7 +262,12 @@ mod tests {
     #[test]
     fn if_requires_bool_and_agreeing_branches() {
         assert!(type_of(&Term::if_(Term::Int(1), Term::Int(2), Term::Int(3))).is_err());
-        assert!(type_of(&Term::if_(Term::Bool(true), Term::Int(2), Term::Bool(false))).is_err());
+        assert!(type_of(&Term::if_(
+            Term::Bool(true),
+            Term::Int(2),
+            Term::Bool(false)
+        ))
+        .is_err());
         assert_eq!(
             type_of(&Term::if_(Term::Bool(true), Term::Int(2), Term::Int(3))).unwrap(),
             Ty::int()
@@ -319,7 +334,10 @@ mod tests {
 
     #[test]
     fn succ_is_int_only() {
-        assert_eq!(type_of(&Term::Succ(Box::new(Term::Int(1)))).unwrap(), Ty::int());
+        assert_eq!(
+            type_of(&Term::Succ(Box::new(Term::Int(1)))).unwrap(),
+            Ty::int()
+        );
         assert!(type_of(&Term::Succ(Box::new(Term::Bool(true)))).is_err());
     }
 }

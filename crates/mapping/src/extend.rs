@@ -53,7 +53,9 @@ pub struct ExtBudget {
 
 impl Default for ExtBudget {
     fn default() -> Self {
-        ExtBudget { max_candidates: 200_000 }
+        ExtBudget {
+            max_candidates: 200_000,
+        }
     }
 }
 
@@ -63,7 +65,10 @@ pub struct ExtError;
 
 impl fmt::Display for ExtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "extension-mode budget exhausted (nested strong maximality)")
+        write!(
+            f,
+            "extension-mode budget exhausted (nested strong maximality)"
+        )
     }
 }
 
@@ -387,12 +392,22 @@ fn images_impl(
                             .collect();
                         let wv = Value::Set(w);
                         let ok = match dir {
-                            Direction::Forward => {
-                                try_relates(family, &CvType::set((**t).clone()), mode, v, &wv, budget)?
-                            }
-                            Direction::Backward => {
-                                try_relates(family, &CvType::set((**t).clone()), mode, &wv, v, budget)?
-                            }
+                            Direction::Forward => try_relates(
+                                family,
+                                &CvType::set((**t).clone()),
+                                mode,
+                                v,
+                                &wv,
+                                budget,
+                            )?,
+                            Direction::Backward => try_relates(
+                                family,
+                                &CvType::set((**t).clone()),
+                                mode,
+                                &wv,
+                                v,
+                                budget,
+                            )?,
                         };
                         if ok {
                             out.push(wv);
@@ -556,7 +571,14 @@ fn strong_partner(
     };
     let mut closure: BTreeSet<Value> = BTreeSet::new();
     for y in &image {
-        closure.extend(images_impl(family, elem_ty, ExtensionMode::Strong, y, budget, back)?);
+        closure.extend(images_impl(
+            family,
+            elem_ty,
+            ExtensionMode::Strong,
+            y,
+            budget,
+            back,
+        )?);
     }
     let vset: BTreeSet<Value> = elems.into_iter().cloned().collect();
     if closure == vset {
@@ -596,7 +618,13 @@ mod tests {
 
     #[test]
     fn example_2_6_strong_holds_for_r1_r2() {
-        assert!(relates(&h(), &rel_ty(), ExtensionMode::Strong, &r1(), &r2()));
+        assert!(relates(
+            &h(),
+            &rel_ty(),
+            ExtensionMode::Strong,
+            &r1(),
+            &r2()
+        ));
     }
 
     #[test]
@@ -606,17 +634,41 @@ mod tests {
 
     #[test]
     fn example_2_6_strong_fails_for_r3_r2() {
-        assert!(!relates(&h(), &rel_ty(), ExtensionMode::Strong, &r3(), &r2()));
+        assert!(!relates(
+            &h(),
+            &rel_ty(),
+            ExtensionMode::Strong,
+            &r3(),
+            &r2()
+        ));
     }
 
     #[test]
     fn base_extension_uses_family() {
         let f = MappingFamily::atoms(&[(0, 1)]);
         let t = CvType::domain(0);
-        assert!(relates(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), &Value::atom(0, 1)));
-        assert!(!relates(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), &Value::atom(0, 0)));
+        assert!(relates(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::atom(0, 0),
+            &Value::atom(0, 1)
+        ));
+        assert!(!relates(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::atom(0, 0),
+            &Value::atom(0, 0)
+        ));
         // int defaults to identity
-        assert!(relates(&f, &CvType::int(), ExtensionMode::Rel, &Value::Int(5), &Value::Int(5)));
+        assert!(relates(
+            &f,
+            &CvType::int(),
+            ExtensionMode::Rel,
+            &Value::Int(5),
+            &Value::Int(5)
+        ));
     }
 
     #[test]
@@ -655,8 +707,20 @@ mod tests {
     fn empty_sets_relate() {
         let f = MappingFamily::atoms(&[(0, 1)]);
         let t = CvType::set(CvType::domain(0));
-        assert!(relates(&f, &t, ExtensionMode::Rel, &Value::empty_set(), &Value::empty_set()));
-        assert!(relates(&f, &t, ExtensionMode::Strong, &Value::empty_set(), &Value::empty_set()));
+        assert!(relates(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::empty_set(),
+            &Value::empty_set()
+        ));
+        assert!(relates(
+            &f,
+            &t,
+            ExtensionMode::Strong,
+            &Value::empty_set(),
+            &Value::empty_set()
+        ));
         assert!(!relates(
             &f,
             &t,
@@ -757,7 +821,13 @@ mod tests {
     fn mismatched_shapes_do_not_relate() {
         let f = MappingFamily::new();
         let t = CvType::set(CvType::int());
-        assert!(!relates(&f, &t, ExtensionMode::Rel, &Value::Int(1), &Value::empty_set()));
+        assert!(!relates(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::Int(1),
+            &Value::empty_set()
+        ));
         assert!(!relates(
             &f,
             &CvType::tuple([CvType::int()]),
@@ -771,8 +841,14 @@ mod tests {
     fn preimages_of_base_values() {
         let f = h();
         let t = CvType::domain(0);
-        let pre = preimages(&f, &t, ExtensionMode::Rel, &Value::atom(0, 0), ExtBudget::default())
-            .unwrap();
+        let pre = preimages(
+            &f,
+            &t,
+            ExtensionMode::Rel,
+            &Value::atom(0, 0),
+            ExtBudget::default(),
+        )
+        .unwrap();
         assert_eq!(pre, vec![Value::atom(0, 4), Value::atom(0, 8)]); // a ↤ {e,i}
     }
 

@@ -680,10 +680,7 @@ mod sample_multi_tests {
                         let w = Value::tuple([Value::atom(0, y0), Value::atom(1, y1)]);
                         let expect = fam.holds_base(&Value::atom(0, x0), &Value::atom(0, y0))
                             && fam.holds_base(&Value::atom(1, x1), &Value::atom(1, y1));
-                        assert_eq!(
-                            relates(&fam, &ty, ExtensionMode::Rel, &v, &w),
-                            expect
-                        );
+                        assert_eq!(relates(&fam, &ty, ExtensionMode::Rel, &v, &w), expect);
                     }
                 }
             }

@@ -238,10 +238,7 @@ impl Mapping {
         Mapping::from_pairs(
             self.dom_ty.clone(),
             self.cod_ty.clone(),
-            self.pairs
-                .iter()
-                .filter(|(x, _)| keep.contains(x))
-                .cloned(),
+            self.pairs.iter().filter(|(x, _)| keep.contains(x)).cloned(),
         )
     }
 }
@@ -311,7 +308,10 @@ mod tests {
     #[test]
     fn totality_and_surjectivity_are_relative_to_carriers() {
         let h = h();
-        let dom: Vec<Value> = [4u32, 5, 6, 8, 9].iter().map(|&i| Value::atom(0, i)).collect();
+        let dom: Vec<Value> = [4u32, 5, 6, 8, 9]
+            .iter()
+            .map(|&i| Value::atom(0, i))
+            .collect();
         let cod: Vec<Value> = [0u32, 1, 2].iter().map(|&i| Value::atom(0, i)).collect();
         assert!(h.is_total_on(dom.iter()));
         assert!(h.is_surjective_on(cod.iter()));
@@ -375,12 +375,9 @@ mod tests {
 
     #[test]
     fn from_fn_graph() {
-        let m = Mapping::from_fn(
-            CvType::int(),
-            CvType::int(),
-            (0..4).map(Value::Int),
-            |v| Value::Int(v.as_int().unwrap() * 2),
-        );
+        let m = Mapping::from_fn(CvType::int(), CvType::int(), (0..4).map(Value::Int), |v| {
+            Value::Int(v.as_int().unwrap() * 2)
+        });
         assert!(m.holds(&Value::Int(3), &Value::Int(6)));
         assert!(m.is_functional());
         assert!(m.is_injective());

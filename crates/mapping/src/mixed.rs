@@ -87,12 +87,7 @@ impl fmt::Display for ModedType {
 }
 
 /// Decide the mixed-mode extension relation.
-pub fn relates_mixed(
-    family: &MappingFamily,
-    ty: &ModedType,
-    a: &Value,
-    b: &Value,
-) -> bool {
+pub fn relates_mixed(family: &MappingFamily, ty: &ModedType, a: &Value, b: &Value) -> bool {
     try_relates_mixed(family, ty, a, b, ExtBudget::default())
         .expect("extension budget exhausted in mixed relates")
 }
@@ -416,7 +411,10 @@ mod tests {
         let v2 = parse_value("{{a}}").unwrap();
         let mixed = ModedType::set(
             ExtensionMode::Rel,
-            ModedType::set(ExtensionMode::Strong, ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))),
+            ModedType::set(
+                ExtensionMode::Strong,
+                ModedType::Base(BaseType::Domain(genpar_value::DomainId(0))),
+            ),
         );
         // uniform rel: holds ({e} rel-partners {a})
         assert!(relates(
@@ -446,7 +444,10 @@ mod tests {
         let f = fam();
         let mixed = ModedType::set(
             ExtensionMode::Strong,
-            ModedType::set(ExtensionMode::Rel, ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))),
+            ModedType::set(
+                ExtensionMode::Rel,
+                ModedType::Base(BaseType::Domain(genpar_value::DomainId(0))),
+            ),
         );
         // outer strong maximality over inner-rel partners: v1 must contain
         // every inner set rel-related to some element of v2.
@@ -480,11 +481,15 @@ mod tests {
     #[test]
     fn bag_and_list_nodes_pass_through() {
         let f = MappingFamily::atoms(&[(0, 1)]);
-        let m = ModedType::List(Box::new(ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))));
+        let m = ModedType::List(Box::new(ModedType::Base(BaseType::Domain(
+            genpar_value::DomainId(0),
+        ))));
         let l1 = parse_value("[a, a]").unwrap();
         let l2 = parse_value("[b, b]").unwrap();
         assert!(relates_mixed(&f, &m, &l1, &l2));
-        let b = ModedType::Bag(Box::new(ModedType::Base(BaseType::Domain(genpar_value::DomainId(0)))));
+        let b = ModedType::Bag(Box::new(ModedType::Base(BaseType::Domain(
+            genpar_value::DomainId(0),
+        ))));
         let b1 = parse_value("{|a, a|}").unwrap();
         let b2 = parse_value("{|b, b|}").unwrap();
         assert!(relates_mixed(&f, &b, &b1, &b2));

@@ -27,9 +27,7 @@ pub fn strictly_preserves_constant(family: &MappingFamily, c: &Value) -> bool {
         None => return false,
     };
     match family.get(b) {
-        crate::family::MappingRef::Finite(m) => m
-            .pairs()
-            .all(|(x, y)| (x == c) == (y == c)),
+        crate::family::MappingRef::Finite(m) => m.pairs().all(|(x, y)| (x == c) == (y == c)),
         crate::family::MappingRef::Identity => true,
     }
 }

@@ -1,0 +1,532 @@
+//! The thread-safe metrics registry: spans, counters, gauges, events.
+
+use crate::json::Json;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the bounded event ring buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A typed field value attached to events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Json {
+        match self {
+            FieldValue::U64(v) => Json::Int(*v as i128),
+            FieldValue::I64(v) => Json::Int(*v as i128),
+            FieldValue::F64(v) => Json::Num(*v),
+            FieldValue::Bool(v) => Json::Bool(*v),
+            FieldValue::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident ($conv:expr)),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> FieldValue {
+                FieldValue::$variant($conv(v))
+            }
+        }
+    )*};
+}
+
+impl_field_from! {
+    u64 => U64(|v| v),
+    u32 => U64(|v: u32| v as u64),
+    usize => U64(|v: usize| v as u64),
+    i64 => I64(|v| v),
+    i32 => I64(|v: i32| v as i64),
+    f64 => F64(|v| v),
+    bool => Bool(|v| v),
+    String => Str(|v| v),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One recorded event in the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (also counts dropped events).
+    pub seq: u64,
+    /// Microseconds since registry creation/reset.
+    pub at_micros: u64,
+    /// Event kind, e.g. `"optimizer.rewrite"`.
+    pub kind: String,
+    /// Typed payload fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::Int(self.seq as i128)),
+            ("at_micros", Json::Int(self.at_micros as i128)),
+            ("kind", Json::str(&self.kind)),
+            (
+                "fields",
+                Json::Obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Aggregated timings for one span position in the call tree.
+///
+/// Two executions of the same span name under the same parent aggregate
+/// into one node (`calls`, `total_nanos` and `fields` accumulate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanNode {
+    /// Span name, e.g. `"plan.HashJoin"`.
+    pub name: String,
+    /// Number of completed executions.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across executions (children included).
+    pub total_nanos: u64,
+    /// Accumulated numeric span fields (e.g. `rows_in`, `rows_out`).
+    pub fields: BTreeMap<String, u64>,
+    /// Child spans in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(SpanNode {
+            name: name.to_string(),
+            ..SpanNode::default()
+        });
+        self.children.last_mut().unwrap()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("calls", Json::Int(self.calls as i128)),
+            ("total_nanos", Json::Int(self.total_nanos as i128)),
+            (
+                "fields",
+                Json::Obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    events: VecDeque<Event>,
+    event_capacity: usize,
+    events_dropped: u64,
+    seq: u64,
+    root: SpanNode,
+    /// Active span-name stack per thread (for parent/child nesting).
+    stacks: HashMap<ThreadId, Vec<String>>,
+}
+
+impl Inner {
+    fn new(event_capacity: usize) -> Inner {
+        Inner {
+            epoch: Instant::now(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            events: VecDeque::new(),
+            event_capacity,
+            events_dropped: 0,
+            seq: 0,
+            root: SpanNode {
+                name: "root".to_string(),
+                ..SpanNode::default()
+            },
+            stacks: HashMap::new(),
+        }
+    }
+}
+
+struct Shared {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+/// A thread-safe metrics registry. Cloning is cheap (`Arc` handle); all
+/// clones observe the same data. Most callers use the process-wide
+/// [`global()`](crate::global) registry via the crate-level free
+/// functions, but independent registries can be created for tests.
+#[derive(Clone)]
+pub struct Registry(Arc<Shared>);
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry with the default event capacity.
+    pub fn new() -> Registry {
+        Registry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh, enabled registry with a custom event ring capacity.
+    pub fn with_event_capacity(capacity: usize) -> Registry {
+        Registry(Arc::new(Shared {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner::new(capacity.max(1))),
+        }))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // a panic while holding the metrics lock must not cascade
+        self.0.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Is instrumentation live? A single relaxed atomic load — the fast
+    /// path every recording call takes first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. When off, every recording call is a
+    /// single atomic load and an immediate return.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.0.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Discard all recorded data (counters, gauges, events, spans) and
+    /// restart the clock. The enabled flag is untouched.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        let cap = inner.event_capacity;
+        *inner = Inner::new(cap);
+    }
+
+    /// Add to a monotonic counter.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to a value.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record an event into the bounded ring buffer. When full, the
+    /// oldest event is dropped (and counted in `events_dropped`).
+    pub fn event(&self, kind: &str, fields: impl IntoIterator<Item = (&'static str, FieldValue)>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let at_micros = inner.epoch.elapsed().as_micros() as u64;
+        let seq = inner.seq;
+        inner.seq += 1;
+        if inner.events.len() >= inner.event_capacity {
+            inner.events.pop_front();
+            inner.events_dropped += 1;
+        }
+        inner.events.push_back(Event {
+            seq,
+            at_micros,
+            kind: kind.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    /// Open a timed span. Spans nest per thread: a span opened while
+    /// another is active on the same thread becomes its child in the
+    /// aggregated tree. Dropping the guard records the timing.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let depth = {
+            let mut inner = self.lock();
+            let stack = inner.stacks.entry(std::thread::current().id()).or_default();
+            stack.push(name.to_string());
+            stack.len()
+        };
+        SpanGuard {
+            active: Some(ActiveSpan {
+                registry: self.clone(),
+                depth,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    fn close_span(&self, depth: usize, elapsed: Duration, fields: &[(String, u64)]) {
+        let mut inner = self.lock();
+        let tid = std::thread::current().id();
+        let path: Vec<String> = {
+            let Some(stack) = inner.stacks.get_mut(&tid) else {
+                return; // reset() raced the guard: drop the record
+            };
+            if stack.len() < depth {
+                return; // ditto
+            }
+            let path = stack[..depth].to_vec();
+            stack.truncate(depth - 1);
+            path
+        };
+        let mut node = &mut inner.root;
+        for seg in &path {
+            node = node.child_mut(seg);
+        }
+        node.calls += 1;
+        node.total_nanos += elapsed.as_nanos() as u64;
+        for (k, v) in fields {
+            *node.fields.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            uptime_micros: inner.epoch.elapsed().as_micros() as u64,
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            events: inner.events.iter().cloned().collect(),
+            events_dropped: inner.events_dropped,
+            spans: inner.root.children.clone(),
+        }
+    }
+}
+
+struct ActiveSpan {
+    registry: Registry,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(String, u64)>,
+}
+
+/// RAII guard returned by [`Registry::span`]; records on drop. Inert when
+/// the registry is disabled.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attach (or accumulate) a numeric field on the span's tree node,
+    /// e.g. `rows_in` / `rows_out`.
+    #[inline]
+    pub fn field(&mut self, key: &str, value: u64) {
+        if let Some(a) = &mut self.active {
+            a.fields.push((key.to_string(), value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let elapsed = a.start.elapsed();
+            a.registry.close_span(a.depth, elapsed, &a.fields);
+        }
+    }
+}
+
+/// An immutable copy of a registry's state, with renderers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Microseconds since the registry was created or reset.
+    pub uptime_micros: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Ring-buffer contents, oldest first.
+    pub events: Vec<Event>,
+    /// Events discarded because the ring was full.
+    pub events_dropped: u64,
+    /// Aggregated span trees (top-level spans).
+    pub spans: Vec<SpanNode>,
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
+impl Snapshot {
+    /// Render the span trees, counters, gauges and recent events as an
+    /// indented ASCII tree.
+    pub fn render_tree(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for (i, s) in self.spans.iter().enumerate() {
+                render_span(&mut out, s, "", i + 1 == self.spans.len());
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "events ({} recorded, {} dropped):",
+                self.events.len(),
+                self.events_dropped
+            );
+            for e in &self.events {
+                let fields = e
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "  [{:>6}µs] {} {}", e.at_micros, e.kind, fields);
+            }
+        }
+        out
+    }
+
+    /// The snapshot as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("uptime_micros", Json::Int(self.uptime_micros as i128)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                        .collect(),
+                ),
+            ),
+            ("events_dropped", Json::Int(self.events_dropped as i128)),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(Event::to_json).collect()),
+            ),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The snapshot as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+fn render_span(out: &mut String, node: &SpanNode, prefix: &str, last: bool) {
+    use std::fmt::Write as _;
+    let branch = if last { "└─ " } else { "├─ " };
+    let fields = if node.fields.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = node
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("  [{}]", parts.join(" "))
+    };
+    let _ = writeln!(
+        out,
+        "{prefix}{branch}{}  calls={} total={}{}",
+        node.name,
+        node.calls,
+        fmt_nanos(node.total_nanos),
+        fields
+    );
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, c) in node.children.iter().enumerate() {
+        render_span(out, c, &child_prefix, i + 1 == node.children.len());
+    }
+}

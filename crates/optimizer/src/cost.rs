@@ -37,9 +37,17 @@ pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
                 .get(n)
                 .map(|t| (t.len() as f64, t.schema.arity() as f64))
                 .unwrap_or((0.0, 1.0));
-            Estimate { rows, width, cost: 0.0 }
+            Estimate {
+                rows,
+                width,
+                cost: 0.0,
+            }
         }
-        Query::Empty => Estimate { rows: 0.0, width: 1.0, cost: 0.0 },
+        Query::Empty => Estimate {
+            rows: 0.0,
+            width: 1.0,
+            cost: 0.0,
+        },
         Query::Lit(v) => Estimate {
             rows: v.len() as f64,
             width: 1.0,
@@ -118,7 +126,11 @@ pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
         // complex-value operators: coarse defaults
         _ => {
             let arity = arity_of(q, catalog).unwrap_or(1) as f64;
-            Estimate { rows: 100.0, width: arity, cost: 100.0 * arity }
+            Estimate {
+                rows: 100.0,
+                width: arity,
+                cost: 100.0 * arity,
+            }
         }
     }
 }
@@ -138,9 +150,7 @@ fn selectivity(p: &Pred) -> f64 {
 impl Estimate {
     /// Sanity: columns mentioned by a predicate are within the width.
     pub fn covers_pred(&self, p: &Pred) -> bool {
-        pred_columns(p)
-            .into_iter()
-            .all(|c| (c as f64) < self.width)
+        pred_columns(p).into_iter().all(|c| (c as f64) < self.width)
     }
 }
 
@@ -151,12 +161,35 @@ pub fn optimize_costed(
     rules: &RuleSet,
     catalog: &Catalog,
 ) -> (Query, RewriteTrace, Estimate, Estimate) {
+    let _sp = genpar_obs::span("optimizer.costed");
     let base_est = estimate(q, catalog);
     let (rewritten, trace) = optimize(q, rules, catalog);
     let new_est = estimate(&rewritten, catalog);
-    if new_est.cost < base_est.cost {
+    let keep_rewrite = new_est.cost < base_est.cost;
+    genpar_obs::event(
+        "optimizer.plan_choice",
+        [
+            (
+                "chosen",
+                genpar_obs::FieldValue::from(if keep_rewrite {
+                    "rewritten"
+                } else {
+                    "original"
+                }),
+            ),
+            ("base_cost", genpar_obs::FieldValue::F64(base_est.cost)),
+            ("new_cost", genpar_obs::FieldValue::F64(new_est.cost)),
+            (
+                "steps",
+                genpar_obs::FieldValue::U64(trace.steps.len() as u64),
+            ),
+        ],
+    );
+    if keep_rewrite {
+        genpar_obs::counter("optimizer.costed_rewrite_kept", 1);
         (rewritten, trace, base_est, new_est)
     } else {
+        genpar_obs::counter("optimizer.costed_rewrite_rejected", 1);
         (q.clone(), RewriteTrace::default(), base_est, new_est)
     }
 }

@@ -3,6 +3,7 @@
 use crate::rules::{arity_of, base_tables, pred_columns, Rule, RuleSet};
 use genpar_algebra::{Pred, Query};
 use genpar_engine::Catalog;
+use genpar_obs::FieldValue;
 use std::fmt;
 
 /// One recorded rewrite step.
@@ -14,6 +15,10 @@ pub struct RewriteStep {
     pub before: String,
     /// Rendering after.
     pub after: String,
+    /// Model cost of the subexpression before the rewrite.
+    pub cost_before: f64,
+    /// Model cost after.
+    pub cost_after: f64,
 }
 
 /// The full trace of an optimization run.
@@ -28,10 +33,12 @@ impl fmt::Display for RewriteTrace {
         for (i, s) in self.steps.iter().enumerate() {
             writeln!(
                 f,
-                "{:>2}. {}  [{}]\n      {}  ⇒  {}",
+                "{:>2}. {}  [{}]  (cost {:.1} → {:.1})\n      {}  ⇒  {}",
                 i + 1,
                 s.rule,
                 s.rule.justification(),
+                s.cost_before,
+                s.cost_after,
                 s.before,
                 s.after
             )?;
@@ -42,40 +49,50 @@ impl fmt::Display for RewriteTrace {
 
 /// Optimize a query under a rule set, returning the rewritten query and
 /// the trace. Applies rules bottom-up to a fixpoint (bounded).
-pub fn optimize(
-    q: &Query,
-    rules: &RuleSet,
-    catalog: &Catalog,
-) -> (Query, RewriteTrace) {
+pub fn optimize(q: &Query, rules: &RuleSet, catalog: &Catalog) -> (Query, RewriteTrace) {
+    let _sp = genpar_obs::span("optimizer.optimize");
     let mut trace = RewriteTrace::default();
     let mut current = q.clone();
     for _ in 0..32 {
+        genpar_obs::counter("optimizer.passes", 1);
         let (next, changed) = pass(&current, rules, catalog, &mut trace);
         current = next;
         if !changed {
             break;
         }
     }
+    genpar_obs::counter("optimizer.rules_fired", trace.steps.len() as u64);
     (current, trace)
 }
 
 /// One bottom-up pass; returns the (possibly) rewritten tree and whether
 /// anything fired.
-fn pass(
-    q: &Query,
-    rules: &RuleSet,
-    catalog: &Catalog,
-    trace: &mut RewriteTrace,
-) -> (Query, bool) {
+fn pass(q: &Query, rules: &RuleSet, catalog: &Catalog, trace: &mut RewriteTrace) -> (Query, bool) {
     // rewrite children first
     let (node, mut changed) = map_children(q, |c| pass(c, rules, catalog, trace));
     // then try rules at this node
     for rule in &rules.rules {
         if let Some(next) = try_rule(*rule, &node, rules, catalog) {
+            let cost_before = crate::cost::estimate(&node, catalog).cost;
+            let cost_after = crate::cost::estimate(&next, catalog).cost;
+            genpar_obs::event(
+                "optimizer.rewrite",
+                [
+                    ("rule", FieldValue::from(rule.to_string())),
+                    ("fired", FieldValue::Bool(true)),
+                    ("justification", FieldValue::from(rule.justification())),
+                    ("cost_before", FieldValue::F64(cost_before)),
+                    ("cost_after", FieldValue::F64(cost_after)),
+                    ("before", FieldValue::from(node.to_string())),
+                    ("after", FieldValue::from(next.to_string())),
+                ],
+            );
             trace.steps.push(RewriteStep {
                 rule: *rule,
                 before: node.to_string(),
                 after: next.to_string(),
+                cost_before,
+                cost_after,
             });
             changed = true;
             return (next, changed);
@@ -84,10 +101,7 @@ fn pass(
     (node, changed)
 }
 
-fn map_children(
-    q: &Query,
-    mut f: impl FnMut(&Query) -> (Query, bool),
-) -> (Query, bool) {
+fn map_children(q: &Query, mut f: impl FnMut(&Query) -> (Query, bool)) -> (Query, bool) {
     macro_rules! one {
         ($ctor:expr, $inner:expr) => {{
             let (i, c) = f($inner);
@@ -126,7 +140,10 @@ fn map_children(
         Query::Join(on, a, b) => {
             let (a2, ca) = f(a);
             let (b2, cb) = f(b);
-            (Query::Join(on.clone(), Box::new(a2), Box::new(b2)), ca || cb)
+            (
+                Query::Join(on.clone(), Box::new(a2), Box::new(b2)),
+                ca || cb,
+            )
         }
         Query::Nest(keys, inner) => {
             let (i, c) = f(inner);
@@ -152,6 +169,22 @@ fn map_children(
     }
 }
 
+/// Record a pattern match whose genericity side condition failed: the
+/// rule's shape applied but the semantic precondition (a key constraint,
+/// predicate locality, a projection shape) did not hold.
+fn blocked(rule: Rule, q: &Query, reason: &'static str) {
+    genpar_obs::counter("optimizer.rules_blocked", 1);
+    genpar_obs::event(
+        "optimizer.rewrite",
+        [
+            ("rule", FieldValue::from(rule.to_string())),
+            ("fired", FieldValue::Bool(false)),
+            ("blocked_by", FieldValue::from(reason)),
+            ("expr", FieldValue::from(q.to_string())),
+        ],
+    );
+}
+
 fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option<Query> {
     match (rule, q) {
         (Rule::FilterFuse, Query::Select(p, inner)) => {
@@ -166,8 +199,7 @@ fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option
         }
         (Rule::ProjectCascade, Query::Project(c1, inner)) => {
             if let Query::Project(c2, inner2) = &**inner {
-                let composed: Option<Vec<usize>> =
-                    c1.iter().map(|&i| c2.get(i).copied()).collect();
+                let composed: Option<Vec<usize>> = c1.iter().map(|&i| c2.get(i).copied()).collect();
                 Some(Query::Project(composed?, inner2.clone()))
             } else {
                 None
@@ -193,6 +225,7 @@ fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option
                         b.clone(),
                     ))
                 } else {
+                    blocked(rule, q, "predicate touches right operand columns");
                     None
                 }
             } else {
@@ -221,6 +254,7 @@ fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option
                         Box::new(Query::Project(cols.clone(), b.clone())),
                     ))
                 } else {
+                    blocked(rule, q, "projected columns are not a union key (Prop 3.4)");
                     None
                 }
             } else {
@@ -243,7 +277,10 @@ fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option
                 let cols = match f {
                     genpar_algebra::ValueFn::Cols(cols) => cols.clone(),
                     genpar_algebra::ValueFn::Proj(i) => vec![*i],
-                    _ => return None,
+                    _ => {
+                        blocked(rule, q, "map function is not a column projection");
+                        return None;
+                    }
                 };
                 let mut tables = base_tables(a)?;
                 tables.extend(base_tables(b)?);
@@ -253,6 +290,7 @@ fn try_rule(rule: Rule, q: &Query, rules: &RuleSet, catalog: &Catalog) -> Option
                         Box::new(Query::Map(f.clone(), b.clone())),
                     ))
                 } else {
+                    blocked(rule, q, "mapped columns are not a union key (Prop 3.4)");
                     None
                 }
             } else {
@@ -323,7 +361,10 @@ mod tests {
         let q = Query::rel("R").union(Query::rel("S")).project([0]);
         let (opt, trace) = optimize(&q, &RuleSet::standard(), &catalog);
         assert!(matches!(opt, Query::Union(..)), "{opt}");
-        assert!(trace.steps.iter().any(|s| s.rule == Rule::ProjectThroughUnion));
+        assert!(trace
+            .steps
+            .iter()
+            .any(|s| s.rule == Rule::ProjectThroughUnion));
         assert_equivalent(&q, &opt, &catalog);
     }
 
@@ -407,7 +448,10 @@ mod tests {
             .select(Pred::eq_const(1, Value::Int(3)));
         let (opt2, trace2) = optimize(&q2, &RuleSet::standard(), &catalog);
         assert!(
-            trace2.steps.iter().any(|s| s.rule == Rule::FilterThroughProduct),
+            trace2
+                .steps
+                .iter()
+                .any(|s| s.rule == Rule::FilterThroughProduct),
             "{trace2}"
         );
         assert_equivalent(&q2, &opt2, &catalog);
@@ -420,7 +464,10 @@ mod tests {
             .product(Query::rel("S"))
             .select(Pred::eq_cols(1, 2));
         let (_, trace) = optimize(&q, &RuleSet::standard(), &catalog);
-        assert!(!trace.steps.iter().any(|s| s.rule == Rule::FilterThroughProduct));
+        assert!(!trace
+            .steps
+            .iter()
+            .any(|s| s.rule == Rule::FilterThroughProduct));
     }
 
     #[test]

@@ -41,9 +41,9 @@ impl Constraints {
     pub fn cols_key_for_union(&self, tables: &[&str], cols: &[usize]) -> bool {
         let mut ts: Vec<String> = tables.iter().map(|s| s.to_string()).collect();
         ts.sort();
-        self.union_keys.iter().any(|(names, key)| {
-            *names == ts && key.iter().all(|c| cols.contains(c))
-        })
+        self.union_keys
+            .iter()
+            .any(|(names, key)| *names == ts && key.iter().all(|c| cols.contains(c)))
     }
 }
 
@@ -233,10 +233,7 @@ mod tests {
             Some(5)
         );
         assert_eq!(arity_of(&Query::rel("R").project([0]), &cat), Some(1));
-        assert_eq!(
-            arity_of(&Query::rel("R").select_hat(0, 1), &cat),
-            Some(1)
-        );
+        assert_eq!(arity_of(&Query::rel("R").select_hat(0, 1), &cat), Some(1));
         assert_eq!(arity_of(&Query::rel("Z"), &cat), None);
     }
 

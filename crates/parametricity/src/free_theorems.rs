@@ -73,9 +73,8 @@ pub fn free_theorem_append(
     v2: &[LValue],
 ) -> Result<(), String> {
     let rel = |a: &LValue, b: &LValue| h.iter().any(|(x, y)| x == a && y == b);
-    let list_rel = |l: &[LValue], m: &[LValue]| {
-        l.len() == m.len() && l.iter().zip(m).all(|(a, b)| rel(a, b))
-    };
+    let list_rel =
+        |l: &[LValue], m: &[LValue]| l.len() == m.len() && l.iter().zip(m).all(|(a, b)| rel(a, b));
     if !(list_rel(u, u2) && list_rel(v, v2)) {
         return Ok(()); // premise fails — nothing to check
     }
@@ -96,7 +95,11 @@ pub fn free_theorem_append(
 /// The `count` free theorem: `count[α]` and `count[β]` agree on any
 /// `⟨H⟩`-related lists — and hence the mapping on `int` must be the
 /// identity (the paper's argument for constant mappings at base leaves).
-pub fn free_theorem_count(h: &[(LValue, LValue)], u: &[LValue], u2: &[LValue]) -> Result<(), String> {
+pub fn free_theorem_count(
+    h: &[(LValue, LValue)],
+    u: &[LValue],
+    u2: &[LValue],
+) -> Result<(), String> {
     let rel = |a: &LValue, b: &LValue| h.iter().any(|(x, y)| x == a && y == b);
     if u.len() == u2.len() && u.iter().zip(u2).all(|(a, b)| rel(a, b)) {
         // counts must literally agree
@@ -218,9 +221,13 @@ mod tests {
                 Some((a, b))
             }
             let len_u = rng.gen_range(0..4);
-            let Some((u, u2)) = mk(&mut rng, &h, len_u) else { continue };
+            let Some((u, u2)) = mk(&mut rng, &h, len_u) else {
+                continue;
+            };
             let len_v = rng.gen_range(0..4);
-            let Some((v, v2)) = mk(&mut rng, &h, len_v) else { continue };
+            let Some((v, v2)) = mk(&mut rng, &h, len_v) else {
+                continue;
+            };
             free_theorem_append(&h, &u, &v, &u2, &v2).unwrap();
         }
     }
@@ -273,7 +280,7 @@ mod tests {
         // a relation under which np's components disagree.
         let shallow = LValue::List(vec![LValue::Int(0)]); // depth 1
         let deep = LValue::List(vec![LValue::List(vec![LValue::Int(0)])]); // depth 2
-        // H relates 0 ↦ ⟨0⟩ (a value of different structure)
+                                                                           // H relates 0 ↦ ⟨0⟩ (a value of different structure)
         let h_pairs = [(LValue::Int(0), LValue::List(vec![LValue::Int(0)]))];
         // ⟨H⟩(shallow, deep) holds pointwise:
         assert!(h_pairs

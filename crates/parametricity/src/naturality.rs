@@ -54,11 +54,7 @@ pub fn mu_natural(f: &dyn Fn(&Value) -> Value, s: &Value) -> bool {
 
 /// Check the functor laws for one instance:
 /// `map(id) = id` and `map(g ∘ f) = map(g) ∘ map(f)`.
-pub fn functor_laws(
-    f: &dyn Fn(&Value) -> Value,
-    g: &dyn Fn(&Value) -> Value,
-    s: &Value,
-) -> bool {
+pub fn functor_laws(f: &dyn Fn(&Value) -> Value, g: &dyn Fn(&Value) -> Value, s: &Value) -> bool {
     let id_law = map_set(&|v: &Value| v.clone(), s) == *s;
     let comp = map_set(&|v: &Value| g(&f(v)), s);
     let staged = map_set(g, &map_set(f, s));
@@ -108,10 +104,7 @@ mod tests {
     #[test]
     fn naturality_on_examples() {
         assert!(eta_natural(&shift, &Value::Int(5)));
-        assert!(mu_natural(
-            &shift,
-            &parse_value("{{1, 2}, {3}}").unwrap()
-        ));
+        assert!(mu_natural(&shift, &parse_value("{{1, 2}, {3}}").unwrap()));
         // a non-injective f still works — that is the point of full
         // genericity of η/μ (collapse is fine)
         let collapse = |_: &Value| Value::Int(0);

@@ -80,12 +80,8 @@ impl LsTy {
             match t {
                 LsTy::Var(_) | LsTy::Base(_) => true,
                 LsTy::Prod(ts) => ts.iter().all(|t| no_list_under_arrow(t, under_arrow)),
-                LsTy::List(t) | LsTy::Set(t) => {
-                    !under_arrow && no_list_under_arrow(t, under_arrow)
-                }
-                LsTy::Arrow(a, b) => {
-                    no_list_under_arrow(a, true) && no_list_under_arrow(b, true)
-                }
+                LsTy::List(t) | LsTy::Set(t) => !under_arrow && no_list_under_arrow(t, under_arrow),
+                LsTy::Arrow(a, b) => no_list_under_arrow(a, true) && no_list_under_arrow(b, true),
             }
         }
         no_list_under_arrow(self, false)
@@ -236,6 +232,8 @@ pub fn lemma_4_6_forward(
     l: &Value,
     l2: &Value,
 ) -> Option<(Value, Value)> {
+    let _sp = genpar_obs::span("transfer.lemma_4_6_forward");
+    genpar_obs::counter("transfer.lemma_4_6_forward", 1);
     let list_ty = CvType::list(elem_ty.clone());
     if !relates(family, &list_ty, ExtensionMode::Rel, l, l2) {
         return None;
@@ -262,6 +260,8 @@ pub fn lemma_4_6_backward(
     s: &Value,
     s2: &Value,
 ) -> Option<(Value, Value)> {
+    let _sp = genpar_obs::span("transfer.lemma_4_6_backward");
+    genpar_obs::counter("transfer.lemma_4_6_backward", 1);
     let set_ty = CvType::set(elem_ty.clone());
     if !relates(family, &set_ty, ExtensionMode::Rel, s, s2) {
         return None;
@@ -311,10 +311,14 @@ pub fn transfer_check_unary(
     s: &Value,
     s2: &Value,
 ) -> Result<(), String> {
+    let _sp = genpar_obs::span("transfer.check_unary");
+    genpar_obs::counter("transfer.checks", 1);
     let set_ty = CvType::set(elem_ty.clone());
     if !relates(family, &set_ty, ExtensionMode::Rel, s, s2) {
+        genpar_obs::counter("transfer.premise_failures", 1);
         return Ok(()); // premise fails
     }
+    genpar_obs::counter("transfer.analogous_pairs", 1);
     // lift (Lemma 4.9 via 4.6(2))
     let (l, l2) = lemma_4_6_backward(family, elem_ty, s, s2)
         .ok_or_else(|| "lifting failed despite rel premise".to_string())?;
@@ -353,10 +357,13 @@ pub fn corollary_4_15_union(
     r2: &Value,
     s2: &Value,
 ) -> Result<(), String> {
+    let _sp = genpar_obs::span("transfer.corollary_4_15_union");
+    genpar_obs::counter("transfer.corollary_4_15_union", 1);
     let set_ty = CvType::set(elem_ty.clone());
     if !(relates(family, &set_ty, ExtensionMode::Rel, r, r2)
         && relates(family, &set_ty, ExtensionMode::Rel, s, s2))
     {
+        genpar_obs::counter("transfer.premise_failures", 1);
         return Ok(());
     }
     let union = |a: &Value, b: &Value| {
@@ -608,7 +615,10 @@ mod tests {
 
     #[test]
     fn lsty_to_cv_type() {
-        let t = LsTy::prod([LsTy::list(LsTy::bool()), LsTy::set(LsTy::Base(BaseType::Int))]);
+        let t = LsTy::prod([
+            LsTy::list(LsTy::bool()),
+            LsTy::set(LsTy::Base(BaseType::Int)),
+        ]);
         assert_eq!(
             t.to_cv_type(),
             Some(CvType::tuple([

@@ -44,10 +44,7 @@ impl fmt::Display for Value {
     }
 }
 
-fn join<'a>(
-    f: &mut fmt::Formatter<'_>,
-    items: impl Iterator<Item = &'a Value>,
-) -> fmt::Result {
+fn join<'a>(f: &mut fmt::Formatter<'_>, items: impl Iterator<Item = &'a Value>) -> fmt::Result {
     for (i, v) in items.enumerate() {
         if i > 0 {
             write!(f, ", ")?;

@@ -69,7 +69,9 @@ impl Universe {
     pub fn base_values(&self, b: BaseType) -> Vec<Value> {
         match b {
             BaseType::Bool => vec![Value::Bool(false), Value::Bool(true)],
-            BaseType::Int => (self.int_range.0..=self.int_range.1).map(Value::Int).collect(),
+            BaseType::Int => (self.int_range.0..=self.int_range.1)
+                .map(Value::Int)
+                .collect(),
             BaseType::Str => self.strings.iter().cloned().map(Value::Str).collect(),
             BaseType::Domain(d) => {
                 let n = self.atoms.get(&d.0).copied().unwrap_or(0);
@@ -137,9 +139,7 @@ pub fn enumerate(ty: &CvType, universe: &Universe, limits: EnumLimits) -> Option
         }
         CvType::Set(t) => {
             let elems = enumerate(t, universe, limits)?;
-            if elems.len() >= usize::BITS as usize
-                || (1usize << elems.len()) > limits.max_values
-            {
+            if elems.len() >= usize::BITS as usize || (1usize << elems.len()) > limits.max_values {
                 return None;
             }
             let n = elems.len();
@@ -180,11 +180,7 @@ pub fn enumerate(ty: &CvType, universe: &Universe, limits: EnumLimits) -> Option
             // Bags of size ≤ max_seq_len = sorted lists; enumerate lists
             // and keep the sorted ones to avoid duplicates.
             let elems = enumerate(t, universe, limits)?;
-            let lists = enumerate(
-                &CvType::list((**t).clone()),
-                universe,
-                limits,
-            )?;
+            let lists = enumerate(&CvType::list((**t).clone()), universe, limits)?;
             let _ = elems;
             let mut out: Vec<Value> = lists
                 .into_iter()
@@ -217,20 +213,28 @@ mod tests {
     fn enumerates_base_types() {
         let u = Universe::atoms_and_ints(3, 1);
         assert_eq!(
-            enumerate(&CvType::bool(), &u, EnumLimits::default()).unwrap().len(),
+            enumerate(&CvType::bool(), &u, EnumLimits::default())
+                .unwrap()
+                .len(),
             2
         );
         assert_eq!(
-            enumerate(&CvType::int(), &u, EnumLimits::default()).unwrap().len(),
+            enumerate(&CvType::int(), &u, EnumLimits::default())
+                .unwrap()
+                .len(),
             2 // 0..=1
         );
         assert_eq!(
-            enumerate(&CvType::domain(0), &u, EnumLimits::default()).unwrap().len(),
+            enumerate(&CvType::domain(0), &u, EnumLimits::default())
+                .unwrap()
+                .len(),
             3
         );
         // unregistered domain is empty
         assert_eq!(
-            enumerate(&CvType::domain(9), &u, EnumLimits::default()).unwrap().len(),
+            enumerate(&CvType::domain(9), &u, EnumLimits::default())
+                .unwrap()
+                .len(),
             0
         );
     }
@@ -269,7 +273,10 @@ mod tests {
     fn enumerates_lists_up_to_length() {
         let u = Universe::atoms_only(2);
         let t = CvType::list(CvType::domain(0));
-        let limits = EnumLimits { max_seq_len: 2, ..Default::default() };
+        let limits = EnumLimits {
+            max_seq_len: 2,
+            ..Default::default()
+        };
         let vs = enumerate(&t, &u, limits).unwrap();
         // lengths 0,1,2 → 1 + 2 + 4
         assert_eq!(vs.len(), 7);
@@ -279,7 +286,10 @@ mod tests {
     fn enumerates_bags_without_duplicates() {
         let u = Universe::atoms_only(2);
         let t = CvType::bag(CvType::domain(0));
-        let limits = EnumLimits { max_seq_len: 2, ..Default::default() };
+        let limits = EnumLimits {
+            max_seq_len: 2,
+            ..Default::default()
+        };
         let vs = enumerate(&t, &u, limits).unwrap();
         // multisets over {a,b} of size ≤ 2: {}, {a}, {b}, {a,a}, {a,b}, {b,b}
         assert_eq!(vs.len(), 6);
@@ -293,7 +303,10 @@ mod tests {
     fn respects_budget() {
         let u = Universe::atoms_only(10);
         let t = CvType::set(CvType::set(CvType::domain(0)));
-        let limits = EnumLimits { max_seq_len: 3, max_values: 1000 };
+        let limits = EnumLimits {
+            max_seq_len: 3,
+            max_values: 1000,
+        };
         assert_eq!(enumerate(&t, &u, limits), None);
         assert_eq!(count(&t, &u, limits), None);
     }

@@ -37,7 +37,11 @@ impl std::error::Error for ParseError {}
 
 /// Parse a complex-value literal.
 pub fn parse_value(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { s: input.as_bytes(), pos: 0, src: input };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+        src: input,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -55,7 +59,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos, msg: msg.into() }
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {

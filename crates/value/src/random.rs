@@ -151,18 +151,8 @@ mod tests {
     fn deterministic_under_seed() {
         let u = Universe::atoms_and_ints(4, 3);
         let ty = CvType::set(CvType::tuple([CvType::domain(0), CvType::int()]));
-        let a = random_value(
-            &mut StdRng::seed_from_u64(7),
-            &ty,
-            &u,
-            GenParams::default(),
-        );
-        let b = random_value(
-            &mut StdRng::seed_from_u64(7),
-            &ty,
-            &u,
-            GenParams::default(),
-        );
+        let a = random_value(&mut StdRng::seed_from_u64(7), &ty, &u, GenParams::default());
+        let b = random_value(&mut StdRng::seed_from_u64(7), &ty, &u, GenParams::default());
         assert_eq!(a, b);
     }
 }

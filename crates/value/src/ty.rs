@@ -197,9 +197,10 @@ impl TypeExpr {
     /// The type expression of flat `arity`-ary relations over one variable:
     /// `{X × … × X}`.
     pub fn relation(v: TyVar, arity: usize) -> Self {
-        TypeExpr::set(TypeExpr::tuple(
-            std::iter::repeat_n(TypeExpr::Var(v), arity),
-        ))
+        TypeExpr::set(TypeExpr::tuple(std::iter::repeat_n(
+            TypeExpr::Var(v),
+            arity,
+        )))
     }
 
     /// The set of variables occurring in the expression, sorted.
@@ -343,7 +344,10 @@ mod tests {
     fn type_expr_substitution_associated_types() {
         // T(X) = {X × X}; associated types T(int), T(D0).
         let t = TypeExpr::relation(TyVar(0), 2);
-        assert_eq!(t.instantiate(&CvType::int()), CvType::relation(BaseType::Int, 2));
+        assert_eq!(
+            t.instantiate(&CvType::int()),
+            CvType::relation(BaseType::Int, 2)
+        );
         assert_eq!(
             t.instantiate(&CvType::domain(0)),
             CvType::relation(BaseType::Domain(crate::DomainId(0)), 2)
@@ -364,7 +368,10 @@ mod tests {
                 })
             })
             .unwrap();
-        assert_eq!(got, CvType::set(CvType::tuple([CvType::int(), CvType::str()])));
+        assert_eq!(
+            got,
+            CvType::set(CvType::tuple([CvType::int(), CvType::str()]))
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub struct TypeError {
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "value {} does not have type {}", self.found, self.expected)
+        write!(
+            f,
+            "value {} does not have type {}",
+            self.found, self.expected
+        )
     }
 }
 
@@ -152,14 +156,11 @@ impl Value {
             | (Value::Int(_), CvType::Base(BaseType::Int))
             | (Value::Str(_), CvType::Base(BaseType::Str)) => Ok(()),
             (Value::Atom(a), CvType::Base(BaseType::Domain(d))) if a.domain == *d => Ok(()),
-            (Value::Tuple(vs), CvType::Tuple(ts)) if vs.len() == ts.len() => vs
-                .iter()
-                .zip(ts)
-                .try_for_each(|(v, t)| v.check_type(t)),
-            (Value::Set(vs), CvType::Set(t)) => vs.iter().try_for_each(|v| v.check_type(t)),
-            (Value::Bag(vs), CvType::Bag(t)) => {
-                vs.keys().try_for_each(|v| v.check_type(t))
+            (Value::Tuple(vs), CvType::Tuple(ts)) if vs.len() == ts.len() => {
+                vs.iter().zip(ts).try_for_each(|(v, t)| v.check_type(t))
             }
+            (Value::Set(vs), CvType::Set(t)) => vs.iter().try_for_each(|v| v.check_type(t)),
+            (Value::Bag(vs), CvType::Bag(t)) => vs.keys().try_for_each(|v| v.check_type(t)),
             (Value::List(vs), CvType::List(t)) => vs.iter().try_for_each(|v| v.check_type(t)),
             _ => Err(err()),
         }
@@ -279,8 +280,7 @@ impl Value {
     /// Section 4.2, at the outermost level only; the nested version lives
     /// in `genpar-parametricity`).
     pub fn toset(&self) -> Option<Value> {
-        self.as_list()
-            .map(|l| Value::set(l.iter().cloned()))
+        self.as_list().map(|l| Value::set(l.iter().cloned()))
     }
 }
 
@@ -315,7 +315,10 @@ mod tests {
         let l = Value::list([Value::Int(2), Value::Int(1), Value::Int(2)]);
         assert_eq!(l.len(), 3);
         assert_eq!(l.as_list().unwrap()[0], Value::Int(2));
-        assert_ne!(l, Value::list([Value::Int(1), Value::Int(2), Value::Int(2)]));
+        assert_ne!(
+            l,
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(2)])
+        );
     }
 
     #[test]
@@ -430,7 +433,10 @@ mod tests {
         assert_eq!(t.project(2), None);
         assert!(Value::Int(1).is_base());
         assert!(!t.is_base());
-        assert_eq!(Value::atom(3, 7).base_type(), Some(BaseType::Domain(crate::DomainId(3))));
+        assert_eq!(
+            Value::atom(3, 7).base_type(),
+            Some(BaseType::Domain(crate::DomainId(3)))
+        );
         assert_eq!(t.base_type(), None);
     }
 }

@@ -37,8 +37,14 @@ fn main() {
             eval_closed(&church::church_nat_to_int(c.clone())).unwrap()
         );
     }
-    let sum = Term::apps(church::church_add(), [church::church_nat(2), church::church_nat(3)]);
-    let prod = Term::apps(church::church_mul(), [church::church_nat(2), church::church_nat(3)]);
+    let sum = Term::apps(
+        church::church_add(),
+        [church::church_nat(2), church::church_nat(3)],
+    );
+    let prod = Term::apps(
+        church::church_mul(),
+        [church::church_nat(2), church::church_nat(3)],
+    );
     println!(
         "  2 + 3 = {:?},  2 × 3 = {:?}",
         eval_closed(&church::church_nat_to_int(sum)).unwrap(),

@@ -73,9 +73,7 @@ fn main() {
     let r2 = parse_value("{a}").unwrap();
     let s2 = parse_value("{b}").unwrap();
     match transfer::corollary_4_15_union(&h, &elem, &r, &s, &r2, &s2) {
-        Ok(()) => println!(
-            "  {{H}}ʳᵉˡ({r},{r2}) ∧ {{H}}ʳᵉˡ({s},{s2}) ⇒ {{H}}ʳᵉˡ(∪,∪)  ✓"
-        ),
+        Ok(()) => println!("  {{H}}ʳᵉˡ({r},{r2}) ∧ {{H}}ʳᵉˡ({s},{s2}) ⇒ {{H}}ʳᵉˡ(∪,∪)  ✓"),
         Err(e) => println!("  VIOLATION: {e}"),
     }
 

@@ -50,12 +50,21 @@ fn main() {
             &MappingClass::all(),
             &CheckConfig::default().with_mode(mode),
         );
-        println!("Q3, {mode} mode, ALL mappings: invariant = {}", r.is_invariant());
+        println!(
+            "Q3, {mode} mode, ALL mappings: invariant = {}",
+            r.is_invariant()
+        );
     }
 
     // Q4 fails for all mappings but holds for injective ones (§2.3).
     let q4 = AlgebraQuery::new(catalog::q4());
-    let fail = check_invariance(&q4, &rel2, &rel2, &MappingClass::all(), &CheckConfig::default());
+    let fail = check_invariance(
+        &q4,
+        &rel2,
+        &rel2,
+        &MappingClass::all(),
+        &CheckConfig::default(),
+    );
     println!(
         "\nQ4, rel mode, ALL mappings: invariant = {} (paper: must fail)",
         fail.is_invariant()

@@ -20,10 +20,7 @@ fn main() {
     println!("=== Nested data: the complex-value algebra at work ===\n");
 
     // departments: (dept, employee) — flat input
-    let flat = parse_value(
-        "{(d, a), (d, b), (e, c), (e, f), (e, g)}",
-    )
-    .unwrap();
+    let flat = parse_value("{(d, a), (d, b), (e, c), (e, f), (e, g)}").unwrap();
     let db = Db::new().with("Emp", flat.clone());
     println!("Emp (flat)          = {flat}");
 
@@ -33,7 +30,10 @@ fn main() {
 
     // round-trip through unnest
     let back = eval(&Query::rel("Emp").nest([0]).unnest(1), &db).unwrap();
-    println!("μ[$2](ν[$1](Emp))   = {back}   (round-trip: {})", back == flat);
+    println!(
+        "μ[$2](ν[$1](Emp))   = {back}   (round-trip: {})",
+        back == flat
+    );
 
     // genericity classification of the nested pipeline
     let inf = infer_requirements(&Query::rel("Emp").nest([0]).unnest(1));
@@ -66,10 +66,7 @@ fn main() {
         "sales ∸ restock     = {}",
         bags::bag_monus(&sales, &restock).unwrap()
     );
-    println!(
-        "total sold          = {}",
-        bags::bag_count(&sales).unwrap()
-    );
+    println!("total sold          = {}", bags::bag_count(&sales).unwrap());
 
     // fixpoint: reachability over a management graph
     println!("\n-- fixpoint (the full paper's while/fixpoint operations) --");

@@ -4,9 +4,7 @@
 
 use genpar::genericity::check::{check_invariance, AlgebraQuery, CheckConfig, NamedQuery};
 use genpar::genericity::infer_requirements;
-use genpar::mapping::extend::{
-    postimages, relates, try_relates, ExtBudget, ExtensionMode,
-};
+use genpar::mapping::extend::{postimages, relates, try_relates, ExtBudget, ExtensionMode};
 use genpar::mapping::{Mapping, MappingClass, MappingFamily};
 use genpar::optimizer::{optimize, optimize_costed, RuleSet};
 use genpar::prelude::*;
@@ -23,11 +21,35 @@ fn rel2() -> CvType {
 fn empty_mapping_relates_only_empties() {
     let f = MappingFamily::single(Mapping::empty(CvType::domain(0), CvType::domain(0)));
     let t = CvType::set(CvType::domain(0));
-    assert!(relates(&f, &t, ExtensionMode::Rel, &Value::empty_set(), &Value::empty_set()));
-    assert!(relates(&f, &t, ExtensionMode::Strong, &Value::empty_set(), &Value::empty_set()));
+    assert!(relates(
+        &f,
+        &t,
+        ExtensionMode::Rel,
+        &Value::empty_set(),
+        &Value::empty_set()
+    ));
+    assert!(relates(
+        &f,
+        &t,
+        ExtensionMode::Strong,
+        &Value::empty_set(),
+        &Value::empty_set()
+    ));
     let s = Value::set([Value::atom(0, 0)]);
-    assert!(!relates(&f, &t, ExtensionMode::Rel, &s, &Value::empty_set()));
-    assert!(!relates(&f, &t, ExtensionMode::Rel, &Value::empty_set(), &s));
+    assert!(!relates(
+        &f,
+        &t,
+        ExtensionMode::Rel,
+        &s,
+        &Value::empty_set()
+    ));
+    assert!(!relates(
+        &f,
+        &t,
+        ExtensionMode::Rel,
+        &Value::empty_set(),
+        &s
+    ));
 }
 
 #[test]
@@ -75,7 +97,9 @@ fn budget_exhaustion_is_an_error_not_a_wrong_answer() {
 
 #[test]
 fn eval_on_empty_relations() {
-    let db = Db::new().with("R", Value::empty_set()).with("S", Value::empty_set());
+    let db = Db::new()
+        .with("R", Value::empty_set())
+        .with("S", Value::empty_set());
     for q in [
         catalog::q1(),
         catalog::q2(),
@@ -99,7 +123,10 @@ fn eval_reports_mixed_arity_errors() {
     // a "relation" whose tuples disagree in arity: π past the short one fails
     let db = Db::new().with("R", parse_value("{(a), (a, b)}").unwrap());
     let err = eval(&Query::rel("R").project([1]), &db).unwrap_err();
-    assert!(matches!(err, EvalError::BadColumn(1) | EvalError::Shape { .. }));
+    assert!(matches!(
+        err,
+        EvalError::BadColumn(1) | EvalError::Shape { .. }
+    ));
 }
 
 #[test]

@@ -53,7 +53,13 @@ fn exp_2_2_example() {
     assert!(relates(&h(), &rel2(), ExtensionMode::Rel, &out_r1, &out_r2));
     // but NOT for r3: outputs are unrelated although inputs are:
     assert!(relates(&h(), &rel2(), ExtensionMode::Rel, &r3(), &r2()));
-    assert!(!relates(&h(), &rel2(), ExtensionMode::Rel, &out_r3, &out_r2));
+    assert!(!relates(
+        &h(),
+        &rel2(),
+        ExtensionMode::Rel,
+        &out_r3,
+        &out_r2
+    ));
     // Q2 = R × R is invariant even there:
     let q2 = catalog::q2();
     let p3 = eval(&q2, &Db::new().with("R", r3())).unwrap();
@@ -96,7 +102,13 @@ fn exp_2_9_q3_q4() {
     assert_eq!(cx.input2, parse_value("{(b, c)}").unwrap());
     // and the checker finds one too:
     let q4 = AlgebraQuery::new(catalog::q4());
-    let r = check_invariance(&q4, &rel2(), &rel2(), &MappingClass::all(), &CheckConfig::default());
+    let r = check_invariance(
+        &q4,
+        &rel2(),
+        &rel2(),
+        &MappingClass::all(),
+        &CheckConfig::default(),
+    );
     assert!(!r.is_invariant());
     let r = check_invariance(
         &q4,
@@ -115,7 +127,11 @@ fn exp_2_9_q3_q4() {
 fn exp_2_11_functional_equals_general() {
     // positive side: fully generic queries stay invariant for both classes
     for q in [catalog::q3(), catalog::q2()] {
-        let out_arity = if matches!(q, genpar_algebra::Query::Product(..)) { 4 } else { 1 };
+        let out_arity = if matches!(q, genpar_algebra::Query::Product(..)) {
+            4
+        } else {
+            1
+        };
         let out_ty = CvType::relation(BaseType::Domain(genpar_value::DomainId(0)), out_arity);
         let aq = AlgebraQuery::new(q);
         for class in [MappingClass::all(), MappingClass::functional()] {
@@ -309,8 +325,14 @@ fn exp_3_9_four_russians() {
 #[test]
 fn exp_hierarchy_four_levels() {
     assert_eq!(equality_usage(&catalog::q3()), EqualityUsage::None);
-    assert_eq!(equality_usage(&catalog::q4_hat()), EqualityUsage::InQueryOnly);
-    assert_eq!(equality_usage(&catalog::eq_adom()), EqualityUsage::InOutputOnly);
+    assert_eq!(
+        equality_usage(&catalog::q4_hat()),
+        EqualityUsage::InQueryOnly
+    );
+    assert_eq!(
+        equality_usage(&catalog::eq_adom()),
+        EqualityUsage::InOutputOnly
+    );
     assert_eq!(equality_usage(&catalog::q4()), EqualityUsage::Full);
 }
 
@@ -440,10 +462,13 @@ fn exp_3_3_calculus_fragment() {
     }
     // leaving the fragment (repeated variable = diagonal) breaks rel-full
     // genericity:
-    let diag = Formula::Atom("R".into(), vec![
-        genpar_algebra::calculus::Var(0),
-        genpar_algebra::calculus::Var(0),
-    ]);
+    let diag = Formula::Atom(
+        "R".into(),
+        vec![
+            genpar_algebra::calculus::Var(0),
+            genpar_algebra::calculus::Var(0),
+        ],
+    );
     assert!(!diag.in_prop_3_3_fragment());
     let qd = NamedQuery::new("R(x0,x0)", move |v: &Value| {
         let db = Db::new().with("R", v.clone());
@@ -593,7 +618,13 @@ fn exp_bag_operations() {
     };
     let r = check_invariance(&monus_q, &pair_ty, &bag_ty, &MappingClass::all(), &cfg2);
     assert!(!r.is_invariant(), "∸ must fail under arbitrary mappings");
-    let r = check_invariance(&monus_q, &pair_ty, &bag_ty, &MappingClass::injective(), &cfg2);
+    let r = check_invariance(
+        &monus_q,
+        &pair_ty,
+        &bag_ty,
+        &MappingClass::injective(),
+        &cfg2,
+    );
     assert!(r.is_invariant(), "∸ injective: {:?}", r.counterexample());
 
     // δ (dup-elim) bridges bags to sets and is rel-fully generic
@@ -632,9 +663,9 @@ fn exp_multi_domain_genericity() {
         let fam = class.sample_multi(&mut rng, &[(0, 3), (1, 3)]);
         for _ in 0..10 {
             // build an input over both domains
-            let v = Value::set((0..3u32).map(|i| {
-                Value::tuple([Value::atom(0, i), Value::atom(1, (i + 1) % 3)])
-            }));
+            let v = Value::set(
+                (0..3u32).map(|i| Value::tuple([Value::atom(0, i), Value::atom(1, (i + 1) % 3)])),
+            );
             let Some(w) = sample_postimage(
                 &mut rng,
                 &fam,
@@ -656,5 +687,8 @@ fn exp_multi_domain_genericity() {
     }
     // partial families often leave some atom unmapped, so many draws
     // skip; a handful of genuinely-exercised pairs suffices
-    assert!(pairs_checked >= 5, "too few pairs exercised: {pairs_checked}");
+    assert!(
+        pairs_checked >= 5,
+        "too few pairs exercised: {pairs_checked}"
+    );
 }

@@ -2,8 +2,8 @@
 //! classify → probe → optimize → execute, and λ-terms → transfer → sets.
 
 use genpar::genericity::check::{AlgebraQuery, CheckConfig};
-use genpar::genericity::probe::{probe_tightest, Rung};
 use genpar::genericity::infer_requirements;
+use genpar::genericity::probe::{probe_tightest, Rung};
 use genpar::lambda::stdlib;
 use genpar::lambda::term::Term;
 use genpar::lambda::ty::Ty;
@@ -65,8 +65,7 @@ fn classify_probe_optimize_execute() {
     let catalog = Catalog::new()
         .with(generate_table(&mut rng, "R", spec))
         .with(generate_table(&mut rng, "S", spec));
-    let (chosen, trace, base_est, new_est) =
-        optimize_costed(&q, &RuleSet::standard(), &catalog);
+    let (chosen, trace, base_est, new_est) = optimize_costed(&q, &RuleSet::standard(), &catalog);
     assert!(!trace.steps.is_empty());
     assert!(new_est.cost < base_est.cost);
 
@@ -132,13 +131,16 @@ fn lambda_to_set_world_roundtrip() {
     let as_set = toset_deep(&as_list);
 
     // algebra side: Flatten of the toset'd input
-    let input = toset_deep(&to_value(&eval_closed(&Term::list(
-        Ty::list(Ty::int()),
-        [
-            Term::list(Ty::int(), [Term::Int(1), Term::Int(2)]),
-            Term::list(Ty::int(), [Term::Int(2), Term::Int(3)]),
-        ],
-    )).unwrap()));
+    let input = toset_deep(&to_value(
+        &eval_closed(&Term::list(
+            Ty::list(Ty::int()),
+            [
+                Term::list(Ty::int(), [Term::Int(1), Term::Int(2)]),
+                Term::list(Ty::int(), [Term::Int(2), Term::Int(3)]),
+            ],
+        ))
+        .unwrap(),
+    ));
     let db = Db::new().with("R", input);
     let flat = eval(&Query::Flatten(Box::new(Query::rel("R"))), &db).unwrap();
     assert_eq!(as_set, flat);
@@ -150,7 +152,14 @@ fn lambda_to_set_world_roundtrip() {
     );
     assert!(concat_ty.is_lto_s());
     // while parametricity of the term itself holds
-    parametric(&stdlib::concat(), RelConfig { max_list: 2, ..Default::default() }).unwrap();
+    parametric(
+        &stdlib::concat(),
+        RelConfig {
+            max_list: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
 }
 
 /// Strong-mode pipeline: the probe discovers Q1's tighter class and the

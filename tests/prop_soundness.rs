@@ -19,8 +19,8 @@ use genpar::prelude::*;
 use genpar_algebra::eval::{eval, Db};
 use genpar_algebra::{Pred, Query};
 use genpar_engine::{Catalog, Schema, Table};
-use genpar_value::random::{random_relation, random_value, GenParams};
 use genpar_value::enumerate::Universe;
+use genpar_value::random::{random_relation, random_value, GenParams};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,7 +155,10 @@ fn query_from_script(script: &[u8]) -> Query {
             1 => q.intersect(leaf(arg)),
             2 => q.difference(leaf(arg)),
             3 => q.select(Pred::eq_cols(0, 1)),
-            4 => q.select(Pred::eq_const((arg % 2) as usize, Value::atom(0, arg as u32 % 4))),
+            4 => q.select(Pred::eq_const(
+                (arg % 2) as usize,
+                Value::atom(0, arg as u32 % 4),
+            )),
             5 => q.project(vec![(arg % 2) as usize, ((arg / 2) % 2) as usize]),
             6 => q.select_hat(0, 1).project(vec![0, 0]),
             _ => unreachable!(),

@@ -110,7 +110,10 @@ fn enumeration_counts_and_types() {
         (CvType::domain(0), 2),
         (CvType::tuple([CvType::bool(), CvType::domain(0)]), 4),
         (CvType::set(CvType::bool()), 4),
-        (CvType::set(CvType::tuple([CvType::domain(0), CvType::domain(0)])), 16),
+        (
+            CvType::set(CvType::tuple([CvType::domain(0), CvType::domain(0)])),
+            16,
+        ),
         (CvType::set(CvType::set(CvType::bool())), 16),
     ];
     for (ty, expected) in cases {
