@@ -109,6 +109,22 @@ pub enum EvalError {
     NoUniverse,
     /// A projection column index was out of range.
     BadColumn(usize),
+    /// An [`genpar_guard::ExecBudget`] cap was crossed. Evaluation stops
+    /// promptly and reports the work done so far.
+    BudgetExceeded {
+        /// The exhausted resource.
+        resource: genpar_guard::Resource,
+        /// The configured cap.
+        limit: u64,
+        /// Usage at the moment of the breach.
+        used: u64,
+        /// The operator charging when the cap was crossed.
+        op: &'static str,
+        /// Work counters accumulated before the breach.
+        partial: EvalStats,
+    },
+    /// A deterministic fault-injection site fired (`GENPAR_FAULTS`).
+    Fault(String),
 }
 
 impl fmt::Display for EvalError {
@@ -119,6 +135,38 @@ impl fmt::Display for EvalError {
             EvalError::UnknownSymbol(n) => write!(f, "unknown interpreted symbol {n}"),
             EvalError::NoUniverse => write!(f, "complement requires a finite universe"),
             EvalError::BadColumn(i) => write!(f, "column ${} out of range", i + 1),
+            EvalError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+                op,
+                partial,
+            } => write!(
+                f,
+                "budget exceeded: {resource} limit {limit} (used {used}) at {op} \
+                 [partial progress: {} scanned, {} emitted, {} fn applications]",
+                partial.tuples_scanned, partial.tuples_emitted, partial.fn_applications
+            ),
+            EvalError::Fault(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl EvalError {
+    /// Is this a budget breach (as opposed to a semantic error)?
+    pub fn is_budget(&self) -> bool {
+        matches!(self, EvalError::BudgetExceeded { .. })
+    }
+
+    /// Wrap a guard breach when no work counters are at hand (the
+    /// evaluator proper uses `budget_err` to attach partial progress).
+    pub fn from_breach(b: genpar_guard::BudgetBreach) -> EvalError {
+        EvalError::BudgetExceeded {
+            resource: b.resource,
+            limit: b.limit,
+            used: b.used,
+            op: b.op,
+            partial: EvalStats::default(),
         }
     }
 }
@@ -180,13 +228,36 @@ pub fn op_name(q: &Query) -> &'static str {
 /// Evaluate `q` against `db`, accumulating work counters. Each operator
 /// node gets an obs span (parent/child mirrors the query tree) carrying
 /// `rows_in`/`rows_out` where the operator consumes/produces sets.
+///
+/// Budget governance happens at this operator boundary: each node charges
+/// one step plus the rows it materialized against any armed
+/// [`genpar_guard::ExecBudget`]; a breach surfaces as
+/// [`EvalError::BudgetExceeded`] with the partial-progress counters.
 pub fn eval_with_stats(q: &Query, db: &Db, stats: &mut EvalStats) -> Result<Value, EvalError> {
-    let mut sp = genpar_obs::span(op_name(q));
+    let op = op_name(q);
+    genpar_guard::faultpoint("algebra.eval").map_err(|f| EvalError::Fault(f.to_string()))?;
+    genpar_guard::charge_steps(1, op).map_err(|b| budget_err(b, stats))?;
+    let mut sp = genpar_obs::span(op);
     let out = eval_node(q, db, stats, &mut sp)?;
     if let Value::Set(s) = &out {
         sp.field("rows_out", s.len() as u64);
+        genpar_guard::charge_rows(s.len() as u64, op).map_err(|b| budget_err(b, stats))?;
+        genpar_guard::charge_cells(s.iter().map(Value::len).sum::<usize>() as u64, op)
+            .map_err(|b| budget_err(b, stats))?;
     }
     Ok(out)
+}
+
+/// Wrap a guard breach into a structured eval error carrying the work
+/// counters accumulated so far.
+fn budget_err(b: genpar_guard::BudgetBreach, stats: &EvalStats) -> EvalError {
+    EvalError::BudgetExceeded {
+        resource: b.resource,
+        limit: b.limit,
+        used: b.used,
+        op: b.op,
+        partial: *stats,
+    }
 }
 
 fn eval_node(
@@ -256,6 +327,13 @@ fn eval_node(
             sp.field("rows_in", (sa.len() + sb.len()) as u64);
             let mut out = BTreeSet::new();
             for x in &sa {
+                // × is quadratic: re-check the budget between inner
+                // sweeps so an armed cap stops the blow-up promptly
+                // instead of after full materialization
+                genpar_guard::charge_steps(sb.len() as u64, "alg.Product")
+                    .map_err(|b| budget_err(b, stats))?;
+                genpar_guard::charge_rows(out.len() as u64, "alg.Product")
+                    .map_err(|b| budget_err(b, stats))?;
                 for y in &sb {
                     stats.tuples_scanned += 1;
                     out.insert(concat_tuples(x, y)?);
@@ -324,8 +402,13 @@ fn eval_node(
                     }
                 }
             } else {
-                // no key pairs: degenerate to product
+                // no key pairs: degenerate to product (quadratic, so
+                // budget-checked between inner sweeps like ×)
                 for x in &sa {
+                    genpar_guard::charge_steps(sb.len() as u64, "alg.Join")
+                        .map_err(|b| budget_err(b, stats))?;
+                    genpar_guard::charge_rows(out.len() as u64, "alg.Join")
+                        .map_err(|b| budget_err(b, stats))?;
                     for y in &sb {
                         stats.tuples_scanned += 1;
                         out.insert(concat_tuples(x, y)?);
@@ -372,10 +455,19 @@ fn eval_node(
         Query::Powerset(q) => {
             let s = eval_set(q, db, stats)?;
             let elems: Vec<Value> = s.into_iter().collect();
-            if elems.len() > 20 {
-                return Err(EvalError::Shape {
+            // ℘ of n elements is a 2ⁿ-element answer: governed by the
+            // armed budget's powerset cap (default 20 even when no
+            // budget is armed — this is the one always-on guard)
+            // 62: the mask enumeration below uses a u64, and anything
+            // beyond 2⁶² subsets is out of reach regardless of budget
+            let cap = genpar_guard::powerset_cap().min(62);
+            if elems.len() > cap {
+                return Err(EvalError::BudgetExceeded {
+                    resource: genpar_guard::Resource::Powerset,
+                    limit: cap as u64,
+                    used: elems.len() as u64,
                     op: "℘",
-                    found: format!("set of {} elements (powerset too large)", elems.len()),
+                    partial: *stats,
                 });
             }
             let mut out = BTreeSet::new();
@@ -763,12 +855,46 @@ mod tests {
 
     #[test]
     fn powerset_guards_size() {
+        // 30 elements: 2³⁰ subsets — must fail fast with a structured
+        // budget error carrying partial stats, not a Shape error or OOM
+        let big = Value::set((0..30).map(|i| Value::atom(0, i)));
+        let db = Db::new().with("R", big);
+        match eval(&Query::Powerset(Box::new(Query::rel("R"))), &db) {
+            Err(EvalError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+                op,
+                ..
+            }) => {
+                assert_eq!(resource, genpar_guard::Resource::Powerset);
+                assert_eq!(limit, 20);
+                assert_eq!(used, 30);
+                assert_eq!(op, "℘");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn powerset_cap_is_budget_configurable() {
         let big = Value::set((0..25).map(|i| Value::atom(0, i)));
         let db = Db::new().with("R", big);
-        assert!(matches!(
-            eval(&Query::Powerset(Box::new(Query::rel("R"))), &db),
-            Err(EvalError::Shape { .. })
-        ));
+        let q = Query::Powerset(Box::new(Query::rel("R")));
+        // raising the cap (and the row/cell caps ℘'s output needs)
+        // allows the 2²⁵-subset expansion to be *attempted*; a tighter
+        // cap rejects a small set
+        {
+            let _scope = genpar_guard::ExecBudget::default()
+                .with_max_powerset(4)
+                .enter();
+            let err = eval(&Query::Powerset(Box::new(Query::rel("R"))), &db).unwrap_err();
+            assert!(err.is_budget(), "{err}");
+            let small = Db::new().with("R", Value::set((0..3).map(|i| Value::atom(0, i))));
+            assert_eq!(eval(&q, &small).unwrap().len(), 8);
+            let five = Db::new().with("R", Value::set((0..5).map(|i| Value::atom(0, i))));
+            assert!(eval(&q, &five).unwrap_err().is_budget());
+        }
     }
 
     #[test]

@@ -14,12 +14,29 @@
 //!   only pipeline — which is *why* TC turns out strong-fully generic but
 //!   not rel-fully generic, exactly like `Q₁`).
 
-use crate::eval::EvalError;
+use crate::eval::{EvalError, EvalStats};
 use genpar_value::Value;
 use std::collections::BTreeSet;
 
+/// The effective iteration bound: the caller's `max_iters` clamped by
+/// any active [`genpar_guard::ExecBudget`]'s recursion-depth budget.
+fn effective_bound(max_iters: usize) -> u64 {
+    (max_iters as u64).min(genpar_guard::depth_limit())
+}
+
+fn depth_exhausted(op: &'static str, iters: u64) -> EvalError {
+    EvalError::BudgetExceeded {
+        resource: genpar_guard::Resource::Depth,
+        limit: effective_bound(iters as usize),
+        used: iters,
+        op,
+        partial: EvalStats::default(),
+    }
+}
+
 /// Iterate `x ← x ∪ step(x)` until nothing new is added. Both `x` and
-/// the step results must be set values.
+/// the step results must be set values. Iterations are bounded by
+/// `max_iters` *and* the active budget's `max_depth`.
 pub fn inflationary_fixpoint(
     initial: &Value,
     mut step: impl FnMut(&Value) -> Result<Value, EvalError>,
@@ -32,7 +49,9 @@ pub fn inflationary_fixpoint(
             found: initial.to_string(),
         })?
         .clone();
-    for _ in 0..max_iters {
+    let bound = effective_bound(max_iters);
+    for iter in 0..bound {
+        genpar_guard::charge_depth(iter + 1, "fixpoint").map_err(EvalError::from_breach)?;
         let cv = Value::Set(current.clone());
         let next = step(&cv)?;
         let ns = next.as_set().ok_or_else(|| EvalError::Shape {
@@ -45,10 +64,7 @@ pub fn inflationary_fixpoint(
             return Ok(Value::Set(current));
         }
     }
-    Err(EvalError::Shape {
-        op: "fixpoint",
-        found: format!("no fixpoint within {max_iters} iterations"),
-    })
+    Err(depth_exhausted("fixpoint", bound))
 }
 
 /// The while loop of the while-queries literature: repeat `x ← body(x)`
@@ -61,16 +77,15 @@ pub fn while_loop(
     max_iters: usize,
 ) -> Result<Value, EvalError> {
     let mut current = initial.clone();
-    for _ in 0..max_iters {
+    let bound = effective_bound(max_iters);
+    for iter in 0..bound {
+        genpar_guard::charge_depth(iter + 1, "while").map_err(EvalError::from_breach)?;
         if !cond(&current)? {
             return Ok(current);
         }
         current = body(&current)?;
     }
-    Err(EvalError::Shape {
-        op: "while",
-        found: format!("loop did not exit within {max_iters} iterations"),
-    })
+    Err(depth_exhausted("while", bound))
 }
 
 /// Relation composition `R ∘ S = {(x,z) | ∃y. R(x,y) ∧ S(y,z)}` — the
@@ -196,6 +211,30 @@ mod tests {
         };
         let init = parse_value("{(a)}").unwrap();
         assert!(inflationary_fixpoint(&init, step, 5).is_err());
+    }
+
+    #[test]
+    fn armed_depth_budget_cuts_divergent_fixpoint_short() {
+        // Even with a generous max_iters, an armed ExecBudget depth cap
+        // stops the loop and names the Depth resource.
+        let mut i = 0u32;
+        let step = move |_: &Value| -> Result<Value, EvalError> {
+            i += 1;
+            Ok(Value::set([Value::tuple([Value::atom(0, i)])]))
+        };
+        let init = parse_value("{(a)}").unwrap();
+        let budget = genpar_guard::ExecBudget::unlimited().with_max_depth(3);
+        let _scope = budget.enter();
+        let err = inflationary_fixpoint(&init, step, 1_000).unwrap_err();
+        match err {
+            EvalError::BudgetExceeded {
+                resource, limit, ..
+            } => {
+                assert_eq!(resource, genpar_guard::Resource::Depth);
+                assert_eq!(limit, 3);
+            }
+            other => panic!("expected a depth budget error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Query-parser robustness: `parse_query` must reject malformed input
+//! with a structured error — never panic — on arbitrary byte strings.
+
+use genpar_algebra::parse::parse_query;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (interpreted lossily as UTF-8) never panic the
+    /// query parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..48)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_query(&text);
+    }
+
+    /// Query-shaped character soup: operator names, brackets, columns
+    /// and commas in random order exercise the recursive descent paths.
+    #[test]
+    fn printable_ascii_never_panics(s in "[ -~]{0,48}") {
+        let _ = parse_query(&s);
+    }
+
+    /// Mangled real queries: a valid query with a random printable
+    /// suffix either parses or errors, never panics.
+    #[test]
+    fn mangled_queries_never_panic(tail in "[ -~]{0,16}") {
+        for prefix in ["pi[$1](", "select[$1=", "powerset(R", "join[$1=$1](R,", "lit[{(a,"] {
+            let _ = parse_query(&format!("{prefix}{tail}"));
+        }
+    }
+}

@@ -73,6 +73,19 @@ fn kernel_instrumented(n: u64) -> u64 {
     acc
 }
 
+/// The kernel as a guarded operator would run it: one faultpoint and the
+/// full set of per-operator budget charges around the work. With no
+/// budget armed and no faults armed, each call is one relaxed atomic
+/// load and an immediate return.
+fn kernel_guarded(n: u64) -> u64 {
+    genpar_guard::faultpoint("bench.op").expect("bench faults must be disarmed");
+    genpar_guard::charge_steps(1, "bench.op").expect("no budget armed");
+    let acc = kernel(n);
+    genpar_guard::charge_rows(1, "bench.op").expect("no budget armed");
+    genpar_guard::charge_cells(1, "bench.op").expect("no budget armed");
+    acc
+}
+
 fn median(mut xs: Vec<Duration>) -> Duration {
     xs.sort();
     xs[xs.len() / 2]
@@ -115,8 +128,43 @@ fn verify_kill_switch_overhead() {
     println!("obs/kill_switch: OK (≤ 5% bound holds)");
 }
 
+/// Assert the disarmed-guard claim: with no budget and no faults armed,
+/// a kernel wrapped in faultpoint + budget charges runs within 5% of the
+/// uninstrumented baseline (same interleaved-median protocol as the obs
+/// kill switch).
+fn verify_disarmed_guard_overhead() {
+    const KERNEL_OPS: u64 = 50_000;
+    const ROUNDS: usize = 41;
+    genpar_guard::disarm_faults();
+    // warmup
+    black_box(kernel(KERNEL_OPS));
+    black_box(kernel_guarded(KERNEL_OPS));
+    let mut base = Vec::with_capacity(ROUNDS);
+    let mut guarded = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        black_box(kernel(KERNEL_OPS));
+        base.push(t.elapsed());
+        let t = Instant::now();
+        black_box(kernel_guarded(KERNEL_OPS));
+        guarded.push(t.elapsed());
+    }
+    let (mb, mg) = (median(base), median(guarded));
+    let overhead = mg.as_secs_f64() / mb.as_secs_f64() - 1.0;
+    println!(
+        "guard/disarmed: baseline {mb:?}, guarded-disarmed {mg:?} ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+    assert!(
+        mg <= mb.mul_f64(1.05) + Duration::from_micros(2),
+        "disarmed guard overhead above 5%: baseline {mb:?}, guarded {mg:?}"
+    );
+    println!("guard/disarmed: OK (≤ 5% bound holds)");
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_execute_enabled_vs_disabled(&mut c);
     verify_kill_switch_overhead();
+    verify_disarmed_guard_overhead();
 }

@@ -66,14 +66,16 @@ fn audit() -> Result<String, CliError> {
 }
 
 fn parse_q(query: &str) -> Result<Query, CliError> {
-    parse_query(query).map_err(|e| CliError(e.to_string()))
+    parse_query(query).map_err(|e| CliError::parse(e.to_string()))
 }
 
 fn parse_mode(mode: &str) -> Result<ExtensionMode, CliError> {
     match mode {
         "rel" => Ok(ExtensionMode::Rel),
         "strong" => Ok(ExtensionMode::Strong),
-        other => Err(CliError(format!("unknown mode '{other}' (rel|strong)"))),
+        other => Err(CliError::usage(format!(
+            "unknown mode '{other}' (rel|strong)"
+        ))),
     }
 }
 
@@ -84,7 +86,7 @@ fn parse_class(class: &str) -> Result<MappingClass, CliError> {
         "functional" => Ok(MappingClass::functional()),
         "injective" => Ok(MappingClass::injective()),
         "bijective" => Ok(MappingClass::bijective()),
-        other => Err(CliError(format!(
+        other => Err(CliError::usage(format!(
             "unknown class '{other}' (all|total-surjective|functional|injective|bijective)"
         ))),
     }
@@ -138,6 +140,9 @@ fn check(query: &str, mode: &str, class: &str) -> Result<String, CliError> {
         genpar_core::check::CheckOutcome::Counterexample(cx) => {
             format!("REFUTED:\n  {cx}\n")
         }
+        genpar_core::check::CheckOutcome::Aborted(reason) => {
+            return Err(CliError::internal(format!("check aborted: {reason}")))
+        }
     })
 }
 
@@ -153,6 +158,9 @@ fn probe(query: &str, mode: &str, arity: usize) -> Result<String, CliError> {
         ..Default::default()
     };
     let report = probe_tightest(&aq, &rel_ty(arity), &out_ty, &cfg);
+    if let Some(reason) = report.rungs.iter().find_map(|(_, o)| o.aborted()) {
+        return Err(CliError::internal(format!("probe aborted: {reason}")));
+    }
     let mut out = report.to_string();
     match report.tightest() {
         Some(rung) => {
@@ -168,7 +176,7 @@ fn probe(query: &str, mode: &str, arity: usize) -> Result<String, CliError> {
 fn run(query: &str, db_path: &str) -> Result<String, CliError> {
     let q = parse_q(query)?;
     let db = dbfile::load_db(db_path)?;
-    let v = genpar_algebra::eval::eval(&q, &db).map_err(|e| CliError(e.to_string()))?;
+    let v = genpar_algebra::eval::eval(&q, &db).map_err(CliError::from)?;
     Ok(format!("{v}\n"))
 }
 
@@ -187,11 +195,13 @@ fn build_catalog(q: &Query, db_path: Option<&str>) -> Result<Catalog, CliError> 
                     .and_then(|t| t.as_tuple())
                     .map(|t| t.len())
                     .unwrap_or(2);
-                cat.add(Table::from_value(
+                let table = Table::try_from_value(
                     name.clone(),
                     Schema::uniform(CvType::domain(0), arity),
                     &normalize_rel(v, arity),
-                ));
+                )
+                .map_err(CliError::runtime)?;
+                cat.add(table);
             }
             Ok(cat)
         }
@@ -219,12 +229,12 @@ fn build_rules(union_key: Option<&str>) -> Result<RuleSet, CliError> {
         // "R,S:$1"
         let (tables, col) = spec
             .split_once(':')
-            .ok_or_else(|| CliError("--union-key wants R,S:$N".into()))?;
+            .ok_or_else(|| CliError::usage("--union-key wants R,S:$N"))?;
         let col = col
             .strip_prefix('$')
             .and_then(|n| n.parse::<usize>().ok())
             .filter(|&n| n >= 1)
-            .ok_or_else(|| CliError("--union-key wants a 1-based $N column".into()))?;
+            .ok_or_else(|| CliError::usage("--union-key wants a 1-based $N column"))?;
         constraints =
             constraints.with_union_key(tables.split(',').map(|s| s.trim().to_string()), [col - 1]);
     }
@@ -365,8 +375,7 @@ fn profile_cmd(
     let (chosen, _trace, _base, _new) = optimize_costed(&q, &rules, &catalog);
     match genpar_engine::lower(&chosen) {
         Some(plan) => {
-            plan.execute(&catalog)
-                .map_err(|e| CliError(e.to_string()))?;
+            plan.execute(&catalog).map_err(CliError::from)?;
         }
         None => {
             // complex-value query: fall back to the algebra interpreter
@@ -375,7 +384,7 @@ fn profile_cmd(
             for t in catalog.tables() {
                 db.set(t.name.clone(), t.to_value());
             }
-            genpar_algebra::eval::eval(&chosen, &db).map_err(|e| CliError(e.to_string()))?;
+            genpar_algebra::eval::eval(&chosen, &db).map_err(CliError::from)?;
         }
     }
     let snap = genpar_obs::snapshot();

@@ -4,29 +4,35 @@ use crate::CliError;
 use genpar_algebra::Db;
 use genpar_value::parse::parse_value;
 
-/// Parse a database file's contents.
+/// Parse a database file's contents. Errors carry the 1-based line
+/// number and the byte offset of the offending line, so a bad `.gdb`
+/// file pinpoints itself even under concatenation or generation.
 pub fn parse_db(contents: &str) -> Result<Db, CliError> {
     let mut db = Db::with_standard_int();
+    let mut offset = 0usize;
     for (lineno, raw) in contents.lines().enumerate() {
+        let line_at = offset;
+        offset += raw.len() + 1; // +1 for the newline split off by lines()
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let Some((name, value)) = line.split_once('=') else {
-            return Err(CliError(format!(
-                "db file line {}: expected `name = value`, got {raw:?}",
+            return Err(CliError::parse(format!(
+                "db file line {} (byte {line_at}): expected `name = value`, got {raw:?}",
                 lineno + 1
             )));
         };
         let name = name.trim();
         if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return Err(CliError(format!(
-                "db file line {}: bad relation name {name:?}",
+            return Err(CliError::parse(format!(
+                "db file line {} (byte {line_at}): bad relation name {name:?}",
                 lineno + 1
             )));
         }
-        let v = parse_value(value.trim())
-            .map_err(|e| CliError(format!("db file line {}: {e}", lineno + 1)))?;
+        let v = parse_value(value.trim()).map_err(|e| {
+            CliError::parse(format!("db file line {} (byte {line_at}): {e}", lineno + 1))
+        })?;
         db.set(name, v);
     }
     Ok(db)
@@ -65,7 +71,10 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("expected a parse error"),
         };
-        assert!(err.0.contains("line 2"), "{err}");
+        assert!(err.message.contains("line 2"), "{err}");
+        // the byte offset points at the start of the offending line
+        assert!(err.message.contains("byte 7"), "{err}");
+        assert_eq!(err.kind, crate::ErrorKind::Parse);
     }
 
     #[test]

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Execution paths must fail structurally, never unwrap (tests exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # genpar-cli — command-line access to the genericity toolkit
 //!
 //! The library half of the `genpar` binary: command parsing, the database
@@ -32,13 +34,96 @@ pub mod dbfile;
 
 use std::fmt;
 
-/// A CLI-level error (bad usage, parse failure, IO).
+/// What went wrong, at the granularity the process exit code reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad command line, flags, or environment spec (exit 2).
+    Usage,
+    /// Query text or database file failed to parse (exit 3).
+    Parse,
+    /// An [`genpar_guard::ExecBudget`] cap was crossed (exit 4).
+    Budget,
+    /// An injected fault fired or a panic was caught at the execution
+    /// boundary (exit 5).
+    Internal,
+    /// Any other runtime failure — unknown relation, IO, shape errors
+    /// (exit 1).
+    Runtime,
+}
+
+impl ErrorKind {
+    /// The process exit code for this kind.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorKind::Runtime => 1,
+            ErrorKind::Usage => 2,
+            ErrorKind::Parse => 3,
+            ErrorKind::Budget => 4,
+            ErrorKind::Internal => 5,
+        }
+    }
+}
+
+/// A CLI-level error: a category (which fixes the exit code) plus a
+/// rendered message.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// The error category.
+    pub kind: ErrorKind,
+    /// Human-readable message (printed to stderr).
+    pub message: String,
+}
+
+impl CliError {
+    /// A bad-usage error (exit 2).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    /// A parse error (exit 3).
+    pub fn parse(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+        }
+    }
+
+    /// A budget-exceeded error (exit 4).
+    pub fn budget(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Budget,
+            message: message.into(),
+        }
+    }
+
+    /// An internal error — injected fault or caught panic (exit 5).
+    pub fn internal(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// Any other runtime error (exit 1).
+    pub fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Runtime,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        self.kind.exit_code()
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -46,7 +131,29 @@ impl std::error::Error for CliError {}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(format!("io error: {e}"))
+        CliError::runtime(format!("io error: {e}"))
+    }
+}
+
+impl From<genpar_algebra::eval::EvalError> for CliError {
+    fn from(e: genpar_algebra::eval::EvalError) -> Self {
+        use genpar_algebra::eval::EvalError;
+        match &e {
+            EvalError::BudgetExceeded { .. } => CliError::budget(e.to_string()),
+            EvalError::Fault(_) => CliError::internal(e.to_string()),
+            _ => CliError::runtime(e.to_string()),
+        }
+    }
+}
+
+impl From<genpar_engine::plan::ExecError> for CliError {
+    fn from(e: genpar_engine::plan::ExecError) -> Self {
+        use genpar_engine::plan::ExecError;
+        match &e {
+            ExecError::Budget { .. } => CliError::budget(e.to_string()),
+            ExecError::Fault(_) | ExecError::Internal(_) => CliError::internal(e.to_string()),
+            _ => CliError::runtime(e.to_string()),
+        }
     }
 }
 
@@ -180,7 +287,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "classify" => {
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("classify needs a query".into()))?
+                .ok_or_else(|| CliError::usage("classify needs a query"))?
                 .to_string();
             Ok(Command::Classify { query })
         }
@@ -189,7 +296,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let class = take_flag(&mut rest, "--class").unwrap_or_else(|| "all".into());
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("check needs a query".into()))?
+                .ok_or_else(|| CliError::usage("check needs a query"))?
                 .to_string();
             Ok(Command::Check { query, mode, class })
         }
@@ -198,22 +305,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let arity = take_flag(&mut rest, "--arity")
                 .map(|a| {
                     a.parse::<usize>()
-                        .map_err(|e| CliError(format!("bad --arity: {e}")))
+                        .map_err(|e| CliError::usage(format!("bad --arity: {e}")))
                 })
                 .transpose()?
                 .unwrap_or(2);
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("probe needs a query".into()))?
+                .ok_or_else(|| CliError::usage("probe needs a query"))?
                 .to_string();
             Ok(Command::Probe { query, mode, arity })
         }
         "run" => {
             let db = take_flag(&mut rest, "--db")
-                .ok_or_else(|| CliError("run needs --db FILE".into()))?;
+                .ok_or_else(|| CliError::usage("run needs --db FILE"))?;
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("run needs a query".into()))?
+                .ok_or_else(|| CliError::usage("run needs a query"))?
                 .to_string();
             Ok(Command::Run { query, db })
         }
@@ -222,7 +329,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let union_key = take_flag(&mut rest, "--union-key");
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("optimize needs a query".into()))?
+                .ok_or_else(|| CliError::usage("optimize needs a query"))?
                 .to_string();
             Ok(Command::Optimize {
                 query,
@@ -235,7 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let union_key = take_flag(&mut rest, "--union-key");
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("explain needs a query".into()))?
+                .ok_or_else(|| CliError::usage("explain needs a query"))?
                 .to_string();
             Ok(Command::Explain {
                 query,
@@ -249,7 +356,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let json = take_switch(&mut rest, "--json");
             let query = rest
                 .first()
-                .ok_or_else(|| CliError("profile needs a query".into()))?
+                .ok_or_else(|| CliError::usage("profile needs a query"))?
                 .to_string();
             Ok(Command::Profile {
                 query,
@@ -258,7 +365,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 json,
             })
         }
-        other => Err(CliError(format!("unknown command '{other}' (try --help)"))),
+        other => Err(CliError::usage(format!(
+            "unknown command '{other}' (try --help)"
+        ))),
     }
 }
 

@@ -1,0 +1,239 @@
+//! End-to-end robustness tests: spawn the real `genpar` binary with
+//! `GENPAR_FAULTS` / `GENPAR_BUDGET` armed and assert every injected
+//! fault or budget breach becomes a rendered stderr message with the
+//! documented exit code — never a panic trace.
+//!
+//! Each test is its own process spawn, so the process-global fault
+//! table never crosses tests.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn genpar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genpar"))
+}
+
+/// Write a temp `.gdb` file and return its path.
+fn write_db(contents: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("genpar-fault-test-{}-{n}.gdb", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn small_db() -> PathBuf {
+    write_db("R = {(1, 2), (2, 3), (3, 4)}\nS = {(1, 9)}\n")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// No panic traces may reach the user, under any failure.
+fn assert_no_panic(out: &Output) {
+    let err = stderr_of(out);
+    assert!(
+        !err.contains("panicked at") && !err.contains("RUST_BACKTRACE"),
+        "panic leaked to stderr: {err}"
+    );
+}
+
+fn assert_fault_exit(out: &Output, site: &str) {
+    assert_no_panic(out);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "expected internal-error exit 5 for fault at {site}; stderr: {}",
+        stderr_of(out)
+    );
+    let err = stderr_of(out);
+    assert!(err.starts_with("error:"), "unrendered stderr: {err}");
+    assert!(err.contains(site), "message should name the site: {err}");
+}
+
+#[test]
+fn algebra_eval_fault_exits_5() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_FAULTS", "algebra.eval:1")
+        .args(["run", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "algebra.eval");
+}
+
+#[test]
+fn engine_scan_fault_exits_5() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_FAULTS", "engine.scan:1")
+        .args(["profile", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "engine.scan");
+}
+
+#[test]
+fn engine_execute_fault_exits_5() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_FAULTS", "engine.execute:1")
+        .args(["profile", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "engine.execute");
+}
+
+#[test]
+fn checker_invariance_fault_exits_5() {
+    let out = genpar()
+        .env("GENPAR_FAULTS", "checker.invariance:1")
+        .args(["check", "pi[$1](R)"])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "checker.invariance");
+}
+
+#[test]
+fn probe_reports_checker_fault() {
+    // probe runs the checker once per rung; fault the first invocation.
+    let out = genpar()
+        .env("GENPAR_FAULTS", "checker.invariance:1")
+        .args(["probe", "pi[$1](R)"])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "checker.invariance");
+}
+
+#[test]
+fn optimizer_rewrite_fault_degrades_to_success() {
+    // Graceful degradation: the optimizer falls back to the original
+    // plan, so the command still succeeds (exit 0) and the trace is
+    // empty rather than the process failing.
+    let out = genpar()
+        .env("GENPAR_FAULTS", "optimizer.rewrite:1")
+        .args(["optimize", "pi[$1](union(R, S))"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "degraded optimizer should still succeed; stderr: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn optimizer_cost_fault_degrades_to_success() {
+    let out = genpar()
+        .env("GENPAR_FAULTS", "optimizer.cost:1")
+        .args(["optimize", "pi[$1](union(R, S))"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn unfired_fault_leaves_command_untouched() {
+    let db = small_db();
+    // nth=9 is never reached: the command must behave normally.
+    let out = genpar()
+        .env("GENPAR_FAULTS", "engine.scan:9")
+        .args(["run", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn bad_fault_spec_is_usage_error() {
+    let out = genpar()
+        .env("GENPAR_FAULTS", "no spaces allowed:x")
+        .args(["classify", "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("GENPAR_FAULTS"));
+}
+
+#[test]
+fn bad_budget_spec_is_usage_error() {
+    let out = genpar()
+        .env("GENPAR_BUDGET", "rows=lots")
+        .args(["classify", "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("GENPAR_BUDGET"));
+}
+
+#[test]
+fn powerset_of_30_exceeds_default_budget() {
+    // The powerset cap is always armed (default 20 elements); a
+    // 30-element input must exit 4 with a structured message, promptly.
+    let elems: Vec<String> = (1..=30).map(|i| i.to_string()).collect();
+    let db = write_db(&format!("R = {{{}}}\n", elems.join(", ")));
+    let out = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), "powerset(R)"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("budget exceeded"), "{err}");
+    assert!(err.contains("powerset"), "{err}");
+    assert!(err.contains("30"), "{err}");
+}
+
+#[test]
+fn env_budget_rows_cap_exits_4() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_BUDGET", "rows=2")
+        .args(["run", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("budget exceeded"));
+}
+
+#[test]
+fn env_budget_steps_deadline_exits_4() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_BUDGET", "steps=1")
+        .args(["run", "--db", db.to_str().unwrap(), "product(R, S)"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn parse_error_exits_3_and_usage_exits_2() {
+    let out = genpar().args(["classify", "pi[$1]((("]).output().unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+
+    let out = genpar().args(["frobnicate"]).output().unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+
+    let db = write_db("R = not-a-value\n");
+    let out = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("byte"), "{}", stderr_of(&out));
+}

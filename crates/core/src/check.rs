@@ -165,6 +165,9 @@ pub enum CheckOutcome {
     },
     /// Invariance refuted.
     Counterexample(Box<Counterexample>),
+    /// The run was aborted before reaching a verdict (injected fault or
+    /// resource exhaustion) — evidence is inconclusive either way.
+    Aborted(String),
 }
 
 impl CheckOutcome {
@@ -180,6 +183,14 @@ impl CheckOutcome {
             _ => None,
         }
     }
+
+    /// The abort reason, if the run did not reach a verdict.
+    pub fn aborted(&self) -> Option<&str> {
+        match self {
+            CheckOutcome::Aborted(reason) => Some(reason),
+            _ => None,
+        }
+    }
 }
 
 /// Check invariance of `query : input_ty → output_ty` w.r.t. the families
@@ -192,6 +203,10 @@ pub fn check_invariance(
     cfg: &CheckConfig,
 ) -> CheckOutcome {
     let _sp = genpar_obs::span("check.invariance");
+    if let Err(f) = genpar_guard::faultpoint("checker.invariance") {
+        genpar_obs::counter("check.aborted", 1);
+        return CheckOutcome::Aborted(f.to_string());
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut families_seen = 0usize;
     let mut pairs = 0usize;

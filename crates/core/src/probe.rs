@@ -88,16 +88,14 @@ impl fmt::Display for ProbeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "mode {}:", self.mode)?;
         for (rung, outcome) in &self.rungs {
-            writeln!(
-                f,
-                "  {:<18} {}",
-                rung.to_string(),
-                if outcome.is_invariant() {
-                    "invariant".to_string()
-                } else {
-                    format!("refuted ({})", outcome.counterexample().unwrap())
-                }
-            )?;
+            let verdict = match outcome.counterexample() {
+                Some(c) => format!("refuted ({c})"),
+                None => match outcome.aborted() {
+                    Some(reason) => format!("aborted ({reason})"),
+                    None => "invariant".to_string(),
+                },
+            };
+            writeln!(f, "  {:<18} {}", rung.to_string(), verdict)?;
         }
         Ok(())
     }

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Execution paths must fail structurally, never unwrap (tests exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # genpar-engine — a small in-memory relational engine
 //!
 //! Section 4.4 of the paper derives algebraic rewrite laws from

@@ -56,6 +56,36 @@ pub enum ExecError {
     UnknownTable(String),
     /// Predicate/function evaluation failed.
     Eval(String),
+    /// An [`genpar_guard::ExecBudget`] cap was crossed; execution stopped
+    /// promptly, reporting the work counters accumulated so far.
+    Budget {
+        /// The exhausted resource.
+        resource: genpar_guard::Resource,
+        /// The configured cap.
+        limit: u64,
+        /// Usage at the moment of the breach.
+        used: u64,
+        /// The operator that crossed the cap.
+        op: &'static str,
+        /// Work performed before the breach.
+        partial: ExecStats,
+    },
+    /// An injected fault fired (see [`genpar_guard::faultpoint`]).
+    Fault(String),
+    /// A panic escaped an operator and was converted at the execution
+    /// boundary; the payload message is preserved.
+    Internal(String),
+}
+
+impl ExecError {
+    /// Is this a budget breach (as opposed to a semantic error)?
+    pub fn is_budget(&self) -> bool {
+        matches!(self, ExecError::Budget { .. })
+    }
+
+    fn from_fault(f: genpar_guard::Fault) -> ExecError {
+        ExecError::Fault(f.to_string())
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -63,11 +93,37 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnknownTable(n) => write!(f, "unknown table {n}"),
             ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ExecError::Budget {
+                resource,
+                limit,
+                used,
+                op,
+                partial,
+            } => write!(
+                f,
+                "budget exceeded: {resource} limit {limit} (used {used}) at {op} \
+                 [partial progress: {} scanned, {} processed, {} probes]",
+                partial.rows_scanned, partial.rows_processed, partial.probes
+            ),
+            ExecError::Fault(e) => write!(f, "{e}"),
+            ExecError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Wrap a guard breach into a structured exec error carrying the work
+/// counters accumulated so far.
+fn budget_err(b: genpar_guard::BudgetBreach, stats: &ExecStats) -> ExecError {
+    ExecError::Budget {
+        resource: b.resource,
+        limit: b.limit,
+        used: b.used,
+        op: b.op,
+        partial: *stats,
+    }
+}
 
 fn cells(rows: &BTreeSet<Vec<Value>>) -> u64 {
     rows.iter().map(|r| r.len() as u64).sum()
@@ -93,10 +149,17 @@ impl PhysicalPlan {
     /// Execute against a catalog, producing sorted deduplicated rows and
     /// work counters. The run is wrapped in an `engine.execute` obs span
     /// and the final [`ExecStats`] are folded into `engine.*` counters.
+    ///
+    /// This is the engine's robustness boundary: operators charge any
+    /// armed [`genpar_guard::ExecBudget`] as they materialize rows, and a
+    /// panic escaping an operator is caught here and converted to
+    /// [`ExecError::Internal`] instead of unwinding into the caller.
     pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
+        genpar_guard::faultpoint("engine.execute").map_err(ExecError::from_fault)?;
         let _sp = genpar_obs::span("engine.execute");
         let mut stats = ExecStats::default();
-        let rows = self.run(catalog, &mut stats)?;
+        let rows = genpar_guard::catch_panics(|| self.run(catalog, &mut stats))
+            .map_err(ExecError::Internal)??;
         stats.rows_out = rows.len() as u64;
         genpar_obs::counter("engine.executions", 1);
         genpar_obs::counter("engine.rows_scanned", stats.rows_scanned);
@@ -112,9 +175,13 @@ impl PhysicalPlan {
         catalog: &Catalog,
         stats: &mut ExecStats,
     ) -> Result<BTreeSet<Vec<Value>>, ExecError> {
-        let mut sp = genpar_obs::span(self.op_name());
+        let op = self.op_name();
+        genpar_guard::charge_steps(1, op).map_err(|b| budget_err(b, stats))?;
+        let mut sp = genpar_obs::span(op);
         let out = self.run_node(catalog, stats, &mut sp)?;
         sp.field("rows_out", out.len() as u64);
+        genpar_guard::charge_rows(out.len() as u64, op).map_err(|b| budget_err(b, stats))?;
+        genpar_guard::charge_cells(cells(&out), op).map_err(|b| budget_err(b, stats))?;
         Ok(out)
     }
 
@@ -128,6 +195,7 @@ impl PhysicalPlan {
         let db = genpar_algebra::Db::with_standard_int();
         match self {
             PhysicalPlan::Scan(name) => {
+                genpar_guard::faultpoint("engine.scan").map_err(ExecError::from_fault)?;
                 let t = catalog
                     .get(name)
                     .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
@@ -206,7 +274,13 @@ impl PhysicalPlan {
                         }
                     }
                 } else {
+                    // keyless join degenerates to a product: quadratic,
+                    // so budget-check between inner sweeps
                     for lrow in &l {
+                        genpar_guard::charge_steps(r.len() as u64, "plan.HashJoin")
+                            .map_err(|b| budget_err(b, stats))?;
+                        genpar_guard::charge_rows(out.len() as u64, "plan.HashJoin")
+                            .map_err(|b| budget_err(b, stats))?;
                         for rrow in &r {
                             stats.rows_processed += 1;
                             stats.cells_processed += (lrow.len() + rrow.len()) as u64;
@@ -224,6 +298,12 @@ impl PhysicalPlan {
                 sp.field("rows_in", (l.len() + r.len()) as u64);
                 let mut out = BTreeSet::new();
                 for lrow in &l {
+                    // quadratic growth: check the budget per outer row so
+                    // a breach fires long before the full product exists
+                    genpar_guard::charge_steps(r.len() as u64, "plan.Product")
+                        .map_err(|b| budget_err(b, stats))?;
+                    genpar_guard::charge_rows(out.len() as u64, "plan.Product")
+                        .map_err(|b| budget_err(b, stats))?;
                     for rrow in &r {
                         stats.rows_processed += 1;
                         stats.cells_processed += (lrow.len() + rrow.len()) as u64;
@@ -575,6 +655,61 @@ mod tests {
         assert_eq!(project.fields["rows_in"], 10);
         assert_eq!(project.children[0].name, "plan.Scan");
         assert!(snap.counters["engine.rows_scanned"] >= 10);
+    }
+
+    #[test]
+    fn budget_stops_product_early() {
+        let c = catalog();
+        let prod = PhysicalPlan::Product(
+            Box::new(PhysicalPlan::Scan("R".into())),
+            Box::new(PhysicalPlan::Scan("S".into())),
+        );
+        let _scope = genpar_guard::ExecBudget::default()
+            .with_max_steps(40)
+            .enter();
+        match prod.execute(&c).unwrap_err() {
+            ExecError::Budget {
+                resource, partial, ..
+            } => {
+                assert_eq!(resource, genpar_guard::Resource::Steps);
+                // the breach reports work done before the cap, not zero
+                // and not the full 10×10 product
+                assert!(partial.rows_scanned >= 20, "{partial:?}");
+            }
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_stops_oversized_results() {
+        let c = catalog();
+        let _scope = genpar_guard::ExecBudget::default().with_max_rows(3).enter();
+        let err = PhysicalPlan::Scan("R".into()).execute(&c).unwrap_err();
+        assert!(err.is_budget(), "{err}");
+        assert!(err.to_string().contains("rows limit 3"), "{err}");
+    }
+
+    #[test]
+    fn panic_in_operator_becomes_internal_error() {
+        let c = catalog();
+        let m = PhysicalPlan::MapRows(
+            ValueFn::custom(|_| panic!("operator bug: bad row")),
+            Box::new(PhysicalPlan::Scan("R".into())),
+        );
+        match m.execute(&c).unwrap_err() {
+            ExecError::Internal(msg) => {
+                assert!(msg.contains("operator bug"), "{msg}")
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_from_bad_value_is_caught_at_boundary() {
+        // try_from_value rejects shapes; from_value panics — but a panic
+        // inside execute() still surfaces as Internal, never unwinds
+        let v = Value::Int(3);
+        assert!(Table::try_from_value("R", Schema::uniform(CvType::int(), 1), &v).is_err());
     }
 
     #[test]

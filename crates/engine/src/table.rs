@@ -75,18 +75,38 @@ impl Table {
         Value::set(self.rows.iter().map(|r| Value::Tuple(r.clone())))
     }
 
+    /// Build a table from a complex-value relation, rejecting values that
+    /// are not sets of tuples (arity/key violations still panic inside
+    /// [`Table::insert`], caught at the engine's execution boundary).
+    pub fn try_from_value(
+        name: impl Into<String>,
+        schema: Schema,
+        v: &Value,
+    ) -> Result<Table, String> {
+        let mut t = Table::new(name, schema);
+        let set = v
+            .as_set()
+            .ok_or_else(|| format!("relation value must be a set, got {v}"))?;
+        for item in set {
+            let row = item
+                .as_tuple()
+                .ok_or_else(|| format!("relation elements must be tuples, got {item}"))?;
+            t.insert(row.to_vec());
+        }
+        Ok(t)
+    }
+
     /// Build a table from a complex-value relation.
     ///
     /// # Panics
     /// Panics if the value is not a set of tuples of the right arity, or
-    /// violates the schema's keys.
+    /// violates the schema's keys. Use [`Table::try_from_value`] for a
+    /// fallible variant.
     pub fn from_value(name: impl Into<String>, schema: Schema, v: &Value) -> Table {
-        let mut t = Table::new(name, schema);
-        for item in v.as_set().expect("relation value must be a set") {
-            let row = item.as_tuple().expect("relation elements must be tuples");
-            t.insert(row.to_vec());
+        match Table::try_from_value(name, schema, v) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
-        t
     }
 }
 

@@ -1,0 +1,73 @@
+//! Fault-injection coverage for the engine: every armed fault must come
+//! back as a structured [`ExecError`], never a panic.
+//!
+//! These tests live in their own integration binary because the fault
+//! table is process-global: arming `engine.scan` inside the unit-test
+//! binary would race against unrelated tests that happen to run scans.
+
+use genpar_engine::plan::{ExecError, PhysicalPlan};
+use genpar_engine::schema::{Catalog, Schema};
+use genpar_engine::table::Table;
+use genpar_value::{CvType, Value};
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn catalog() -> Catalog {
+    let mut r = Table::new("R", Schema::uniform(CvType::int(), 2));
+    for i in 0..5 {
+        r.insert(vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    Catalog::new().with(r)
+}
+
+#[test]
+fn scan_fault_is_structured() {
+    let _g = serial();
+    genpar_guard::arm_faults("engine.scan:1").unwrap();
+    let err = PhysicalPlan::Scan("R".into())
+        .execute(&catalog())
+        .unwrap_err();
+    genpar_guard::disarm_faults();
+    match err {
+        ExecError::Fault(msg) => assert!(msg.contains("engine.scan"), "{msg}"),
+        other => panic!("expected Fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn execute_fault_is_structured() {
+    let _g = serial();
+    genpar_guard::arm_faults("engine.execute:1").unwrap();
+    let err = PhysicalPlan::Scan("R".into())
+        .execute(&catalog())
+        .unwrap_err();
+    genpar_guard::disarm_faults();
+    assert!(matches!(err, ExecError::Fault(_)), "{err:?}");
+}
+
+#[test]
+fn nth_scan_fault_fires_deterministically() {
+    // a two-scan plan with engine.scan:2 armed fails on the second scan
+    // — and identically on every run
+    let _g = serial();
+    let plan = PhysicalPlan::Union(
+        Box::new(PhysicalPlan::Scan("R".into())),
+        Box::new(PhysicalPlan::Scan("R".into())),
+    );
+    for _ in 0..3 {
+        genpar_guard::arm_faults("engine.scan:2").unwrap();
+        let err = plan.execute(&catalog()).unwrap_err();
+        match err {
+            ExecError::Fault(msg) => assert!(msg.contains("hit 2"), "{msg}"),
+            other => panic!("expected Fault, got {other:?}"),
+        }
+    }
+    genpar_guard::disarm_faults();
+    // disarmed, the same plan succeeds
+    assert_eq!(plan.execute(&catalog()).unwrap().0.len(), 5);
+}

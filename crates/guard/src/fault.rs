@@ -1,0 +1,263 @@
+//! Deterministic fault injection.
+//!
+//! Call sites name themselves with [`faultpoint`]`("engine.scan")`; a
+//! test (or an operator, via the `GENPAR_FAULTS` environment variable)
+//! arms a spec like `engine.scan:2` and the **second** hit of that site
+//! fails with a [`Fault`]. Since the workspace is single-source-of-truth
+//! deterministic, arming `site:nth` reproduces the identical failure
+//! every run — the harness the robustness tests use to prove each
+//! failure path ends in a structured error rather than a panic.
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! spec  := arm {',' arm}
+//! arm   := site ':' trigger
+//! trigger := nat            fire on the nth hit only (1-based)
+//!          | '*'            fire on every hit
+//! site  := [a-zA-Z0-9._-]+
+//! ```
+//!
+//! Example: `GENPAR_FAULTS=engine.scan:1,optimizer.cost:*`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The environment variable holding the fault spec.
+pub const FAULTS_ENV: &str = "GENPAR_FAULTS";
+
+/// Fast-path switch: false means every [`faultpoint`] is one relaxed
+/// load and an immediate `Ok`.
+static FAULTS_ARMED: AtomicBool = AtomicBool::new(false);
+
+static TABLE: OnceLock<Mutex<HashMap<String, Arm>>> = OnceLock::new();
+
+fn table() -> &'static Mutex<HashMap<String, Arm>> {
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    /// `None` fires every hit; `Some(n)` fires on the nth hit (1-based).
+    nth: Option<u64>,
+    hits: u64,
+}
+
+/// An injected fault: the structured error a [`faultpoint`] produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The site that fired.
+    pub site: String,
+    /// Which hit of the site this was (1-based).
+    pub hit: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.site, self.hit)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// A malformed `GENPAR_FAULTS` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad {FAULTS_ENV} spec: {} (want site:nth[,site:nth...], nth a 1-based count or '*')",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// Arm faults from a `site:nth[,site:nth...]` spec, replacing any
+/// previously armed set.
+pub fn arm_faults(spec: &str) -> Result<(), FaultSpecError> {
+    let mut arms = HashMap::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((site, trigger)) = part.split_once(':') else {
+            return Err(FaultSpecError(format!("missing ':' in {part:?}")));
+        };
+        let site = site.trim();
+        if site.is_empty()
+            || !site
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        {
+            return Err(FaultSpecError(format!("bad site name {site:?}")));
+        }
+        let nth = match trigger.trim() {
+            "*" => None,
+            n => match n.parse::<u64>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    return Err(FaultSpecError(format!("bad trigger {n:?} for site {site}")));
+                }
+            },
+        };
+        arms.insert(site.to_string(), Arm { nth, hits: 0 });
+    }
+    let armed = !arms.is_empty();
+    *table().lock().unwrap_or_else(|e| e.into_inner()) = arms;
+    FAULTS_ARMED.store(armed, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Arm faults from the `GENPAR_FAULTS` environment variable, if set.
+/// Returns whether anything was armed.
+pub fn arm_faults_from_env() -> Result<bool, FaultSpecError> {
+    match std::env::var(FAULTS_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            arm_faults(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Disarm all faults and reset hit counters.
+pub fn disarm_faults() {
+    FAULTS_ARMED.store(false, Ordering::Relaxed);
+    table().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// The currently armed sites (for diagnostics).
+pub fn armed_faults() -> Vec<String> {
+    let mut v: Vec<String> = table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .keys()
+        .cloned()
+        .collect();
+    v.sort();
+    v
+}
+
+/// A named fault-injection site. Returns `Err(Fault)` when an armed spec
+/// says this hit should fail; otherwise `Ok(())`. Disarmed cost: one
+/// relaxed atomic load.
+#[inline]
+pub fn faultpoint(site: &'static str) -> Result<(), Fault> {
+    if !FAULTS_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    faultpoint_slow(site)
+}
+
+#[cold]
+fn faultpoint_slow(site: &'static str) -> Result<(), Fault> {
+    let mut t = table().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(arm) = t.get_mut(site) else {
+        return Ok(());
+    };
+    arm.hits += 1;
+    let fire = match arm.nth {
+        None => true,
+        Some(n) => arm.hits == n,
+    };
+    if !fire {
+        return Ok(());
+    }
+    let fault = Fault {
+        site: site.to_string(),
+        hit: arm.hits,
+    };
+    drop(t);
+    genpar_obs::counter("guard.faults_injected", 1);
+    genpar_obs::event(
+        "guard.fault_injected",
+        [
+            ("site", genpar_obs::FieldValue::from(site)),
+            ("hit", genpar_obs::FieldValue::U64(fault.hit)),
+        ],
+    );
+    Err(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The fault table is process-global; serialize tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_faultpoints_are_ok() {
+        let _g = serial();
+        disarm_faults();
+        assert!(faultpoint("nowhere").is_ok());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = serial();
+        arm_faults("a.site:2").unwrap();
+        assert!(faultpoint("a.site").is_ok());
+        let f = faultpoint("a.site").unwrap_err();
+        assert_eq!(f.site, "a.site");
+        assert_eq!(f.hit, 2);
+        assert!(faultpoint("a.site").is_ok()); // 3rd hit: silent again
+        assert!(faultpoint("other.site").is_ok());
+        disarm_faults();
+    }
+
+    #[test]
+    fn star_trigger_fires_every_time() {
+        let _g = serial();
+        arm_faults("b.site:*").unwrap();
+        assert!(faultpoint("b.site").is_err());
+        assert!(faultpoint("b.site").is_err());
+        disarm_faults();
+        assert!(faultpoint("b.site").is_ok());
+    }
+
+    #[test]
+    fn multi_arm_specs_parse() {
+        let _g = serial();
+        arm_faults("x.one:1, y.two:3 ,z-three:*").unwrap();
+        let sites = armed_faults();
+        assert_eq!(sites, vec!["x.one", "y.two", "z-three"]);
+        disarm_faults();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = serial();
+        assert!(arm_faults("no-colon").is_err());
+        assert!(arm_faults("site:0").is_err());
+        assert!(arm_faults("site:abc").is_err());
+        assert!(arm_faults("bad site:1").is_err());
+        assert!(arm_faults(":1").is_err());
+        // a failed arm must not leave faults half-armed
+        disarm_faults();
+        assert!(faultpoint("site").is_ok());
+    }
+
+    #[test]
+    fn fault_renders_site_and_hit() {
+        let f = Fault {
+            site: "engine.scan".into(),
+            hit: 4,
+        };
+        let s = f.to_string();
+        assert!(s.contains("engine.scan"), "{s}");
+        assert!(s.contains("hit 4"), "{s}");
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+//! # genpar-guard — resource governance and fault tolerance
+//!
+//! The algebra of the paper contains inherently explosive operators
+//! (`powerset` is the Chandra hierarchy's Q5; fixpoint iteration need not
+//! converge), so a production engine must treat partiality and failure as
+//! first-class. This crate provides the three guard mechanisms the rest
+//! of the workspace threads through its execution paths:
+//!
+//! * **Execution budgets** ([`ExecBudget`]) — caps on rows materialized,
+//!   cells processed, fixpoint/recursion depth and total evaluation steps
+//!   (a step-count deadline; the environment is offline-deterministic so
+//!   there is deliberately no wall clock). A budget is armed for the
+//!   current thread with [`ExecBudget::enter`]; evaluators call the
+//!   `charge_*` functions at operator boundaries and surface a
+//!   [`BudgetBreach`] as a structured error with partial-progress stats.
+//! * **Deterministic fault injection** ([`faultpoint`]) — named sites in
+//!   the engine, evaluator, checker and transfer machinery that can be
+//!   armed via the `GENPAR_FAULTS=site:nth` environment spec (or
+//!   programmatically with [`arm_faults`]) to fail on the nth hit,
+//!   proving every failure path ends in a structured error, never a
+//!   panic.
+//! * **Panic boundaries** ([`catch_panics`]) — `catch_unwind` wrappers
+//!   converting residual panics into error payloads at the engine and
+//!   CLI boundaries.
+//!
+//! ## Cost when disabled
+//!
+//! When no budget is armed and no faults are armed, every `charge_*` call
+//! and every [`faultpoint`] is **one relaxed atomic load** and an
+//! immediate return. The `obs_overhead` bench in `genpar-bench` asserts
+//! this path stays within the workspace's ≤5% overhead bound.
+//!
+//! Guard activity is recorded through the `genpar-obs` registry:
+//! `guard.budget_breaches` / `guard.faults_injected` counters and
+//! `guard.budget_exceeded` / `guard.fault_injected` events.
+
+pub mod budget;
+pub mod fault;
+
+pub use budget::{
+    active_budget, charge_cells, charge_depth, charge_rows, charge_steps, depth_limit,
+    powerset_cap, BudgetBreach, BudgetScope, ExecBudget, Resource, BUDGET_ENV,
+};
+pub use fault::{
+    arm_faults, arm_faults_from_env, armed_faults, disarm_faults, faultpoint, Fault,
+    FaultSpecError, FAULTS_ENV,
+};
+
+/// Render a panic payload (from `std::panic::catch_unwind`) as text.
+///
+/// Downcasts the two payload types `panic!` actually produces (`&str` and
+/// `String`); anything else renders as `"<non-string panic payload>"`.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `f` behind a panic boundary: a panic becomes `Err(message)`.
+///
+/// This is the engine/CLI boundary of the robustness layer: residual
+/// panics in operator code become structured internal errors instead of
+/// unwinding across the public API.
+pub fn catch_panics<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_panics_passes_values_and_captures_payloads() {
+        assert_eq!(catch_panics(|| 42), Ok(42));
+        let err = catch_panics(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        let err = catch_panics(|| -> u32 { std::panic::panic_any(99u8) }).unwrap_err();
+        assert_eq!(err, "<non-string panic payload>");
+    }
+}

@@ -162,9 +162,30 @@ pub fn optimize_costed(
     catalog: &Catalog,
 ) -> (Query, RewriteTrace, Estimate, Estimate) {
     let _sp = genpar_obs::span("optimizer.costed");
-    let base_est = estimate(q, catalog);
-    let (rewritten, trace) = optimize(q, rules, catalog);
-    let new_est = estimate(&rewritten, catalog);
+    // cost estimation is advisory: a fault or panic inside it degrades to
+    // the original plan with zeroed estimates instead of failing the query
+    let attempted = genpar_guard::faultpoint("optimizer.cost")
+        .map_err(|f| f.to_string())
+        .and_then(|()| {
+            genpar_guard::catch_panics(|| {
+                let base_est = estimate(q, catalog);
+                let (rewritten, trace) = optimize(q, rules, catalog);
+                let new_est = estimate(&rewritten, catalog);
+                (base_est, rewritten, trace, new_est)
+            })
+        });
+    let (base_est, rewritten, trace, new_est) = match attempted {
+        Ok(out) => out,
+        Err(reason) => {
+            crate::rewrite::degrade("cost", &reason);
+            let zero = Estimate {
+                rows: 0.0,
+                width: 0.0,
+                cost: 0.0,
+            };
+            return (q.clone(), RewriteTrace::default(), zero, zero);
+        }
+    };
     let keep_rewrite = new_est.cost < base_est.cost;
     genpar_obs::event(
         "optimizer.plan_choice",

@@ -49,20 +49,63 @@ impl fmt::Display for RewriteTrace {
 
 /// Optimize a query under a rule set, returning the rewritten query and
 /// the trace. Applies rules bottom-up to a fixpoint (bounded).
+///
+/// The optimizer is an *optional* stage: any failure inside it — an
+/// injected fault, a panic in a rule, or a budget breach charged by the
+/// rewrite passes — degrades gracefully to the unrewritten query (with an
+/// `optimizer.degraded` obs event) rather than failing the whole query.
 pub fn optimize(q: &Query, rules: &RuleSet, catalog: &Catalog) -> (Query, RewriteTrace) {
     let _sp = genpar_obs::span("optimizer.optimize");
-    let mut trace = RewriteTrace::default();
-    let mut current = q.clone();
-    for _ in 0..32 {
-        genpar_obs::counter("optimizer.passes", 1);
-        let (next, changed) = pass(&current, rules, catalog, &mut trace);
-        current = next;
-        if !changed {
-            break;
+    match try_optimize(q, rules, catalog) {
+        Ok(out) => out,
+        Err(reason) => {
+            degrade("rewrite", &reason);
+            (q.clone(), RewriteTrace::default())
         }
     }
-    genpar_obs::counter("optimizer.rules_fired", trace.steps.len() as u64);
-    (current, trace)
+}
+
+fn try_optimize(
+    q: &Query,
+    rules: &RuleSet,
+    catalog: &Catalog,
+) -> Result<(Query, RewriteTrace), String> {
+    genpar_guard::faultpoint("optimizer.rewrite").map_err(|f| f.to_string())?;
+    genpar_guard::catch_panics(|| {
+        let mut trace = RewriteTrace::default();
+        let mut current = q.clone();
+        for _ in 0..32 {
+            if let Err(b) = genpar_guard::charge_steps(1, "optimizer.pass") {
+                // budget exhausted mid-rewrite: keep what we have so far
+                // rewritten — every prefix of the trace is still a valid
+                // equivalence chain — but stop spending
+                degrade("rewrite", &b.to_string());
+                break;
+            }
+            genpar_obs::counter("optimizer.passes", 1);
+            let (next, changed) = pass(&current, rules, catalog, &mut trace);
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        genpar_obs::counter("optimizer.rules_fired", trace.steps.len() as u64);
+        (current, trace)
+    })
+}
+
+/// Record a graceful-degradation decision: the optimizer hit `reason` in
+/// `stage` and fell back to the original plan (or a rewritten prefix).
+pub(crate) fn degrade(stage: &'static str, reason: &str) {
+    genpar_obs::counter("optimizer.degraded", 1);
+    genpar_obs::event(
+        "optimizer.degraded",
+        [
+            ("stage", FieldValue::from(stage)),
+            ("reason", FieldValue::from(reason.to_string())),
+            ("fallback", FieldValue::from("original plan")),
+        ],
+    );
 }
 
 /// One bottom-up pass; returns the (possibly) rewritten tree and whether

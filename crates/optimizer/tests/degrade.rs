@@ -1,0 +1,100 @@
+//! Graceful-degradation coverage: optimizer failures must never fail the
+//! query — they fall back to the unrewritten plan and say so via obs.
+//!
+//! Own integration binary: the fault table is process-global, so arming
+//! `optimizer.*` inside the unit-test binary would race other tests.
+
+use genpar_algebra::Query;
+use genpar_engine::schema::{Catalog, Schema};
+use genpar_engine::table::Table;
+use genpar_optimizer::cost::optimize_costed;
+use genpar_optimizer::rewrite::optimize;
+use genpar_optimizer::rules::RuleSet;
+use genpar_value::{CvType, Value};
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn catalog() -> Catalog {
+    let mut r = Table::new("R", Schema::uniform(CvType::int(), 2));
+    let mut s = Table::new("S", Schema::uniform(CvType::int(), 2));
+    for i in 0..4 {
+        r.insert(vec![Value::Int(i), Value::Int(i)]);
+        s.insert(vec![Value::Int(i + 2), Value::Int(i)]);
+    }
+    Catalog::new().with(r).with(s)
+}
+
+/// A query the standard rules would definitely rewrite.
+fn rewritable() -> Query {
+    Query::rel("R").union(Query::rel("S")).project([0])
+}
+
+#[test]
+fn rewrite_fault_degrades_to_original_plan() {
+    let _g = serial();
+    let c = catalog();
+    genpar_obs::reset();
+    genpar_guard::arm_faults("optimizer.rewrite:1").unwrap();
+    let (opt, trace) = optimize(&rewritable(), &RuleSet::standard(), &c);
+    genpar_guard::disarm_faults();
+    // degraded: identical plan back, empty trace, and the event says why
+    assert!(matches!(opt, Query::Project(..)), "{opt}");
+    assert!(trace.steps.is_empty());
+    let snap = genpar_obs::snapshot();
+    assert_eq!(snap.counters["optimizer.degraded"], 1);
+    let ev = snap
+        .events
+        .iter()
+        .find(|e| e.kind == "optimizer.degraded")
+        .expect("degraded event recorded");
+    let stage = ev
+        .fields
+        .iter()
+        .find(|(k, _)| k == "stage")
+        .map(|(_, v)| v.to_string());
+    assert_eq!(stage.as_deref(), Some("rewrite"));
+
+    // disarmed, the same call rewrites as usual
+    let (opt2, trace2) = optimize(&rewritable(), &RuleSet::standard(), &c);
+    assert!(matches!(opt2, Query::Union(..)), "{opt2}");
+    assert!(!trace2.steps.is_empty());
+}
+
+#[test]
+fn cost_fault_degrades_to_original_plan() {
+    let _g = serial();
+    let c = catalog();
+    genpar_obs::reset();
+    genpar_guard::arm_faults("optimizer.cost:1").unwrap();
+    let (chosen, trace, base_est, new_est) =
+        optimize_costed(&rewritable(), &RuleSet::standard(), &c);
+    genpar_guard::disarm_faults();
+    assert!(matches!(chosen, Query::Project(..)), "{chosen}");
+    assert!(trace.steps.is_empty());
+    assert_eq!(base_est.cost, 0.0);
+    assert_eq!(new_est.cost, 0.0);
+    let snap = genpar_obs::snapshot();
+    assert_eq!(snap.counters["optimizer.degraded"], 1);
+}
+
+#[test]
+fn rewrite_budget_breach_degrades_not_errors() {
+    let _g = serial();
+    let c = catalog();
+    genpar_obs::reset();
+    // a budget with zero steps left: the optimizer may not spend any
+    // passes, but the query must still come back usable
+    let _scope = genpar_guard::ExecBudget::default()
+        .with_max_steps(0)
+        .enter();
+    let (opt, trace) = optimize(&rewritable(), &RuleSet::standard(), &c);
+    assert!(matches!(opt, Query::Project(..)), "{opt}");
+    assert!(trace.steps.is_empty());
+    let snap = genpar_obs::snapshot();
+    assert!(snap.counters.contains_key("optimizer.degraded"));
+}

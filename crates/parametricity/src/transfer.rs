@@ -311,6 +311,7 @@ pub fn transfer_check_unary(
     s: &Value,
     s2: &Value,
 ) -> Result<(), String> {
+    genpar_guard::faultpoint("transfer.check").map_err(|f| f.to_string())?;
     let _sp = genpar_obs::span("transfer.check_unary");
     genpar_obs::counter("transfer.checks", 1);
     let set_ty = CvType::set(elem_ty.clone());

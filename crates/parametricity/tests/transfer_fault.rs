@@ -1,0 +1,49 @@
+//! Fault injection at the `transfer.check` site: an armed fault must
+//! surface as the transfer check's structured `Err`, never a panic.
+//!
+//! Lives in its own integration-test binary because the fault table is
+//! process-global.
+
+use genpar_mapping::MappingFamily;
+use genpar_parametricity::transfer::transfer_check_unary;
+use genpar_value::parse::parse_value;
+use genpar_value::{CvType, Value};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn check(s: &str, s2: &str) -> Result<(), String> {
+    let family = MappingFamily::atoms(&[(4, 0), (8, 0), (5, 1), (9, 1), (6, 2)]);
+    let elem = CvType::domain(0);
+    let ident = |v: &Value| v.clone();
+    let s = parse_value(s).unwrap();
+    let s2 = parse_value(s2).unwrap();
+    transfer_check_unary(&family, &elem, &ident, &ident, &s, &s2)
+}
+
+#[test]
+fn transfer_fault_is_structured_error() {
+    let _g = LOCK.lock().unwrap();
+    genpar_guard::arm_faults("transfer.check:1").unwrap();
+    let err = check("{e, f}", "{a, b}").unwrap_err();
+    genpar_guard::disarm_faults();
+    assert!(err.contains("transfer.check"), "{err}");
+    assert!(err.contains("injected fault"), "{err}");
+}
+
+#[test]
+fn transfer_succeeds_when_disarmed() {
+    let _g = LOCK.lock().unwrap();
+    genpar_guard::disarm_faults();
+    check("{e, f}", "{a, b}").unwrap();
+}
+
+#[test]
+fn nth_transfer_fault_spares_earlier_checks() {
+    let _g = LOCK.lock().unwrap();
+    genpar_guard::arm_faults("transfer.check:2").unwrap();
+    check("{e}", "{a}").unwrap(); // hit 1 passes
+    let err = check("{e}", "{a}").unwrap_err(); // hit 2 fires
+    genpar_guard::disarm_faults();
+    assert!(err.contains("hit 2"), "{err}");
+}

