@@ -1,0 +1,155 @@
+//! Bench `parallel_speedup` — throughput of the morsel-driven parallel
+//! executor versus the serial engine on a join+select workload.
+//!
+//! Two outputs:
+//!
+//! 1. Criterion timings for the same physical plan at 1/2/4/8 workers.
+//! 2. A `BENCH_parallel.json` report (written to the working directory)
+//!    with median wall-clock per worker count and the speedup relative
+//!    to one worker. On machines with ≥ 4 hardware threads the harness
+//!    *asserts* the PR's acceptance bound: ≥ 1.5× at 4 workers. On
+//!    smaller machines (CI containers with 1-2 cores) the assertion is
+//!    skipped — parallel speedup is physically impossible there — but
+//!    the report is still written and result parity is still checked.
+
+use criterion::{black_box, Criterion};
+use genpar_algebra::{Pred, Query};
+use genpar_engine::workload::{generate_keyed_pair, generate_table, WorkloadSpec};
+use genpar_engine::{lower, Catalog};
+use genpar_exec::{EvalParallel, ExecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn catalog() -> Catalog {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (r, s) = generate_keyed_pair(&mut rng, 20_000, 3, 0.4);
+    let t = generate_table(
+        &mut rng,
+        "T",
+        WorkloadSpec {
+            rows: 5_000,
+            arity: 2,
+            value_range: 100,
+            key_on_first: false,
+        },
+    );
+    Catalog::new().with(r).with(s).with(t)
+}
+
+/// The join+select workload from the issue: a keyed hash join feeding a
+/// selection and a projection — enough per-morsel work for the pool to
+/// amortize its scheduling overhead.
+fn workload() -> Query {
+    Query::rel("R")
+        .join_on(Query::rel("S"), [(0, 0)])
+        .select(Pred::eq_cols(1, 4))
+        .project([0, 1, 2])
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec/parallel");
+    group.sample_size(10);
+    let cat = catalog();
+    let plan = lower(&workload()).expect("workload lowers");
+    for w in WORKER_COUNTS {
+        let cfg = ExecConfig::serial().with_workers(w);
+        group.bench_function(format!("workers/{w}"), |b| {
+            b.iter(|| black_box(plan.eval_parallel(&cat, &cfg).expect("workload runs")))
+        });
+    }
+    group.finish();
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Measure medians per worker count, check result parity, write the
+/// JSON report, and (hardware permitting) assert the 4-worker bound.
+fn verify_speedup_and_report() {
+    const ROUNDS: usize = 9;
+    let cat = catalog();
+    let plan = lower(&workload()).expect("workload lowers");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let serial_rows = plan
+        .eval_parallel(&cat, &ExecConfig::serial())
+        .expect("serial run")
+        .0;
+
+    let mut medians: Vec<(usize, Duration)> = Vec::new();
+    for &w in &WORKER_COUNTS {
+        let cfg = ExecConfig::serial().with_workers(w);
+        // parity first: every worker count must produce the serial rows
+        let rows = plan.eval_parallel(&cat, &cfg).expect("parallel run").0;
+        assert_eq!(rows, serial_rows, "worker count {w} changed the result");
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            black_box(plan.eval_parallel(&cat, &cfg).expect("parallel run"));
+            samples.push(t.elapsed());
+        }
+        medians.push((w, median(samples)));
+    }
+
+    let base = medians[0].1.as_secs_f64();
+    let mut entries = String::new();
+    for (i, (w, m)) in medians.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workers\": {w}, \"median_us\": {:.1}, \"speedup\": {:.3}}}",
+            m.as_secs_f64() * 1e6,
+            base / m.as_secs_f64()
+        ));
+        println!(
+            "exec/parallel: workers={w} median={m:?} speedup={:.2}x",
+            base / m.as_secs_f64()
+        );
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"parallel_speedup\",\n  \"workload\": \"{}\",\n  \"hardware_threads\": {hw},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+        workload()
+    );
+    // anchor to the workspace root so the report lands in one place no
+    // matter where cargo set the bench's working directory
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel.json");
+    std::fs::write(&path, &report).expect("write BENCH_parallel.json");
+    println!("exec/parallel: wrote {}", path.display());
+
+    let four = medians
+        .iter()
+        .find(|(w, _)| *w == 4)
+        .expect("4-worker sample")
+        .1
+        .as_secs_f64();
+    let speedup4 = base / four;
+    if hw >= 4 {
+        assert!(
+            speedup4 >= 1.5,
+            "4-worker speedup {speedup4:.2}x below the 1.5x acceptance bound \
+             on a {hw}-thread machine"
+        );
+        println!("exec/parallel: OK ({speedup4:.2}x at 4 workers, bound 1.5x)");
+    } else {
+        println!(
+            "exec/parallel: SKIP speedup assertion ({hw} hardware thread(s); \
+             4-worker speedup was {speedup4:.2}x)"
+        );
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_workers(&mut c);
+    verify_speedup_and_report();
+}

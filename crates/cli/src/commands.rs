@@ -8,9 +8,11 @@ use genpar_core::check::{check_invariance, AlgebraQuery, CheckConfig};
 use genpar_core::hierarchy::equality_usage;
 use genpar_core::infer_requirements;
 use genpar_core::probe::probe_tightest;
+use genpar_core::{partition_safety, PartitionSafety};
 use genpar_engine::{Catalog, Schema, Table};
+use genpar_exec::{EvalParallel, ExecConfig};
 use genpar_mapping::{ExtensionMode, MappingClass};
-use genpar_optimizer::{optimize_costed, Constraints, RuleSet};
+use genpar_optimizer::{optimize_costed, optimize_costed_parallel, Constraints, RuleSet};
 use genpar_value::{BaseType, CvType, DomainId};
 use std::fmt::Write as _;
 
@@ -21,7 +23,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Classify { query } => classify(query),
         Command::Check { query, mode, class } => check(query, mode, class),
         Command::Probe { query, mode, arity } => probe(query, mode, *arity),
-        Command::Run { query, db } => run(query, db),
+        Command::Run { query, db, workers } => run(query, db, *workers),
         Command::Optimize {
             query,
             db,
@@ -31,13 +33,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             query,
             db,
             union_key,
-        } => explain_cmd(query, db.as_deref(), union_key.as_deref()),
+            workers,
+        } => explain_cmd(query, db.as_deref(), union_key.as_deref(), *workers),
         Command::Profile {
             query,
             db,
             union_key,
             json,
-        } => profile_cmd(query, db.as_deref(), union_key.as_deref(), *json),
+            workers,
+        } => profile_cmd(query, db.as_deref(), union_key.as_deref(), *json, *workers),
         Command::Audit => audit(),
     }
 }
@@ -173,8 +177,37 @@ fn probe(query: &str, mode: &str, arity: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn run(query: &str, db_path: &str) -> Result<String, CliError> {
+/// Resolve the worker count: explicit `--parallel` wins, then the
+/// `GENPAR_PARALLEL` environment variable, then serial.
+fn resolve_workers(workers: Option<usize>) -> usize {
+    workers
+        .unwrap_or_else(|| ExecConfig::from_env().workers)
+        .max(1)
+}
+
+fn run(query: &str, db_path: &str, workers: Option<usize>) -> Result<String, CliError> {
     let q = parse_q(query)?;
+    let w = resolve_workers(workers);
+    if w > 1 {
+        // The partition-safety gate: only queries the genericity checker
+        // certifies may run on the parallel executor. Everything else
+        // takes the serial interpreter below, with a recorded fallback.
+        match partition_safety(&q) {
+            PartitionSafety::Safe(_) => {
+                if let Some(plan) = genpar_engine::lower(&q) {
+                    let catalog = build_catalog(&q, Some(db_path))?;
+                    let cfg = ExecConfig::serial().with_workers(w);
+                    let (rows, _stats) =
+                        plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
+                    return Ok(format!("{}\n", genpar_value::rows_to_value(rows)));
+                }
+                genpar_exec::note_fallback("lit", "literal rows are not flat tuples");
+            }
+            PartitionSafety::Unsafe { op, reason } => {
+                genpar_exec::note_fallback(op, reason);
+            }
+        }
+    }
     let db = dbfile::load_db(db_path)?;
     let v = genpar_algebra::eval::eval(&q, &db).map_err(CliError::from)?;
     Ok(format!("{v}\n"))
@@ -283,12 +316,14 @@ fn explain_cmd(
     query: &str,
     db_path: Option<&str>,
     union_key: Option<&str>,
+    workers: Option<usize>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
+    let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
     genpar_obs::reset();
-    let (chosen, trace, base_est, new_est) = optimize_costed(&q, &rules, &catalog);
+    let (chosen, trace, base_est, new_est) = optimize_costed_parallel(&q, &rules, &catalog, w);
     let snap = genpar_obs::snapshot();
 
     let mut out = String::new();
@@ -342,6 +377,20 @@ fn explain_cmd(
         "estimated cost: {:.0} → {:.0} cells",
         base_est.cost, new_est.cost
     );
+    let _ = writeln!(out, "\nparallel execution ({w} workers):");
+    match partition_safety(&chosen) {
+        PartitionSafety::Safe(cert) => {
+            let _ = writeln!(out, "  partition-safe: {cert}");
+            if w > 1 {
+                let _ = writeln!(out, "  would run on {w} worker threads");
+            } else {
+                let _ = writeln!(out, "  (serial: pass --parallel N or set GENPAR_PARALLEL)");
+            }
+        }
+        PartitionSafety::Unsafe { op, reason } => {
+            let _ = writeln!(out, "  falls back to serial: '{op}' — {reason}");
+        }
+    }
     let _ = writeln!(out, "\nchosen plan:");
     match genpar_engine::lower(&chosen) {
         Some(plan) => {
@@ -367,17 +416,39 @@ fn profile_cmd(
     db_path: Option<&str>,
     union_key: Option<&str>,
     json: bool,
+    workers: Option<usize>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
+    let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
     genpar_obs::reset();
-    let (chosen, _trace, _base, _new) = optimize_costed(&q, &rules, &catalog);
+    let (chosen, _trace, _base, _new) = optimize_costed_parallel(&q, &rules, &catalog, w);
     match genpar_engine::lower(&chosen) {
         Some(plan) => {
-            plan.execute(&catalog).map_err(CliError::from)?;
+            if w > 1 && partition_safety(&chosen).is_safe() {
+                let cfg = ExecConfig::serial().with_workers(w);
+                plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
+            } else {
+                if w > 1 {
+                    if let PartitionSafety::Unsafe { op, reason } = partition_safety(&chosen) {
+                        genpar_exec::note_fallback(op, reason);
+                    }
+                }
+                plan.execute(&catalog).map_err(CliError::from)?;
+            }
         }
         None => {
+            if w > 1 {
+                match partition_safety(&chosen) {
+                    PartitionSafety::Unsafe { op, reason } => {
+                        genpar_exec::note_fallback(op, reason)
+                    }
+                    PartitionSafety::Safe(_) => {
+                        genpar_exec::note_fallback("lit", "literal rows are not flat tuples")
+                    }
+                }
+            }
             // complex-value query: fall back to the algebra interpreter
             // over the catalog's relations
             let mut db = genpar_algebra::eval::Db::with_standard_int();
@@ -411,6 +482,17 @@ fn normalize_rel(v: &genpar_value::Value, arity: usize) -> genpar_value::Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The obs registry is process-global; tests that reset + snapshot it
+    /// serialize here so a concurrent reset cannot wipe their events.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+        match OBS_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
 
     #[test]
     fn classify_reports_both_modes() {
@@ -453,8 +535,62 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ex22.gdb");
         std::fs::write(&path, "R = {(e, f), (f, g)}\n").unwrap();
-        let out = run("pi[$1,$4](join[$2=$1](R, R))", path.to_str().unwrap()).unwrap();
+        let out = run(
+            "pi[$1,$4](join[$2=$1](R, R))",
+            path.to_str().unwrap(),
+            Some(1),
+        )
+        .unwrap();
         assert_eq!(out.trim(), "{(e, g)}");
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_output() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_par");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("par.gdb");
+        let mut body = String::from("R = {");
+        for i in 0..50 {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!("({i}, {})", i % 7));
+        }
+        body.push_str("}\nS = {(1, 9), (2, 9), (3, 9)}\n");
+        std::fs::write(&path, body).unwrap();
+        let p = path.to_str().unwrap();
+        for q in [
+            "R",
+            "pi[$1](R)",
+            "select[$1=$2](R)",
+            "union(R, S)",
+            "diff(R, S)",
+            "pi[$1,$4](join[$2=$1](R, S))",
+        ] {
+            let serial = run(q, p, Some(1)).unwrap();
+            let parallel = run(q, p, Some(4)).unwrap();
+            assert_eq!(serial, parallel, "parity broke on {q}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_falls_back_on_uncertified_queries() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_fb");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fb.gdb");
+        std::fs::write(&path, "R = {(1, 2), (2, 3)}\n").unwrap();
+        let p = path.to_str().unwrap();
+        let _g = obs_guard();
+        genpar_obs::reset();
+        let out = run("even(R)", p, Some(4)).unwrap();
+        assert_eq!(out.trim(), "true");
+        let snap = genpar_obs::snapshot();
+        let ev = snap
+            .events
+            .iter()
+            .find(|e| e.kind == "exec.fallback")
+            .expect("fallback event recorded");
+        assert_eq!(event_field(ev, "op"), "even");
     }
 
     #[test]
@@ -469,47 +605,75 @@ mod tests {
 
     #[test]
     fn explain_shows_trace_and_plan() {
-        let out = explain_cmd("pi[$1](union(R, S))", None, None).unwrap();
+        let _g = obs_guard();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(1)).unwrap();
         assert!(out.contains("ProjectThroughUnion"), "{out}");
         assert!(out.contains("Cor 4.15"), "{out}");
         assert!(out.contains("chosen plan:"), "{out}");
         assert!(out.contains("Scan R"), "{out}");
         assert!(out.contains("estimated cost"), "{out}");
+        // the parallel section names the gate verdict even when serial
+        assert!(out.contains("partition-safe"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_parallel_route_and_fallback() {
+        let _g = obs_guard();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4)).unwrap();
+        assert!(out.contains("parallel execution (4 workers)"), "{out}");
+        assert!(out.contains("would run on 4 worker threads"), "{out}");
+        let out = explain_cmd("even(R)", None, None, Some(4)).unwrap();
+        assert!(out.contains("falls back to serial: 'even'"), "{out}");
+        assert!(out.contains("Lemma 2.12"), "{out}");
     }
 
     #[test]
     fn explain_reports_blocked_difference_push() {
+        let _g = obs_guard();
         // without the union-key assertion the Prop 3.4 side condition
         // fails: the rule must show up as blocked, not fired
-        let out = explain_cmd("pi[$1](diff(R, S))", None, None).unwrap();
+        let out = explain_cmd("pi[$1](diff(R, S))", None, None, Some(1)).unwrap();
         assert!(out.contains("blocked rewrites:"), "{out}");
         assert!(out.contains("ProjectThroughDifference"), "{out}");
         assert!(out.contains("Prop 3.4"), "{out}");
         // with the assertion the rule fires, but on narrow 2-column
         // tables the cost model keeps the original (the Series C
         // crossover) — explain must say so instead of "no rewrite fired"
-        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1")).unwrap();
+        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1"), Some(1)).unwrap();
         assert!(out.contains("cost model kept the original"), "{out}");
         assert!(!out.contains("no rewrite fired"), "{out}");
     }
 
     #[test]
     fn profile_renders_tree_and_json() {
-        let out = profile_cmd("pi[$1](union(R, S))", None, None, false).unwrap();
+        let _g = obs_guard();
+        let out = profile_cmd("pi[$1](union(R, S))", None, None, false, Some(1)).unwrap();
         assert!(out.contains("spans:"), "{out}");
         assert!(out.contains("engine.execute"), "{out}");
         assert!(out.contains("counters:"), "{out}");
-        let out = profile_cmd("pi[$1](union(R, S))", None, None, true).unwrap();
+        let out = profile_cmd("pi[$1](union(R, S))", None, None, true, Some(1)).unwrap();
         let parsed = genpar_obs::Json::parse(&out).expect("profile --json emits valid JSON");
         assert!(parsed.get("counters").is_some(), "{out}");
         assert!(parsed.get("spans").is_some(), "{out}");
     }
 
     #[test]
+    fn profile_parallel_uses_the_executor() {
+        let _g = obs_guard();
+        let out = profile_cmd("pi[$1](union(R, S))", None, None, false, Some(4)).unwrap();
+        assert!(out.contains("exec.parallel"), "{out}");
+        assert!(out.contains("exec.worker"), "{out}");
+    }
+
+    #[test]
     fn profile_falls_back_to_the_interpreter() {
+        let _g = obs_guard();
         // powerset is complex-valued — not lowerable to the flat engine
-        let out = profile_cmd("even(R)", None, None, false).unwrap();
+        let out = profile_cmd("even(R)", None, None, false, Some(1)).unwrap();
         assert!(out.contains("counters:"), "{out}");
+        // at 4 workers the gate refuses it and records the fallback
+        let out = profile_cmd("even(R)", None, None, false, Some(4)).unwrap();
+        assert!(out.contains("exec.fallback"), "{out}");
     }
 
     #[test]
@@ -517,7 +681,7 @@ mod tests {
         assert!(classify("pi[$0](R)").is_err());
         assert!(check("R", "sideways", "all").is_err());
         assert!(check("R", "rel", "weird").is_err());
-        assert!(run("R", "/nonexistent/path.gdb").is_err());
+        assert!(run("R", "/nonexistent/path.gdb", Some(1)).is_err());
         assert!(optimize_cmd("diff(R,S)", None, Some("R,S")).is_err());
         assert!(optimize_cmd("diff(R,S)", None, Some("R,S:$0")).is_err());
     }

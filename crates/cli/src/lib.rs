@@ -164,13 +164,16 @@ USAGE:
   genpar classify '<query>'
   genpar check    '<query>' [--mode rel|strong] [--class all|total-surjective|functional|injective|bijective]
   genpar probe    '<query>' [--mode rel|strong] [--arity N]
-  genpar run      '<query>' --db FILE
+  genpar run      '<query>' --db FILE [--parallel N]
   genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
-  genpar explain  '<query>' [--db FILE] [--union-key R,S:$N]
-  genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json]
+  genpar explain  '<query>' [--db FILE] [--union-key R,S:$N] [--parallel N]
+  genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json] [--parallel N]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
+  --parallel N (or GENPAR_PARALLEL=N) runs partition-safe queries on N
+  worker threads; queries the genericity checker cannot certify fall
+  back to serial evaluation (recorded as an exec.fallback event).
 
 QUERY SYNTAX (columns are 1-based):
   R | empty | lit[{(a,b)}]
@@ -209,12 +212,15 @@ pub enum Command {
         /// Assumed arity of the input relations.
         arity: usize,
     },
-    /// `run <query> --db FILE`
+    /// `run <query> --db FILE [--parallel N]`
     Run {
         /// The query text.
         query: String,
         /// Path to a `.gdb` database file.
         db: String,
+        /// Worker threads from `--parallel` (`None` defers to
+        /// `GENPAR_PARALLEL`, then serial).
+        workers: Option<usize>,
     },
     /// `optimize <query> ...`
     Optimize {
@@ -233,6 +239,9 @@ pub enum Command {
         db: Option<String>,
         /// Optional `R,S:$N` union-key assertion.
         union_key: Option<String>,
+        /// Worker threads from `--parallel` (`None` defers to
+        /// `GENPAR_PARALLEL`, then serial).
+        workers: Option<usize>,
     },
     /// `profile <query> ...` — run the query and dump the obs snapshot.
     Profile {
@@ -244,6 +253,9 @@ pub enum Command {
         union_key: Option<String>,
         /// Emit the snapshot as JSON instead of a tree.
         json: bool,
+        /// Worker threads from `--parallel` (`None` defers to
+        /// `GENPAR_PARALLEL`, then serial).
+        workers: Option<usize>,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -279,6 +291,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             rest.remove(idx);
             None
         }
+    }
+
+    fn take_workers(rest: &mut Vec<&String>) -> Result<Option<usize>, CliError> {
+        take_flag(rest, "--parallel")
+            .map(|w| {
+                w.parse::<usize>()
+                    .map_err(|e| CliError::usage(format!("bad --parallel: {e}")))
+            })
+            .transpose()
     }
 
     match cmd.as_str() {
@@ -318,11 +339,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "run" => {
             let db = take_flag(&mut rest, "--db")
                 .ok_or_else(|| CliError::usage("run needs --db FILE"))?;
+            let workers = take_workers(&mut rest)?;
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("run needs a query"))?
                 .to_string();
-            Ok(Command::Run { query, db })
+            Ok(Command::Run { query, db, workers })
         }
         "optimize" => {
             let db = take_flag(&mut rest, "--db");
@@ -340,6 +362,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "explain" => {
             let db = take_flag(&mut rest, "--db");
             let union_key = take_flag(&mut rest, "--union-key");
+            let workers = take_workers(&mut rest)?;
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("explain needs a query"))?
@@ -348,12 +371,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 query,
                 db,
                 union_key,
+                workers,
             })
         }
         "profile" => {
             let db = take_flag(&mut rest, "--db");
             let union_key = take_flag(&mut rest, "--union-key");
             let json = take_switch(&mut rest, "--json");
+            let workers = take_workers(&mut rest)?;
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("profile needs a query"))?
@@ -363,6 +388,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 db,
                 union_key,
                 json,
+                workers,
             })
         }
         other => Err(CliError::usage(format!(
@@ -402,7 +428,16 @@ mod tests {
             parse_args(&argv(&["run", "--db", "x.gdb", "R"])).unwrap(),
             Command::Run {
                 query: "R".into(),
-                db: "x.gdb".into()
+                db: "x.gdb".into(),
+                workers: None
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["run", "--db", "x.gdb", "--parallel", "4", "R"])).unwrap(),
+            Command::Run {
+                query: "R".into(),
+                db: "x.gdb".into(),
+                workers: Some(4)
             }
         );
         assert_eq!(
@@ -418,7 +453,8 @@ mod tests {
             Command::Explain {
                 query: "pi[$1](union(R, S))".into(),
                 db: None,
-                union_key: None
+                union_key: None,
+                workers: None
             }
         );
         assert_eq!(
@@ -427,16 +463,18 @@ mod tests {
                 query: "R".into(),
                 db: Some("x.gdb".into()),
                 union_key: None,
-                json: true
+                json: true,
+                workers: None
             }
         );
         assert_eq!(
-            parse_args(&argv(&["profile", "R"])).unwrap(),
+            parse_args(&argv(&["profile", "--parallel", "8", "R"])).unwrap(),
             Command::Profile {
                 query: "R".into(),
                 db: None,
                 union_key: None,
-                json: false
+                json: false,
+                workers: Some(8)
             }
         );
     }
@@ -449,5 +487,6 @@ mod tests {
         assert!(parse_args(&argv(&["run", "R"])).is_err());
         assert!(parse_args(&argv(&["frobnicate"])).is_err());
         assert!(parse_args(&argv(&["probe", "--arity", "x", "R"])).is_err());
+        assert!(parse_args(&argv(&["run", "--db", "x.gdb", "--parallel", "many", "R"])).is_err());
     }
 }

@@ -43,7 +43,17 @@ fn explain_example_2_2_blocks_difference_push_without_key() {
 #[test]
 fn profile_example_2_2_reports_engine_counters() {
     let db = example_db();
-    let out = run(&["profile", "pi[$1](union(r1, r3))", "--db", &db, "--json"]);
+    // pin serial: this test is about the serial engine's counters, and
+    // must not flip routes when CI exports GENPAR_PARALLEL
+    let out = run(&[
+        "profile",
+        "pi[$1](union(r1, r3))",
+        "--db",
+        &db,
+        "--json",
+        "--parallel",
+        "1",
+    ]);
     let j = genpar_obs::Json::parse(&out).expect("profile --json is valid JSON");
     let counters = j.get("counters").expect("counters object");
     let scanned = counters
@@ -58,4 +68,25 @@ fn profile_example_2_2_reports_engine_counters() {
             == Some(1),
         "{out}"
     );
+}
+
+#[test]
+fn profile_example_2_2_parallel_reports_exec_counters() {
+    let db = example_db();
+    let out = run(&[
+        "profile",
+        "pi[$1](union(r1, r3))",
+        "--db",
+        &db,
+        "--json",
+        "--parallel",
+        "4",
+    ]);
+    let j = genpar_obs::Json::parse(&out).expect("profile --json is valid JSON");
+    let counters = j.get("counters").expect("counters object");
+    let executions = counters
+        .get("exec.executions")
+        .and_then(|v| v.as_int())
+        .expect("exec.executions recorded");
+    assert!(executions > 0, "{out}");
 }

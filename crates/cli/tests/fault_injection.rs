@@ -11,7 +11,12 @@ use std::process::{Command, Output};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 fn genpar() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_genpar"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_genpar"));
+    // The CI parallel job exports these globally; tests pin their own.
+    cmd.env_remove("GENPAR_FAULTS")
+        .env_remove("GENPAR_BUDGET")
+        .env_remove("GENPAR_PARALLEL");
+    cmd
 }
 
 /// Write a temp `.gdb` file and return its path.
@@ -216,6 +221,65 @@ fn env_budget_steps_deadline_exits_4() {
         .unwrap();
     assert_no_panic(&out);
     assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn parallel_morsel_fault_exits_5() {
+    let db = small_db();
+    let out = genpar()
+        .env("GENPAR_FAULTS", "exec.morsel:1")
+        .args([
+            "run",
+            "--db",
+            db.to_str().unwrap(),
+            "--parallel",
+            "4",
+            "pi[$1](select[$2=$2](R))",
+        ])
+        .output()
+        .unwrap();
+    assert_fault_exit(&out, "exec.morsel");
+}
+
+#[test]
+fn parallel_env_var_output_matches_serial() {
+    let db = small_db();
+    let query = "pi[$1,$4](join[$1=$1](R, S))";
+    let serial = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), query])
+        .output()
+        .unwrap();
+    assert_eq!(serial.status.code(), Some(0), "{}", stderr_of(&serial));
+    let parallel = genpar()
+        .env("GENPAR_PARALLEL", "4")
+        .args(["run", "--db", db.to_str().unwrap(), query])
+        .output()
+        .unwrap();
+    assert_no_panic(&parallel);
+    assert_eq!(parallel.status.code(), Some(0), "{}", stderr_of(&parallel));
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "GENPAR_PARALLEL=4 must not change the answer"
+    );
+}
+
+#[test]
+fn bad_parallel_flag_is_usage_error() {
+    let db = small_db();
+    let out = genpar()
+        .args([
+            "run",
+            "--db",
+            db.to_str().unwrap(),
+            "--parallel",
+            "zero?",
+            "R",
+        ])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
 }
 
 #[test]

@@ -31,16 +31,23 @@
 //!   Propositions 3.7/3.8 and the four-Russians instance Theorem 3.9.
 //! * [`witness`] — canned counterexample constructions for the paper's
 //!   inexpressibility results (Lemma 2.12, Propositions 3.4, 3.5, 4.16).
+//! * [`partition`] — the **partition-safety gate**: genericity facts
+//!   applied to physical evaluation. Decides which queries distribute
+//!   over hash-consistent partitioning (and therefore may run on the
+//!   parallel partitioned executor in `genpar-exec`) and which —
+//!   `even`, `powerset`, active-domain tests — must run serially.
 
 pub mod check;
 pub mod class;
 pub mod domain;
 pub mod hierarchy;
 pub mod infer;
+pub mod partition;
 pub mod probe;
 pub mod witness;
 
 pub use check::{check_invariance, CheckConfig, CheckOutcome, Counterexample, QueryFn};
 pub use class::{GenericityClass, Requirements, Strictness};
 pub use infer::{infer_requirements, Inferred};
+pub use partition::{partition_safety, PartitionSafety, SafetyCert};
 pub use probe::{probe_tightest, ProbeReport, Rung};

@@ -1,0 +1,232 @@
+//! The partition-safety gate: which queries may be evaluated
+//! per-partition and recombined.
+//!
+//! Section 4.4 uses genericity/parametricity facts to license *logical*
+//! rewrites; the same facts license a *physical* one. Partitioning a base
+//! relation `R = R₁ ∪ … ∪ Rₚ` and evaluating per partition is sound for
+//! an operator `Q` exactly when `Q` distributes over that union — and the
+//! operators of the flat relational fragment do, for two reasons the
+//! paper supplies:
+//!
+//! * **per-tuple operators** (σ, π, σ̂, map) are parametric in the row:
+//!   their action on a tuple never inspects any other tuple, so
+//!   `Q(⋃ᵢ Rᵢ) = ⋃ᵢ Q(Rᵢ)` (Proposition 3.1's closure under composition
+//!   applied morsel-wise);
+//! * **multiset operators** (∪, ∩, −, ×, ⋈) are generic set functions
+//!   that commute with any *hash-consistent* partitioning — routing equal
+//!   rows (or equal join keys) to the same partition makes the
+//!   per-partition results disjoint up to canonical merge.
+//!
+//! What does **not** distribute is exactly the whole-set fragment:
+//! `even` is generic (Lemma 2.12) yet its value on `R₁ ∪ R₂` is not a
+//! function of its values on `R₁` and `R₂`; `powerset` of a partition
+//! union is not the union of partition powersets; `eq_adom`, `adom`,
+//! `complement`, nest/unnest and fixpoint iteration likewise couple
+//! partitions. Those queries must take the serial path.
+//!
+//! The gate is *consulted*, not assumed: a query whose operators are all
+//! distributive but whose static classification comes back `unknown`
+//! (an opaque `map` closure, say) carries no genericity certificate and
+//! is refused too — parallel execution runs only on certified plans.
+
+use crate::class::Requirements;
+use crate::infer::infer_requirements;
+use genpar_algebra::Query;
+use std::fmt;
+
+/// A positive gate decision: the genericity certificate the static
+/// classifier derived for a partition-distributive query.
+#[derive(Debug, Clone)]
+pub struct SafetyCert {
+    /// Requirements in `rel` mode (the certificate the parallel rewrite
+    /// cites — see [`crate::infer_requirements`]).
+    pub rel: Requirements,
+    /// Requirements in `strong` mode.
+    pub strong: Requirements,
+    /// Number of operators certified.
+    pub ops: usize,
+}
+
+impl fmt::Display for SafetyCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} operators certified; rel-mode class: {}",
+            self.ops, self.rel
+        )
+    }
+}
+
+/// The gate's verdict on one query.
+#[derive(Debug, Clone)]
+pub enum PartitionSafety {
+    /// Every operator distributes over hash-consistent partitioning and
+    /// the classifier certified the query generic/parametric: parallel
+    /// evaluation returns `Value`-identical results to serial.
+    Safe(SafetyCert),
+    /// Some operator couples partitions (or carries no certificate);
+    /// evaluation must fall back to the serial path.
+    Unsafe {
+        /// The first offending operator.
+        op: &'static str,
+        /// Why it does not commute with partitioning.
+        reason: &'static str,
+    },
+}
+
+impl PartitionSafety {
+    /// Is parallel evaluation licensed?
+    pub fn is_safe(&self) -> bool {
+        matches!(self, PartitionSafety::Safe(_))
+    }
+}
+
+/// First operator in the tree that does not distribute over partition
+/// union, with the reason.
+fn first_unsafe_op(q: &Query) -> Option<(&'static str, &'static str)> {
+    match q {
+        Query::Rel(_) | Query::Empty => None,
+        Query::Lit(v) if v.as_set().is_some() => None,
+        Query::Lit(_) => Some(("lit", "non-relation literal has no rows to partition")),
+        Query::Project(_, a) | Query::Select(_, a) | Query::SelectHat(_, _, a) => {
+            first_unsafe_op(a)
+        }
+        Query::Map(f, a) => match f {
+            genpar_algebra::ValueFn::Custom(..) => Some((
+                "map",
+                "opaque map closure carries no genericity certificate (classifier returns unknown)",
+            )),
+            _ => first_unsafe_op(a),
+        },
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Difference(a, b)
+        | Query::Join(_, a, b) => first_unsafe_op(a).or_else(|| first_unsafe_op(b)),
+        Query::Insert(..) => Some(("insert", "constant insertion is not morsel-local")),
+        Query::Singleton(_) => Some(("singleton", "wraps the whole result, not each partition")),
+        Query::Flatten(_) => Some(("flatten", "inner sets may straddle partitions")),
+        Query::Powerset(_) => Some((
+            "powerset",
+            "℘(R₁ ∪ R₂) ≠ ℘(R₁) ∪ ℘(R₂): subsets straddle partitions",
+        )),
+        Query::EqAdom(_) => Some((
+            "eq_adom",
+            "active domain is a whole-input property (Prop 3.5)",
+        )),
+        Query::Adom(_) => Some(("adom", "active domain is a whole-input property")),
+        Query::Even(_) => Some((
+            "even",
+            "cardinality parity is a whole-set property (Lemma 2.12): not a function of partition parities",
+        )),
+        Query::NestParity(_) => Some(("np", "nesting depth is a whole-value property (Prop 4.16)")),
+        Query::Complement(_) => Some((
+            "complement",
+            "complement is relative to the whole universe, not a partition",
+        )),
+        Query::TuplePair(..) => Some(("pair", "produces a tuple, not a partitionable relation")),
+        Query::Nest(..) => Some(("nest", "groups may straddle partitions")),
+        Query::Unnest(..) => Some(("unnest", "nested sets are not hash-partitioned by row")),
+    }
+}
+
+/// Decide whether `q` may run on the parallel partitioned executor.
+///
+/// Safe means: every operator is in the distributive fragment **and**
+/// the static genericity classifier ([`crate::infer_requirements`])
+/// certified the query — the certificate rides along in the verdict so
+/// executors and `explain` can cite it.
+pub fn partition_safety(q: &Query) -> PartitionSafety {
+    if let Some((op, reason)) = first_unsafe_op(q) {
+        return PartitionSafety::Unsafe { op, reason };
+    }
+    let inf = infer_requirements(q);
+    if inf.rel.unknown {
+        return PartitionSafety::Unsafe {
+            op: "map",
+            reason: "classifier could not certify the query (unknown requirements)",
+        };
+    }
+    PartitionSafety::Safe(SafetyCert {
+        rel: inf.rel,
+        strong: inf.strong,
+        ops: q.size(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_algebra::{Pred, ValueFn};
+    use genpar_value::Value;
+
+    #[test]
+    fn relational_fragment_is_safe_with_certificate() {
+        let q = genpar_algebra::Query::rel("R")
+            .select(Pred::eq_cols(0, 1))
+            .join_on(genpar_algebra::Query::rel("S"), [(0, 0)])
+            .project([0]);
+        match partition_safety(&q) {
+            PartitionSafety::Safe(cert) => {
+                assert_eq!(cert.ops, 5);
+                // σ$1=$2 and ⋈ demand equality preservation — the
+                // certificate carries the classifier's derivation
+                assert!(cert.rel.injective);
+            }
+            other => panic!("expected Safe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_set_operators_are_unsafe() {
+        for (q, op) in [
+            (
+                genpar_algebra::Query::Powerset(Box::new(genpar_algebra::Query::rel("R"))),
+                "powerset",
+            ),
+            (
+                genpar_algebra::Query::Even(Box::new(genpar_algebra::Query::rel("R"))),
+                "even",
+            ),
+            (
+                genpar_algebra::Query::Adom(Box::new(genpar_algebra::Query::rel("R"))),
+                "adom",
+            ),
+        ] {
+            match partition_safety(&q) {
+                PartitionSafety::Unsafe { op: got, .. } => assert_eq!(got, op),
+                other => panic!("expected Unsafe({op}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_op_found_under_safe_wrappers() {
+        // the gate must see through π(σ(powerset(R)))
+        let q = genpar_algebra::Query::Powerset(Box::new(genpar_algebra::Query::rel("R")))
+            .select(Pred::True)
+            .project([0]);
+        assert!(!partition_safety(&q).is_safe());
+    }
+
+    #[test]
+    fn opaque_map_closure_is_refused() {
+        let q = genpar_algebra::Query::rel("R").map(ValueFn::custom(|v| v.clone()));
+        match partition_safety(&q) {
+            PartitionSafety::Unsafe { op, reason } => {
+                assert_eq!(op, "map");
+                assert!(reason.contains("certificate"), "{reason}");
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_map_fns_stay_safe() {
+        let q = genpar_algebra::Query::rel("R").map(ValueFn::Cols(vec![1, 0]));
+        assert!(partition_safety(&q).is_safe());
+        let lit = genpar_algebra::Query::Lit(Value::set([Value::tuple([Value::Int(1)])]));
+        assert!(partition_safety(&lit).is_safe());
+        assert!(!partition_safety(&genpar_algebra::Query::Lit(Value::Int(1))).is_safe());
+    }
+}

@@ -1,0 +1,316 @@
+//! Parallel operator kernels.
+//!
+//! Every kernel has the same shape: cut (or hash-partition) the input,
+//! run per-chunk tasks on the pool, then **canonically merge** — sort +
+//! dedup under the derived total order on `Value` — so the result is
+//! independent of worker count, morsel size and scheduling. Each task
+//! passes the `exec.morsel` fault site and charges the shared budget
+//! meter; the merge passes `exec.merge` and charges the output-side rows
+//! and cells, mirroring the serial engine's per-node charges.
+
+use crate::morsel::{chunk_rows, key_partition, partition_rows, row_partition};
+use crate::{pool, ExecConfig};
+use genpar_algebra::{eval::apply_fn, eval::eval_pred, Db, Pred, ValueFn};
+use genpar_engine::plan::{ExecError, ExecStats};
+use genpar_guard::SharedMeter;
+use genpar_value::{canonical_rows, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rows in flight between operators (canonical: sorted, deduplicated).
+pub(crate) type Rows = Vec<Vec<Value>>;
+
+/// Shared per-run context handed to every task.
+#[derive(Clone, Copy)]
+pub(crate) struct Ctx<'a> {
+    pub cfg: &'a ExecConfig,
+    pub meter: Option<&'a SharedMeter>,
+}
+
+fn fault_err(f: genpar_guard::Fault) -> ExecError {
+    ExecError::Fault(f.to_string())
+}
+
+fn eval_err(e: genpar_algebra::EvalError) -> ExecError {
+    ExecError::Eval(e.to_string())
+}
+
+fn budget_err(b: genpar_guard::BudgetBreach, partial: &ExecStats) -> ExecError {
+    ExecError::Budget {
+        resource: b.resource,
+        limit: b.limit,
+        used: b.used,
+        op: b.op,
+        partial: *partial,
+    }
+}
+
+pub(crate) fn add_stats(into: &mut ExecStats, s: &ExecStats) {
+    into.rows_scanned += s.rows_scanned;
+    into.rows_processed += s.rows_processed;
+    into.cells_processed += s.cells_processed;
+    into.probes += s.probes;
+}
+
+fn row_cells(rows: &[Vec<Value>]) -> u64 {
+    rows.iter().map(|r| r.len() as u64).sum()
+}
+
+/// Per-task entry: the `exec.morsel` fault site plus the input-side
+/// budget charges (steps = one quantum per morsel, cells = morsel cells).
+fn enter_morsel(ctx: &Ctx, morsel: &[Vec<Value>], op: &'static str) -> Result<(), ExecError> {
+    genpar_guard::faultpoint("exec.morsel").map_err(fault_err)?;
+    if let Some(m) = ctx.meter {
+        let zero = ExecStats::default();
+        m.charge_steps(1, op).map_err(|b| budget_err(b, &zero))?;
+        m.charge_cells(row_cells(morsel), op)
+            .map_err(|b| budget_err(b, &zero))?;
+    }
+    Ok(())
+}
+
+/// Canonical merge: the `exec.merge` fault site, per-task stats summed in
+/// task order, rows sorted + deduplicated, output-side budget charges.
+fn merge(
+    parts: Vec<(Rows, ExecStats)>,
+    ctx: &Ctx,
+    op: &'static str,
+) -> Result<(Rows, ExecStats), ExecError> {
+    genpar_guard::faultpoint("exec.merge").map_err(fault_err)?;
+    let mut stats = ExecStats::default();
+    let mut all: Rows = Vec::new();
+    for (rows, s) in parts {
+        add_stats(&mut stats, &s);
+        all.extend(rows);
+    }
+    let rows = canonical_rows(all);
+    if let Some(m) = ctx.meter {
+        m.charge_rows(rows.len() as u64, op)
+            .map_err(|b| budget_err(b, &stats))?;
+        m.charge_cells(row_cells(&rows), op)
+            .map_err(|b| budget_err(b, &stats))?;
+    }
+    Ok((rows, stats))
+}
+
+/// Parallel σ: embarrassingly parallel over morsels.
+pub(crate) fn par_filter(input: Rows, p: &Pred, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
+    let parts = pool::run_tasks(
+        ctx.cfg.workers,
+        chunk_rows(input, ctx.cfg.morsel_rows),
+        |_, morsel| {
+            enter_morsel(ctx, &morsel, "plan.Filter")?;
+            let db = Db::with_standard_int();
+            let mut stats = ExecStats::default();
+            let mut out = Vec::new();
+            for row in morsel {
+                stats.rows_processed += 1;
+                stats.cells_processed += row.len() as u64;
+                let tv = Value::Tuple(row.clone());
+                if eval_pred(p, &tv, &db).map_err(eval_err)? {
+                    out.push(row);
+                }
+            }
+            Ok((out, stats))
+        },
+    )?;
+    merge(parts, ctx, "plan.Filter")
+}
+
+/// Parallel π: embarrassingly parallel over morsels (dedup at merge).
+pub(crate) fn par_project(
+    input: Rows,
+    cols: &[usize],
+    ctx: &Ctx,
+) -> Result<(Rows, ExecStats), ExecError> {
+    let parts = pool::run_tasks(
+        ctx.cfg.workers,
+        chunk_rows(input, ctx.cfg.morsel_rows),
+        |_, morsel| {
+            enter_morsel(ctx, &morsel, "plan.Project")?;
+            let mut stats = ExecStats::default();
+            let mut out = Vec::new();
+            for row in morsel {
+                stats.rows_processed += 1;
+                stats.cells_processed += row.len() as u64;
+                let mut projected = Vec::with_capacity(cols.len());
+                for &c in cols {
+                    projected.push(
+                        row.get(c)
+                            .cloned()
+                            .ok_or_else(|| ExecError::Eval(format!("column {c} missing")))?,
+                    );
+                }
+                out.push(projected);
+            }
+            Ok((out, stats))
+        },
+    )?;
+    merge(parts, ctx, "plan.Project")
+}
+
+/// Parallel map: embarrassingly parallel over morsels.
+pub(crate) fn par_map(input: Rows, f: &ValueFn, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
+    let parts = pool::run_tasks(
+        ctx.cfg.workers,
+        chunk_rows(input, ctx.cfg.morsel_rows),
+        |_, morsel| {
+            enter_morsel(ctx, &morsel, "plan.MapRows")?;
+            let db = Db::with_standard_int();
+            let mut stats = ExecStats::default();
+            let mut out = Vec::new();
+            for row in morsel {
+                stats.rows_processed += 1;
+                stats.cells_processed += row.len() as u64;
+                let tv = Value::Tuple(row);
+                match apply_fn(f, &tv, &db).map_err(eval_err)? {
+                    Value::Tuple(cols) => out.push(cols),
+                    other => out.push(vec![other]),
+                }
+            }
+            Ok((out, stats))
+        },
+    )?;
+    merge(parts, ctx, "plan.MapRows")
+}
+
+/// Partitioned hash join: both sides are routed by a deterministic hash
+/// of the first key column, so matching keys meet in the same partition;
+/// each partition builds and probes independently. A keyless join
+/// degenerates to the product kernel.
+pub(crate) fn par_join(
+    l: Rows,
+    r: Rows,
+    on: &[(usize, usize)],
+    ctx: &Ctx,
+) -> Result<(Rows, ExecStats), ExecError> {
+    let Some(&(i0, j0)) = on.first() else {
+        return par_product(l, r, ctx, "plan.HashJoin");
+    };
+    let nparts = ctx.cfg.workers.max(1) * 2;
+    let lparts = partition_rows(l, nparts, |row| key_partition(row, i0, nparts));
+    let rparts = partition_rows(r, nparts, |row| key_partition(row, j0, nparts));
+    let tasks: Vec<(Rows, Rows)> = lparts.into_iter().zip(rparts).collect();
+    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |_, (lp, rp)| {
+        enter_morsel(ctx, &lp, "plan.HashJoin")?;
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        let mut index: BTreeMap<&Value, Vec<&Vec<Value>>> = BTreeMap::new();
+        for row in &rp {
+            stats.rows_processed += 1;
+            stats.cells_processed += row.len() as u64;
+            match row.get(j0) {
+                Some(k) => index.entry(k).or_default().push(row),
+                None => return Err(ExecError::Eval(format!("join column {j0} missing"))),
+            }
+        }
+        for lrow in &lp {
+            stats.rows_processed += 1;
+            stats.cells_processed += lrow.len() as u64;
+            stats.probes += 1;
+            let Some(k) = lrow.get(i0) else {
+                return Err(ExecError::Eval(format!("join column {i0} missing")));
+            };
+            if let Some(matches) = index.get(k) {
+                'next: for rrow in matches {
+                    for &(i, j) in &on[1..] {
+                        if lrow.get(i) != rrow.get(j) {
+                            continue 'next;
+                        }
+                    }
+                    let mut joined = lrow.clone();
+                    joined.extend(rrow.iter().cloned());
+                    out.push(joined);
+                }
+            }
+        }
+        Ok((out, stats))
+    })?;
+    merge(parts, ctx, "plan.HashJoin")
+}
+
+/// Parallel Cartesian product: the left side is morselized, each task
+/// crosses its morsel with the whole right side. Quadratic, so every
+/// task charges `|morsel| × |r|` steps up front — a breach fires long
+/// before the full product materializes, even across workers.
+pub(crate) fn par_product(
+    l: Rows,
+    r: Rows,
+    ctx: &Ctx,
+    op: &'static str,
+) -> Result<(Rows, ExecStats), ExecError> {
+    let rref = &r;
+    let parts = pool::run_tasks(
+        ctx.cfg.workers,
+        chunk_rows(l, ctx.cfg.morsel_rows),
+        |_, morsel| {
+            enter_morsel(ctx, &morsel, op)?;
+            let mut stats = ExecStats::default();
+            if let Some(m) = ctx.meter {
+                m.charge_steps((morsel.len() * rref.len()) as u64, op)
+                    .map_err(|b| budget_err(b, &stats))?;
+            }
+            let mut out = Vec::new();
+            for lrow in &morsel {
+                for rrow in rref {
+                    stats.rows_processed += 1;
+                    stats.cells_processed += (lrow.len() + rrow.len()) as u64;
+                    let mut joined = lrow.clone();
+                    joined.extend(rrow.iter().cloned());
+                    out.push(joined);
+                }
+            }
+            Ok((out, stats))
+        },
+    )?;
+    merge(parts, ctx, op)
+}
+
+/// Which set operation a partitioned set kernel performs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SetOp {
+    Union,
+    Intersect,
+    Difference,
+}
+
+impl SetOp {
+    fn op_name(self) -> &'static str {
+        match self {
+            SetOp::Union => "plan.Union",
+            SetOp::Intersect => "plan.Intersect",
+            SetOp::Difference => "plan.Difference",
+        }
+    }
+}
+
+/// Partitioned ∪/∩/−: both sides are routed by whole-row hash, so equal
+/// rows meet in the same partition and each partition's set operation is
+/// independent — the canonical merge of per-partition results equals the
+/// serial result exactly.
+pub(crate) fn par_setop(
+    l: Rows,
+    r: Rows,
+    op: SetOp,
+    ctx: &Ctx,
+) -> Result<(Rows, ExecStats), ExecError> {
+    let nparts = ctx.cfg.workers.max(1) * 2;
+    let lparts = partition_rows(l, nparts, |row| row_partition(row, nparts));
+    let rparts = partition_rows(r, nparts, |row| row_partition(row, nparts));
+    let tasks: Vec<(Rows, Rows)> = lparts.into_iter().zip(rparts).collect();
+    let name = op.op_name();
+    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |_, (lp, rp)| {
+        enter_morsel(ctx, &lp, name)?;
+        let mut stats = ExecStats::default();
+        stats.rows_processed += (lp.len() + rp.len()) as u64;
+        stats.cells_processed += row_cells(&lp) + row_cells(&rp);
+        let ls: BTreeSet<Vec<Value>> = lp.into_iter().collect();
+        let rs: BTreeSet<Vec<Value>> = rp.into_iter().collect();
+        let out: Rows = match op {
+            SetOp::Union => ls.union(&rs).cloned().collect(),
+            SetOp::Intersect => ls.intersection(&rs).cloned().collect(),
+            SetOp::Difference => ls.difference(&rs).cloned().collect(),
+        };
+        Ok((out, stats))
+    })?;
+    merge(parts, ctx, name)
+}

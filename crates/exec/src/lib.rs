@@ -1,0 +1,430 @@
+#![warn(missing_docs)]
+// Execution paths must fail structurally, never unwrap (tests exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # genpar-exec — the genericity-aware parallel partitioned executor
+//!
+//! Morsel-driven parallel evaluation of physical plans, **gated by the
+//! genericity checker**. The paper's central observation — generic
+//! queries cannot distinguish relabelled inputs — has a physical
+//! corollary: queries built from operators that distribute over
+//! partition union can be evaluated per partition and canonically
+//! merged, with results `Value`-identical to serial evaluation. The gate
+//! ([`genpar_core::partition_safety`]) certifies exactly that fragment;
+//! whole-set operators (`even`, `powerset`, active-domain tests …) and
+//! uncertified opaque closures take the serial path, recorded as an
+//! `exec.fallback` obs event.
+//!
+//! Pipeline per operator: chunk or hash-partition the input
+//! ([`morsel`]), fan tasks out on a work-stealing worker pool
+//! ([`pool`]), run the parallel kernel ([`kernels`]), canonically merge.
+//! The run charges one shared atomic budget meter
+//! ([`genpar_guard::SharedMeter`]) bridged from whatever
+//! [`genpar_guard::ExecBudget`] is armed on the calling thread, passes
+//! the deterministic fault sites `exec.morsel` and `exec.merge`, and
+//! records `exec.*` spans and counters in the `genpar-obs` registry.
+//!
+//! Entry points:
+//!
+//! * [`EvalParallel::eval_parallel`] — extension method on
+//!   [`PhysicalPlan`]: parallel evaluation of an already-lowered plan.
+//! * [`eval_query`] — query-level entry: consult the gate, lower and run
+//!   parallel when certified, fall back to the serial algebra evaluator
+//!   otherwise. Returns the route taken alongside the result.
+//!
+//! Worker count comes from [`ExecConfig`]: explicit, or the
+//! `GENPAR_PARALLEL` environment variable via [`ExecConfig::from_env`].
+
+pub mod kernels;
+pub mod morsel;
+pub mod pool;
+
+use genpar_algebra::{eval::eval, Db, Query};
+use genpar_core::{partition_safety, PartitionSafety};
+use genpar_engine::plan::{lower, ExecError, ExecStats, PhysicalPlan};
+use genpar_engine::schema::Catalog;
+use genpar_guard::SharedMeter;
+use genpar_obs::FieldValue;
+use genpar_value::Value;
+use kernels::{Ctx, Rows, SetOp};
+
+pub use morsel::DEFAULT_MORSEL_ROWS;
+
+/// Environment variable naming the default worker count.
+pub const PARALLEL_ENV: &str = "GENPAR_PARALLEL";
+
+/// Executor configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads. `<= 1` means serial (no threads spawned).
+    pub workers: usize,
+    /// Rows per morsel for embarrassingly-parallel operators.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            workers: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Serial configuration (one worker).
+    pub fn serial() -> ExecConfig {
+        ExecConfig::default()
+    }
+
+    /// Set the worker count (builder style). Zero is clamped to one.
+    pub fn with_workers(mut self, workers: usize) -> ExecConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the morsel size (builder style). Zero is clamped to one.
+    pub fn with_morsel_rows(mut self, rows: usize) -> ExecConfig {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Configuration from the environment: `GENPAR_PARALLEL=N` sets the
+    /// worker count (unset, empty or unparsable means serial).
+    pub fn from_env() -> ExecConfig {
+        let workers = std::env::var(PARALLEL_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        ExecConfig::default().with_workers(workers)
+    }
+}
+
+/// Which path [`eval_query`] took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecRoute {
+    /// The gate certified the query; it ran on the parallel executor.
+    Parallel {
+        /// Worker threads used.
+        workers: usize,
+        /// Rendering of the genericity certificate.
+        certificate: String,
+    },
+    /// The gate refused; the serial algebra evaluator ran instead
+    /// (recorded as an `exec.fallback` obs event).
+    Fallback {
+        /// The offending operator.
+        op: &'static str,
+        /// Why it cannot be partitioned.
+        reason: &'static str,
+    },
+    /// Serial execution was requested (`workers <= 1`); the gate was
+    /// never consulted.
+    Serial,
+}
+
+/// Parallel evaluation of physical plans — an extension trait because
+/// `genpar-exec` sits above `genpar-engine` in the crate graph.
+pub trait EvalParallel {
+    /// Evaluate against a catalog on `cfg.workers` threads, producing
+    /// canonically-ordered deduplicated rows and summed work counters.
+    /// `Value`-identical to [`PhysicalPlan::execute`] by construction:
+    /// deterministic hash partitioning + canonical merge.
+    fn eval_parallel(
+        &self,
+        catalog: &Catalog,
+        cfg: &ExecConfig,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError>;
+}
+
+impl EvalParallel for PhysicalPlan {
+    fn eval_parallel(
+        &self,
+        catalog: &Catalog,
+        cfg: &ExecConfig,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
+        if cfg.workers <= 1 {
+            // serial request: the engine's own path (thread-local budget
+            // charging, engine.* spans) is already exactly right
+            return self.execute(catalog);
+        }
+        let mut sp = genpar_obs::span("exec.parallel");
+        sp.field("workers", cfg.workers as u64);
+        sp.field("morsel_rows", cfg.morsel_rows as u64);
+        let meter = SharedMeter::from_armed();
+        let ctx = Ctx {
+            cfg,
+            meter: meter.as_ref(),
+        };
+        let mut stats = ExecStats::default();
+        let rows = genpar_guard::catch_panics(|| run_plan(self, catalog, &ctx, &mut stats))
+            .map_err(ExecError::Internal)??;
+        stats.rows_out = rows.len() as u64;
+        genpar_obs::counter("exec.executions", 1);
+        genpar_obs::counter("exec.rows_out", stats.rows_out);
+        genpar_obs::counter("exec.rows_processed", stats.rows_processed);
+        sp.field("rows_out", stats.rows_out);
+        Ok((rows, stats))
+    }
+}
+
+fn run_plan(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &Ctx,
+    stats: &mut ExecStats,
+) -> Result<Rows, ExecError> {
+    let op = plan.op_name();
+    let mut sp = genpar_obs::span(op);
+    let out: Rows = match plan {
+        PhysicalPlan::Scan(name) => {
+            let t = catalog
+                .get(name)
+                .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
+            stats.rows_scanned += t.len() as u64;
+            sp.field("rows_in", t.len() as u64);
+            charge_source(ctx, t.len() as u64, op, stats)?;
+            t.rows().cloned().collect()
+        }
+        PhysicalPlan::Values(rows) => {
+            stats.rows_scanned += rows.len() as u64;
+            sp.field("rows_in", rows.len() as u64);
+            charge_source(ctx, rows.len() as u64, op, stats)?;
+            genpar_value::canonical_rows(rows.iter().cloned())
+        }
+        PhysicalPlan::Filter(p, a) => {
+            let input = run_plan(a, catalog, ctx, stats)?;
+            sp.field("rows_in", input.len() as u64);
+            let (rows, s) = kernels::par_filter(input, p, ctx)?;
+            kernels::add_stats(stats, &s);
+            rows
+        }
+        PhysicalPlan::Project(cols, a) => {
+            let input = run_plan(a, catalog, ctx, stats)?;
+            sp.field("rows_in", input.len() as u64);
+            let (rows, s) = kernels::par_project(input, cols, ctx)?;
+            kernels::add_stats(stats, &s);
+            rows
+        }
+        PhysicalPlan::MapRows(f, a) => {
+            let input = run_plan(a, catalog, ctx, stats)?;
+            sp.field("rows_in", input.len() as u64);
+            let (rows, s) = kernels::par_map(input, f, ctx)?;
+            kernels::add_stats(stats, &s);
+            rows
+        }
+        PhysicalPlan::HashJoin(on, a, b) => {
+            let l = run_plan(a, catalog, ctx, stats)?;
+            let r = run_plan(b, catalog, ctx, stats)?;
+            sp.field("rows_in", (l.len() + r.len()) as u64);
+            let (rows, s) = kernels::par_join(l, r, on, ctx)?;
+            kernels::add_stats(stats, &s);
+            rows
+        }
+        PhysicalPlan::Product(a, b) => {
+            let l = run_plan(a, catalog, ctx, stats)?;
+            let r = run_plan(b, catalog, ctx, stats)?;
+            sp.field("rows_in", (l.len() + r.len()) as u64);
+            let (rows, s) = kernels::par_product(l, r, ctx, "plan.Product")?;
+            kernels::add_stats(stats, &s);
+            rows
+        }
+        PhysicalPlan::Union(..) => setop_node(plan, SetOp::Union, catalog, ctx, stats, &mut sp)?,
+        PhysicalPlan::Intersect(..) => {
+            setop_node(plan, SetOp::Intersect, catalog, ctx, stats, &mut sp)?
+        }
+        PhysicalPlan::Difference(..) => {
+            setop_node(plan, SetOp::Difference, catalog, ctx, stats, &mut sp)?
+        }
+    };
+    sp.field("rows_out", out.len() as u64);
+    Ok(out)
+}
+
+fn setop_node(
+    plan: &PhysicalPlan,
+    op: SetOp,
+    catalog: &Catalog,
+    ctx: &Ctx,
+    stats: &mut ExecStats,
+    sp: &mut genpar_obs::SpanGuard,
+) -> Result<Rows, ExecError> {
+    let (a, b) = match plan {
+        PhysicalPlan::Union(a, b)
+        | PhysicalPlan::Intersect(a, b)
+        | PhysicalPlan::Difference(a, b) => (a, b),
+        other => {
+            return Err(ExecError::Internal(format!(
+                "setop_node on non-set operator {}",
+                other.op_name()
+            )))
+        }
+    };
+    let l = run_plan(a, catalog, ctx, stats)?;
+    let r = run_plan(b, catalog, ctx, stats)?;
+    sp.field("rows_in", (l.len() + r.len()) as u64);
+    let (rows, s) = kernels::par_setop(l, r, op, ctx)?;
+    kernels::add_stats(stats, &s);
+    Ok(rows)
+}
+
+/// Source-node budget charges (scans and constant relations produce rows
+/// without passing through a kernel merge).
+fn charge_source(
+    ctx: &Ctx,
+    rows: u64,
+    op: &'static str,
+    stats: &ExecStats,
+) -> Result<(), ExecError> {
+    if let Some(m) = ctx.meter {
+        m.charge_steps(1, op).map_err(|b| ExecError::Budget {
+            resource: b.resource,
+            limit: b.limit,
+            used: b.used,
+            op: b.op,
+            partial: *stats,
+        })?;
+        m.charge_rows(rows, op).map_err(|b| ExecError::Budget {
+            resource: b.resource,
+            limit: b.limit,
+            used: b.used,
+            op: b.op,
+            partial: *stats,
+        })?;
+    }
+    Ok(())
+}
+
+/// Build an algebra database mirroring a catalog (for the serial
+/// fallback path), with the standard integer signature.
+pub fn db_from_catalog(catalog: &Catalog) -> Db {
+    let mut db = Db::with_standard_int();
+    for t in catalog.tables() {
+        db.set(t.name.clone(), t.to_value());
+    }
+    db
+}
+
+fn eval_to_exec(e: genpar_algebra::EvalError) -> ExecError {
+    match e {
+        genpar_algebra::EvalError::BudgetExceeded {
+            resource,
+            limit,
+            used,
+            op,
+            ..
+        } => ExecError::Budget {
+            resource,
+            limit,
+            used,
+            op,
+            partial: ExecStats::default(),
+        },
+        genpar_algebra::EvalError::Fault(msg) => ExecError::Fault(msg),
+        other => ExecError::Eval(other.to_string()),
+    }
+}
+
+/// Evaluate a query with the partition-safety gate in the loop.
+///
+/// * `cfg.workers <= 1` — serial: the engine path when the query lowers,
+///   the algebra evaluator otherwise ([`ExecRoute::Serial`]).
+/// * Gate says **safe** — lower and run on the parallel executor; the
+///   genericity certificate rides along in [`ExecRoute::Parallel`].
+/// * Gate says **unsafe** (or the plan will not lower) — run the serial
+///   algebra evaluator, bump the `exec.fallbacks` counter and record an
+///   `exec.fallback` obs event naming the operator and reason.
+///
+/// In every route the result is the same [`Value`].
+pub fn eval_query(
+    q: &Query,
+    catalog: &Catalog,
+    cfg: &ExecConfig,
+) -> Result<(Value, ExecStats, ExecRoute), ExecError> {
+    if cfg.workers <= 1 {
+        let (v, stats) = eval_serial(q, catalog)?;
+        return Ok((v, stats, ExecRoute::Serial));
+    }
+    match partition_safety(q) {
+        PartitionSafety::Safe(cert) => match lower(q) {
+            Some(plan) => {
+                let (rows, stats) = plan.eval_parallel(catalog, cfg)?;
+                Ok((
+                    genpar_value::rows_to_value(rows),
+                    stats,
+                    ExecRoute::Parallel {
+                        workers: cfg.workers,
+                        certificate: cert.to_string(),
+                    },
+                ))
+            }
+            None => fallback(q, catalog, "lit", "literal rows are not flat tuples"),
+        },
+        PartitionSafety::Unsafe { op, reason } => fallback(q, catalog, op, reason),
+    }
+}
+
+/// Record a serial-fallback decision in the obs registry: the
+/// `exec.fallbacks` counter plus an `exec.fallback` event naming the
+/// operator and reason. Public so CLI surfaces that bypass
+/// [`eval_query`] (to keep their own serial semantics) report fallbacks
+/// identically.
+pub fn note_fallback(op: &str, reason: &str) {
+    genpar_obs::counter("exec.fallbacks", 1);
+    genpar_obs::event(
+        "exec.fallback",
+        [
+            ("op", FieldValue::from(op.to_string())),
+            ("reason", FieldValue::from(reason.to_string())),
+            ("mode", FieldValue::from("serial")),
+        ],
+    );
+}
+
+fn fallback(
+    q: &Query,
+    catalog: &Catalog,
+    op: &'static str,
+    reason: &'static str,
+) -> Result<(Value, ExecStats, ExecRoute), ExecError> {
+    note_fallback(op, reason);
+    let _sp = genpar_obs::span("exec.fallback");
+    let db = db_from_catalog(catalog);
+    let v = eval(q, &db).map_err(eval_to_exec)?;
+    Ok((v, ExecStats::default(), ExecRoute::Fallback { op, reason }))
+}
+
+fn eval_serial(q: &Query, catalog: &Catalog) -> Result<(Value, ExecStats), ExecError> {
+    if let Some(plan) = lower(q) {
+        let (rows, stats) = plan.execute(catalog)?;
+        Ok((genpar_value::rows_to_value(rows), stats))
+    } else {
+        let db = db_from_catalog(catalog);
+        let v = eval(q, &db).map_err(eval_to_exec)?;
+        Ok((v, ExecStats::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_clamp() {
+        let c = ExecConfig::serial().with_workers(0).with_morsel_rows(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.morsel_rows, 1);
+        assert_eq!(ExecConfig::default().morsel_rows, DEFAULT_MORSEL_ROWS);
+    }
+
+    #[test]
+    fn config_from_env_parses_and_defaults() {
+        // set/unset around the calls; no other test in this binary reads
+        // the variable
+        std::env::set_var(PARALLEL_ENV, "6");
+        assert_eq!(ExecConfig::from_env().workers, 6);
+        std::env::set_var(PARALLEL_ENV, "not-a-number");
+        assert_eq!(ExecConfig::from_env().workers, 1);
+        std::env::remove_var(PARALLEL_ENV);
+        assert_eq!(ExecConfig::from_env().workers, 1);
+    }
+}

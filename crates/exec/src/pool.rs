@@ -1,0 +1,195 @@
+//! A work-stealing worker pool over scoped threads.
+//!
+//! Tasks (morsel or partition closures) are distributed round-robin onto
+//! per-worker deques; each worker pops its own deque from the back
+//! (LIFO, cache-warm) and steals from other workers' fronts (FIFO, the
+//! oldest — largest remaining — work) when its own runs dry. Workers
+//! record `exec.worker` obs spans and `exec.morsels` / `exec.steals`
+//! counters. The first task error cancels the pool: remaining workers
+//! observe the stop flag and exit without starting further tasks.
+//!
+//! Results come back **in task order**, independent of which worker ran
+//! what — the first half of the determinism argument (the second half is
+//! the canonical merge in `kernels`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning (a panicking worker must not
+/// wedge the pool — panics are converted at the executor boundary).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn pop_own(deques: &[Mutex<VecDeque<usize>>], wid: usize) -> Option<usize> {
+    lock(&deques[wid]).pop_back()
+}
+
+fn steal(deques: &[Mutex<VecDeque<usize>>], wid: usize, steals: &mut u64) -> Option<usize> {
+    for (i, d) in deques.iter().enumerate() {
+        if i == wid {
+            continue;
+        }
+        if let Some(idx) = lock(d).pop_front() {
+            *steals += 1;
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Run `f` over every item on `workers` threads; results in item order.
+///
+/// The first `Err` wins and cancels outstanding work. With `workers <= 1`
+/// (or at most one item) everything runs inline on the caller's thread —
+/// no threads are spawned, so thread-local state (an armed serial budget,
+/// say) stays visible.
+pub fn run_tasks<T, R, E, F>(workers: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            out.push(f(i, item)?);
+        }
+        return Ok(out);
+    }
+
+    let w = workers.min(n);
+    // each item sits in its own slot and is taken exactly once
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        lock(&deques[i % w]).push_back(i);
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_err: Mutex<Option<E>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for wid in 0..w {
+            let (deques, slots, results) = (&deques, &slots, &results);
+            let (first_err, stop, f) = (&first_err, &stop, &f);
+            s.spawn(move || {
+                let mut sp = genpar_obs::span("exec.worker");
+                sp.field("worker", wid as u64);
+                let mut done = 0u64;
+                let mut steals = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let Some(idx) =
+                        pop_own(deques, wid).or_else(|| steal(deques, wid, &mut steals))
+                    else {
+                        break;
+                    };
+                    let Some(item) = lock(&slots[idx]).take() else {
+                        continue;
+                    };
+                    match f(idx, item) {
+                        Ok(r) => {
+                            *lock(&results[idx]) = Some(r);
+                            done += 1;
+                        }
+                        Err(e) => {
+                            let mut g = lock(first_err);
+                            if g.is_none() {
+                                *g = Some(e);
+                            }
+                            stop.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                sp.field("morsels", done);
+                sp.field("steals", steals);
+                genpar_obs::counter("exec.morsels", done);
+                genpar_obs::counter("exec.steals", steals);
+            });
+        }
+    });
+
+    if let Some(e) = lock(&first_err).take() {
+        return Err(e);
+    }
+    // no error ⇒ every slot was taken and completed before its worker
+    // exited, so every result is present
+    let out: Vec<R> = results
+        .into_iter()
+        .filter_map(|m| match m.into_inner() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+        .collect();
+    debug_assert_eq!(out.len(), n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = run_tasks(4, items, |i, x| -> Result<u64, ()> {
+            // uneven task cost to force interleaving and steals
+            std::thread::sleep(std::time::Duration::from_micros(x % 7));
+            Ok(i as u64 * 1000 + x)
+        })
+        .unwrap();
+        assert_eq!(got.len(), 100);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let ran = AtomicU64::new(0);
+        let got = run_tasks(
+            8,
+            (0..257).collect::<Vec<i32>>(),
+            |_, _| -> Result<(), ()> {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(got.len(), 257);
+        assert_eq!(ran.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn first_error_wins_and_cancels() {
+        let err = run_tasks(4, (0..1000).collect::<Vec<u64>>(), |_, x| {
+            if x == 3 {
+                Err(format!("boom {x}"))
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(5));
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert!(err.starts_with("boom"), "{err}");
+    }
+
+    #[test]
+    fn serial_path_spawns_no_threads() {
+        let main = std::thread::current().id();
+        let got = run_tasks(1, vec![1, 2, 3], |_, x| -> Result<_, ()> {
+            assert_eq!(std::thread::current().id(), main);
+            Ok(x * 2)
+        })
+        .unwrap();
+        assert_eq!(got, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fault injection and budget governance on the parallel path.
+//!
+//! Fault arming is process-global, so every test here serializes on one
+//! mutex and disarms before releasing it — they cannot interleave with
+//! each other, and they live in their own test binary so they cannot
+//! poison the parity tests either.
+
+use genpar_algebra::{Pred, Query};
+use genpar_engine::plan::{lower, ExecError};
+use genpar_engine::schema::{Catalog, Schema};
+use genpar_engine::table::Table;
+use genpar_exec::{EvalParallel, ExecConfig};
+use genpar_value::{CvType, Value};
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn catalog() -> Catalog {
+    let mut r = Table::new("R", Schema::uniform(CvType::int(), 2));
+    for i in 0..100 {
+        r.insert(vec![Value::Int(i), Value::Int(i % 7)]);
+    }
+    let mut s = Table::new("S", Schema::uniform(CvType::int(), 2));
+    for i in 50..150 {
+        s.insert(vec![Value::Int(i), Value::Int(i % 7)]);
+    }
+    Catalog::new().with(r).with(s)
+}
+
+fn join_query() -> Query {
+    Query::rel("R")
+        .join_on(Query::rel("S"), [(0, 0)])
+        .select(Pred::eq_cols(1, 3))
+        .project([0, 1])
+}
+
+/// Run with a fault armed, returning the result; always disarms.
+fn with_fault<T>(spec: &str, f: impl FnOnce() -> T) -> T {
+    let _g = match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    genpar_guard::arm_faults(spec).expect("valid fault spec");
+    let out = f();
+    genpar_guard::disarm_faults();
+    out
+}
+
+#[test]
+fn morsel_fault_surfaces_as_structured_error() {
+    let c = catalog();
+    let plan = lower(&join_query()).unwrap();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
+    let err = with_fault("exec.morsel:1", || plan.eval_parallel(&c, &cfg)).unwrap_err();
+    match err {
+        ExecError::Fault(msg) => assert!(msg.contains("exec.morsel"), "{msg}"),
+        other => panic!("expected Fault, got {other:?}"),
+    }
+    // disarmed: the same plan now succeeds
+    assert!(plan.eval_parallel(&c, &cfg).is_ok());
+}
+
+#[test]
+fn merge_fault_surfaces_as_structured_error() {
+    let c = catalog();
+    let plan = lower(&join_query()).unwrap();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
+    let err = with_fault("exec.merge:1", || plan.eval_parallel(&c, &cfg)).unwrap_err();
+    match err {
+        ExecError::Fault(msg) => assert!(msg.contains("exec.merge"), "{msg}"),
+        other => panic!("expected Fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn nth_hit_fault_lets_earlier_morsels_pass() {
+    let c = catalog();
+    let plan = lower(&Query::rel("R").select(Pred::True)).unwrap();
+    // 100 rows at 10/morsel = 10 morsels; fail on the 7th passage
+    let cfg = ExecConfig::serial().with_workers(2).with_morsel_rows(10);
+    let err = with_fault("exec.morsel:7", || plan.eval_parallel(&c, &cfg)).unwrap_err();
+    assert!(matches!(err, ExecError::Fault(_)), "{err:?}");
+}
+
+#[test]
+fn shared_budget_caps_parallel_run() {
+    let _g = match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let c = catalog();
+    // the product of 100 × 100 rows blows a 2k-step budget across all
+    // workers together — the shared meter is one pool, not per-worker
+    let plan = lower(&Query::rel("R").product(Query::rel("S"))).unwrap();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(8);
+    let scope = genpar_guard::ExecBudget::default()
+        .with_max_steps(2_000)
+        .enter();
+    let err = plan.eval_parallel(&c, &cfg).unwrap_err();
+    drop(scope);
+    assert!(err.is_budget(), "expected budget breach, got {err:?}");
+    match err {
+        ExecError::Budget { resource, .. } => {
+            assert_eq!(resource, genpar_guard::Resource::Steps);
+        }
+        other => panic!("expected Budget, got {other:?}"),
+    }
+    // without the budget the same plan completes
+    assert!(plan.eval_parallel(&c, &cfg).is_ok());
+}
+
+#[test]
+fn rows_cap_fires_on_parallel_output() {
+    let _g = match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let c = catalog();
+    let plan = lower(&Query::rel("R")).unwrap();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(8);
+    let scope = genpar_guard::ExecBudget::default()
+        .with_max_rows(10)
+        .enter();
+    let err = plan.eval_parallel(&c, &cfg).unwrap_err();
+    drop(scope);
+    assert!(err.is_budget(), "{err:?}");
+    assert!(err.to_string().contains("rows limit 10"), "{err}");
+}

@@ -232,7 +232,15 @@ impl fmt::Display for BudgetBreach {
 
 impl std::error::Error for BudgetBreach {}
 
-fn breach(resource: Resource, limit: u64, used: u64, op: &'static str) -> BudgetBreach {
+/// Record a breach into obs (counter + event) and build the error. Shared
+/// with the atomic [`crate::shared::SharedMeter`] so both metering styles
+/// report identically.
+pub(crate) fn record_breach(
+    resource: Resource,
+    limit: u64,
+    used: u64,
+    op: &'static str,
+) -> BudgetBreach {
     genpar_obs::counter("guard.budget_breaches", 1);
     genpar_obs::event(
         "guard.budget_exceeded",
@@ -285,7 +293,7 @@ pub fn charge_rows(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     }
     with_meter(|m| {
         if n > m.budget.max_rows {
-            Err(breach(Resource::Rows, m.budget.max_rows, n, op))
+            Err(record_breach(Resource::Rows, m.budget.max_rows, n, op))
         } else {
             Ok(())
         }
@@ -301,7 +309,12 @@ pub fn charge_cells(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     with_meter(|m| {
         m.cells = m.cells.saturating_add(n);
         if m.cells > m.budget.max_cells {
-            Err(breach(Resource::Cells, m.budget.max_cells, m.cells, op))
+            Err(record_breach(
+                Resource::Cells,
+                m.budget.max_cells,
+                m.cells,
+                op,
+            ))
         } else {
             Ok(())
         }
@@ -317,7 +330,12 @@ pub fn charge_steps(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     with_meter(|m| {
         m.steps = m.steps.saturating_add(n);
         if m.steps > m.budget.max_steps {
-            Err(breach(Resource::Steps, m.budget.max_steps, m.steps, op))
+            Err(record_breach(
+                Resource::Steps,
+                m.budget.max_steps,
+                m.steps,
+                op,
+            ))
         } else {
             Ok(())
         }
@@ -334,7 +352,12 @@ pub fn charge_depth(depth: u64, op: &'static str) -> Result<(), BudgetBreach> {
     }
     with_meter(|m| {
         if depth > m.budget.max_depth {
-            Err(breach(Resource::Depth, m.budget.max_depth, depth, op))
+            Err(record_breach(
+                Resource::Depth,
+                m.budget.max_depth,
+                depth,
+                op,
+            ))
         } else {
             Ok(())
         }

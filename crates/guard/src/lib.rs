@@ -14,6 +14,9 @@
 //!   current thread with [`ExecBudget::enter`]; evaluators call the
 //!   `charge_*` functions at operator boundaries and surface a
 //!   [`BudgetBreach`] as a structured error with partial-progress stats.
+//!   Parallel executors bridge an armed budget into a worker pool with
+//!   [`SharedMeter`] — one atomically charged meter shared by all
+//!   workers, with a documented `workers × quantum` overshoot bound.
 //! * **Deterministic fault injection** ([`faultpoint`]) — named sites in
 //!   the engine, evaluator, checker and transfer machinery that can be
 //!   armed via the `GENPAR_FAULTS=site:nth` environment spec (or
@@ -37,6 +40,7 @@
 
 pub mod budget;
 pub mod fault;
+pub mod shared;
 
 pub use budget::{
     active_budget, charge_cells, charge_depth, charge_rows, charge_steps, depth_limit,
@@ -46,6 +50,7 @@ pub use fault::{
     arm_faults, arm_faults_from_env, armed_faults, disarm_faults, faultpoint, Fault,
     FaultSpecError, FAULTS_ENV,
 };
+pub use shared::SharedMeter;
 
 /// Render a panic payload (from `std::panic::catch_unwind`) as text.
 ///

@@ -1,0 +1,205 @@
+//! Concurrency-safe budget metering: one [`SharedMeter`] charged by all
+//! workers of a parallel executor.
+//!
+//! The thread-scoped machinery in [`crate::budget`] is deliberately
+//! thread-local (one query, one thread). A morsel-driven executor runs
+//! one query on *N* threads that must all draw from a single budget, so
+//! this module provides an atomic variant: cumulative resources
+//! (`cells`, `steps`) are `fetch_add`-then-check counters, and the
+//! per-operator `rows` cap is a plain comparison (nothing accumulates).
+//!
+//! ## Overshoot bound
+//!
+//! A charge is `fetch_add(n)` followed by a cap comparison — there is no
+//! lock, so two workers may both pass the check an instant before either
+//! add lands. The slack is bounded: every worker stops at its own first
+//! failed charge, so with `W` workers each charging quanta of at most
+//! `q` units, recorded usage never exceeds `cap + W × q`. Executors keep
+//! `q` at morsel granularity (`morsel_rows × row_width` cells), making
+//! the bound tight and documented rather than incidental. The
+//! `workers_cannot_overshoot_beyond_slack` test pins this bound.
+
+use crate::budget::{BudgetBreach, ExecBudget, Resource};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomically charged budget shared by the workers of one parallel
+/// query execution.
+///
+/// Construct it from the budget armed on the coordinating thread (or an
+/// explicit [`ExecBudget`]), hand a reference to every worker, and map
+/// the first [`BudgetBreach`] into the executor's error type.
+#[derive(Debug)]
+pub struct SharedMeter {
+    budget: ExecBudget,
+    cells: AtomicU64,
+    steps: AtomicU64,
+}
+
+impl SharedMeter {
+    /// A shared meter over an explicit budget.
+    pub fn new(budget: ExecBudget) -> SharedMeter {
+        SharedMeter {
+            budget,
+            cells: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// A shared meter over the budget armed on the *current* thread, if
+    /// any — the bridge from the thread-scoped [`ExecBudget::enter`]
+    /// world into a worker pool. Returns `None` when nothing is armed,
+    /// so the disarmed fast path stays free.
+    pub fn from_armed() -> Option<SharedMeter> {
+        crate::budget::active_budget().map(SharedMeter::new)
+    }
+
+    /// The budget this meter enforces.
+    pub fn budget(&self) -> ExecBudget {
+        self.budget
+    }
+
+    /// Cumulative cells charged so far (may exceed the cap by the
+    /// documented worker slack once a breach has been reported).
+    pub fn cells_used(&self) -> u64 {
+        self.cells.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative steps charged so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Charge `n` rows materialized by operator `op` (per-operator cap,
+    /// not cumulative — same semantics as [`crate::charge_rows`]).
+    pub fn charge_rows(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        if n > self.budget.max_rows {
+            Err(crate::budget::record_breach(
+                Resource::Rows,
+                self.budget.max_rows,
+                n,
+                op,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge `n` cells processed (cumulative across all workers).
+    pub fn charge_cells(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        let used = self.cells.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if used > self.budget.max_cells {
+            Err(crate::budget::record_breach(
+                Resource::Cells,
+                self.budget.max_cells,
+                used,
+                op,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge `n` evaluation steps (cumulative across all workers).
+    pub fn charge_steps(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        let used = self.steps.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if used > self.budget.max_steps {
+            Err(crate::budget::record_breach(
+                Resource::Steps,
+                self.budget.max_steps,
+                used,
+                op,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn unarmed_thread_yields_no_meter() {
+        assert!(SharedMeter::from_armed().is_none());
+        let _scope = ExecBudget::default().with_max_cells(7).enter();
+        let m = SharedMeter::from_armed().unwrap();
+        assert_eq!(m.budget().max_cells, 7);
+    }
+
+    #[test]
+    fn rows_cap_is_per_charge() {
+        let m = SharedMeter::new(ExecBudget::unlimited().with_max_rows(10));
+        assert!(m.charge_rows(10, "a").is_ok());
+        assert!(m.charge_rows(10, "b").is_ok()); // not cumulative
+        let e = m.charge_rows(11, "c").unwrap_err();
+        assert_eq!(e.resource, Resource::Rows);
+        assert_eq!(e.op, "c");
+    }
+
+    #[test]
+    fn cells_and_steps_accumulate_across_charges() {
+        let m = SharedMeter::new(
+            ExecBudget::unlimited()
+                .with_max_cells(100)
+                .with_max_steps(3),
+        );
+        assert!(m.charge_cells(60, "a").is_ok());
+        let e = m.charge_cells(60, "b").unwrap_err();
+        assert_eq!(e.resource, Resource::Cells);
+        assert_eq!(e.used, 120);
+        for _ in 0..3 {
+            m.charge_steps(1, "s").unwrap();
+        }
+        assert_eq!(
+            m.charge_steps(1, "s").unwrap_err().resource,
+            Resource::Steps
+        );
+    }
+
+    /// The documented concurrency bound: with `W` workers charging
+    /// quanta of `q`, recorded usage never exceeds `cap + W × q`, and
+    /// every worker observes the breach (no one keeps charging past its
+    /// own first error).
+    #[test]
+    fn workers_cannot_overshoot_beyond_slack() {
+        const WORKERS: u64 = 8;
+        const QUANTUM: u64 = 16;
+        const CAP: u64 = 1000;
+        let m = SharedMeter::new(
+            ExecBudget::unlimited()
+                .with_max_cells(CAP)
+                .with_max_steps(CAP),
+        );
+        let all_breached = AtomicBool::new(true);
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                s.spawn(|| {
+                    let mut breached = false;
+                    // each worker tries far more work than the cap allows
+                    for _ in 0..(2 * CAP / QUANTUM) {
+                        if m.charge_cells(QUANTUM, "t").is_err() {
+                            breached = true;
+                            break; // a worker stops at its first breach
+                        }
+                    }
+                    if !breached {
+                        all_breached.store(false, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(
+            all_breached.load(Ordering::Relaxed),
+            "every worker must see the breach"
+        );
+        let used = m.cells_used();
+        assert!(used > CAP, "the cap was genuinely reached: {used}");
+        assert!(
+            used <= CAP + WORKERS * QUANTUM,
+            "overshoot {used} exceeds documented slack {}",
+            CAP + WORKERS * QUANTUM
+        );
+    }
+}

@@ -135,6 +135,33 @@ pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
     }
 }
 
+/// Per-morsel scheduling + canonical-merge overhead, as a fraction of
+/// the serial cost, charged once per extra worker. Keeps the model from
+/// predicting unbounded speedup: beyond the point where coordination
+/// eats the gains, adding workers *raises* the estimated cost.
+const PARALLEL_OVERHEAD_PER_WORKER: f64 = 0.03;
+
+/// Estimate a query as executed by `workers` workers on the partitioned
+/// executor. The parallelism factor applies **only** when the
+/// partition-safety gate certifies the query — the cost model consults
+/// the same genericity checker the executor does, so it never predicts a
+/// speedup the executor would refuse to attempt. Cardinalities are
+/// unchanged (parallelism moves work, it does not create rows); only
+/// `cost` is scaled.
+pub fn estimate_parallel(q: &Query, catalog: &Catalog, workers: usize) -> Estimate {
+    let base = estimate(q, catalog);
+    let w = workers.max(1) as f64;
+    if workers <= 1 || !genpar_core::partition_safety(q).is_safe() {
+        return base;
+    }
+    let factor = 1.0 / w + PARALLEL_OVERHEAD_PER_WORKER * (w - 1.0);
+    Estimate {
+        rows: base.rows,
+        width: base.width,
+        cost: base.cost * factor,
+    }
+}
+
 fn selectivity(p: &Pred) -> f64 {
     match p {
         Pred::True => 1.0,
@@ -161,6 +188,21 @@ pub fn optimize_costed(
     rules: &RuleSet,
     catalog: &Catalog,
 ) -> (Query, RewriteTrace, Estimate, Estimate) {
+    optimize_costed_parallel(q, rules, catalog, 1)
+}
+
+/// [`optimize_costed`] with the plans costed for a `workers`-wide
+/// parallel executor ([`estimate_parallel`]). Because the parallelism
+/// factor applies only to partition-safe plans, a rewrite that moves a
+/// query *into* the certified fragment is rewarded with the full
+/// parallel discount — genericity pays twice, once logically and once
+/// physically.
+pub fn optimize_costed_parallel(
+    q: &Query,
+    rules: &RuleSet,
+    catalog: &Catalog,
+    workers: usize,
+) -> (Query, RewriteTrace, Estimate, Estimate) {
     let _sp = genpar_obs::span("optimizer.costed");
     // cost estimation is advisory: a fault or panic inside it degrades to
     // the original plan with zeroed estimates instead of failing the query
@@ -168,9 +210,9 @@ pub fn optimize_costed(
         .map_err(|f| f.to_string())
         .and_then(|()| {
             genpar_guard::catch_panics(|| {
-                let base_est = estimate(q, catalog);
+                let base_est = estimate_parallel(q, catalog, workers);
                 let (rewritten, trace) = optimize(q, rules, catalog);
-                let new_est = estimate(&rewritten, catalog);
+                let new_est = estimate_parallel(&rewritten, catalog, workers);
                 (base_est, rewritten, trace, new_est)
             })
         });
@@ -203,6 +245,10 @@ pub fn optimize_costed(
             (
                 "steps",
                 genpar_obs::FieldValue::U64(trace.steps.len() as u64),
+            ),
+            (
+                "workers",
+                genpar_obs::FieldValue::U64(workers.max(1) as u64),
             ),
         ],
     );
@@ -293,6 +339,45 @@ mod tests {
         let (chosen, trace, _, _) = optimize_costed(&q, &RuleSet::standard(), &cat);
         assert!(!trace.steps.is_empty());
         assert!(matches!(chosen, Query::Union(..)));
+    }
+
+    #[test]
+    fn parallel_estimate_discounts_only_certified_queries() {
+        let cat = keyed_catalog(3);
+        let safe = Query::rel("R")
+            .join_on(Query::rel("S"), [(0, 0)])
+            .project([0]);
+        let serial = estimate_parallel(&safe, &cat, 1);
+        let par4 = estimate_parallel(&safe, &cat, 4);
+        assert!(par4.cost < serial.cost, "4 workers must cut certified cost");
+        assert_eq!(
+            par4.rows, serial.rows,
+            "parallelism must not change cardinality"
+        );
+
+        // whole-set operators get no discount: the gate refuses them
+        let unsafe_q = Query::Even(Box::new(Query::rel("R")));
+        assert_eq!(
+            estimate_parallel(&unsafe_q, &cat, 4).cost,
+            estimate(&unsafe_q, &cat).cost
+        );
+
+        // coordination overhead dominates eventually
+        let par1000 = estimate_parallel(&safe, &cat, 1000);
+        assert!(par1000.cost > par4.cost, "overhead must bound the speedup");
+    }
+
+    #[test]
+    fn parallel_costed_optimizer_matches_serial_choice_shape() {
+        let cat = keyed_catalog(8);
+        let q = Query::rel("R").difference(Query::rel("S")).project([0]);
+        let (chosen, trace, base_est, new_est) =
+            optimize_costed_parallel(&q, &keyed_rules(), &cat, 4);
+        // both candidates are partition-safe, so the discount cancels and
+        // the wide-row rewrite decision is preserved
+        assert!(!trace.steps.is_empty());
+        assert!(matches!(chosen, Query::Difference(..)));
+        assert!(new_est.cost < base_est.cost);
     }
 
     #[test]

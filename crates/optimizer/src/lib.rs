@@ -28,6 +28,6 @@ pub mod cost;
 pub mod rewrite;
 pub mod rules;
 
-pub use cost::{estimate, optimize_costed, Estimate};
+pub use cost::{estimate, estimate_parallel, optimize_costed, optimize_costed_parallel, Estimate};
 pub use rewrite::{optimize, RewriteTrace};
 pub use rules::{Constraints, Rule, RuleSet};
