@@ -64,11 +64,13 @@ fn kernel(n: u64) -> u64 {
 }
 
 /// The kernel with per-call instrumentation, as an instrumented operator
-/// would have: one span (with a field) and one counter per invocation.
+/// would have: one span (with a field), one counter, and one histogram
+/// sample per invocation — the same trio a timed morsel records.
 fn kernel_instrumented(n: u64) -> u64 {
     let mut sp = genpar_obs::span("bench.op");
     genpar_obs::counter("bench.ops", 1);
     let acc = kernel(n);
+    genpar_obs::record("bench.op_us", n);
     sp.field("rows", 1);
     acc
 }
@@ -93,8 +95,9 @@ fn median(mut xs: Vec<Duration>) -> Duration {
 
 /// Assert the kill-switch claim: with the registry disabled, the
 /// instrumented kernel runs within 5% of the uninstrumented baseline.
-/// Samples are interleaved so drift hits both variants alike.
-fn verify_kill_switch_overhead() {
+/// Samples are interleaved so drift hits both variants alike. Returns
+/// the measured relative overhead for the JSON report.
+fn verify_kill_switch_overhead() -> f64 {
     const KERNEL_OPS: u64 = 50_000;
     const ROUNDS: usize = 41;
     genpar_obs::set_enabled(false);
@@ -126,13 +129,14 @@ fn verify_kill_switch_overhead() {
         "kill switch overhead above 5%: baseline {mb:?}, disabled-instrumented {mi:?}"
     );
     println!("obs/kill_switch: OK (≤ 5% bound holds)");
+    overhead
 }
 
 /// Assert the disarmed-guard claim: with no budget and no faults armed,
 /// a kernel wrapped in faultpoint + budget charges runs within 5% of the
 /// uninstrumented baseline (same interleaved-median protocol as the obs
-/// kill switch).
-fn verify_disarmed_guard_overhead() {
+/// kill switch). Returns the measured relative overhead for the report.
+fn verify_disarmed_guard_overhead() -> f64 {
     const KERNEL_OPS: u64 = 50_000;
     const ROUNDS: usize = 41;
     genpar_guard::disarm_faults();
@@ -160,11 +164,37 @@ fn verify_disarmed_guard_overhead() {
         "disarmed guard overhead above 5%: baseline {mb:?}, guarded {mg:?}"
     );
     println!("guard/disarmed: OK (≤ 5% bound holds)");
+    overhead
+}
+
+/// Write `BENCH_obs.json` (schema v2) so `bench-compare` can catch
+/// regressions of the disabled-path overhead against the committed
+/// baseline.
+fn write_report(kill_switch_overhead: f64, guard_overhead: f64) {
+    use genpar_obs::Json;
+    let report = Json::obj([
+        ("bench", Json::str("obs_overhead")),
+        ("schema_version", Json::Int(2)),
+        ("bound", Json::Num(0.05)),
+        ("asserted", Json::Bool(true)),
+        ("skip_reason", Json::Null),
+        (
+            "kill_switch_overhead",
+            Json::Num(kill_switch_overhead.max(0.0)),
+        ),
+        ("guard_overhead", Json::Num(guard_overhead.max(0.0))),
+    ]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_obs.json");
+    std::fs::write(&path, format!("{report}\n")).expect("write BENCH_obs.json");
+    println!("obs/kill_switch: wrote {}", path.display());
 }
 
 fn main() {
     let mut c = Criterion::default();
     bench_execute_enabled_vs_disabled(&mut c);
-    verify_kill_switch_overhead();
-    verify_disarmed_guard_overhead();
+    let ks = verify_kill_switch_overhead();
+    let guard = verify_disarmed_guard_overhead();
+    write_report(ks, guard);
 }

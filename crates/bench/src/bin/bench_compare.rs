@@ -1,0 +1,223 @@
+//! `bench-compare` — regression gate over the measurement loop's JSON
+//! reports.
+//!
+//! Compares the freshly-written `BENCH_parallel.json` / `BENCH_obs.json`
+//! against the committed `BENCH_baseline.json` and fails (exit 1) when:
+//!
+//! * the `exec.morsel_us` p95 at any worker count regresses by more than
+//!   10% (with a 10µs absolute floor so timer jitter on sub-100µs
+//!   morsels cannot fail a run), or
+//! * the obs kill-switch (disabled-path) overhead regresses by more than
+//!   10% relative with a 0.5-percentage-point absolute slack.
+//!
+//! When the baseline was recorded on a machine with a different
+//! `hardware_threads` count, latency numbers are not comparable: the
+//! comparison is SKIPPED loudly and the exit code is 0 (CI containers
+//! come in many shapes; a skip must not break the build).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-compare [--baseline FILE] [--parallel FILE] [--obs FILE]
+//! bench-compare --write-baseline   # snapshot current reports as baseline
+//! ```
+
+use genpar_obs::Json;
+use std::process::ExitCode;
+
+const P95_RELATIVE_BOUND: f64 = 1.10;
+const P95_ABSOLUTE_FLOOR_US: f64 = 10.0;
+const OVERHEAD_RELATIVE_BOUND: f64 = 1.10;
+const OVERHEAD_ABSOLUTE_SLACK: f64 = 0.005;
+
+fn read_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn as_num(j: &Json) -> Option<f64> {
+    match j {
+        Json::Num(x) => Some(*x),
+        Json::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// `workers -> morsel_us p95` from a `BENCH_parallel.json` document.
+fn morsel_p95_by_workers(parallel: &Json) -> Vec<(i128, f64)> {
+    let mut out = Vec::new();
+    let Some(results) = parallel.get("results").and_then(|r| r.as_arr()) else {
+        return out;
+    };
+    for r in results {
+        let (Some(w), Some(p95)) = (
+            r.get("workers").and_then(|v| v.as_int()),
+            r.get("morsel_us")
+                .and_then(|m| m.get("p95"))
+                .and_then(as_num),
+        ) else {
+            continue;
+        };
+        out.push((w, p95));
+    }
+    out
+}
+
+fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, String> {
+    let mut regressions = Vec::new();
+
+    let base_parallel = baseline
+        .get("parallel")
+        .ok_or("baseline has no \"parallel\" section")?;
+    let base_obs = baseline
+        .get("obs")
+        .ok_or("baseline has no \"obs\" section")?;
+
+    let base_hw = base_parallel
+        .get("hardware_threads")
+        .and_then(|v| v.as_int())
+        .ok_or("baseline parallel section has no hardware_threads")?;
+    let cur_hw = parallel
+        .get("hardware_threads")
+        .and_then(|v| v.as_int())
+        .ok_or("current parallel report has no hardware_threads")?;
+    if base_hw != cur_hw {
+        println!(
+            "bench-compare: SKIPPED — baseline was recorded on {base_hw} hardware \
+             thread(s), this machine has {cur_hw}; latency numbers are not comparable"
+        );
+        return Ok(regressions);
+    }
+
+    let base_p95 = morsel_p95_by_workers(base_parallel);
+    let cur_p95 = morsel_p95_by_workers(parallel);
+    for (w, base) in &base_p95 {
+        let Some((_, cur)) = cur_p95.iter().find(|(cw, _)| cw == w) else {
+            continue;
+        };
+        let bound = (base * P95_RELATIVE_BOUND).max(base + P95_ABSOLUTE_FLOOR_US);
+        let verdict = if *cur > bound { "REGRESSION" } else { "ok" };
+        println!(
+            "bench-compare: exec.morsel_us p95 @ {w} workers: {cur:.0}µs vs \
+             baseline {base:.0}µs (bound {bound:.0}µs) — {verdict}"
+        );
+        if *cur > bound {
+            regressions.push(format!(
+                "exec.morsel_us p95 @ {w} workers regressed: {cur:.0}µs > {bound:.0}µs \
+                 (baseline {base:.0}µs + 10%)"
+            ));
+        }
+    }
+
+    for key in ["kill_switch_overhead", "guard_overhead"] {
+        let Some(base) = base_obs.get(key).and_then(as_num) else {
+            continue;
+        };
+        let Some(cur) = obs.get(key).and_then(as_num) else {
+            continue;
+        };
+        let bound = base * OVERHEAD_RELATIVE_BOUND + OVERHEAD_ABSOLUTE_SLACK;
+        let verdict = if cur > bound { "REGRESSION" } else { "ok" };
+        println!(
+            "bench-compare: obs {key}: {:.2}% vs baseline {:.2}% (bound {:.2}%) — {verdict}",
+            cur * 100.0,
+            base * 100.0,
+            bound * 100.0
+        );
+        if cur > bound {
+            regressions.push(format!(
+                "obs {key} regressed: {:.2}% > bound {:.2}% (baseline {:.2}% + 10% rel \
+                 + 0.5pp slack)",
+                cur * 100.0,
+                bound * 100.0,
+                base * 100.0
+            ));
+        }
+    }
+
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut parallel_path = "BENCH_parallel.json".to_string();
+    let mut obs_path = "BENCH_obs.json".to_string();
+    let mut write_baseline = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--baseline" | "--parallel" | "--obs" => {
+                let Some(v) = argv.get(i + 1) else {
+                    eprintln!("bench-compare: {} needs a file argument", argv[i]);
+                    return ExitCode::from(2);
+                };
+                match argv[i].as_str() {
+                    "--baseline" => baseline_path = v.clone(),
+                    "--parallel" => parallel_path = v.clone(),
+                    _ => obs_path = v.clone(),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("bench-compare: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (parallel, obs) = match (read_json(&parallel_path), read_json(&obs_path)) {
+        (Ok(p), Ok(o)) => (p, o),
+        (p, o) => {
+            for r in [p, o] {
+                if let Err(e) = r {
+                    println!("bench-compare: SKIPPED — {e} (run the benches first)");
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    if write_baseline {
+        let doc = Json::obj([
+            ("bench", Json::str("baseline")),
+            ("schema_version", Json::Int(2)),
+            ("parallel", parallel),
+            ("obs", obs),
+        ]);
+        if let Err(e) = std::fs::write(&baseline_path, format!("{doc}\n")) {
+            eprintln!("bench-compare: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench-compare: wrote {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_json(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("bench-compare: SKIPPED — {e} (no committed baseline)");
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    match compare(&baseline, &parallel, &obs) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench-compare: OK — no regressions vs {baseline_path}");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            for r in &regressions {
+                eprintln!("bench-compare: FAIL — {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-compare: malformed input — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,9 +12,17 @@ use genpar_core::{partition_safety, PartitionSafety};
 use genpar_engine::{Catalog, Schema, Table};
 use genpar_exec::{EvalParallel, ExecConfig};
 use genpar_mapping::{ExtensionMode, MappingClass};
-use genpar_optimizer::{optimize_costed, optimize_costed_parallel, Constraints, RuleSet};
+use genpar_optimizer::Constraints;
+use genpar_optimizer::{
+    estimate_nodes, optimize_costed, optimize_costed_parallel_with, route_costs, Calibration,
+    RuleSet,
+};
 use genpar_value::{BaseType, CvType, DomainId};
 use std::fmt::Write as _;
+
+/// Schema version stamped into `profile --json` output (v1 was the
+/// unversioned pre-histogram shape; see DESIGN.md §10).
+pub const PROFILE_SCHEMA_VERSION: i64 = 2;
 
 /// Execute a parsed command.
 pub fn execute(cmd: &Command) -> Result<String, CliError> {
@@ -34,15 +42,41 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             db,
             union_key,
             workers,
-        } => explain_cmd(query, db.as_deref(), union_key.as_deref(), *workers),
+            calibration,
+        } => explain_cmd(
+            query,
+            db.as_deref(),
+            union_key.as_deref(),
+            *workers,
+            calibration.as_deref(),
+        ),
         Command::Profile {
             query,
             db,
             union_key,
             json,
             workers,
-        } => profile_cmd(query, db.as_deref(), union_key.as_deref(), *json, *workers),
+            trace,
+            calibration,
+        } => profile_cmd(
+            query,
+            db.as_deref(),
+            union_key.as_deref(),
+            *json,
+            *workers,
+            trace.as_deref(),
+            calibration.as_deref(),
+        ),
+        Command::Calibrate { bench, out } => calibrate_cmd(bench, out),
         Command::Audit => audit(),
+    }
+}
+
+/// Load a calibration file, or the built-in default when none is given.
+fn load_calibration(path: Option<&str>) -> Result<Calibration, CliError> {
+    match path {
+        Some(p) => Calibration::from_file(p).map_err(CliError::runtime),
+        None => Ok(Calibration::default()),
     }
 }
 
@@ -317,13 +351,16 @@ fn explain_cmd(
     db_path: Option<&str>,
     union_key: Option<&str>,
     workers: Option<usize>,
+    calibration: Option<&str>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
+    let cal = load_calibration(calibration)?;
     genpar_obs::reset();
-    let (chosen, trace, base_est, new_est) = optimize_costed_parallel(&q, &rules, &catalog, w);
+    let (chosen, trace, base_est, new_est) =
+        optimize_costed_parallel_with(&q, &rules, &catalog, w, &cal);
     let snap = genpar_obs::snapshot();
 
     let mut out = String::new();
@@ -391,11 +428,62 @@ fn explain_cmd(
             let _ = writeln!(out, "  falls back to serial: '{op}' — {reason}");
         }
     }
+    // both routes, costed under the (possibly measured) calibration
+    let rc = route_costs(&chosen, &catalog, w, &cal);
+    let _ = writeln!(
+        out,
+        "\nroute costs (calibration: {:.3}/worker overhead, {:.0} cells startup):",
+        cal.overhead_per_worker, cal.startup_cost_cells
+    );
+    let _ = writeln!(out, "  serial route:   {:.0} cells", rc.serial.cost);
+    if w > 1 && rc.safe {
+        let _ = writeln!(
+            out,
+            "  parallel route: {:.0} cells ({} workers)",
+            rc.parallel.cost, rc.workers
+        );
+        let route = if rc.choose_parallel {
+            "parallel"
+        } else {
+            "serial"
+        };
+        let _ = writeln!(
+            out,
+            "  chosen route:   {route} (margin {:.0} cells)",
+            rc.margin_cells.abs()
+        );
+        match rc.crossover_cost_cells {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  crossover:      parallel pays above {c:.0} cells of serial cost"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  crossover:      none — coordination overhead exceeds the ideal speedup at this width"
+                );
+            }
+        }
+    } else {
+        let reason = if w <= 1 {
+            "serial requested"
+        } else {
+            "gate refused the parallel route"
+        };
+        let _ = writeln!(out, "  parallel route: unavailable ({reason})");
+        let _ = writeln!(out, "  chosen route:   serial");
+    }
     let _ = writeln!(out, "\nchosen plan:");
     match genpar_engine::lower(&chosen) {
         Some(plan) => {
             for line in plan.to_string().lines() {
                 let _ = writeln!(out, "  {line}");
+            }
+            let _ = writeln!(out, "\nestimated rows per operator:");
+            for (op, est) in estimate_nodes(&chosen, &catalog) {
+                let _ = writeln!(out, "  {op:<18} ~{:.0} rows", est.rows);
             }
         }
         None => {
@@ -408,35 +496,85 @@ fn explain_cmd(
     Ok(out)
 }
 
+/// Sum the `rows_out` recorded by `plan.*` spans, per operator name.
+fn span_rows_by_op(
+    nodes: &[genpar_obs::SpanNode],
+    acc: &mut std::collections::BTreeMap<String, u64>,
+) {
+    for n in nodes {
+        if n.name.starts_with("plan.") {
+            if let Some(r) = n.fields.get("rows_out") {
+                *acc.entry(n.name.clone()).or_insert(0) += r;
+            }
+        }
+        span_rows_by_op(&n.children, acc);
+    }
+}
+
+/// Per-operator actual-vs-estimated rows: the optimizer's per-node
+/// cardinality predictions paired against the `rows_out` the executor's
+/// spans recorded. Only operators present on both sides are reported.
+fn misestimate_rows(
+    chosen: &Query,
+    catalog: &Catalog,
+    snap: &genpar_obs::Snapshot,
+) -> Vec<(String, f64, u64, f64)> {
+    let mut est: std::collections::BTreeMap<&'static str, f64> = std::collections::BTreeMap::new();
+    for (op, e) in estimate_nodes(chosen, catalog) {
+        *est.entry(op).or_insert(0.0) += e.rows;
+    }
+    let mut actual = std::collections::BTreeMap::new();
+    span_rows_by_op(&snap.spans, &mut actual);
+    actual
+        .into_iter()
+        .filter_map(|(op, rows)| {
+            let e = *est.get(op.as_str())?;
+            let ratio = rows as f64 / e.max(1.0);
+            Some((op, e, rows, ratio))
+        })
+        .collect()
+}
+
 /// `profile`: optimize and execute the query with a fresh obs registry,
-/// then dump the metrics snapshot (span tree, counters, events) as an
-/// ASCII tree or JSON.
+/// then dump the metrics snapshot (span tree, counters, events,
+/// histograms, per-operator misestimates) as an ASCII tree or JSON.
+/// `--trace FILE` additionally exports the snapshot as Chrome
+/// `trace_event` JSON (or JSONL for a `.jsonl` path).
 fn profile_cmd(
     query: &str,
     db_path: Option<&str>,
     union_key: Option<&str>,
     json: bool,
     workers: Option<usize>,
+    trace_path: Option<&str>,
+    calibration: Option<&str>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
+    let cal = load_calibration(calibration)?;
     genpar_obs::reset();
-    let (chosen, _trace, _base, _new) = optimize_costed_parallel(&q, &rules, &catalog, w);
+    let (chosen, _trace, _base, new_est) =
+        optimize_costed_parallel_with(&q, &rules, &catalog, w, &cal);
+    let mut stats = genpar_engine::plan::ExecStats::default();
     match genpar_engine::lower(&chosen) {
         Some(plan) => {
             if w > 1 && partition_safety(&chosen).is_safe() {
-                let cfg = ExecConfig::serial().with_workers(w);
-                plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
+                let cfg = ExecConfig::default().with_workers(w);
+                let (_, s) = plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
+                stats = s;
             } else {
                 if w > 1 {
                     if let PartitionSafety::Unsafe { op, reason } = partition_safety(&chosen) {
                         genpar_exec::note_fallback(op, reason);
                     }
                 }
-                plan.execute(&catalog).map_err(CliError::from)?;
+                let (_, s) = plan.execute(&catalog).map_err(CliError::from)?;
+                stats = s;
             }
+            // pair the model's prediction with the observed result size
+            stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
         }
         None => {
             if w > 1 {
@@ -459,11 +597,123 @@ fn profile_cmd(
         }
     }
     let snap = genpar_obs::snapshot();
-    if json {
-        Ok(format!("{}\n", snap.to_json_string()))
-    } else {
-        Ok(format!("query: {q}\n\n{}", snap.render_tree()))
+    let mis = misestimate_rows(&chosen, &catalog, &snap);
+
+    if let Some(path) = trace_path {
+        let text = if path.ends_with(".jsonl") {
+            genpar_obs::trace::jsonl(&snap)
+        } else {
+            genpar_obs::trace::chrome_trace_string(&snap)
+        };
+        std::fs::write(path, text)
+            .map_err(|e| CliError::runtime(format!("cannot write trace file {path}: {e}")))?;
     }
+
+    if json {
+        let mut j = snap.to_json();
+        if let genpar_obs::Json::Obj(fields) = &mut j {
+            fields.insert(
+                0,
+                (
+                    "schema_version".to_string(),
+                    genpar_obs::Json::Int(PROFILE_SCHEMA_VERSION as i128),
+                ),
+            );
+            let mis_json = genpar_obs::Json::Obj(
+                mis.iter()
+                    .map(|(op, est, actual, ratio)| {
+                        (
+                            op.clone(),
+                            genpar_obs::Json::obj([
+                                ("est_rows", genpar_obs::Json::Num(*est)),
+                                ("actual_rows", genpar_obs::Json::Int(*actual as i128)),
+                                ("ratio", genpar_obs::Json::Num(*ratio)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
+            fields.push(("misestimate".to_string(), mis_json));
+            fields.push((
+                "result".to_string(),
+                genpar_obs::Json::obj([
+                    ("rows_out", genpar_obs::Json::Int(stats.rows_out as i128)),
+                    (
+                        "est_rows_out",
+                        genpar_obs::Json::Int(stats.est_rows_out as i128),
+                    ),
+                ]),
+            ));
+            if let Some(path) = trace_path {
+                fields.push(("trace_file".to_string(), genpar_obs::Json::str(path)));
+            }
+        }
+        Ok(format!("{j}\n"))
+    } else {
+        let mut out = format!("query: {q}\n\n{}", snap.render_tree());
+        if !mis.is_empty() {
+            let _ = writeln!(out, "misestimate (actual / estimated rows):");
+            for (op, est, actual, ratio) in &mis {
+                let _ = writeln!(out, "  {op:<18} {actual} / ~{est:.0}  (x{ratio:.2})");
+            }
+        }
+        if let Some(path) = trace_path {
+            let _ = writeln!(out, "trace written to {path}");
+        }
+        Ok(out)
+    }
+}
+
+/// `calibrate`: fit the parallel cost model from a `BENCH_parallel.json`
+/// document and write the calibration file `explain`/`profile` load with
+/// `--calibration`.
+fn calibrate_cmd(bench_path: &str, out_path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(bench_path)
+        .map_err(|e| CliError::runtime(format!("cannot read bench file {bench_path}: {e}")))?;
+    let bench = genpar_obs::Json::parse(&text)
+        .map_err(|e| CliError::parse(format!("bench file {bench_path}: {e}")))?;
+    let cal = Calibration::default()
+        .fit_from_bench(&bench)
+        .map_err(CliError::runtime)?;
+    std::fs::write(out_path, format!("{}\n", cal.to_json()))
+        .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "fitted from {bench_path}:");
+    let _ = writeln!(
+        out,
+        "  overhead_per_worker: {:.4} (was {:.4} by default)",
+        cal.overhead_per_worker,
+        Calibration::default().overhead_per_worker
+    );
+    let _ = writeln!(out, "  startup_cost_cells:  {:.0}", cal.startup_cost_cells);
+    for wkr in [2usize, 4, 8] {
+        match cal.crossover_cost_cells(wkr) {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  crossover @ {wkr} workers: parallel pays above {c:.0} cells"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  crossover @ {wkr} workers: none — parallel never wins at this width"
+                );
+            }
+        }
+    }
+    let hw = bench
+        .get("hardware_threads")
+        .and_then(|v| v.as_int())
+        .unwrap_or(0);
+    if hw < 2 {
+        let _ = writeln!(
+            out,
+            "  WARNING: bench ran on {hw} hardware thread(s); speedups (and this fit) are unreliable"
+        );
+    }
+    let _ = writeln!(out, "wrote {out_path}");
+    Ok(out)
 }
 
 /// Coerce a relation value to uniform-arity tuples (pad/skip oddballs) so
@@ -591,6 +841,13 @@ mod tests {
             .find(|e| e.kind == "exec.fallback")
             .expect("fallback event recorded");
         assert_eq!(event_field(ev, "op"), "even");
+        // the gate's refusal reason rides along on the fallback event so
+        // traces and explain agree on *why* the parallel route was refused
+        assert!(
+            event_field(ev, "reason").contains("Lemma 2.12"),
+            "fallback event carries the gate refusal reason: {ev:?}"
+        );
+        assert_eq!(event_field(ev, "mode"), "serial");
     }
 
     #[test]
@@ -606,7 +863,7 @@ mod tests {
     #[test]
     fn explain_shows_trace_and_plan() {
         let _g = obs_guard();
-        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(1)).unwrap();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(1), None).unwrap();
         assert!(out.contains("ProjectThroughUnion"), "{out}");
         assert!(out.contains("Cor 4.15"), "{out}");
         assert!(out.contains("chosen plan:"), "{out}");
@@ -619,12 +876,22 @@ mod tests {
     #[test]
     fn explain_reports_parallel_route_and_fallback() {
         let _g = obs_guard();
-        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4)).unwrap();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), None).unwrap();
         assert!(out.contains("parallel execution (4 workers)"), "{out}");
         assert!(out.contains("would run on 4 worker threads"), "{out}");
-        let out = explain_cmd("even(R)", None, None, Some(4)).unwrap();
+        // both route costs are printed with the calibrated model
+        assert!(out.contains("route costs"), "{out}");
+        assert!(out.contains("serial route:"), "{out}");
+        assert!(out.contains("parallel route:"), "{out}");
+        assert!(out.contains("chosen route:"), "{out}");
+        assert!(out.contains("crossover"), "{out}");
+        // per-operator cardinality estimates back the misestimate report
+        assert!(out.contains("estimated rows per operator:"), "{out}");
+        assert!(out.contains("plan.Scan"), "{out}");
+        let out = explain_cmd("even(R)", None, None, Some(4), None).unwrap();
         assert!(out.contains("falls back to serial: 'even'"), "{out}");
         assert!(out.contains("Lemma 2.12"), "{out}");
+        assert!(out.contains("gate refused the parallel route"), "{out}");
     }
 
     #[test]
@@ -632,14 +899,14 @@ mod tests {
         let _g = obs_guard();
         // without the union-key assertion the Prop 3.4 side condition
         // fails: the rule must show up as blocked, not fired
-        let out = explain_cmd("pi[$1](diff(R, S))", None, None, Some(1)).unwrap();
+        let out = explain_cmd("pi[$1](diff(R, S))", None, None, Some(1), None).unwrap();
         assert!(out.contains("blocked rewrites:"), "{out}");
         assert!(out.contains("ProjectThroughDifference"), "{out}");
         assert!(out.contains("Prop 3.4"), "{out}");
         // with the assertion the rule fires, but on narrow 2-column
         // tables the cost model keeps the original (the Series C
         // crossover) — explain must say so instead of "no rewrite fired"
-        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1"), Some(1)).unwrap();
+        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1"), Some(1), None).unwrap();
         assert!(out.contains("cost model kept the original"), "{out}");
         assert!(!out.contains("no rewrite fired"), "{out}");
     }
@@ -647,32 +914,219 @@ mod tests {
     #[test]
     fn profile_renders_tree_and_json() {
         let _g = obs_guard();
-        let out = profile_cmd("pi[$1](union(R, S))", None, None, false, Some(1)).unwrap();
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(1),
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("spans:"), "{out}");
         assert!(out.contains("engine.execute"), "{out}");
         assert!(out.contains("counters:"), "{out}");
-        let out = profile_cmd("pi[$1](union(R, S))", None, None, true, Some(1)).unwrap();
+        assert!(
+            out.contains("misestimate (actual / estimated rows):"),
+            "{out}"
+        );
+        let out =
+            profile_cmd("pi[$1](union(R, S))", None, None, true, Some(1), None, None).unwrap();
         let parsed = genpar_obs::Json::parse(&out).expect("profile --json emits valid JSON");
         assert!(parsed.get("counters").is_some(), "{out}");
         assert!(parsed.get("spans").is_some(), "{out}");
+        // S2: the JSON schema is versioned so downstream tooling can detect drift
+        match parsed.get("schema_version") {
+            Some(genpar_obs::Json::Int(v)) => assert_eq!(*v, PROFILE_SCHEMA_VERSION as i128),
+            other => panic!("schema_version missing or not an int: {other:?}"),
+        }
+        // per-operator misestimate report: actual vs estimated rows
+        let mis = parsed.get("misestimate").expect("misestimate key present");
+        match mis {
+            genpar_obs::Json::Obj(entries) => {
+                assert!(!entries.is_empty(), "misestimate has per-op entries: {out}");
+                assert!(
+                    entries.iter().all(|(k, _)| k.starts_with("plan.")),
+                    "misestimate keys are plan operators: {out}"
+                );
+                let (_, first) = &entries[0];
+                assert!(first.get("est_rows").is_some(), "{out}");
+                assert!(first.get("actual_rows").is_some(), "{out}");
+                assert!(first.get("ratio").is_some(), "{out}");
+            }
+            other => panic!("misestimate is not an object: {other:?}"),
+        }
+        // the result block pairs observed output size with the prediction
+        let result = parsed.get("result").expect("result key present");
+        assert!(result.get("rows_out").is_some(), "{out}");
+        assert!(result.get("est_rows_out").is_some(), "{out}");
     }
 
     #[test]
     fn profile_parallel_uses_the_executor() {
         let _g = obs_guard();
-        let out = profile_cmd("pi[$1](union(R, S))", None, None, false, Some(4)).unwrap();
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("exec.parallel"), "{out}");
         assert!(out.contains("exec.worker"), "{out}");
+        // every morsel is timed into the latency histogram
+        assert!(out.contains("histograms:"), "{out}");
+        assert!(out.contains("exec.morsel_us"), "{out}");
+    }
+
+    #[test]
+    fn profile_exports_a_chrome_trace() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let p = path.to_str().unwrap();
+        let _g = obs_guard();
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            Some(p),
+            None,
+        )
+        .unwrap();
+        assert!(out.contains(&format!("trace written to {p}")), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = genpar_obs::Json::parse(&text).expect("trace file is valid JSON");
+        let events = trace
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "trace has events");
+        // the parallel section shows up as a named span in the trace
+        assert!(
+            events
+                .iter()
+                .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("exec.parallel") }),
+            "exec.parallel span exported: {text}"
+        );
+        // the JSON form also points at the trace file
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            true,
+            Some(4),
+            Some(p),
+            None,
+        )
+        .unwrap();
+        let parsed = genpar_obs::Json::parse(&out).unwrap();
+        assert_eq!(
+            parsed.get("trace_file").and_then(|v| v.as_str()),
+            Some(p),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn profile_exports_jsonl_traces() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_trace_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let p = path.to_str().unwrap();
+        let _g = obs_guard();
+        profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(1),
+            Some(p),
+            None,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = 0;
+        for line in text.lines() {
+            genpar_obs::Json::parse(line).expect("each JSONL line is valid JSON");
+            lines += 1;
+        }
+        assert!(lines > 0, "JSONL trace is non-empty");
+    }
+
+    #[test]
+    fn calibrate_fits_the_bench_and_explain_loads_it() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_cal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        let out_file = dir.join("cal.json");
+        // synthetic speedups from the model with c = 0.05, s = 0:
+        // speedup(w) = 1 / (1/w + 0.05 (w-1))
+        std::fs::write(
+            &bench,
+            r#"{"bench": "parallel_speedup", "hardware_threads": 8, "results": [
+                {"workers": 1, "median_us": 1000, "speedup": 1.0},
+                {"workers": 2, "median_us": 550, "speedup": 1.8182},
+                {"workers": 4, "median_us": 400, "speedup": 2.5},
+                {"workers": 8, "median_us": 475, "speedup": 2.1053}
+            ]}"#,
+        )
+        .unwrap();
+        let b = bench.to_str().unwrap();
+        let o = out_file.to_str().unwrap();
+        let out = calibrate_cmd(b, o).unwrap();
+        assert!(out.contains("overhead_per_worker: 0.05"), "{out}");
+        assert!(out.contains(&format!("wrote {o}")), "{out}");
+        // hardware_threads >= 2, so no reliability warning
+        assert!(!out.contains("WARNING"), "{out}");
+        let cal = Calibration::from_file(o).expect("written calibration round-trips");
+        assert!(
+            (cal.overhead_per_worker - 0.05).abs() < 5e-3,
+            "fitted c = {}",
+            cal.overhead_per_worker
+        );
+        // explain picks the fitted calibration up via --calibration
+        let _g = obs_guard();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), Some(o)).unwrap();
+        assert!(
+            out.contains("route costs (calibration: 0.050/worker"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn calibrate_warns_on_single_threaded_benches() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_cal_warn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        let out_file = dir.join("cal.json");
+        std::fs::write(
+            &bench,
+            r#"{"bench": "parallel_speedup", "hardware_threads": 1, "results": [
+                {"workers": 1, "median_us": 1000, "speedup": 1.0},
+                {"workers": 4, "median_us": 950, "speedup": 1.05}
+            ]}"#,
+        )
+        .unwrap();
+        let out = calibrate_cmd(bench.to_str().unwrap(), out_file.to_str().unwrap()).unwrap();
+        assert!(out.contains("WARNING"), "{out}");
+        assert!(out.contains("1 hardware thread"), "{out}");
     }
 
     #[test]
     fn profile_falls_back_to_the_interpreter() {
         let _g = obs_guard();
         // powerset is complex-valued — not lowerable to the flat engine
-        let out = profile_cmd("even(R)", None, None, false, Some(1)).unwrap();
+        let out = profile_cmd("even(R)", None, None, false, Some(1), None, None).unwrap();
         assert!(out.contains("counters:"), "{out}");
         // at 4 workers the gate refuses it and records the fallback
-        let out = profile_cmd("even(R)", None, None, false, Some(4)).unwrap();
+        let out = profile_cmd("even(R)", None, None, false, Some(4), None, None).unwrap();
         assert!(out.contains("exec.fallback"), "{out}");
     }
 

@@ -166,14 +166,21 @@ USAGE:
   genpar probe    '<query>' [--mode rel|strong] [--arity N]
   genpar run      '<query>' --db FILE [--parallel N]
   genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
-  genpar explain  '<query>' [--db FILE] [--union-key R,S:$N] [--parallel N]
+  genpar explain  '<query>' [--db FILE] [--union-key R,S:$N] [--parallel N] [--calibration FILE]
   genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json] [--parallel N]
+                  [--trace FILE] [--calibration FILE]
+  genpar calibrate [--bench FILE] [--out FILE]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
   --parallel N (or GENPAR_PARALLEL=N) runs partition-safe queries on N
   worker threads; queries the genericity checker cannot certify fall
   back to serial evaluation (recorded as an exec.fallback event).
+  --trace FILE exports the run's spans/events as Chrome trace_event
+  JSON (load in chrome://tracing or Perfetto; .jsonl ext for JSONL).
+  --calibration FILE loads measured cost-model parameters (see
+  `genpar calibrate`, which fits them from BENCH_parallel.json).
+  GENPAR_MORSEL=fixed:N pins the auto-tuned morsel size.
 
 QUERY SYNTAX (columns are 1-based):
   R | empty | lit[{(a,b)}]
@@ -242,6 +249,8 @@ pub enum Command {
         /// Worker threads from `--parallel` (`None` defers to
         /// `GENPAR_PARALLEL`, then serial).
         workers: Option<usize>,
+        /// Optional calibration file for the parallel cost model.
+        calibration: Option<String>,
     },
     /// `profile <query> ...` — run the query and dump the obs snapshot.
     Profile {
@@ -256,6 +265,19 @@ pub enum Command {
         /// Worker threads from `--parallel` (`None` defers to
         /// `GENPAR_PARALLEL`, then serial).
         workers: Option<usize>,
+        /// Write the run's spans/events as a Chrome `trace_event` file
+        /// (`.jsonl` extension switches to JSONL).
+        trace: Option<String>,
+        /// Optional calibration file for the parallel cost model.
+        calibration: Option<String>,
+    },
+    /// `calibrate` — fit the parallel cost model from a bench JSON and
+    /// write a calibration file.
+    Calibrate {
+        /// Bench results to fit from (default `BENCH_parallel.json`).
+        bench: String,
+        /// Calibration file to write (default `CALIBRATION.json`).
+        out: String,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -363,6 +385,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let db = take_flag(&mut rest, "--db");
             let union_key = take_flag(&mut rest, "--union-key");
             let workers = take_workers(&mut rest)?;
+            let calibration = take_flag(&mut rest, "--calibration");
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("explain needs a query"))?
@@ -372,6 +395,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 db,
                 union_key,
                 workers,
+                calibration,
             })
         }
         "profile" => {
@@ -379,6 +403,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let union_key = take_flag(&mut rest, "--union-key");
             let json = take_switch(&mut rest, "--json");
             let workers = take_workers(&mut rest)?;
+            let trace = take_flag(&mut rest, "--trace");
+            let calibration = take_flag(&mut rest, "--calibration");
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("profile needs a query"))?
@@ -389,7 +415,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 union_key,
                 json,
                 workers,
+                trace,
+                calibration,
             })
+        }
+        "calibrate" => {
+            let bench =
+                take_flag(&mut rest, "--bench").unwrap_or_else(|| "BENCH_parallel.json".into());
+            let out = take_flag(&mut rest, "--out").unwrap_or_else(|| "CALIBRATION.json".into());
+            if let Some(stray) = rest.first() {
+                return Err(CliError::usage(format!(
+                    "calibrate takes no positional arguments (got {stray:?})"
+                )));
+            }
+            Ok(Command::Calibrate { bench, out })
         }
         other => Err(CliError::usage(format!(
             "unknown command '{other}' (try --help)"
@@ -454,7 +493,8 @@ mod tests {
                 query: "pi[$1](union(R, S))".into(),
                 db: None,
                 union_key: None,
-                workers: None
+                workers: None,
+                calibration: None
             }
         );
         assert_eq!(
@@ -464,7 +504,9 @@ mod tests {
                 db: Some("x.gdb".into()),
                 union_key: None,
                 json: true,
-                workers: None
+                workers: None,
+                trace: None,
+                calibration: None
             }
         );
         assert_eq!(
@@ -474,7 +516,50 @@ mod tests {
                 db: None,
                 union_key: None,
                 json: false,
-                workers: Some(8)
+                workers: Some(8),
+                trace: None,
+                calibration: None
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "profile",
+                "--trace",
+                "out.json",
+                "--calibration",
+                "cal.json",
+                "R"
+            ]))
+            .unwrap(),
+            Command::Profile {
+                query: "R".into(),
+                db: None,
+                union_key: None,
+                json: false,
+                workers: None,
+                trace: Some("out.json".into()),
+                calibration: Some("cal.json".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["calibrate"])).unwrap(),
+            Command::Calibrate {
+                bench: "BENCH_parallel.json".into(),
+                out: "CALIBRATION.json".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "calibrate",
+                "--bench",
+                "b.json",
+                "--out",
+                "c.json"
+            ]))
+            .unwrap(),
+            Command::Calibrate {
+                bench: "b.json".into(),
+                out: "c.json".into()
             }
         );
     }
@@ -488,5 +573,6 @@ mod tests {
         assert!(parse_args(&argv(&["frobnicate"])).is_err());
         assert!(parse_args(&argv(&["probe", "--arity", "x", "R"])).is_err());
         assert!(parse_args(&argv(&["run", "--db", "x.gdb", "--parallel", "many", "R"])).is_err());
+        assert!(parse_args(&argv(&["calibrate", "stray-arg"])).is_err());
     }
 }

@@ -11,6 +11,17 @@ fn example_db() -> String {
     )
 }
 
+/// `profile` resets and snapshots the process-global obs registry;
+/// concurrent tests must not interleave their runs.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    match OBS_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
 fn run(args: &[&str]) -> String {
     let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
     let cmd = parse_args(&argv).expect("args parse");
@@ -42,6 +53,7 @@ fn explain_example_2_2_blocks_difference_push_without_key() {
 
 #[test]
 fn profile_example_2_2_reports_engine_counters() {
+    let _g = obs_guard();
     let db = example_db();
     // pin serial: this test is about the serial engine's counters, and
     // must not flip routes when CI exports GENPAR_PARALLEL
@@ -72,6 +84,7 @@ fn profile_example_2_2_reports_engine_counters() {
 
 #[test]
 fn profile_example_2_2_parallel_reports_exec_counters() {
+    let _g = obs_guard();
     let db = example_db();
     let out = run(&[
         "profile",
@@ -89,4 +102,54 @@ fn profile_example_2_2_parallel_reports_exec_counters() {
         .and_then(|v| v.as_int())
         .expect("exec.executions recorded");
     assert!(executions > 0, "{out}");
+    // the profile schema is versioned (S2) and reports misestimates
+    assert_eq!(
+        j.get("schema_version").and_then(|v| v.as_int()),
+        Some(commands::PROFILE_SCHEMA_VERSION as i128),
+        "{out}"
+    );
+    assert!(j.get("misestimate").is_some(), "{out}");
+}
+
+#[test]
+fn explain_example_2_2_uncertified_query_states_the_refusal_reason() {
+    let _g = obs_guard();
+    let db = example_db();
+    // `even` is not partition-safe: parity is a whole-set property. The
+    // explain output must surface the gate's reason, and the same reason
+    // must ride on the exec.fallback event a profile run records.
+    let out = run(&["explain", "even(r1)", "--db", &db, "--parallel", "4"]);
+    assert!(out.contains("falls back to serial: 'even'"), "{out}");
+    assert!(out.contains("Lemma 2.12"), "{out}");
+    assert!(out.contains("gate refused the parallel route"), "{out}");
+
+    let out = run(&[
+        "profile",
+        "even(r1)",
+        "--db",
+        &db,
+        "--json",
+        "--parallel",
+        "4",
+    ]);
+    let j = genpar_obs::Json::parse(&out).expect("profile --json is valid JSON");
+    let events = j
+        .get("events")
+        .and_then(|e| e.as_arr())
+        .expect("events array");
+    let fallback = events
+        .iter()
+        .find(|e| e.get("kind").and_then(|k| k.as_str()) == Some("exec.fallback"))
+        .expect("fallback event recorded");
+    let fields = fallback.get("fields").expect("fallback fields");
+    assert_eq!(
+        fields.get("op").and_then(|v| v.as_str()),
+        Some("even"),
+        "{out}"
+    );
+    let reason = fields
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .expect("fallback reason field");
+    assert!(reason.contains("Lemma 2.12"), "{out}");
 }

@@ -47,6 +47,11 @@ pub struct ExecStats {
     pub rows_out: u64,
     /// Hash-table probes in joins.
     pub probes: u64,
+    /// The optimizer's predicted `rows_out` for this execution (0 when
+    /// no estimate was made). Filled in by callers that run the cost
+    /// model — comparing it against `rows_out` gives the misestimate
+    /// ratio `profile` reports.
+    pub est_rows_out: u64,
 }
 
 /// An execution error.

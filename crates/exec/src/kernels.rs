@@ -7,14 +7,20 @@
 //! passes the `exec.morsel` fault site and charges the shared budget
 //! meter; the merge passes `exec.merge` and charges the output-side rows
 //! and cells, mirroring the serial engine's per-node charges.
+//!
+//! Every task is wall-clock timed into the `exec.morsel_us` histogram,
+//! and chunk-based kernels feed each batch's mean latency back to the
+//! global [`crate::tune::MorselTuner`] so the morsel size converges on
+//! the ~100µs/task sweet spot.
 
 use crate::morsel::{chunk_rows, key_partition, partition_rows, row_partition};
-use crate::{pool, ExecConfig};
+use crate::{pool, tune, ExecConfig};
 use genpar_algebra::{eval::apply_fn, eval::eval_pred, Db, Pred, ValueFn};
 use genpar_engine::plan::{ExecError, ExecStats};
 use genpar_guard::SharedMeter;
 use genpar_value::{canonical_rows, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Rows in flight between operators (canonical: sorted, deduplicated).
 pub(crate) type Rows = Vec<Vec<Value>>;
@@ -24,6 +30,53 @@ pub(crate) type Rows = Vec<Vec<Value>>;
 pub(crate) struct Ctx<'a> {
     pub cfg: &'a ExecConfig,
     pub meter: Option<&'a SharedMeter>,
+}
+
+impl Ctx<'_> {
+    /// The morsel size to chunk with (tuner-driven unless pinned).
+    fn morsel_rows(&self) -> usize {
+        self.cfg.effective_morsel_rows()
+    }
+}
+
+/// Whether a kernel's tasks are morsel-sized (so their latency should
+/// steer the tuner) or partition-sized (timed, but not fed back —
+/// partition count tracks the worker count, not `morsel_rows`).
+#[derive(Clone, Copy)]
+enum TaskKind {
+    Morsel,
+    Partition,
+}
+
+/// Run a kernel's tasks on the pool with each task wall-clock timed into
+/// the `exec.morsel_us` histogram. Morsel-kind batches additionally
+/// report their mean latency to the global tuner, which may resize
+/// `morsel_rows` for the *next* batch (and emits `exec.retune`).
+fn run_timed<T, F>(
+    ctx: &Ctx,
+    kind: TaskKind,
+    tasks: Vec<T>,
+    f: F,
+) -> Result<Vec<(Rows, ExecStats)>, ExecError>
+where
+    T: Send,
+    F: Fn(usize, T) -> Result<(Rows, ExecStats), ExecError> + Sync,
+{
+    let hist = genpar_obs::histogram("exec.morsel_us");
+    let n = tasks.len() as u64;
+    let total_us = AtomicU64::new(0);
+    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |i, t| {
+        let start = std::time::Instant::now();
+        let out = f(i, t);
+        let us = start.elapsed().as_micros() as u64;
+        hist.record(us);
+        total_us.fetch_add(us, Ordering::Relaxed);
+        out
+    })?;
+    if matches!(kind, TaskKind::Morsel) && ctx.cfg.auto_tune {
+        tune::tuner().observe_batch(n, total_us.load(Ordering::Relaxed));
+    }
+    Ok(parts)
 }
 
 fn fault_err(f: genpar_guard::Fault) -> ExecError {
@@ -94,9 +147,10 @@ fn merge(
 
 /// Parallel σ: embarrassingly parallel over morsels.
 pub(crate) fn par_filter(input: Rows, p: &Pred, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
-    let parts = pool::run_tasks(
-        ctx.cfg.workers,
-        chunk_rows(input, ctx.cfg.morsel_rows),
+    let parts = run_timed(
+        ctx,
+        TaskKind::Morsel,
+        chunk_rows(input, ctx.morsel_rows()),
         |_, morsel| {
             enter_morsel(ctx, &morsel, "plan.Filter")?;
             let db = Db::with_standard_int();
@@ -122,9 +176,10 @@ pub(crate) fn par_project(
     cols: &[usize],
     ctx: &Ctx,
 ) -> Result<(Rows, ExecStats), ExecError> {
-    let parts = pool::run_tasks(
-        ctx.cfg.workers,
-        chunk_rows(input, ctx.cfg.morsel_rows),
+    let parts = run_timed(
+        ctx,
+        TaskKind::Morsel,
+        chunk_rows(input, ctx.morsel_rows()),
         |_, morsel| {
             enter_morsel(ctx, &morsel, "plan.Project")?;
             let mut stats = ExecStats::default();
@@ -150,9 +205,10 @@ pub(crate) fn par_project(
 
 /// Parallel map: embarrassingly parallel over morsels.
 pub(crate) fn par_map(input: Rows, f: &ValueFn, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
-    let parts = pool::run_tasks(
-        ctx.cfg.workers,
-        chunk_rows(input, ctx.cfg.morsel_rows),
+    let parts = run_timed(
+        ctx,
+        TaskKind::Morsel,
+        chunk_rows(input, ctx.morsel_rows()),
         |_, morsel| {
             enter_morsel(ctx, &morsel, "plan.MapRows")?;
             let db = Db::with_standard_int();
@@ -190,7 +246,7 @@ pub(crate) fn par_join(
     let lparts = partition_rows(l, nparts, |row| key_partition(row, i0, nparts));
     let rparts = partition_rows(r, nparts, |row| key_partition(row, j0, nparts));
     let tasks: Vec<(Rows, Rows)> = lparts.into_iter().zip(rparts).collect();
-    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |_, (lp, rp)| {
+    let parts = run_timed(ctx, TaskKind::Partition, tasks, |_, (lp, rp)| {
         enter_morsel(ctx, &lp, "plan.HashJoin")?;
         let mut stats = ExecStats::default();
         let mut out = Vec::new();
@@ -239,9 +295,10 @@ pub(crate) fn par_product(
     op: &'static str,
 ) -> Result<(Rows, ExecStats), ExecError> {
     let rref = &r;
-    let parts = pool::run_tasks(
-        ctx.cfg.workers,
-        chunk_rows(l, ctx.cfg.morsel_rows),
+    let parts = run_timed(
+        ctx,
+        TaskKind::Morsel,
+        chunk_rows(l, ctx.morsel_rows()),
         |_, morsel| {
             enter_morsel(ctx, &morsel, op)?;
             let mut stats = ExecStats::default();
@@ -298,7 +355,7 @@ pub(crate) fn par_setop(
     let rparts = partition_rows(r, nparts, |row| row_partition(row, nparts));
     let tasks: Vec<(Rows, Rows)> = lparts.into_iter().zip(rparts).collect();
     let name = op.op_name();
-    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |_, (lp, rp)| {
+    let parts = run_timed(ctx, TaskKind::Partition, tasks, |_, (lp, rp)| {
         enter_morsel(ctx, &lp, name)?;
         let mut stats = ExecStats::default();
         stats.rows_processed += (lp.len() + rp.len()) as u64;

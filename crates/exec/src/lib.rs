@@ -37,6 +37,7 @@
 pub mod kernels;
 pub mod morsel;
 pub mod pool;
+pub mod tune;
 
 use genpar_algebra::{eval::eval, Db, Query};
 use genpar_core::{partition_safety, PartitionSafety};
@@ -57,8 +58,14 @@ pub const PARALLEL_ENV: &str = "GENPAR_PARALLEL";
 pub struct ExecConfig {
     /// Worker threads. `<= 1` means serial (no threads spawned).
     pub workers: usize,
-    /// Rows per morsel for embarrassingly-parallel operators.
+    /// Rows per morsel for embarrassingly-parallel operators. Only the
+    /// effective size when `auto_tune` is off; otherwise the global
+    /// [`tune::MorselTuner`] supplies the (observation-driven) size.
     pub morsel_rows: usize,
+    /// Let the global morsel tuner pick the effective morsel size (the
+    /// default). [`ExecConfig::with_morsel_rows`] turns this off, as does
+    /// `GENPAR_MORSEL=fixed:N` (via the tuner itself).
+    pub auto_tune: bool,
 }
 
 impl Default for ExecConfig {
@@ -66,6 +73,7 @@ impl Default for ExecConfig {
         ExecConfig {
             workers: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            auto_tune: true,
         }
     }
 }
@@ -82,10 +90,24 @@ impl ExecConfig {
         self
     }
 
-    /// Set the morsel size (builder style). Zero is clamped to one.
+    /// Set the morsel size (builder style) and **pin** it — an explicit
+    /// size turns the auto-tuner off for this config. Zero is clamped to
+    /// one.
     pub fn with_morsel_rows(mut self, rows: usize) -> ExecConfig {
         self.morsel_rows = rows.max(1);
+        self.auto_tune = false;
         self
+    }
+
+    /// The morsel size kernels actually chunk with right now: the global
+    /// tuner's current size when auto-tuning, the configured size
+    /// otherwise.
+    pub fn effective_morsel_rows(&self) -> usize {
+        if self.auto_tune {
+            tune::tuner().rows()
+        } else {
+            self.morsel_rows
+        }
     }
 
     /// Configuration from the environment: `GENPAR_PARALLEL=N` sets the
@@ -149,7 +171,7 @@ impl EvalParallel for PhysicalPlan {
         }
         let mut sp = genpar_obs::span("exec.parallel");
         sp.field("workers", cfg.workers as u64);
-        sp.field("morsel_rows", cfg.morsel_rows as u64);
+        sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
         let meter = SharedMeter::from_armed();
         let ctx = Ctx {
             cfg,

@@ -1,0 +1,243 @@
+//! Observation-driven morsel sizing.
+//!
+//! The static `morsel_rows = 1024` default is a guess; the right size is
+//! whatever makes one morsel cost roughly [`TARGET_MORSEL_US`] of work —
+//! big enough to amortize task dispatch, small enough to keep the
+//! work-stealing pool load-balanced. A [`MorselTuner`] closes the loop:
+//! after each kernel batch the executor reports the batch's mean
+//! per-morsel latency (measured into the `exec.morsel_us` histogram),
+//! and the tuner steps the global morsel size by **powers of two** toward
+//! the target, bounded to `[`[`MIN_MORSEL_ROWS`]`, `[`MAX_MORSEL_ROWS`]`]`.
+//!
+//! ## Convergence
+//!
+//! Steps fire only when the mean leaves the factor-two stable band
+//! `[TARGET/2, 2·TARGET]`. Under any workload where per-morsel latency
+//! grows monotonically with morsel size (true of every per-row kernel),
+//! doubling from below the band or halving from above moves the mean
+//! toward the band by roughly a factor of two per batch, and once inside
+//! the band no step fires — so the size settles, within one power-of-two
+//! step of the latency-optimal size, after O(log) batches, and cannot
+//! oscillate: a size whose mean is in-band is a fixed point.
+//!
+//! ## Control
+//!
+//! `GENPAR_MORSEL=fixed:N` pins the size (auto-tuning off), plain
+//! `GENPAR_MORSEL=N` sets the starting size but lets tuning run, and
+//! [`ExecConfig::with_morsel_rows`](crate::ExecConfig::with_morsel_rows)
+//! pins per-config. Every applied step emits an `exec.retune` obs event
+//! with the old and new sizes.
+
+use crate::morsel::DEFAULT_MORSEL_ROWS;
+use genpar_obs::FieldValue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling the morsel tuner: `fixed:N` pins the
+/// morsel size at `N`; a plain integer `N` sets the initial size.
+pub const MORSEL_ENV: &str = "GENPAR_MORSEL";
+
+/// Per-morsel latency the tuner steers toward, in microseconds.
+pub const TARGET_MORSEL_US: u64 = 100;
+/// Smallest morsel the tuner will select.
+pub const MIN_MORSEL_ROWS: usize = 64;
+/// Largest morsel the tuner will select.
+pub const MAX_MORSEL_ROWS: usize = 65_536;
+
+/// A feedback controller for the global morsel size. Shared by all
+/// kernel batches; lock-free (one atomic holds the current size).
+#[derive(Debug)]
+pub struct MorselTuner {
+    rows: AtomicUsize,
+    pinned: bool,
+}
+
+impl MorselTuner {
+    /// A tuner starting at `initial` rows (clamped to the bounds unless
+    /// pinned — a pin is honoured exactly).
+    pub fn new(initial: usize, pinned: bool) -> MorselTuner {
+        let rows = if pinned {
+            initial.max(1)
+        } else {
+            initial.clamp(MIN_MORSEL_ROWS, MAX_MORSEL_ROWS)
+        };
+        MorselTuner {
+            rows: AtomicUsize::new(rows),
+            pinned,
+        }
+    }
+
+    /// A tuner configured from [`MORSEL_ENV`]. Unset (or unparsable)
+    /// means: start at [`DEFAULT_MORSEL_ROWS`], tuning on.
+    pub fn from_env() -> MorselTuner {
+        match std::env::var(MORSEL_ENV) {
+            Ok(v) => Self::parse_env(&v),
+            Err(_) => MorselTuner::new(DEFAULT_MORSEL_ROWS, false),
+        }
+    }
+
+    fn parse_env(v: &str) -> MorselTuner {
+        let v = v.trim();
+        if let Some(n) = v.strip_prefix("fixed:") {
+            match n.trim().parse::<usize>() {
+                Ok(n) if n > 0 => return MorselTuner::new(n, true),
+                _ => return MorselTuner::new(DEFAULT_MORSEL_ROWS, true),
+            }
+        }
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => MorselTuner::new(n, false),
+            _ => MorselTuner::new(DEFAULT_MORSEL_ROWS, false),
+        }
+    }
+
+    /// The morsel size kernels should chunk with right now.
+    pub fn rows(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Is the size pinned (`fixed:N`)?
+    pub fn pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Feed back one kernel batch: `morsels` tasks took `total_us`
+    /// microseconds altogether. If the mean per-morsel latency is outside
+    /// the stable band `[TARGET/2, 2·TARGET]`, step the size one power of
+    /// two toward the target (within bounds) and emit an `exec.retune`
+    /// event. Returns `Some((old, new))` when a step was applied.
+    ///
+    /// Concurrency: the step is a compare-exchange on the size observed
+    /// at entry, so two batches finishing together apply at most one step
+    /// — a stale batch (computed against a size that already moved)
+    /// simply loses the race and changes nothing.
+    pub fn observe_batch(&self, morsels: u64, total_us: u64) -> Option<(usize, usize)> {
+        if self.pinned || morsels == 0 {
+            return None;
+        }
+        let mean_us = total_us / morsels;
+        let cur = self.rows.load(Ordering::Relaxed);
+        let next = if mean_us < TARGET_MORSEL_US / 2 {
+            (cur.saturating_mul(2)).min(MAX_MORSEL_ROWS)
+        } else if mean_us > TARGET_MORSEL_US * 2 {
+            (cur / 2).max(MIN_MORSEL_ROWS)
+        } else {
+            return None;
+        };
+        if next == cur
+            || self
+                .rows
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return None;
+        }
+        genpar_obs::event(
+            "exec.retune",
+            [
+                ("old", FieldValue::U64(cur as u64)),
+                ("new", FieldValue::U64(next as u64)),
+                ("mean_us", FieldValue::U64(mean_us)),
+                ("target_us", FieldValue::U64(TARGET_MORSEL_US)),
+            ],
+        );
+        Some((cur, next))
+    }
+}
+
+static GLOBAL_TUNER: OnceLock<MorselTuner> = OnceLock::new();
+
+/// The process-wide tuner, configured from [`MORSEL_ENV`] on first use.
+pub fn tuner() -> &'static MorselTuner {
+    GLOBAL_TUNER.get_or_init(MorselTuner::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic workload: each row costs 0.1µs, so a morsel of `rows`
+    /// takes `rows / 10` µs and the 100µs-optimal size is 1000 rows —
+    /// between the power-of-two steps 512 and 1024.
+    fn synthetic_batch(tuner: &MorselTuner, morsels: u64) -> u64 {
+        let rows = tuner.rows() as u64;
+        morsels * (rows / 10)
+    }
+
+    #[test]
+    fn converges_from_below_within_one_step_of_optimum() {
+        let t = MorselTuner::new(MIN_MORSEL_ROWS, false);
+        let mut steps = Vec::new();
+        for _ in 0..20 {
+            if let Some(s) = t.observe_batch(8, synthetic_batch(&t, 8)) {
+                steps.push(s);
+            }
+        }
+        // 64 → 128 → 256 → 512, then 51µs is inside [50, 200]: stable
+        assert_eq!(t.rows(), 512, "steps: {steps:?}");
+        assert!(steps.len() <= 4, "must settle, not oscillate: {steps:?}");
+        // optimum is 1000 rows ⇒ within ±1 power-of-two step
+        assert!((512..=2048).contains(&t.rows()));
+    }
+
+    #[test]
+    fn converges_from_above_within_one_step_of_optimum() {
+        let t = MorselTuner::new(MAX_MORSEL_ROWS, false);
+        for _ in 0..20 {
+            t.observe_batch(8, synthetic_batch(&t, 8));
+        }
+        // 65536 → … → 2048 (204µs > 200) → 1024 (102µs): stable
+        assert_eq!(t.rows(), 1024);
+        assert!((512..=2048).contains(&t.rows()));
+    }
+
+    #[test]
+    fn stable_band_is_a_fixed_point() {
+        let t = MorselTuner::new(1024, false);
+        // mean exactly at target: no movement, no event
+        assert_eq!(t.observe_batch(4, 4 * TARGET_MORSEL_US), None);
+        assert_eq!(t.rows(), 1024);
+        // band edges: 50µs and 200µs both stable
+        assert_eq!(t.observe_batch(1, TARGET_MORSEL_US / 2), None);
+        assert_eq!(t.observe_batch(1, TARGET_MORSEL_US * 2), None);
+    }
+
+    #[test]
+    fn steps_respect_bounds() {
+        let t = MorselTuner::new(MIN_MORSEL_ROWS, false);
+        // far too slow: wants to halve but is already at the floor
+        assert_eq!(t.observe_batch(1, 10_000), None);
+        assert_eq!(t.rows(), MIN_MORSEL_ROWS);
+        let t = MorselTuner::new(MAX_MORSEL_ROWS, false);
+        // instant morsels: wants to double but is at the ceiling
+        assert_eq!(t.observe_batch(1000, 0), None);
+        assert_eq!(t.rows(), MAX_MORSEL_ROWS);
+    }
+
+    #[test]
+    fn pinned_tuner_never_moves() {
+        let t = MorselTuner::new(777, true);
+        assert_eq!(t.rows(), 777, "a pin is honoured exactly, unclamped");
+        assert_eq!(t.observe_batch(10, 0), None);
+        assert_eq!(t.observe_batch(10, 1_000_000), None);
+        assert_eq!(t.rows(), 777);
+    }
+
+    #[test]
+    fn env_parsing() {
+        let t = MorselTuner::parse_env("fixed:2000");
+        assert!(t.pinned() && t.rows() == 2000);
+        let t = MorselTuner::parse_env("256");
+        assert!(!t.pinned() && t.rows() == 256);
+        let t = MorselTuner::parse_env("garbage");
+        assert!(!t.pinned() && t.rows() == DEFAULT_MORSEL_ROWS);
+        let t = MorselTuner::parse_env("fixed:zero");
+        assert!(t.pinned() && t.rows() == DEFAULT_MORSEL_ROWS);
+    }
+
+    #[test]
+    fn empty_batch_is_ignored() {
+        let t = MorselTuner::new(1024, false);
+        assert_eq!(t.observe_batch(0, 0), None);
+        assert_eq!(t.rows(), 1024);
+    }
+}

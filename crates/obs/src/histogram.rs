@@ -1,0 +1,284 @@
+//! Lock-free latency histograms with logarithmic buckets.
+//!
+//! An HDR-histogram-lite: values (microseconds, rows, anything `u64`)
+//! land in fixed log-spaced buckets — each power-of-two octave is split
+//! into 8 linear sub-buckets, bounding the relative quantile error at
+//! 12.5% while keeping the whole structure a flat array of atomics.
+//! Recording is wait-free (one `fetch_add` on the bucket, plus
+//! count/sum/max updates); there is no lock anywhere on the record path,
+//! so worker threads in the parallel executor can all hammer the same
+//! histogram without contention beyond cache-line traffic.
+//!
+//! Quantiles (p50/p95/p99) are computed at snapshot time by walking the
+//! bucket array and reporting the **upper bound** of the bucket holding
+//! the requested rank — a pessimistic estimate, never an optimistic one.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave, as a bit count (2³ = 8).
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: values `0..8` get exact buckets, then 8 buckets
+/// per octave for octaves 3..=63.
+pub(crate) const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Bucket index for a value. Values below `SUB` index exactly; larger
+/// values map to `(octave, sub-bucket)` pairs.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let idx = ((msb - SUB_BITS) as u64 * SUB + (v >> (msb - SUB_BITS))) as usize;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+/// Upper (inclusive) bound of the values mapping to bucket `idx` — the
+/// value quantiles report.
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if (idx as u64) < SUB {
+        return idx as u64;
+    }
+    let octave = (idx as u64 - SUB) / SUB; // 0 ⇒ msb == SUB_BITS
+    let top = (idx as u64 - SUB) % SUB + SUB; // value >> shift, in SUB..2·SUB
+    let shift = octave as u32;
+    // all values v with v >> shift == top: upper bound is the last one
+    top.checked_shl(shift)
+        .map(|lo| lo + ((1u64 << shift) - 1))
+        .unwrap_or(u64::MAX)
+}
+
+/// A fixed-size log-bucketed histogram. All methods are `&self` and
+/// lock-free; share it across threads freely (the registry hands out
+/// `Arc`-backed handles).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one value. Wait-free: three `fetch_*` plus one bucket
+    /// increment, all `Relaxed` — per-bucket totals are exact because
+    /// atomic RMW operations never tear, and snapshot readers only need
+    /// eventual agreement, not a cross-bucket consistent cut.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zero every cell in place (used by `Registry::reset` so held
+    /// handles stay live across resets).
+    pub(crate) fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy out an immutable summary (counts, quantiles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // rank of the q-quantile, 1-based
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper_bound(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// An immutable summary of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (upper bucket bound — pessimistic).
+    pub p50: u64,
+    /// 95th percentile (upper bucket bound).
+    pub p95: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Int(self.count as i128)),
+            ("sum", Json::Int(self.sum as i128)),
+            ("max", Json::Int(self.max as i128)),
+            ("p50", Json::Int(self.p50 as i128)),
+            ("p95", Json::Int(self.p95 as i128)),
+            ("p99", Json::Int(self.p99 as i128)),
+            ("mean", Json::Num(self.mean())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 28);
+        assert_eq!(s.max, 7);
+        // rank 4 of 8 is value 3 exactly (buckets 0..8 are exact)
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            100,
+            1000,
+            12_345,
+            1 << 20,
+            (1 << 40) + 17,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let hi = bucket_upper_bound(idx);
+            assert!(v <= hi, "value {v} above bucket {idx} bound {hi}");
+            // the bound is within 12.5% of the value (log-bucket error)
+            assert!(
+                (hi as f64) <= (v as f64) * 1.125 + 1.0,
+                "bound {hi} too loose for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_pessimistic() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        // pessimistic but within the 12.5% bucket error
+        assert!(s.p50 >= 500 && (s.p50 as f64) <= 500.0 * 1.125, "{}", s.p50);
+        assert!(s.p95 >= 950 && (s.p95 as f64) <= 950.0 * 1.125, "{}", s.p95);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 4;
+        let per = 10_000u64;
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let h = h.clone();
+                sc.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * 1000 + i % 97);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per);
+        let want_sum: u64 = (0..threads)
+            .map(|t| (0..per).map(|i| t * 1000 + i % 97).sum::<u64>())
+            .sum();
+        assert_eq!(s.sum, want_sum, "atomic buckets must not tear");
+        assert_eq!(s.max, 3000 + 96);
+    }
+
+    #[test]
+    fn clear_zeroes_in_place() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(1 << 30);
+        h.clear();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        h.record(2);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn json_rendering_has_quantiles() {
+        let h = Histogram::new();
+        h.record(10);
+        let j = h.snapshot().to_json();
+        assert_eq!(j.get("count").unwrap().as_int(), Some(1));
+        assert_eq!(j.get("p99").unwrap().as_int(), Some(10));
+    }
+}

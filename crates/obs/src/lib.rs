@@ -33,12 +33,16 @@
 //! the overhead bench (`genpar-bench`, `obs_overhead`) asserts this is
 //! near-zero relative to per-operator work.
 
+mod histogram;
 pub mod json;
 mod registry;
+pub mod trace;
 
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use json::{Json, JsonError};
 pub use registry::{
-    Event, FieldValue, Registry, Snapshot, SpanGuard, SpanNode, DEFAULT_EVENT_CAPACITY,
+    Event, FieldValue, HistogramHandle, Registry, Snapshot, SpanGuard, SpanNode,
+    DEFAULT_EVENT_CAPACITY,
 };
 
 use std::sync::OnceLock;
@@ -93,6 +97,19 @@ pub fn gauge(name: &str, value: i64) {
 /// Record an event on the global registry.
 pub fn event(kind: &str, fields: impl IntoIterator<Item = (&'static str, FieldValue)>) {
     global().event(kind, fields);
+}
+
+/// Intern a histogram on the global registry and return a handle that
+/// records lock-free. Hot loops should call this once and reuse the
+/// handle; see [`Registry::histogram`].
+pub fn histogram(name: &str) -> HistogramHandle {
+    global().histogram(name)
+}
+
+/// One-shot record into a named histogram on the global registry
+/// (interns on each call — prefer [`histogram`] + handle in hot paths).
+pub fn record(name: &str, value: u64) {
+    global().record(name, value);
 }
 
 /// Snapshot the global registry.

@@ -1,5 +1,7 @@
-//! The thread-safe metrics registry: spans, counters, gauges, events.
+//! The thread-safe metrics registry: spans, counters, gauges, events,
+//! histograms.
 
+use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::json::Json;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -195,6 +197,33 @@ impl Inner {
 struct Shared {
     enabled: AtomicBool,
     inner: Mutex<Inner>,
+    /// Histograms live outside `inner`: the map lock is taken only to
+    /// intern a name into a handle; recording itself is lock-free on the
+    /// `Histogram`'s atomics.
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A cheap, clonable handle to one named histogram in a registry.
+/// Recording through the handle is a single enabled-flag load plus four
+/// relaxed atomic operations — no lock — so hot loops (the parallel
+/// executor's per-morsel timing) should intern the handle once and
+/// record through it.
+#[derive(Clone)]
+pub struct HistogramHandle {
+    shared: Arc<Shared>,
+    hist: Arc<Histogram>,
+}
+
+impl HistogramHandle {
+    /// Record one value, unless the registry is disabled (the
+    /// `GENPAR_OBS` kill switch makes this one relaxed load + return).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !self.shared.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.hist.record(value);
+    }
 }
 
 /// A thread-safe metrics registry. Cloning is cheap (`Arc` handle); all
@@ -221,6 +250,7 @@ impl Registry {
         Registry(Arc::new(Shared {
             enabled: AtomicBool::new(true),
             inner: Mutex::new(Inner::new(capacity.max(1))),
+            histograms: Mutex::new(BTreeMap::new()),
         }))
     }
 
@@ -242,12 +272,54 @@ impl Registry {
         self.0.enabled.store(enabled, Ordering::Relaxed);
     }
 
-    /// Discard all recorded data (counters, gauges, events, spans) and
-    /// restart the clock. The enabled flag is untouched.
+    /// Discard all recorded data (counters, gauges, events, spans,
+    /// histograms) and restart the clock. The enabled flag is untouched.
+    /// Histograms are zeroed **in place** so handles interned before the
+    /// reset keep recording into the live histogram afterwards.
     pub fn reset(&self) {
-        let mut inner = self.lock();
-        let cap = inner.event_capacity;
-        *inner = Inner::new(cap);
+        {
+            let mut inner = self.lock();
+            let cap = inner.event_capacity;
+            *inner = Inner::new(cap);
+        }
+        let hists = match self.0.histograms.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        for h in hists.values() {
+            h.clear();
+        }
+    }
+
+    /// Intern a histogram by name and return a recording handle. The
+    /// handle stays valid across [`Registry::reset`] (which zeroes the
+    /// histogram in place rather than dropping it). Interning takes the
+    /// histogram-map lock; recording through the handle does not.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut hists = match self.0.histograms.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let hist = hists
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone();
+        HistogramHandle {
+            shared: self.0.clone(),
+            hist,
+        }
+    }
+
+    /// One-shot record into a named histogram: intern + record. For hot
+    /// loops prefer holding the [`HistogramHandle`] from
+    /// [`Registry::histogram`]. When the registry is disabled this is one
+    /// relaxed load and an immediate return — the map is not even locked.
+    #[inline]
+    pub fn record(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histogram(name).record(value);
     }
 
     /// Add to a monotonic counter.
@@ -344,8 +416,21 @@ impl Registry {
         }
     }
 
-    /// Copy out everything recorded so far.
+    /// Copy out everything recorded so far. Histograms with zero
+    /// recorded values (interned but never hit, e.g. under the kill
+    /// switch) are omitted.
     pub fn snapshot(&self) -> Snapshot {
+        let histograms: BTreeMap<String, HistogramSnapshot> = {
+            let hists = match self.0.histograms.lock() {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+            hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .filter(|(_, s)| s.count > 0)
+                .collect()
+        };
         let inner = self.lock();
         Snapshot {
             uptime_micros: inner.epoch.elapsed().as_micros() as u64,
@@ -354,6 +439,7 @@ impl Registry {
             events: inner.events.iter().cloned().collect(),
             events_dropped: inner.events_dropped,
             spans: inner.root.children.clone(),
+            histograms,
         }
     }
 }
@@ -406,6 +492,8 @@ pub struct Snapshot {
     pub events_dropped: u64,
     /// Aggregated span trees (top-level spans).
     pub spans: Vec<SpanNode>,
+    /// Histogram summaries by name (empty histograms omitted).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 fn fmt_nanos(nanos: u64) -> String {
@@ -442,6 +530,21 @@ impl Snapshot {
             let _ = writeln!(out, "gauges:");
             for (k, v) in &self.gauges {
                 let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k}  count={} p50={} p95={} p99={} max={} mean={:.1}",
+                    h.count,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max,
+                    h.mean()
+                );
             }
         }
         if !self.events.is_empty() || self.events_dropped > 0 {
@@ -483,6 +586,15 @@ impl Snapshot {
                     self.gauges
                         .iter()
                         .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
                         .collect(),
                 ),
             ),

@@ -1,0 +1,223 @@
+//! Export a [`Snapshot`] as a Chrome `trace_event` document.
+//!
+//! Two renderings of the same data:
+//!
+//! * [`chrome_trace`] — the `{"traceEvents": [...]}` object format that
+//!   `chrome://tracing` and Perfetto load directly.
+//! * [`jsonl`] — the same events, one JSON object per line (newline-
+//!   delimited), for `jq`-style stream processing.
+//!
+//! The registry aggregates spans by call-tree position (it does not keep
+//! every begin/end timestamp), so span nodes are exported as **complete**
+//! events (`"ph": "X"`) laid out sequentially: a node starts where its
+//! previous sibling ended and lasts its *total* accumulated time. The
+//! result reads as a flame graph of where time went, not a literal
+//! timeline of when. Ring-buffer events carry real timestamps and are
+//! exported as **instant** events (`"ph": "i"`) at their true
+//! `at_micros`, on their own thread row.
+
+use crate::json::Json;
+use crate::registry::{Event, Snapshot, SpanNode};
+
+/// Synthetic pid for all exported events.
+const PID: i128 = 1;
+/// Thread row for the aggregated span layout.
+const TID_SPANS: i128 = 1;
+/// Thread row for ring-buffer instant events.
+const TID_EVENTS: i128 = 2;
+
+fn span_events(node: &SpanNode, start_us: f64, out: &mut Vec<Json>) -> f64 {
+    let dur_us = node.total_nanos as f64 / 1e3;
+    let mut args: Vec<(String, Json)> = vec![("calls".to_string(), Json::Int(node.calls as i128))];
+    for (k, v) in &node.fields {
+        args.push((k.clone(), Json::Int(*v as i128)));
+    }
+    out.push(Json::obj([
+        ("name", Json::str(&node.name)),
+        ("ph", Json::str("X")),
+        ("ts", Json::Num(start_us)),
+        ("dur", Json::Num(dur_us)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(TID_SPANS)),
+        ("args", Json::Obj(args)),
+    ]));
+    let mut cursor = start_us;
+    for child in &node.children {
+        cursor = span_events(child, cursor, out);
+    }
+    start_us + dur_us
+}
+
+fn instant_event(e: &Event) -> Json {
+    let args: Vec<(String, Json)> = std::iter::once(("seq".to_string(), Json::Int(e.seq as i128)))
+        .chain(e.fields.iter().map(|(k, v)| {
+            (
+                k.clone(),
+                match v {
+                    crate::FieldValue::U64(n) => Json::Int(*n as i128),
+                    crate::FieldValue::I64(n) => Json::Int(*n as i128),
+                    crate::FieldValue::F64(n) => Json::Num(*n),
+                    crate::FieldValue::Bool(b) => Json::Bool(*b),
+                    crate::FieldValue::Str(s) => Json::str(s.clone()),
+                },
+            )
+        }))
+        .collect();
+    Json::obj([
+        ("name", Json::str(&e.kind)),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")), // instant scope: thread
+        ("ts", Json::Num(e.at_micros as f64)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(TID_EVENTS)),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+fn thread_name(tid: i128, name: &str) -> Json {
+    Json::obj([
+        ("name", Json::str("thread_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(tid)),
+        ("args", Json::obj([("name", Json::str(name))])),
+    ])
+}
+
+/// All trace events of a snapshot, in emission order: metadata, the span
+/// flame layout, then ring events by timestamp.
+fn trace_events(snap: &Snapshot) -> Vec<Json> {
+    let mut out = vec![
+        Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Int(PID)),
+            ("tid", Json::Int(TID_SPANS)),
+            ("args", Json::obj([("name", Json::str("genpar"))])),
+        ]),
+        thread_name(TID_SPANS, "spans (aggregated)"),
+        thread_name(TID_EVENTS, "events"),
+    ];
+    let mut cursor = 0.0;
+    for s in &snap.spans {
+        cursor = span_events(s, cursor, &mut out);
+    }
+    for e in &snap.events {
+        out.push(instant_event(e));
+    }
+    out
+}
+
+/// Render a snapshot as a Chrome `trace_event` JSON object
+/// (`chrome://tracing` / Perfetto loadable).
+pub fn chrome_trace(snap: &Snapshot) -> Json {
+    Json::obj([
+        ("traceEvents", Json::Arr(trace_events(snap))),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+/// [`chrome_trace`] as text.
+pub fn chrome_trace_string(snap: &Snapshot) -> String {
+    chrome_trace(snap).to_string()
+}
+
+/// Render a snapshot's trace events as JSONL: one JSON object per line.
+pub fn jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for e in trace_events(snap) {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldValue, Registry};
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        {
+            let mut outer = reg.span("engine.execute");
+            outer.field("rows_out", 3);
+            let _a = reg.span("plan.Project");
+            drop(_a);
+            let _b = reg.span("plan.Scan");
+        }
+        reg.event(
+            "exec.retune",
+            [
+                ("old", FieldValue::U64(1024)),
+                ("new", FieldValue::U64(2048)),
+            ],
+        );
+        reg.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_json_with_all_events() {
+        let snap = sample_snapshot();
+        let text = chrome_trace_string(&snap);
+        let parsed = Json::parse(&text).expect("trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        // 3 metadata + 3 spans + 1 instant
+        assert_eq!(events.len(), 7, "{text}");
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("engine.execute"))
+            .expect("span event present");
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert!(span.get("dur").is_some());
+        let inst = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("exec.retune"))
+            .expect("instant event present");
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            inst.get("args").unwrap().get("new").unwrap().as_int(),
+            Some(2048)
+        );
+    }
+
+    #[test]
+    fn children_are_laid_out_inside_their_parent() {
+        let snap = sample_snapshot();
+        let j = chrome_trace(&snap);
+        let events = j.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let get = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap()
+        };
+        let num = |e: &Json, k: &str| match e.get(k) {
+            Some(Json::Num(n)) => *n,
+            Some(Json::Int(i)) => *i as f64,
+            _ => panic!("missing {k}"),
+        };
+        let parent = get("engine.execute");
+        let child = get("plan.Scan");
+        let (ps, pd) = (num(parent, "ts"), num(parent, "dur"));
+        let (cs, cd) = (num(child, "ts"), num(child, "dur"));
+        assert!(
+            cs >= ps && cs + cd <= ps + pd + 1e-6,
+            "child escapes parent"
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let snap = sample_snapshot();
+        let text = jsonl(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        for line in lines {
+            Json::parse(line).expect("each JSONL line parses");
+        }
+    }
+}

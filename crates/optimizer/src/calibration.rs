@@ -1,0 +1,399 @@
+//! Measured calibration of the parallel cost model.
+//!
+//! [`crate::estimate_parallel`] used to price coordination with a
+//! hard-coded 3%/worker guess. A [`Calibration`] makes that constant a
+//! *measurement*: [`Calibration::fit_from_bench`] reads the
+//! `BENCH_parallel.json` emitted by the `parallel_speedup` bench and
+//! solves the model against the observed speedups, and the
+//! `genpar calibrate` CLI subcommand writes the result to a calibration
+//! file (`CALIBRATION.json`) that `--calibration` loads back. The
+//! checked-in default file holds [`Calibration::default`], which
+//! reproduces the historical constant exactly — calibrating is opt-in.
+//!
+//! ## The model
+//!
+//! For a partition-safe query with serial cost `C` (cells) on `w > 1`
+//! workers:
+//!
+//! ```text
+//! parallel_cost(C, w) = C · (1/w + c·(w−1)) + s·(w−1)
+//! ```
+//!
+//! where `c` = [`Calibration::overhead_per_worker`] (per-worker
+//! coordination as a fraction of serial cost: morsel dispatch, canonical
+//! merge) and `s` = [`Calibration::startup_cost_cells`] (fixed
+//! per-extra-worker cost in cell units: thread spawn, deque setup).
+//! Setting the partial derivative against the serial cost to zero gives
+//! the **crossover**: parallel wins exactly when
+//!
+//! ```text
+//! C > s·(w−1) / (1 − 1/w − c·(w−1))
+//! ```
+//!
+//! ([`Calibration::crossover_cost_cells`]; `None` when the denominator
+//! is ≤ 0, i.e. coordination alone already eats the whole speedup and
+//! the parallel route can never win at that width).
+//!
+//! ## Fitting
+//!
+//! A single-workload bench varies only `w`, so the two parameters are
+//! colinear (both scale with `w−1`) and only their combined slope is
+//! identifiable. The fit therefore attributes the slope to `c` (least
+//! squares over `1/speedup_w − 1/w = c·(w−1)`) and leaves `s` as
+//! configured — separating them needs benches at multiple workload
+//! sizes, which the file format already accommodates.
+
+use crate::cost::{estimate, Estimate};
+use genpar_algebra::Query;
+use genpar_engine::Catalog;
+use genpar_obs::Json;
+
+/// Schema version written into calibration files.
+pub const CALIBRATION_SCHEMA_VERSION: i64 = 2;
+
+/// The historical hard-coded per-worker overhead fraction.
+pub const DEFAULT_OVERHEAD_PER_WORKER: f64 = 0.03;
+
+/// Measured parameters of the parallel cost model. See the module docs
+/// for the model and the fitting procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Per-worker coordination overhead as a fraction of serial cost.
+    pub overhead_per_worker: f64,
+    /// Fixed per-extra-worker cost, in cell units.
+    pub startup_cost_cells: f64,
+}
+
+impl Default for Calibration {
+    /// The uncalibrated model: the historical 3%/worker constant and no
+    /// startup term — byte-identical cost estimates to the pre-calibration
+    /// code.
+    fn default() -> Calibration {
+        Calibration {
+            overhead_per_worker: DEFAULT_OVERHEAD_PER_WORKER,
+            startup_cost_cells: 0.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Predicted cost of running `serial_cost_cells` worth of work on
+    /// `workers` workers (the module-level model). `workers <= 1` is the
+    /// serial cost unchanged.
+    pub fn parallel_cost(&self, serial_cost_cells: f64, workers: usize) -> f64 {
+        if workers <= 1 {
+            return serial_cost_cells;
+        }
+        let w = workers as f64;
+        serial_cost_cells * (1.0 / w + self.overhead_per_worker * (w - 1.0))
+            + self.startup_cost_cells * (w - 1.0)
+    }
+
+    /// The serial cost (cells) above which the parallel route at
+    /// `workers` is predicted cheaper than serial. `None` when
+    /// coordination overhead alone exceeds the ideal speedup — the
+    /// parallel route can never win at that width.
+    pub fn crossover_cost_cells(&self, workers: usize) -> Option<f64> {
+        if workers <= 1 {
+            return None;
+        }
+        let w = workers as f64;
+        let denom = 1.0 - 1.0 / w - self.overhead_per_worker * (w - 1.0);
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(self.startup_cost_cells * (w - 1.0) / denom)
+    }
+
+    /// Fit the overhead fraction from a `BENCH_parallel.json` document
+    /// (schema: `{"results": [{"workers": N, "speedup": S, ...}, ...]}`).
+    /// Least squares over the `workers > 1` points; the startup term is
+    /// carried over from `self` (see module docs on identifiability).
+    /// Errors when the document has no usable points.
+    pub fn fit_from_bench(&self, bench: &Json) -> Result<Calibration, String> {
+        let results = bench
+            .get("results")
+            .and_then(|r| r.as_arr())
+            .ok_or_else(|| "bench JSON has no \"results\" array".to_string())?;
+        // model: 1/speedup_w − 1/w = c·(w−1); least squares for c
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        let mut points = 0usize;
+        for r in results {
+            let w = match r.get("workers").and_then(|v| v.as_int()) {
+                Some(w) if w > 1 => w as f64,
+                _ => continue,
+            };
+            let s = match r.get("speedup") {
+                Some(Json::Num(s)) if *s > 0.0 => *s,
+                Some(Json::Int(s)) if *s > 0 => *s as f64,
+                _ => continue,
+            };
+            let y = 1.0 / s - 1.0 / w;
+            let x = w - 1.0;
+            num += x * y;
+            den += x * x;
+            points += 1;
+        }
+        if points == 0 {
+            return Err("no multi-worker points with positive speedup in bench JSON".to_string());
+        }
+        Ok(Calibration {
+            // a machine faster in parallel than the model allows fits a
+            // negative c; clamp — negative coordination cost is noise
+            overhead_per_worker: (num / den).max(0.0),
+            startup_cost_cells: self.startup_cost_cells,
+        })
+    }
+
+    /// The calibration as a JSON document (what `genpar calibrate`
+    /// writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "schema_version",
+                Json::Int(CALIBRATION_SCHEMA_VERSION as i128),
+            ),
+            ("overhead_per_worker", Json::Num(self.overhead_per_worker)),
+            ("startup_cost_cells", Json::Num(self.startup_cost_cells)),
+        ])
+    }
+
+    /// Parse a calibration document (inverse of [`Calibration::to_json`];
+    /// unknown keys are ignored, missing keys fall back to the default).
+    pub fn from_json(j: &Json) -> Result<Calibration, String> {
+        let field = |key: &str, default: f64| -> Result<f64, String> {
+            match j.get(key) {
+                None => Ok(default),
+                Some(Json::Num(n)) => Ok(*n),
+                Some(Json::Int(n)) => Ok(*n as f64),
+                Some(other) => Err(format!(
+                    "calibration field {key:?} is not a number: {other}"
+                )),
+            }
+        };
+        let d = Calibration::default();
+        let cal = Calibration {
+            overhead_per_worker: field("overhead_per_worker", d.overhead_per_worker)?,
+            startup_cost_cells: field("startup_cost_cells", d.startup_cost_cells)?,
+        };
+        let valid = |x: f64| x.is_finite() && x >= 0.0;
+        if !valid(cal.overhead_per_worker) || !valid(cal.startup_cost_cells) {
+            return Err(format!(
+                "calibration parameters must be non-negative, got c={} s={}",
+                cal.overhead_per_worker, cal.startup_cost_cells
+            ));
+        }
+        Ok(cal)
+    }
+
+    /// Load a calibration file from disk.
+    pub fn from_file(path: &str) -> Result<Calibration, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read calibration file {path}: {e}"))?;
+        let j = Json::parse(&text).map_err(|e| format!("calibration file {path}: {e}"))?;
+        Calibration::from_json(&j)
+    }
+}
+
+/// Both routes the executor could take for a query, costed side by side
+/// — what `explain` prints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteCosts {
+    /// The serial route's estimate.
+    pub serial: Estimate,
+    /// The parallel route's estimate at `workers` (equals `serial` when
+    /// the gate refuses or `workers <= 1`).
+    pub parallel: Estimate,
+    /// Worker width the parallel route was costed at.
+    pub workers: usize,
+    /// Did the partition-safety gate certify the query?
+    pub safe: bool,
+    /// Is the parallel route predicted cheaper?
+    pub choose_parallel: bool,
+    /// `serial.cost − parallel.cost`: positive means the parallel route
+    /// saves this many cells.
+    pub margin_cells: f64,
+    /// Serial cost above which parallel wins at this width (`None` when
+    /// it never can, or when serial was requested).
+    pub crossover_cost_cells: Option<f64>,
+}
+
+/// Cost both executor routes for `q` under a calibration. The parallel
+/// route honours the partition-safety gate exactly as the executor does:
+/// an uncertified query's "parallel" cost is its serial cost, and the
+/// choice is serial.
+pub fn route_costs(q: &Query, catalog: &Catalog, workers: usize, cal: &Calibration) -> RouteCosts {
+    let serial = estimate(q, catalog);
+    let safe = genpar_core::partition_safety(q).is_safe();
+    let parallel = if workers > 1 && safe {
+        Estimate {
+            cost: cal.parallel_cost(serial.cost, workers),
+            ..serial
+        }
+    } else {
+        serial
+    };
+    let choose_parallel = workers > 1 && safe && parallel.cost < serial.cost;
+    RouteCosts {
+        serial,
+        parallel,
+        workers,
+        safe,
+        choose_parallel,
+        margin_cells: serial.cost - parallel.cost,
+        crossover_cost_cells: if workers > 1 && safe {
+            cal.crossover_cost_cells(workers)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_engine::workload::generate_keyed_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keyed_catalog() -> Catalog {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (r, s) = generate_keyed_pair(&mut rng, 2_000, 3, 0.5);
+        Catalog::new().with(r).with(s)
+    }
+
+    #[test]
+    fn default_calibration_reproduces_the_historical_constant() {
+        let cal = Calibration::default();
+        let cat = keyed_catalog();
+        let q = Query::rel("R")
+            .join_on(Query::rel("S"), [(0, 0)])
+            .project([0]);
+        for w in [1usize, 2, 4, 8, 1000] {
+            let legacy = crate::estimate_parallel(&q, &cat, w);
+            let base = estimate(&q, &cat);
+            assert_eq!(
+                cal.parallel_cost(base.cost, w),
+                legacy.cost,
+                "default must be byte-identical at w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cal = Calibration {
+            overhead_per_worker: 0.0125,
+            startup_cost_cells: 340.5,
+        };
+        let j = cal.to_json();
+        assert_eq!(
+            j.get("schema_version").and_then(|v| v.as_int()),
+            Some(CALIBRATION_SCHEMA_VERSION as i128)
+        );
+        let text = j.to_string();
+        let back = Calibration::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cal);
+    }
+
+    #[test]
+    fn from_json_rejects_negative_parameters() {
+        let j = Json::parse(r#"{"overhead_per_worker": -0.5}"#).unwrap();
+        assert!(Calibration::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_a_known_overhead() {
+        // synthesize a bench with exactly c = 0.05, s = 0:
+        // 1/speedup_w = 1/w + 0.05 (w−1)
+        let c = 0.05;
+        let mk = |w: f64| 1.0 / (1.0 / w + c * (w - 1.0));
+        let bench = Json::parse(&format!(
+            r#"{{"results": [
+                {{"workers": 1, "speedup": 1.0}},
+                {{"workers": 2, "speedup": {}}},
+                {{"workers": 4, "speedup": {}}},
+                {{"workers": 8, "speedup": {}}}
+            ]}}"#,
+            mk(2.0),
+            mk(4.0),
+            mk(8.0)
+        ))
+        .unwrap();
+        let fitted = Calibration::default().fit_from_bench(&bench).unwrap();
+        assert!(
+            (fitted.overhead_per_worker - c).abs() < 1e-9,
+            "fit {} != {c}",
+            fitted.overhead_per_worker
+        );
+    }
+
+    #[test]
+    fn fit_clamps_superlinear_machines_to_zero() {
+        // speedup better than ideal fits c < 0 → clamped
+        let bench = Json::parse(r#"{"results": [{"workers": 4, "speedup": 5.0}]}"#).unwrap();
+        let fitted = Calibration::default().fit_from_bench(&bench).unwrap();
+        assert_eq!(fitted.overhead_per_worker, 0.0);
+    }
+
+    #[test]
+    fn fit_errors_without_usable_points() {
+        let bench = Json::parse(r#"{"results": [{"workers": 1, "speedup": 1.0}]}"#).unwrap();
+        assert!(Calibration::default().fit_from_bench(&bench).is_err());
+        assert!(Calibration::default()
+            .fit_from_bench(&Json::parse("{}").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn crossover_separates_the_routes() {
+        let cal = Calibration {
+            overhead_per_worker: 0.03,
+            startup_cost_cells: 100.0,
+        };
+        let cross = cal.crossover_cost_cells(4).unwrap();
+        assert!(cross > 0.0);
+        // just below: serial wins; just above: parallel wins
+        assert!(cal.parallel_cost(cross * 0.9, 4) > cross * 0.9);
+        assert!(cal.parallel_cost(cross * 1.1, 4) < cross * 1.1);
+        // overhead so high the denominator goes non-positive: no crossover
+        let hopeless = Calibration {
+            overhead_per_worker: 0.5,
+            startup_cost_cells: 100.0,
+        };
+        assert_eq!(hopeless.crossover_cost_cells(4), None);
+        // zero startup: any certified work benefits (crossover at 0)
+        assert_eq!(Calibration::default().crossover_cost_cells(4), Some(0.0));
+    }
+
+    #[test]
+    fn route_costs_respect_the_gate() {
+        let cat = keyed_catalog();
+        let cal = Calibration::default();
+        let safe = Query::rel("R")
+            .join_on(Query::rel("S"), [(0, 0)])
+            .project([0]);
+        let rc = route_costs(&safe, &cat, 4, &cal);
+        assert!(rc.safe && rc.choose_parallel);
+        assert!(rc.parallel.cost < rc.serial.cost);
+        assert!(rc.margin_cells > 0.0);
+        assert_eq!(rc.crossover_cost_cells, Some(0.0));
+
+        let unsafe_q = Query::Even(Box::new(Query::rel("R")));
+        let rc = route_costs(&unsafe_q, &cat, 4, &cal);
+        assert!(!rc.safe && !rc.choose_parallel);
+        assert_eq!(rc.serial, rc.parallel);
+        assert_eq!(rc.margin_cells, 0.0);
+        assert_eq!(rc.crossover_cost_cells, None);
+
+        let rc = route_costs(&safe, &cat, 1, &cal);
+        assert!(!rc.choose_parallel, "serial request never picks parallel");
+    }
+
+    #[test]
+    fn from_file_reports_missing_files() {
+        let err = Calibration::from_file("/nonexistent/calibration.json").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -135,31 +135,69 @@ pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
     }
 }
 
-/// Per-morsel scheduling + canonical-merge overhead, as a fraction of
-/// the serial cost, charged once per extra worker. Keeps the model from
-/// predicting unbounded speedup: beyond the point where coordination
-/// eats the gains, adding workers *raises* the estimated cost.
-const PARALLEL_OVERHEAD_PER_WORKER: f64 = 0.03;
+/// Estimate a query as executed by `workers` workers on the partitioned
+/// executor, under the **default** (uncalibrated) cost model — the
+/// historical 3%/worker coordination guess. See
+/// [`estimate_parallel_with`] for the calibrated form.
+pub fn estimate_parallel(q: &Query, catalog: &Catalog, workers: usize) -> Estimate {
+    estimate_parallel_with(q, catalog, workers, &crate::Calibration::default())
+}
 
 /// Estimate a query as executed by `workers` workers on the partitioned
-/// executor. The parallelism factor applies **only** when the
-/// partition-safety gate certifies the query — the cost model consults
-/// the same genericity checker the executor does, so it never predicts a
-/// speedup the executor would refuse to attempt. Cardinalities are
-/// unchanged (parallelism moves work, it does not create rows); only
-/// `cost` is scaled.
-pub fn estimate_parallel(q: &Query, catalog: &Catalog, workers: usize) -> Estimate {
+/// executor, pricing coordination with a measured
+/// [`Calibration`](crate::Calibration). The parallelism factor applies
+/// **only** when the partition-safety gate certifies the query — the
+/// cost model consults the same genericity checker the executor does, so
+/// it never predicts a speedup the executor would refuse to attempt.
+/// Cardinalities are unchanged (parallelism moves work, it does not
+/// create rows); only `cost` is scaled.
+pub fn estimate_parallel_with(
+    q: &Query,
+    catalog: &Catalog,
+    workers: usize,
+    cal: &crate::Calibration,
+) -> Estimate {
     let base = estimate(q, catalog);
-    let w = workers.max(1) as f64;
     if workers <= 1 || !genpar_core::partition_safety(q).is_safe() {
         return base;
     }
-    let factor = 1.0 / w + PARALLEL_OVERHEAD_PER_WORKER * (w - 1.0);
     Estimate {
         rows: base.rows,
         width: base.width,
-        cost: base.cost * factor,
+        cost: cal.parallel_cost(base.cost, workers),
     }
+}
+
+/// Per-node estimates for the subtrees of `q`, preorder, each labelled
+/// with the physical operator the node lowers to (`plan.Scan`,
+/// `plan.Filter`, …). Pairing these against the `rows_out` fields the
+/// executor records in its `plan.*` spans gives the per-operator
+/// misestimate ratio that `profile` reports. Complex-value nodes that do
+/// not lower get the label `plan.Other` and are not descended into.
+pub fn estimate_nodes(q: &Query, catalog: &Catalog) -> Vec<(&'static str, Estimate)> {
+    fn walk(q: &Query, catalog: &Catalog, out: &mut Vec<(&'static str, Estimate)>) {
+        let (name, children): (&'static str, Vec<&Query>) = match q {
+            Query::Rel(_) => ("plan.Scan", vec![]),
+            Query::Empty | Query::Lit(_) => ("plan.Values", vec![]),
+            Query::Select(_, a) => ("plan.Filter", vec![a]),
+            Query::SelectHat(_, _, a) => ("plan.Filter", vec![a]),
+            Query::Project(_, a) => ("plan.Project", vec![a]),
+            Query::Join(_, a, b) => ("plan.HashJoin", vec![a, b]),
+            Query::Product(a, b) => ("plan.Product", vec![a, b]),
+            Query::Union(a, b) => ("plan.Union", vec![a, b]),
+            Query::Intersect(a, b) => ("plan.Intersect", vec![a, b]),
+            Query::Difference(a, b) => ("plan.Difference", vec![a, b]),
+            Query::Map(_, a) | Query::Insert(_, a) => ("plan.MapRows", vec![a]),
+            _ => ("plan.Other", vec![]),
+        };
+        out.push((name, estimate(q, catalog)));
+        for c in children {
+            walk(c, catalog, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(q, catalog, &mut out);
+    out
 }
 
 fn selectivity(p: &Pred) -> f64 {
@@ -203,6 +241,18 @@ pub fn optimize_costed_parallel(
     catalog: &Catalog,
     workers: usize,
 ) -> (Query, RewriteTrace, Estimate, Estimate) {
+    optimize_costed_parallel_with(q, rules, catalog, workers, &crate::Calibration::default())
+}
+
+/// [`optimize_costed_parallel`] under a measured
+/// [`Calibration`](crate::Calibration) instead of the default constants.
+pub fn optimize_costed_parallel_with(
+    q: &Query,
+    rules: &RuleSet,
+    catalog: &Catalog,
+    workers: usize,
+    cal: &crate::Calibration,
+) -> (Query, RewriteTrace, Estimate, Estimate) {
     let _sp = genpar_obs::span("optimizer.costed");
     // cost estimation is advisory: a fault or panic inside it degrades to
     // the original plan with zeroed estimates instead of failing the query
@@ -210,9 +260,9 @@ pub fn optimize_costed_parallel(
         .map_err(|f| f.to_string())
         .and_then(|()| {
             genpar_guard::catch_panics(|| {
-                let base_est = estimate_parallel(q, catalog, workers);
+                let base_est = estimate_parallel_with(q, catalog, workers, cal);
                 let (rewritten, trace) = optimize(q, rules, catalog);
-                let new_est = estimate_parallel(&rewritten, catalog, workers);
+                let new_est = estimate_parallel_with(&rewritten, catalog, workers, cal);
                 (base_est, rewritten, trace, new_est)
             })
         });

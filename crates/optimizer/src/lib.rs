@@ -24,10 +24,15 @@
 //! them bottom-up to fixpoint and records a trace. Soundness (rewritten ≡
 //! original on all databases) is property-tested in `tests/`.
 
+pub mod calibration;
 pub mod cost;
 pub mod rewrite;
 pub mod rules;
 
-pub use cost::{estimate, estimate_parallel, optimize_costed, optimize_costed_parallel, Estimate};
+pub use calibration::{route_costs, Calibration, RouteCosts, CALIBRATION_SCHEMA_VERSION};
+pub use cost::{
+    estimate, estimate_nodes, estimate_parallel, estimate_parallel_with, optimize_costed,
+    optimize_costed_parallel, optimize_costed_parallel_with, Estimate,
+};
 pub use rewrite::{optimize, RewriteTrace};
 pub use rules::{Constraints, Rule, RuleSet};
