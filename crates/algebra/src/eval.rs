@@ -222,6 +222,9 @@ pub fn op_name(q: &Query) -> &'static str {
         Query::TuplePair(..) => "alg.TuplePair",
         Query::Nest(..) => "alg.Nest",
         Query::Unnest(..) => "alg.Unnest",
+        Query::Count(..) => "alg.Count",
+        Query::Sum(..) => "alg.Sum",
+        Query::Fixpoint { .. } => "alg.Fixpoint",
     }
 }
 
@@ -588,7 +591,49 @@ fn eval_node(
             stats.tuples_emitted += out.len() as u64;
             Ok(Value::Set(out))
         }
+        Query::Count(q) => {
+            let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
+            stats.tuples_scanned += s.len() as u64;
+            Ok(Value::Int(s.len() as i64))
+        }
+        Query::Sum(col, q) => {
+            let s = eval_set(q, db, stats)?;
+            sp.field("rows_in", s.len() as u64);
+            let mut total: i64 = 0;
+            for t in &s {
+                stats.tuples_scanned += 1;
+                total = total.wrapping_add(sum_component(t, *col)?);
+            }
+            Ok(Value::Int(total))
+        }
+        Query::Fixpoint { var, init, step } => {
+            let seed = eval_with_stats(init, db, stats)?;
+            // each round binds the accumulator to the loop variable by
+            // literal substitution, then evaluates the body as usual
+            crate::fixpoint::inflationary_fixpoint(
+                &seed,
+                |x| {
+                    let bound = step.substitute_rel(var, x);
+                    eval_with_stats(&bound, db, stats)
+                },
+                crate::fixpoint::DEFAULT_FIXPOINT_ITERS,
+            )
+        }
     }
+}
+
+/// The integer contribution of one set element to `sum[$col]`: column
+/// `col` of a tuple element, or the element itself when it is a bare
+/// integer addressed as column 0. Shared with the parallel combiner
+/// kernel so the two routes agree on semantics (and on error cases).
+pub fn sum_component(t: &Value, col: usize) -> Result<i64, EvalError> {
+    let v = match t.as_tuple() {
+        Some(tup) => tup.get(col).ok_or(EvalError::BadColumn(col))?,
+        None if col == 0 => t,
+        None => return Err(shape("sum", t)),
+    };
+    v.as_int().ok_or_else(|| shape("sum", v))
 }
 
 fn shape(op: &'static str, v: &Value) -> EvalError {
@@ -969,6 +1014,77 @@ mod tests {
             eval(&Query::rel("R").project([2]), &db2),
             Err(EvalError::Shape { .. }) | Err(EvalError::BadColumn(_))
         ));
+    }
+
+    #[test]
+    fn count_and_sum_aggregate() {
+        let db = db_r("{(1, 10), (2, 20), (3, 30)}");
+        assert_eq!(run(&Query::rel("R").count(), &db), Value::Int(3));
+        assert_eq!(run(&Query::rel("R").sum(1), &db), Value::Int(60));
+        assert_eq!(run(&Query::Empty.count(), &db), Value::Int(0));
+        assert_eq!(run(&Query::Empty.sum(0), &db), Value::Int(0));
+        // bare-int elements sum as column 0
+        let db2 = db_r("{1, 2, 3}");
+        assert_eq!(run(&Query::rel("R").sum(0), &db2), Value::Int(6));
+        // non-int column is a shape error
+        let db3 = db_r("{(a, b)}");
+        assert!(matches!(
+            eval(&Query::rel("R").sum(0), &db3),
+            Err(EvalError::Shape { .. })
+        ));
+        assert!(matches!(
+            eval(&Query::rel("R").sum(7), &db3),
+            Err(EvalError::BadColumn(7))
+        ));
+    }
+
+    #[test]
+    fn fixpoint_query_computes_transitive_closure() {
+        // fix[X](E, π$1,$4(X ⋈ E)) = TC of edge relation E
+        let db = Db::new().with("E", parse_value("{(a, b), (b, c), (c, d)}").unwrap());
+        let q = Query::fixpoint(
+            "X",
+            Query::rel("E"),
+            Query::rel("X")
+                .join_on(Query::rel("E"), [(1, 0)])
+                .project([0, 3]),
+        );
+        assert_eq!(
+            run(&q, &db),
+            parse_value("{(a, b), (b, c), (c, d), (a, c), (b, d), (a, d)}").unwrap()
+        );
+    }
+
+    #[test]
+    fn fixpoint_loop_variable_shadows_database_relation() {
+        // a DB relation named X must not leak into the loop body
+        let db = Db::new()
+            .with("E", parse_value("{(a, b)}").unwrap())
+            .with("X", parse_value("{(z, z)}").unwrap());
+        let q = Query::fixpoint(
+            "X",
+            Query::rel("E"),
+            Query::rel("X")
+                .join_on(Query::rel("E"), [(1, 0)])
+                .project([0, 3]),
+        );
+        assert_eq!(run(&q, &db), parse_value("{(a, b)}").unwrap());
+    }
+
+    #[test]
+    fn fixpoint_respects_armed_depth_budget() {
+        let db = Db::with_standard_int().with("R", parse_value("{1}").unwrap());
+        // map(succ) grows forever: the armed depth cap must cut it short
+        let q = Query::fixpoint(
+            "X",
+            Query::rel("R"),
+            Query::rel("X").map(ValueFn::Interp("succ".into())),
+        );
+        let _scope = genpar_guard::ExecBudget::unlimited()
+            .with_max_depth(5)
+            .enter();
+        let err = eval(&q, &db).unwrap_err();
+        assert!(err.is_budget(), "{err}");
     }
 
     #[test]

@@ -220,6 +220,26 @@ pub enum Query {
     /// index: `(…, {t₁, t₂}, …) ↦ {(…, t₁ᵢ…, …), (…, t₂ᵢ…, …)}` with the
     /// nested tuple's components spliced in place.
     Unnest(usize, Box<Query>),
+    /// `count`: the cardinality of the input set, as an integer. Like
+    /// `even` (Lemma 2.12), counting distinct elements observes value
+    /// identity — but unlike a parity, partial counts *combine*: the
+    /// executor's parallel-with-combiner class exploits this.
+    Count(Box<Query>),
+    /// `sum`: the sum of the integer values in the given column of the
+    /// input set of tuples. Another combinable whole-set aggregate.
+    Sum(usize, Box<Query>),
+    /// Inflationary fixpoint `fix X. init ∪ step(X)`: evaluate `init`,
+    /// then repeatedly union in `step` (which refers to the accumulator
+    /// via `Rel(var)`) until the set stops growing. The loop variable
+    /// shadows any database relation of the same name inside `step`.
+    Fixpoint {
+        /// The loop variable `step` refers to via `Rel(var)`.
+        var: String,
+        /// The seed set.
+        init: Box<Query>,
+        /// The body, re-evaluated each round with `var` bound.
+        step: Box<Query>,
+    },
 }
 
 impl Query {
@@ -271,18 +291,165 @@ impl Query {
     pub fn unnest(self, col: usize) -> Query {
         Query::Unnest(col, Box::new(self))
     }
+    /// count helper.
+    pub fn count(self) -> Query {
+        Query::Count(Box::new(self))
+    }
+    /// sum helper.
+    pub fn sum(self, col: usize) -> Query {
+        Query::Sum(col, Box::new(self))
+    }
+    /// Fixpoint helper: `fix var. init ∪ step(var)`.
+    pub fn fixpoint(var: impl Into<String>, init: Query, step: Query) -> Query {
+        Query::Fixpoint {
+            var: var.into(),
+            init: Box::new(init),
+            step: Box::new(step),
+        }
+    }
 
-    /// All relation names the query reads.
+    /// All relation names the query reads from the database. A fixpoint's
+    /// loop variable is *bound*: occurrences of `Rel(var)` inside its
+    /// `step` are references to the accumulator, not database reads, and
+    /// are excluded (respecting shadowing by nested fixpoints).
     pub fn rel_names(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        self.visit(&mut |q| {
-            if let Query::Rel(n) = q {
-                out.push(n.clone());
+        fn go(q: &Query, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            match q {
+                Query::Rel(n) => {
+                    if !bound.iter().any(|b| b == n) {
+                        out.push(n.clone());
+                    }
+                }
+                Query::Fixpoint { var, init, step } => {
+                    go(init, bound, out);
+                    bound.push(var.clone());
+                    go(step, bound, out);
+                    bound.pop();
+                }
+                _ => {
+                    let mut kids = Vec::new();
+                    q.children(&mut kids);
+                    for c in kids {
+                        go(c, bound, out);
+                    }
+                }
             }
-        });
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
         out.sort();
         out.dedup();
         out
+    }
+
+    /// The direct subqueries of this node, in evaluation order.
+    fn children<'a>(&'a self, out: &mut Vec<&'a Query>) {
+        match self {
+            Query::Rel(_) | Query::Lit(_) | Query::Empty => {}
+            Query::Project(_, q)
+            | Query::Select(_, q)
+            | Query::SelectHat(_, _, q)
+            | Query::Map(_, q)
+            | Query::Insert(_, q)
+            | Query::Singleton(q)
+            | Query::Flatten(q)
+            | Query::Powerset(q)
+            | Query::EqAdom(q)
+            | Query::Adom(q)
+            | Query::Even(q)
+            | Query::NestParity(q)
+            | Query::Complement(q)
+            | Query::Nest(_, q)
+            | Query::Unnest(_, q)
+            | Query::Count(q)
+            | Query::Sum(_, q) => out.push(q),
+            Query::Product(a, b)
+            | Query::Union(a, b)
+            | Query::Intersect(a, b)
+            | Query::Difference(a, b)
+            | Query::Join(_, a, b)
+            | Query::TuplePair(a, b) => {
+                out.push(a);
+                out.push(b);
+            }
+            Query::Fixpoint { init, step, .. } => {
+                out.push(init);
+                out.push(step);
+            }
+        }
+    }
+
+    /// Substitute a literal value for every free occurrence of the
+    /// relation `var` (the binding primitive of fixpoint evaluation:
+    /// a round binds the accumulator — or its delta — to the loop
+    /// variable). Occurrences shadowed by a nested fixpoint binding the
+    /// same name are left alone.
+    pub fn substitute_rel(&self, var: &str, v: &Value) -> Query {
+        match self {
+            Query::Rel(n) if n == var => Query::Lit(v.clone()),
+            Query::Rel(_) | Query::Lit(_) | Query::Empty => self.clone(),
+            Query::Project(cols, q) => {
+                Query::Project(cols.clone(), Box::new(q.substitute_rel(var, v)))
+            }
+            Query::Select(p, q) => Query::Select(p.clone(), Box::new(q.substitute_rel(var, v))),
+            Query::SelectHat(i, j, q) => {
+                Query::SelectHat(*i, *j, Box::new(q.substitute_rel(var, v)))
+            }
+            Query::Product(a, b) => Query::Product(
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Union(a, b) => Query::Union(
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Intersect(a, b) => Query::Intersect(
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Difference(a, b) => Query::Difference(
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Join(on, a, b) => Query::Join(
+                on.clone(),
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Map(f, q) => Query::Map(f.clone(), Box::new(q.substitute_rel(var, v))),
+            Query::Insert(c, q) => Query::Insert(c.clone(), Box::new(q.substitute_rel(var, v))),
+            Query::Singleton(q) => Query::Singleton(Box::new(q.substitute_rel(var, v))),
+            Query::Flatten(q) => Query::Flatten(Box::new(q.substitute_rel(var, v))),
+            Query::Powerset(q) => Query::Powerset(Box::new(q.substitute_rel(var, v))),
+            Query::EqAdom(q) => Query::EqAdom(Box::new(q.substitute_rel(var, v))),
+            Query::Adom(q) => Query::Adom(Box::new(q.substitute_rel(var, v))),
+            Query::Even(q) => Query::Even(Box::new(q.substitute_rel(var, v))),
+            Query::NestParity(q) => Query::NestParity(Box::new(q.substitute_rel(var, v))),
+            Query::Complement(q) => Query::Complement(Box::new(q.substitute_rel(var, v))),
+            Query::TuplePair(a, b) => Query::TuplePair(
+                Box::new(a.substitute_rel(var, v)),
+                Box::new(b.substitute_rel(var, v)),
+            ),
+            Query::Nest(keys, q) => Query::Nest(keys.clone(), Box::new(q.substitute_rel(var, v))),
+            Query::Unnest(col, q) => Query::Unnest(*col, Box::new(q.substitute_rel(var, v))),
+            Query::Count(q) => Query::Count(Box::new(q.substitute_rel(var, v))),
+            Query::Sum(col, q) => Query::Sum(*col, Box::new(q.substitute_rel(var, v))),
+            Query::Fixpoint { var: w, init, step } => {
+                let init = Box::new(init.substitute_rel(var, v));
+                // an inner fixpoint binding the same name shadows: the
+                // outer substitution must not reach into its step
+                let step = if w == var {
+                    step.clone()
+                } else {
+                    Box::new(step.substitute_rel(var, v))
+                };
+                Query::Fixpoint {
+                    var: w.clone(),
+                    init,
+                    step,
+                }
+            }
+        }
     }
 
     /// All constants the query mentions — its C of Section 2.4 (from
@@ -320,7 +487,9 @@ impl Query {
             | Query::NestParity(q)
             | Query::Complement(q)
             | Query::Nest(_, q)
-            | Query::Unnest(_, q) => q.visit(f),
+            | Query::Unnest(_, q)
+            | Query::Count(q)
+            | Query::Sum(_, q) => q.visit(f),
             Query::Product(a, b)
             | Query::Union(a, b)
             | Query::Intersect(a, b)
@@ -329,6 +498,10 @@ impl Query {
             | Query::TuplePair(a, b) => {
                 a.visit(f);
                 b.visit(f);
+            }
+            Query::Fixpoint { init, step, .. } => {
+                init.visit(f);
+                step.visit(f);
             }
         }
     }
@@ -386,6 +559,9 @@ impl fmt::Display for Query {
                 write!(f, "]({q})")
             }
             Query::Unnest(col, q) => write!(f, "μ[${}]({q})", col + 1),
+            Query::Count(q) => write!(f, "count({q})"),
+            Query::Sum(col, q) => write!(f, "sum[${}]({q})", col + 1),
+            Query::Fixpoint { var, init, step } => write!(f, "fix[{var}]({init}, {step})"),
         }
     }
 }
@@ -437,6 +613,49 @@ mod tests {
         let s = q1.to_string();
         assert!(s.contains('π'), "{s}");
         assert!(s.contains('⋈'), "{s}");
+    }
+
+    #[test]
+    fn fixpoint_variable_is_bound_not_read() {
+        // fix[X](E, X ⋈ E): X is the accumulator, E is the only DB read
+        let q = Query::fixpoint(
+            "X",
+            Query::rel("E"),
+            Query::rel("X").join_on(Query::rel("E"), [(1, 0)]),
+        );
+        assert_eq!(q.rel_names(), vec!["E".to_string()]);
+        // a same-named DB relation outside the binder is still a read
+        let q2 = Query::rel("X").union(q.clone());
+        assert_eq!(q2.rel_names(), vec!["E".to_string(), "X".to_string()]);
+        // Display round-trips the shape
+        assert!(q.to_string().starts_with("fix[X]("), "{q}");
+    }
+
+    #[test]
+    fn substitute_rel_respects_shadowing() {
+        let v = Value::set([Value::Int(1)]);
+        let q = Query::rel("X").union(Query::rel("R"));
+        let s = q.substitute_rel("X", &v);
+        assert!(matches!(&s, Query::Union(a, _) if matches!(a.as_ref(), Query::Lit(_))));
+        // inner fix[X] shadows: its step keeps Rel("X"), its init does not
+        let inner = Query::fixpoint("X", Query::rel("X"), Query::rel("X"));
+        let sub = inner.substitute_rel("X", &v);
+        match sub {
+            Query::Fixpoint { init, step, .. } => {
+                assert!(matches!(init.as_ref(), Query::Lit(_)));
+                assert!(matches!(step.as_ref(), Query::Rel(n) if n == "X"));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_and_sum_builders() {
+        let q = Query::rel("R").count();
+        assert_eq!(q.to_string(), "count(R)");
+        let q = Query::rel("R").sum(1);
+        assert_eq!(q.to_string(), "sum[$2](R)");
+        assert_eq!(q.size(), 2);
     }
 
     #[test]

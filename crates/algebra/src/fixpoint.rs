@@ -18,6 +18,11 @@ use crate::eval::{EvalError, EvalStats};
 use genpar_value::Value;
 use std::collections::BTreeSet;
 
+/// Round cap for [`crate::Query::Fixpoint`] evaluation: even with no
+/// budget armed, a divergent body (e.g. one mapping `succ` over the
+/// accumulator) must terminate with a depth error rather than spin.
+pub const DEFAULT_FIXPOINT_ITERS: usize = 100_000;
+
 /// The effective iteration bound: the caller's `max_iters` clamped by
 /// any active [`genpar_guard::ExecBudget`]'s recursion-depth budget.
 fn effective_bound(max_iters: usize) -> u64 {

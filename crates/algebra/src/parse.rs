@@ -17,7 +17,9 @@
 //!        | 'nest'    '[' cols ']'   '(' query ')'
 //!        | 'unnest'  '[' col ']'    '(' query ')'
 //!        | 'singleton' | 'flatten' | 'powerset' | 'eqadom'
-//!        | 'adom' | 'even' | 'np' | 'complement'          '(' query ')'
+//!        | 'adom' | 'even' | 'np' | 'complement' | 'count' '(' query ')'
+//!        | 'sum'     '[' col ']'    '(' query ')'
+//!        | 'fix'     '[' NAME ']'   '(' query ',' query ')'
 //!        | 'lit'     '[' value ']'
 //! cols  := col {',' col}           col := '$' NAT
 //! pred  := 'true'
@@ -303,6 +305,30 @@ impl<'a> P<'a> {
                 self.expect(")")?;
                 Ok(Query::Unnest(col, Box::new(q)))
             }
+            "count" => unary(self, Query::Count),
+            "sum" => {
+                self.expect("[")?;
+                let col = self.col()?;
+                self.expect("]")?;
+                self.expect("(")?;
+                let q = self.query()?;
+                self.expect(")")?;
+                Ok(Query::Sum(col, Box::new(q)))
+            }
+            "fix" => {
+                self.expect("[")?;
+                let var = self
+                    .ident()
+                    .ok_or_else(|| self.err("expected a loop variable name"))?
+                    .to_string();
+                self.expect("]")?;
+                self.expect("(")?;
+                let init = self.query()?;
+                self.expect(",")?;
+                let step = self.query()?;
+                self.expect(")")?;
+                Ok(Query::fixpoint(var, init, step))
+            }
             "singleton" => unary(self, Query::Singleton),
             "flatten" => unary(self, Query::Flatten),
             "powerset" => unary(self, Query::Powerset),
@@ -536,6 +562,31 @@ mod tests {
         ] {
             parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
+    }
+
+    #[test]
+    fn parses_count_sum_fixpoint() {
+        assert!(matches!(parse_query("count(R)").unwrap(), Query::Count(_)));
+        assert!(matches!(
+            parse_query("sum[$2](R)").unwrap(),
+            Query::Sum(1, _)
+        ));
+        let q = parse_query("fix[X](E, pi[$1,$4](join[$2=$1](X, E)))").unwrap();
+        assert!(matches!(&q, Query::Fixpoint { var, .. } if var == "X"));
+        assert_eq!(q.rel_names(), vec!["E".to_string()]);
+        // fixpoint TC evaluates through the parser
+        let db = Db::new().with(
+            "E",
+            genpar_value::parse::parse_value("{(a, b), (b, c)}").unwrap(),
+        );
+        assert_eq!(
+            eval(&q, &db).unwrap(),
+            genpar_value::parse::parse_value("{(a, b), (b, c), (a, c)}").unwrap()
+        );
+        // malformed fixpoints are rejected
+        assert!(parse_query("fix[1](E, X)").is_err());
+        assert!(parse_query("fix[X](E)").is_err());
+        assert!(parse_query("sum[2](R)").is_err());
     }
 
     #[test]

@@ -182,6 +182,35 @@ pub fn infer_type(q: &Query, env: &TypeEnv) -> Result<CvType, TypeInferenceError
             }
         }
         Query::Even(_) | Query::NestParity(_) => Ok(CvType::bool()),
+        Query::Count(_) => Ok(CvType::int()),
+        Query::Sum(col, inner) => {
+            let t = infer_type(inner, env)?;
+            let elem =
+                set_elem(&t).ok_or_else(|| TypeInferenceError(format!("sum over non-set {t}")))?;
+            let component = match elem {
+                CvType::Tuple(ts) => ts.get(*col).ok_or_else(|| {
+                    TypeInferenceError(format!("sum column ${} missing", col + 1))
+                })?,
+                other if *col == 0 => other,
+                other => return err(format!("sum column ${} of non-tuple {other}", col + 1)),
+            };
+            if *component != CvType::int() {
+                return err(format!("sum over non-integer column type {component}"));
+            }
+            Ok(CvType::int())
+        }
+        Query::Fixpoint { var, init, step } => {
+            // the loop variable has the init type inside the body; the
+            // fixpoint is well-typed when the body returns the same type
+            let ti = infer_type(init, env)?;
+            let mut inner_env = env.clone();
+            inner_env.insert(var.clone(), ti.clone());
+            let ts = infer_type(step, &inner_env)?;
+            if ti != ts {
+                return err(format!("fixpoint body type {ts} differs from seed {ti}"));
+            }
+            Ok(ti)
+        }
         Query::Complement(inner) => infer_type(inner, env),
         Query::TuplePair(a, b) => Ok(CvType::tuple([infer_type(a, env)?, infer_type(b, env)?])),
         Query::Nest(keys, inner) => {

@@ -5,8 +5,10 @@
 //!
 //! 1. Criterion timings for the same physical plan at 1/2/4/8 workers.
 //! 2. A `BENCH_parallel.json` report (written to the working directory)
-//!    with median wall-clock per worker count and the speedup relative
-//!    to one worker. On machines with ≥ 4 hardware threads the harness
+//!    with median wall-clock per worker count, the speedup relative
+//!    to one worker, and per-worker-count `exec.morsel_us` /
+//!    `exec.fixpoint_round_us` latency histograms (the latter from a
+//!    deep transitive closure on the per-round fixpoint route). On machines with ≥ 4 hardware threads the harness
 //!    *asserts* the PR's acceptance bound: ≥ 1.5× at 4 workers. On
 //!    smaller machines (CI containers with 1-2 cores) the assertion is
 //!    skipped — parallel speedup is physically impossible there — but
@@ -14,9 +16,9 @@
 
 use criterion::{black_box, Criterion};
 use genpar_algebra::{Pred, Query};
-use genpar_engine::workload::{generate_keyed_pair, generate_table, WorkloadSpec};
+use genpar_engine::workload::{generate_edges, generate_keyed_pair, generate_table, WorkloadSpec};
 use genpar_engine::{lower, Catalog};
-use genpar_exec::{EvalParallel, ExecConfig};
+use genpar_exec::{eval_query, EvalParallel, ExecConfig};
 use genpar_obs::Json;
 use genpar_optimizer::{route_costs, Calibration};
 use rand::rngs::StdRng;
@@ -49,6 +51,25 @@ fn workload() -> Query {
         .join_on(Query::rel("S"), [(0, 0)])
         .select(Pred::eq_cols(1, 4))
         .project([0, 1, 2])
+}
+
+/// A deep transitive closure for the per-round fixpoint route: a pure
+/// 96-node chain (no shortcut edges, which would collapse the closure
+/// depth) forces ~95 semi-naive rounds, enough samples for a stable
+/// `exec.fixpoint_round_us` p95.
+fn fixpoint_catalog() -> Catalog {
+    let mut rng = StdRng::seed_from_u64(7);
+    Catalog::new().with(generate_edges(&mut rng, "E", 96, 0.0, true))
+}
+
+fn fixpoint_workload() -> Query {
+    Query::fixpoint(
+        "X",
+        Query::rel("E"),
+        Query::rel("X")
+            .join_on(Query::rel("E"), [(1, 0)])
+            .project(vec![0, 3]),
+    )
 }
 
 fn bench_workers(c: &mut Criterion) {
@@ -90,8 +111,14 @@ fn verify_speedup_and_report() {
         .expect("serial run")
         .0;
 
+    let fix_cat = fixpoint_catalog();
+    let fix_q = fixpoint_workload();
+    let (fix_truth, _, _) =
+        eval_query(&fix_q, &fix_cat, &ExecConfig::serial()).expect("serial fixpoint run");
+
     let mut medians: Vec<(usize, Duration)> = Vec::new();
     let mut morsel_stats: Vec<genpar_obs::HistogramSnapshot> = Vec::new();
+    let mut round_stats: Vec<genpar_obs::HistogramSnapshot> = Vec::new();
     for &w in &WORKER_COUNTS {
         let cfg = ExecConfig::serial().with_workers(w);
         // parity first: every worker count must produce the serial rows
@@ -109,6 +136,19 @@ fn verify_speedup_and_report() {
             genpar_obs::snapshot()
                 .histograms
                 .get("exec.morsel_us")
+                .copied()
+                .unwrap_or_default(),
+        );
+        // per-round fixpoint latency on the same worker count (the
+        // w = 1 entry stays an empty histogram: the serial route has no
+        // rounds to time)
+        genpar_obs::reset();
+        let (fix_v, _, _) = eval_query(&fix_q, &fix_cat, &cfg).expect("parallel fixpoint run");
+        assert_eq!(fix_v, fix_truth, "worker count {w} changed the fixpoint");
+        round_stats.push(
+            genpar_obs::snapshot()
+                .histograms
+                .get("exec.fixpoint_round_us")
                 .copied()
                 .unwrap_or_default(),
         );
@@ -132,7 +172,7 @@ fn verify_speedup_and_report() {
     };
 
     let mut results = Vec::new();
-    for ((w, m), h) in medians.iter().zip(&morsel_stats) {
+    for (((w, m), h), fh) in medians.iter().zip(&morsel_stats).zip(&round_stats) {
         let rc = route_costs(&q, &cat, *w, &cal);
         let model_cells = if *w > 1 && rc.safe {
             rc.parallel.cost
@@ -145,15 +185,20 @@ fn verify_speedup_and_report() {
             ("speedup", Json::Num(base / m.as_secs_f64())),
             ("model_cost_cells", Json::Num(model_cells)),
             ("morsel_us", h.to_json()),
+            ("fixpoint_round_us", fh.to_json()),
         ]));
         println!(
             "exec/parallel: workers={w} median={m:?} speedup={:.2}x \
-             morsel p50/p95/p99 = {}/{}/{} µs over {} morsels",
+             morsel p50/p95/p99 = {}/{}/{} µs over {} morsels; \
+             fixpoint round p50/p95 = {}/{} µs over {} rounds",
             base / m.as_secs_f64(),
             h.p50,
             h.p95,
             h.p99,
             h.count,
+            fh.p50,
+            fh.p95,
+            fh.count,
         );
     }
     let report = Json::obj([

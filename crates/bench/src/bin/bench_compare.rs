@@ -7,8 +7,16 @@
 //! * the `exec.morsel_us` p95 at any worker count regresses by more than
 //!   10% (with a 10µs absolute floor so timer jitter on sub-100µs
 //!   morsels cannot fail a run), or
+//! * the `exec.fixpoint_round_us` p95 (per-round latency of the parallel
+//!   fixpoint driver) regresses by more than 10%, with a 25µs absolute
+//!   floor — rounds on the small bench graph are short enough that a
+//!   couple of scheduler hiccups would otherwise trip the relative
+//!   bound, or
 //! * the obs kill-switch (disabled-path) overhead regresses by more than
 //!   10% relative with a 0.5-percentage-point absolute slack.
+//!
+//! Baselines recorded before the fixpoint route existed have no
+//! `fixpoint_round_us` entries; that comparison is skipped loudly.
 //!
 //! When the baseline was recorded on a machine with a different
 //! `hardware_threads` count, latency numbers are not comparable: the
@@ -26,9 +34,16 @@ use genpar_obs::Json;
 use std::process::ExitCode;
 
 const P95_RELATIVE_BOUND: f64 = 1.10;
-const P95_ABSOLUTE_FLOOR_US: f64 = 10.0;
 const OVERHEAD_RELATIVE_BOUND: f64 = 1.10;
 const OVERHEAD_ABSOLUTE_SLACK: f64 = 0.005;
+
+/// Gated histograms: `(report key, display label, absolute p95 floor in
+/// µs)`. The floor keeps timer jitter on short samples from tripping the
+/// 10% relative bound.
+const P95_GATES: [(&str, &str, f64); 2] = [
+    ("morsel_us", "exec.morsel_us", 10.0),
+    ("fixpoint_round_us", "exec.fixpoint_round_us", 25.0),
+];
 
 fn read_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -43,8 +58,10 @@ fn as_num(j: &Json) -> Option<f64> {
     }
 }
 
-/// `workers -> morsel_us p95` from a `BENCH_parallel.json` document.
-fn morsel_p95_by_workers(parallel: &Json) -> Vec<(i128, f64)> {
+/// `workers -> p95` of one per-result histogram (`key`) from a
+/// `BENCH_parallel.json` document. Results without the key (older
+/// schema versions) are simply absent from the answer.
+fn p95_by_workers(parallel: &Json, key: &str) -> Vec<(i128, f64)> {
     let mut out = Vec::new();
     let Some(results) = parallel.get("results").and_then(|r| r.as_arr()) else {
         return out;
@@ -52,9 +69,7 @@ fn morsel_p95_by_workers(parallel: &Json) -> Vec<(i128, f64)> {
     for r in results {
         let (Some(w), Some(p95)) = (
             r.get("workers").and_then(|v| v.as_int()),
-            r.get("morsel_us")
-                .and_then(|m| m.get("p95"))
-                .and_then(as_num),
+            r.get(key).and_then(|m| m.get("p95")).and_then(as_num),
         ) else {
             continue;
         };
@@ -89,23 +104,29 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
         return Ok(regressions);
     }
 
-    let base_p95 = morsel_p95_by_workers(base_parallel);
-    let cur_p95 = morsel_p95_by_workers(parallel);
-    for (w, base) in &base_p95 {
-        let Some((_, cur)) = cur_p95.iter().find(|(cw, _)| cw == w) else {
+    for (key, label, floor_us) in P95_GATES {
+        let base_p95 = p95_by_workers(base_parallel, key);
+        let cur_p95 = p95_by_workers(parallel, key);
+        if base_p95.is_empty() {
+            println!("bench-compare: {label}: baseline has no {key} entries — comparison skipped");
             continue;
-        };
-        let bound = (base * P95_RELATIVE_BOUND).max(base + P95_ABSOLUTE_FLOOR_US);
-        let verdict = if *cur > bound { "REGRESSION" } else { "ok" };
-        println!(
-            "bench-compare: exec.morsel_us p95 @ {w} workers: {cur:.0}µs vs \
-             baseline {base:.0}µs (bound {bound:.0}µs) — {verdict}"
-        );
-        if *cur > bound {
-            regressions.push(format!(
-                "exec.morsel_us p95 @ {w} workers regressed: {cur:.0}µs > {bound:.0}µs \
-                 (baseline {base:.0}µs + 10%)"
-            ));
+        }
+        for (w, base) in &base_p95 {
+            let Some((_, cur)) = cur_p95.iter().find(|(cw, _)| cw == w) else {
+                continue;
+            };
+            let bound = (base * P95_RELATIVE_BOUND).max(base + floor_us);
+            let verdict = if *cur > bound { "REGRESSION" } else { "ok" };
+            println!(
+                "bench-compare: {label} p95 @ {w} workers: {cur:.0}µs vs \
+                 baseline {base:.0}µs (bound {bound:.0}µs) — {verdict}"
+            );
+            if *cur > bound {
+                regressions.push(format!(
+                    "{label} p95 @ {w} workers regressed: {cur:.0}µs > {bound:.0}µs \
+                     (baseline {base:.0}µs + 10%, {floor_us:.0}µs floor)"
+                ));
+            }
         }
     }
 

@@ -10,7 +10,7 @@ use genpar_core::infer_requirements;
 use genpar_core::probe::probe_tightest;
 use genpar_core::{partition_safety, PartitionSafety};
 use genpar_engine::{Catalog, Schema, Table};
-use genpar_exec::{EvalParallel, ExecConfig};
+use genpar_exec::ExecConfig;
 use genpar_mapping::{ExtensionMode, MappingClass};
 use genpar_optimizer::Constraints;
 use genpar_optimizer::{
@@ -73,11 +73,47 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
 }
 
 /// Load a calibration file, or the built-in default when none is given.
+/// A persisted `morsel_rows` key (written by `profile --calibration`)
+/// preseeds the global morsel tuner — unless `GENPAR_MORSEL` overrides.
 fn load_calibration(path: Option<&str>) -> Result<Calibration, CliError> {
     match path {
-        Some(p) => Calibration::from_file(p).map_err(CliError::runtime),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::runtime(format!("cannot read calibration file {p}: {e}")))?;
+            let j = genpar_obs::Json::parse(&text)
+                .map_err(|e| CliError::runtime(format!("calibration file {p}: {e}")))?;
+            if let Some(rows) = j.get("morsel_rows").and_then(|v| v.as_int()) {
+                if rows > 0 {
+                    genpar_exec::tune::preseed(rows as usize);
+                }
+            }
+            Calibration::from_json(&j).map_err(CliError::runtime)
+        }
         None => Ok(Calibration::default()),
     }
+}
+
+/// Write the tuner's converged morsel size into a calibration file's
+/// `morsel_rows` key, preserving every other key (inverse of the
+/// preseed in [`load_calibration`]).
+fn persist_morsel_rows(path: &str) -> Result<usize, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read calibration file {path}: {e}")))?;
+    let mut j = genpar_obs::Json::parse(&text)
+        .map_err(|e| CliError::runtime(format!("calibration file {path}: {e}")))?;
+    let rows = genpar_exec::tune::tuner().rows();
+    if let genpar_obs::Json::Obj(fields) = &mut j {
+        match fields.iter_mut().find(|(k, _)| k == "morsel_rows") {
+            Some((_, v)) => *v = genpar_obs::Json::Int(rows as i128),
+            None => fields.push((
+                "morsel_rows".to_string(),
+                genpar_obs::Json::Int(rows as i128),
+            )),
+        }
+    }
+    std::fs::write(path, format!("{j}\n"))
+        .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    Ok(rows)
 }
 
 /// Classify the built-in catalog of paper queries.
@@ -223,23 +259,21 @@ fn run(query: &str, db_path: &str, workers: Option<usize>) -> Result<String, Cli
     let q = parse_q(query)?;
     let w = resolve_workers(workers);
     if w > 1 {
-        // The partition-safety gate: only queries the genericity checker
-        // certifies may run on the parallel executor. Everything else
-        // takes the serial interpreter below, with a recorded fallback.
-        match partition_safety(&q) {
-            PartitionSafety::Safe(_) => {
-                if let Some(plan) = genpar_engine::lower(&q) {
-                    let catalog = build_catalog(&q, Some(db_path))?;
-                    let cfg = ExecConfig::serial().with_workers(w);
-                    let (rows, _stats) =
-                        plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
-                    return Ok(format!("{}\n", genpar_value::rows_to_value(rows)));
-                }
-                genpar_exec::note_fallback("lit", "literal rows are not flat tuples");
-            }
-            PartitionSafety::Unsafe { op, reason } => {
-                genpar_exec::note_fallback(op, reason);
-            }
+        // The partition-safety gate: queries the genericity checker
+        // certifies run on the parallel executor — plainly partitioned,
+        // as per-round fixpoint evaluation, or through a combiner.
+        // Everything else takes the serial interpreter below, with a
+        // recorded fallback.
+        let verdict = partition_safety(&q);
+        if verdict.parallel_eligible() {
+            let catalog = build_catalog(&q, Some(db_path))?;
+            let cfg = ExecConfig::serial().with_workers(w);
+            let (v, _stats, _route) =
+                genpar_exec::eval_query(&q, &catalog, &cfg).map_err(CliError::from)?;
+            return Ok(format!("{v}\n"));
+        }
+        if let PartitionSafety::Unsafe { op, reason } = verdict {
+            genpar_exec::note_fallback(op, reason);
         }
     }
     let db = dbfile::load_db(db_path)?;
@@ -415,14 +449,36 @@ fn explain_cmd(
         base_est.cost, new_est.cost
     );
     let _ = writeln!(out, "\nparallel execution ({w} workers):");
+    let serial_hint = |out: &mut String, w: usize| {
+        if w > 1 {
+            let _ = writeln!(out, "  would run on {w} worker threads");
+        } else {
+            let _ = writeln!(out, "  (serial: pass --parallel N or set GENPAR_PARALLEL)");
+        }
+    };
     match partition_safety(&chosen) {
         PartitionSafety::Safe(cert) => {
             let _ = writeln!(out, "  partition-safe: {cert}");
-            if w > 1 {
-                let _ = writeln!(out, "  would run on {w} worker threads");
-            } else {
-                let _ = writeln!(out, "  (serial: pass --parallel N or set GENPAR_PARALLEL)");
-            }
+            serial_hint(&mut out, w);
+        }
+        PartitionSafety::FixpointRoundSafe { body_cert } => {
+            let _ = writeln!(
+                out,
+                "  fixpoint round-safe: per-round body certified: {body_cert}"
+            );
+            let _ = writeln!(
+                out,
+                "  each round's body runs on the morsel pool; deltas are canonically merged (semi-naive when the body is delta-linear)"
+            );
+            serial_hint(&mut out, w);
+        }
+        PartitionSafety::Combiner { op, cert } => {
+            let _ = writeln!(
+                out,
+                "  combiner '{op}': partition-local accumulators + serial combine (cf. Lemma 2.12 — the aggregate itself is not partition-distributive, its partial sums are)"
+            );
+            let _ = writeln!(out, "  input {cert}");
+            serial_hint(&mut out, w);
         }
         PartitionSafety::Unsafe { op, reason } => {
             let _ = writeln!(out, "  falls back to serial: '{op}' — {reason}");
@@ -558,13 +614,17 @@ fn profile_cmd(
     let (chosen, _trace, _base, new_est) =
         optimize_costed_parallel_with(&q, &rules, &catalog, w, &cal);
     let mut stats = genpar_engine::plan::ExecStats::default();
-    match genpar_engine::lower(&chosen) {
-        Some(plan) => {
-            if w > 1 && partition_safety(&chosen).is_safe() {
-                let cfg = ExecConfig::default().with_workers(w);
-                let (_, s) = plan.eval_parallel(&catalog, &cfg).map_err(CliError::from)?;
-                stats = s;
-            } else {
+    if w > 1 && partition_safety(&chosen).parallel_eligible() {
+        // certified: plain partitioning, per-round fixpoint, or combiner
+        // — eval_query picks the same route the executor would
+        let cfg = ExecConfig::default().with_workers(w);
+        let (_, s, _route) =
+            genpar_exec::eval_query(&chosen, &catalog, &cfg).map_err(CliError::from)?;
+        stats = s;
+        stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
+    } else {
+        match genpar_engine::lower(&chosen) {
+            Some(plan) => {
                 if w > 1 {
                     if let PartitionSafety::Unsafe { op, reason } = partition_safety(&chosen) {
                         genpar_exec::note_fallback(op, reason);
@@ -572,28 +632,23 @@ fn profile_cmd(
                 }
                 let (_, s) = plan.execute(&catalog).map_err(CliError::from)?;
                 stats = s;
+                // pair the model's prediction with the observed result size
+                stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
             }
-            // pair the model's prediction with the observed result size
-            stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
-        }
-        None => {
-            if w > 1 {
-                match partition_safety(&chosen) {
-                    PartitionSafety::Unsafe { op, reason } => {
-                        genpar_exec::note_fallback(op, reason)
-                    }
-                    PartitionSafety::Safe(_) => {
-                        genpar_exec::note_fallback("lit", "literal rows are not flat tuples")
+            None => {
+                if w > 1 {
+                    if let PartitionSafety::Unsafe { op, reason } = partition_safety(&chosen) {
+                        genpar_exec::note_fallback(op, reason);
                     }
                 }
+                // complex-value query: fall back to the algebra interpreter
+                // over the catalog's relations
+                let mut db = genpar_algebra::eval::Db::with_standard_int();
+                for t in catalog.tables() {
+                    db.set(t.name.clone(), t.to_value());
+                }
+                genpar_algebra::eval::eval(&chosen, &db).map_err(CliError::from)?;
             }
-            // complex-value query: fall back to the algebra interpreter
-            // over the catalog's relations
-            let mut db = genpar_algebra::eval::Db::with_standard_int();
-            for t in catalog.tables() {
-                db.set(t.name.clone(), t.to_value());
-            }
-            genpar_algebra::eval::eval(&chosen, &db).map_err(CliError::from)?;
         }
     }
     let snap = genpar_obs::snapshot();
@@ -608,6 +663,12 @@ fn profile_cmd(
         std::fs::write(path, text)
             .map_err(|e| CliError::runtime(format!("cannot write trace file {path}: {e}")))?;
     }
+
+    // persist the converged morsel size so the next run starts tuned
+    let persisted_morsel = match calibration {
+        Some(p) => Some(persist_morsel_rows(p)?),
+        None => None,
+    };
 
     if json {
         let mut j = snap.to_json();
@@ -647,6 +708,12 @@ fn profile_cmd(
             if let Some(path) = trace_path {
                 fields.push(("trace_file".to_string(), genpar_obs::Json::str(path)));
             }
+            if let Some(rows) = persisted_morsel {
+                fields.push((
+                    "morsel_rows_persisted".to_string(),
+                    genpar_obs::Json::Int(rows as i128),
+                ));
+            }
         }
         Ok(format!("{j}\n"))
     } else {
@@ -659,6 +726,9 @@ fn profile_cmd(
         }
         if let Some(path) = trace_path {
             let _ = writeln!(out, "trace written to {path}");
+        }
+        if let (Some(rows), Some(p)) = (persisted_morsel, calibration) {
+            let _ = writeln!(out, "morsel size {rows} persisted to {p}");
         }
         Ok(out)
     }
@@ -832,22 +902,53 @@ mod tests {
         let p = path.to_str().unwrap();
         let _g = obs_guard();
         genpar_obs::reset();
-        let out = run("even(R)", p, Some(4)).unwrap();
-        assert_eq!(out.trim(), "true");
+        let out = run("powerset(R)", p, Some(4)).unwrap();
+        assert!(out.contains("{(1, 2)}"), "{out}");
         let snap = genpar_obs::snapshot();
         let ev = snap
             .events
             .iter()
             .find(|e| e.kind == "exec.fallback")
             .expect("fallback event recorded");
-        assert_eq!(event_field(ev, "op"), "even");
+        assert_eq!(event_field(ev, "op"), "powerset");
         // the gate's refusal reason rides along on the fallback event so
         // traces and explain agree on *why* the parallel route was refused
         assert!(
-            event_field(ev, "reason").contains("Lemma 2.12"),
+            event_field(ev, "reason").contains("straddle"),
             "fallback event carries the gate refusal reason: {ev:?}"
         );
         assert_eq!(event_field(ev, "mode"), "serial");
+    }
+
+    #[test]
+    fn run_parallel_combiner_and_fixpoint_do_not_fall_back() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_comb");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("comb.gdb");
+        std::fs::write(
+            &path,
+            "R = {(1, 2), (2, 3)}\nE = {(0, 1), (1, 2), (2, 3), (3, 4)}\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let _g = obs_guard();
+        genpar_obs::reset();
+        // root-level aggregates take the combiner route at 4 workers —
+        // `even(R)` no longer degrades to serial (the acceptance bar)
+        assert_eq!(run("even(R)", p, Some(4)).unwrap().trim(), "true");
+        assert_eq!(run("count(R)", p, Some(4)).unwrap().trim(), "2");
+        assert_eq!(run("sum[$1](R)", p, Some(4)).unwrap().trim(), "3");
+        // a distributive-body fixpoint runs per-round on the pool
+        let fix = "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))";
+        let serial = run(fix, p, Some(1)).unwrap();
+        let parallel = run(fix, p, Some(4)).unwrap();
+        assert_eq!(serial, parallel, "fixpoint parity broke");
+        let snap = genpar_obs::snapshot();
+        assert!(
+            snap.events.iter().all(|e| e.kind != "exec.fallback"),
+            "no fallback events on certified inputs: {:?}",
+            snap.events
+        );
     }
 
     #[test]
@@ -888,10 +989,46 @@ mod tests {
         // per-operator cardinality estimates back the misestimate report
         assert!(out.contains("estimated rows per operator:"), "{out}");
         assert!(out.contains("plan.Scan"), "{out}");
-        let out = explain_cmd("even(R)", None, None, Some(4), None).unwrap();
-        assert!(out.contains("falls back to serial: 'even'"), "{out}");
-        assert!(out.contains("Lemma 2.12"), "{out}");
+        let out = explain_cmd("powerset(R)", None, None, Some(4), None).unwrap();
+        assert!(out.contains("falls back to serial: 'powerset'"), "{out}");
+        assert!(out.contains("straddle"), "{out}");
         assert!(out.contains("gate refused the parallel route"), "{out}");
+    }
+
+    #[test]
+    fn explain_cites_the_combiner_certificate_not_a_refusal() {
+        let _g = obs_guard();
+        // `even` used to be refused with the Lemma 2.12 *pitfall*; now the
+        // same lemma backs its combiner certificate — explain must cite
+        // the certificate, print both route costs, and show no fallback
+        let out = explain_cmd("even(R)", None, None, Some(4), None).unwrap();
+        assert!(out.contains("combiner 'even'"), "{out}");
+        assert!(out.contains("Lemma 2.12"), "{out}");
+        assert!(out.contains("partition-local accumulators"), "{out}");
+        assert!(!out.contains("falls back to serial"), "{out}");
+        assert!(!out.contains("gate refused"), "{out}");
+        assert!(out.contains("serial route:"), "{out}");
+        assert!(out.contains("parallel route:"), "{out}");
+        assert!(out.contains("chosen route:"), "{out}");
+        let out = explain_cmd("count(pi[$1](R))", None, None, Some(4), None).unwrap();
+        assert!(out.contains("combiner 'count'"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_the_per_round_fixpoint_certificate() {
+        let _g = obs_guard();
+        let q = "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))";
+        let out = explain_cmd(q, None, None, Some(4), None).unwrap();
+        assert!(out.contains("fixpoint round-safe"), "{out}");
+        assert!(out.contains("per-round body certified"), "{out}");
+        assert!(out.contains("morsel pool"), "{out}");
+        assert!(!out.contains("falls back to serial"), "{out}");
+        // both routes costed: the parallel one pays per-round startup
+        assert!(out.contains("serial route:"), "{out}");
+        assert!(out.contains("parallel route:"), "{out}");
+        // a fixpoint whose body uses a whole-set operator is refused
+        let out = explain_cmd("fix[X](E, powerset(X))", None, None, Some(4), None).unwrap();
+        assert!(out.contains("falls back to serial"), "{out}");
     }
 
     #[test]
@@ -1122,12 +1259,97 @@ mod tests {
     #[test]
     fn profile_falls_back_to_the_interpreter() {
         let _g = obs_guard();
-        // powerset is complex-valued — not lowerable to the flat engine
-        let out = profile_cmd("even(R)", None, None, false, Some(1), None, None).unwrap();
+        // adom is complex-valued — not lowerable to the flat engine
+        let out = profile_cmd("adom(R)", None, None, false, Some(1), None, None).unwrap();
         assert!(out.contains("counters:"), "{out}");
         // at 4 workers the gate refuses it and records the fallback
-        let out = profile_cmd("even(R)", None, None, false, Some(4), None, None).unwrap();
+        let out = profile_cmd("adom(R)", None, None, false, Some(4), None, None).unwrap();
         assert!(out.contains("exec.fallback"), "{out}");
+    }
+
+    #[test]
+    fn profile_parallel_combiner_and_fixpoint_routes() {
+        let _g = obs_guard();
+        // at 4 workers `even` takes the combiner route: combine span and
+        // histogram in the profile, no fallback anywhere
+        let out = profile_cmd("even(R)", None, None, false, Some(4), None, None).unwrap();
+        assert!(out.contains("exec.combine"), "{out}");
+        assert!(!out.contains("exec.fallback"), "{out}");
+        // a fixpoint profile shows the per-round spans and histogram
+        let dir = std::env::temp_dir().join("genpar_cli_test_fixprof");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fix.gdb");
+        std::fs::write(&path, "E = {(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)}\n").unwrap();
+        let out = profile_cmd(
+            "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))",
+            Some(path.to_str().unwrap()),
+            None,
+            false,
+            Some(4),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("exec.fixpoint"), "{out}");
+        assert!(out.contains("exec.fixpoint_round_us"), "{out}");
+        assert!(!out.contains("exec.fallback"), "{out}");
+    }
+
+    #[test]
+    fn profile_persists_the_converged_morsel_size() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_morsel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cal_path = dir.join("cal.json");
+        std::fs::write(
+            &cal_path,
+            "{\"schema_version\": 2, \"overhead_per_worker\": 0.04, \"startup_cost_cells\": 10.0}\n",
+        )
+        .unwrap();
+        let c = cal_path.to_str().unwrap();
+        let _g = obs_guard();
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            Some(c),
+        )
+        .unwrap();
+        assert!(out.contains(&format!("persisted to {c}")), "{out}");
+        // round trip: the file gained morsel_rows and kept every other key
+        let text = std::fs::read_to_string(&cal_path).unwrap();
+        let j = genpar_obs::Json::parse(&text).unwrap();
+        let rows = j
+            .get("morsel_rows")
+            .and_then(|v| v.as_int())
+            .expect("morsel_rows persisted");
+        assert!(rows > 0, "persisted a positive morsel size: {text}");
+        // the calibration parameters survive and the file still loads
+        // (unknown keys are ignored by the calibration parser, and the
+        // startup preseed path reads the same file back)
+        let cal = load_calibration(Some(c)).unwrap();
+        assert!((cal.overhead_per_worker - 0.04).abs() < 1e-9, "{text}");
+        assert!((cal.startup_cost_cells - 10.0).abs() < 1e-9, "{text}");
+        // persisting again overwrites in place rather than duplicating
+        let out2 = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            Some(c),
+        )
+        .unwrap();
+        assert!(out2.contains("persisted to"), "{out2}");
+        let text2 = std::fs::read_to_string(&cal_path).unwrap();
+        assert_eq!(
+            text2.matches("morsel_rows").count(),
+            1,
+            "one morsel_rows key after re-persist: {text2}"
+        );
     }
 
     #[test]

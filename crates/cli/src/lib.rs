@@ -174,13 +174,19 @@ USAGE:
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
   --parallel N (or GENPAR_PARALLEL=N) runs partition-safe queries on N
-  worker threads; queries the genericity checker cannot certify fall
-  back to serial evaluation (recorded as an exec.fallback event).
+  worker threads; root-level count/sum/even run as partition-local
+  accumulators with a serial combine, and root-level fix runs each
+  round's body on the morsel pool (semi-naive deltas). Queries the
+  genericity checker cannot certify fall back to serial evaluation
+  (recorded as an exec.fallback event).
   --trace FILE exports the run's spans/events as Chrome trace_event
   JSON (load in chrome://tracing or Perfetto; .jsonl ext for JSONL).
   --calibration FILE loads measured cost-model parameters (see
   `genpar calibrate`, which fits them from BENCH_parallel.json).
-  GENPAR_MORSEL=fixed:N pins the auto-tuned morsel size.
+  GENPAR_MORSEL=fixed:N pins the auto-tuned morsel size. `profile
+  --calibration FILE` writes the converged morsel size back into the
+  file (key `morsel_rows`); later runs preseed the tuner from it
+  (GENPAR_MORSEL always wins over the persisted seed).
 
 QUERY SYNTAX (columns are 1-based):
   R | empty | lit[{(a,b)}]
@@ -190,6 +196,7 @@ QUERY SYNTAX (columns are 1-based):
   nest[$1](q) unnest[$2](q)
   insert[(v)](q) singleton(q) flatten(q) powerset(q)
   eqadom(q) adom(q) even(q) np(q) complement(q)
+  count(q) sum[$N](q) fix[X](init, step)
 
 DB FILE: lines of `name = <value literal>`; `#` comments.";
 

@@ -115,17 +115,18 @@ fn profile_example_2_2_parallel_reports_exec_counters() {
 fn explain_example_2_2_uncertified_query_states_the_refusal_reason() {
     let _g = obs_guard();
     let db = example_db();
-    // `even` is not partition-safe: parity is a whole-set property. The
-    // explain output must surface the gate's reason, and the same reason
-    // must ride on the exec.fallback event a profile run records.
-    let out = run(&["explain", "even(r1)", "--db", &db, "--parallel", "4"]);
-    assert!(out.contains("falls back to serial: 'even'"), "{out}");
-    assert!(out.contains("Lemma 2.12"), "{out}");
+    // `adom` is not partition-safe: the active domain is a whole-input
+    // property. The explain output must surface the gate's reason, and
+    // the same reason must ride on the exec.fallback event a profile run
+    // records.
+    let out = run(&["explain", "adom(r1)", "--db", &db, "--parallel", "4"]);
+    assert!(out.contains("falls back to serial: 'adom'"), "{out}");
+    assert!(out.contains("whole-input property"), "{out}");
     assert!(out.contains("gate refused the parallel route"), "{out}");
 
     let out = run(&[
         "profile",
-        "even(r1)",
+        "adom(r1)",
         "--db",
         &db,
         "--json",
@@ -144,12 +145,30 @@ fn explain_example_2_2_uncertified_query_states_the_refusal_reason() {
     let fields = fallback.get("fields").expect("fallback fields");
     assert_eq!(
         fields.get("op").and_then(|v| v.as_str()),
-        Some("even"),
+        Some("adom"),
         "{out}"
     );
     let reason = fields
         .get("reason")
         .and_then(|v| v.as_str())
         .expect("fallback reason field");
-    assert!(reason.contains("Lemma 2.12"), "{out}");
+    assert!(reason.contains("whole-input property"), "{out}");
+}
+
+#[test]
+fn explain_example_2_2_even_now_earns_a_combiner_certificate() {
+    let _g = obs_guard();
+    let db = example_db();
+    // `even` used to be the canonical refusal (its naive "xor the
+    // partition parities" parallelization is the Lemma 2.12 pitfall);
+    // the combiner class certifies it instead — partition-local counts,
+    // one serial combine — and explain cites that certificate.
+    let out = run(&["explain", "even(r1)", "--db", &db, "--parallel", "4"]);
+    assert!(out.contains("combiner 'even'"), "{out}");
+    assert!(out.contains("Lemma 2.12"), "{out}");
+    assert!(!out.contains("falls back to serial"), "{out}");
+
+    // and run answers through the combiner route, no fallback event
+    let out = run(&["run", "even(r1)", "--db", &db, "--parallel", "4"]);
+    assert_eq!(out.trim(), "true", "Example 2.2's r1 has 6 tuples");
 }

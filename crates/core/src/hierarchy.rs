@@ -95,6 +95,14 @@ pub fn equality_usage(q: &Query) -> EqualityUsage {
         // ν compares key values AND keeps them in the output
         Query::Nest(_, inner) => Full.join(equality_usage(inner)),
         Query::Unnest(_, inner) => equality_usage(inner),
+        // counting and summing distinct elements observes value identity
+        // in the query without exposing it (like even, Lemma 2.12) —
+        // conservatively Full, matching even's treatment above
+        Query::Count(inner) | Query::Sum(_, inner) => Full.join(equality_usage(inner)),
+        // a fixpoint's repeated union dedups: equality tested in-query
+        Query::Fixpoint { init, step, .. } => InQueryOnly
+            .join(equality_usage(init))
+            .join(equality_usage(step)),
     }
 }
 

@@ -254,6 +254,31 @@ fn go(q: &Query, trace: &mut Vec<String>) -> (Requirements, Requirements) {
             );
             (sub.0, sub.1.join(Requirements::equality()))
         }
+        Query::Count(inner) => {
+            let sub = go(inner, trace);
+            trace.push("count: counts distinct elements — needs = (cf. Lemma 2.12)".into());
+            join2(sub, both(Requirements::equality()))
+        }
+        Query::Sum(_, inner) => {
+            let sub = go(inner, trace);
+            trace.push(
+                "sum: output depends on the interpreted integer structure — unclassifiable".into(),
+            );
+            join2(sub, both(Requirements::unknown()))
+        }
+        Query::Fixpoint { init, step, .. } => {
+            let ri = go(init, trace);
+            let rs = go(step, trace);
+            trace.push(
+                "fix: saturation tests set growth in-query only — rel needs = (cf. Prop 3.4); \
+                 the loop adds no output equality"
+                    .into(),
+            );
+            join2(
+                join2(ri, rs),
+                (Requirements::equality(), Requirements::none()),
+            )
+        }
     }
 }
 

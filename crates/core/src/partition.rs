@@ -64,6 +64,28 @@ pub enum PartitionSafety {
     /// the classifier certified the query generic/parametric: parallel
     /// evaluation returns `Value`-identical results to serial.
     Safe(SafetyCert),
+    /// The query is a fixpoint whose *loop as a whole* does not
+    /// distribute over partitioning (saturation couples rounds), but
+    /// whose seed and per-round body are both in the certified
+    /// distributive fragment. Each round's body may run partitioned,
+    /// with deltas canonically merged between rounds — results stay
+    /// `Value`-identical to serial inflationary evaluation.
+    FixpointRoundSafe {
+        /// Certificate for the loop body (seed + step together).
+        body_cert: SafetyCert,
+    },
+    /// The query is a whole-set aggregate (`even`, `count`, `sum`) that
+    /// is *not* a function of per-partition results of itself — parity
+    /// famously so (Lemma 2.12: `even(R₁∪R₂) ≠ even(R₁) xor even(R₂)`) —
+    /// but whose underlying measure is: partition-local accumulators
+    /// (counts, partial sums) combine serially into the exact answer.
+    /// The input subquery is certified distributive.
+    Combiner {
+        /// The aggregate operator ("even", "count", "sum").
+        op: &'static str,
+        /// Certificate for the partitioned input subquery.
+        cert: SafetyCert,
+    },
     /// Some operator couples partitions (or carries no certificate);
     /// evaluation must fall back to the serial path.
     Unsafe {
@@ -75,9 +97,29 @@ pub enum PartitionSafety {
 }
 
 impl PartitionSafety {
-    /// Is parallel evaluation licensed?
+    /// Is plain per-partition evaluation licensed (the whole plan
+    /// distributes)? Deliberately `false` for the round/combiner
+    /// verdicts: those need their dedicated execution schemes, and every
+    /// pre-existing caller of `is_safe` assumes the plain one.
     pub fn is_safe(&self) -> bool {
         matches!(self, PartitionSafety::Safe(_))
+    }
+
+    /// Can the executor take *any* parallel route for this query —
+    /// plain partitioned, per-round fixpoint, or partition-local
+    /// accumulate + serial combine?
+    pub fn parallel_eligible(&self) -> bool {
+        !matches!(self, PartitionSafety::Unsafe { .. })
+    }
+
+    /// The certificate backing the verdict, if any.
+    pub fn certificate(&self) -> Option<&SafetyCert> {
+        match self {
+            PartitionSafety::Safe(c) => Some(c),
+            PartitionSafety::FixpointRoundSafe { body_cert } => Some(body_cert),
+            PartitionSafety::Combiner { cert, .. } => Some(cert),
+            PartitionSafety::Unsafe { .. } => None,
+        }
     }
 }
 
@@ -127,6 +169,22 @@ fn first_unsafe_op(q: &Query) -> Option<(&'static str, &'static str)> {
         Query::TuplePair(..) => Some(("pair", "produces a tuple, not a partitionable relation")),
         Query::Nest(..) => Some(("nest", "groups may straddle partitions")),
         Query::Unnest(..) => Some(("unnest", "nested sets are not hash-partitioned by row")),
+        // The aggregates and the fixpoint get dedicated verdicts when
+        // they sit at the ROOT of the plan (see `partition_safety`);
+        // nested anywhere else they break distributivity like any other
+        // whole-set operator.
+        Query::Count(_) => Some((
+            "count",
+            "cardinality is a whole-set property: combinable only as the outermost operator",
+        )),
+        Query::Sum(..) => Some((
+            "sum",
+            "an aggregate is a whole-set property: combinable only as the outermost operator",
+        )),
+        Query::Fixpoint { .. } => Some((
+            "fix",
+            "fixpoint saturation couples rounds: parallelizable only as the outermost operator",
+        )),
     }
 }
 
@@ -137,21 +195,77 @@ fn first_unsafe_op(q: &Query) -> Option<(&'static str, &'static str)> {
 /// certified the query — the certificate rides along in the verdict so
 /// executors and `explain` can cite it.
 pub fn partition_safety(q: &Query) -> PartitionSafety {
+    // Root-shape dispatch: a fixpoint or a combinable aggregate at the
+    // TOP of the plan earns a dedicated verdict — the loop/aggregate
+    // itself does not distribute, but its body/input does, and the
+    // executor has an exact scheme for each (per-round morsels with
+    // canonical delta merge; partition-local accumulate + serial
+    // combine). Nested occurrences still fall through to `first_unsafe_op`.
+    match q {
+        Query::Fixpoint { init, step, .. } => {
+            let ci = match certify_distributive(init) {
+                Ok(c) => c,
+                Err((op, reason)) => return PartitionSafety::Unsafe { op, reason },
+            };
+            let cs = match certify_distributive(step) {
+                Ok(c) => c,
+                Err((op, reason)) => return PartitionSafety::Unsafe { op, reason },
+            };
+            // One certificate for the whole loop body: seed joined with
+            // step (the loop variable reads as a base relation — each
+            // round's delta is materialized before the body runs, cf.
+            // Prop 3.1 closure under composition).
+            return PartitionSafety::FixpointRoundSafe {
+                body_cert: SafetyCert {
+                    rel: ci.rel.join(cs.rel),
+                    strong: ci.strong.join(cs.strong),
+                    ops: ci.ops + cs.ops,
+                },
+            };
+        }
+        Query::Even(inner) => return combiner_verdict("even", inner),
+        Query::Count(inner) => return combiner_verdict("count", inner),
+        Query::Sum(_, inner) => return combiner_verdict("sum", inner),
+        _ => {}
+    }
+    match certify_distributive(q) {
+        Ok(cert) => PartitionSafety::Safe(cert),
+        Err((op, reason)) => PartitionSafety::Unsafe { op, reason },
+    }
+}
+
+/// Certify one subtree as plainly distributive: no whole-set operator
+/// anywhere, and the classifier produced a genericity certificate. The
+/// error is the `(op, reason)` pair of an `Unsafe` verdict (kept small
+/// so the hot `Result` path stays register-sized; callers wrap it).
+fn certify_distributive(q: &Query) -> Result<SafetyCert, (&'static str, &'static str)> {
     if let Some((op, reason)) = first_unsafe_op(q) {
-        return PartitionSafety::Unsafe { op, reason };
+        return Err((op, reason));
     }
     let inf = infer_requirements(q);
     if inf.rel.unknown {
-        return PartitionSafety::Unsafe {
-            op: "map",
-            reason: "classifier could not certify the query (unknown requirements)",
-        };
+        return Err((
+            "map",
+            "classifier could not certify the query (unknown requirements)",
+        ));
     }
-    PartitionSafety::Safe(SafetyCert {
+    Ok(SafetyCert {
         rel: inf.rel,
         strong: inf.strong,
         ops: q.size(),
     })
+}
+
+/// Verdict for a root aggregate over a distributive input: the measure
+/// (count, component sum) is a homomorphism from disjoint union, so
+/// partition-local accumulators plus one serial combine reproduce the
+/// serial answer exactly — unlike naive per-partition evaluation of the
+/// aggregate itself (Lemma 2.12's parity pitfall).
+fn combiner_verdict(op: &'static str, inner: &Query) -> PartitionSafety {
+    match certify_distributive(inner) {
+        Ok(cert) => PartitionSafety::Combiner { op, cert },
+        Err((op, reason)) => PartitionSafety::Unsafe { op, reason },
+    }
 }
 
 #[cfg(test)]
@@ -185,8 +299,8 @@ mod tests {
                 "powerset",
             ),
             (
-                genpar_algebra::Query::Even(Box::new(genpar_algebra::Query::rel("R"))),
-                "even",
+                genpar_algebra::Query::Complement(Box::new(genpar_algebra::Query::rel("R"))),
+                "complement",
             ),
             (
                 genpar_algebra::Query::Adom(Box::new(genpar_algebra::Query::rel("R"))),
@@ -197,6 +311,88 @@ mod tests {
                 PartitionSafety::Unsafe { op: got, .. } => assert_eq!(got, op),
                 other => panic!("expected Unsafe({op}), got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn root_aggregates_get_combiner_verdicts() {
+        let r = || genpar_algebra::Query::rel("R");
+        for (q, op) in [
+            (
+                genpar_algebra::Query::Even(Box::new(r().select(Pred::True))),
+                "even",
+            ),
+            (r().count(), "count"),
+            (r().sum(0), "sum"),
+        ] {
+            let verdict = partition_safety(&q);
+            assert!(!verdict.is_safe(), "combiner is not plain-safe");
+            assert!(verdict.parallel_eligible());
+            match verdict {
+                PartitionSafety::Combiner { op: got, cert } => {
+                    assert_eq!(got, op);
+                    assert!(!cert.rel.unknown);
+                }
+                other => panic!("expected Combiner({op}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_are_combinable_only_at_the_root() {
+        // count nested under a projection is no longer the outermost
+        // operator: the combiner scheme does not apply
+        let q = genpar_algebra::Query::Singleton(Box::new(genpar_algebra::Query::rel("R").count()));
+        match partition_safety(&q) {
+            PartitionSafety::Unsafe { op, .. } => assert_eq!(op, "singleton"),
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+        // ... and an aggregate over an uncertified input is refused
+        let q = genpar_algebra::Query::rel("R")
+            .map(ValueFn::custom(|v| v.clone()))
+            .count();
+        assert!(!partition_safety(&q).parallel_eligible());
+    }
+
+    #[test]
+    fn root_fixpoint_with_distributive_body_is_round_safe() {
+        // transitive closure: fix[X](E, π$1,$4(X ⋈ E))
+        let step = genpar_algebra::Query::rel("X")
+            .join_on(genpar_algebra::Query::rel("E"), [(1, 0)])
+            .project([0, 3]);
+        let q = genpar_algebra::Query::fixpoint("X", genpar_algebra::Query::rel("E"), step);
+        let verdict = partition_safety(&q);
+        assert!(verdict.parallel_eligible() && !verdict.is_safe());
+        match verdict {
+            PartitionSafety::FixpointRoundSafe { body_cert } => {
+                assert!(body_cert.ops > 1);
+                assert!(!body_cert.rel.unknown);
+            }
+            other => panic!("expected FixpointRoundSafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixpoint_with_whole_set_body_is_refused() {
+        // even inside the loop body couples partitions within a round
+        let step = genpar_algebra::Query::Singleton(Box::new(genpar_algebra::Query::Even(
+            Box::new(genpar_algebra::Query::rel("X")),
+        )));
+        let q = genpar_algebra::Query::fixpoint("X", genpar_algebra::Query::rel("E"), step);
+        match partition_safety(&q) {
+            PartitionSafety::Unsafe { op, .. } => assert_eq!(op, "singleton"),
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+        // a fixpoint nested under an aggregate is likewise not the
+        // outermost operator of its own plan
+        let tc = genpar_algebra::Query::fixpoint(
+            "X",
+            genpar_algebra::Query::rel("E"),
+            genpar_algebra::Query::rel("X"),
+        );
+        match partition_safety(&tc.count()) {
+            PartitionSafety::Unsafe { op, .. } => assert_eq!(op, "fix"),
+            other => panic!("expected Unsafe, got {other:?}"),
         }
     }
 

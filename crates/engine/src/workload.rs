@@ -98,6 +98,33 @@ pub fn generate_keyed_pair<R: Rng + ?Sized>(
     (r, s)
 }
 
+/// Generate a binary edge relation for fixpoint workloads: `nodes`
+/// vertices, each with out-edges to `rng`-chosen targets at the given
+/// mean out-degree, plus a Hamiltonian-ish chain `i → i+1` when
+/// `chain` is set (guaranteeing a deep transitive closure — the chain
+/// forces at least `nodes − 1` semi-naive rounds on its own).
+pub fn generate_edges<R: Rng + ?Sized>(
+    rng: &mut R,
+    name: &str,
+    nodes: usize,
+    mean_degree: f64,
+    chain: bool,
+) -> Table {
+    let mut t = Table::new(name, Schema::uniform(CvType::int(), 2));
+    if chain {
+        for i in 0..nodes.saturating_sub(1) {
+            t.insert(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]);
+        }
+    }
+    let extra = (nodes as f64 * mean_degree) as usize;
+    for _ in 0..extra {
+        let a = rng.gen_range(0..nodes.max(1)) as i64;
+        let b = rng.gen_range(0..nodes.max(1)) as i64;
+        t.insert(vec![Value::Int(a), Value::Int(b)]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +175,16 @@ mod tests {
         let rv: std::collections::BTreeSet<_> = r.rows().cloned().collect();
         let overlap = s.rows().filter(|row| rv.contains(*row)).count();
         assert_eq!(overlap, 30);
+    }
+
+    #[test]
+    fn edge_generator_makes_chains_and_random_edges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = generate_edges(&mut rng, "E", 20, 0.0, true);
+        assert_eq!(t.len(), 19, "pure chain has nodes − 1 edges");
+        assert!(t.rows().all(|r| r.len() == 2));
+        let t = generate_edges(&mut rng, "E", 50, 2.0, false);
+        assert!(t.len() > 20 && t.len() <= 100, "got {}", t.len());
     }
 
     #[test]

@@ -322,6 +322,104 @@ pub(crate) fn par_product(
     merge(parts, ctx, op)
 }
 
+/// A partition-combinable whole-set aggregate: the kernel class sitting
+/// *between* the per-tuple operators (embarrassingly parallel) and the
+/// whole-set operators (serial only). The aggregate itself is not a
+/// function of per-partition results of the aggregate — Lemma 2.12's
+/// parity pitfall: `even(R₁∪R₂) ≠ even(R₁) xor even(R₂)` — but its
+/// underlying *measure* is a homomorphism from disjoint union, so
+/// partition-local accumulators combined serially reproduce the serial
+/// answer exactly. Morsels are disjoint by construction (rows arrive
+/// canonical: sorted + deduplicated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CombineKind {
+    /// `|R|` — each morsel contributes its row count.
+    Count,
+    /// `|R| mod 2` — each morsel contributes its row COUNT, not its
+    /// parity bit: parities are combined by summing counts and taking
+    /// the total mod 2 at the end, never by xor-ing partition parities.
+    Parity,
+    /// `Σ column` — each morsel contributes a partial (wrapping) sum of
+    /// the given tuple component.
+    Sum(usize),
+}
+
+impl CombineKind {
+    fn op_name(self) -> &'static str {
+        match self {
+            CombineKind::Count => "plan.Count",
+            CombineKind::Parity => "plan.Even",
+            CombineKind::Sum(_) => "plan.Sum",
+        }
+    }
+}
+
+/// Partition-local accumulate + serial combine. Tasks run on the morsel
+/// pool like any per-tuple kernel (timed into `exec.morsel_us`, steering
+/// the tuner); the combine step is serial, passes the `exec.combine`
+/// fault site, and is timed into `exec.combine_us` under an
+/// `exec.combine` span. Returns the combined integer total — the caller
+/// interprets it (count, parity, sum).
+pub(crate) fn par_combine(
+    input: Rows,
+    kind: CombineKind,
+    ctx: &Ctx,
+) -> Result<(i64, ExecStats), ExecError> {
+    let op = kind.op_name();
+    let parts = run_timed(
+        ctx,
+        TaskKind::Morsel,
+        chunk_rows(input, ctx.morsel_rows()),
+        |_, morsel| {
+            enter_morsel(ctx, &morsel, op)?;
+            let mut stats = ExecStats::default();
+            let mut acc: i64 = 0;
+            for row in morsel {
+                stats.rows_processed += 1;
+                stats.cells_processed += row.len() as u64;
+                match kind {
+                    CombineKind::Count | CombineKind::Parity => acc += 1,
+                    CombineKind::Sum(col) => {
+                        // same component extraction as the serial
+                        // evaluator, so the two routes agree on
+                        // semantics and on error cases
+                        let tv = Value::Tuple(row);
+                        acc = acc.wrapping_add(
+                            genpar_algebra::eval::sum_component(&tv, col).map_err(eval_err)?,
+                        );
+                    }
+                }
+            }
+            // the partial accumulator rides back as a pseudo-row; the
+            // combine below folds them in task order (no canonical
+            // merge — equal partials must not deduplicate)
+            Ok((vec![vec![Value::Int(acc)]], stats))
+        },
+    )?;
+    let start = std::time::Instant::now();
+    let mut sp = genpar_obs::span("exec.combine");
+    sp.field("partials", parts.len() as u64);
+    genpar_guard::faultpoint("exec.combine").map_err(fault_err)?;
+    let mut stats = ExecStats::default();
+    let mut total: i64 = 0;
+    for (partial, s) in parts {
+        add_stats(&mut stats, &s);
+        for row in partial {
+            for v in row {
+                if let Value::Int(n) = v {
+                    total = total.wrapping_add(n);
+                }
+            }
+        }
+    }
+    if let Some(m) = ctx.meter {
+        m.charge_rows(1, op).map_err(|b| budget_err(b, &stats))?;
+        m.charge_cells(1, op).map_err(|b| budget_err(b, &stats))?;
+    }
+    genpar_obs::histogram("exec.combine_us").record(start.elapsed().as_micros() as u64);
+    Ok((total, stats))
+}
+
 /// Which set operation a partitioned set kernel performs.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum SetOp {

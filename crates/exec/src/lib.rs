@@ -39,14 +39,17 @@ pub mod morsel;
 pub mod pool;
 pub mod tune;
 
-use genpar_algebra::{eval::eval, Db, Query};
-use genpar_core::{partition_safety, PartitionSafety};
+use genpar_algebra::{eval::eval, Db, Query, ValueFn};
+use genpar_core::{partition_safety, PartitionSafety, SafetyCert};
 use genpar_engine::plan::{lower, ExecError, ExecStats, PhysicalPlan};
 use genpar_engine::schema::Catalog;
 use genpar_guard::SharedMeter;
 use genpar_obs::FieldValue;
 use genpar_value::Value;
 use kernels::{Ctx, Rows, SetOp};
+use std::collections::BTreeSet;
+
+pub use kernels::CombineKind;
 
 pub use morsel::DEFAULT_MORSEL_ROWS;
 
@@ -381,7 +384,320 @@ pub fn eval_query(
             }
             None => fallback(q, catalog, "lit", "literal rows are not flat tuples"),
         },
+        PartitionSafety::FixpointRoundSafe { body_cert } => {
+            run_fixpoint_route(q, catalog, cfg, &body_cert)
+        }
+        PartitionSafety::Combiner { op, cert } => run_combiner_route(q, catalog, cfg, op, &cert),
         PartitionSafety::Unsafe { op, reason } => fallback(q, catalog, op, reason),
+    }
+}
+
+/// Is every `map` in the tree guaranteed to emit tuple-shaped values?
+/// The row engine represents every set element as a tuple row, while the
+/// interpreter lets `map` produce bare values — a fixpoint accumulator
+/// crossing rounds must stay in one representation, so bodies whose maps
+/// may emit non-tuples take the serial path.
+fn row_shaped(q: &Query) -> bool {
+    fn fn_row_shaped(f: &ValueFn) -> bool {
+        match f {
+            ValueFn::Identity | ValueFn::Cols(_) | ValueFn::Pair(..) => true,
+            ValueFn::Const(c) => matches!(c, Value::Tuple(_)),
+            ValueFn::Compose(a, b) => fn_row_shaped(a) && fn_row_shaped(b),
+            _ => false,
+        }
+    }
+    let mut ok = true;
+    q.visit(&mut |n| {
+        if let Query::Map(f, _) = n {
+            ok &= fn_row_shaped(f);
+        }
+    });
+    ok
+}
+
+/// Does the subtree mention `var` as a free relation name?
+fn mentions(q: &Query, var: &str) -> bool {
+    q.rel_names().iter().any(|n| n == var)
+}
+
+/// Is the step *linear* in the loop variable — semi-naive safe? True
+/// when every operator on the path to the (at most one) side mentioning
+/// `var` distributes over union in that argument, so
+/// `step(X ∪ Δ) = step(X) ∪ step(Δ)` and each round may evaluate the
+/// body on the previous round's delta alone. Joins/products with the
+/// variable on both sides need cross terms (`Δ⋈X`, `X⋈Δ`) and are
+/// conservatively refused, as is the right side of a difference
+/// (anti-monotone).
+fn delta_linear(q: &Query, var: &str) -> bool {
+    if !mentions(q, var) {
+        return true;
+    }
+    match q {
+        Query::Rel(_) => true,
+        Query::Project(_, a) | Query::Select(_, a) | Query::SelectHat(_, _, a) => {
+            delta_linear(a, var)
+        }
+        Query::Map(_, a) => delta_linear(a, var),
+        Query::Union(a, b)
+        | Query::Join(_, a, b)
+        | Query::Product(a, b)
+        | Query::Intersect(a, b) => match (mentions(a, var), mentions(b, var)) {
+            (true, true) => false,
+            (true, false) => delta_linear(a, var),
+            (false, true) => delta_linear(b, var),
+            (false, false) => true,
+        },
+        Query::Difference(a, b) => !mentions(b, var) && delta_linear(a, var),
+        _ => false,
+    }
+}
+
+fn breach_to_exec(b: genpar_guard::BudgetBreach, partial: &ExecStats) -> ExecError {
+    ExecError::Budget {
+        resource: b.resource,
+        limit: b.limit,
+        used: b.used,
+        op: b.op,
+        partial: *partial,
+    }
+}
+
+/// The parallel fixpoint driver: semi-naive delta iteration with each
+/// round's body on the morsel pool.
+///
+/// The loop as a whole does not distribute over partitioning, but the
+/// gate certified its body does — so each round substitutes the current
+/// delta (or the full accumulator when the body is non-linear in the
+/// loop variable) for the loop variable, lowers the bound body, runs it
+/// on the parallel executor and canonically merges the new rows into the
+/// accumulator. Round count, depth-budget charges and the final `Value`
+/// are identical to the serial inflationary loop by construction.
+///
+/// Any injected fault (`exec.fixpoint_round`, or a morsel/merge site
+/// inside a round) degrades the whole query to the serial interpreter —
+/// a correct answer, never a wrong one.
+fn run_fixpoint_route(
+    q: &Query,
+    catalog: &Catalog,
+    cfg: &ExecConfig,
+    body_cert: &SafetyCert,
+) -> Result<(Value, ExecStats, ExecRoute), ExecError> {
+    let Query::Fixpoint { var, init, step } = q else {
+        return Err(ExecError::Internal(
+            "fixpoint route on a non-fixpoint query".to_string(),
+        ));
+    };
+    if !row_shaped(init) || !row_shaped(step) {
+        return fallback(
+            q,
+            catalog,
+            "fix",
+            "body map may emit non-tuple values: row engine and interpreter representations diverge",
+        );
+    }
+    let Some(init_plan) = lower(init) else {
+        return fallback(
+            q,
+            catalog,
+            "fix",
+            "fixpoint seed does not lower to the row engine",
+        );
+    };
+    // a probe substitution proves every round's bound body will lower
+    // (rounds only vary the literal's rows, never the plan shape)
+    if lower(&step.substitute_rel(var, &Value::empty_set())).is_none() {
+        return fallback(
+            q,
+            catalog,
+            "fix",
+            "fixpoint body does not lower to the row engine",
+        );
+    }
+    let semi_naive = delta_linear(step, var);
+    let mut sp = genpar_obs::span("exec.fixpoint");
+    sp.field("workers", cfg.workers as u64);
+    sp.field("semi_naive", u64::from(semi_naive));
+    let meter = SharedMeter::from_armed();
+    let ctx = Ctx {
+        cfg,
+        meter: meter.as_ref(),
+    };
+    let mut stats = ExecStats::default();
+    let result = genpar_guard::catch_panics(|| {
+        drive_fixpoint(var, &init_plan, step, semi_naive, catalog, &ctx, &mut stats)
+    })
+    .map_err(ExecError::Internal)?;
+    match result {
+        Ok((acc, rounds)) => {
+            sp.field("rounds", rounds);
+            stats.rows_out = acc.len() as u64;
+            genpar_obs::counter("exec.executions", 1);
+            genpar_obs::counter("exec.rows_out", stats.rows_out);
+            genpar_obs::counter("exec.rows_processed", stats.rows_processed);
+            let value = genpar_value::rows_to_value(acc);
+            let certificate =
+                format!(
+                "per-round body certified: {body_cert}; semi-naive deltas: {}; rounds: {rounds}",
+                if semi_naive { "yes" } else { "no (full accumulator per round)" },
+            );
+            Ok((
+                value,
+                stats,
+                ExecRoute::Parallel {
+                    workers: cfg.workers,
+                    certificate,
+                },
+            ))
+        }
+        Err(ExecError::Fault(_)) => fallback(
+            q,
+            catalog,
+            "fix",
+            "injected fault in a fixpoint round: degraded to the serial interpreter",
+        ),
+        Err(e) => Err(e),
+    }
+}
+
+/// The round loop proper: mirrors [`genpar_algebra::fixpoint::inflationary_fixpoint`]
+/// (same bound, same `charge_depth` schedule, same stop condition) with
+/// the body evaluated on the parallel executor each round.
+fn drive_fixpoint(
+    var: &str,
+    init_plan: &PhysicalPlan,
+    step: &Query,
+    semi_naive: bool,
+    catalog: &Catalog,
+    ctx: &Ctx,
+    stats: &mut ExecStats,
+) -> Result<(Vec<Vec<Value>>, u64), ExecError> {
+    let seed = run_plan(init_plan, catalog, ctx, stats)?;
+    let mut acc: BTreeSet<Vec<Value>> = seed.iter().cloned().collect();
+    let mut delta: Rows = seed;
+    let bound =
+        (genpar_algebra::fixpoint::DEFAULT_FIXPOINT_ITERS as u64).min(genpar_guard::depth_limit());
+    let hist = genpar_obs::histogram("exec.fixpoint_round_us");
+    for iter in 0..bound {
+        genpar_guard::charge_depth(iter + 1, "fixpoint").map_err(|b| breach_to_exec(b, stats))?;
+        let start = std::time::Instant::now();
+        let mut rsp = genpar_obs::span("exec.fixpoint_round");
+        rsp.field("round", iter + 1);
+        genpar_guard::faultpoint("exec.fixpoint_round")
+            .map_err(|f| ExecError::Fault(f.to_string()))?;
+        if let Some(m) = ctx.meter {
+            m.charge_steps(1, "exec.fixpoint_round")
+                .map_err(|b| breach_to_exec(b, stats))?;
+        }
+        genpar_obs::counter("exec.fixpoint_rounds", 1);
+        // non-linear bodies see the whole accumulator; linear ones only
+        // the rows that are new since the previous round
+        let input: Rows = if semi_naive {
+            std::mem::take(&mut delta)
+        } else {
+            acc.iter().cloned().collect()
+        };
+        rsp.field("input_rows", input.len() as u64);
+        let bound_body = step.substitute_rel(var, &genpar_value::rows_to_value(input));
+        let plan = lower(&bound_body).ok_or_else(|| {
+            ExecError::Internal("probed-lowerable fixpoint body failed to lower".to_string())
+        })?;
+        let produced = run_plan(&plan, catalog, ctx, stats)?;
+        let mut fresh: Rows = Vec::new();
+        for row in produced {
+            if acc.insert(row.clone()) {
+                fresh.push(row);
+            }
+        }
+        rsp.field("delta_rows", fresh.len() as u64);
+        rsp.field("acc_rows", acc.len() as u64);
+        hist.record(start.elapsed().as_micros() as u64);
+        if fresh.is_empty() {
+            return Ok((acc.into_iter().collect(), iter + 1));
+        }
+        delta = fresh;
+    }
+    Err(ExecError::Budget {
+        resource: genpar_guard::Resource::Depth,
+        limit: bound,
+        used: bound,
+        op: "fixpoint",
+        partial: *stats,
+    })
+}
+
+/// The combiner route: evaluate the (certified distributive) aggregate
+/// input on the parallel executor, then fold partition-local
+/// accumulators serially ([`kernels::par_combine`]). An injected fault
+/// at any site inside the route degrades to the serial interpreter.
+fn run_combiner_route(
+    q: &Query,
+    catalog: &Catalog,
+    cfg: &ExecConfig,
+    agg: &'static str,
+    cert: &SafetyCert,
+) -> Result<(Value, ExecStats, ExecRoute), ExecError> {
+    let (kind, inner) = match q {
+        Query::Even(inner) => (CombineKind::Parity, inner),
+        Query::Count(inner) => (CombineKind::Count, inner),
+        Query::Sum(col, inner) => (CombineKind::Sum(*col), inner),
+        _ => {
+            return Err(ExecError::Internal(
+                "combiner route on a non-aggregate query".to_string(),
+            ))
+        }
+    };
+    let Some(plan) = lower(inner) else {
+        return fallback(
+            q,
+            catalog,
+            agg,
+            "aggregate input does not lower to the row engine",
+        );
+    };
+    let mut sp = genpar_obs::span("exec.parallel");
+    sp.field("workers", cfg.workers as u64);
+    sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
+    let meter = SharedMeter::from_armed();
+    let ctx = Ctx {
+        cfg,
+        meter: meter.as_ref(),
+    };
+    let mut stats = ExecStats::default();
+    let result = genpar_guard::catch_panics(|| {
+        let rows = run_plan(&plan, catalog, &ctx, &mut stats)?;
+        kernels::par_combine(rows, kind, &ctx)
+    })
+    .map_err(ExecError::Internal)?;
+    match result {
+        Ok((total, s)) => {
+            kernels::add_stats(&mut stats, &s);
+            stats.rows_out = 1;
+            genpar_obs::counter("exec.executions", 1);
+            genpar_obs::counter("exec.rows_out", 1);
+            genpar_obs::counter("exec.rows_processed", stats.rows_processed);
+            let value = match kind {
+                CombineKind::Parity => Value::Bool(total % 2 == 0),
+                CombineKind::Count | CombineKind::Sum(_) => Value::Int(total),
+            };
+            let certificate = format!(
+                "combiner `{agg}`: partition-local accumulators + serial combine; input {cert}"
+            );
+            Ok((
+                value,
+                stats,
+                ExecRoute::Parallel {
+                    workers: cfg.workers,
+                    certificate,
+                },
+            ))
+        }
+        Err(ExecError::Fault(_)) => fallback(
+            q,
+            catalog,
+            agg,
+            "injected fault in the combiner: degraded to the serial interpreter",
+        ),
+        Err(e) => Err(e),
     }
 }
 

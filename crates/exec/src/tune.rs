@@ -151,6 +151,21 @@ pub fn tuner() -> &'static MorselTuner {
     GLOBAL_TUNER.get_or_init(MorselTuner::from_env)
 }
 
+/// Seed the global tuner with a persisted morsel size (e.g. the
+/// converged `morsel_rows` a previous `profile` run wrote into
+/// `CALIBRATION.json`) **before** first use. The [`MORSEL_ENV`]
+/// variable always wins: when it is set, the seed is ignored so an
+/// explicit `fixed:N` pin or initial size keeps its meaning. Returns
+/// whether the seed took effect (false when the tuner was already
+/// initialized or the environment overrode it).
+pub fn preseed(rows: usize) -> bool {
+    if std::env::var(MORSEL_ENV).is_ok_and(|s| !s.trim().is_empty()) {
+        return false;
+    }
+    let clamped = rows.clamp(MIN_MORSEL_ROWS, MAX_MORSEL_ROWS);
+    GLOBAL_TUNER.set(MorselTuner::new(clamped, false)).is_ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

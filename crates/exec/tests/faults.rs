@@ -83,6 +83,92 @@ fn nth_hit_fault_lets_earlier_morsels_pass() {
 }
 
 #[test]
+fn fixpoint_round_fault_degrades_to_serial_with_correct_answer() {
+    // satellite 3: an armed exec.fixpoint_round fault must never produce
+    // a wrong answer — the route degrades to the serial interpreter,
+    // records an exec.fallback event, and returns Ok.
+    let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
+    for i in 0..20 {
+        e.insert(vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    let c = Catalog::new().with(e);
+    let step = Query::rel("X")
+        .join_on(Query::rel("E"), [(1, 0)])
+        .project([0, 3]);
+    let q = Query::fixpoint("X", Query::rel("E"), step);
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(8);
+    // the serial truth, computed with no fault armed
+    let (truth, _, _) =
+        genpar_exec::eval_query(&q, &c, &ExecConfig::serial()).expect("serial eval ok");
+    for nth in [1, 3] {
+        let spec = format!("exec.fixpoint_round:{nth}");
+        genpar_obs::reset();
+        let (v, _, route) = with_fault(&spec, || genpar_exec::eval_query(&q, &c, &cfg))
+            .expect("fault must degrade, not error");
+        assert!(
+            matches!(route, genpar_exec::ExecRoute::Fallback { op: "fix", .. }),
+            "expected serial degradation at {spec}, got {route:?}"
+        );
+        assert_eq!(v, truth, "degraded answer must equal serial at {spec}");
+        let snap = genpar_obs::snapshot();
+        assert!(
+            snap.events.iter().any(|e| e.kind == "exec.fallback"),
+            "exec.fallback event recorded at {spec}"
+        );
+    }
+    // disarmed: the same query takes the parallel route again
+    let (v, _, route) = genpar_exec::eval_query(&q, &c, &cfg).expect("ok");
+    assert!(matches!(route, genpar_exec::ExecRoute::Parallel { .. }));
+    assert_eq!(v, truth);
+}
+
+#[test]
+fn combine_fault_degrades_to_serial_with_correct_answer() {
+    let c = catalog();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
+    for q in [
+        Query::Even(Box::new(Query::rel("R"))),
+        Query::rel("R").count(),
+        Query::rel("R").sum(1),
+    ] {
+        let (truth, _, _) =
+            genpar_exec::eval_query(&q, &c, &ExecConfig::serial()).expect("serial eval ok");
+        genpar_obs::reset();
+        let (v, _, route) = with_fault("exec.combine:1", || genpar_exec::eval_query(&q, &c, &cfg))
+            .expect("fault must degrade, not error");
+        assert!(
+            matches!(route, genpar_exec::ExecRoute::Fallback { .. }),
+            "expected serial degradation for {q}, got {route:?}"
+        );
+        assert_eq!(v, truth, "degraded answer must equal serial for {q}");
+        let snap = genpar_obs::snapshot();
+        assert!(
+            snap.events.iter().any(|e| e.kind == "exec.fallback"),
+            "exec.fallback event recorded for {q}"
+        );
+        // disarmed: combiner route resumes and agrees
+        let (v2, _, route2) = genpar_exec::eval_query(&q, &c, &cfg).expect("ok");
+        assert!(matches!(route2, genpar_exec::ExecRoute::Parallel { .. }));
+        assert_eq!(v2, truth);
+    }
+}
+
+#[test]
+fn morsel_fault_inside_combiner_or_fixpoint_degrades_not_errors() {
+    // exec.morsel faults inside the dedicated routes also degrade — the
+    // whole-query answer is never wrong and never an error
+    let c = catalog();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
+    let q = Query::rel("R").count();
+    let (truth, _, _) =
+        genpar_exec::eval_query(&q, &c, &ExecConfig::serial()).expect("serial eval ok");
+    let (v, _, route) = with_fault("exec.morsel:2", || genpar_exec::eval_query(&q, &c, &cfg))
+        .expect("fault must degrade, not error");
+    assert!(matches!(route, genpar_exec::ExecRoute::Fallback { .. }));
+    assert_eq!(v, truth);
+}
+
+#[test]
 fn shared_budget_caps_parallel_run() {
     let _g = match FAULT_LOCK.lock() {
         Ok(g) => g,

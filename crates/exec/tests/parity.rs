@@ -159,17 +159,17 @@ fn eval_query(
 fn non_partition_safe_queries_fall_back_with_event() {
     let c = small_catalog();
     genpar_obs::reset();
-    let q = Query::Even(Box::new(Query::rel("R")));
+    let q = Query::Adom(Box::new(Query::rel("R")));
     let (v, _, route) = eval_query(&c, &q, 4);
     match route {
         ExecRoute::Fallback { op, reason } => {
-            assert_eq!(op, "even");
-            assert!(reason.contains("parity"), "{reason}");
+            assert_eq!(op, "adom");
+            assert!(reason.contains("whole-input"), "{reason}");
         }
         other => panic!("expected Fallback route, got {other:?}"),
     }
-    // the fallback computed the right answer (|R| = 40 is even)
-    assert_eq!(v, Value::Bool(true));
+    // the fallback computed the right answer (adom of R is non-empty)
+    assert!(v.as_set().is_some_and(|s| !s.is_empty()));
     // ... and announced itself to the obs registry
     let snap = genpar_obs::snapshot();
     assert!(snap.counters.get("exec.fallbacks").copied().unwrap_or(0) >= 1);
@@ -183,7 +183,223 @@ fn non_partition_safe_queries_fall_back_with_event() {
         .iter()
         .find(|(k, _)| k == "op")
         .expect("fallback event has op field");
-    assert_eq!(op_field.1.to_string(), "even");
+    assert_eq!(op_field.1.to_string(), "adom");
+}
+
+#[test]
+fn even_and_count_take_the_combiner_route_not_fallback() {
+    let c = small_catalog();
+    genpar_obs::reset();
+    for (q, expect) in [
+        (
+            Query::Even(Box::new(Query::rel("R"))),
+            Value::Bool(true), // |R| = 40
+        ),
+        (Query::rel("R").count(), Value::Int(40)),
+        (
+            Query::rel("R").project([1]).count(),
+            Value::Int(5), // i % 5 has five residues
+        ),
+        (
+            Query::rel("R").sum(1),
+            Value::Int((0..40).map(|i| i % 5).sum()),
+        ),
+    ] {
+        let (v, _, route) = eval_query(&c, &q, 4);
+        match route {
+            ExecRoute::Parallel { certificate, .. } => {
+                assert!(certificate.contains("combiner"), "{certificate}");
+                assert!(certificate.contains("serial combine"), "{certificate}");
+            }
+            other => panic!("expected combiner Parallel route for {q}, got {other:?}"),
+        }
+        assert_eq!(v, expect, "wrong aggregate for {q}");
+        // serial route agrees
+        let (sv, _, _) = eval_query(&c, &q, 1);
+        assert_eq!(v, sv, "serial/parallel disagree for {q}");
+    }
+    let snap = genpar_obs::snapshot();
+    assert_eq!(
+        snap.counters.get("exec.fallbacks").copied().unwrap_or(0),
+        0,
+        "certified aggregates must not fall back"
+    );
+    assert!(
+        snap.histograms
+            .get("exec.combine_us")
+            .is_some_and(|h| h.count > 0),
+        "combine step recorded in exec.combine_us"
+    );
+}
+
+/// Satellite 2: the xor-of-partition-parities pitfall, pinned
+/// (Lemma 2.12: `even(R₁∪R₂)` is not a function of `even(R₁)` and
+/// `even(R₂)`). A crafted 3-partition input whose partitions have even
+/// sizes (2, 2, 2): xor of the per-partition parity bits is 0, which the
+/// naive scheme reads as "even parity → even(R) = true"... and on
+/// (2, 2) it is also 0 — but on (1, 1) it is likewise 0 while |R| = 2 IS
+/// even, and on (1, 1, 1) it is 1 while |R| = 3 is odd, so no fixed
+/// reading of the xor bit is right in both cases. The combiner route
+/// sums partition COUNTS instead and must return the true parity on all
+/// of them.
+#[test]
+fn even_regression_xor_of_partition_parities_is_not_parity() {
+    let q = Query::Even(Box::new(Query::rel("R")));
+    // (rows, morsel_rows, workers): partitions sizes and the two naive
+    // xor readings — parity-bit xor and even-flag xor — each wrong on
+    // one of these inputs, while the true answer is |rows| mod 2 == 0.
+    for (rows, morsel_rows, workers) in [(3usize, 1usize, 3usize), (6, 2, 3), (4, 2, 2), (2, 1, 2)]
+    {
+        let mut r = Table::new("R", Schema::uniform(CvType::int(), 1));
+        for i in 0..rows {
+            r.insert(vec![Value::Int(i as i64)]);
+        }
+        let c = Catalog::new().with(r);
+        let cfg = ExecConfig::serial()
+            .with_workers(workers)
+            .with_morsel_rows(morsel_rows);
+        let truth = rows % 2 == 0;
+        // naive per-partition flags for this exact chunking
+        let nparts = rows.div_ceil(morsel_rows);
+        let even_flags: Vec<bool> = (0..nparts)
+            .map(|p| (morsel_rows.min(rows - p * morsel_rows)) % 2 == 0)
+            .collect();
+        let xor_of_even_flags = even_flags.iter().fold(false, |a, &b| a ^ b);
+        let (v, _, route) = genpar_exec::eval_query(&q, &c, &cfg).expect("eval ok");
+        assert!(
+            matches!(route, ExecRoute::Parallel { .. }),
+            "combiner route expected for even(R)"
+        );
+        assert_eq!(v, Value::Bool(truth), "wrong parity for |R|={rows}");
+        if rows == 4 {
+            // the pinned counterexample: two even partitions, xor of
+            // even-flags = false, truth = true
+            assert_ne!(
+                truth, xor_of_even_flags,
+                "xor of partition even-flags must disagree on (2,2)"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixpoint_routes_parallel_and_matches_serial() {
+    // transitive closure of a chain + a cycle, via fix[X](E, π(X⋈E))
+    let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
+    for i in 0..30 {
+        e.insert(vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    e.insert(vec![Value::Int(30), Value::Int(0)]); // close the cycle
+    let c = Catalog::new().with(e);
+    let step = Query::rel("X")
+        .join_on(Query::rel("E"), [(1, 0)])
+        .project([0, 3]);
+    let q = Query::fixpoint("X", Query::rel("E"), step);
+    genpar_obs::reset();
+    let (v, _, route) = eval_query(&c, &q, 4);
+    match route {
+        ExecRoute::Parallel {
+            workers,
+            certificate,
+        } => {
+            assert_eq!(workers, 4);
+            assert!(
+                certificate.contains("per-round body certified"),
+                "{certificate}"
+            );
+            assert!(
+                certificate.contains("semi-naive deltas: yes"),
+                "{certificate}"
+            );
+        }
+        other => panic!("expected Parallel route, got {other:?}"),
+    }
+    let (sv, _, sroute) = eval_query(&c, &q, 1);
+    assert_eq!(sroute, ExecRoute::Serial);
+    assert_eq!(v, sv, "parallel fixpoint != serial fixpoint");
+    // a closed 31-cycle's closure is complete: 31 × 31 pairs
+    assert_eq!(v.as_set().map(|s| s.len()), Some(31 * 31));
+    let snap = genpar_obs::snapshot();
+    assert!(
+        snap.counters
+            .get("exec.fixpoint_rounds")
+            .copied()
+            .unwrap_or(0)
+            >= 2
+    );
+    assert!(
+        snap.histograms
+            .get("exec.fixpoint_round_us")
+            .is_some_and(|h| h.count > 0),
+        "per-round latency recorded"
+    );
+    fn has_span(nodes: &[genpar_obs::SpanNode], name: &str) -> bool {
+        nodes
+            .iter()
+            .any(|n| n.name == name || has_span(&n.children, name))
+    }
+    assert!(
+        has_span(&snap.spans, "exec.fixpoint"),
+        "exec.fixpoint span recorded"
+    );
+    assert!(
+        has_span(&snap.spans, "exec.fixpoint_round"),
+        "per-round spans recorded"
+    );
+}
+
+#[test]
+fn nonlinear_fixpoint_body_runs_full_accumulator_rounds() {
+    // X ⋈ X mentions the loop variable twice: not semi-naive eligible,
+    // but still round-safe — each round re-evaluates on the full
+    // accumulator and must agree with serial evaluation.
+    let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
+    for i in 0..12 {
+        e.insert(vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    let c = Catalog::new().with(e);
+    let step = Query::rel("X")
+        .join_on(Query::rel("X"), [(1, 0)])
+        .project([0, 3]);
+    let q = Query::fixpoint("X", Query::rel("E"), step);
+    let (v, _, route) = eval_query(&c, &q, 4);
+    match route {
+        ExecRoute::Parallel { certificate, .. } => {
+            assert!(
+                certificate.contains("semi-naive deltas: no"),
+                "{certificate}"
+            );
+        }
+        other => panic!("expected Parallel route, got {other:?}"),
+    }
+    let (sv, _, _) = eval_query(&c, &q, 1);
+    assert_eq!(v, sv, "nonlinear fixpoint parallel != serial");
+    // TC of a 13-node path: n(n-1)/2 ordered reachable pairs
+    assert_eq!(v.as_set().map(|s| s.len()), Some(13 * 12 / 2));
+}
+
+#[test]
+fn fixpoint_depth_budget_propagates_in_parallel_route() {
+    // divergent-ish body bounded by an armed depth budget: the parallel
+    // route reports the same Depth breach the serial loop would
+    let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
+    for i in 0..64 {
+        e.insert(vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    let c = Catalog::new().with(e);
+    let step = Query::rel("X")
+        .join_on(Query::rel("E"), [(1, 0)])
+        .project([0, 3]);
+    let q = Query::fixpoint("X", Query::rel("E"), step);
+    let budget = genpar_guard::ExecBudget::unlimited().with_max_depth(3);
+    let _scope = budget.enter();
+    let err = genpar_exec::eval_query(&q, &c, &ExecConfig::serial().with_workers(4)).unwrap_err();
+    match err {
+        genpar_engine::plan::ExecError::Budget { resource, .. } => {
+            assert_eq!(resource, genpar_guard::Resource::Depth);
+        }
+        other => panic!("expected a Depth budget error, got {other:?}"),
+    }
 }
 
 #[test]

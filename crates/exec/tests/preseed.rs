@@ -1,0 +1,21 @@
+//! The persisted-morsel-size preseed must win first touch of the global
+//! tuner — and lose to an explicit `GENPAR_MORSEL`.
+//!
+//! This file holds exactly one test so it owns its test binary: nothing
+//! else can initialize the process-global tuner before it runs.
+
+#[test]
+fn preseed_seeds_the_global_tuner_before_first_use() {
+    if std::env::var(genpar_exec::tune::MORSEL_ENV).is_ok() {
+        // the environment always outranks a persisted seed — under a
+        // pinned run there is nothing to assert about first touch
+        assert!(!genpar_exec::tune::preseed(2048));
+        return;
+    }
+    // first touch: the persisted size (clamped to the tuner bounds) wins
+    assert!(genpar_exec::tune::preseed(2048));
+    assert_eq!(genpar_exec::tune::tuner().rows(), 2048);
+    // a second seed is a no-op: the tuner is already initialized
+    assert!(!genpar_exec::tune::preseed(4096));
+    assert_eq!(genpar_exec::tune::tuner().rows(), 2048);
+}

@@ -207,7 +207,8 @@ pub struct RouteCosts {
     pub parallel: Estimate,
     /// Worker width the parallel route was costed at.
     pub workers: usize,
-    /// Did the partition-safety gate certify the query?
+    /// Did the partition-safety gate find *any* parallel route — plain
+    /// partitioning, per-round fixpoint evaluation, or a combiner?
     pub safe: bool,
     /// Is the parallel route predicted cheaper?
     pub choose_parallel: bool,
@@ -221,32 +222,45 @@ pub struct RouteCosts {
 
 /// Cost both executor routes for `q` under a calibration. The parallel
 /// route honours the partition-safety gate exactly as the executor does:
-/// an uncertified query's "parallel" cost is its serial cost, and the
-/// choice is serial.
+/// a refused query's "parallel" cost is its serial cost and the choice
+/// is serial, while the per-round fixpoint and combiner verdicts get the
+/// same route-specific pricing as
+/// [`estimate_parallel_with`](crate::estimate_parallel_with).
 pub fn route_costs(q: &Query, catalog: &Catalog, workers: usize, cal: &Calibration) -> RouteCosts {
     let serial = estimate(q, catalog);
-    let safe = genpar_core::partition_safety(q).is_safe();
-    let parallel = if workers > 1 && safe {
-        Estimate {
-            cost: cal.parallel_cost(serial.cost, workers),
-            ..serial
-        }
+    let eligible = genpar_core::partition_safety(q).parallel_eligible();
+    let parallel = if workers > 1 && eligible {
+        crate::estimate_parallel_with(q, catalog, workers, cal)
     } else {
         serial
     };
-    let choose_parallel = workers > 1 && safe && parallel.cost < serial.cost;
+    let choose_parallel = workers > 1 && eligible && parallel.cost < serial.cost;
+    // Every route's parallel cost is affine in the serial cost C:
+    // parallel = a·C + b with a = 1/w + c·(w−1) and a route-specific
+    // constant b (plain: s·(w−1); fixpoint: rounds·s·(w−1); combiner:
+    // s·(w−1) + w). Solving a·C + b < C gives the crossover for the
+    // route actually taken; for the plain route this reduces exactly to
+    // [`Calibration::crossover_cost_cells`].
+    let crossover_cost_cells = if workers > 1 && eligible {
+        let w = workers as f64;
+        let a = 1.0 / w + cal.overhead_per_worker * (w - 1.0);
+        let b = parallel.cost - serial.cost * a;
+        if 1.0 - a > 0.0 {
+            Some((b / (1.0 - a)).max(0.0))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
     RouteCosts {
         serial,
         parallel,
         workers,
-        safe,
+        safe: eligible,
         choose_parallel,
         margin_cells: serial.cost - parallel.cost,
-        crossover_cost_cells: if workers > 1 && safe {
-            cal.crossover_cost_cells(workers)
-        } else {
-            None
-        },
+        crossover_cost_cells,
     }
 }
 
@@ -380,7 +394,7 @@ mod tests {
         assert!(rc.margin_cells > 0.0);
         assert_eq!(rc.crossover_cost_cells, Some(0.0));
 
-        let unsafe_q = Query::Even(Box::new(Query::rel("R")));
+        let unsafe_q = Query::Powerset(Box::new(Query::rel("R")));
         let rc = route_costs(&unsafe_q, &cat, 4, &cal);
         assert!(!rc.safe && !rc.choose_parallel);
         assert_eq!(rc.serial, rc.parallel);
@@ -389,6 +403,44 @@ mod tests {
 
         let rc = route_costs(&safe, &cat, 1, &cal);
         assert!(!rc.choose_parallel, "serial request never picks parallel");
+    }
+
+    #[test]
+    fn route_costs_price_the_combiner_and_fixpoint_routes() {
+        let cat = keyed_catalog();
+        let cal = Calibration {
+            overhead_per_worker: 0.01,
+            startup_cost_cells: 500.0,
+        };
+        // combiner verdict: eligible, discounted, crossover shifted up by
+        // the combine constant relative to the plain route
+        let even = Query::Even(Box::new(Query::rel("R")));
+        let rc = route_costs(&even, &cat, 4, &cal);
+        assert!(rc.safe, "root `even` is combiner-eligible now");
+        assert!(rc.choose_parallel && rc.parallel.cost < rc.serial.cost);
+        let plain = route_costs(&Query::rel("R"), &cat, 4, &cal);
+        let (even_cross, plain_cross) = (
+            rc.crossover_cost_cells.expect("combiner crossover"),
+            plain.crossover_cost_cells.expect("plain crossover"),
+        );
+        assert!(
+            even_cross > plain_cross,
+            "serial combine costs extra, so the combiner crossover \
+             ({even_cross}) must sit above the plain one ({plain_cross})"
+        );
+
+        // per-round fixpoint verdict: eligible, and the crossover pays
+        // the startup term once per expected round
+        let step = Query::rel("X")
+            .join_on(Query::rel("R"), [(1, 0)])
+            .project([0, 3]);
+        let fix = Query::fixpoint("X", Query::rel("R"), step);
+        let rc = route_costs(&fix, &cat, 4, &cal);
+        assert!(rc.safe, "distributive-body fixpoint is round-safe");
+        assert!(
+            rc.crossover_cost_cells.expect("fixpoint crossover") > plain_cross,
+            "per-round startup raises the fixpoint crossover"
+        );
     }
 
     #[test]

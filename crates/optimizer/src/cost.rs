@@ -27,6 +27,13 @@ pub struct Estimate {
 const EQ_CONST_SELECTIVITY: f64 = 0.1;
 /// Default selectivity of a column-equality predicate.
 const EQ_COLS_SELECTIVITY: f64 = 0.2;
+/// Rounds the model expects an inflationary fixpoint to run before
+/// saturating. Each round pays the worker-startup cost once on the
+/// parallel route, so this multiplies into the crossover.
+pub const EXPECTED_FIXPOINT_ROUNDS: f64 = 8.0;
+/// How much larger than its seed the model guesses a saturated fixpoint
+/// accumulator ends up.
+const SATURATION_FACTOR: f64 = 4.0;
 
 /// Estimate a query bottom-up. Unknown shapes get pessimistic defaults
 /// (cardinality of the largest input).
@@ -123,6 +130,36 @@ pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
                 cost: i.cost + i.rows * i.width,
             }
         }
+        // scalar aggregates: one pass over the input, one row out
+        Query::Count(inner) | Query::Sum(_, inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: 1.0,
+                width: 1.0,
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        Query::Even(inner) => {
+            let i = estimate(inner, catalog);
+            Estimate {
+                rows: 1.0,
+                width: 1.0,
+                cost: i.cost + i.rows * i.width,
+            }
+        }
+        // a fixpoint runs its body once per round until saturation; the
+        // model prices EXPECTED_FIXPOINT_ROUNDS rounds (the loop variable
+        // is absent from the catalog, so the step estimate reflects the
+        // base relations it joins against)
+        Query::Fixpoint { init, step, .. } => {
+            let i = estimate(init, catalog);
+            let s = estimate(step, catalog);
+            Estimate {
+                rows: (i.rows * SATURATION_FACTOR).max(i.rows),
+                width: i.width.max(s.width),
+                cost: i.cost + EXPECTED_FIXPOINT_ROUNDS * (s.cost + s.rows * s.width).max(1.0),
+            }
+        }
         // complex-value operators: coarse defaults
         _ => {
             let arity = arity_of(q, catalog).unwrap_or(1) as f64;
@@ -158,13 +195,30 @@ pub fn estimate_parallel_with(
     cal: &crate::Calibration,
 ) -> Estimate {
     let base = estimate(q, catalog);
-    if workers <= 1 || !genpar_core::partition_safety(q).is_safe() {
+    if workers <= 1 {
         return base;
     }
+    let cost = match genpar_core::partition_safety(q) {
+        // plainly distributive: one parallel run
+        genpar_core::PartitionSafety::Safe(_) => cal.parallel_cost(base.cost, workers),
+        // per-round gate: the body's work parallelizes, but every round
+        // pays the worker-startup cost again — expected rounds × the
+        // per-round parallel cost
+        genpar_core::PartitionSafety::FixpointRoundSafe { .. } => {
+            let per_round = base.cost / EXPECTED_FIXPOINT_ROUNDS;
+            EXPECTED_FIXPOINT_ROUNDS * cal.parallel_cost(per_round, workers)
+        }
+        // combiner: the accumulate pass parallelizes; the serial combine
+        // folds one partial per worker
+        genpar_core::PartitionSafety::Combiner { .. } => {
+            cal.parallel_cost(base.cost, workers) + workers as f64
+        }
+        genpar_core::PartitionSafety::Unsafe { .. } => return base,
+    };
     Estimate {
         rows: base.rows,
         width: base.width,
-        cost: cal.parallel_cost(base.cost, workers),
+        cost,
     }
 }
 
@@ -188,6 +242,10 @@ pub fn estimate_nodes(q: &Query, catalog: &Catalog) -> Vec<(&'static str, Estima
             Query::Intersect(a, b) => ("plan.Intersect", vec![a, b]),
             Query::Difference(a, b) => ("plan.Difference", vec![a, b]),
             Query::Map(_, a) | Query::Insert(_, a) => ("plan.MapRows", vec![a]),
+            // the dedicated parallel routes: label by the exec span they
+            // record under, and keep descending into the certified input
+            Query::Count(a) | Query::Sum(_, a) | Query::Even(a) => ("exec.combine", vec![a]),
+            Query::Fixpoint { init, step, .. } => ("exec.fixpoint_round", vec![init, step]),
             _ => ("plan.Other", vec![]),
         };
         out.push((name, estimate(q, catalog)));
@@ -406,7 +464,7 @@ mod tests {
         );
 
         // whole-set operators get no discount: the gate refuses them
-        let unsafe_q = Query::Even(Box::new(Query::rel("R")));
+        let unsafe_q = Query::Powerset(Box::new(Query::rel("R")));
         assert_eq!(
             estimate_parallel(&unsafe_q, &cat, 4).cost,
             estimate(&unsafe_q, &cat).cost
@@ -415,6 +473,56 @@ mod tests {
         // coordination overhead dominates eventually
         let par1000 = estimate_parallel(&safe, &cat, 1000);
         assert!(par1000.cost > par4.cost, "overhead must bound the speedup");
+    }
+
+    #[test]
+    fn combiner_and_fixpoint_routes_earn_a_parallel_discount() {
+        let cat = keyed_catalog(3);
+        // a certified aggregate is no longer priced serial
+        for q in [
+            Query::Even(Box::new(Query::rel("R"))),
+            Query::rel("R").count(),
+            Query::rel("R").sum(0),
+        ] {
+            let serial = estimate(&q, &cat).cost;
+            let par = estimate_parallel(&q, &cat, 4).cost;
+            assert!(
+                par < serial,
+                "combiner {q} must be discounted: {par} vs {serial}"
+            );
+        }
+        // a round-safe fixpoint is discounted too, but pays the startup
+        // cost once per expected round: with a startup-heavy calibration
+        // its parallel estimate exceeds a plain query's of equal size
+        let step = Query::rel("X")
+            .join_on(Query::rel("S"), [(1, 0)])
+            .project([0, 3]);
+        let fix = Query::fixpoint("X", Query::rel("R"), step);
+        let serial = estimate(&fix, &cat).cost;
+        let par = estimate_parallel(&fix, &cat, 4).cost;
+        assert!(par < serial, "round-safe fixpoint must be discounted");
+        let startup_heavy = crate::Calibration {
+            overhead_per_worker: 0.0,
+            startup_cost_cells: 1_000.0,
+        };
+        // with zero per-worker overhead, parallel cost is C/4 plus the
+        // startup term — a single one for a plain query, one per
+        // expected round for the fixpoint
+        let plain = Query::rel("R").project([0]);
+        let plain_par = estimate_parallel_with(&plain, &cat, 4, &startup_heavy);
+        let fix_par = estimate_parallel_with(&fix, &cat, 4, &startup_heavy);
+        let plain_startup = plain_par.cost - estimate(&plain, &cat).cost / 4.0;
+        let fix_startup = fix_par.cost - estimate(&fix, &cat).cost / 4.0;
+        assert!(
+            (fix_startup / plain_startup - EXPECTED_FIXPOINT_ROUNDS).abs() < 1e-6,
+            "per-round startup must multiply by expected rounds: {fix_startup} vs {plain_startup}"
+        );
+        // an aggregate over an uncertified input stays undiscounted
+        let refused = Query::Powerset(Box::new(Query::rel("R"))).count();
+        assert_eq!(
+            estimate_parallel(&refused, &cat, 4).cost,
+            estimate(&refused, &cat).cost
+        );
     }
 
     #[test]

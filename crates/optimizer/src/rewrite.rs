@@ -209,6 +209,26 @@ fn map_children(q: &Query, mut f: impl FnMut(&Query) -> (Query, bool)) -> (Query
         Query::Intersect(a, b) => two!(Query::Intersect, a, b),
         Query::Difference(a, b) => two!(Query::Difference, a, b),
         Query::TuplePair(a, b) => two!(Query::TuplePair, a, b),
+        Query::Count(i) => one!(Query::Count, i),
+        Query::Sum(col, inner) => {
+            let (i, c) = f(inner);
+            (Query::Sum(*col, Box::new(i)), c)
+        }
+        // Rewrite inside both the seed and the step; the loop variable is
+        // just a free relation name to the rules, which are all sound for
+        // arbitrary base relations.
+        Query::Fixpoint { var, init, step } => {
+            let (i, ci) = f(init);
+            let (s, cs) = f(step);
+            (
+                Query::Fixpoint {
+                    var: var.clone(),
+                    init: Box::new(i),
+                    step: Box::new(s),
+                },
+                ci || cs,
+            )
+        }
     }
 }
 
