@@ -167,14 +167,62 @@ fn verify_disarmed_guard_overhead() -> f64 {
     overhead
 }
 
-/// Write `BENCH_obs.json` (schema v2) so `bench-compare` can catch
-/// regressions of the disabled-path overhead against the committed
-/// baseline.
-fn write_report(kill_switch_overhead: f64, guard_overhead: f64) {
+/// Assert the timeline claim: with observability *enabled*, turning the
+/// per-thread timeline rings on costs ≤ 5% extra on a real plan
+/// execution (same interleaved-median protocol as the kill-switch
+/// check). This is the bound the tracing tentpole promises: recording a
+/// begin/end instant pair per span is two ring-slot writes, not a lock.
+/// Returns the measured relative overhead for the report.
+fn verify_timeline_overhead() -> f64 {
+    const ROUNDS: usize = 41;
+    let cat = catalog(10_000);
+    let q = Query::rel("R").union(Query::rel("S")).project([0]);
+    let plan = lower(&q).expect("timeline workload lowers");
+
+    genpar_obs::set_enabled(true);
+    let prev = genpar_obs::timeline::enabled();
+    // warmup both variants
+    genpar_obs::timeline::set_enabled(false);
+    black_box(plan.execute(&cat).expect("warmup run"));
+    genpar_obs::timeline::set_enabled(true);
+    black_box(plan.execute(&cat).expect("warmup run"));
+
+    let mut off = Vec::with_capacity(ROUNDS);
+    let mut on = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        genpar_obs::timeline::set_enabled(false);
+        let t = Instant::now();
+        black_box(plan.execute(&cat).expect("timeline-off run"));
+        off.push(t.elapsed());
+        genpar_obs::timeline::set_enabled(true);
+        let t = Instant::now();
+        black_box(plan.execute(&cat).expect("timeline-on run"));
+        on.push(t.elapsed());
+    }
+    genpar_obs::timeline::set_enabled(prev);
+    genpar_obs::reset();
+    let (moff, mon) = (median(off), median(on));
+    let overhead = mon.as_secs_f64() / moff.as_secs_f64() - 1.0;
+    println!(
+        "obs/timeline: timeline-off {moff:?}, timeline-on {mon:?} ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+    assert!(
+        mon <= moff.mul_f64(1.05) + Duration::from_micros(2),
+        "timeline overhead above 5%: off {moff:?}, on {mon:?}"
+    );
+    println!("obs/timeline: OK (≤ 5% bound holds)");
+    overhead
+}
+
+/// Write `BENCH_obs.json` (schema v3: adds `timeline_overhead`) so
+/// `bench-compare` can catch regressions of the disabled-path and
+/// timeline-enabled overheads against the committed baseline.
+fn write_report(kill_switch_overhead: f64, guard_overhead: f64, timeline_overhead: f64) {
     use genpar_obs::Json;
     let report = Json::obj([
         ("bench", Json::str("obs_overhead")),
-        ("schema_version", Json::Int(2)),
+        ("schema_version", Json::Int(3)),
         ("bound", Json::Num(0.05)),
         ("asserted", Json::Bool(true)),
         ("skip_reason", Json::Null),
@@ -183,6 +231,7 @@ fn write_report(kill_switch_overhead: f64, guard_overhead: f64) {
             Json::Num(kill_switch_overhead.max(0.0)),
         ),
         ("guard_overhead", Json::Num(guard_overhead.max(0.0))),
+        ("timeline_overhead", Json::Num(timeline_overhead.max(0.0))),
     ]);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -196,5 +245,6 @@ fn main() {
     bench_execute_enabled_vs_disabled(&mut c);
     let ks = verify_kill_switch_overhead();
     let guard = verify_disarmed_guard_overhead();
-    write_report(ks, guard);
+    let timeline = verify_timeline_overhead();
+    write_report(ks, guard, timeline);
 }

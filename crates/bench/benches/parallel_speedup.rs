@@ -91,10 +91,12 @@ fn median(mut xs: Vec<Duration>) -> Duration {
     xs[xs.len() / 2]
 }
 
-/// Measure medians per worker count, check result parity, write the
-/// JSON report (schema v2: versioned, with per-run morsel latency
-/// quantiles, model costs, and an explicit asserted/skipped verdict),
-/// and (hardware permitting) assert the 4-worker bound.
+/// Measure medians per worker count for **two workload shapes**, check
+/// result parity, write the JSON report (schema v3: every result is
+/// tagged with its `shape` and serial `model_cost_cells`, so
+/// `genpar calibrate` can separate the per-worker overhead fraction from
+/// the startup term — a single shape leaves them colinear), and
+/// (hardware permitting) assert the 4-worker bound on the scan shape.
 fn verify_speedup_and_report() {
     const ROUNDS: usize = 9;
     let cat = catalog();
@@ -116,8 +118,13 @@ fn verify_speedup_and_report() {
     let (fix_truth, _, _) =
         eval_query(&fix_q, &fix_cat, &ExecConfig::serial()).expect("serial fixpoint run");
 
-    let mut medians: Vec<(usize, Duration)> = Vec::new();
+    // scan shape: the keyed join+select — large per-morsel work, slope
+    // dominated by the per-worker overhead fraction
+    let mut scan_medians: Vec<(usize, Duration)> = Vec::new();
     let mut morsel_stats: Vec<genpar_obs::HistogramSnapshot> = Vec::new();
+    // fixpoint shape: ~95 short semi-naive rounds — each round pays the
+    // startup term, so the slope is dominated by startup/cost
+    let mut fix_medians: Vec<(usize, Duration)> = Vec::new();
     let mut round_stats: Vec<genpar_obs::HistogramSnapshot> = Vec::new();
     for &w in &WORKER_COUNTS {
         let cfg = ExecConfig::serial().with_workers(w);
@@ -131,7 +138,7 @@ fn verify_speedup_and_report() {
             black_box(plan.eval_parallel(&cat, &cfg).expect("parallel run"));
             samples.push(t.elapsed());
         }
-        medians.push((w, median(samples)));
+        scan_medians.push((w, median(samples)));
         morsel_stats.push(
             genpar_obs::snapshot()
                 .histograms
@@ -139,12 +146,18 @@ fn verify_speedup_and_report() {
                 .copied()
                 .unwrap_or_default(),
         );
-        // per-round fixpoint latency on the same worker count (the
-        // w = 1 entry stays an empty histogram: the serial route has no
+        // the fixpoint shape, timed on the same worker count (the w = 1
+        // entry keeps an empty round histogram: the serial route has no
         // rounds to time)
         genpar_obs::reset();
-        let (fix_v, _, _) = eval_query(&fix_q, &fix_cat, &cfg).expect("parallel fixpoint run");
-        assert_eq!(fix_v, fix_truth, "worker count {w} changed the fixpoint");
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            let (fix_v, _, _) = eval_query(&fix_q, &fix_cat, &cfg).expect("parallel fixpoint run");
+            samples.push(t.elapsed());
+            assert_eq!(fix_v, fix_truth, "worker count {w} changed the fixpoint");
+        }
+        fix_medians.push((w, median(samples)));
         round_stats.push(
             genpar_obs::snapshot()
                 .histograms
@@ -154,8 +167,8 @@ fn verify_speedup_and_report() {
         );
     }
 
-    let base = medians[0].1.as_secs_f64();
-    let four = medians
+    let base = scan_medians[0].1.as_secs_f64();
+    let four = scan_medians
         .iter()
         .find(|(w, _)| *w == 4)
         .expect("4-worker sample")
@@ -172,38 +185,45 @@ fn verify_speedup_and_report() {
     };
 
     let mut results = Vec::new();
-    for (((w, m), h), fh) in medians.iter().zip(&morsel_stats).zip(&round_stats) {
-        let rc = route_costs(&q, &cat, *w, &cal);
-        let model_cells = if *w > 1 && rc.safe {
-            rc.parallel.cost
-        } else {
-            rc.serial.cost
-        };
-        results.push(Json::obj([
-            ("workers", Json::Int(*w as i128)),
-            ("median_us", Json::Num(m.as_secs_f64() * 1e6)),
-            ("speedup", Json::Num(base / m.as_secs_f64())),
-            ("model_cost_cells", Json::Num(model_cells)),
-            ("morsel_us", h.to_json()),
-            ("fixpoint_round_us", fh.to_json()),
-        ]));
-        println!(
-            "exec/parallel: workers={w} median={m:?} speedup={:.2}x \
-             morsel p50/p95/p99 = {}/{}/{} µs over {} morsels; \
-             fixpoint round p50/p95 = {}/{} µs over {} rounds",
-            base / m.as_secs_f64(),
-            h.p50,
-            h.p95,
-            h.p99,
-            h.count,
-            fh.p50,
-            fh.p95,
-            fh.count,
-        );
+    // one result row per (shape, workers): the shape tag plus the
+    // *serial* model cost is exactly what the two-regressor calibration
+    // fit needs (x₂ = (w−1)/C_shape)
+    for (shape, query, catalog, shape_medians, hist_key, hists) in [
+        ("scan", &q, &cat, &scan_medians, "morsel_us", &morsel_stats),
+        (
+            "fixpoint",
+            &fix_q,
+            &fix_cat,
+            &fix_medians,
+            "fixpoint_round_us",
+            &round_stats,
+        ),
+    ] {
+        let shape_base = shape_medians[0].1.as_secs_f64();
+        let serial_cells = route_costs(query, catalog, 1, &cal).serial.cost;
+        for ((w, m), h) in shape_medians.iter().zip(hists) {
+            results.push(Json::obj([
+                ("workers", Json::Int(*w as i128)),
+                ("shape", Json::str(shape)),
+                ("median_us", Json::Num(m.as_secs_f64() * 1e6)),
+                ("speedup", Json::Num(shape_base / m.as_secs_f64())),
+                ("model_cost_cells", Json::Num(serial_cells)),
+                (hist_key, h.to_json()),
+            ]));
+            println!(
+                "exec/parallel: shape={shape} workers={w} median={m:?} speedup={:.2}x \
+                 {hist_key} p50/p95/p99 = {}/{}/{} µs over {} samples",
+                shape_base / m.as_secs_f64(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.count,
+            );
+        }
     }
     let report = Json::obj([
         ("bench", Json::str("parallel_speedup")),
-        ("schema_version", Json::Int(2)),
+        ("schema_version", Json::Int(3)),
         ("workload", Json::str(q.to_string())),
         ("hardware_threads", Json::Int(hw as i128)),
         ("asserted", Json::Bool(asserted)),

@@ -12,11 +12,18 @@
 //!   floor — rounds on the small bench graph are short enough that a
 //!   couple of scheduler hiccups would otherwise trip the relative
 //!   bound, or
-//! * the obs kill-switch (disabled-path) overhead regresses by more than
-//!   10% relative with a 0.5-percentage-point absolute slack.
+//! * the obs kill-switch (disabled-path), disarmed-guard, or
+//!   timeline-enabled overhead regresses by more than 10% relative with
+//!   a 0.5-percentage-point absolute slack (the timeline overhead is
+//!   additionally capped at 5% absolute — the tentpole's bound).
 //!
-//! Baselines recorded before the fixpoint route existed have no
-//! `fixpoint_round_us` entries; that comparison is skipped loudly.
+//! Every document is validated against its **declared**
+//! `schema_version`, not against whichever keys happen to be present: a
+//! report that stamps schema v3 but lacks a quantile key v3 promises
+//! (`timeline_overhead`, a `shape` tag, the shape's `p95`) fails loudly
+//! with exit 1 instead of silently skipping the comparison. Only a
+//! *baseline* whose schema genuinely predates a key gets a loud skip —
+//! that is a stale baseline, not a malformed report.
 //!
 //! When the baseline was recorded on a machine with a different
 //! `hardware_threads` count, latency numbers are not comparable: the
@@ -36,6 +43,9 @@ use std::process::ExitCode;
 const P95_RELATIVE_BOUND: f64 = 1.10;
 const OVERHEAD_RELATIVE_BOUND: f64 = 1.10;
 const OVERHEAD_ABSOLUTE_SLACK: f64 = 0.005;
+/// The tentpole's promise: timeline recording costs ≤ 5% on a real plan
+/// execution. Gated absolutely, on top of the relative regression bound.
+const TIMELINE_ABSOLUTE_CAP: f64 = 0.05;
 
 /// Gated histograms: `(report key, display label, absolute p95 floor in
 /// µs)`. The floor keeps timer jitter on short samples from tripping the
@@ -43,6 +53,16 @@ const OVERHEAD_ABSOLUTE_SLACK: f64 = 0.005;
 const P95_GATES: [(&str, &str, f64); 2] = [
     ("morsel_us", "exec.morsel_us", 10.0),
     ("fixpoint_round_us", "exec.fixpoint_round_us", 25.0),
+];
+
+/// Gated overheads in `BENCH_obs.json`: `(report key, schema_version
+/// that introduced it)`. The introduction version is what makes the
+/// missing-key check loud: a document *declaring* that version without
+/// the key is malformed; a baseline predating it gets a loud skip.
+const OVERHEAD_GATES: [(&str, i128); 3] = [
+    ("kill_switch_overhead", 1),
+    ("guard_overhead", 2),
+    ("timeline_overhead", 3),
 ];
 
 fn read_json(path: &str) -> Result<Json, String> {
@@ -58,9 +78,85 @@ fn as_num(j: &Json) -> Option<f64> {
     }
 }
 
+fn schema_version(doc: &Json, what: &str) -> Result<i128, String> {
+    doc.get("schema_version")
+        .and_then(|v| v.as_int())
+        .ok_or_else(|| format!("{what}: report has no schema_version"))
+}
+
+/// The histogram keys one parallel result row promises under its
+/// document's declared schema. Schema v3 rows are shape-tagged and carry
+/// exactly their shape's histogram; schema v2 rows carry both; schema v1
+/// predates the quantile keys entirely.
+fn promised_hists(sv: i128, row: &Json, what: &str, i: usize) -> Result<Vec<&'static str>, String> {
+    if sv >= 3 {
+        match row.get("shape").and_then(|s| s.as_str()) {
+            Some("scan") => Ok(vec!["morsel_us"]),
+            Some("fixpoint") => Ok(vec!["fixpoint_round_us"]),
+            Some(other) => Err(format!(
+                "{what}: results[{i}] has unknown shape \"{other}\" (schema v{sv})"
+            )),
+            None => Err(format!(
+                "{what}: schema v{sv} promises a \"shape\" tag on every result \
+                 but results[{i}] has none"
+            )),
+        }
+    } else if sv == 2 {
+        Ok(vec!["morsel_us", "fixpoint_round_us"])
+    } else {
+        Ok(vec![])
+    }
+}
+
+/// Validate a `BENCH_parallel.json` document against its **declared**
+/// schema: every quantile key that schema version promises must be
+/// present. A missing promised key is a hard error — never a silent
+/// skip.
+fn validate_parallel(doc: &Json, what: &str) -> Result<(), String> {
+    let sv = schema_version(doc, what)?;
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .ok_or_else(|| format!("{what}: missing results array"))?;
+    for (i, r) in results.iter().enumerate() {
+        let w = r
+            .get("workers")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| format!("{what}: results[{i}] has no workers count"))?;
+        for key in promised_hists(sv, r, what, i)? {
+            if r.get(key)
+                .and_then(|m| m.get("p95"))
+                .and_then(as_num)
+                .is_none()
+            {
+                return Err(format!(
+                    "{what}: schema v{sv} promises \"{key}.p95\" on results[{i}] \
+                     (workers {w}) but it is missing"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a `BENCH_obs.json` document against its declared schema:
+/// every overhead key that schema version promises must be numeric.
+fn validate_obs(doc: &Json, what: &str) -> Result<(), String> {
+    let sv = schema_version(doc, what)?;
+    for (key, introduced) in OVERHEAD_GATES {
+        if sv >= introduced && doc.get(key).and_then(as_num).is_none() {
+            return Err(format!(
+                "{what}: schema v{sv} promises \"{key}\" but it is missing or non-numeric"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// `workers -> p95` of one per-result histogram (`key`) from a
-/// `BENCH_parallel.json` document. Results without the key (older
-/// schema versions) are simply absent from the answer.
+/// `BENCH_parallel.json` document. Shape tags never collide here: each
+/// histogram key lives on exactly one shape (or, pre-v3, on every row
+/// exactly once per worker count), so `workers` alone is a unique key.
 fn p95_by_workers(parallel: &Json, key: &str) -> Vec<(i128, f64)> {
     let mut out = Vec::new();
     let Some(results) = parallel.get("results").and_then(|r| r.as_arr()) else {
@@ -87,6 +183,8 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
     let base_obs = baseline
         .get("obs")
         .ok_or("baseline has no \"obs\" section")?;
+    validate_parallel(base_parallel, "baseline parallel section")?;
+    validate_obs(base_obs, "baseline obs section")?;
 
     let base_hw = base_parallel
         .get("hardware_threads")
@@ -108,7 +206,12 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
         let base_p95 = p95_by_workers(base_parallel, key);
         let cur_p95 = p95_by_workers(parallel, key);
         if base_p95.is_empty() {
-            println!("bench-compare: {label}: baseline has no {key} entries — comparison skipped");
+            // validation already proved the baseline honours its own
+            // schema, so an empty set means the schema predates the key
+            println!(
+                "bench-compare: {label}: baseline schema predates {key} — \
+                 comparison skipped (refresh the baseline)"
+            );
             continue;
         }
         for (w, base) in &base_p95 {
@@ -130,28 +233,56 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
         }
     }
 
-    for key in ["kill_switch_overhead", "guard_overhead"] {
-        let Some(base) = base_obs.get(key).and_then(as_num) else {
+    let base_obs_sv = schema_version(base_obs, "baseline obs section")?;
+    let cur_obs_sv = schema_version(obs, "current obs report")?;
+    for (key, introduced) in OVERHEAD_GATES {
+        if cur_obs_sv < introduced {
+            println!(
+                "bench-compare: obs {key}: current report schema v{cur_obs_sv} predates \
+                 this key — comparison skipped"
+            );
             continue;
-        };
-        let Some(cur) = obs.get(key).and_then(as_num) else {
-            continue;
-        };
-        let bound = base * OVERHEAD_RELATIVE_BOUND + OVERHEAD_ABSOLUTE_SLACK;
-        let verdict = if cur > bound { "REGRESSION" } else { "ok" };
-        println!(
-            "bench-compare: obs {key}: {:.2}% vs baseline {:.2}% (bound {:.2}%) — {verdict}",
-            cur * 100.0,
-            base * 100.0,
-            bound * 100.0
-        );
-        if cur > bound {
-            regressions.push(format!(
-                "obs {key} regressed: {:.2}% > bound {:.2}% (baseline {:.2}% + 10% rel \
-                 + 0.5pp slack)",
+        }
+        // validation guarantees presence for sv >= introduced
+        let cur = obs
+            .get(key)
+            .and_then(as_num)
+            .ok_or_else(|| format!("current obs report lost \"{key}\" after validation"))?;
+        if base_obs_sv < introduced {
+            println!(
+                "bench-compare: obs {key}: baseline schema v{base_obs_sv} predates this \
+                 key — regression comparison skipped (refresh the baseline)"
+            );
+        } else {
+            let base = base_obs
+                .get(key)
+                .and_then(as_num)
+                .ok_or_else(|| format!("baseline obs section lost \"{key}\" after validation"))?;
+            let bound = base * OVERHEAD_RELATIVE_BOUND + OVERHEAD_ABSOLUTE_SLACK;
+            let verdict = if cur > bound { "REGRESSION" } else { "ok" };
+            println!(
+                "bench-compare: obs {key}: {:.2}% vs baseline {:.2}% (bound {:.2}%) — {verdict}",
                 cur * 100.0,
-                bound * 100.0,
-                base * 100.0
+                base * 100.0,
+                bound * 100.0
+            );
+            if cur > bound {
+                regressions.push(format!(
+                    "obs {key} regressed: {:.2}% > bound {:.2}% (baseline {:.2}% + 10% rel \
+                     + 0.5pp slack)",
+                    cur * 100.0,
+                    bound * 100.0,
+                    base * 100.0
+                ));
+            }
+        }
+        // the timeline overhead additionally carries the tentpole's
+        // absolute cap, enforced even when the baseline predates the key
+        if key == "timeline_overhead" && cur > TIMELINE_ABSOLUTE_CAP {
+            regressions.push(format!(
+                "obs timeline_overhead above the absolute cap: {:.2}% > {:.2}%",
+                cur * 100.0,
+                TIMELINE_ABSOLUTE_CAP * 100.0
             ));
         }
     }
@@ -202,6 +333,22 @@ fn main() -> ExitCode {
         }
     };
 
+    // validate against the *declared* schemas before anything else — a
+    // report missing a key its own schema_version promises must fail
+    // loudly, and must certainly never become the committed baseline
+    for result in [
+        validate_parallel(
+            &parallel,
+            &format!("{parallel_path} (current parallel report)"),
+        ),
+        validate_obs(&obs, &format!("{obs_path} (current obs report)")),
+    ] {
+        if let Err(e) = result {
+            eprintln!("bench-compare: malformed input — {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if write_baseline {
         let doc = Json::obj([
             ("bench", Json::str("baseline")),
@@ -240,5 +387,121 @@ fn main() -> ExitCode {
             eprintln!("bench-compare: malformed input — {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(text: &str) -> Json {
+        Json::parse(text).expect("test literal parses")
+    }
+
+    fn hist(p95: f64) -> String {
+        format!("{{\"count\": 10, \"p50\": 1.0, \"p95\": {p95}, \"p99\": {p95}}}")
+    }
+
+    fn parallel_v3(morsel_p95: f64, round_p95: f64) -> Json {
+        j(&format!(
+            "{{\"schema_version\": 3, \"hardware_threads\": 4, \"results\": [
+                {{\"workers\": 4, \"shape\": \"scan\", \"morsel_us\": {}}},
+                {{\"workers\": 4, \"shape\": \"fixpoint\", \"fixpoint_round_us\": {}}}
+            ]}}",
+            hist(morsel_p95),
+            hist(round_p95)
+        ))
+    }
+
+    fn obs_v3(timeline: f64) -> Json {
+        j(&format!(
+            "{{\"schema_version\": 3, \"kill_switch_overhead\": 0.01, \
+              \"guard_overhead\": 0.01, \"timeline_overhead\": {timeline}}}"
+        ))
+    }
+
+    #[test]
+    fn schema3_result_without_shape_fails_loudly() {
+        let doc = j("{\"schema_version\": 3, \"results\": [{\"workers\": 2}]}");
+        let err = validate_parallel(&doc, "t").unwrap_err();
+        assert!(err.contains("shape"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn schema3_scan_without_its_promised_quantile_fails_loudly() {
+        let doc = j("{\"schema_version\": 3, \"results\": [
+            {\"workers\": 2, \"shape\": \"scan\"}]}");
+        let err = validate_parallel(&doc, "t").unwrap_err();
+        assert!(err.contains("morsel_us.p95"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn schema2_without_fixpoint_quantiles_fails_instead_of_silently_skipping() {
+        // the original bug: a v2 document missing the fixpoint histogram
+        // was silently dropped from the gate instead of failing
+        let doc = j(&format!(
+            "{{\"schema_version\": 2, \"results\": [
+                {{\"workers\": 2, \"morsel_us\": {}}}]}}",
+            hist(10.0)
+        ));
+        let err = validate_parallel(&doc, "t").unwrap_err();
+        assert!(
+            err.contains("fixpoint_round_us.p95"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn schema1_predates_the_quantile_keys_and_validates_bare() {
+        let doc = j("{\"schema_version\": 1, \"results\": [{\"workers\": 2}]}");
+        assert!(validate_parallel(&doc, "t").is_ok());
+    }
+
+    #[test]
+    fn obs_schema3_without_timeline_overhead_fails_loudly() {
+        let doc = j("{\"schema_version\": 3, \"kill_switch_overhead\": 0.01, \
+                      \"guard_overhead\": 0.01}");
+        let err = validate_obs(&doc, "t").unwrap_err();
+        assert!(err.contains("timeline_overhead"), "unhelpful error: {err}");
+        // a v2 document never promised the key: still valid
+        let v2 = j("{\"schema_version\": 2, \"kill_switch_overhead\": 0.01, \
+                     \"guard_overhead\": 0.01}");
+        assert!(validate_obs(&v2, "t").is_ok());
+    }
+
+    #[test]
+    fn timeline_absolute_cap_applies_even_against_an_older_baseline() {
+        // baseline obs predates timeline_overhead: the relative gate is
+        // skipped loudly, but the 5% absolute cap still fires
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            (
+                "obs",
+                j("{\"schema_version\": 2, \"kill_switch_overhead\": 0.01, \
+                    \"guard_overhead\": 0.01}"),
+            ),
+        ]);
+        let over = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v3(0.08)).unwrap();
+        assert!(
+            over.iter().any(|r| r.contains("absolute cap")),
+            "expected the absolute cap to fire: {over:?}"
+        );
+        let under = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v3(0.02)).unwrap();
+        assert!(under.is_empty(), "unexpected regressions: {under:?}");
+    }
+
+    #[test]
+    fn shape_tagged_p95_regression_still_gates() {
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            ("obs", obs_v3(0.01)),
+        ]);
+        let slow = compare(&baseline, &parallel_v3(100.0, 400.0), &obs_v3(0.01)).unwrap();
+        assert!(
+            slow.iter().any(|r| r.contains("exec.fixpoint_round_us")),
+            "expected a fixpoint p95 regression: {slow:?}"
+        );
+        let fine = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v3(0.01)).unwrap();
+        assert!(fine.is_empty(), "unexpected regressions: {fine:?}");
     }
 }

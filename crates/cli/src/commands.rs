@@ -14,15 +14,16 @@ use genpar_exec::ExecConfig;
 use genpar_mapping::{ExtensionMode, MappingClass};
 use genpar_optimizer::Constraints;
 use genpar_optimizer::{
-    estimate_nodes, optimize_costed, optimize_costed_parallel_with, route_costs, Calibration,
-    RuleSet,
+    estimate_nodes, estimate_nodes_with_sources, optimize_costed,
+    optimize_costed_parallel_with_stats, route_costs_with_stats, Calibration, RuleSet, StatsStore,
 };
 use genpar_value::{BaseType, CvType, DomainId};
 use std::fmt::Write as _;
 
 /// Schema version stamped into `profile --json` output (v1 was the
-/// unversioned pre-histogram shape; see DESIGN.md §10).
-pub const PROFILE_SCHEMA_VERSION: i64 = 2;
+/// unversioned pre-histogram shape, v2 added histograms/misestimate; v3
+/// adds the `timeline` and `stats` blocks — see DESIGN.md §10, §12).
+pub const PROFILE_SCHEMA_VERSION: i64 = 3;
 
 /// Execute a parsed command.
 pub fn execute(cmd: &Command) -> Result<String, CliError> {
@@ -43,12 +44,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             union_key,
             workers,
             calibration,
+            stats,
         } => explain_cmd(
             query,
             db.as_deref(),
             union_key.as_deref(),
             *workers,
             calibration.as_deref(),
+            stats.as_deref(),
         ),
         Command::Profile {
             query,
@@ -57,7 +60,9 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             json,
             workers,
             trace,
+            timeline,
             calibration,
+            stats,
         } => profile_cmd(
             query,
             db.as_deref(),
@@ -65,10 +70,30 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             *json,
             *workers,
             trace.as_deref(),
+            *timeline,
             calibration.as_deref(),
+            stats.as_deref(),
         ),
         Command::Calibrate { bench, out } => calibrate_cmd(bench, out),
+        Command::Stats { action, file } => stats_cmd(action, file),
         Command::Audit => audit(),
+    }
+}
+
+/// The key a database contributes its observed statistics under: the
+/// `.gdb` path when given, else the shared nominal synthetic catalog.
+/// Stats from one database never steer estimates for another.
+fn stats_catalog_key(db_path: Option<&str>) -> &str {
+    db_path.unwrap_or("nominal")
+}
+
+/// Load an observed-statistics store (`--stats FILE`). A missing file is
+/// an empty store (first run bootstraps it); a malformed or
+/// wrong-schema-version file is a loud error, never a silent fresh start.
+fn load_stats(path: Option<&str>) -> Result<Option<StatsStore>, CliError> {
+    match path {
+        Some(p) => StatsStore::load(p).map(Some).map_err(CliError::runtime),
+        None => Ok(None),
     }
 }
 
@@ -386,20 +411,33 @@ fn explain_cmd(
     union_key: Option<&str>,
     workers: Option<usize>,
     calibration: Option<&str>,
+    stats_path: Option<&str>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
     let cal = load_calibration(calibration)?;
+    let store = load_stats(stats_path)?;
+    let obs_stats = store
+        .as_ref()
+        .and_then(|s| s.catalog(stats_catalog_key(db_path)));
     genpar_obs::reset();
     let (chosen, trace, base_est, new_est) =
-        optimize_costed_parallel_with(&q, &rules, &catalog, w, &cal);
+        optimize_costed_parallel_with_stats(&q, &rules, &catalog, w, &cal, obs_stats);
     let snap = genpar_obs::snapshot();
 
     let mut out = String::new();
     let _ = writeln!(out, "query:     {q}");
     let _ = writeln!(out, "optimized: {chosen}");
+    if let Some(p) = stats_path {
+        let entries = obs_stats.map(|c| c.entries.len()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "stats:     {p} (catalog '{}', {entries} observed entries)",
+            stats_catalog_key(db_path)
+        );
+    }
     let _ = writeln!(out);
     if trace.steps.is_empty() {
         // distinguish "nothing matched" from "matched but cost-rejected"
@@ -484,8 +522,10 @@ fn explain_cmd(
             let _ = writeln!(out, "  falls back to serial: '{op}' — {reason}");
         }
     }
-    // both routes, costed under the (possibly measured) calibration
-    let rc = route_costs(&chosen, &catalog, w, &cal);
+    // both routes, costed under the (possibly measured) calibration and
+    // any observed statistics — stats can flip this choice, never the
+    // answer
+    let rc = route_costs_with_stats(&chosen, &catalog, w, &cal, obs_stats);
     let _ = writeln!(
         out,
         "\nroute costs (calibration: {:.3}/worker overhead, {:.0} cells startup):",
@@ -538,8 +578,8 @@ fn explain_cmd(
                 let _ = writeln!(out, "  {line}");
             }
             let _ = writeln!(out, "\nestimated rows per operator:");
-            for (op, est) in estimate_nodes(&chosen, &catalog) {
-                let _ = writeln!(out, "  {op:<18} ~{:.0} rows", est.rows);
+            for (op, est, src) in estimate_nodes_with_sources(&chosen, &catalog, obs_stats) {
+                let _ = writeln!(out, "  {op:<18} ~{:.0} rows  [{src}]", est.rows);
             }
         }
         None => {
@@ -594,8 +634,13 @@ fn misestimate_rows(
 /// `profile`: optimize and execute the query with a fresh obs registry,
 /// then dump the metrics snapshot (span tree, counters, events,
 /// histograms, per-operator misestimates) as an ASCII tree or JSON.
-/// `--trace FILE` additionally exports the snapshot as Chrome
-/// `trace_event` JSON (or JSONL for a `.jsonl` path).
+/// `--trace FILE` additionally exports the run as Chrome `trace_event`
+/// JSON (or JSONL for a `.jsonl` path) — with the timeline recorder on
+/// (`--timeline`, implied by `--trace`) that is a true timeline of real
+/// begin/end instants on per-worker lanes. `--stats FILE` consults the
+/// observed-statistics store for routing and harvests this run's
+/// `plan.node_stats` events back into it.
+#[allow(clippy::too_many_arguments)]
 fn profile_cmd(
     query: &str,
     db_path: Option<&str>,
@@ -603,16 +648,32 @@ fn profile_cmd(
     json: bool,
     workers: Option<usize>,
     trace_path: Option<&str>,
+    timeline: bool,
     calibration: Option<&str>,
+    stats_path: Option<&str>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
     let cal = load_calibration(calibration)?;
+    let mut store = load_stats(stats_path)?;
+    let stats_key = stats_catalog_key(db_path);
+    // consult a clone so the store stays mutable for the post-run harvest
+    let obs_stats_owned = store.as_ref().and_then(|s| s.catalog(stats_key)).cloned();
+    let obs_stats = obs_stats_owned.as_ref();
+    // a trace export without the recorder would fall back to the
+    // synthetic layout, so --trace implies --timeline for this run; the
+    // previous flag state (e.g. GENPAR_TIMELINE) is restored afterwards
+    let prev_timeline = genpar_obs::timeline::enabled();
+    // an ambient GENPAR_TIMELINE=1 gets the same reporting as --timeline
+    let want_timeline = timeline || trace_path.is_some() || prev_timeline;
+    if want_timeline {
+        genpar_obs::timeline::set_enabled(true);
+    }
     genpar_obs::reset();
     let (chosen, _trace, _base, new_est) =
-        optimize_costed_parallel_with(&q, &rules, &catalog, w, &cal);
+        optimize_costed_parallel_with_stats(&q, &rules, &catalog, w, &cal, obs_stats);
     let mut stats = genpar_engine::plan::ExecStats::default();
     if w > 1 && partition_safety(&chosen).parallel_eligible() {
         // certified: plain partitioning, per-round fixpoint, or combiner
@@ -652,17 +713,32 @@ fn profile_cmd(
         }
     }
     let snap = genpar_obs::snapshot();
+    let tl = genpar_obs::timeline::snapshot();
+    if want_timeline {
+        genpar_obs::timeline::set_enabled(prev_timeline);
+    }
     let mis = misestimate_rows(&chosen, &catalog, &snap);
 
     if let Some(path) = trace_path {
         let text = if path.ends_with(".jsonl") {
-            genpar_obs::trace::jsonl(&snap)
+            genpar_obs::trace::jsonl(&snap, &tl)
         } else {
-            genpar_obs::trace::chrome_trace_string(&snap)
+            genpar_obs::trace::chrome_trace_string(&snap, &tl)
         };
         std::fs::write(path, text)
             .map_err(|e| CliError::runtime(format!("cannot write trace file {path}: {e}")))?;
     }
+
+    // fold this run's per-node row counts back into the store, so the
+    // next run's estimates are observed rather than guessed
+    let harvested = match (stats_path, store.as_mut()) {
+        (Some(p), Some(store)) => {
+            let folded = store.harvest(stats_key, &snap);
+            store.save(p).map_err(CliError::runtime)?;
+            Some(folded)
+        }
+        _ => None,
+    };
 
     // persist the converged morsel size so the next run starts tuned
     let persisted_morsel = match calibration {
@@ -708,6 +784,30 @@ fn profile_cmd(
             if let Some(path) = trace_path {
                 fields.push(("trace_file".to_string(), genpar_obs::Json::str(path)));
             }
+            if want_timeline {
+                fields.push((
+                    "timeline".to_string(),
+                    genpar_obs::Json::obj([
+                        ("events", genpar_obs::Json::Int(tl.events.len() as i128)),
+                        ("written", genpar_obs::Json::Int(tl.written as i128)),
+                        ("dropped", genpar_obs::Json::Int(tl.dropped as i128)),
+                        (
+                            "capacity_per_thread",
+                            genpar_obs::Json::Int(tl.capacity_per_thread as i128),
+                        ),
+                    ]),
+                ));
+            }
+            if let (Some(p), Some(folded)) = (stats_path, harvested) {
+                fields.push((
+                    "stats".to_string(),
+                    genpar_obs::Json::obj([
+                        ("file", genpar_obs::Json::str(p)),
+                        ("catalog", genpar_obs::Json::str(stats_key)),
+                        ("harvested", genpar_obs::Json::Int(folded as i128)),
+                    ]),
+                ));
+            }
             if let Some(rows) = persisted_morsel {
                 fields.push((
                     "morsel_rows_persisted".to_string(),
@@ -724,8 +824,22 @@ fn profile_cmd(
                 let _ = writeln!(out, "  {op:<18} {actual} / ~{est:.0}  (x{ratio:.2})");
             }
         }
+        if want_timeline {
+            let _ = writeln!(
+                out,
+                "timeline: {} events recorded ({} dropped by the per-thread rings)",
+                tl.events.len(),
+                tl.dropped
+            );
+        }
         if let Some(path) = trace_path {
             let _ = writeln!(out, "trace written to {path}");
+        }
+        if let (Some(p), Some(folded)) = (stats_path, harvested) {
+            let _ = writeln!(
+                out,
+                "stats: harvested {folded} node observations into {p} (catalog '{stats_key}')"
+            );
         }
         if let (Some(rows), Some(p)) = (persisted_morsel, calibration) {
             let _ = writeln!(out, "morsel size {rows} persisted to {p}");
@@ -742,9 +856,19 @@ fn calibrate_cmd(bench_path: &str, out_path: &str) -> Result<String, CliError> {
         .map_err(|e| CliError::runtime(format!("cannot read bench file {bench_path}: {e}")))?;
     let bench = genpar_obs::Json::parse(&text)
         .map_err(|e| CliError::parse(format!("bench file {bench_path}: {e}")))?;
-    let cal = Calibration::default()
+    let mut cal = Calibration::default()
         .fit_from_bench(&bench)
         .map_err(CliError::runtime)?;
+    // fewer than two hardware threads cannot produce real contention —
+    // the fit is arithmetic on noise. Persist the flag so every later
+    // consumer of CALIBRATION.json sees it, not just this terminal.
+    let hw = bench
+        .get("hardware_threads")
+        .and_then(|v| v.as_int())
+        .unwrap_or(0);
+    if hw < 2 {
+        cal.unreliable = true;
+    }
     std::fs::write(out_path, format!("{}\n", cal.to_json()))
         .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
     let mut out = String::new();
@@ -772,18 +896,58 @@ fn calibrate_cmd(bench_path: &str, out_path: &str) -> Result<String, CliError> {
             }
         }
     }
-    let hw = bench
-        .get("hardware_threads")
-        .and_then(|v| v.as_int())
-        .unwrap_or(0);
-    if hw < 2 {
+    if cal.unreliable {
         let _ = writeln!(
             out,
             "  WARNING: bench ran on {hw} hardware thread(s); speedups (and this fit) are unreliable"
         );
+        let _ = writeln!(out, "  unreliable: true (persisted in {out_path})");
     }
     let _ = writeln!(out, "wrote {out_path}");
     Ok(out)
+}
+
+/// `genpar stats show|reset`: inspect or clear an observed-statistics
+/// store file without running a query.
+fn stats_cmd(action: &str, file: &str) -> Result<String, CliError> {
+    match action {
+        "reset" => {
+            let mut empty = StatsStore::new();
+            empty.save(file).map_err(CliError::runtime)?;
+            Ok(format!("reset {file} (0 catalogs)\n"))
+        }
+        "show" => {
+            let store = StatsStore::load(file).map_err(CliError::runtime)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{file}: {} catalog(s)", store.catalogs.len());
+            for (key, cat) in &store.catalogs {
+                let _ = writeln!(out, "\ncatalog '{key}' ({} entries):", cat.entries.len());
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:<16} {:>7} {:>10} {:>12} {:>20}",
+                    "op", "fingerprint", "samples", "selectivity", "rows_ewma", "rows min/last/max"
+                );
+                // highest-sample entries first — the ones steering routes
+                let mut ranked: Vec<_> = cat.entries.iter().collect();
+                ranked.sort_by(|(fa, a), (fb, b)| b.samples.cmp(&a.samples).then(fa.cmp(fb)));
+                for (fp, e) in ranked {
+                    let _ = writeln!(
+                        out,
+                        "  {:<18} {fp:016x} {:>7} {:>10.4} {:>12.1} {:>20}",
+                        e.op,
+                        e.samples,
+                        e.selectivity,
+                        e.rows_ewma,
+                        format!("{}/{}/{}", e.rows_min, e.rows_last, e.rows_max),
+                    );
+                }
+            }
+            Ok(out)
+        }
+        other => Err(CliError::usage(format!(
+            "stats action must be show or reset (got {other:?})"
+        ))),
+    }
 }
 
 /// Coerce a relation value to uniform-arity tuples (pad/skip oddballs) so
@@ -964,7 +1128,7 @@ mod tests {
     #[test]
     fn explain_shows_trace_and_plan() {
         let _g = obs_guard();
-        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(1), None).unwrap();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(1), None, None).unwrap();
         assert!(out.contains("ProjectThroughUnion"), "{out}");
         assert!(out.contains("Cor 4.15"), "{out}");
         assert!(out.contains("chosen plan:"), "{out}");
@@ -977,7 +1141,7 @@ mod tests {
     #[test]
     fn explain_reports_parallel_route_and_fallback() {
         let _g = obs_guard();
-        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), None).unwrap();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), None, None).unwrap();
         assert!(out.contains("parallel execution (4 workers)"), "{out}");
         assert!(out.contains("would run on 4 worker threads"), "{out}");
         // both route costs are printed with the calibrated model
@@ -989,7 +1153,7 @@ mod tests {
         // per-operator cardinality estimates back the misestimate report
         assert!(out.contains("estimated rows per operator:"), "{out}");
         assert!(out.contains("plan.Scan"), "{out}");
-        let out = explain_cmd("powerset(R)", None, None, Some(4), None).unwrap();
+        let out = explain_cmd("powerset(R)", None, None, Some(4), None, None).unwrap();
         assert!(out.contains("falls back to serial: 'powerset'"), "{out}");
         assert!(out.contains("straddle"), "{out}");
         assert!(out.contains("gate refused the parallel route"), "{out}");
@@ -1001,7 +1165,7 @@ mod tests {
         // `even` used to be refused with the Lemma 2.12 *pitfall*; now the
         // same lemma backs its combiner certificate — explain must cite
         // the certificate, print both route costs, and show no fallback
-        let out = explain_cmd("even(R)", None, None, Some(4), None).unwrap();
+        let out = explain_cmd("even(R)", None, None, Some(4), None, None).unwrap();
         assert!(out.contains("combiner 'even'"), "{out}");
         assert!(out.contains("Lemma 2.12"), "{out}");
         assert!(out.contains("partition-local accumulators"), "{out}");
@@ -1010,7 +1174,7 @@ mod tests {
         assert!(out.contains("serial route:"), "{out}");
         assert!(out.contains("parallel route:"), "{out}");
         assert!(out.contains("chosen route:"), "{out}");
-        let out = explain_cmd("count(pi[$1](R))", None, None, Some(4), None).unwrap();
+        let out = explain_cmd("count(pi[$1](R))", None, None, Some(4), None, None).unwrap();
         assert!(out.contains("combiner 'count'"), "{out}");
     }
 
@@ -1018,7 +1182,7 @@ mod tests {
     fn explain_reports_the_per_round_fixpoint_certificate() {
         let _g = obs_guard();
         let q = "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))";
-        let out = explain_cmd(q, None, None, Some(4), None).unwrap();
+        let out = explain_cmd(q, None, None, Some(4), None, None).unwrap();
         assert!(out.contains("fixpoint round-safe"), "{out}");
         assert!(out.contains("per-round body certified"), "{out}");
         assert!(out.contains("morsel pool"), "{out}");
@@ -1027,7 +1191,7 @@ mod tests {
         assert!(out.contains("serial route:"), "{out}");
         assert!(out.contains("parallel route:"), "{out}");
         // a fixpoint whose body uses a whole-set operator is refused
-        let out = explain_cmd("fix[X](E, powerset(X))", None, None, Some(4), None).unwrap();
+        let out = explain_cmd("fix[X](E, powerset(X))", None, None, Some(4), None, None).unwrap();
         assert!(out.contains("falls back to serial"), "{out}");
     }
 
@@ -1036,14 +1200,22 @@ mod tests {
         let _g = obs_guard();
         // without the union-key assertion the Prop 3.4 side condition
         // fails: the rule must show up as blocked, not fired
-        let out = explain_cmd("pi[$1](diff(R, S))", None, None, Some(1), None).unwrap();
+        let out = explain_cmd("pi[$1](diff(R, S))", None, None, Some(1), None, None).unwrap();
         assert!(out.contains("blocked rewrites:"), "{out}");
         assert!(out.contains("ProjectThroughDifference"), "{out}");
         assert!(out.contains("Prop 3.4"), "{out}");
         // with the assertion the rule fires, but on narrow 2-column
         // tables the cost model keeps the original (the Series C
         // crossover) — explain must say so instead of "no rewrite fired"
-        let out = explain_cmd("pi[$1](diff(R, S))", None, Some("R,S:$1"), Some(1), None).unwrap();
+        let out = explain_cmd(
+            "pi[$1](diff(R, S))",
+            None,
+            Some("R,S:$1"),
+            Some(1),
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("cost model kept the original"), "{out}");
         assert!(!out.contains("no rewrite fired"), "{out}");
     }
@@ -1058,6 +1230,8 @@ mod tests {
             false,
             Some(1),
             None,
+            false,
+            None,
             None,
         )
         .unwrap();
@@ -1068,8 +1242,18 @@ mod tests {
             out.contains("misestimate (actual / estimated rows):"),
             "{out}"
         );
-        let out =
-            profile_cmd("pi[$1](union(R, S))", None, None, true, Some(1), None, None).unwrap();
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            true,
+            Some(1),
+            None,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         let parsed = genpar_obs::Json::parse(&out).expect("profile --json emits valid JSON");
         assert!(parsed.get("counters").is_some(), "{out}");
         assert!(parsed.get("spans").is_some(), "{out}");
@@ -1110,6 +1294,8 @@ mod tests {
             false,
             Some(4),
             None,
+            false,
+            None,
             None,
         )
         .unwrap();
@@ -1134,6 +1320,8 @@ mod tests {
             false,
             Some(4),
             Some(p),
+            false,
+            None,
             None,
         )
         .unwrap();
@@ -1160,6 +1348,8 @@ mod tests {
             true,
             Some(4),
             Some(p),
+            false,
+            None,
             None,
         )
         .unwrap();
@@ -1185,6 +1375,8 @@ mod tests {
             false,
             Some(1),
             Some(p),
+            false,
+            None,
             None,
         )
         .unwrap();
@@ -1230,7 +1422,7 @@ mod tests {
         );
         // explain picks the fitted calibration up via --calibration
         let _g = obs_guard();
-        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), Some(o)).unwrap();
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, Some(4), Some(o), None).unwrap();
         assert!(
             out.contains("route costs (calibration: 0.050/worker"),
             "{out}"
@@ -1254,16 +1446,240 @@ mod tests {
         let out = calibrate_cmd(bench.to_str().unwrap(), out_file.to_str().unwrap()).unwrap();
         assert!(out.contains("WARNING"), "{out}");
         assert!(out.contains("1 hardware thread"), "{out}");
+        // satellite: the flag is persisted in the file, not just printed
+        assert!(out.contains("unreliable: true"), "{out}");
+        let cal = Calibration::from_file(out_file.to_str().unwrap()).unwrap();
+        assert!(cal.unreliable, "unreliable flag must ride in the JSON");
+        let text = std::fs::read_to_string(&out_file).unwrap();
+        let j = genpar_obs::Json::parse(&text).unwrap();
+        assert!(
+            matches!(j.get("unreliable"), Some(genpar_obs::Json::Bool(true))),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stats_cmd_resets_and_shows_the_store() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_stats_cmd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("STATS.json");
+        let f = file.to_str().unwrap();
+        let out = stats_cmd("reset", f).unwrap();
+        assert!(out.contains("reset"), "{out}");
+        let out = stats_cmd("show", f).unwrap();
+        assert!(out.contains("0 catalog(s)"), "{out}");
+        // seed an entry past the trust threshold and show it
+        let mut store = StatsStore::load(f).unwrap();
+        for _ in 0..3 {
+            store
+                .catalog_mut("nominal")
+                .observe(0xabc, "plan.Filter", 100, 10);
+        }
+        store.save(f).unwrap();
+        let out = stats_cmd("show", f).unwrap();
+        assert!(out.contains("catalog 'nominal' (1 entries)"), "{out}");
+        assert!(out.contains("plan.Filter"), "{out}");
+        assert!(out.contains("0000000000000abc"), "{out}");
+        assert!(stats_cmd("frobnicate", f).is_err());
+        // a malformed store is a loud error, not a silent fresh start
+        std::fs::write(&file, "{\"schema_version\": 99}").unwrap();
+        assert!(stats_cmd("show", f).is_err());
+    }
+
+    #[test]
+    fn profile_harvests_stats_and_explain_consumes_them() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_stats_loop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("STATS.json");
+        let f = file.to_str().unwrap();
+        let _ = std::fs::remove_file(&file);
+        let _g = obs_guard();
+        // three profiled runs harvest plan.node_stats past MIN_SAMPLES
+        for i in 0..3 {
+            let out = profile_cmd(
+                "select[$1=$2](R)",
+                None,
+                None,
+                false,
+                Some(1),
+                None,
+                false,
+                None,
+                Some(f),
+            )
+            .unwrap();
+            assert!(
+                out.contains("node observations into"),
+                "run {i} harvested: {out}"
+            );
+        }
+        let store = StatsStore::load(f).unwrap();
+        let cat = store.catalog("nominal").expect("nominal catalog exists");
+        assert!(
+            cat.entries.values().any(|e| e.samples >= 3),
+            "entries matured: {:?}",
+            cat.entries
+        );
+        // explain now marks matured nodes observed — and keeps static for
+        // plan shapes the store has never seen (disjoint relation S)
+        let out = explain_cmd("select[$1=$2](R)", None, None, Some(1), None, Some(f)).unwrap();
+        assert!(out.contains("observed(n="), "{out}");
+        assert!(out.contains(&format!("stats:     {f}")), "{out}");
+        let out = explain_cmd("pi[$1](S)", None, None, Some(1), None, Some(f)).unwrap();
+        assert!(!out.contains("observed(n="), "{out}");
+        assert!(out.contains("[static]"), "{out}");
+        // the JSON profile reports the harvest block
+        let out = profile_cmd(
+            "select[$1=$2](R)",
+            None,
+            None,
+            true,
+            Some(1),
+            None,
+            false,
+            None,
+            Some(f),
+        )
+        .unwrap();
+        let parsed = genpar_obs::Json::parse(&out).unwrap();
+        let stats = parsed.get("stats").expect("stats block present");
+        assert_eq!(
+            stats.get("catalog").and_then(|v| v.as_str()),
+            Some("nominal")
+        );
+        assert!(stats.get("harvested").and_then(|v| v.as_int()).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn profile_timeline_records_real_instants() {
+        let _g = obs_guard();
+        let prev = genpar_obs::timeline::enabled();
+        // --timeline alone (no trace) records and reports, then restores
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            true,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("timeline:"), "{out}");
+        assert_eq!(genpar_obs::timeline::enabled(), prev, "flag restored");
+        // JSON form carries the timeline block
+        let out = profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            true,
+            Some(4),
+            None,
+            true,
+            None,
+            None,
+        )
+        .unwrap();
+        let parsed = genpar_obs::Json::parse(&out).unwrap();
+        let tl = parsed.get("timeline").expect("timeline block present");
+        assert!(
+            tl.get("events").and_then(|v| v.as_int()).unwrap_or(0) > 0,
+            "timeline recorded events: {out}"
+        );
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_int()),
+            Some(PROFILE_SCHEMA_VERSION as i128)
+        );
+    }
+
+    #[test]
+    fn profile_trace_emits_true_begin_end_pairs() {
+        let dir = std::env::temp_dir().join("genpar_cli_test_trace_tl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let p = path.to_str().unwrap();
+        let _g = obs_guard();
+        // --trace implies --timeline: the export must be real B/E pairs,
+        // not the synthetic flame layout of complete (ph: X) events
+        profile_cmd(
+            "pi[$1](union(R, S))",
+            None,
+            None,
+            false,
+            Some(4),
+            Some(p),
+            false,
+            None,
+            None,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = genpar_obs::Json::parse(&text).unwrap();
+        let events = trace
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        let ph = |e: &genpar_obs::Json| {
+            e.get("ph")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string()
+        };
+        let begins = events.iter().filter(|e| ph(e) == "B").count();
+        let ends = events.iter().filter(|e| ph(e) == "E").count();
+        assert!(begins > 0, "true-timeline B events present: {text}");
+        assert_eq!(begins, ends, "B/E balanced: {text}");
+        // worker lanes: morsel spans land on tid >= 1 (lane = wid + 1)
+        assert!(
+            events.iter().any(|e| {
+                ph(e) == "B" && e.get("tid").and_then(|v| v.as_int()).unwrap_or(0) >= 1
+            }),
+            "per-worker lanes present: {text}"
+        );
+        // every B event carries the query id stamped at executor entry
+        assert!(
+            events.iter().filter(|e| ph(e) == "B").all(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("query"))
+                    .and_then(|v| v.as_int())
+                    .is_some()
+            }),
+            "B events carry query ids: {text}"
+        );
     }
 
     #[test]
     fn profile_falls_back_to_the_interpreter() {
         let _g = obs_guard();
         // adom is complex-valued — not lowerable to the flat engine
-        let out = profile_cmd("adom(R)", None, None, false, Some(1), None, None).unwrap();
+        let out = profile_cmd(
+            "adom(R)",
+            None,
+            None,
+            false,
+            Some(1),
+            None,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("counters:"), "{out}");
         // at 4 workers the gate refuses it and records the fallback
-        let out = profile_cmd("adom(R)", None, None, false, Some(4), None, None).unwrap();
+        let out = profile_cmd(
+            "adom(R)",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("exec.fallback"), "{out}");
     }
 
@@ -1272,7 +1688,18 @@ mod tests {
         let _g = obs_guard();
         // at 4 workers `even` takes the combiner route: combine span and
         // histogram in the profile, no fallback anywhere
-        let out = profile_cmd("even(R)", None, None, false, Some(4), None, None).unwrap();
+        let out = profile_cmd(
+            "even(R)",
+            None,
+            None,
+            false,
+            Some(4),
+            None,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("exec.combine"), "{out}");
         assert!(!out.contains("exec.fallback"), "{out}");
         // a fixpoint profile shows the per-round spans and histogram
@@ -1286,6 +1713,8 @@ mod tests {
             None,
             false,
             Some(4),
+            None,
+            false,
             None,
             None,
         )
@@ -1314,7 +1743,9 @@ mod tests {
             false,
             Some(4),
             None,
+            false,
             Some(c),
+            None,
         )
         .unwrap();
         assert!(out.contains(&format!("persisted to {c}")), "{out}");
@@ -1340,7 +1771,9 @@ mod tests {
             false,
             Some(4),
             None,
+            false,
             Some(c),
+            None,
         )
         .unwrap();
         assert!(out2.contains("persisted to"), "{out2}");

@@ -167,9 +167,11 @@ USAGE:
   genpar run      '<query>' --db FILE [--parallel N]
   genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
   genpar explain  '<query>' [--db FILE] [--union-key R,S:$N] [--parallel N] [--calibration FILE]
+                  [--stats FILE]
   genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json] [--parallel N]
-                  [--trace FILE] [--calibration FILE]
+                  [--trace FILE] [--timeline] [--calibration FILE] [--stats FILE]
   genpar calibrate [--bench FILE] [--out FILE]
+  genpar stats    show|reset [--file FILE]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
@@ -181,8 +183,20 @@ USAGE:
   (recorded as an exec.fallback event).
   --trace FILE exports the run's spans/events as Chrome trace_event
   JSON (load in chrome://tracing or Perfetto; .jsonl ext for JSONL).
+  --timeline (or GENPAR_TIMELINE=1) records real begin/end instants in
+  per-worker ring buffers, so --trace emits a true timeline — morsel
+  scheduling, steals, fixpoint-round barriers on per-worker lanes,
+  stamped with a fresh query id per executor entry. --trace implies it.
   --calibration FILE loads measured cost-model parameters (see
   `genpar calibrate`, which fits them from BENCH_parallel.json).
+  --stats FILE (explain/profile) loads a persistent observed-statistics
+  store: per-plan-shape cardinality EWMAs override the static model's
+  guesses once an entry has >= 3 samples (explain marks each node
+  `static` or `observed(n=..)`). `profile --stats` also harvests the
+  run's plan.node_stats events back into FILE, so estimates improve
+  run over run. Stats only ever change the chosen *route* — answers
+  are identical with stats on or off. `genpar stats show|reset`
+  inspects or clears the store (default STATS.json).
   GENPAR_MORSEL=fixed:N pins the auto-tuned morsel size. `profile
   --calibration FILE` writes the converged morsel size back into the
   file (key `morsel_rows`); later runs preseed the tuner from it
@@ -258,6 +272,9 @@ pub enum Command {
         workers: Option<usize>,
         /// Optional calibration file for the parallel cost model.
         calibration: Option<String>,
+        /// Optional observed-statistics store consulted by the cost
+        /// model (entries with enough samples override static guesses).
+        stats: Option<String>,
     },
     /// `profile <query> ...` — run the query and dump the obs snapshot.
     Profile {
@@ -275,8 +292,15 @@ pub enum Command {
         /// Write the run's spans/events as a Chrome `trace_event` file
         /// (`.jsonl` extension switches to JSONL).
         trace: Option<String>,
+        /// Record real begin/end instants in the per-worker timeline
+        /// rings for this run (`--trace` implies it).
+        timeline: bool,
         /// Optional calibration file for the parallel cost model.
         calibration: Option<String>,
+        /// Optional observed-statistics store: consulted for routing
+        /// before the run, harvested from the run's `plan.node_stats`
+        /// events and written back after it.
+        stats: Option<String>,
     },
     /// `calibrate` — fit the parallel cost model from a bench JSON and
     /// write a calibration file.
@@ -285,6 +309,14 @@ pub enum Command {
         bench: String,
         /// Calibration file to write (default `CALIBRATION.json`).
         out: String,
+    },
+    /// `stats show|reset` — inspect or clear an observed-statistics
+    /// store file.
+    Stats {
+        /// `show` or `reset`.
+        action: String,
+        /// Store file (default `STATS.json`).
+        file: String,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -393,6 +425,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let union_key = take_flag(&mut rest, "--union-key");
             let workers = take_workers(&mut rest)?;
             let calibration = take_flag(&mut rest, "--calibration");
+            let stats = take_flag(&mut rest, "--stats");
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("explain needs a query"))?
@@ -403,6 +436,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 union_key,
                 workers,
                 calibration,
+                stats,
             })
         }
         "profile" => {
@@ -411,7 +445,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let json = take_switch(&mut rest, "--json");
             let workers = take_workers(&mut rest)?;
             let trace = take_flag(&mut rest, "--trace");
+            let timeline = take_switch(&mut rest, "--timeline");
             let calibration = take_flag(&mut rest, "--calibration");
+            let stats = take_flag(&mut rest, "--stats");
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("profile needs a query"))?
@@ -423,7 +459,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 json,
                 workers,
                 trace,
+                timeline,
                 calibration,
+                stats,
             })
         }
         "calibrate" => {
@@ -436,6 +474,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 )));
             }
             Ok(Command::Calibrate { bench, out })
+        }
+        "stats" => {
+            let file = take_flag(&mut rest, "--file").unwrap_or_else(|| "STATS.json".into());
+            let action = rest
+                .first()
+                .map(|s| s.to_string())
+                .ok_or_else(|| CliError::usage("stats needs an action: show|reset"))?;
+            if action != "show" && action != "reset" {
+                return Err(CliError::usage(format!(
+                    "stats action must be show or reset (got {action:?})"
+                )));
+            }
+            Ok(Command::Stats { action, file })
         }
         other => Err(CliError::usage(format!(
             "unknown command '{other}' (try --help)"
@@ -501,7 +552,8 @@ mod tests {
                 db: None,
                 union_key: None,
                 workers: None,
-                calibration: None
+                calibration: None,
+                stats: None
             }
         );
         assert_eq!(
@@ -513,7 +565,9 @@ mod tests {
                 json: true,
                 workers: None,
                 trace: None,
-                calibration: None
+                timeline: false,
+                calibration: None,
+                stats: None
             }
         );
         assert_eq!(
@@ -525,7 +579,9 @@ mod tests {
                 json: false,
                 workers: Some(8),
                 trace: None,
-                calibration: None
+                timeline: false,
+                calibration: None,
+                stats: None
             }
         );
         assert_eq!(
@@ -545,7 +601,9 @@ mod tests {
                 json: false,
                 workers: None,
                 trace: Some("out.json".into()),
-                calibration: Some("cal.json".into())
+                timeline: false,
+                calibration: Some("cal.json".into()),
+                stats: None
             }
         );
         assert_eq!(

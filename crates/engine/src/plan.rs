@@ -134,6 +134,27 @@ fn cells(rows: &BTreeSet<Vec<Value>>) -> u64 {
     rows.iter().map(|r| r.len() as u64).sum()
 }
 
+/// FNV-1a, the workspace's standard cheap stable hash (an independent
+/// copy — `genpar-exec`'s partitioning hash is private to its morsel
+/// module, and the two must be free to evolve separately).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
 impl PhysicalPlan {
     /// The obs span name of this operator node.
     pub fn op_name(&self) -> &'static str {
@@ -151,6 +172,62 @@ impl PhysicalPlan {
         }
     }
 
+    /// A stable structural fingerprint of this plan node: FNV-1a over the
+    /// operator name, its parameters (predicates, columns, join keys), and
+    /// the subtree below it. Two plan nodes hash equal exactly when they
+    /// denote the same operator shape over the same inputs, so the
+    /// fingerprint is a durable key for observed statistics (`STATS.json`)
+    /// across processes. `Values` hashes by row count only (a constant
+    /// relation's *shape* is its cardinality), and an opaque
+    /// `ValueFn::Custom` hashes as `<custom>` — both are deliberate
+    /// coarsenings that keep the key stable run-to-run.
+    pub fn fingerprint(&self) -> u64 {
+        fn feed(p: &PhysicalPlan, s: &mut String) {
+            use std::fmt::Write;
+            let _ = match p {
+                PhysicalPlan::Scan(n) => write!(s, "Scan({n})"),
+                PhysicalPlan::Values(rows) => write!(s, "Values({})", rows.len()),
+                PhysicalPlan::Filter(pred, a) => {
+                    let _ = write!(s, "Filter({pred:?})[");
+                    feed(a, s);
+                    write!(s, "]")
+                }
+                PhysicalPlan::Project(cols, a) => {
+                    let _ = write!(s, "Project({cols:?})[");
+                    feed(a, s);
+                    write!(s, "]")
+                }
+                PhysicalPlan::MapRows(f, a) => {
+                    let _ = write!(s, "MapRows({f:?})[");
+                    feed(a, s);
+                    write!(s, "]")
+                }
+                PhysicalPlan::HashJoin(on, a, b) => {
+                    let _ = write!(s, "HashJoin({on:?})[");
+                    feed(a, s);
+                    let _ = write!(s, ",");
+                    feed(b, s);
+                    write!(s, "]")
+                }
+                PhysicalPlan::Product(a, b)
+                | PhysicalPlan::Union(a, b)
+                | PhysicalPlan::Intersect(a, b)
+                | PhysicalPlan::Difference(a, b) => {
+                    let _ = write!(s, "{}[", p.op_name());
+                    feed(a, s);
+                    let _ = write!(s, ",");
+                    feed(b, s);
+                    write!(s, "]")
+                }
+            };
+        }
+        let mut rendered = String::new();
+        feed(self, &mut rendered);
+        let mut h = Fnv64::new();
+        h.write(rendered.as_bytes());
+        h.0
+    }
+
     /// Execute against a catalog, producing sorted deduplicated rows and
     /// work counters. The run is wrapped in an `engine.execute` obs span
     /// and the final [`ExecStats`] are folded into `engine.*` counters.
@@ -161,6 +238,10 @@ impl PhysicalPlan {
     /// [`ExecError::Internal`] instead of unwinding into the caller.
     pub fn execute(&self, catalog: &Catalog) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
         genpar_guard::faultpoint("engine.execute").map_err(ExecError::from_fault)?;
+        // every executor entry is a fresh query on the timeline: spans and
+        // events recorded below carry this id (nested executions — a
+        // sub-plan run inside another — get their own, by design)
+        let _q = genpar_obs::timeline::begin_query();
         let _sp = genpar_obs::span("engine.execute");
         let mut stats = ExecStats::default();
         let rows = genpar_guard::catch_panics(|| self.run(catalog, &mut stats))
@@ -183,10 +264,25 @@ impl PhysicalPlan {
         let op = self.op_name();
         genpar_guard::charge_steps(1, op).map_err(|b| budget_err(b, stats))?;
         let mut sp = genpar_obs::span(op);
-        let out = self.run_node(catalog, stats, &mut sp)?;
+        let mut rows_in = 0u64;
+        let out = self.run_node(catalog, stats, &mut sp, &mut rows_in)?;
         sp.field("rows_out", out.len() as u64);
         genpar_guard::charge_rows(out.len() as u64, op).map_err(|b| budget_err(b, stats))?;
         genpar_guard::charge_cells(cells(&out), op).map_err(|b| budget_err(b, stats))?;
+        // feed the observed-statistics loop: one event per node execution,
+        // keyed by the structural fingerprint, pairing what flowed in with
+        // what came out (the optimizer harvests selectivity from these)
+        if genpar_obs::enabled() {
+            genpar_obs::event(
+                "plan.node_stats",
+                [
+                    ("fp", genpar_obs::FieldValue::U64(self.fingerprint())),
+                    ("op", genpar_obs::FieldValue::Str(op.to_string())),
+                    ("rows_in", genpar_obs::FieldValue::U64(rows_in)),
+                    ("rows_out", genpar_obs::FieldValue::U64(out.len() as u64)),
+                ],
+            );
+        }
         Ok(out)
     }
 
@@ -195,6 +291,7 @@ impl PhysicalPlan {
         catalog: &Catalog,
         stats: &mut ExecStats,
         sp: &mut genpar_obs::SpanGuard,
+        rows_in: &mut u64,
     ) -> Result<BTreeSet<Vec<Value>>, ExecError> {
         // helper for predicate evaluation against the algebra evaluator
         let db = genpar_algebra::Db::with_standard_int();
@@ -205,18 +302,21 @@ impl PhysicalPlan {
                     .get(name)
                     .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
                 stats.rows_scanned += t.len() as u64;
-                sp.field("rows_in", t.len() as u64);
+                *rows_in = t.len() as u64;
+                sp.field("rows_in", *rows_in);
                 Ok(t.rows().cloned().collect())
             }
             PhysicalPlan::Values(rows) => {
                 // a constant relation is a row source just like a scan
                 stats.rows_scanned += rows.len() as u64;
-                sp.field("rows_in", rows.len() as u64);
+                *rows_in = rows.len() as u64;
+                sp.field("rows_in", *rows_in);
                 Ok(rows.iter().cloned().collect())
             }
             PhysicalPlan::Filter(p, inner) => {
                 let input = inner.run(catalog, stats)?;
-                sp.field("rows_in", input.len() as u64);
+                *rows_in = input.len() as u64;
+                sp.field("rows_in", *rows_in);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;
@@ -232,7 +332,8 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Project(cols, inner) => {
                 let input = inner.run(catalog, stats)?;
-                sp.field("rows_in", input.len() as u64);
+                *rows_in = input.len() as u64;
+                sp.field("rows_in", *rows_in);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;
@@ -252,7 +353,8 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin(on, left, right) => {
                 let l = left.run(catalog, stats)?;
                 let r = right.run(catalog, stats)?;
-                sp.field("rows_in", (l.len() + r.len()) as u64);
+                *rows_in = (l.len() + r.len()) as u64;
+                sp.field("rows_in", *rows_in);
                 let mut out = BTreeSet::new();
                 if let Some(&(i0, j0)) = on.first() {
                     let mut index: BTreeMap<&Value, Vec<&Vec<Value>>> = BTreeMap::new();
@@ -300,7 +402,8 @@ impl PhysicalPlan {
             PhysicalPlan::Product(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
-                sp.field("rows_in", (l.len() + r.len()) as u64);
+                *rows_in = (l.len() + r.len()) as u64;
+                sp.field("rows_in", *rows_in);
                 let mut out = BTreeSet::new();
                 for lrow in &l {
                     // quadratic growth: check the budget per outer row so
@@ -322,7 +425,8 @@ impl PhysicalPlan {
             PhysicalPlan::Union(a, b) => {
                 let mut l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
-                sp.field("rows_in", (l.len() + r.len()) as u64);
+                *rows_in = (l.len() + r.len()) as u64;
+                sp.field("rows_in", *rows_in);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 l.extend(r);
@@ -331,7 +435,8 @@ impl PhysicalPlan {
             PhysicalPlan::Intersect(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
-                sp.field("rows_in", (l.len() + r.len()) as u64);
+                *rows_in = (l.len() + r.len()) as u64;
+                sp.field("rows_in", *rows_in);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 Ok(l.intersection(&r).cloned().collect())
@@ -339,14 +444,16 @@ impl PhysicalPlan {
             PhysicalPlan::Difference(a, b) => {
                 let l = a.run(catalog, stats)?;
                 let r = b.run(catalog, stats)?;
-                sp.field("rows_in", (l.len() + r.len()) as u64);
+                *rows_in = (l.len() + r.len()) as u64;
+                sp.field("rows_in", *rows_in);
                 stats.rows_processed += (l.len() + r.len()) as u64;
                 stats.cells_processed += cells(&l) + cells(&r);
                 Ok(l.difference(&r).cloned().collect())
             }
             PhysicalPlan::MapRows(f, inner) => {
                 let input = inner.run(catalog, stats)?;
-                sp.field("rows_in", input.len() as u64);
+                *rows_in = input.len() as u64;
+                sp.field("rows_in", *rows_in);
                 let mut out = BTreeSet::new();
                 for row in input {
                     stats.rows_processed += 1;

@@ -9,7 +9,7 @@
 //! and cells, mirroring the serial engine's per-node charges.
 //!
 //! Every task is wall-clock timed into the `exec.morsel_us` histogram,
-//! and chunk-based kernels feed each batch's mean latency back to the
+//! and chunk-based kernels feed each batch's p95 latency back to the
 //! global [`crate::tune::MorselTuner`] so the morsel size converges on
 //! the ~100µs/task sweet spot.
 
@@ -20,7 +20,7 @@ use genpar_engine::plan::{ExecError, ExecStats};
 use genpar_guard::SharedMeter;
 use genpar_value::{canonical_rows, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Rows in flight between operators (canonical: sorted, deduplicated).
 pub(crate) type Rows = Vec<Vec<Value>>;
@@ -49,9 +49,13 @@ enum TaskKind {
 }
 
 /// Run a kernel's tasks on the pool with each task wall-clock timed into
-/// the `exec.morsel_us` histogram. Morsel-kind batches additionally
-/// report their mean latency to the global tuner, which may resize
-/// `morsel_rows` for the *next* batch (and emits `exec.retune`).
+/// the `exec.morsel_us` histogram (and, when the timeline recorder is
+/// on, a real begin/end record per task on its worker's lane).
+/// Morsel-kind batches additionally report their batch **p95** latency
+/// to the global tuner, which may resize `morsel_rows` for the *next*
+/// batch (and emits `exec.retune`). p95 rather than the mean: a few
+/// slow outlier morsels (a skewed partition, a cold cache) should grow
+/// the batch verdict, not be averaged away by many fast ones.
 fn run_timed<T, F>(
     ctx: &Ctx,
     kind: TaskKind,
@@ -63,18 +67,29 @@ where
     F: Fn(usize, T) -> Result<(Rows, ExecStats), ExecError> + Sync,
 {
     let hist = genpar_obs::histogram("exec.morsel_us");
-    let n = tasks.len() as u64;
-    let total_us = AtomicU64::new(0);
+    let tune_batch = matches!(kind, TaskKind::Morsel) && ctx.cfg.auto_tune;
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let parts = pool::run_tasks(ctx.cfg.workers, tasks, |i, t| {
         let start = std::time::Instant::now();
         let out = f(i, t);
-        let us = start.elapsed().as_micros() as u64;
+        let end = std::time::Instant::now();
+        genpar_obs::timeline::record_span("exec.morsel", start, end);
+        let us = end.duration_since(start).as_micros() as u64;
         hist.record(us);
-        total_us.fetch_add(us, Ordering::Relaxed);
+        if tune_batch {
+            match samples.lock() {
+                Ok(mut s) => s.push(us),
+                Err(p) => p.into_inner().push(us),
+            }
+        }
         out
     })?;
-    if matches!(kind, TaskKind::Morsel) && ctx.cfg.auto_tune {
-        tune::tuner().observe_batch(n, total_us.load(Ordering::Relaxed));
+    if tune_batch {
+        let s = match samples.into_inner() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        tune::tuner().observe_batch(&s);
     }
     Ok(parts)
 }

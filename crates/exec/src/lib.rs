@@ -172,6 +172,9 @@ impl EvalParallel for PhysicalPlan {
             // charging, engine.* spans) is already exactly right
             return self.execute(catalog);
         }
+        // a parallel run is a fresh query on the timeline; pool workers
+        // stamp the same id on every span they record for it
+        let _q = genpar_obs::timeline::begin_query();
         let mut sp = genpar_obs::span("exec.parallel");
         sp.field("workers", cfg.workers as u64);
         sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
@@ -200,39 +203,45 @@ fn run_plan(
 ) -> Result<Rows, ExecError> {
     let op = plan.op_name();
     let mut sp = genpar_obs::span(op);
+    let mut rows_in = 0u64;
     let out: Rows = match plan {
         PhysicalPlan::Scan(name) => {
             let t = catalog
                 .get(name)
                 .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
             stats.rows_scanned += t.len() as u64;
-            sp.field("rows_in", t.len() as u64);
+            rows_in = t.len() as u64;
+            sp.field("rows_in", rows_in);
             charge_source(ctx, t.len() as u64, op, stats)?;
             t.rows().cloned().collect()
         }
         PhysicalPlan::Values(rows) => {
             stats.rows_scanned += rows.len() as u64;
-            sp.field("rows_in", rows.len() as u64);
+            rows_in = rows.len() as u64;
+            sp.field("rows_in", rows_in);
             charge_source(ctx, rows.len() as u64, op, stats)?;
             genpar_value::canonical_rows(rows.iter().cloned())
         }
         PhysicalPlan::Filter(p, a) => {
             let input = run_plan(a, catalog, ctx, stats)?;
-            sp.field("rows_in", input.len() as u64);
+            rows_in = input.len() as u64;
+            sp.field("rows_in", rows_in);
             let (rows, s) = kernels::par_filter(input, p, ctx)?;
             kernels::add_stats(stats, &s);
             rows
         }
         PhysicalPlan::Project(cols, a) => {
             let input = run_plan(a, catalog, ctx, stats)?;
-            sp.field("rows_in", input.len() as u64);
+            rows_in = input.len() as u64;
+            sp.field("rows_in", rows_in);
             let (rows, s) = kernels::par_project(input, cols, ctx)?;
             kernels::add_stats(stats, &s);
             rows
         }
         PhysicalPlan::MapRows(f, a) => {
             let input = run_plan(a, catalog, ctx, stats)?;
-            sp.field("rows_in", input.len() as u64);
+            rows_in = input.len() as u64;
+            sp.field("rows_in", rows_in);
             let (rows, s) = kernels::par_map(input, f, ctx)?;
             kernels::add_stats(stats, &s);
             rows
@@ -240,7 +249,8 @@ fn run_plan(
         PhysicalPlan::HashJoin(on, a, b) => {
             let l = run_plan(a, catalog, ctx, stats)?;
             let r = run_plan(b, catalog, ctx, stats)?;
-            sp.field("rows_in", (l.len() + r.len()) as u64);
+            rows_in = (l.len() + r.len()) as u64;
+            sp.field("rows_in", rows_in);
             let (rows, s) = kernels::par_join(l, r, on, ctx)?;
             kernels::add_stats(stats, &s);
             rows
@@ -248,20 +258,56 @@ fn run_plan(
         PhysicalPlan::Product(a, b) => {
             let l = run_plan(a, catalog, ctx, stats)?;
             let r = run_plan(b, catalog, ctx, stats)?;
-            sp.field("rows_in", (l.len() + r.len()) as u64);
+            rows_in = (l.len() + r.len()) as u64;
+            sp.field("rows_in", rows_in);
             let (rows, s) = kernels::par_product(l, r, ctx, "plan.Product")?;
             kernels::add_stats(stats, &s);
             rows
         }
-        PhysicalPlan::Union(..) => setop_node(plan, SetOp::Union, catalog, ctx, stats, &mut sp)?,
-        PhysicalPlan::Intersect(..) => {
-            setop_node(plan, SetOp::Intersect, catalog, ctx, stats, &mut sp)?
-        }
-        PhysicalPlan::Difference(..) => {
-            setop_node(plan, SetOp::Difference, catalog, ctx, stats, &mut sp)?
-        }
+        PhysicalPlan::Union(..) => setop_node(
+            plan,
+            SetOp::Union,
+            catalog,
+            ctx,
+            stats,
+            &mut sp,
+            &mut rows_in,
+        )?,
+        PhysicalPlan::Intersect(..) => setop_node(
+            plan,
+            SetOp::Intersect,
+            catalog,
+            ctx,
+            stats,
+            &mut sp,
+            &mut rows_in,
+        )?,
+        PhysicalPlan::Difference(..) => setop_node(
+            plan,
+            SetOp::Difference,
+            catalog,
+            ctx,
+            stats,
+            &mut sp,
+            &mut rows_in,
+        )?,
     };
     sp.field("rows_out", out.len() as u64);
+    // the same observed-statistics feed the serial engine emits: one
+    // event per node execution keyed by the structural fingerprint (the
+    // routes agree on row counts by construction, so either path can
+    // train the optimizer's store)
+    if genpar_obs::enabled() {
+        genpar_obs::event(
+            "plan.node_stats",
+            [
+                ("fp", FieldValue::U64(plan.fingerprint())),
+                ("op", FieldValue::Str(op.to_string())),
+                ("rows_in", FieldValue::U64(rows_in)),
+                ("rows_out", FieldValue::U64(out.len() as u64)),
+            ],
+        );
+    }
     Ok(out)
 }
 
@@ -272,6 +318,7 @@ fn setop_node(
     ctx: &Ctx,
     stats: &mut ExecStats,
     sp: &mut genpar_obs::SpanGuard,
+    rows_in: &mut u64,
 ) -> Result<Rows, ExecError> {
     let (a, b) = match plan {
         PhysicalPlan::Union(a, b)
@@ -286,7 +333,8 @@ fn setop_node(
     };
     let l = run_plan(a, catalog, ctx, stats)?;
     let r = run_plan(b, catalog, ctx, stats)?;
-    sp.field("rows_in", (l.len() + r.len()) as u64);
+    *rows_in = (l.len() + r.len()) as u64;
+    sp.field("rows_in", *rows_in);
     let (rows, s) = kernels::par_setop(l, r, op, ctx)?;
     kernels::add_stats(stats, &s);
     Ok(rows)

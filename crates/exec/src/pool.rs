@@ -80,16 +80,26 @@ where
             let (deques, slots, results) = (&deques, &slots, &results);
             let (first_err, stop, f) = (&first_err, &stop, &f);
             s.spawn(move || {
+                // worker wid records on timeline lane wid + 1 (lane 0
+                // is the main thread)
+                genpar_obs::timeline::set_lane(wid as u32 + 1);
                 let mut sp = genpar_obs::span("exec.worker");
                 sp.field("worker", wid as u64);
                 let mut done = 0u64;
                 let mut steals = 0u64;
                 while !stop.load(Ordering::Acquire) {
+                    let before = steals;
                     let Some(idx) =
                         pop_own(deques, wid).or_else(|| steal(deques, wid, &mut steals))
                     else {
                         break;
                     };
+                    if steals > before {
+                        genpar_obs::timeline::record_instant(
+                            "exec.steal",
+                            std::time::Instant::now(),
+                        );
+                    }
                     let Some(item) = lock(&slots[idx]).take() else {
                         continue;
                     };

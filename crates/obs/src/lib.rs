@@ -32,10 +32,17 @@
 //! recording call is one relaxed atomic load and an immediate return —
 //! the overhead bench (`genpar-bench`, `obs_overhead`) asserts this is
 //! near-zero relative to per-operator work.
+//!
+//! The [`timeline`] module adds a second, separately-gated layer
+//! (`GENPAR_TIMELINE` / [`timeline::set_enabled`]): per-thread ring
+//! buffers of real span begin/end instants with worker lanes and
+//! per-query ids, exported as genuine Chrome `trace_event` B/E pairs by
+//! [`trace`].
 
 mod histogram;
 pub mod json;
 mod registry;
+pub mod timeline;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
@@ -44,6 +51,7 @@ pub use registry::{
     Event, FieldValue, HistogramHandle, Registry, Snapshot, SpanGuard, SpanNode,
     DEFAULT_EVENT_CAPACITY,
 };
+pub use timeline::{QueryId, TimelineEvent, TimelineKind, TimelineSnapshot};
 
 use std::sync::OnceLock;
 
@@ -118,9 +126,11 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Clear the global registry (counters, spans, events; keeps the enabled
-/// flag). Call before a run whose metrics you want in isolation.
+/// flag) and the timeline rings. Call before a run whose metrics you
+/// want in isolation.
 pub fn reset() {
     global().reset();
+    timeline::reset();
 }
 
 #[cfg(test)]

@@ -356,14 +356,22 @@ impl Registry {
             inner.events.pop_front();
             inner.events_dropped += 1;
         }
+        let mut fields: Vec<(String, FieldValue)> = fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        // with the timeline on, every event carries the current query id
+        if crate::timeline::enabled() {
+            let q = crate::timeline::current_query();
+            if q > 0 {
+                fields.push(("query".to_string(), FieldValue::U64(q)));
+            }
+        }
         inner.events.push_back(Event {
             seq,
             at_micros,
             kind: kind.to_string(),
-            fields: fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            fields,
         });
     }
 
@@ -384,6 +392,7 @@ impl Registry {
         SpanGuard {
             active: Some(ActiveSpan {
                 registry: self.clone(),
+                name: name.to_string(),
                 depth,
                 start: Instant::now(),
                 fields: Vec::new(),
@@ -446,6 +455,7 @@ impl Registry {
 
 struct ActiveSpan {
     registry: Registry,
+    name: String,
     depth: usize,
     start: Instant,
     fields: Vec<(String, u64)>,
@@ -471,7 +481,13 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(a) = self.active.take() {
-            let elapsed = a.start.elapsed();
+            let end = Instant::now();
+            // true-timeline record first (lock-free ring, gated off by
+            // default) — the aggregated tree below takes the mutex
+            if crate::timeline::enabled() {
+                crate::timeline::record_span(&a.name, a.start, end);
+            }
+            let elapsed = end.duration_since(a.start);
             a.registry.close_span(a.depth, elapsed, &a.fields);
         }
     }

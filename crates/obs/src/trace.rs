@@ -1,29 +1,40 @@
-//! Export a [`Snapshot`] as a Chrome `trace_event` document.
+//! Export a [`Snapshot`] (and, when recorded, the true timeline) as a
+//! Chrome `trace_event` document.
 //!
-//! Two renderings of the same data:
+//! Two renderings:
 //!
 //! * [`chrome_trace`] — the `{"traceEvents": [...]}` object format that
 //!   `chrome://tracing` and Perfetto load directly.
 //! * [`jsonl`] — the same events, one JSON object per line (newline-
 //!   delimited), for `jq`-style stream processing.
 //!
-//! The registry aggregates spans by call-tree position (it does not keep
-//! every begin/end timestamp), so span nodes are exported as **complete**
-//! events (`"ph": "X"`) laid out sequentially: a node starts where its
-//! previous sibling ended and lasts its *total* accumulated time. The
-//! result reads as a flame graph of where time went, not a literal
-//! timeline of when. Ring-buffer events carry real timestamps and are
-//! exported as **instant** events (`"ph": "i"`) at their true
-//! `at_micros`, on their own thread row.
+//! **With the timeline recorder on** (`GENPAR_TIMELINE` /
+//! [`crate::timeline::set_enabled`]), the export is a *real* timeline:
+//! every recorded span instance becomes a genuine begin/end pair
+//! (`"ph": "B"` / `"ph": "E"`) at its measured instants, on a `tid` row
+//! per worker lane (0 = main thread, `N` = pool worker `N−1`), with the
+//! owning [`crate::timeline::QueryId`] in `args.query`. Morsel
+//! scheduling, steal instants, fixpoint-round barriers and combiner
+//! folds all land where they actually happened.
+//!
+//! **Without timeline records**, the export falls back to the synthetic
+//! flame *layout*: the registry aggregates spans by call-tree position
+//! (no per-instance timestamps), so span nodes are laid out sequentially
+//! as complete events (`"ph": "X"`) — a flame graph of where time went,
+//! not of when. Ring-buffer events are exported as instants
+//! (`"ph": "i"`) at their true `at_micros` in fallback mode; the real
+//! timeline records its own instants (steals, barriers) natively
+//! instead, since the registry and timeline epochs differ.
 
 use crate::json::Json;
 use crate::registry::{Event, Snapshot, SpanNode};
+use crate::timeline::{TimelineEvent, TimelineKind, TimelineSnapshot};
 
 /// Synthetic pid for all exported events.
 const PID: i128 = 1;
-/// Thread row for the aggregated span layout.
+/// Thread row for the aggregated span layout (fallback mode).
 const TID_SPANS: i128 = 1;
-/// Thread row for ring-buffer instant events.
+/// Thread row for ring-buffer instant events (fallback mode).
 const TID_EVENTS: i128 = 2;
 
 fn span_events(node: &SpanNode, start_us: f64, out: &mut Vec<Json>) -> f64 {
@@ -84,17 +95,21 @@ fn thread_name(tid: i128, name: &str) -> Json {
     ])
 }
 
-/// All trace events of a snapshot, in emission order: metadata, the span
-/// flame layout, then ring events by timestamp.
-fn trace_events(snap: &Snapshot) -> Vec<Json> {
+fn process_name() -> Json {
+    Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(TID_SPANS)),
+        ("args", Json::obj([("name", Json::str("genpar"))])),
+    ])
+}
+
+/// Fallback trace events: metadata, the span flame layout, then ring
+/// events by timestamp.
+fn synthetic_events(snap: &Snapshot) -> Vec<Json> {
     let mut out = vec![
-        Json::obj([
-            ("name", Json::str("process_name")),
-            ("ph", Json::str("M")),
-            ("pid", Json::Int(PID)),
-            ("tid", Json::Int(TID_SPANS)),
-            ("args", Json::obj([("name", Json::str("genpar"))])),
-        ]),
+        process_name(),
         thread_name(TID_SPANS, "spans (aggregated)"),
         thread_name(TID_EVENTS, "events"),
     ];
@@ -108,24 +123,125 @@ fn trace_events(snap: &Snapshot) -> Vec<Json> {
     out
 }
 
-/// Render a snapshot as a Chrome `trace_event` JSON object
-/// (`chrome://tracing` / Perfetto loadable).
-pub fn chrome_trace(snap: &Snapshot) -> Json {
+fn lane_name(lane: u32) -> String {
+    if lane == 0 {
+        "main".to_string()
+    } else {
+        format!("worker-{}", lane - 1)
+    }
+}
+
+fn begin_event(e: &TimelineEvent) -> Json {
     Json::obj([
-        ("traceEvents", Json::Arr(trace_events(snap))),
-        ("displayTimeUnit", Json::str("ms")),
+        ("name", Json::str(&e.name)),
+        ("ph", Json::str("B")),
+        ("ts", Json::Num(e.begin_ns as f64 / 1e3)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(e.lane as i128)),
+        ("args", Json::obj([("query", Json::Int(e.query as i128))])),
     ])
 }
 
-/// [`chrome_trace`] as text.
-pub fn chrome_trace_string(snap: &Snapshot) -> String {
-    chrome_trace(snap).to_string()
+fn end_event(e: &TimelineEvent) -> Json {
+    Json::obj([
+        ("name", Json::str(&e.name)),
+        ("ph", Json::str("E")),
+        ("ts", Json::Num(e.end_ns as f64 / 1e3)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(e.lane as i128)),
+    ])
 }
 
-/// Render a snapshot's trace events as JSONL: one JSON object per line.
-pub fn jsonl(snap: &Snapshot) -> String {
+fn timeline_instant(e: &TimelineEvent) -> Json {
+    Json::obj([
+        ("name", Json::str(&e.name)),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")),
+        ("ts", Json::Num(e.begin_ns as f64 / 1e3)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(e.lane as i128)),
+        ("args", Json::obj([("query", Json::Int(e.query as i128))])),
+    ])
+}
+
+/// Real-timeline trace events: per-lane metadata, then matched B/E
+/// pairs. Within a lane the recorder's intervals are nested or disjoint
+/// (one thread runs one span at a time), so a single stack sweep over
+/// the `(begin asc, end desc)`-sorted events emits every `E` at its
+/// measured end instant, properly nested for Chrome's validator.
+fn timeline_events(tl: &TimelineSnapshot) -> Vec<Json> {
+    let mut out = vec![process_name()];
+    let mut lanes: Vec<u32> = tl.events.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for &lane in &lanes {
+        out.push(thread_name(lane as i128, &lane_name(lane)));
+    }
+    let mut stack: Vec<&TimelineEvent> = Vec::new();
+    let mut cur_lane: Option<u32> = None;
+    let flush = |stack: &mut Vec<&TimelineEvent>, out: &mut Vec<Json>| {
+        while let Some(top) = stack.pop() {
+            out.push(end_event(top));
+        }
+    };
+    for e in &tl.events {
+        if cur_lane != Some(e.lane) {
+            flush(&mut stack, &mut out);
+            cur_lane = Some(e.lane);
+        }
+        // close every open span that ended before this record starts
+        while let Some(top) = stack.last() {
+            if top.end_ns <= e.begin_ns {
+                out.push(end_event(top));
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        match e.kind {
+            TimelineKind::Instant => out.push(timeline_instant(e)),
+            TimelineKind::Span => {
+                out.push(begin_event(e));
+                stack.push(e);
+            }
+        }
+    }
+    flush(&mut stack, &mut out);
+    out
+}
+
+fn all_events(snap: &Snapshot, tl: &TimelineSnapshot) -> Vec<Json> {
+    if tl.events.is_empty() {
+        synthetic_events(snap)
+    } else {
+        timeline_events(tl)
+    }
+}
+
+/// Render a snapshot (plus timeline, when recorded) as a Chrome
+/// `trace_event` JSON object (`chrome://tracing` / Perfetto loadable).
+/// With timeline events present the export is real B/E pairs on
+/// per-worker lanes; otherwise the synthetic flame layout.
+pub fn chrome_trace(snap: &Snapshot, tl: &TimelineSnapshot) -> Json {
+    let mut fields = vec![
+        ("traceEvents".to_string(), Json::Arr(all_events(snap, tl))),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+    ];
+    if !tl.events.is_empty() {
+        fields.push(("timelineDropped".to_string(), Json::Int(tl.dropped as i128)));
+    }
+    Json::Obj(fields)
+}
+
+/// [`chrome_trace`] as text.
+pub fn chrome_trace_string(snap: &Snapshot, tl: &TimelineSnapshot) -> String {
+    chrome_trace(snap, tl).to_string()
+}
+
+/// Render the trace events as JSONL: one JSON object per line.
+pub fn jsonl(snap: &Snapshot, tl: &TimelineSnapshot) -> String {
     let mut out = String::new();
-    for e in trace_events(snap) {
+    for e in all_events(snap, tl) {
         out.push_str(&e.to_string());
         out.push('\n');
     }
@@ -156,10 +272,48 @@ mod tests {
         reg.snapshot()
     }
 
+    fn no_tl() -> TimelineSnapshot {
+        TimelineSnapshot::default()
+    }
+
+    /// A hand-built timeline: two lanes, nested spans on lane 0, a
+    /// morsel + steal on lane 1.
+    fn sample_timeline() -> TimelineSnapshot {
+        let ev = |name: &str, lane, begin_ns, end_ns, kind| TimelineEvent {
+            name: name.to_string(),
+            lane,
+            query: 7,
+            begin_ns,
+            end_ns,
+            kind,
+        };
+        let mut events = vec![
+            ev("exec.parallel", 0, 100, 10_000, TimelineKind::Span),
+            ev("exec.fixpoint_round", 0, 200, 4_000, TimelineKind::Span),
+            ev("exec.fixpoint_round", 0, 4_500, 9_000, TimelineKind::Span),
+            ev("exec.morsel", 1, 300, 2_000, TimelineKind::Span),
+            ev("exec.steal", 1, 2_100, 2_100, TimelineKind::Instant),
+            ev("exec.morsel", 1, 2_200, 3_500, TimelineKind::Span),
+        ];
+        events.sort_by(|a, b| {
+            (a.lane, a.begin_ns, std::cmp::Reverse(a.end_ns)).cmp(&(
+                b.lane,
+                b.begin_ns,
+                std::cmp::Reverse(b.end_ns),
+            ))
+        });
+        TimelineSnapshot {
+            events,
+            dropped: 0,
+            written: 6,
+            capacity_per_thread: 8192,
+        }
+    }
+
     #[test]
-    fn chrome_trace_is_loadable_json_with_all_events() {
+    fn fallback_chrome_trace_is_loadable_json_with_all_events() {
         let snap = sample_snapshot();
-        let text = chrome_trace_string(&snap);
+        let text = chrome_trace_string(&snap, &no_tl());
         let parsed = Json::parse(&text).expect("trace parses");
         let events = parsed
             .get("traceEvents")
@@ -185,9 +339,9 @@ mod tests {
     }
 
     #[test]
-    fn children_are_laid_out_inside_their_parent() {
+    fn fallback_children_are_laid_out_inside_their_parent() {
         let snap = sample_snapshot();
-        let j = chrome_trace(&snap);
+        let j = chrome_trace(&snap, &no_tl());
         let events = j.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
         let get = |name: &str| {
             events
@@ -213,10 +367,93 @@ mod tests {
     #[test]
     fn jsonl_is_one_object_per_line() {
         let snap = sample_snapshot();
-        let text = jsonl(&snap);
+        let text = jsonl(&snap, &no_tl());
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 7);
         for line in lines {
+            Json::parse(line).expect("each JSONL line parses");
+        }
+    }
+
+    #[test]
+    fn timeline_export_emits_balanced_nested_be_pairs() {
+        let snap = sample_snapshot();
+        let j = chrome_trace(&snap, &sample_timeline());
+        let events = j.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // no synthetic X events in timeline mode
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(|p| p.as_str()) != Some("X")));
+        // per tid: B/E balanced and properly nested (a stack never
+        // underflows, and every E matches the innermost open B's name)
+        use std::collections::HashMap;
+        let mut stacks: HashMap<i128, Vec<&str>> = HashMap::new();
+        let mut b_count = 0;
+        for e in events {
+            let ph = e.get("ph").and_then(|p| p.as_str()).unwrap();
+            let tid = e.get("tid").and_then(|t| t.as_int()).unwrap_or(0);
+            let name = e.get("name").and_then(|n| n.as_str()).unwrap();
+            match ph {
+                "B" => {
+                    b_count += 1;
+                    stacks.entry(tid).or_default().push(name);
+                }
+                "E" => {
+                    let top = stacks.entry(tid).or_default().pop();
+                    assert_eq!(top, Some(name), "E matches innermost B");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(b_count, 5, "five span instances exported");
+        assert!(stacks.values().all(|s| s.is_empty()), "all spans closed");
+        // the two fixpoint rounds are distinct B events with real begins
+        let rounds: Vec<f64> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("B")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("exec.fixpoint_round")
+            })
+            .map(|e| match e.get("ts") {
+                Some(Json::Num(n)) => *n,
+                _ => panic!("B has ts"),
+            })
+            .collect();
+        assert_eq!(rounds.len(), 2);
+        assert!(rounds[1] > rounds[0], "rounds at distinct instants");
+        // worker lane carries the steal instant and the query id
+        let steal = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("exec.steal"))
+            .unwrap();
+        assert_eq!(steal.get("tid").unwrap().as_int(), Some(1));
+        assert_eq!(
+            steal.get("args").unwrap().get("query").unwrap().as_int(),
+            Some(7)
+        );
+        // lanes are named
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    == Some("worker-0")
+        }));
+    }
+
+    #[test]
+    fn timeline_jsonl_matches_object_form() {
+        let snap = sample_snapshot();
+        let tl = sample_timeline();
+        let text = jsonl(&snap, &tl);
+        let obj = chrome_trace(&snap, &tl);
+        let n = obj
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .len();
+        assert_eq!(text.lines().count(), n);
+        for line in text.lines() {
             Json::parse(line).expect("each JSONL line parses");
         }
     }

@@ -38,12 +38,30 @@
 //!
 //! A single-workload bench varies only `w`, so the two parameters are
 //! colinear (both scale with `w−1`) and only their combined slope is
-//! identifiable. The fit therefore attributes the slope to `c` (least
+//! identifiable. The bench therefore tags each result with its workload
+//! `shape` and serial model cost `model_cost_cells`, and with **two or
+//! more** distinct shapes present the fit separates the parameters:
+//! dividing the model by `C` gives
+//!
+//! ```text
+//! 1/speedup_w − 1/w  =  (w−1)·(c + s/C_shape)
+//! ```
+//!
+//! i.e. a two-regressor least-squares problem with `x₁ = w−1` and
+//! `x₂ = (w−1)/C_shape`, solved by the 2×2 normal equations. A
+//! scan-heavy shape (large `C`, slope ≈ `c`) and a fixpoint shape (many
+//! small rounds, slope dominated by `s/C`) pull the regressors apart.
+//! With fewer than two costed shapes — or an ill-conditioned system —
+//! the fit falls back to attributing the whole slope to `c` (least
 //! squares over `1/speedup_w − 1/w = c·(w−1)`) and leaves `s` as
-//! configured — separating them needs benches at multiple workload
-//! sizes, which the file format already accommodates.
+//! configured, exactly the historical behaviour.
+//!
+//! A machine with fewer than two hardware threads cannot produce real
+//! contention, so `genpar calibrate` marks the result
+//! [`Calibration::unreliable`] — the flag rides along in
+//! `CALIBRATION.json` and consumers may warn or refuse.
 
-use crate::cost::{estimate, Estimate};
+use crate::cost::Estimate;
 use genpar_algebra::Query;
 use genpar_engine::Catalog;
 use genpar_obs::Json;
@@ -62,6 +80,11 @@ pub struct Calibration {
     pub overhead_per_worker: f64,
     /// Fixed per-extra-worker cost, in cell units.
     pub startup_cost_cells: f64,
+    /// Was this calibration measured under conditions that cannot
+    /// reflect real parallel contention (fewer than two hardware
+    /// threads)? Persisted in `CALIBRATION.json`; consumers should warn
+    /// loudly when it is set.
+    pub unreliable: bool,
 }
 
 impl Default for Calibration {
@@ -72,6 +95,7 @@ impl Default for Calibration {
         Calibration {
             overhead_per_worker: DEFAULT_OVERHEAD_PER_WORKER,
             startup_cost_cells: 0.0,
+            unreliable: false,
         }
     }
 }
@@ -105,20 +129,24 @@ impl Calibration {
         Some(self.startup_cost_cells * (w - 1.0) / denom)
     }
 
-    /// Fit the overhead fraction from a `BENCH_parallel.json` document
-    /// (schema: `{"results": [{"workers": N, "speedup": S, ...}, ...]}`).
-    /// Least squares over the `workers > 1` points; the startup term is
-    /// carried over from `self` (see module docs on identifiability).
-    /// Errors when the document has no usable points.
+    /// Fit the model from a `BENCH_parallel.json` document (schema:
+    /// `{"results": [{"workers": N, "speedup": S, "shape": "scan",
+    /// "model_cost_cells": C, ...}, ...]}`).
+    ///
+    /// With two or more distinct `shape`s carrying a positive
+    /// `model_cost_cells`, both `overhead_per_worker` **and**
+    /// `startup_cost_cells` are fit via the 2×2 normal equations (see
+    /// module docs). Otherwise — legacy single-shape documents, or an
+    /// ill-conditioned system — least squares attributes the slope to
+    /// the overhead fraction alone and the startup term is carried over
+    /// from `self`. Errors when the document has no usable points.
     pub fn fit_from_bench(&self, bench: &Json) -> Result<Calibration, String> {
         let results = bench
             .get("results")
             .and_then(|r| r.as_arr())
             .ok_or_else(|| "bench JSON has no \"results\" array".to_string())?;
-        // model: 1/speedup_w − 1/w = c·(w−1); least squares for c
-        let mut num = 0.0f64;
-        let mut den = 0.0f64;
-        let mut points = 0usize;
+        // usable point: (w, y = 1/speedup − 1/w, serial model cost, shape)
+        let mut points: Vec<(f64, f64, Option<f64>, Option<String>)> = Vec::new();
         for r in results {
             let w = match r.get("workers").and_then(|v| v.as_int()) {
                 Some(w) if w > 1 => w as f64,
@@ -129,20 +157,65 @@ impl Calibration {
                 Some(Json::Int(s)) if *s > 0 => *s as f64,
                 _ => continue,
             };
-            let y = 1.0 / s - 1.0 / w;
+            let cost = match r.get("model_cost_cells") {
+                Some(Json::Num(c)) if *c > 0.0 => Some(*c),
+                Some(Json::Int(c)) if *c > 0 => Some(*c as f64),
+                _ => None,
+            };
+            let shape = r
+                .get("shape")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string());
+            points.push((w, 1.0 / s - 1.0 / w, cost, shape));
+        }
+        if points.is_empty() {
+            return Err("no multi-worker points with positive speedup in bench JSON".to_string());
+        }
+        // the two-parameter fit needs at least two distinct costed shapes
+        let costed_shapes: std::collections::BTreeSet<&str> = points
+            .iter()
+            .filter(|(_, _, c, _)| c.is_some())
+            .filter_map(|(_, _, _, sh)| sh.as_deref())
+            .collect();
+        if costed_shapes.len() >= 2 {
+            // regressors: x1 = w−1 (coordination), x2 = (w−1)/C (startup)
+            let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for (w, y, cost, _) in points.iter().filter(|(_, _, c, _)| c.is_some()) {
+                let x1 = w - 1.0;
+                let x2 = (w - 1.0) / cost.unwrap_or(1.0);
+                a11 += x1 * x1;
+                a12 += x1 * x2;
+                a22 += x2 * x2;
+                b1 += x1 * y;
+                b2 += x2 * y;
+            }
+            let det = a11 * a22 - a12 * a12;
+            // conditioning guard: identical costs across "shapes" make
+            // the columns colinear again — fall through to the 1-D fit
+            if det > 1e-12 * a11 * a22 {
+                return Ok(Calibration {
+                    // negative fits are noise (a machine beating the
+                    // model); clamp both at zero
+                    overhead_per_worker: ((b1 * a22 - b2 * a12) / det).max(0.0),
+                    startup_cost_cells: ((b2 * a11 - b1 * a12) / det).max(0.0),
+                    unreliable: self.unreliable,
+                });
+            }
+        }
+        // 1-D fallback: model 1/speedup_w − 1/w = c·(w−1)
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (w, y, _, _) in &points {
             let x = w - 1.0;
             num += x * y;
             den += x * x;
-            points += 1;
-        }
-        if points == 0 {
-            return Err("no multi-worker points with positive speedup in bench JSON".to_string());
         }
         Ok(Calibration {
             // a machine faster in parallel than the model allows fits a
             // negative c; clamp — negative coordination cost is noise
             overhead_per_worker: (num / den).max(0.0),
             startup_cost_cells: self.startup_cost_cells,
+            unreliable: self.unreliable,
         })
     }
 
@@ -156,6 +229,7 @@ impl Calibration {
             ),
             ("overhead_per_worker", Json::Num(self.overhead_per_worker)),
             ("startup_cost_cells", Json::Num(self.startup_cost_cells)),
+            ("unreliable", Json::Bool(self.unreliable)),
         ])
     }
 
@@ -173,9 +247,19 @@ impl Calibration {
             }
         };
         let d = Calibration::default();
+        let unreliable = match j.get("unreliable") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(other) => {
+                return Err(format!(
+                    "calibration field \"unreliable\" is not a bool: {other}"
+                ))
+            }
+        };
         let cal = Calibration {
             overhead_per_worker: field("overhead_per_worker", d.overhead_per_worker)?,
             startup_cost_cells: field("startup_cost_cells", d.startup_cost_cells)?,
+            unreliable,
         };
         let valid = |x: f64| x.is_finite() && x >= 0.0;
         if !valid(cal.overhead_per_worker) || !valid(cal.startup_cost_cells) {
@@ -227,10 +311,26 @@ pub struct RouteCosts {
 /// same route-specific pricing as
 /// [`estimate_parallel_with`](crate::estimate_parallel_with).
 pub fn route_costs(q: &Query, catalog: &Catalog, workers: usize, cal: &Calibration) -> RouteCosts {
-    let serial = estimate(q, catalog);
+    route_costs_with_stats(q, catalog, workers, cal, None)
+}
+
+/// [`route_costs`] with a catalog's **observed statistics** in the loop
+/// (see [`crate::estimate_with_stats`]): both routes are costed under
+/// the observed cardinality overrides, so harvested feedback can move a
+/// query across the crossover and flip the route `explain` recommends.
+/// The answer cannot change — both routes compute the same `Value` by
+/// the partition-safety guarantee; only the choice does.
+pub fn route_costs_with_stats(
+    q: &Query,
+    catalog: &Catalog,
+    workers: usize,
+    cal: &Calibration,
+    obs: Option<&crate::stats::CatalogStats>,
+) -> RouteCosts {
+    let serial = crate::estimate_with_stats(q, catalog, obs);
     let eligible = genpar_core::partition_safety(q).parallel_eligible();
     let parallel = if workers > 1 && eligible {
-        crate::estimate_parallel_with(q, catalog, workers, cal)
+        crate::estimate_parallel_with_stats(q, catalog, workers, cal, obs)
     } else {
         serial
     };
@@ -267,6 +367,7 @@ pub fn route_costs(q: &Query, catalog: &Catalog, workers: usize, cal: &Calibrati
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::estimate;
     use genpar_engine::workload::generate_keyed_pair;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -300,6 +401,7 @@ mod tests {
         let cal = Calibration {
             overhead_per_worker: 0.0125,
             startup_cost_cells: 340.5,
+            unreliable: false,
         };
         let j = cal.to_json();
         assert_eq!(
@@ -344,6 +446,90 @@ mod tests {
     }
 
     #[test]
+    fn two_shape_fit_separates_overhead_from_startup() {
+        // synthesize two workload shapes from exact model output with
+        // c = 0.02, s = 200: 1/speedup = 1/w + (w−1)·(c + s/C_shape).
+        // A scan-heavy shape (C large, slope ≈ c) and a fixpoint shape
+        // (C small, slope dominated by s/C) make both identifiable.
+        let (c, s) = (0.02, 200.0);
+        let mk = |w: f64, cost: f64| 1.0 / (1.0 / w + (w - 1.0) * (c + s / cost));
+        let mut rows = String::new();
+        for (shape, cost) in [("scan", 100_000.0), ("fixpoint", 2_000.0)] {
+            for w in [2.0, 4.0, 8.0] {
+                rows.push_str(&format!(
+                    r#"{{"workers": {w}, "speedup": {}, "shape": "{shape}", "model_cost_cells": {cost}}},"#,
+                    mk(w, cost)
+                ));
+            }
+        }
+        rows.pop(); // trailing comma
+        let bench = Json::parse(&format!(r#"{{"results": [{rows}]}}"#)).unwrap();
+        let fitted = Calibration::default().fit_from_bench(&bench).unwrap();
+        assert!(
+            (fitted.overhead_per_worker - c).abs() < 1e-6,
+            "c: fit {} != {c}",
+            fitted.overhead_per_worker
+        );
+        assert!(
+            (fitted.startup_cost_cells - s).abs() < 1e-3,
+            "s: fit {} != {s}",
+            fitted.startup_cost_cells
+        );
+        assert!(!fitted.unreliable);
+    }
+
+    #[test]
+    fn single_shape_fit_keeps_the_legacy_behaviour() {
+        // one costed shape cannot separate the parameters: the fit must
+        // attribute the whole slope to c and carry s over from self.
+        let (c, s_true) = (0.03, 500.0);
+        let cost = 10_000.0;
+        let mk = |w: f64| 1.0 / (1.0 / w + (w - 1.0) * (c + s_true / cost));
+        let bench = Json::parse(&format!(
+            r#"{{"results": [
+                {{"workers": 2, "speedup": {}, "shape": "scan", "model_cost_cells": {cost}}},
+                {{"workers": 4, "speedup": {}, "shape": "scan", "model_cost_cells": {cost}}}
+            ]}}"#,
+            mk(2.0),
+            mk(4.0)
+        ))
+        .unwrap();
+        let prior = Calibration {
+            overhead_per_worker: 0.0,
+            startup_cost_cells: 123.0,
+            unreliable: false,
+        };
+        let fitted = prior.fit_from_bench(&bench).unwrap();
+        // slope absorbed into c (c + s/C = 0.08), startup untouched
+        assert!(
+            (fitted.overhead_per_worker - (c + s_true / cost)).abs() < 1e-9,
+            "colinear slope should land on c, got {}",
+            fitted.overhead_per_worker
+        );
+        assert_eq!(fitted.startup_cost_cells, 123.0);
+    }
+
+    #[test]
+    fn unreliable_flag_survives_fit_and_json() {
+        let prior = Calibration {
+            unreliable: true,
+            ..Calibration::default()
+        };
+        let bench = Json::parse(r#"{"results": [{"workers": 4, "speedup": 2.0}]}"#).unwrap();
+        let fitted = prior.fit_from_bench(&bench).unwrap();
+        assert!(fitted.unreliable, "fit must carry the unreliable flag");
+        let back =
+            Calibration::from_json(&Json::parse(&fitted.to_json().to_string()).unwrap()).unwrap();
+        assert!(back.unreliable);
+        // absent flag parses as reliable (additive schema field)
+        let legacy = Json::parse(
+            r#"{"schema_version": 2, "overhead_per_worker": 0.01, "startup_cost_cells": 0.0}"#,
+        )
+        .unwrap();
+        assert!(!Calibration::from_json(&legacy).unwrap().unreliable);
+    }
+
+    #[test]
     fn fit_clamps_superlinear_machines_to_zero() {
         // speedup better than ideal fits c < 0 → clamped
         let bench = Json::parse(r#"{"results": [{"workers": 4, "speedup": 5.0}]}"#).unwrap();
@@ -365,6 +551,7 @@ mod tests {
         let cal = Calibration {
             overhead_per_worker: 0.03,
             startup_cost_cells: 100.0,
+            unreliable: false,
         };
         let cross = cal.crossover_cost_cells(4).unwrap();
         assert!(cross > 0.0);
@@ -375,6 +562,7 @@ mod tests {
         let hopeless = Calibration {
             overhead_per_worker: 0.5,
             startup_cost_cells: 100.0,
+            unreliable: false,
         };
         assert_eq!(hopeless.crossover_cost_cells(4), None);
         // zero startup: any certified work benefits (crossover at 0)
@@ -411,6 +599,7 @@ mod tests {
         let cal = Calibration {
             overhead_per_worker: 0.01,
             startup_cost_cells: 500.0,
+            unreliable: false,
         };
         // combiner verdict: eligible, discounted, crossover shifted up by
         // the combine constant relative to the plain route

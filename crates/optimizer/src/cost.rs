@@ -9,6 +9,7 @@
 
 use crate::rewrite::{optimize, RewriteTrace};
 use crate::rules::{arity_of, pred_columns, RuleSet};
+use crate::stats::{CatalogStats, EstimateSource, OpStats};
 use genpar_algebra::{Pred, Query};
 use genpar_engine::Catalog;
 
@@ -38,6 +39,41 @@ const SATURATION_FACTOR: f64 = 4.0;
 /// Estimate a query bottom-up. Unknown shapes get pessimistic defaults
 /// (cardinality of the largest input).
 pub fn estimate(q: &Query, catalog: &Catalog) -> Estimate {
+    estimate_with_stats(q, catalog, None)
+}
+
+/// The observed entry backing this query node, if any: lower the subtree
+/// to its plan shape, fingerprint it, and look up a trustworthy
+/// (`samples >= MIN_SAMPLES`) entry. `None` when stats are off, the
+/// subtree does not lower, or the entry is immature.
+fn observed_at<'a>(q: &Query, obs: Option<&'a CatalogStats>) -> Option<&'a OpStats> {
+    let stats = obs?;
+    let plan = genpar_engine::lower(q)?;
+    stats.lookup(plan.fingerprint())
+}
+
+/// [`estimate`] with a catalog's **observed statistics** in the loop: at
+/// every node whose plan-shape fingerprint has a trustworthy entry, the
+/// observed cardinality EWMA overrides the static guess. Child overrides
+/// propagate — a parent's cost terms are computed from its children's
+/// (possibly observed) cardinalities. `None` is byte-identical to
+/// [`estimate`].
+pub fn estimate_with_stats(q: &Query, catalog: &Catalog, obs: Option<&CatalogStats>) -> Estimate {
+    let est = estimate_static_node(q, catalog, obs);
+    match observed_at(q, obs) {
+        Some(e) => Estimate {
+            rows: e.rows_ewma,
+            width: est.width,
+            cost: est.cost,
+        },
+        None => est,
+    }
+}
+
+/// One node of the static model, with children estimated through the
+/// full (override-aware) recursion.
+fn estimate_static_node(q: &Query, catalog: &Catalog, obs: Option<&CatalogStats>) -> Estimate {
+    let estimate = |q: &Query, catalog: &Catalog| estimate_with_stats(q, catalog, obs);
     match q {
         Query::Rel(n) => {
             let (rows, width) = catalog
@@ -194,7 +230,20 @@ pub fn estimate_parallel_with(
     workers: usize,
     cal: &crate::Calibration,
 ) -> Estimate {
-    let base = estimate(q, catalog);
+    estimate_parallel_with_stats(q, catalog, workers, cal, None)
+}
+
+/// [`estimate_parallel_with`] with observed statistics in the loop (see
+/// [`estimate_with_stats`]). `None` is byte-identical to the static
+/// model.
+pub fn estimate_parallel_with_stats(
+    q: &Query,
+    catalog: &Catalog,
+    workers: usize,
+    cal: &crate::Calibration,
+    obs: Option<&CatalogStats>,
+) -> Estimate {
+    let base = estimate_with_stats(q, catalog, obs);
     if workers <= 1 {
         return base;
     }
@@ -229,7 +278,27 @@ pub fn estimate_parallel_with(
 /// misestimate ratio that `profile` reports. Complex-value nodes that do
 /// not lower get the label `plan.Other` and are not descended into.
 pub fn estimate_nodes(q: &Query, catalog: &Catalog) -> Vec<(&'static str, Estimate)> {
-    fn walk(q: &Query, catalog: &Catalog, out: &mut Vec<(&'static str, Estimate)>) {
+    estimate_nodes_with_sources(q, catalog, None)
+        .into_iter()
+        .map(|(name, est, _)| (name, est))
+        .collect()
+}
+
+/// [`estimate_nodes`] with observed statistics in the loop, each node
+/// additionally labelled with where its cardinality came from —
+/// [`EstimateSource::Static`] or [`EstimateSource::Observed`] (what
+/// `explain` prints per operator).
+pub fn estimate_nodes_with_sources(
+    q: &Query,
+    catalog: &Catalog,
+    obs: Option<&CatalogStats>,
+) -> Vec<(&'static str, Estimate, EstimateSource)> {
+    fn walk(
+        q: &Query,
+        catalog: &Catalog,
+        obs: Option<&CatalogStats>,
+        out: &mut Vec<(&'static str, Estimate, EstimateSource)>,
+    ) {
         let (name, children): (&'static str, Vec<&Query>) = match q {
             Query::Rel(_) => ("plan.Scan", vec![]),
             Query::Empty | Query::Lit(_) => ("plan.Values", vec![]),
@@ -248,13 +317,17 @@ pub fn estimate_nodes(q: &Query, catalog: &Catalog) -> Vec<(&'static str, Estima
             Query::Fixpoint { init, step, .. } => ("exec.fixpoint_round", vec![init, step]),
             _ => ("plan.Other", vec![]),
         };
-        out.push((name, estimate(q, catalog)));
+        let source = match observed_at(q, obs) {
+            Some(e) => EstimateSource::Observed { n: e.samples },
+            None => EstimateSource::Static,
+        };
+        out.push((name, estimate_with_stats(q, catalog, obs), source));
         for c in children {
-            walk(c, catalog, out);
+            walk(c, catalog, obs, out);
         }
     }
     let mut out = Vec::new();
-    walk(q, catalog, &mut out);
+    walk(q, catalog, obs, &mut out);
     out
 }
 
@@ -311,6 +384,23 @@ pub fn optimize_costed_parallel_with(
     workers: usize,
     cal: &crate::Calibration,
 ) -> (Query, RewriteTrace, Estimate, Estimate) {
+    optimize_costed_parallel_with_stats(q, rules, catalog, workers, cal, None)
+}
+
+/// [`optimize_costed_parallel_with`] with observed statistics in the
+/// loop: both candidate plans are costed under the catalog's observed
+/// cardinality overrides (see [`estimate_with_stats`]), so harvested
+/// feedback can change which plan wins — and *only* that. The rewritten
+/// and original queries stay value-equivalent by the rewrite rules'
+/// soundness, so feedback never changes an answer.
+pub fn optimize_costed_parallel_with_stats(
+    q: &Query,
+    rules: &RuleSet,
+    catalog: &Catalog,
+    workers: usize,
+    cal: &crate::Calibration,
+    obs: Option<&CatalogStats>,
+) -> (Query, RewriteTrace, Estimate, Estimate) {
     let _sp = genpar_obs::span("optimizer.costed");
     // cost estimation is advisory: a fault or panic inside it degrades to
     // the original plan with zeroed estimates instead of failing the query
@@ -318,9 +408,9 @@ pub fn optimize_costed_parallel_with(
         .map_err(|f| f.to_string())
         .and_then(|()| {
             genpar_guard::catch_panics(|| {
-                let base_est = estimate_parallel_with(q, catalog, workers, cal);
+                let base_est = estimate_parallel_with_stats(q, catalog, workers, cal, obs);
                 let (rewritten, trace) = optimize(q, rules, catalog);
-                let new_est = estimate_parallel_with(&rewritten, catalog, workers, cal);
+                let new_est = estimate_parallel_with_stats(&rewritten, catalog, workers, cal, obs);
                 (base_est, rewritten, trace, new_est)
             })
         });
@@ -504,6 +594,7 @@ mod tests {
         let startup_heavy = crate::Calibration {
             overhead_per_worker: 0.0,
             startup_cost_cells: 1_000.0,
+            unreliable: false,
         };
         // with zero per-worker overhead, parallel cost is C/4 plus the
         // startup term — a single one for a plain query, one per
@@ -544,5 +635,61 @@ mod tests {
         let e = estimate(&Query::rel("R"), &cat);
         assert!(e.covers_pred(&Pred::eq_cols(0, 1)));
         assert!(!e.covers_pred(&Pred::eq_cols(0, 5)));
+    }
+
+    #[test]
+    fn observed_stats_override_the_static_cardinality_guess() {
+        use crate::stats::{CatalogStats, MIN_SAMPLES};
+        let cat = keyed_catalog(3);
+        // static model guesses 10% selectivity for Select(eq_const)
+        let q = Query::rel("R").select(Pred::eq_const(0, genpar_value::Value::Int(7)));
+        let static_est = estimate(&q, &cat);
+        let fp = lower(&q).expect("lowers").fingerprint();
+
+        // immature entry (below MIN_SAMPLES): no override
+        let mut stats = CatalogStats::default();
+        for _ in 0..MIN_SAMPLES - 1 {
+            stats.observe(fp, "plan.Filter", 2_000, 3);
+        }
+        assert_eq!(estimate_with_stats(&q, &cat, Some(&stats)), static_est);
+        assert_eq!(
+            estimate_nodes_with_sources(&q, &cat, Some(&stats))
+                .iter()
+                .filter(|(_, _, src)| matches!(src, EstimateSource::Observed { .. }))
+                .count(),
+            0
+        );
+
+        // mature entry: rows comes from the observed EWMA, width and the
+        // cost *structure* stay the model's
+        stats.observe(fp, "plan.Filter", 2_000, 3);
+        let observed_est = estimate_with_stats(&q, &cat, Some(&stats));
+        let ewma = stats.lookup(fp).expect("mature").rows_ewma;
+        assert_eq!(observed_est.rows, ewma);
+        assert!(
+            observed_est.rows < static_est.rows,
+            "observed {} must undercut the static 10% guess {}",
+            observed_est.rows,
+            static_est.rows
+        );
+        assert_eq!(observed_est.width, static_est.width);
+        // explain surfaces the source
+        let sources = estimate_nodes_with_sources(&q, &cat, Some(&stats));
+        assert!(sources
+            .iter()
+            .any(|(_, _, src)| matches!(src, EstimateSource::Observed { n } if *n >= MIN_SAMPLES)));
+
+        // child overrides propagate into the parent's cost terms: a
+        // projection over the filtered node now prices the observed rows
+        let proj = q.clone().project([0]);
+        let proj_static = estimate(&proj, &cat);
+        let proj_obs = estimate_with_stats(&proj, &cat, Some(&stats));
+        assert!(
+            proj_obs.cost < proj_static.cost,
+            "parent cost must shrink with the child's observed cardinality"
+        );
+
+        // None is byte-identical to the static path
+        assert_eq!(estimate_with_stats(&q, &cat, None), static_est);
     }
 }

@@ -28,11 +28,19 @@ pub mod calibration;
 pub mod cost;
 pub mod rewrite;
 pub mod rules;
+pub mod stats;
 
-pub use calibration::{route_costs, Calibration, RouteCosts, CALIBRATION_SCHEMA_VERSION};
+pub use calibration::{
+    route_costs, route_costs_with_stats, Calibration, RouteCosts, CALIBRATION_SCHEMA_VERSION,
+};
 pub use cost::{
-    estimate, estimate_nodes, estimate_parallel, estimate_parallel_with, optimize_costed,
-    optimize_costed_parallel, optimize_costed_parallel_with, Estimate,
+    estimate, estimate_nodes, estimate_nodes_with_sources, estimate_parallel,
+    estimate_parallel_with, estimate_parallel_with_stats, estimate_with_stats, optimize_costed,
+    optimize_costed_parallel, optimize_costed_parallel_with, optimize_costed_parallel_with_stats,
+    Estimate,
 };
 pub use rewrite::{optimize, RewriteTrace};
 pub use rules::{Constraints, Rule, RuleSet};
+pub use stats::{
+    CatalogStats, EstimateSource, OpStats, StatsStore, MIN_SAMPLES, STATS_SCHEMA_VERSION,
+};

@@ -1,0 +1,459 @@
+//! A persistent store of **observed** per-operator statistics, harvested
+//! from execution and consumed by the cost model.
+//!
+//! The static estimates in [`crate::cost`] guess selectivities from
+//! operator shape alone (`EQ_CONST_SELECTIVITY = 0.1`, a foreign-key
+//! heuristic for joins, …). Execution knows better: every plan node
+//! records a `plan.node_stats` obs event pairing what flowed in with
+//! what came out, keyed by the node's stable structural fingerprint
+//! ([`genpar_engine::plan::PhysicalPlan::fingerprint`]). This module
+//! closes the loop:
+//!
+//! * [`StatsStore::harvest`] folds those events into per-catalog
+//!   [`OpStats`] entries — a selectivity EWMA and a row-count sketch
+//!   (min/max/last/EWMA) per operator shape;
+//! * [`StatsStore::save`]/[`StatsStore::load`] persist the store as
+//!   `STATS.json` (schema-versioned, pruned to the highest-sample
+//!   entries) so later runs start informed;
+//! * the cost model's `*_with_stats` variants
+//!   ([`crate::estimate_with_stats`], [`crate::route_costs_with_stats`])
+//!   consult a catalog's entries and let an observed cardinality
+//!   **override** the static guess once an entry has at least
+//!   [`MIN_SAMPLES`] samples.
+//!
+//! Feedback changes *routes and plan choices only* — never answers. The
+//! executor computes the same `Value` whichever route runs (the
+//! serial-vs-parallel differential oracle guarantees it), so a wildly
+//! wrong statistic costs time, not correctness; the stats-on/stats-off
+//! identity property test in `tests/stats_identity.rs` pins this down.
+
+use genpar_obs::{FieldValue, Json, Snapshot};
+use std::collections::BTreeMap;
+
+/// Schema version stamped into `STATS.json`. Bump when the document
+/// shape changes; [`StatsStore::from_json`] refuses mismatched files
+/// loudly instead of misreading them.
+pub const STATS_SCHEMA_VERSION: i64 = 1;
+
+/// Observed entries with fewer samples than this are ignored by the cost
+/// model (the store keeps them; they just don't override yet). One noisy
+/// execution must not flip routes.
+pub const MIN_SAMPLES: u64 = 3;
+
+/// Smoothing factor for the selectivity and row-count EWMAs: each new
+/// observation contributes 30%, so the store tracks drifting data within
+/// a handful of queries without thrashing on one outlier.
+pub const EWMA_ALPHA: f64 = 0.3;
+
+/// Entries kept per catalog when saving (highest sample counts win).
+/// Fixpoint rounds mint a fresh fingerprint per delta cardinality, so an
+/// unpruned store would grow without bound.
+pub const MAX_ENTRIES_PER_CATALOG: usize = 256;
+
+/// Observed statistics for one operator shape (one plan-node
+/// fingerprint) in one catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// The operator's span name (`plan.Filter`, …) — informational; the
+    /// fingerprint is the key.
+    pub op: String,
+    /// Executions folded into this entry.
+    pub samples: u64,
+    /// EWMA of `rows_out / max(rows_in, 1)` — the operator's observed
+    /// selectivity.
+    pub selectivity: f64,
+    /// EWMA of `rows_out` — what the cost model reads as the observed
+    /// cardinality.
+    pub rows_ewma: f64,
+    /// Smallest `rows_out` seen.
+    pub rows_min: u64,
+    /// Largest `rows_out` seen.
+    pub rows_max: u64,
+    /// Most recent `rows_out`.
+    pub rows_last: u64,
+}
+
+impl OpStats {
+    fn first(op: &str, rows_in: u64, rows_out: u64) -> OpStats {
+        OpStats {
+            op: op.to_string(),
+            samples: 1,
+            selectivity: rows_out as f64 / (rows_in.max(1)) as f64,
+            rows_ewma: rows_out as f64,
+            rows_min: rows_out,
+            rows_max: rows_out,
+            rows_last: rows_out,
+        }
+    }
+
+    fn fold(&mut self, rows_in: u64, rows_out: u64) {
+        let sel = rows_out as f64 / (rows_in.max(1)) as f64;
+        self.selectivity = EWMA_ALPHA * sel + (1.0 - EWMA_ALPHA) * self.selectivity;
+        self.rows_ewma = EWMA_ALPHA * rows_out as f64 + (1.0 - EWMA_ALPHA) * self.rows_ewma;
+        self.rows_min = self.rows_min.min(rows_out);
+        self.rows_max = self.rows_max.max(rows_out);
+        self.rows_last = rows_out;
+        self.samples += 1;
+    }
+}
+
+/// All observed entries for one catalog, keyed by plan-node fingerprint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogStats {
+    /// Fingerprint → observed statistics.
+    pub entries: BTreeMap<u64, OpStats>,
+}
+
+impl CatalogStats {
+    /// Fold one node execution into the store.
+    pub fn observe(&mut self, fp: u64, op: &str, rows_in: u64, rows_out: u64) {
+        match self.entries.get_mut(&fp) {
+            Some(e) => e.fold(rows_in, rows_out),
+            None => {
+                self.entries
+                    .insert(fp, OpStats::first(op, rows_in, rows_out));
+            }
+        }
+    }
+
+    /// The entry for a fingerprint, **only** once it is trustworthy
+    /// (`samples >= MIN_SAMPLES`). This is the cost model's read path;
+    /// use `entries` directly to inspect immature entries.
+    pub fn lookup(&self, fp: u64) -> Option<&OpStats> {
+        self.entries.get(&fp).filter(|e| e.samples >= MIN_SAMPLES)
+    }
+}
+
+/// The persistent store: per-catalog observed statistics, serialized as
+/// `STATS.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsStore {
+    /// Catalog key (database file path, or `"nominal"` for the synthetic
+    /// default catalog) → its entries.
+    pub catalogs: BTreeMap<String, CatalogStats>,
+}
+
+impl StatsStore {
+    /// An empty store.
+    pub fn new() -> StatsStore {
+        StatsStore::default()
+    }
+
+    /// The (possibly empty) entries for a catalog key.
+    pub fn catalog(&self, key: &str) -> Option<&CatalogStats> {
+        self.catalogs.get(key)
+    }
+
+    /// The entries for a catalog key, created empty on first use.
+    pub fn catalog_mut(&mut self, key: &str) -> &mut CatalogStats {
+        self.catalogs.entry(key.to_string()).or_default()
+    }
+
+    /// Harvest every `plan.node_stats` event in an obs snapshot into the
+    /// catalog keyed `key`. Returns how many events were folded. Events
+    /// missing a field (foreign snapshots) are skipped, not errors.
+    pub fn harvest(&mut self, key: &str, snap: &Snapshot) -> usize {
+        let cat = self.catalog_mut(key);
+        let mut folded = 0;
+        for ev in &snap.events {
+            if ev.kind != "plan.node_stats" {
+                continue;
+            }
+            let get_u64 = |name: &str| -> Option<u64> {
+                ev.fields.iter().find_map(|(k, v)| match v {
+                    FieldValue::U64(n) if k == name => Some(*n),
+                    _ => None,
+                })
+            };
+            let get_str = |name: &str| -> Option<&str> {
+                ev.fields.iter().find_map(|(k, v)| match v {
+                    FieldValue::Str(s) if k == name => Some(s.as_str()),
+                    _ => None,
+                })
+            };
+            let (Some(fp), Some(rows_in), Some(rows_out)) =
+                (get_u64("fp"), get_u64("rows_in"), get_u64("rows_out"))
+            else {
+                continue;
+            };
+            let op = get_str("op").unwrap_or("plan.Other");
+            cat.observe(fp, op, rows_in, rows_out);
+            folded += 1;
+        }
+        folded
+    }
+
+    /// Drop all entries (`genpar stats reset`).
+    pub fn reset(&mut self) {
+        self.catalogs.clear();
+    }
+
+    /// Keep only the [`MAX_ENTRIES_PER_CATALOG`] highest-sample entries
+    /// per catalog (ties broken toward smaller fingerprints, so pruning
+    /// is deterministic).
+    pub fn prune(&mut self) {
+        for cat in self.catalogs.values_mut() {
+            if cat.entries.len() <= MAX_ENTRIES_PER_CATALOG {
+                continue;
+            }
+            let mut ranked: Vec<(u64, u64)> =
+                cat.entries.iter().map(|(fp, e)| (e.samples, *fp)).collect();
+            // highest samples first; equal samples keep the smaller fp
+            ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let keep: std::collections::BTreeSet<u64> = ranked
+                .into_iter()
+                .take(MAX_ENTRIES_PER_CATALOG)
+                .map(|(_, fp)| fp)
+                .collect();
+            cat.entries.retain(|fp, _| keep.contains(fp));
+        }
+    }
+
+    /// The store as a JSON document (what `STATS.json` holds).
+    pub fn to_json(&self) -> Json {
+        let catalogs: Vec<(String, Json)> = self
+            .catalogs
+            .iter()
+            .map(|(key, cat)| {
+                let entries: Vec<Json> = cat
+                    .entries
+                    .iter()
+                    .map(|(fp, e)| {
+                        Json::obj([
+                            ("fp", Json::str(format!("{fp:016x}"))),
+                            ("op", Json::str(e.op.clone())),
+                            ("samples", Json::Int(e.samples as i128)),
+                            ("selectivity", Json::Num(e.selectivity)),
+                            ("rows_ewma", Json::Num(e.rows_ewma)),
+                            ("rows_min", Json::Int(e.rows_min as i128)),
+                            ("rows_max", Json::Int(e.rows_max as i128)),
+                            ("rows_last", Json::Int(e.rows_last as i128)),
+                        ])
+                    })
+                    .collect();
+                (key.clone(), Json::Arr(entries))
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::Int(STATS_SCHEMA_VERSION as i128)),
+            ("min_samples", Json::Int(MIN_SAMPLES as i128)),
+            ("ewma_alpha", Json::Num(EWMA_ALPHA)),
+            ("catalogs", Json::Obj(catalogs.into_iter().collect())),
+        ])
+    }
+
+    /// Parse a store (inverse of [`StatsStore::to_json`]). A missing or
+    /// mismatched `schema_version` is a **loud** error — statistics from
+    /// a different schema must not silently train the optimizer.
+    pub fn from_json(j: &Json) -> Result<StatsStore, String> {
+        match j.get("schema_version").and_then(|v| v.as_int()) {
+            Some(v) if v == STATS_SCHEMA_VERSION as i128 => {}
+            Some(v) => {
+                return Err(format!(
+                    "STATS schema_version {v} != supported {STATS_SCHEMA_VERSION}; \
+                     delete the file or run `genpar stats reset`"
+                ))
+            }
+            None => return Err("STATS document has no schema_version".to_string()),
+        }
+        let mut store = StatsStore::new();
+        let Some(Json::Obj(catalogs)) = j.get("catalogs") else {
+            return Err("STATS document has no \"catalogs\" object".to_string());
+        };
+        for (key, entries) in catalogs {
+            let cat = store.catalog_mut(key);
+            let Some(arr) = entries.as_arr() else {
+                return Err(format!("catalog {key:?} entries are not an array"));
+            };
+            for e in arr {
+                let fp = e
+                    .get("fp")
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| format!("catalog {key:?}: entry missing hex \"fp\""))?;
+                let int = |name: &str| -> u64 {
+                    e.get(name).and_then(|v| v.as_int()).unwrap_or(0).max(0) as u64
+                };
+                let num = |name: &str| -> f64 {
+                    match e.get(name) {
+                        Some(Json::Num(n)) => *n,
+                        Some(Json::Int(n)) => *n as f64,
+                        _ => 0.0,
+                    }
+                };
+                cat.entries.insert(
+                    fp,
+                    OpStats {
+                        op: e
+                            .get("op")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("plan.Other")
+                            .to_string(),
+                        samples: int("samples"),
+                        selectivity: num("selectivity"),
+                        rows_ewma: num("rows_ewma"),
+                        rows_min: int("rows_min"),
+                        rows_max: int("rows_max"),
+                        rows_last: int("rows_last"),
+                    },
+                );
+            }
+        }
+        Ok(store)
+    }
+
+    /// Load a store from disk. A missing file is an **empty store**, not
+    /// an error (first run trains from nothing); a malformed or
+    /// wrong-schema file is a loud error.
+    pub fn load(path: &str) -> Result<StatsStore, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(StatsStore::new());
+            }
+            Err(e) => return Err(format!("cannot read stats file {path}: {e}")),
+        };
+        let j = Json::parse(&text).map_err(|e| format!("stats file {path}: {e}"))?;
+        StatsStore::from_json(&j)
+    }
+
+    /// Prune and write the store to disk.
+    pub fn save(&mut self, path: &str) -> Result<(), String> {
+        self.prune();
+        std::fs::write(path, self.to_json().to_string())
+            .map_err(|e| format!("cannot write stats file {path}: {e}"))
+    }
+}
+
+/// Where a per-node cardinality estimate came from — what `explain`
+/// prints next to each operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateSource {
+    /// The shape-based static model.
+    Static,
+    /// An observed-statistics override backed by `n` samples.
+    Observed {
+        /// Sample count behind the override.
+        n: u64,
+    },
+}
+
+impl std::fmt::Display for EstimateSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateSource::Static => write!(f, "static"),
+            EstimateSource::Observed { n } => write!(f, "observed(n={n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpar_obs::Registry;
+
+    #[test]
+    fn observe_folds_ewmas_and_sketch() {
+        let mut cat = CatalogStats::default();
+        cat.observe(7, "plan.Filter", 100, 10);
+        assert_eq!(cat.entries[&7].samples, 1);
+        assert!((cat.entries[&7].selectivity - 0.1).abs() < 1e-12);
+        assert_eq!(cat.entries[&7].rows_min, 10);
+        cat.observe(7, "plan.Filter", 100, 90);
+        let e = &cat.entries[&7];
+        assert_eq!(e.samples, 2);
+        // EWMA: 0.3·0.9 + 0.7·0.1 = 0.34
+        assert!((e.selectivity - 0.34).abs() < 1e-12, "{}", e.selectivity);
+        assert!((e.rows_ewma - (0.3 * 90.0 + 0.7 * 10.0)).abs() < 1e-12);
+        assert_eq!((e.rows_min, e.rows_max, e.rows_last), (10, 90, 90));
+    }
+
+    #[test]
+    fn lookup_requires_min_samples() {
+        let mut cat = CatalogStats::default();
+        for i in 0..MIN_SAMPLES {
+            assert!(cat.lookup(1).is_none(), "immature at {i} samples");
+            cat.observe(1, "plan.Scan", 10, 10);
+        }
+        assert!(cat.lookup(1).is_some(), "trustworthy at MIN_SAMPLES");
+    }
+
+    #[test]
+    fn harvest_reads_node_stats_events() {
+        let reg = Registry::new();
+        reg.event(
+            "plan.node_stats",
+            [
+                ("fp", FieldValue::U64(42)),
+                ("op", FieldValue::Str("plan.Filter".into())),
+                ("rows_in", FieldValue::U64(1000)),
+                ("rows_out", FieldValue::U64(500)),
+            ],
+        );
+        reg.event("exec.fallback", [("op", FieldValue::Str("even".into()))]);
+        // a foreign event with the right kind but missing fields: skipped
+        reg.event("plan.node_stats", [("fp", FieldValue::U64(1))]);
+        let mut store = StatsStore::new();
+        let folded = store.harvest("db.json", &reg.snapshot());
+        assert_eq!(folded, 1);
+        let cat = store.catalog("db.json").unwrap();
+        assert_eq!(cat.entries[&42].op, "plan.Filter");
+        assert!((cat.entries[&42].selectivity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = StatsStore::new();
+        let cat = store.catalog_mut("nominal");
+        for _ in 0..4 {
+            cat.observe(0xdead_beef, "plan.HashJoin", 2000, 900);
+        }
+        cat.observe(3, "plan.Scan", 50, 50);
+        let text = store.to_json().to_string();
+        let back = StatsStore::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_loudly() {
+        let j = Json::parse(r#"{"schema_version": 99, "catalogs": {}}"#).unwrap();
+        let err = StatsStore::from_json(&j).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+        let j = Json::parse(r#"{"catalogs": {}}"#).unwrap();
+        assert!(StatsStore::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_empty_store() {
+        let store = StatsStore::load("/nonexistent/STATS.json").unwrap();
+        assert!(store.catalogs.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_highest_sample_entries() {
+        let mut store = StatsStore::new();
+        let cat = store.catalog_mut("nominal");
+        for fp in 0..(MAX_ENTRIES_PER_CATALOG as u64 + 50) {
+            // entry fp gets (fp % 7) + 1 samples
+            for _ in 0..(fp % 7) + 1 {
+                cat.observe(fp, "plan.Scan", 10, 10);
+            }
+        }
+        store.prune();
+        let cat = store.catalog("nominal").unwrap();
+        assert_eq!(cat.entries.len(), MAX_ENTRIES_PER_CATALOG);
+        // every surviving entry has at least as many samples as the most
+        // sampled entry that was dropped
+        let kept_min = cat.entries.values().map(|e| e.samples).min().unwrap();
+        assert!(kept_min >= 2, "low-sample entries pruned first: {kept_min}");
+    }
+
+    #[test]
+    fn estimate_source_renders() {
+        assert_eq!(EstimateSource::Static.to_string(), "static");
+        assert_eq!(
+            EstimateSource::Observed { n: 5 }.to_string(),
+            "observed(n=5)"
+        );
+    }
+}
