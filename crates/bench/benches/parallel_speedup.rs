@@ -97,6 +97,19 @@ fn median(mut xs: Vec<Duration>) -> Duration {
 /// `genpar calibrate` can separate the per-worker overhead fraction from
 /// the startup term — a single shape leaves them colinear), and
 /// (hardware permitting) assert the 4-worker bound on the scan shape.
+/// Sum of every `exec.degrade_step.*` counter in a snapshot: recovery
+/// rungs taken during the measured runs. The clean benchmark path must
+/// never take one — `bench-compare` fails on a nonzero value. The
+/// cooperative watchdog (`exec.watchdog`) is deliberately excluded: an
+/// observed overrun is a latency anecdote, not a degradation.
+fn degrade_steps(snap: &genpar_obs::Snapshot) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("exec.degrade_step."))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
 fn verify_speedup_and_report() {
     const ROUNDS: usize = 9;
     let cat = catalog();
@@ -122,6 +135,8 @@ fn verify_speedup_and_report() {
     // dominated by the per-worker overhead fraction
     let mut scan_medians: Vec<(usize, Duration)> = Vec::new();
     let mut morsel_stats: Vec<genpar_obs::HistogramSnapshot> = Vec::new();
+    let mut scan_degrades: Vec<u64> = Vec::new();
+    let mut fix_degrades: Vec<u64> = Vec::new();
     // fixpoint shape: ~95 short semi-naive rounds — each round pays the
     // startup term, so the slope is dominated by startup/cost
     let mut fix_medians: Vec<(usize, Duration)> = Vec::new();
@@ -139,9 +154,10 @@ fn verify_speedup_and_report() {
             samples.push(t.elapsed());
         }
         scan_medians.push((w, median(samples)));
+        let snap = genpar_obs::snapshot();
+        scan_degrades.push(degrade_steps(&snap));
         morsel_stats.push(
-            genpar_obs::snapshot()
-                .histograms
+            snap.histograms
                 .get("exec.morsel_us")
                 .copied()
                 .unwrap_or_default(),
@@ -158,9 +174,10 @@ fn verify_speedup_and_report() {
             assert_eq!(fix_v, fix_truth, "worker count {w} changed the fixpoint");
         }
         fix_medians.push((w, median(samples)));
+        let snap = genpar_obs::snapshot();
+        fix_degrades.push(degrade_steps(&snap));
         round_stats.push(
-            genpar_obs::snapshot()
-                .histograms
+            snap.histograms
                 .get("exec.fixpoint_round_us")
                 .copied()
                 .unwrap_or_default(),
@@ -188,8 +205,16 @@ fn verify_speedup_and_report() {
     // one result row per (shape, workers): the shape tag plus the
     // *serial* model cost is exactly what the two-regressor calibration
     // fit needs (x₂ = (w−1)/C_shape)
-    for (shape, query, catalog, shape_medians, hist_key, hists) in [
-        ("scan", &q, &cat, &scan_medians, "morsel_us", &morsel_stats),
+    for (shape, query, catalog, shape_medians, hist_key, hists, degrades) in [
+        (
+            "scan",
+            &q,
+            &cat,
+            &scan_medians,
+            "morsel_us",
+            &morsel_stats,
+            &scan_degrades,
+        ),
         (
             "fixpoint",
             &fix_q,
@@ -197,17 +222,19 @@ fn verify_speedup_and_report() {
             &fix_medians,
             "fixpoint_round_us",
             &round_stats,
+            &fix_degrades,
         ),
     ] {
         let shape_base = shape_medians[0].1.as_secs_f64();
         let serial_cells = route_costs(query, catalog, 1, &cal).serial.cost;
-        for ((w, m), h) in shape_medians.iter().zip(hists) {
+        for (((w, m), h), d) in shape_medians.iter().zip(hists).zip(degrades) {
             results.push(Json::obj([
                 ("workers", Json::Int(*w as i128)),
                 ("shape", Json::str(shape)),
                 ("median_us", Json::Num(m.as_secs_f64() * 1e6)),
                 ("speedup", Json::Num(shape_base / m.as_secs_f64())),
                 ("model_cost_cells", Json::Num(serial_cells)),
+                ("degrade_steps", Json::Int(*d as i128)),
                 (hist_key, h.to_json()),
             ]));
             println!(

@@ -186,6 +186,32 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
     validate_parallel(base_parallel, "baseline parallel section")?;
     validate_obs(base_obs, "baseline obs section")?;
 
+    // robustness sanity, checked before any latency gate (and regardless
+    // of hardware parity): the clean benchmark path must take zero
+    // recovery rungs. A nonzero `degrade_steps` means the measured
+    // medians include retry/quarantine/fallback work — the numbers are
+    // not a benchmark of the parallel path at all. Absent on pre-ladder
+    // reports; present implies zero.
+    if let Some(results) = parallel.get("results").and_then(|r| r.as_arr()) {
+        for (i, r) in results.iter().enumerate() {
+            let Some(d) = r.get("degrade_steps").and_then(|v| v.as_int()) else {
+                continue;
+            };
+            if d != 0 {
+                let w = r.get("workers").and_then(|v| v.as_int()).unwrap_or(-1);
+                let shape = r
+                    .get("shape")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                regressions.push(format!(
+                    "results[{i}] (shape {shape}, {w} workers) took {d} recovery \
+                     rung(s) on the clean benchmark path — degrade_steps must be 0"
+                ));
+            }
+        }
+    }
+
     let base_hw = base_parallel
         .get("hardware_threads")
         .and_then(|v| v.as_int())

@@ -32,7 +32,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Classify { query } => classify(query),
         Command::Check { query, mode, class } => check(query, mode, class),
         Command::Probe { query, mode, arity } => probe(query, mode, *arity),
-        Command::Run { query, db, workers } => run(query, db, *workers),
+        Command::Run {
+            query,
+            db,
+            workers,
+            timeout_ms,
+        } => run(query, db, *workers, *timeout_ms),
         Command::Optimize {
             query,
             db,
@@ -63,6 +68,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             timeline,
             calibration,
             stats,
+            timeout_ms,
         } => profile_cmd(
             query,
             db.as_deref(),
@@ -73,9 +79,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             *timeline,
             calibration.as_deref(),
             stats.as_deref(),
+            *timeout_ms,
         ),
         Command::Calibrate { bench, out } => calibrate_cmd(bench, out),
         Command::Stats { action, file } => stats_cmd(action, file),
+        Command::Chaos { seed, cases } => chaos_cmd(*seed, *cases),
         Command::Audit => audit(),
     }
 }
@@ -87,43 +95,81 @@ fn stats_catalog_key(db_path: Option<&str>) -> &str {
     db_path.unwrap_or("nominal")
 }
 
-/// Load an observed-statistics store (`--stats FILE`). A missing file is
-/// an empty store (first run bootstraps it); a malformed or
-/// wrong-schema-version file is a loud error, never a silent fresh start.
-fn load_stats(path: Option<&str>) -> Result<Option<StatsStore>, CliError> {
+/// Load an observed-statistics store (`--stats FILE`) through the
+/// robustness ladder's persistence rung: a missing file is an empty
+/// store (first run bootstraps it); a corrupt file — torn write, failed
+/// checksum, JSON damage, wrong schema — is quarantined to
+/// `<path>.corrupt` and the store regenerates empty, with the warning
+/// returned so the command surfaces it. Never an error, never a panic,
+/// never a *silent* fresh start.
+fn load_stats(path: Option<&str>) -> (Option<StatsStore>, Option<String>) {
     match path {
-        Some(p) => StatsStore::load(p).map(Some).map_err(CliError::runtime),
-        None => Ok(None),
+        Some(p) => {
+            let (store, warning) = StatsStore::load_or_quarantine(p);
+            (Some(store), warning)
+        }
+        None => (None, None),
     }
 }
 
 /// Load a calibration file, or the built-in default when none is given.
 /// A persisted `morsel_rows` key (written by `profile --calibration`)
 /// preseeds the global morsel tuner — unless `GENPAR_MORSEL` overrides.
-fn load_calibration(path: Option<&str>) -> Result<Calibration, CliError> {
-    match path {
-        Some(p) => {
-            let text = std::fs::read_to_string(p)
-                .map_err(|e| CliError::runtime(format!("cannot read calibration file {p}: {e}")))?;
-            let j = genpar_obs::Json::parse(&text)
-                .map_err(|e| CliError::runtime(format!("calibration file {p}: {e}")))?;
-            if let Some(rows) = j.get("morsel_rows").and_then(|v| v.as_int()) {
-                if rows > 0 {
-                    genpar_exec::tune::preseed(rows as usize);
-                }
+/// A **missing** file is an error (the user named it); a **corrupt** one
+/// is quarantined to `<path>.corrupt` and the default calibration rides
+/// in its place, with the warning returned for the command to print.
+fn load_calibration(path: Option<&str>) -> Result<(Calibration, Option<String>), CliError> {
+    let Some(p) = path else {
+        return Ok((Calibration::default(), None));
+    };
+    let attempt = (|| -> Result<Calibration, String> {
+        let text = match genpar_optimizer::persist::read_payload(p) {
+            Ok(Some(t)) => t,
+            Ok(None) => return Err(format!("cannot read calibration file {p}: file not found")),
+            Err(e) => return Err(e),
+        };
+        let j = genpar_obs::Json::parse(&text).map_err(|e| format!("calibration file {p}: {e}"))?;
+        if let Some(rows) = j.get("morsel_rows").and_then(|v| v.as_int()) {
+            if rows > 0 {
+                genpar_exec::tune::preseed(rows as usize);
             }
-            Calibration::from_json(&j).map_err(CliError::runtime)
         }
-        None => Ok(Calibration::default()),
+        Calibration::from_json(&j)
+    })();
+    match attempt {
+        Ok(cal) => Ok((cal, None)),
+        // missing: a named calibration that does not exist is a real
+        // error — defaults would silently misprice every route
+        Err(reason) if !std::path::Path::new(p).exists() => Err(CliError::runtime(reason)),
+        // corrupt: quarantine, regenerate from the default, warn loudly
+        Err(reason) => {
+            let warning = match genpar_optimizer::persist::quarantine_file(p, &reason) {
+                Ok(corrupt) => format!(
+                    "calibration file {p} is corrupt ({reason}); \
+                     quarantined to {corrupt}, using the default calibration"
+                ),
+                Err(e) => format!(
+                    "calibration file {p} is corrupt ({reason}); \
+                     quarantine failed ({e}), using the default calibration"
+                ),
+            };
+            Ok((Calibration::default(), Some(warning)))
+        }
     }
 }
 
 /// Write the tuner's converged morsel size into a calibration file's
 /// `morsel_rows` key, preserving every other key (inverse of the
-/// preseed in [`load_calibration`]).
+/// preseed in [`load_calibration`]). The write goes through the
+/// crash-safe temp-file + fsync + rename protocol.
 fn persist_morsel_rows(path: &str) -> Result<usize, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::runtime(format!("cannot read calibration file {path}: {e}")))?;
+    let text = match genpar_optimizer::persist::read_payload(path) {
+        Ok(Some(t)) => t,
+        // the file was quarantined (or never existed): restart it from
+        // the default calibration so the tuner seed still persists
+        Ok(None) => format!("{}\n", Calibration::default().to_json()),
+        Err(e) => return Err(CliError::runtime(e)),
+    };
     let mut j = genpar_obs::Json::parse(&text)
         .map_err(|e| CliError::runtime(format!("calibration file {path}: {e}")))?;
     let rows = genpar_exec::tune::tuner().rows();
@@ -136,9 +182,17 @@ fn persist_morsel_rows(path: &str) -> Result<usize, CliError> {
             )),
         }
     }
-    std::fs::write(path, format!("{j}\n"))
-        .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    genpar_optimizer::persist::save_atomic(path, &format!("{j}\n")).map_err(CliError::runtime)?;
     Ok(rows)
+}
+
+/// Render collected load warnings as the `warning:`-prefixed lines the
+/// text commands prepend to their output.
+fn warning_lines(warnings: &[String]) -> String {
+    warnings
+        .iter()
+        .map(|w| format!("warning: {w}\n"))
+        .collect::<String>()
 }
 
 /// Classify the built-in catalog of paper queries.
@@ -280,8 +334,18 @@ fn resolve_workers(workers: Option<usize>) -> usize {
         .max(1)
 }
 
-fn run(query: &str, db_path: &str, workers: Option<usize>) -> Result<String, CliError> {
+fn run(
+    query: &str,
+    db_path: &str,
+    workers: Option<usize>,
+    timeout_ms: Option<u64>,
+) -> Result<String, CliError> {
     let q = parse_q(query)?;
+    // the wall deadline rides the budget machinery: every charge_* call
+    // (serial interpreter and parallel meter alike) checks it, so a
+    // breach surfaces as a structured budget error — exit 4, wall_ms
+    let _wall =
+        timeout_ms.map(|ms| genpar_guard::arm_wall_deadline(std::time::Duration::from_millis(ms)));
     let w = resolve_workers(workers);
     if w > 1 {
         // The partition-safety gate: queries the genericity checker
@@ -417,8 +481,9 @@ fn explain_cmd(
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
-    let cal = load_calibration(calibration)?;
-    let store = load_stats(stats_path)?;
+    let (cal, cal_warning) = load_calibration(calibration)?;
+    let (store, stats_warning) = load_stats(stats_path);
+    let warnings: Vec<String> = [cal_warning, stats_warning].into_iter().flatten().collect();
     let obs_stats = store
         .as_ref()
         .and_then(|s| s.catalog(stats_catalog_key(db_path)));
@@ -427,7 +492,7 @@ fn explain_cmd(
         optimize_costed_parallel_with_stats(&q, &rules, &catalog, w, &cal, obs_stats);
     let snap = genpar_obs::snapshot();
 
-    let mut out = String::new();
+    let mut out = warning_lines(&warnings);
     let _ = writeln!(out, "query:     {q}");
     let _ = writeln!(out, "optimized: {chosen}");
     if let Some(p) = stats_path {
@@ -651,13 +716,17 @@ fn profile_cmd(
     timeline: bool,
     calibration: Option<&str>,
     stats_path: Option<&str>,
+    timeout_ms: Option<u64>,
 ) -> Result<String, CliError> {
     let q = parse_q(query)?;
+    let _wall =
+        timeout_ms.map(|ms| genpar_guard::arm_wall_deadline(std::time::Duration::from_millis(ms)));
     let w = resolve_workers(workers);
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
-    let cal = load_calibration(calibration)?;
-    let mut store = load_stats(stats_path)?;
+    let (cal, cal_warning) = load_calibration(calibration)?;
+    let (mut store, stats_warning) = load_stats(stats_path);
+    let warnings: Vec<String> = [cal_warning, stats_warning].into_iter().flatten().collect();
     let stats_key = stats_catalog_key(db_path);
     // consult a clone so the store stays mutable for the post-run harvest
     let obs_stats_owned = store.as_ref().and_then(|s| s.catalog(stats_key)).cloned();
@@ -814,10 +883,25 @@ fn profile_cmd(
                     genpar_obs::Json::Int(rows as i128),
                 ));
             }
+            if !warnings.is_empty() {
+                fields.push((
+                    "warnings".to_string(),
+                    genpar_obs::Json::Arr(
+                        warnings
+                            .iter()
+                            .map(|w| genpar_obs::Json::str(w.as_str()))
+                            .collect(),
+                    ),
+                ));
+            }
         }
         Ok(format!("{j}\n"))
     } else {
-        let mut out = format!("query: {q}\n\n{}", snap.render_tree());
+        let mut out = format!(
+            "{}query: {q}\n\n{}",
+            warning_lines(&warnings),
+            snap.render_tree()
+        );
         if !mis.is_empty() {
             let _ = writeln!(out, "misestimate (actual / estimated rows):");
             for (op, est, actual, ratio) in &mis {
@@ -869,8 +953,8 @@ fn calibrate_cmd(bench_path: &str, out_path: &str) -> Result<String, CliError> {
     if hw < 2 {
         cal.unreliable = true;
     }
-    std::fs::write(out_path, format!("{}\n", cal.to_json()))
-        .map_err(|e| CliError::runtime(format!("cannot write {out_path}: {e}")))?;
+    genpar_optimizer::persist::save_atomic(out_path, &format!("{}\n", cal.to_json()))
+        .map_err(CliError::runtime)?;
     let mut out = String::new();
     let _ = writeln!(out, "fitted from {bench_path}:");
     let _ = writeln!(
@@ -950,6 +1034,189 @@ fn stats_cmd(action: &str, file: &str) -> Result<String, CliError> {
     }
 }
 
+/// The fault sites a chaos storm may arm. All of them sit on the
+/// recovery ladder: nth-hit faults are retried in place, persistent
+/// faults quarantine workers and ultimately degrade the query to the
+/// serial interpreter — never a wrong answer, never a panic.
+const CHAOS_SITES: &[&str] = &[
+    "exec.morsel",
+    "exec.merge",
+    "exec.fixpoint_round",
+    "exec.combine",
+    "exec.retry",
+];
+
+/// The query pool a chaos case draws from: plain partitioned shapes,
+/// every combiner, and a per-round fixpoint — one of each route the
+/// parallel executor can take.
+const CHAOS_QUERIES: &[&str] = &[
+    "pi[$1](R)",
+    "select[$1=$2](R)",
+    "union(R, S)",
+    "diff(R, S)",
+    "pi[$1,$4](join[$2=$1](R, S))",
+    "count(R)",
+    "sum[$2](R)",
+    "even(R)",
+    "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))",
+];
+
+/// `genpar chaos [--seed N] [--cases M]`: the chaos oracle as a
+/// subcommand. Each case deterministically derives a random catalog,
+/// query, worker width and multi-site fault storm from the seed,
+/// computes the fault-free serial answer, replays the query under the
+/// storm, and fails loudly (exit 5, with the repro seed) if the
+/// recovered answer differs — plus a torn-write drill proving corrupt
+/// state files are quarantined and regenerated. Exit 0 means every
+/// recovery rung preserved byte-identical answers.
+fn chaos_cmd(seed: u64, cases: u32) -> Result<String, CliError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let queries: Vec<Query> = CHAOS_QUERIES
+        .iter()
+        .map(|q| parse_q(q))
+        .collect::<Result<_, _>>()?;
+    // the storm owns the process-global fault table for the whole loop
+    genpar_guard::disarm_faults();
+    let (mut recovered, mut degraded) = (0u32, 0u32);
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (case as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(1),
+        );
+        // a small random catalog: R/S binary tables and a chain E
+        let mut catalog = Catalog::new();
+        for name in ["R", "S"] {
+            let rows = rng.gen_range(10..120i64);
+            let modulus = rng.gen_range(2..9i64);
+            let mut t = Table::new(name, Schema::uniform(CvType::int(), 2));
+            for i in 0..rows {
+                t.insert(vec![
+                    genpar_value::Value::Int(i),
+                    genpar_value::Value::Int(i % modulus),
+                ]);
+            }
+            catalog.add(t);
+        }
+        let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
+        for i in 0..rng.gen_range(3..12) {
+            e.insert(vec![
+                genpar_value::Value::Int(i),
+                genpar_value::Value::Int(i + 1),
+            ]);
+        }
+        catalog.add(e);
+        let q = &queries[rng.gen_range(0..queries.len())];
+        // the fault-free serial truth for this case
+        let (truth, _, _) =
+            genpar_exec::eval_query(q, &catalog, &ExecConfig::serial()).map_err(|e| {
+                CliError::internal(format!("chaos case {case}: clean serial run failed: {e}"))
+            })?;
+        // a storm: one to three sites, each nth-hit or persistent
+        let storm: Vec<String> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                let site = CHAOS_SITES[rng.gen_range(0..CHAOS_SITES.len())];
+                if rng.gen_bool(0.3) {
+                    format!("{site}:*")
+                } else {
+                    format!("{site}:{}", rng.gen_range(1..6))
+                }
+            })
+            .collect();
+        let spec = storm.join(",");
+        genpar_guard::arm_faults(&spec)
+            .map_err(|e| CliError::internal(format!("chaos case {case}: bad storm spec: {e}")))?;
+        let cfg = ExecConfig::serial()
+            .with_workers(if rng.gen_bool(0.5) { 2 } else { 4 })
+            .with_morsel_rows(rng.gen_range(4..48));
+        let result = genpar_exec::eval_query(q, &catalog, &cfg);
+        genpar_guard::disarm_faults();
+        let repro = format!("repro: genpar chaos --seed {seed} --cases {}", case + 1);
+        match result {
+            Ok((v, _, route)) => {
+                if v != truth {
+                    return Err(CliError::internal(format!(
+                        "chaos case {case}: answer diverged under storm \"{spec}\" on {q}\n  \
+                         got:      {v}\n  expected: {truth}\n  {repro}"
+                    )));
+                }
+                match route {
+                    genpar_exec::ExecRoute::Fallback { .. } => degraded += 1,
+                    _ => recovered += 1,
+                }
+            }
+            Err(e) => {
+                return Err(CliError::internal(format!(
+                    "chaos case {case}: the ladder must degrade, never error — \
+                     storm \"{spec}\" on {q} returned: {e}\n  {repro}"
+                )))
+            }
+        }
+    }
+
+    // torn-write drill: injected persistence faults must leave the old
+    // file intact, and a torn file must quarantine + regenerate
+    let dir = std::env::temp_dir().join(format!("genpar-chaos-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::runtime(format!("cannot create {}: {e}", dir.display())))?;
+    let state = dir.join("STATS.json");
+    let state_path = state.to_string_lossy().into_owned();
+    let mut store = StatsStore::new();
+    for _ in 0..3 {
+        store
+            .catalog_mut("chaos")
+            .observe(7, "plan.Filter", 100, 10);
+    }
+    store.save(&state_path).map_err(CliError::runtime)?;
+    genpar_guard::arm_faults("io.persist:1").map_err(|e| CliError::internal(e.to_string()))?;
+    let fault_write = store.save(&state_path);
+    genpar_guard::disarm_faults();
+    if fault_write.is_ok() {
+        return Err(CliError::internal(
+            "chaos: injected io.persist fault did not surface from save".to_string(),
+        ));
+    }
+    let (reloaded, warning) = StatsStore::load_or_quarantine(&state_path);
+    if warning.is_some() || reloaded.catalogs.is_empty() {
+        return Err(CliError::internal(
+            "chaos: a failed save must leave the previous state file intact".to_string(),
+        ));
+    }
+    // now tear the file mid-payload and prove the load quarantines it
+    let text = std::fs::read_to_string(&state)
+        .map_err(|e| CliError::runtime(format!("cannot read {state_path}: {e}")))?;
+    std::fs::write(&state, &text[..text.len() / 2])
+        .map_err(|e| CliError::runtime(format!("cannot tear {state_path}: {e}")))?;
+    let (regenerated, warning) = StatsStore::load_or_quarantine(&state_path);
+    let corrupt = format!("{state_path}.corrupt");
+    if warning.is_none()
+        || !regenerated.catalogs.is_empty()
+        || !std::path::Path::new(&corrupt).exists()
+    {
+        return Err(CliError::internal(format!(
+            "chaos: torn {state_path} was not quarantined and regenerated"
+        )));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: {cases} case(s) with seed {seed} — every answer byte-identical to serial"
+    );
+    let _ = writeln!(
+        out,
+        "  routes: {recovered} recovered on the parallel path, {degraded} degraded to serial"
+    );
+    let _ = writeln!(
+        out,
+        "  persistence: torn-write drill quarantined and regenerated the state file"
+    );
+    Ok(out)
+}
+
 /// Coerce a relation value to uniform-arity tuples (pad/skip oddballs) so
 /// it can be loaded into a schema'd table.
 fn normalize_rel(v: &genpar_value::Value, arity: usize) -> genpar_value::Value {
@@ -1023,6 +1290,7 @@ mod tests {
             "pi[$1,$4](join[$2=$1](R, R))",
             path.to_str().unwrap(),
             Some(1),
+            None,
         )
         .unwrap();
         assert_eq!(out.trim(), "{(e, g)}");
@@ -1051,8 +1319,8 @@ mod tests {
             "diff(R, S)",
             "pi[$1,$4](join[$2=$1](R, S))",
         ] {
-            let serial = run(q, p, Some(1)).unwrap();
-            let parallel = run(q, p, Some(4)).unwrap();
+            let serial = run(q, p, Some(1), None).unwrap();
+            let parallel = run(q, p, Some(4), None).unwrap();
             assert_eq!(serial, parallel, "parity broke on {q}");
         }
     }
@@ -1066,7 +1334,7 @@ mod tests {
         let p = path.to_str().unwrap();
         let _g = obs_guard();
         genpar_obs::reset();
-        let out = run("powerset(R)", p, Some(4)).unwrap();
+        let out = run("powerset(R)", p, Some(4), None).unwrap();
         assert!(out.contains("{(1, 2)}"), "{out}");
         let snap = genpar_obs::snapshot();
         let ev = snap
@@ -1099,13 +1367,13 @@ mod tests {
         genpar_obs::reset();
         // root-level aggregates take the combiner route at 4 workers —
         // `even(R)` no longer degrades to serial (the acceptance bar)
-        assert_eq!(run("even(R)", p, Some(4)).unwrap().trim(), "true");
-        assert_eq!(run("count(R)", p, Some(4)).unwrap().trim(), "2");
-        assert_eq!(run("sum[$1](R)", p, Some(4)).unwrap().trim(), "3");
+        assert_eq!(run("even(R)", p, Some(4), None).unwrap().trim(), "true");
+        assert_eq!(run("count(R)", p, Some(4), None).unwrap().trim(), "2");
+        assert_eq!(run("sum[$1](R)", p, Some(4), None).unwrap().trim(), "3");
         // a distributive-body fixpoint runs per-round on the pool
         let fix = "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))";
-        let serial = run(fix, p, Some(1)).unwrap();
-        let parallel = run(fix, p, Some(4)).unwrap();
+        let serial = run(fix, p, Some(1), None).unwrap();
+        let parallel = run(fix, p, Some(4), None).unwrap();
         assert_eq!(serial, parallel, "fixpoint parity broke");
         let snap = genpar_obs::snapshot();
         assert!(
@@ -1233,6 +1501,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("spans:"), "{out}");
@@ -1250,6 +1519,7 @@ mod tests {
             Some(1),
             None,
             false,
+            None,
             None,
             None,
         )
@@ -1297,6 +1567,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("exec.parallel"), "{out}");
@@ -1321,6 +1592,7 @@ mod tests {
             Some(4),
             Some(p),
             false,
+            None,
             None,
             None,
         )
@@ -1351,6 +1623,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         let parsed = genpar_obs::Json::parse(&out).unwrap();
@@ -1376,6 +1649,7 @@ mod tests {
             Some(1),
             Some(p),
             false,
+            None,
             None,
             None,
         )
@@ -1450,7 +1724,9 @@ mod tests {
         assert!(out.contains("unreliable: true"), "{out}");
         let cal = Calibration::from_file(out_file.to_str().unwrap()).unwrap();
         assert!(cal.unreliable, "unreliable flag must ride in the JSON");
-        let text = std::fs::read_to_string(&out_file).unwrap();
+        let text = genpar_optimizer::persist::read_payload(out_file.to_str().unwrap())
+            .unwrap()
+            .unwrap();
         let j = genpar_obs::Json::parse(&text).unwrap();
         assert!(
             matches!(j.get("unreliable"), Some(genpar_obs::Json::Bool(true))),
@@ -1506,6 +1782,7 @@ mod tests {
                 false,
                 None,
                 Some(f),
+                None,
             )
             .unwrap();
             assert!(
@@ -1539,6 +1816,7 @@ mod tests {
             false,
             None,
             Some(f),
+            None,
         )
         .unwrap();
         let parsed = genpar_obs::Json::parse(&out).unwrap();
@@ -1565,6 +1843,7 @@ mod tests {
             true,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("timeline:"), "{out}");
@@ -1578,6 +1857,7 @@ mod tests {
             Some(4),
             None,
             true,
+            None,
             None,
             None,
         )
@@ -1611,6 +1891,7 @@ mod tests {
             Some(4),
             Some(p),
             false,
+            None,
             None,
             None,
         )
@@ -1664,6 +1945,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("counters:"), "{out}");
@@ -1676,6 +1958,7 @@ mod tests {
             Some(4),
             None,
             false,
+            None,
             None,
             None,
         )
@@ -1698,6 +1981,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains("exec.combine"), "{out}");
@@ -1715,6 +1999,7 @@ mod tests {
             Some(4),
             None,
             false,
+            None,
             None,
             None,
         )
@@ -1746,11 +2031,12 @@ mod tests {
             false,
             Some(c),
             None,
+            None,
         )
         .unwrap();
         assert!(out.contains(&format!("persisted to {c}")), "{out}");
         // round trip: the file gained morsel_rows and kept every other key
-        let text = std::fs::read_to_string(&cal_path).unwrap();
+        let text = genpar_optimizer::persist::read_payload(c).unwrap().unwrap();
         let j = genpar_obs::Json::parse(&text).unwrap();
         let rows = j
             .get("morsel_rows")
@@ -1760,7 +2046,7 @@ mod tests {
         // the calibration parameters survive and the file still loads
         // (unknown keys are ignored by the calibration parser, and the
         // startup preseed path reads the same file back)
-        let cal = load_calibration(Some(c)).unwrap();
+        let cal = load_calibration(Some(c)).unwrap().0;
         assert!((cal.overhead_per_worker - 0.04).abs() < 1e-9, "{text}");
         assert!((cal.startup_cost_cells - 10.0).abs() < 1e-9, "{text}");
         // persisting again overwrites in place rather than duplicating
@@ -1773,6 +2059,7 @@ mod tests {
             None,
             false,
             Some(c),
+            None,
             None,
         )
         .unwrap();
@@ -1790,7 +2077,7 @@ mod tests {
         assert!(classify("pi[$0](R)").is_err());
         assert!(check("R", "sideways", "all").is_err());
         assert!(check("R", "rel", "weird").is_err());
-        assert!(run("R", "/nonexistent/path.gdb", Some(1)).is_err());
+        assert!(run("R", "/nonexistent/path.gdb", Some(1), None).is_err());
         assert!(optimize_cmd("diff(R,S)", None, Some("R,S")).is_err());
         assert!(optimize_cmd("diff(R,S)", None, Some("R,S:$0")).is_err());
     }
@@ -1809,5 +2096,67 @@ mod tests {
         assert!(out.contains("USAGE"));
         let out = execute(&Command::Classify { query: "R".into() }).unwrap();
         assert!(out.contains("fully generic"));
+    }
+
+    #[test]
+    fn corrupt_stats_file_is_quarantined_and_explain_still_runs() {
+        let _g = obs_guard();
+        let dir = std::env::temp_dir().join("genpar_cli_test_corrupt_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("STATS.json");
+        let s = path.to_str().unwrap();
+        // a healthy file first, then tear it mid-payload
+        let mut store = StatsStore::new();
+        store.catalog_mut("x").observe(1, "plan.Filter", 100, 10);
+        store.save(s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 8]).unwrap();
+        let _ = std::fs::remove_file(dir.join("STATS.json.corrupt"));
+        let out = explain_cmd("pi[$1](union(R, S))", None, None, None, None, Some(s)).unwrap();
+        assert!(out.starts_with("warning: "), "{out}");
+        assert!(out.contains("corrupt"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        // the torn file moved aside; explain proceeded with fresh stats
+        assert!(dir.join("STATS.json.corrupt").exists());
+        assert!(!path.exists());
+        assert!(out.contains("chosen plan"), "{out}");
+    }
+
+    #[test]
+    fn corrupt_calibration_quarantines_to_default_but_missing_errors() {
+        let _g = obs_guard();
+        let dir = std::env::temp_dir().join("genpar_cli_test_corrupt_cal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let c = path.to_str().unwrap();
+        // corrupt: checksum header that does not match the payload
+        std::fs::write(
+            &path,
+            "#genpar-checksum: 0000000000000000\n{\"schema_version\": 2}\n",
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(dir.join("cal.json.corrupt"));
+        let (cal, warning) = load_calibration(Some(c)).unwrap();
+        let w = warning.expect("corrupt calibration must warn");
+        assert!(w.contains("corrupt"), "{w}");
+        assert!(w.contains("default calibration"), "{w}");
+        assert!(dir.join("cal.json.corrupt").exists());
+        assert_eq!(
+            cal.overhead_per_worker,
+            Calibration::default().overhead_per_worker
+        );
+        // missing is a hard error: the user named a file that is not there
+        let missing = dir.join("nope.json");
+        let err = load_calibration(Some(missing.to_str().unwrap())).unwrap_err();
+        assert!(err.message.contains("cannot read"), "{}", err.message);
+    }
+
+    #[test]
+    fn chaos_smoke_runs_a_few_cases_clean() {
+        let _g = obs_guard();
+        let out = chaos_cmd(42, 6).unwrap();
+        assert!(out.contains("6 case(s) with seed 42"), "{out}");
+        assert!(out.contains("byte-identical"), "{out}");
+        assert!(out.contains("torn-write drill"), "{out}");
     }
 }

@@ -164,14 +164,15 @@ USAGE:
   genpar classify '<query>'
   genpar check    '<query>' [--mode rel|strong] [--class all|total-surjective|functional|injective|bijective]
   genpar probe    '<query>' [--mode rel|strong] [--arity N]
-  genpar run      '<query>' --db FILE [--parallel N]
+  genpar run      '<query>' --db FILE [--parallel N] [--timeout MS]
   genpar optimize '<query>' [--db FILE] [--union-key R,S:$N]
   genpar explain  '<query>' [--db FILE] [--union-key R,S:$N] [--parallel N] [--calibration FILE]
                   [--stats FILE]
   genpar profile  '<query>' [--db FILE] [--union-key R,S:$N] [--json] [--parallel N]
-                  [--trace FILE] [--timeline] [--calibration FILE] [--stats FILE]
+                  [--trace FILE] [--timeline] [--calibration FILE] [--stats FILE] [--timeout MS]
   genpar calibrate [--bench FILE] [--out FILE]
   genpar stats    show|reset [--file FILE]
+  genpar chaos    [--seed N] [--cases M]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
@@ -201,6 +202,17 @@ USAGE:
   --calibration FILE` writes the converged morsel size back into the
   file (key `morsel_rows`); later runs preseed the tuner from it
   (GENPAR_MORSEL always wins over the persisted seed).
+  --timeout MS (run/profile) arms a wall-clock deadline; crossing it
+  ends the command as a budget breach (exit 4, resource wall_ms).
+  GENPAR_RETRY=N caps in-place re-runs of faulted morsels and fixpoint
+  rounds (default 2, 0 disables); repeated faults quarantine the
+  worker, and only an exhausted ladder degrades the query to serial.
+  GENPAR_FAULTS=site:nth|* arms deterministic fault injection at a
+  known site (unknown sites are usage errors naming the bad token).
+  `genpar chaos` replays --cases seeded fault storms (morsel, merge,
+  fixpoint-round, combine, retry and persistence faults) and fails
+  loudly if any recovered answer differs from fault-free serial
+  evaluation.
 
 QUERY SYNTAX (columns are 1-based):
   R | empty | lit[{(a,b)}]
@@ -240,7 +252,7 @@ pub enum Command {
         /// Assumed arity of the input relations.
         arity: usize,
     },
-    /// `run <query> --db FILE [--parallel N]`
+    /// `run <query> --db FILE [--parallel N] [--timeout MS]`
     Run {
         /// The query text.
         query: String,
@@ -249,6 +261,9 @@ pub enum Command {
         /// Worker threads from `--parallel` (`None` defers to
         /// `GENPAR_PARALLEL`, then serial).
         workers: Option<usize>,
+        /// Wall-clock deadline in milliseconds (`--timeout`); crossing
+        /// it is a budget breach (exit 4).
+        timeout_ms: Option<u64>,
     },
     /// `optimize <query> ...`
     Optimize {
@@ -301,6 +316,9 @@ pub enum Command {
         /// before the run, harvested from the run's `plan.node_stats`
         /// events and written back after it.
         stats: Option<String>,
+        /// Wall-clock deadline in milliseconds (`--timeout`); crossing
+        /// it is a budget breach (exit 4).
+        timeout_ms: Option<u64>,
     },
     /// `calibrate` — fit the parallel cost model from a bench JSON and
     /// write a calibration file.
@@ -317,6 +335,15 @@ pub enum Command {
         action: String,
         /// Store file (default `STATS.json`).
         file: String,
+    },
+    /// `chaos` — the built-in chaos oracle: replay deterministic fault
+    /// storms over random queries and assert the recovered answers stay
+    /// byte-identical to fault-free serial evaluation.
+    Chaos {
+        /// Deterministic seed for the storm generator.
+        seed: u64,
+        /// Number of cases to run (default 64).
+        cases: u32,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -363,6 +390,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             .transpose()
     }
 
+    fn take_timeout(rest: &mut Vec<&String>) -> Result<Option<u64>, CliError> {
+        let present = rest.iter().any(|a| a.as_str() == "--timeout");
+        match take_flag(rest, "--timeout") {
+            Some(ms) => ms
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|e| CliError::usage(format!("bad --timeout {ms:?}: {e}"))),
+            None if present => Err(CliError::usage("--timeout needs a value in milliseconds")),
+            None => Ok(None),
+        }
+    }
+
     match cmd.as_str() {
         "--help" | "-h" | "help" => Ok(Command::Help),
         "audit" => Ok(Command::Audit),
@@ -401,11 +440,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let db = take_flag(&mut rest, "--db")
                 .ok_or_else(|| CliError::usage("run needs --db FILE"))?;
             let workers = take_workers(&mut rest)?;
+            let timeout_ms = take_timeout(&mut rest)?;
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("run needs a query"))?
                 .to_string();
-            Ok(Command::Run { query, db, workers })
+            Ok(Command::Run {
+                query,
+                db,
+                workers,
+                timeout_ms,
+            })
         }
         "optimize" => {
             let db = take_flag(&mut rest, "--db");
@@ -448,6 +493,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let timeline = take_switch(&mut rest, "--timeline");
             let calibration = take_flag(&mut rest, "--calibration");
             let stats = take_flag(&mut rest, "--stats");
+            let timeout_ms = take_timeout(&mut rest)?;
             let query = rest
                 .first()
                 .ok_or_else(|| CliError::usage("profile needs a query"))?
@@ -462,6 +508,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 timeline,
                 calibration,
                 stats,
+                timeout_ms,
             })
         }
         "calibrate" => {
@@ -474,6 +521,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 )));
             }
             Ok(Command::Calibrate { bench, out })
+        }
+        "chaos" => {
+            let seed = take_flag(&mut rest, "--seed")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|e| CliError::usage(format!("bad --seed {s:?}: {e}")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let cases = take_flag(&mut rest, "--cases")
+                .map(|s| {
+                    s.parse::<u32>()
+                        .map_err(|e| CliError::usage(format!("bad --cases {s:?}: {e}")))
+                })
+                .transpose()?
+                .unwrap_or(64);
+            if cases == 0 {
+                return Err(CliError::usage("--cases must be at least 1"));
+            }
+            if let Some(stray) = rest.first() {
+                return Err(CliError::usage(format!(
+                    "chaos takes no positional arguments (got {stray:?})"
+                )));
+            }
+            Ok(Command::Chaos { seed, cases })
         }
         "stats" => {
             let file = take_flag(&mut rest, "--file").unwrap_or_else(|| "STATS.json".into());
@@ -526,7 +598,8 @@ mod tests {
             Command::Run {
                 query: "R".into(),
                 db: "x.gdb".into(),
-                workers: None
+                workers: None,
+                timeout_ms: None
             }
         );
         assert_eq!(
@@ -534,8 +607,26 @@ mod tests {
             Command::Run {
                 query: "R".into(),
                 db: "x.gdb".into(),
-                workers: Some(4)
+                workers: Some(4),
+                timeout_ms: None
             }
+        );
+        assert_eq!(
+            parse_args(&argv(&["run", "--db", "x.gdb", "--timeout", "2500", "R"])).unwrap(),
+            Command::Run {
+                query: "R".into(),
+                db: "x.gdb".into(),
+                workers: None,
+                timeout_ms: Some(2500)
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["chaos"])).unwrap(),
+            Command::Chaos { seed: 0, cases: 64 }
+        );
+        assert_eq!(
+            parse_args(&argv(&["chaos", "--seed", "7", "--cases", "16"])).unwrap(),
+            Command::Chaos { seed: 7, cases: 16 }
         );
         assert_eq!(
             parse_args(&argv(&["optimize", "--union-key", "R,S:$1", "diff(R,S)"])).unwrap(),
@@ -567,7 +658,8 @@ mod tests {
                 trace: None,
                 timeline: false,
                 calibration: None,
-                stats: None
+                stats: None,
+                timeout_ms: None
             }
         );
         assert_eq!(
@@ -581,7 +673,8 @@ mod tests {
                 trace: None,
                 timeline: false,
                 calibration: None,
-                stats: None
+                stats: None,
+                timeout_ms: None
             }
         );
         assert_eq!(
@@ -603,7 +696,8 @@ mod tests {
                 trace: Some("out.json".into()),
                 timeline: false,
                 calibration: Some("cal.json".into()),
-                stats: None
+                stats: None,
+                timeout_ms: None
             }
         );
         assert_eq!(
@@ -639,5 +733,15 @@ mod tests {
         assert!(parse_args(&argv(&["probe", "--arity", "x", "R"])).is_err());
         assert!(parse_args(&argv(&["run", "--db", "x.gdb", "--parallel", "many", "R"])).is_err());
         assert!(parse_args(&argv(&["calibrate", "stray-arg"])).is_err());
+        // --timeout parsing is strict: missing or non-numeric values are
+        // usage errors naming the bad token, never silently ignored
+        assert!(parse_args(&argv(&["run", "--db", "x.gdb", "--timeout", "soon", "R"])).is_err());
+        let err = parse_args(&argv(&["run", "--db", "x.gdb", "--timeout", "-5", "R"])).unwrap_err();
+        assert!(err.message.contains("-5"), "{}", err.message);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        assert!(parse_args(&argv(&["run", "--db", "x.gdb", "R", "--timeout"])).is_err());
+        assert!(parse_args(&argv(&["chaos", "--seed", "NaN"])).is_err());
+        assert!(parse_args(&argv(&["chaos", "--cases", "0"])).is_err());
+        assert!(parse_args(&argv(&["chaos", "stray"])).is_err());
     }
 }

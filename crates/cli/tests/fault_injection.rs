@@ -224,8 +224,17 @@ fn env_budget_steps_deadline_exits_4() {
 }
 
 #[test]
-fn parallel_morsel_fault_exits_5() {
+fn parallel_morsel_fault_recovers_via_retry() {
+    // The recovery ladder, end to end: a single injected morsel fault is
+    // retried in place, the query stays on the parallel path (no
+    // serial fallback), and the answer matches the fault-free run.
     let db = small_db();
+    let query = "pi[$1](select[$2=$2](R))";
+    let clean = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), query])
+        .output()
+        .unwrap();
+    assert_eq!(clean.status.code(), Some(0), "{}", stderr_of(&clean));
     let out = genpar()
         .env("GENPAR_FAULTS", "exec.morsel:1")
         .args([
@@ -234,11 +243,179 @@ fn parallel_morsel_fault_exits_5() {
             db.to_str().unwrap(),
             "--parallel",
             "4",
-            "pi[$1](select[$2=$2](R))",
+            query,
         ])
         .output()
         .unwrap();
-    assert_fault_exit(&out, "exec.morsel");
+    assert_no_panic(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a single morsel fault must be retried, not fatal; stderr: {}",
+        stderr_of(&out)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&clean.stdout),
+        "retried run must produce the fault-free answer"
+    );
+    // profile --json exposes the counters: the retry rung fired, the
+    // serial-fallback rung did not.
+    let prof = genpar()
+        .env("GENPAR_FAULTS", "exec.morsel:1")
+        .args([
+            "profile",
+            "--db",
+            db.to_str().unwrap(),
+            "--parallel",
+            "4",
+            "--json",
+            query,
+        ])
+        .output()
+        .unwrap();
+    assert_no_panic(&prof);
+    assert_eq!(prof.status.code(), Some(0), "{}", stderr_of(&prof));
+    let json = String::from_utf8_lossy(&prof.stdout);
+    assert!(
+        json.contains("exec.degrade_step.retry"),
+        "retry counter missing from profile: {json}"
+    );
+    assert!(
+        !json.contains("exec.fallbacks"),
+        "single fault must not reach the serial-fallback rung: {json}"
+    );
+}
+
+#[test]
+fn persistent_parallel_fault_degrades_to_serial_answer() {
+    // Exhausting the ladder (every hit of the site faults) must still
+    // answer — degraded to the serial interpreter, byte-identical.
+    let db = small_db();
+    let query = "pi[$1](select[$2=$2](R))";
+    let clean = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), query])
+        .output()
+        .unwrap();
+    let out = genpar()
+        .env("GENPAR_FAULTS", "exec.morsel:*")
+        .args([
+            "run",
+            "--db",
+            db.to_str().unwrap(),
+            "--parallel",
+            "4",
+            query,
+        ])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&clean.stdout),
+        "degraded run must produce the fault-free answer"
+    );
+}
+
+#[test]
+fn unknown_fault_site_is_usage_error_naming_the_token() {
+    let out = genpar()
+        .env("GENPAR_FAULTS", "exec.morsel:1,engine.scna:2")
+        .args(["classify", "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("engine.scna"), "must name the bad site: {err}");
+    assert!(err.contains("GENPAR_FAULTS"), "{err}");
+}
+
+#[test]
+fn bad_fault_nth_is_usage_error_naming_the_token() {
+    let out = genpar()
+        .env("GENPAR_FAULTS", "engine.scan:soon")
+        .args(["classify", "R"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("soon"), "must name the bad count: {err}");
+}
+
+#[test]
+fn timeout_flag_exits_4_with_wall_resource() {
+    // A deliberately heavy query under a 1 ms deadline: the watchdog
+    // cancels it through the budget machinery (exit 4, resource
+    // wall_ms), never a panic or a hang.
+    let elems: Vec<String> = (1..=300).map(|i| format!("({i}, {})", i % 7)).collect();
+    let db = write_db(&format!("R = {{{0}}}\nS = {{{0}}}\n", elems.join(", ")));
+    let out = genpar()
+        .args([
+            "run",
+            "--db",
+            db.to_str().unwrap(),
+            "--timeout",
+            "1",
+            "product(R, S)",
+        ])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "wall deadline is a budget breach; stderr: {}",
+        stderr_of(&out)
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("wall_ms"), "must name the resource: {err}");
+}
+
+#[test]
+fn generous_timeout_leaves_the_answer_alone() {
+    let db = small_db();
+    let plain = genpar()
+        .args(["run", "--db", db.to_str().unwrap(), "R"])
+        .output()
+        .unwrap();
+    let timed = genpar()
+        .args([
+            "run",
+            "--db",
+            db.to_str().unwrap(),
+            "--timeout",
+            "60000",
+            "R",
+        ])
+        .output()
+        .unwrap();
+    assert_no_panic(&timed);
+    assert_eq!(
+        timed.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&timed)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&timed.stdout)
+    );
+}
+
+#[test]
+fn chaos_subcommand_passes_a_fixed_seed_storm() {
+    let out = genpar()
+        .args(["chaos", "--seed", "7", "--cases", "8"])
+        .output()
+        .unwrap();
+    assert_no_panic(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8 case(s) with seed 7"), "{text}");
+    assert!(text.contains("byte-identical"), "{text}");
 }
 
 #[test]

@@ -48,6 +48,36 @@ enum TaskKind {
     Partition,
 }
 
+/// The watchdog deadline for one task, derived from the observed latency
+/// distribution: generous (8 × the running p95, floored at 10ms) so a
+/// loaded machine does not trip it, but tight enough that a genuinely
+/// stuck task is flagged. No history yet means no deadline.
+pub(crate) fn watchdog_deadline_us(p95: u64) -> u64 {
+    if p95 == 0 {
+        u64::MAX
+    } else {
+        p95.saturating_mul(8).max(10_000)
+    }
+}
+
+/// Record a task (or round) that overran its watchdog deadline. The
+/// result is kept — it is correct, and discarding completed work would
+/// be a worse degradation than the slowness itself — but the overrun is
+/// reported loudly so an operator sees stuck-task pressure building
+/// before the wall-clock rung (`--timeout`) starts cancelling queries.
+pub(crate) fn note_watchdog(site: &'static str, us: u64, deadline_us: u64) {
+    genpar_obs::counter("exec.watchdog", 1);
+    genpar_obs::event(
+        "exec.watchdog",
+        [
+            ("site", genpar_obs::FieldValue::from(site)),
+            ("us", genpar_obs::FieldValue::U64(us)),
+            ("deadline_us", genpar_obs::FieldValue::U64(deadline_us)),
+        ],
+    );
+    genpar_obs::timeline::record_instant("exec.watchdog", std::time::Instant::now());
+}
+
 /// Run a kernel's tasks on the pool with each task wall-clock timed into
 /// the `exec.morsel_us` histogram (and, when the timeline recorder is
 /// on, a real begin/end record per task on its worker's lane).
@@ -56,6 +86,15 @@ enum TaskKind {
 /// batch (and emits `exec.retune`). p95 rather than the mean: a few
 /// slow outlier morsels (a skewed partition, a cold cache) should grow
 /// the batch verdict, not be averaged away by many fast ones.
+///
+/// This is also where the recovery ladder arms. Each task runs behind a
+/// panic boundary (a panicking morsel becomes a structured internal
+/// error, eligible for recovery like any fault), and when recovery is on
+/// — fault injection armed, or `GENPAR_RETRY` set explicitly — the pool
+/// keeps every morsel recoverable: in-place retries through
+/// [`crate::retry_gate`], then worker quarantine, before the error
+/// escapes to the route layer's whole-serial rung. Tasks overrunning the
+/// p95-derived watchdog deadline are flagged via [`note_watchdog`].
 fn run_timed<T, F>(
     ctx: &Ctx,
     kind: TaskKind,
@@ -63,19 +102,26 @@ fn run_timed<T, F>(
     f: F,
 ) -> Result<Vec<(Rows, ExecStats)>, ExecError>
 where
-    T: Send,
+    T: Clone + Send,
     F: Fn(usize, T) -> Result<(Rows, ExecStats), ExecError> + Sync,
 {
     let hist = genpar_obs::histogram("exec.morsel_us");
+    let watchdog_us = watchdog_deadline_us(hist.snapshot().p95);
     let tune_batch = matches!(kind, TaskKind::Morsel) && ctx.cfg.auto_tune;
     let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
-    let parts = pool::run_tasks(ctx.cfg.workers, tasks, |i, t| {
+    let run = |i, t| {
         let start = std::time::Instant::now();
-        let out = f(i, t);
+        let out = match genpar_guard::catch_panics(|| f(i, t)) {
+            Ok(r) => r,
+            Err(msg) => Err(ExecError::Internal(format!("task panicked: {msg}"))),
+        };
         let end = std::time::Instant::now();
         genpar_obs::timeline::record_span("exec.morsel", start, end);
         let us = end.duration_since(start).as_micros() as u64;
         hist.record(us);
+        if us > watchdog_us {
+            note_watchdog("exec.morsel", us, watchdog_us);
+        }
         if tune_batch {
             match samples.lock() {
                 Ok(mut s) => s.push(us),
@@ -83,7 +129,19 @@ where
             }
         }
         out
-    })?;
+    };
+    let parts = match crate::recovery_retries() {
+        Some(retries) => pool::run_tasks_recovering(
+            ctx.cfg.workers,
+            tasks,
+            Some(pool::Recovery {
+                retries,
+                gate: &crate::retry_gate,
+            }),
+            run,
+        )?,
+        None => pool::run_tasks(ctx.cfg.workers, tasks, run)?,
+    };
     if tune_batch {
         let s = match samples.into_inner() {
             Ok(s) => s,

@@ -56,6 +56,60 @@ pub use morsel::DEFAULT_MORSEL_ROWS;
 /// Environment variable naming the default worker count.
 pub const PARALLEL_ENV: &str = "GENPAR_PARALLEL";
 
+/// In-place retries per failed task, when the recovery ladder should arm
+/// for this run; `None` keeps the plain first-error-cancels pool (and
+/// its zero-copy task hand-off).
+///
+/// Recovery requires holding every morsel recoverable (a clone per
+/// task), so it arms only when re-running a failed task can actually
+/// happen or help: fault injection is armed (every `Fault` is a
+/// deterministic per-hit blip that a re-run rides out), or the operator
+/// set `GENPAR_RETRY` explicitly — an opt-in to panic resilience at
+/// clone cost on the clean path. `GENPAR_RETRY=0` disables the in-place
+/// rung entirely, restoring the pre-ladder all-or-nothing behaviour.
+fn recovery_retries() -> Option<u32> {
+    let policy = genpar_guard::RetryPolicy::from_env_lossy();
+    if policy.max_retries == 0 {
+        return None;
+    }
+    let explicit = std::env::var(genpar_guard::RETRY_ENV).is_ok();
+    if genpar_guard::fault::faults_armed() || explicit {
+        Some(policy.max_retries)
+    } else {
+        None
+    }
+}
+
+/// The gate every in-place re-run passes: the `exec.retry` fault site
+/// (so chaos storms can fail the recovery machinery itself), plus the
+/// obs trail — `exec.degrade_step.retry` counter, `exec.retry` event and
+/// timeline instant. The re-run then re-enters the morsel from the top,
+/// charging the shared meter again for the repeated work.
+pub(crate) fn retry_gate(task: usize, attempt: u32) -> Result<(), ExecError> {
+    genpar_guard::faultpoint("exec.retry").map_err(|f| ExecError::Fault(f.to_string()))?;
+    genpar_obs::counter("exec.degrade_step.retry", 1);
+    genpar_obs::event(
+        "exec.retry",
+        [
+            ("task", FieldValue::U64(task as u64)),
+            ("attempt", FieldValue::U64(u64::from(attempt))),
+        ],
+    );
+    genpar_obs::timeline::record_instant("exec.retry", std::time::Instant::now());
+    Ok(())
+}
+
+/// Record a rung of the degradation ladder firing: the
+/// `exec.degrade_step.<step>` counter, an `exec.degrade_step` event and
+/// a timeline instant. Steps: `retry` (recorded via [`retry_gate`]),
+/// `quarantine` (recorded by the pool), `serial` (recorded here when a
+/// route exhausts recovery and falls back whole-serial).
+pub(crate) fn note_degrade(step: &'static str) {
+    genpar_obs::counter(&format!("exec.degrade_step.{step}"), 1);
+    genpar_obs::event("exec.degrade_step", [("step", FieldValue::from(step))]);
+    genpar_obs::timeline::record_instant("exec.degrade_step", std::time::Instant::now());
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecConfig {
@@ -419,17 +473,29 @@ pub fn eval_query(
     }
     match partition_safety(q) {
         PartitionSafety::Safe(cert) => match lower(q) {
-            Some(plan) => {
-                let (rows, stats) = plan.eval_parallel(catalog, cfg)?;
-                Ok((
+            Some(plan) => match plan.eval_parallel(catalog, cfg) {
+                Ok((rows, stats)) => Ok((
                     genpar_value::rows_to_value(rows),
                     stats,
                     ExecRoute::Parallel {
                         workers: cfg.workers,
                         certificate: cert.to_string(),
                     },
-                ))
-            }
+                )),
+                // the ladder's last rung: retries and quarantine are
+                // exhausted, so the whole query degrades to the serial
+                // interpreter — a correct answer, never a wrong one
+                Err(ExecError::Fault(_)) => {
+                    note_degrade("serial");
+                    fallback(
+                        q,
+                        catalog,
+                        "exec",
+                        "recovery ladder exhausted: degraded to the serial interpreter",
+                    )
+                }
+                Err(e) => Err(e),
+            },
             None => fallback(q, catalog, "lit", "literal rows are not flat tuples"),
         },
         PartitionSafety::FixpointRoundSafe { body_cert } => {
@@ -597,12 +663,15 @@ fn run_fixpoint_route(
                 },
             ))
         }
-        Err(ExecError::Fault(_)) => fallback(
-            q,
-            catalog,
-            "fix",
-            "injected fault in a fixpoint round: degraded to the serial interpreter",
-        ),
+        Err(ExecError::Fault(_)) => {
+            note_degrade("serial");
+            fallback(
+                q,
+                catalog,
+                "fix",
+                "injected fault in a fixpoint round: degraded to the serial interpreter",
+            )
+        }
         Err(e) => Err(e),
     }
 }
@@ -625,17 +694,13 @@ fn drive_fixpoint(
     let bound =
         (genpar_algebra::fixpoint::DEFAULT_FIXPOINT_ITERS as u64).min(genpar_guard::depth_limit());
     let hist = genpar_obs::histogram("exec.fixpoint_round_us");
+    let round_watchdog_us = kernels::watchdog_deadline_us(hist.snapshot().p95);
+    let round_retries = recovery_retries().unwrap_or(0);
     for iter in 0..bound {
         genpar_guard::charge_depth(iter + 1, "fixpoint").map_err(|b| breach_to_exec(b, stats))?;
         let start = std::time::Instant::now();
         let mut rsp = genpar_obs::span("exec.fixpoint_round");
         rsp.field("round", iter + 1);
-        genpar_guard::faultpoint("exec.fixpoint_round")
-            .map_err(|f| ExecError::Fault(f.to_string()))?;
-        if let Some(m) = ctx.meter {
-            m.charge_steps(1, "exec.fixpoint_round")
-                .map_err(|b| breach_to_exec(b, stats))?;
-        }
         genpar_obs::counter("exec.fixpoint_rounds", 1);
         // non-linear bodies see the whole accumulator; linear ones only
         // the rows that are new since the previous round
@@ -646,10 +711,36 @@ fn drive_fixpoint(
         };
         rsp.field("input_rows", input.len() as u64);
         let bound_body = step.substitute_rel(var, &genpar_value::rows_to_value(input));
-        let plan = lower(&bound_body).ok_or_else(|| {
-            ExecError::Internal("probed-lowerable fixpoint body failed to lower".to_string())
-        })?;
-        let produced = run_plan(&plan, catalog, ctx, stats)?;
+        // a round is pure against the accumulator (acc only changes
+        // after success), so a faulted round can be re-run whole — the
+        // round-granular rung of the recovery ladder
+        let produced = {
+            let mut attempt: u32 = 0;
+            loop {
+                let round = (|| -> Result<Rows, ExecError> {
+                    genpar_guard::faultpoint("exec.fixpoint_round")
+                        .map_err(|f| ExecError::Fault(f.to_string()))?;
+                    if let Some(m) = ctx.meter {
+                        m.charge_steps(1, "exec.fixpoint_round")
+                            .map_err(|b| breach_to_exec(b, stats))?;
+                    }
+                    let plan = lower(&bound_body).ok_or_else(|| {
+                        ExecError::Internal(
+                            "probed-lowerable fixpoint body failed to lower".to_string(),
+                        )
+                    })?;
+                    run_plan(&plan, catalog, ctx, stats)
+                })();
+                match round {
+                    Ok(rows) => break rows,
+                    Err(ExecError::Fault(_)) if attempt < round_retries => {
+                        attempt += 1;
+                        retry_gate(iter as usize, attempt)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
         let mut fresh: Rows = Vec::new();
         for row in produced {
             if acc.insert(row.clone()) {
@@ -658,7 +749,11 @@ fn drive_fixpoint(
         }
         rsp.field("delta_rows", fresh.len() as u64);
         rsp.field("acc_rows", acc.len() as u64);
-        hist.record(start.elapsed().as_micros() as u64);
+        let round_us = start.elapsed().as_micros() as u64;
+        hist.record(round_us);
+        if round_us > round_watchdog_us {
+            kernels::note_watchdog("exec.fixpoint_round", round_us, round_watchdog_us);
+        }
         if fresh.is_empty() {
             return Ok((acc.into_iter().collect(), iter + 1));
         }
@@ -739,12 +834,15 @@ fn run_combiner_route(
                 },
             ))
         }
-        Err(ExecError::Fault(_)) => fallback(
-            q,
-            catalog,
-            agg,
-            "injected fault in the combiner: degraded to the serial interpreter",
-        ),
+        Err(ExecError::Fault(_)) => {
+            note_degrade("serial");
+            fallback(
+                q,
+                catalog,
+                agg,
+                "injected fault in the combiner: degraded to the serial interpreter",
+            )
+        }
         Err(e) => Err(e),
     }
 }

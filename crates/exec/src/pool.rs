@@ -1,20 +1,58 @@
-//! A work-stealing worker pool over scoped threads.
+//! A work-stealing worker pool over scoped threads, with an optional
+//! fault-recovery ladder.
 //!
 //! Tasks (morsel or partition closures) are distributed round-robin onto
 //! per-worker deques; each worker pops its own deque from the back
 //! (LIFO, cache-warm) and steals from other workers' fronts (FIFO, the
 //! oldest — largest remaining — work) when its own runs dry. Workers
 //! record `exec.worker` obs spans and `exec.morsels` / `exec.steals`
-//! counters. The first task error cancels the pool: remaining workers
-//! observe the stop flag and exit without starting further tasks.
+//! counters.
+//!
+//! Two failure modes:
+//!
+//! * **Plain** ([`run_tasks`]): the first task error cancels the pool —
+//!   remaining workers observe the stop flag and exit without starting
+//!   further tasks. Items move into tasks with no copies.
+//! * **Recovering** ([`run_tasks_recovering`]): each item stays in its
+//!   slot until its task *succeeds*, so a failed task can be re-run. A
+//!   failure is first retried **in place** on the same worker (up to the
+//!   configured retry count, each re-run passing the caller's gate — the
+//!   `exec.retry` fault site); when retries exhaust, the worker takes a
+//!   strike and the task is requeued once for another worker to absorb.
+//!   A worker with repeated strikes is **quarantined** out of the deque
+//!   set for the rest of the run (`exec.quarantine` event +
+//!   `exec.degrade_step.quarantine` counter) — unless it is the last
+//!   active worker, which must keep draining. A task that fails again
+//!   after requeue is the ladder's end within the pool: its error wins
+//!   and cancels the run (the route above degrades whole-serial). After
+//!   the workers join, any item stranded by the shutdown races is swept
+//!   serially on the caller's thread, so no morsel is ever silently
+//!   dropped.
 //!
 //! Results come back **in task order**, independent of which worker ran
 //! what — the first half of the determinism argument (the second half is
 //! the canonical merge in `kernels`).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+
+/// Strikes (tasks failed past their in-place retries) before a worker is
+/// quarantined out of the pool.
+const QUARANTINE_STRIKES: u32 = 2;
+
+/// Times a failed task is handed to the pool again before its error
+/// cancels the run (in-place retries happen *within* each passage).
+const MAX_REQUEUES: u32 = 1;
+
+/// Recovery configuration for [`run_tasks_recovering`]: how many in-place
+/// re-runs a failed task gets, and the gate consulted before each one
+/// (the gate passes the `exec.retry` fault site and records the obs
+/// trail; its error aborts the in-place rung and escalates).
+pub(crate) struct Recovery<'a, E> {
+    pub retries: u32,
+    pub gate: &'a (dyn Fn(usize, u32) -> Result<(), E> + Sync),
+}
 
 /// Lock a mutex, recovering from poisoning (a panicking worker must not
 /// wedge the pool — panics are converted at the executor boundary).
@@ -42,6 +80,34 @@ fn steal(deques: &[Mutex<VecDeque<usize>>], wid: usize, steals: &mut u64) -> Opt
     None
 }
 
+/// Run one item through the in-place retry rung: attempt, and on error
+/// consult the gate and re-run from a fresh clone, up to `retries` times.
+fn run_with_retries<T, R, E>(
+    idx: usize,
+    slot_item: &T,
+    rec: &Recovery<'_, E>,
+    f: &(impl Fn(usize, T) -> Result<R, E> + Sync),
+) -> Result<R, E>
+where
+    T: Clone,
+{
+    let mut attempt: u32 = 0;
+    loop {
+        match f(idx, slot_item.clone()) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                if attempt >= rec.retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                // the gate is itself a fault site: a fault injected at
+                // `exec.retry` abandons the in-place rung and escalates
+                (rec.gate)(idx, attempt)?;
+            }
+        }
+    }
+}
+
 /// Run `f` over every item on `workers` threads; results in item order.
 ///
 /// The first `Err` wins and cancels outstanding work. With `workers <= 1`
@@ -50,7 +116,26 @@ fn steal(deques: &[Mutex<VecDeque<usize>>], wid: usize, steals: &mut u64) -> Opt
 /// say) stays visible.
 pub fn run_tasks<T, R, E, F>(workers: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
 where
-    T: Send,
+    T: Clone + Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    run_tasks_recovering(workers, items, None, f)
+}
+
+/// [`run_tasks`] with the recovery ladder armed when `recovery` is
+/// `Some`: in-place retries, worker quarantine, one requeue per task,
+/// and a serial completion sweep. With `recovery` `None` the plain
+/// first-error-cancels semantics apply and items are never cloned.
+pub(crate) fn run_tasks_recovering<T, R, E, F>(
+    workers: usize,
+    items: Vec<T>,
+    recovery: Option<Recovery<'_, E>>,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Clone + Send,
     R: Send,
     E: Send,
     F: Fn(usize, T) -> Result<R, E> + Sync,
@@ -59,13 +144,17 @@ where
     if workers <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.into_iter().enumerate() {
-            out.push(f(i, item)?);
+            match &recovery {
+                Some(rec) => out.push(run_with_retries(i, &item, rec, &f)?),
+                None => out.push(f(i, item)?),
+            }
         }
         return Ok(out);
     }
 
     let w = workers.min(n);
-    // each item sits in its own slot and is taken exactly once
+    // each item sits in its own slot; in plain mode it is taken exactly
+    // once, in recovery mode it stays put until its task succeeds
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
     for i in 0..n {
@@ -74,11 +163,15 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let first_err: Mutex<Option<E>> = Mutex::new(None);
     let stop = AtomicBool::new(false);
+    // per-task count of pool-level passages that ended in failure
+    let requeues: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let active = AtomicUsize::new(w);
 
     std::thread::scope(|s| {
         for wid in 0..w {
-            let (deques, slots, results) = (&deques, &slots, &results);
-            let (first_err, stop, f) = (&first_err, &stop, &f);
+            let (deques, slots, results, requeues) = (&deques, &slots, &results, &requeues);
+            let (first_err, stop, f, active) = (&first_err, &stop, &f, &active);
+            let recovery = recovery.as_ref();
             s.spawn(move || {
                 // worker wid records on timeline lane wid + 1 (lane 0
                 // is the main thread)
@@ -87,6 +180,7 @@ where
                 sp.field("worker", wid as u64);
                 let mut done = 0u64;
                 let mut steals = 0u64;
+                let mut strikes = 0u32;
                 while !stop.load(Ordering::Acquire) {
                     let before = steals;
                     let Some(idx) =
@@ -100,21 +194,72 @@ where
                             std::time::Instant::now(),
                         );
                     }
-                    let Some(item) = lock(&slots[idx]).take() else {
-                        continue;
+                    let outcome = match recovery {
+                        None => {
+                            let Some(item) = lock(&slots[idx]).take() else {
+                                continue;
+                            };
+                            f(idx, item)
+                        }
+                        Some(rec) => {
+                            // leave the item in its slot until success,
+                            // so a failure can be re-run or requeued
+                            let Some(item) = lock(&slots[idx]).clone() else {
+                                continue;
+                            };
+                            run_with_retries(idx, &item, rec, f)
+                        }
                     };
-                    match f(idx, item) {
+                    match outcome {
                         Ok(r) => {
                             *lock(&results[idx]) = Some(r);
+                            if recovery.is_some() {
+                                *lock(&slots[idx]) = None;
+                            }
                             done += 1;
                         }
                         Err(e) => {
-                            let mut g = lock(first_err);
-                            if g.is_none() {
-                                *g = Some(e);
+                            let fatal = recovery.is_none()
+                                || requeues[idx].fetch_add(1, Ordering::Relaxed) >= MAX_REQUEUES;
+                            if fatal {
+                                let mut g = lock(first_err);
+                                if g.is_none() {
+                                    *g = Some(e);
+                                }
+                                stop.store(true, Ordering::Release);
+                                break;
                             }
-                            stop.store(true, Ordering::Release);
-                            break;
+                            // hand the task to the pool again: back on
+                            // this worker's own front, where a peer's
+                            // steal (or this worker, if it survives)
+                            // picks it up with fresh in-place retries
+                            lock(&deques[wid]).push_front(idx);
+                            strikes += 1;
+                            if strikes >= QUARANTINE_STRIKES {
+                                // quarantine unless this is the last
+                                // active worker, which must keep
+                                // draining the deques
+                                if active.fetch_sub(1, Ordering::AcqRel) > 1 {
+                                    sp.field("quarantined", 1);
+                                    genpar_obs::counter("exec.degrade_step.quarantine", 1);
+                                    genpar_obs::event(
+                                        "exec.quarantine",
+                                        [
+                                            ("worker", genpar_obs::FieldValue::U64(wid as u64)),
+                                            (
+                                                "strikes",
+                                                genpar_obs::FieldValue::U64(u64::from(strikes)),
+                                            ),
+                                        ],
+                                    );
+                                    genpar_obs::timeline::record_instant(
+                                        "exec.quarantine",
+                                        std::time::Instant::now(),
+                                    );
+                                    break;
+                                }
+                                active.fetch_add(1, Ordering::AcqRel);
+                            }
                         }
                     }
                 }
@@ -128,6 +273,18 @@ where
 
     if let Some(e) = lock(&first_err).take() {
         return Err(e);
+    }
+    if let Some(rec) = &recovery {
+        // completion sweep: quarantines and shutdown races can strand a
+        // requeued item with no worker left to claim it — finish those
+        // serially here so the pool never drops work without an error
+        for (idx, slot) in slots.iter().enumerate() {
+            let Some(item) = lock(slot).take() else {
+                continue;
+            };
+            let r = run_with_retries(idx, &item, rec, &f)?;
+            *lock(&results[idx]) = Some(r);
+        }
     }
     // no error ⇒ every slot was taken and completed before its worker
     // exited, so every result is present
@@ -201,5 +358,126 @@ mod tests {
         })
         .unwrap();
         assert_eq!(got, vec![2, 4, 6]);
+    }
+
+    fn recovery(retries: u32) -> Recovery<'static, String> {
+        static GATE: fn(usize, u32) -> Result<(), String> = |_, _| Ok(());
+        Recovery {
+            retries,
+            gate: &GATE,
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_in_place() {
+        // every task fails on its first attempt, succeeds on the second
+        let attempts: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let got = run_tasks_recovering(
+            4,
+            (0..64u64).collect::<Vec<_>>(),
+            Some(recovery(2)),
+            |i, x| {
+                if attempts[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    Err(format!("blip {x}"))
+                } else {
+                    Ok(x * 2)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got.len(), 64);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_ladder_and_errors() {
+        let err = run_tasks_recovering(
+            4,
+            (0..32u64).collect::<Vec<_>>(),
+            Some(recovery(2)),
+            |_, x| -> Result<u64, String> {
+                if x == 5 {
+                    Err("hard fault".to_string())
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, "hard fault");
+    }
+
+    #[test]
+    fn gate_error_aborts_in_place_retries() {
+        // the gate faults on the very first re-run: its error escalates
+        // (and because the pool requeues once, each passage consults the
+        // gate again — still an error, so the run fails overall)
+        let gate = |_: usize, _: u32| -> Result<(), String> { Err("retry gate fault".into()) };
+        let err = run_tasks_recovering(
+            2,
+            (0..8u64).collect::<Vec<_>>(),
+            Some(Recovery {
+                retries: 3,
+                gate: &gate,
+            }),
+            |_, x| -> Result<u64, String> {
+                if x == 1 {
+                    Err("task fault".into())
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err == "retry gate fault" || err == "task fault",
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn requeued_task_recovers_on_a_later_passage() {
+        // a task that fails its entire first passage (all in-place
+        // retries) but succeeds once requeued: the run still completes
+        let attempts = AtomicU32::new(0);
+        let got = run_tasks_recovering(
+            4,
+            (0..32u64).collect::<Vec<_>>(),
+            Some(recovery(1)),
+            |_, x| {
+                if x == 7 && attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err("flaky".to_string())
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got.len(), 32);
+        assert_eq!(got[7], 7);
+    }
+
+    #[test]
+    fn recovery_sweep_completes_after_mass_quarantine() {
+        // every worker's first two passages fail (striking them out),
+        // but later attempts succeed: between requeues, the surviving
+        // worker and the caller's sweep must finish all items
+        let attempts: Vec<AtomicU32> = (0..16).map(|_| AtomicU32::new(0)).collect();
+        let got = run_tasks_recovering(
+            4,
+            (0..16u64).collect::<Vec<_>>(),
+            Some(recovery(0)),
+            |i, x| {
+                if attempts[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    Err(format!("first-attempt blip {x}"))
+                } else {
+                    Ok(x + 100)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got, (100..116).collect::<Vec<u64>>());
     }
 }

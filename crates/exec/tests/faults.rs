@@ -47,11 +47,41 @@ fn with_fault<T>(spec: &str, f: impl FnOnce() -> T) -> T {
 }
 
 #[test]
-fn morsel_fault_surfaces_as_structured_error() {
+fn single_morsel_fault_recovers_in_place() {
+    // the ladder's first rung: one injected morsel fault is retried on
+    // the same worker and the plan-level run succeeds with the exact
+    // fault-free answer — no error, no fallback needed
     let c = catalog();
     let plan = lower(&join_query()).unwrap();
     let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
-    let err = with_fault("exec.morsel:1", || plan.eval_parallel(&c, &cfg)).unwrap_err();
+    // serial truth: the engine path passes no exec.* site, so it is
+    // immune to this binary's fault arms
+    let (truth, _) = plan.execute(&c).expect("serial truth");
+    let (rows, snap) = with_fault("exec.morsel:1", || {
+        genpar_obs::reset();
+        let (rows, _) = plan.eval_parallel(&c, &cfg).expect("retried");
+        (rows, genpar_obs::snapshot())
+    });
+    assert_eq!(rows, truth, "retried answer must equal the serial answer");
+    assert!(
+        snap.events.iter().any(|e| e.kind == "exec.retry"),
+        "an exec.retry event must record the in-place re-run"
+    );
+    assert!(
+        !snap.events.iter().any(|e| e.kind == "exec.fallback"),
+        "recovery must happen on the parallel path, not via fallback"
+    );
+}
+
+#[test]
+fn persistent_morsel_fault_surfaces_as_structured_error() {
+    // `exec.morsel:*` faults every passage: retries, requeue and the
+    // completion sweep all fail, so the plan-level API reports the
+    // structured fault (the query-level route degrades it to serial)
+    let c = catalog();
+    let plan = lower(&join_query()).unwrap();
+    let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
+    let err = with_fault("exec.morsel:*", || plan.eval_parallel(&c, &cfg)).unwrap_err();
     match err {
         ExecError::Fault(msg) => assert!(msg.contains("exec.morsel"), "{msg}"),
         other => panic!("expected Fault, got {other:?}"),
@@ -61,11 +91,11 @@ fn morsel_fault_surfaces_as_structured_error() {
 }
 
 #[test]
-fn merge_fault_surfaces_as_structured_error() {
+fn persistent_merge_fault_surfaces_as_structured_error() {
     let c = catalog();
     let plan = lower(&join_query()).unwrap();
     let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
-    let err = with_fault("exec.merge:1", || plan.eval_parallel(&c, &cfg)).unwrap_err();
+    let err = with_fault("exec.merge:*", || plan.eval_parallel(&c, &cfg)).unwrap_err();
     match err {
         ExecError::Fault(msg) => assert!(msg.contains("exec.merge"), "{msg}"),
         other => panic!("expected Fault, got {other:?}"),
@@ -73,20 +103,19 @@ fn merge_fault_surfaces_as_structured_error() {
 }
 
 #[test]
-fn nth_hit_fault_lets_earlier_morsels_pass() {
+fn nth_hit_fault_recovers_and_earlier_morsels_pass() {
     let c = catalog();
     let plan = lower(&Query::rel("R").select(Pred::True)).unwrap();
-    // 100 rows at 10/morsel = 10 morsels; fail on the 7th passage
     let cfg = ExecConfig::serial().with_workers(2).with_morsel_rows(10);
-    let err = with_fault("exec.morsel:7", || plan.eval_parallel(&c, &cfg)).unwrap_err();
-    assert!(matches!(err, ExecError::Fault(_)), "{err:?}");
+    let (truth, _) = plan.execute(&c).expect("serial truth");
+    // 100 rows at 10/morsel = 10 morsels; the 7th passage faults once
+    // and is retried — the run completes with the clean answer
+    let (rows, _) = with_fault("exec.morsel:7", || plan.eval_parallel(&c, &cfg)).expect("retried");
+    assert_eq!(rows, truth);
 }
 
 #[test]
-fn fixpoint_round_fault_degrades_to_serial_with_correct_answer() {
-    // satellite 3: an armed exec.fixpoint_round fault must never produce
-    // a wrong answer — the route degrades to the serial interpreter,
-    // records an exec.fallback event, and returns Ok.
+fn fixpoint_round_fault_retries_then_exhaustion_degrades_to_serial() {
     let mut e = Table::new("E", Schema::uniform(CvType::int(), 2));
     for i in 0..20 {
         e.insert(vec![Value::Int(i), Value::Int(i + 1)]);
@@ -100,22 +129,44 @@ fn fixpoint_round_fault_degrades_to_serial_with_correct_answer() {
     // the serial truth, computed with no fault armed
     let (truth, _, _) =
         genpar_exec::eval_query(&q, &c, &ExecConfig::serial()).expect("serial eval ok");
+    // nth-hit faults: the round is re-run in place and the query stays
+    // on the parallel route with the exact answer
     for nth in [1, 3] {
         let spec = format!("exec.fixpoint_round:{nth}");
-        genpar_obs::reset();
-        let (v, _, route) = with_fault(&spec, || genpar_exec::eval_query(&q, &c, &cfg))
-            .expect("fault must degrade, not error");
+        let (v, route, snap) = with_fault(&spec, || {
+            genpar_obs::reset();
+            let (v, _, route) =
+                genpar_exec::eval_query(&q, &c, &cfg).expect("round retry must recover");
+            (v, route, genpar_obs::snapshot())
+        });
         assert!(
-            matches!(route, genpar_exec::ExecRoute::Fallback { op: "fix", .. }),
-            "expected serial degradation at {spec}, got {route:?}"
+            matches!(route, genpar_exec::ExecRoute::Parallel { .. }),
+            "expected in-place round retry at {spec}, got {route:?}"
         );
-        assert_eq!(v, truth, "degraded answer must equal serial at {spec}");
-        let snap = genpar_obs::snapshot();
+        assert_eq!(v, truth, "retried answer must equal serial at {spec}");
         assert!(
-            snap.events.iter().any(|e| e.kind == "exec.fallback"),
-            "exec.fallback event recorded at {spec}"
+            snap.events.iter().any(|e| e.kind == "exec.retry"),
+            "exec.retry event recorded at {spec}"
         );
     }
+    // a persistent fault exhausts the retries — the last rung degrades
+    // the whole query to the serial interpreter, never a wrong answer
+    let (v, route, snap) = with_fault("exec.fixpoint_round:*", || {
+        genpar_obs::reset();
+        let (v, _, route) =
+            genpar_exec::eval_query(&q, &c, &cfg).expect("exhaustion must degrade, not error");
+        (v, route, genpar_obs::snapshot())
+    });
+    assert!(
+        matches!(route, genpar_exec::ExecRoute::Fallback { op: "fix", .. }),
+        "expected serial degradation on persistent fault, got {route:?}"
+    );
+    assert_eq!(v, truth, "degraded answer must equal serial");
+    assert!(snap.events.iter().any(|e| e.kind == "exec.fallback"));
+    assert!(
+        snap.events.iter().any(|e| e.kind == "exec.degrade_step"),
+        "the ladder records which rung fired"
+    );
     // disarmed: the same query takes the parallel route again
     let (v, _, route) = genpar_exec::eval_query(&q, &c, &cfg).expect("ok");
     assert!(matches!(route, genpar_exec::ExecRoute::Parallel { .. }));
@@ -155,15 +206,26 @@ fn combine_fault_degrades_to_serial_with_correct_answer() {
 
 #[test]
 fn morsel_fault_inside_combiner_or_fixpoint_degrades_not_errors() {
-    // exec.morsel faults inside the dedicated routes also degrade — the
+    // exec.morsel faults inside the dedicated routes climb the same
+    // ladder: an nth-hit fault is retried in place (route stays
+    // Parallel); a persistent fault degrades to serial — the
     // whole-query answer is never wrong and never an error
     let c = catalog();
     let cfg = ExecConfig::serial().with_workers(4).with_morsel_rows(16);
     let q = Query::rel("R").count();
     let (truth, _, _) =
         genpar_exec::eval_query(&q, &c, &ExecConfig::serial()).expect("serial eval ok");
-    let (v, _, route) = with_fault("exec.morsel:2", || genpar_exec::eval_query(&q, &c, &cfg))
-        .expect("fault must degrade, not error");
+    let (v, route) = with_fault("exec.morsel:2", || {
+        let (v, _, route) = genpar_exec::eval_query(&q, &c, &cfg).expect("retry must recover");
+        (v, route)
+    });
+    assert!(matches!(route, genpar_exec::ExecRoute::Parallel { .. }));
+    assert_eq!(v, truth);
+    let (v, route) = with_fault("exec.morsel:*", || {
+        let (v, _, route) =
+            genpar_exec::eval_query(&q, &c, &cfg).expect("exhaustion must degrade, not error");
+        (v, route)
+    });
     assert!(matches!(route, genpar_exec::ExecRoute::Fallback { .. }));
     assert_eq!(v, truth);
 }

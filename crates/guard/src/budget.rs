@@ -19,6 +19,12 @@ pub const BUDGET_ENV: &str = "GENPAR_BUDGET";
 /// `charge_*` call returns after one relaxed load.
 static ARMED_SCOPES: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide count of *any* armed guard scope — thread-local budget
+/// or wall deadline. Every `charge_*` fast path is exactly one relaxed
+/// load of this counter; the per-kind checks only run when it is
+/// nonzero, keeping the disarmed cost identical to pre-wall builds.
+pub(crate) static ACTIVE_GUARDS: AtomicUsize = AtomicUsize::new(0);
+
 thread_local! {
     static ACTIVE: RefCell<Option<Meter>> = const { RefCell::new(None) };
 }
@@ -36,6 +42,9 @@ pub enum Resource {
     Depth,
     /// Elements under a `powerset`.
     Powerset,
+    /// Wall-clock milliseconds (the `--timeout` deadline; see
+    /// [`crate::wall`]).
+    Wall,
 }
 
 impl fmt::Display for Resource {
@@ -46,6 +55,7 @@ impl fmt::Display for Resource {
             Resource::Steps => "steps",
             Resource::Depth => "depth",
             Resource::Powerset => "powerset",
+            Resource::Wall => "wall_ms",
         };
         write!(f, "{s}")
     }
@@ -166,6 +176,7 @@ impl ExecBudget {
             })
         });
         ARMED_SCOPES.fetch_add(1, Ordering::Relaxed);
+        ACTIVE_GUARDS.fetch_add(1, Ordering::Relaxed);
         BudgetScope { prev }
     }
 }
@@ -190,6 +201,7 @@ pub struct BudgetScope {
 impl Drop for BudgetScope {
     fn drop(&mut self) {
         ARMED_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE_GUARDS.fetch_sub(1, Ordering::Relaxed);
         ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
     }
 }
@@ -276,6 +288,12 @@ fn armed() -> bool {
     ARMED_SCOPES.load(Ordering::Relaxed) != 0
 }
 
+/// Any guard scope armed at all? The single-load disarmed fast path.
+#[inline]
+fn active() -> bool {
+    ACTIVE_GUARDS.load(Ordering::Relaxed) != 0
+}
+
 /// The budget armed on the current thread, if any.
 pub fn active_budget() -> Option<ExecBudget> {
     if !armed() {
@@ -288,6 +306,10 @@ pub fn active_budget() -> Option<ExecBudget> {
 /// cumulative: a plan may stream many small results).
 #[inline]
 pub fn charge_rows(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+    if !active() {
+        return Ok(());
+    }
+    crate::wall::check_wall(op)?;
     if !armed() {
         return Ok(());
     }
@@ -303,6 +325,10 @@ pub fn charge_rows(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
 /// Charge `n` cells processed (cumulative across the armed scope).
 #[inline]
 pub fn charge_cells(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+    if !active() {
+        return Ok(());
+    }
+    crate::wall::check_wall(op)?;
     if !armed() {
         return Ok(());
     }
@@ -324,6 +350,10 @@ pub fn charge_cells(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
 /// Charge `n` evaluation steps (cumulative; the deadline surrogate).
 #[inline]
 pub fn charge_steps(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+    if !active() {
+        return Ok(());
+    }
+    crate::wall::check_wall(op)?;
     if !armed() {
         return Ok(());
     }
@@ -347,6 +377,10 @@ pub fn charge_steps(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
 /// nested loops each get the full depth allowance.
 #[inline]
 pub fn charge_depth(depth: u64, op: &'static str) -> Result<(), BudgetBreach> {
+    if !active() {
+        return Ok(());
+    }
+    crate::wall::check_wall(op)?;
     if !armed() {
         return Ok(());
     }

@@ -78,9 +78,29 @@ impl fmt::Display for FaultSpecError {
 
 impl std::error::Error for FaultSpecError {}
 
-/// Arm faults from a `site:nth[,site:nth...]` spec, replacing any
-/// previously armed set.
-pub fn arm_faults(spec: &str) -> Result<(), FaultSpecError> {
+/// Every fault site compiled into the workspace, sorted. The env-facing
+/// [`arm_faults_strict`] validates against this registry so a typo in an
+/// operator's `GENPAR_FAULTS` is a loud usage error instead of a spec
+/// that silently never fires. (The programmatic [`arm_faults`] stays
+/// charset-only so tests may arm synthetic sites.)
+pub const KNOWN_SITES: &[&str] = &[
+    "algebra.eval",
+    "bench.op",
+    "checker.invariance",
+    "engine.execute",
+    "engine.scan",
+    "exec.combine",
+    "exec.fixpoint_round",
+    "exec.merge",
+    "exec.morsel",
+    "exec.retry",
+    "io.persist",
+    "optimizer.cost",
+    "optimizer.rewrite",
+    "transfer.check",
+];
+
+fn parse_spec(spec: &str, strict: bool) -> Result<HashMap<String, Arm>, FaultSpecError> {
     let mut arms = HashMap::new();
     for part in spec.split(',') {
         let part = part.trim();
@@ -98,6 +118,12 @@ pub fn arm_faults(spec: &str) -> Result<(), FaultSpecError> {
         {
             return Err(FaultSpecError(format!("bad site name {site:?}")));
         }
+        if strict && !KNOWN_SITES.contains(&site) {
+            return Err(FaultSpecError(format!(
+                "unknown fault site {site:?} (known sites: {})",
+                KNOWN_SITES.join(", ")
+            )));
+        }
         let nth = match trigger.trim() {
             "*" => None,
             n => match n.parse::<u64>() {
@@ -109,18 +135,38 @@ pub fn arm_faults(spec: &str) -> Result<(), FaultSpecError> {
         };
         arms.insert(site.to_string(), Arm { nth, hits: 0 });
     }
+    Ok(arms)
+}
+
+fn install(arms: HashMap<String, Arm>) {
     let armed = !arms.is_empty();
     *table().lock().unwrap_or_else(|e| e.into_inner()) = arms;
     FAULTS_ARMED.store(armed, Ordering::Relaxed);
+}
+
+/// Arm faults from a `site:nth[,site:nth...]` spec, replacing any
+/// previously armed set. Site names are charset-checked only — tests
+/// may arm synthetic sites that no shipped code contains.
+pub fn arm_faults(spec: &str) -> Result<(), FaultSpecError> {
+    install(parse_spec(spec, false)?);
+    Ok(())
+}
+
+/// Like [`arm_faults`] but additionally rejecting sites absent from
+/// [`KNOWN_SITES`] — the validation applied at the environment boundary,
+/// where a typo would otherwise arm nothing and report nothing.
+pub fn arm_faults_strict(spec: &str) -> Result<(), FaultSpecError> {
+    install(parse_spec(spec, true)?);
     Ok(())
 }
 
 /// Arm faults from the `GENPAR_FAULTS` environment variable, if set.
-/// Returns whether anything was armed.
+/// Returns whether anything was armed. Sites are validated against
+/// [`KNOWN_SITES`]: a malformed or unknown token is an error naming it.
 pub fn arm_faults_from_env() -> Result<bool, FaultSpecError> {
     match std::env::var(FAULTS_ENV) {
         Ok(spec) if !spec.trim().is_empty() => {
-            arm_faults(&spec)?;
+            arm_faults_strict(&spec)?;
             Ok(true)
         }
         _ => Ok(false),
@@ -131,6 +177,14 @@ pub fn arm_faults_from_env() -> Result<bool, FaultSpecError> {
 pub fn disarm_faults() {
     FAULTS_ARMED.store(false, Ordering::Relaxed);
     table().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Is any fault currently armed? One relaxed load — cheap enough to
+/// consult on hot paths (the executor uses it to decide whether tasks
+/// must be held recoverable).
+#[inline]
+pub fn faults_armed() -> bool {
+    FAULTS_ARMED.load(Ordering::Relaxed)
 }
 
 /// The currently armed sites (for diagnostics).
@@ -248,6 +302,30 @@ mod tests {
         // a failed arm must not leave faults half-armed
         disarm_faults();
         assert!(faultpoint("site").is_ok());
+    }
+
+    #[test]
+    fn strict_arming_rejects_unknown_sites_naming_them() {
+        let _g = serial();
+        disarm_faults();
+        let e = arm_faults_strict("exec.morzel:1").unwrap_err();
+        assert!(e.to_string().contains("exec.morzel"), "{e}");
+        assert!(e.to_string().contains("unknown fault site"), "{e}");
+        // a failed strict arm must not leave faults half-armed
+        assert!(faultpoint("exec.morsel").is_ok());
+        // every registered site passes strict arming
+        for site in KNOWN_SITES {
+            arm_faults_strict(&format!("{site}:1")).unwrap();
+        }
+        disarm_faults();
+    }
+
+    #[test]
+    fn known_sites_are_sorted_and_unique() {
+        let mut sorted = KNOWN_SITES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, KNOWN_SITES, "keep the registry sorted + unique");
     }
 
     #[test]

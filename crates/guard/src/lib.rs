@@ -40,17 +40,21 @@
 
 pub mod budget;
 pub mod fault;
+pub mod retry;
 pub mod shared;
+pub mod wall;
 
 pub use budget::{
     active_budget, charge_cells, charge_depth, charge_rows, charge_steps, depth_limit,
     powerset_cap, BudgetBreach, BudgetScope, ExecBudget, Resource, BUDGET_ENV,
 };
 pub use fault::{
-    arm_faults, arm_faults_from_env, armed_faults, disarm_faults, faultpoint, Fault,
-    FaultSpecError, FAULTS_ENV,
+    arm_faults, arm_faults_from_env, arm_faults_strict, armed_faults, disarm_faults, faultpoint,
+    faults_armed, Fault, FaultSpecError, FAULTS_ENV, KNOWN_SITES,
 };
+pub use retry::{RetryPolicy, RetrySpecError, RETRY_ENV};
 pub use shared::SharedMeter;
+pub use wall::{arm_wall_deadline, check_wall, WallScope};
 
 /// Render a panic payload (from `std::panic::catch_unwind`) as text.
 ///

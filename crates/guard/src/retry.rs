@@ -1,0 +1,122 @@
+//! Bounded retry policy: the first rung of the execution degradation
+//! ladder.
+//!
+//! A genericity certificate says a morsel (or a fixpoint round) is a
+//! parametric computation over a disjoint slice — re-running it cannot
+//! change its relationally-determined result. That makes an in-place
+//! retry semantically free, so a faulted or panicked task is re-run up
+//! to [`RetryPolicy::max_retries`] times before the failure escalates
+//! to worker quarantine and, last, the whole-query serial fallback.
+//!
+//! The default allows 2 retries (3 attempts total); the `GENPAR_RETRY`
+//! environment variable overrides it (`0` disables retries entirely and
+//! restores the pre-ladder all-or-nothing behaviour).
+
+use std::fmt;
+
+/// The environment variable overriding the retry count.
+pub const RETRY_ENV: &str = "GENPAR_RETRY";
+
+/// How many times a faulted task may be re-run in place before the
+/// failure escalates up the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (`0` = no retries).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// The hard ceiling on configurable retries — beyond this a retry
+    /// loop is masking a deterministic failure, not riding out a blip.
+    pub const MAX_CONFIGURABLE: u32 = 16;
+
+    /// A policy with no retries (first failure escalates immediately).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0 }
+    }
+
+    /// Total attempts a task gets (first run + retries).
+    pub fn max_attempts(self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// Parse a `GENPAR_RETRY` value: a non-negative integer up to
+    /// [`RetryPolicy::MAX_CONFIGURABLE`].
+    pub fn parse(s: &str) -> Result<RetryPolicy, RetrySpecError> {
+        let t = s.trim();
+        let n: u32 = t
+            .parse()
+            .map_err(|_| RetrySpecError(format!("bad value {t:?} (want an integer 0..=16)")))?;
+        if n > Self::MAX_CONFIGURABLE {
+            return Err(RetrySpecError(format!(
+                "value {n} too large (max {})",
+                Self::MAX_CONFIGURABLE
+            )));
+        }
+        Ok(RetryPolicy { max_retries: n })
+    }
+
+    /// The policy from the `GENPAR_RETRY` environment variable, or the
+    /// default when unset/empty. A malformed value is an error — the CLI
+    /// maps it to a usage failure rather than guessing.
+    pub fn from_env() -> Result<RetryPolicy, RetrySpecError> {
+        match std::env::var(RETRY_ENV) {
+            Ok(v) if !v.trim().is_empty() => RetryPolicy::parse(&v),
+            _ => Ok(RetryPolicy::default()),
+        }
+    }
+
+    /// Like [`RetryPolicy::from_env`] but falling back to the default on
+    /// a malformed value — for library paths that must not fail on
+    /// configuration (the CLI validates the variable loudly up front).
+    pub fn from_env_lossy() -> RetryPolicy {
+        RetryPolicy::from_env().unwrap_or_default()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 2 }
+    }
+}
+
+/// A malformed `GENPAR_RETRY` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrySpecError(pub String);
+
+impl fmt::Display for RetrySpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad {RETRY_ENV} value: {}", self.0)
+    }
+}
+
+impl std::error::Error for RetrySpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_two_retries() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 2);
+        assert_eq!(p.max_attempts(), 3);
+    }
+
+    #[test]
+    fn parse_accepts_zero_and_bounds() {
+        assert_eq!(RetryPolicy::parse("0").unwrap(), RetryPolicy::none());
+        assert_eq!(RetryPolicy::parse(" 5 ").unwrap().max_retries, 5);
+        assert_eq!(RetryPolicy::parse("16").unwrap().max_retries, 16);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_naming_the_token() {
+        let e = RetryPolicy::parse("lots").unwrap_err();
+        assert!(e.to_string().contains("lots"), "{e}");
+        assert!(e.to_string().contains(RETRY_ENV), "{e}");
+        assert!(RetryPolicy::parse("-1").is_err());
+        assert!(RetryPolicy::parse("17").is_err());
+        assert!(RetryPolicy::parse("2x").is_err());
+    }
+}

@@ -72,6 +72,7 @@ impl SharedMeter {
     /// Charge `n` rows materialized by operator `op` (per-operator cap,
     /// not cumulative — same semantics as [`crate::charge_rows`]).
     pub fn charge_rows(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        crate::wall::check_wall(op)?;
         if n > self.budget.max_rows {
             Err(crate::budget::record_breach(
                 Resource::Rows,
@@ -86,6 +87,7 @@ impl SharedMeter {
 
     /// Charge `n` cells processed (cumulative across all workers).
     pub fn charge_cells(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        crate::wall::check_wall(op)?;
         let used = self.cells.fetch_add(n, Ordering::Relaxed).saturating_add(n);
         if used > self.budget.max_cells {
             Err(crate::budget::record_breach(
@@ -101,6 +103,7 @@ impl SharedMeter {
 
     /// Charge `n` evaluation steps (cumulative across all workers).
     pub fn charge_steps(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        crate::wall::check_wall(op)?;
         let used = self.steps.fetch_add(n, Ordering::Relaxed).saturating_add(n);
         if used > self.budget.max_steps {
             Err(crate::budget::record_breach(

@@ -1,0 +1,152 @@
+//! Wall-clock deadlines: a cooperative cancellation token checked at the
+//! existing `charge_*` points.
+//!
+//! The budget machinery is deliberately wall-clock free (steps are the
+//! deterministic deadline surrogate), but an operator fronting a query
+//! service needs a real timeout: `genpar run --timeout MS` arms a
+//! process-global deadline with [`arm_wall_deadline`], and every
+//! `charge_*` call — thread-local or [`crate::SharedMeter`] — first asks
+//! [`check_wall`]. A crossed deadline surfaces as a [`BudgetBreach`] with
+//! [`Resource::Wall`], flowing through the exact same structured-error
+//! path (and exit code) as any other exhausted budget. No new unsafe, no
+//! thread is ever killed: workers notice the deadline at their next
+//! charge point and unwind cooperatively.
+//!
+//! Disarmed cost: one relaxed atomic load per check.
+//!
+//! The deadline is process-global and non-nesting (last armed wins) —
+//! it models "this whole invocation must finish by T", not a per-scope
+//! stopwatch.
+
+use crate::budget::{record_breach, BudgetBreach, Resource};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Number of live [`WallScope`]s. Zero means [`check_wall`] is one
+/// relaxed load and an immediate `Ok`.
+static WALL_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+/// Deadline in microseconds since the process [`epoch`].
+static DEADLINE_US: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The configured limit in milliseconds (for breach rendering).
+static LIMIT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// When the deadline was armed, microseconds since [`epoch`].
+static ARMED_AT_US: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Arm a process-global wall-clock deadline `timeout` from now. The
+/// deadline stays armed until the returned scope drops.
+#[must_use = "the deadline is disarmed when the scope drops"]
+pub fn arm_wall_deadline(timeout: Duration) -> WallScope {
+    let start = now_us();
+    let deadline = start.saturating_add(timeout.as_micros().min(u64::MAX as u128) as u64);
+    DEADLINE_US.store(deadline, Ordering::Relaxed);
+    LIMIT_MS.store(
+        timeout.as_millis().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    ARMED_AT_US.store(start, Ordering::Relaxed);
+    WALL_SCOPES.fetch_add(1, Ordering::Relaxed);
+    crate::budget::ACTIVE_GUARDS.fetch_add(1, Ordering::Relaxed);
+    WallScope { _priv: () }
+}
+
+/// RAII scope keeping a wall deadline armed for the whole process.
+pub struct WallScope {
+    _priv: (),
+}
+
+impl Drop for WallScope {
+    fn drop(&mut self) {
+        if WALL_SCOPES.fetch_sub(1, Ordering::Relaxed) == 1 {
+            DEADLINE_US.store(u64::MAX, Ordering::Relaxed);
+        }
+        crate::budget::ACTIVE_GUARDS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Has the armed wall deadline passed? `Ok(())` when no deadline is
+/// armed (one relaxed load) or when there is still time left; otherwise
+/// a [`BudgetBreach`] naming [`Resource::Wall`], the configured limit
+/// and the elapsed milliseconds.
+#[inline]
+pub fn check_wall(op: &'static str) -> Result<(), BudgetBreach> {
+    if WALL_SCOPES.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    check_wall_slow(op)
+}
+
+#[cold]
+fn check_wall_slow(op: &'static str) -> Result<(), BudgetBreach> {
+    let now = now_us();
+    if now <= DEADLINE_US.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let limit = LIMIT_MS.load(Ordering::Relaxed);
+    let elapsed_ms = now.saturating_sub(ARMED_AT_US.load(Ordering::Relaxed)) / 1_000;
+    Err(record_breach(
+        Resource::Wall,
+        limit,
+        elapsed_ms.max(limit + 1),
+        op,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The deadline is process-global; serialize tests touching it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disarmed_checks_are_ok() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(check_wall("t").is_ok());
+    }
+
+    #[test]
+    fn generous_deadline_passes_and_disarms_on_drop() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = arm_wall_deadline(Duration::from_secs(3600));
+        assert!(check_wall("t").is_ok());
+        drop(scope);
+        assert!(check_wall("t").is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_breaches_with_wall_resource() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = arm_wall_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let e = check_wall("exec.morsel").unwrap_err();
+        assert_eq!(e.resource, Resource::Wall);
+        assert_eq!(e.op, "exec.morsel");
+        assert!(e.used > e.limit, "{e}");
+        drop(scope);
+        assert!(check_wall("exec.morsel").is_ok());
+    }
+
+    #[test]
+    fn breach_renders_as_budget_exceeded() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = arm_wall_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let s = check_wall("q").unwrap_err().to_string();
+        assert!(s.contains("budget exceeded"), "{s}");
+        assert!(s.contains("wall_ms"), "{s}");
+        drop(scope);
+    }
+}

@@ -224,6 +224,13 @@ impl HistogramHandle {
         }
         self.hist.record(value);
     }
+
+    /// An immutable summary of the histogram right now. The executor's
+    /// watchdog reads the running p95 through this to derive per-task
+    /// and per-round deadlines.
+    pub fn snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.hist.snapshot()
+    }
 }
 
 /// A thread-safe metrics registry. Cloning is cheap (`Arc` handle); all

@@ -271,10 +271,21 @@ impl Calibration {
         Ok(cal)
     }
 
-    /// Load a calibration file from disk.
+    /// Load a calibration file from disk, verifying the crash-safety
+    /// checksum when present (see [`crate::persist`]). Unlike stats, a
+    /// **missing** file is an error — the user asked for a specific
+    /// calibration; silently falling back to defaults would misprice
+    /// every route.
     pub fn from_file(path: &str) -> Result<Calibration, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read calibration file {path}: {e}"))?;
+        let text = match crate::persist::read_payload(path) {
+            Ok(Some(t)) => t,
+            Ok(None) => {
+                return Err(format!(
+                    "cannot read calibration file {path}: file not found"
+                ))
+            }
+            Err(e) => return Err(e),
+        };
         let j = Json::parse(&text).map_err(|e| format!("calibration file {path}: {e}"))?;
         Calibration::from_json(&j)
     }

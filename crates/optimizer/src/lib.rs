@@ -26,6 +26,7 @@
 
 pub mod calibration;
 pub mod cost;
+pub mod persist;
 pub mod rewrite;
 pub mod rules;
 pub mod stats;

@@ -1,0 +1,228 @@
+//! Crash-safe persistence for optimizer state files.
+//!
+//! `STATS.json` and `CALIBRATION.json` are the optimizer's only durable
+//! state. A crash mid-write (or a torn write from a dying disk) must
+//! never leave a half-file that a later run misreads as training data,
+//! and a corrupt file must never panic the CLI — the robustness ladder's
+//! persistence rung is *quarantine and regenerate, loudly*. Two
+//! mechanisms:
+//!
+//! * **Atomic writes** ([`save_atomic`]) — the payload is written to a
+//!   `<path>.tmp.<pid>` sibling, fsynced, then renamed over the target.
+//!   POSIX rename is atomic within a filesystem, so readers see either
+//!   the old complete file or the new complete file, never a prefix.
+//!   The write passes the `io.persist` fault site first, so the chaos
+//!   oracle can prove the property by injecting failures between the
+//!   steps.
+//! * **Embedded checksums** — [`save_atomic`] prepends one header line,
+//!   `#genpar-checksum: <16 hex digits>`, an FNV-1a/64 digest of the
+//!   payload bytes that follow. [`read_payload`] verifies it before any
+//!   JSON parsing; the digest covers the serialized bytes verbatim, so
+//!   there is no float round-trip hazard. Files without the header
+//!   (written by older releases, or by hand) load as-is — the checksum
+//!   is additive.
+//!
+//! When verification or parsing fails, callers invoke
+//! [`quarantine_file`]: the bad file is renamed to `<path>.corrupt`
+//! (preserved for forensics, out of the load path), a
+//! `stats.quarantined` obs event and counter fire, and the caller
+//! regenerates from defaults. Load never panics and never silently
+//! drops data.
+
+use genpar_obs::FieldValue;
+use std::io::Write as _;
+
+/// Header prefix of a checksummed state file. The full first line is
+/// `#genpar-checksum: <16 lowercase hex digits>` and the digest covers
+/// every byte after the header line's terminating newline.
+pub const CHECKSUM_MAGIC: &str = "#genpar-checksum: ";
+
+/// FNV-1a, 64-bit — tiny, dependency-free, and plenty to catch torn
+/// writes and bit rot (this is an integrity check, not an adversarial
+/// MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The payload with its checksum header prepended — the exact bytes
+/// [`save_atomic`] puts on disk.
+pub fn seal(payload: &str) -> String {
+    format!(
+        "{CHECKSUM_MAGIC}{:016x}\n{payload}",
+        fnv1a64(payload.as_bytes())
+    )
+}
+
+/// Read a state file and verify its checksum header.
+///
+/// * missing file → `Ok(None)` (first run; callers start from defaults)
+/// * headerless file → `Ok(Some(text))` — legacy files stay loadable
+/// * header present and digest matches → `Ok(Some(payload))`
+/// * unreadable, or digest mismatch → `Err(reason)`; callers quarantine
+pub fn read_payload(path: &str) -> Result<Option<String>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let Some(rest) = text.strip_prefix(CHECKSUM_MAGIC) else {
+        return Ok(Some(text));
+    };
+    let Some((digits, payload)) = rest.split_once('\n') else {
+        return Err(format!("{path}: checksum header has no payload"));
+    };
+    let Ok(stored) = u64::from_str_radix(digits.trim(), 16) else {
+        return Err(format!("{path}: malformed checksum header {digits:?}"));
+    };
+    let actual = fnv1a64(payload.as_bytes());
+    if stored != actual {
+        return Err(format!(
+            "{path}: checksum mismatch (header {stored:016x}, payload {actual:016x}) — \
+             file is torn or corrupt"
+        ));
+    }
+    Ok(Some(payload.to_string()))
+}
+
+/// Write `payload` to `path` crash-safely: checksum header, temp-file
+/// sibling, fsync, atomic rename. Passes the `io.persist` fault site so
+/// injected failures exercise every step.
+pub fn save_atomic(path: &str, payload: &str) -> Result<(), String> {
+    genpar_guard::faultpoint("io.persist").map_err(|f| f.to_string())?;
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    let sealed = seal(payload);
+    let write = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(sealed.as_bytes())?;
+        f.sync_all()
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(format!("cannot write {tmp}: {e}"));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(format!("cannot rename {tmp} over {path}: {e}"));
+    }
+    // Make the rename itself durable. Failure here is not data loss —
+    // the file content is already consistent — so best-effort only.
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if let Ok(d) = std::fs::File::open(if dir.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Move a corrupt state file out of the load path, preserving it as
+/// `<path>.corrupt` for inspection, and record the quarantine loudly
+/// (`stats.quarantined` counter + event). Returns the quarantine path.
+pub fn quarantine_file(path: &str, reason: &str) -> Result<String, String> {
+    let corrupt = format!("{path}.corrupt");
+    std::fs::rename(path, &corrupt)
+        .map_err(|e| format!("cannot quarantine {path} to {corrupt}: {e}"))?;
+    genpar_obs::counter("stats.quarantined", 1);
+    genpar_obs::event(
+        "stats.quarantined",
+        [
+            ("path", FieldValue::from(path.to_string())),
+            ("reason", FieldValue::from(reason.to_string())),
+        ],
+    );
+    Ok(corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // fault arming is process-global: every test that writes through the
+    // io.persist site serializes here so an armed fault cannot leak into
+    // a neighbour
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn tmp_path(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("genpar-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("state.json").to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // published FNV-1a/64 test vectors
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn round_trip_and_legacy_files() {
+        let _g = lock();
+        let p = tmp_path("roundtrip");
+        save_atomic(&p, "{\"k\": 1}\n").unwrap();
+        let on_disk = std::fs::read_to_string(&p).unwrap();
+        assert!(on_disk.starts_with(CHECKSUM_MAGIC), "{on_disk}");
+        assert_eq!(read_payload(&p).unwrap().as_deref(), Some("{\"k\": 1}\n"));
+        // a legacy headerless file loads verbatim
+        std::fs::write(&p, "{\"legacy\": true}").unwrap();
+        assert_eq!(
+            read_payload(&p).unwrap().as_deref(),
+            Some("{\"legacy\": true}")
+        );
+        // a missing file is None, not an error
+        assert_eq!(read_payload(&format!("{p}.absent")).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_payload_fails_the_checksum() {
+        let _g = lock();
+        let p = tmp_path("torn");
+        save_atomic(&p, "{\"k\": 12345}\n").unwrap();
+        let mut text = std::fs::read_to_string(&p).unwrap();
+        text.truncate(text.len() - 4); // tear the tail off
+        std::fs::write(&p, &text).unwrap();
+        let err = read_payload(&p).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_renames_and_reports() {
+        let p = tmp_path("quarantine");
+        std::fs::write(&p, "garbage").unwrap();
+        let corrupt = quarantine_file(&p, "test reason").unwrap();
+        assert_eq!(corrupt, format!("{p}.corrupt"));
+        assert!(!std::path::Path::new(&p).exists());
+        assert_eq!(std::fs::read_to_string(&corrupt).unwrap(), "garbage");
+    }
+
+    #[test]
+    fn save_atomic_surfaces_injected_io_faults() {
+        // the io.persist site makes torn-write chaos injectable; the
+        // target file must be left untouched when the fault fires
+        let _g = lock();
+        let p = tmp_path("fault");
+        save_atomic(&p, "original\n").unwrap();
+        genpar_guard::arm_faults("io.persist:1").unwrap();
+        let err = save_atomic(&p, "replacement\n").unwrap_err();
+        genpar_guard::disarm_faults();
+        assert!(err.contains("io.persist"), "{err}");
+        assert_eq!(read_payload(&p).unwrap().as_deref(), Some("original\n"));
+    }
+}

@@ -303,25 +303,52 @@ impl StatsStore {
     }
 
     /// Load a store from disk. A missing file is an **empty store**, not
-    /// an error (first run trains from nothing); a malformed or
-    /// wrong-schema file is a loud error.
+    /// an error (first run trains from nothing); a malformed, torn or
+    /// wrong-schema file is a loud error. Most callers want
+    /// [`StatsStore::load_or_quarantine`], which converts that error
+    /// into a quarantine-and-regenerate.
     pub fn load(path: &str) -> Result<StatsStore, String> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(StatsStore::new());
-            }
-            Err(e) => return Err(format!("cannot read stats file {path}: {e}")),
+        let text = match crate::persist::read_payload(path) {
+            Ok(Some(t)) => t,
+            Ok(None) => return Ok(StatsStore::new()),
+            Err(e) => return Err(e),
         };
         let j = Json::parse(&text).map_err(|e| format!("stats file {path}: {e}"))?;
         StatsStore::from_json(&j)
     }
 
-    /// Prune and write the store to disk.
+    /// [`StatsStore::load`] with the robustness ladder's persistence
+    /// rung applied: a corrupt file (torn write, bad checksum, JSON
+    /// damage, wrong schema) is renamed to `<path>.corrupt`, a
+    /// `stats.quarantined` event fires, and the store regenerates empty.
+    /// The returned report, when `Some`, is the warning the CLI prints —
+    /// quarantine is loud, never silent. This path never errors and
+    /// never panics.
+    pub fn load_or_quarantine(path: &str) -> (StatsStore, Option<String>) {
+        match StatsStore::load(path) {
+            Ok(store) => (store, None),
+            Err(reason) => {
+                let report = match crate::persist::quarantine_file(path, &reason) {
+                    Ok(corrupt) => format!(
+                        "stats file {path} is corrupt ({reason}); \
+                         quarantined to {corrupt} and starting fresh"
+                    ),
+                    Err(e) => format!(
+                        "stats file {path} is corrupt ({reason}); \
+                         quarantine failed ({e}), starting fresh anyway"
+                    ),
+                };
+                (StatsStore::new(), Some(report))
+            }
+        }
+    }
+
+    /// Prune and write the store to disk — crash-safely, via the
+    /// checksum + temp-file + fsync + rename protocol in
+    /// [`crate::persist`].
     pub fn save(&mut self, path: &str) -> Result<(), String> {
         self.prune();
-        std::fs::write(path, self.to_json().to_string())
-            .map_err(|e| format!("cannot write stats file {path}: {e}"))
+        crate::persist::save_atomic(path, &self.to_json().to_string())
     }
 }
 

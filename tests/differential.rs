@@ -196,6 +196,40 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// Shape 5 — the retry rung: a morsel fault is injected so the
+    /// in-place retry machinery (the `exec.retry` gate) actually runs,
+    /// and every retried morsel must reproduce the serial value exactly
+    /// — at 2 and 4 workers and every pinned morsel size. Half the
+    /// cases additionally fault the retry gate itself
+    /// (`exec.retry:1`), forcing escalation past the in-place rung
+    /// (requeue → quarantine → serial fallback); the oracle holds on
+    /// every rung.
+    ///
+    /// Like shape 4, arming is programmatic and process-global:
+    /// concurrently running shapes that hit `exec.morsel` see at worst
+    /// a benign retry or degradation of their own cases — never a
+    /// wrong answer, which is exactly the property under test.
+    #[test]
+    fn differential_under_retried_morsels(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = random_flat_catalog(&mut rng);
+        let q = random_inner(&mut rng).0;
+        let spec = if rng.gen_bool(0.5) {
+            "exec.morsel:2"
+        } else {
+            "exec.morsel:2,exec.retry:1"
+        };
+        genpar_guard::arm_faults(spec)
+            .map_err(|e| TestCaseError::Fail(format!("arm_faults: {e}")))?;
+        let verdict = assert_differential(&q, &cat);
+        genpar_guard::disarm_faults();
+        verdict?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     /// Shape 3 — mixed: plain partition-safe plans, combiners, fixpoints
     /// and uncertified whole-set operators drawn together, so the route
     /// dispatch itself (including the serial fallback) is part of the
