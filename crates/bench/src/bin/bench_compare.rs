@@ -316,10 +316,58 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
     Ok(regressions)
 }
 
+/// Validate a `BENCH_serve.json` report against its declared schema.
+/// Schema v1 promises the load-shape counters, the latency quantile
+/// block, and — the point of the harness — `mismatches`, which must be
+/// zero: a serve report recording responses that diverged from one-shot
+/// CLI output is a correctness failure, not a performance number.
+fn validate_serve(doc: &Json, what: &str) -> Result<(), String> {
+    let sv = schema_version(doc, what)?;
+    if sv != 1 {
+        return Err(format!("{what}: unknown serve schema v{sv}"));
+    }
+    if doc.get("bench").and_then(|b| b.as_str()) != Some("serve") {
+        return Err(format!("{what}: not a serve report (bench != \"serve\")"));
+    }
+    for key in [
+        "clients",
+        "duration_ms",
+        "offered",
+        "completed",
+        "shed",
+        "mismatches",
+    ] {
+        if doc.get(key).and_then(|v| v.as_int()).is_none() {
+            return Err(format!("{what}: schema v1 promises integer key \"{key}\""));
+        }
+    }
+    if doc.get("throughput_rps").and_then(as_num).is_none() {
+        return Err(format!("{what}: schema v1 promises \"throughput_rps\""));
+    }
+    let lat = doc
+        .get("latency_us")
+        .ok_or_else(|| format!("{what}: schema v1 promises \"latency_us\""))?;
+    for q in ["p50", "p95", "p99", "max"] {
+        if lat.get(q).and_then(|v| v.as_int()).is_none() {
+            return Err(format!("{what}: schema v1 promises latency_us.{q}"));
+        }
+    }
+    match doc.get("mismatches").and_then(|v| v.as_int()) {
+        Some(0) => Ok(()),
+        Some(n) => Err(format!(
+            "{what}: {n} served response(s) diverged from one-shot CLI output"
+        )),
+        None => Err(format!(
+            "{what}: schema v1 promises integer key \"mismatches\""
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut parallel_path = "BENCH_parallel.json".to_string();
     let mut obs_path = "BENCH_obs.json".to_string();
+    let mut serve_path = "BENCH_serve.json".to_string();
     let mut write_baseline = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -327,7 +375,7 @@ fn main() -> ExitCode {
     while i < argv.len() {
         match argv[i].as_str() {
             "--write-baseline" => write_baseline = true,
-            "--baseline" | "--parallel" | "--obs" => {
+            "--baseline" | "--parallel" | "--obs" | "--serve" => {
                 let Some(v) = argv.get(i + 1) else {
                     eprintln!("bench-compare: {} needs a file argument", argv[i]);
                     return ExitCode::from(2);
@@ -335,6 +383,7 @@ fn main() -> ExitCode {
                 match argv[i].as_str() {
                     "--baseline" => baseline_path = v.clone(),
                     "--parallel" => parallel_path = v.clone(),
+                    "--serve" => serve_path = v.clone(),
                     _ => obs_path = v.clone(),
                 }
                 i += 1;
@@ -345,6 +394,20 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    // the serve report is independent of the baseline comparison: when
+    // present it must be well-formed and byte-identical; when absent the
+    // skip is loud and harmless (not every pipeline runs bench-serve)
+    match read_json(&serve_path) {
+        Ok(serve) => {
+            if let Err(e) = validate_serve(&serve, &format!("{serve_path} (serve report)")) {
+                eprintln!("bench-compare: malformed input — {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bench-compare: serve report OK — {serve_path} (schema v1, byte-identical)");
+        }
+        Err(e) => println!("bench-compare: serve SKIPPED — {e}"),
     }
 
     let (parallel, obs) = match (read_json(&parallel_path), read_json(&obs_path)) {
@@ -529,5 +592,53 @@ mod tests {
         );
         let fine = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v3(0.01)).unwrap();
         assert!(fine.is_empty(), "unexpected regressions: {fine:?}");
+    }
+
+    fn serve_v1(mismatches: i64) -> Json {
+        j(&format!(
+            "{{\"bench\": \"serve\", \"schema_version\": 1, \"clients\": 8, \
+              \"duration_ms\": 2000, \"offered\": 100, \"completed\": 98, \
+              \"shed\": 2, \"budget_exceeded\": 0, \"errors\": 0, \
+              \"throughput_rps\": 49.0, \
+              \"latency_us\": {{\"p50\": 900, \"p95\": 2000, \"p99\": 3000, \"max\": 4000}}, \
+              \"byte_identical\": {}, \"mismatches\": {mismatches}}}",
+            mismatches == 0
+        ))
+    }
+
+    #[test]
+    fn serve_report_with_mismatches_is_a_hard_failure() {
+        assert!(validate_serve(&serve_v1(0), "t").is_ok());
+        let err = validate_serve(&serve_v1(3), "t").unwrap_err();
+        assert!(err.contains("diverged"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn serve_report_missing_promised_keys_fails_loudly() {
+        let doc = j("{\"bench\": \"serve\", \"schema_version\": 1, \"mismatches\": 0}");
+        let err = validate_serve(&doc, "t").unwrap_err();
+        assert!(err.contains("promises"), "unhelpful error: {err}");
+
+        let quantless = j(
+            "{\"bench\": \"serve\", \"schema_version\": 1, \"clients\": 8, \
+              \"duration_ms\": 2000, \"offered\": 1, \"completed\": 1, \"shed\": 0, \
+              \"mismatches\": 0, \"throughput_rps\": 1.0, \
+              \"latency_us\": {\"p50\": 1, \"p95\": 1, \"p99\": 1}}",
+        );
+        let err = validate_serve(&quantless, "t").unwrap_err();
+        assert!(err.contains("latency_us.max"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn serve_report_from_a_different_bench_is_rejected() {
+        let doc = j("{\"bench\": \"parallel\", \"schema_version\": 1, \"mismatches\": 0}");
+        let err = validate_serve(&doc, "t").unwrap_err();
+        assert!(err.contains("not a serve report"), "unhelpful error: {err}");
+        let future = j("{\"bench\": \"serve\", \"schema_version\": 9}");
+        let err = validate_serve(&future, "t").unwrap_err();
+        assert!(
+            err.contains("unknown serve schema"),
+            "unhelpful error: {err}"
+        );
     }
 }

@@ -82,6 +82,35 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             *timeout_ms,
         ),
         Command::Calibrate { bench, out } => calibrate_cmd(bench, out),
+        Command::Serve {
+            db,
+            port,
+            workers,
+            tenant_budget,
+            max_inflight,
+            queue_cap,
+            calibration,
+            stats,
+            timeout_ms,
+        } => crate::serve_cmd::serve_cmd(
+            db,
+            *port,
+            *workers,
+            tenant_budget.as_deref(),
+            *max_inflight,
+            *queue_cap,
+            calibration.as_deref(),
+            stats.as_deref(),
+            *timeout_ms,
+        ),
+        Command::BenchServe {
+            db,
+            port,
+            clients,
+            duration_ms,
+            out,
+            tenant,
+        } => crate::serve_cmd::bench_serve_cmd(db, *port, *clients, *duration_ms, out, tenant),
         Command::Stats { action, file } => stats_cmd(action, file),
         Command::Chaos { seed, cases } => chaos_cmd(*seed, *cases),
         Command::Audit => audit(),
@@ -91,7 +120,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
 /// The key a database contributes its observed statistics under: the
 /// `.gdb` path when given, else the shared nominal synthetic catalog.
 /// Stats from one database never steer estimates for another.
-fn stats_catalog_key(db_path: Option<&str>) -> &str {
+pub(crate) fn stats_catalog_key(db_path: Option<&str>) -> &str {
     db_path.unwrap_or("nominal")
 }
 
@@ -102,7 +131,7 @@ fn stats_catalog_key(db_path: Option<&str>) -> &str {
 /// `<path>.corrupt` and the store regenerates empty, with the warning
 /// returned so the command surfaces it. Never an error, never a panic,
 /// never a *silent* fresh start.
-fn load_stats(path: Option<&str>) -> (Option<StatsStore>, Option<String>) {
+pub(crate) fn load_stats(path: Option<&str>) -> (Option<StatsStore>, Option<String>) {
     match path {
         Some(p) => {
             let (store, warning) = StatsStore::load_or_quarantine(p);
@@ -118,7 +147,9 @@ fn load_stats(path: Option<&str>) -> (Option<StatsStore>, Option<String>) {
 /// A **missing** file is an error (the user named it); a **corrupt** one
 /// is quarantined to `<path>.corrupt` and the default calibration rides
 /// in its place, with the warning returned for the command to print.
-fn load_calibration(path: Option<&str>) -> Result<(Calibration, Option<String>), CliError> {
+pub(crate) fn load_calibration(
+    path: Option<&str>,
+) -> Result<(Calibration, Option<String>), CliError> {
     let Some(p) = path else {
         return Ok((Calibration::default(), None));
     };
@@ -162,7 +193,7 @@ fn load_calibration(path: Option<&str>) -> Result<(Calibration, Option<String>),
 /// `morsel_rows` key, preserving every other key (inverse of the
 /// preseed in [`load_calibration`]). The write goes through the
 /// crash-safe temp-file + fsync + rename protocol.
-fn persist_morsel_rows(path: &str) -> Result<usize, CliError> {
+pub(crate) fn persist_morsel_rows(path: &str) -> Result<usize, CliError> {
     let text = match genpar_optimizer::persist::read_payload(path) {
         Ok(Some(t)) => t,
         // the file was quarantined (or never existed): restart it from
@@ -218,7 +249,7 @@ fn audit() -> Result<String, CliError> {
     Ok(out)
 }
 
-fn parse_q(query: &str) -> Result<Query, CliError> {
+pub(crate) fn parse_q(query: &str) -> Result<Query, CliError> {
     parse_query(query).map_err(|e| CliError::parse(e.to_string()))
 }
 
@@ -328,7 +359,7 @@ fn probe(query: &str, mode: &str, arity: usize) -> Result<String, CliError> {
 
 /// Resolve the worker count: explicit `--parallel` wins, then the
 /// `GENPAR_PARALLEL` environment variable, then serial.
-fn resolve_workers(workers: Option<usize>) -> usize {
+pub(crate) fn resolve_workers(workers: Option<usize>) -> usize {
     workers
         .unwrap_or_else(|| ExecConfig::from_env().workers)
         .max(1)
@@ -340,12 +371,27 @@ fn run(
     workers: Option<usize>,
     timeout_ms: Option<u64>,
 ) -> Result<String, CliError> {
-    let q = parse_q(query)?;
     // the wall deadline rides the budget machinery: every charge_* call
     // (serial interpreter and parallel meter alike) checks it, so a
     // breach surfaces as a structured budget error — exit 4, wall_ms
     let _wall =
         timeout_ms.map(|ms| genpar_guard::arm_wall_deadline(std::time::Duration::from_millis(ms)));
+    let db = dbfile::load_db(db_path)?;
+    let catalog = catalog_from_db(&db)?;
+    run_with(query, &db, &catalog, workers)
+}
+
+/// The `run` body over preloaded data: the one-shot path above loads the
+/// `.gdb` from disk first; `genpar serve` calls this directly with its
+/// resident database and catalog, which is what makes served `run`
+/// output byte-identical to the one-shot CLI *by construction*.
+pub(crate) fn run_with(
+    query: &str,
+    db: &genpar_algebra::Db,
+    catalog: &Catalog,
+    workers: Option<usize>,
+) -> Result<String, CliError> {
+    let q = parse_q(query)?;
     let w = resolve_workers(workers);
     if w > 1 {
         // The partition-safety gate: queries the genericity checker
@@ -355,19 +401,39 @@ fn run(
         // recorded fallback.
         let verdict = partition_safety(&q);
         if verdict.parallel_eligible() {
-            let catalog = build_catalog(&q, Some(db_path))?;
             let cfg = ExecConfig::serial().with_workers(w);
             let (v, _stats, _route) =
-                genpar_exec::eval_query(&q, &catalog, &cfg).map_err(CliError::from)?;
+                genpar_exec::eval_query(&q, catalog, &cfg).map_err(CliError::from)?;
             return Ok(format!("{v}\n"));
         }
         if let PartitionSafety::Unsafe { op, reason } = verdict {
             genpar_exec::note_fallback(op, reason);
         }
     }
-    let db = dbfile::load_db(db_path)?;
-    let v = genpar_algebra::eval::eval(&q, &db).map_err(CliError::from)?;
+    let v = genpar_algebra::eval::eval(&q, db).map_err(CliError::from)?;
     Ok(format!("{v}\n"))
+}
+
+/// Build an execution/costing catalog from a loaded database (real
+/// cardinalities, one table per relation).
+pub(crate) fn catalog_from_db(db: &genpar_algebra::Db) -> Result<Catalog, CliError> {
+    let mut cat = Catalog::new();
+    for (name, v) in db.relations() {
+        let arity = v
+            .as_set()
+            .and_then(|s| s.iter().next())
+            .and_then(|t| t.as_tuple())
+            .map(|t| t.len())
+            .unwrap_or(2);
+        let table = Table::try_from_value(
+            name.clone(),
+            Schema::uniform(CvType::domain(0), arity),
+            &normalize_rel(v, arity),
+        )
+        .map_err(CliError::runtime)?;
+        cat.add(table);
+    }
+    Ok(cat)
 }
 
 /// Build an execution/costing catalog: from a `.gdb` file (real
@@ -377,23 +443,7 @@ fn build_catalog(q: &Query, db_path: Option<&str>) -> Result<Catalog, CliError> 
     match db_path {
         Some(p) => {
             let db = dbfile::load_db(p)?;
-            let mut cat = Catalog::new();
-            for (name, v) in db.relations() {
-                let arity = v
-                    .as_set()
-                    .and_then(|s| s.iter().next())
-                    .and_then(|t| t.as_tuple())
-                    .map(|t| t.len())
-                    .unwrap_or(2);
-                let table = Table::try_from_value(
-                    name.clone(),
-                    Schema::uniform(CvType::domain(0), arity),
-                    &normalize_rel(v, arity),
-                )
-                .map_err(CliError::runtime)?;
-                cat.add(table);
-            }
-            Ok(cat)
+            catalog_from_db(&db)
         }
         None => {
             let mut cat = Catalog::new();
@@ -413,7 +463,7 @@ fn build_catalog(q: &Query, db_path: Option<&str>) -> Result<Catalog, CliError> 
 }
 
 /// Parse an `R,S:$N` union-key assertion into rewrite constraints.
-fn build_rules(union_key: Option<&str>) -> Result<RuleSet, CliError> {
+pub(crate) fn build_rules(union_key: Option<&str>) -> Result<RuleSet, CliError> {
     let mut constraints = Constraints::none();
     if let Some(spec) = union_key {
         // "R,S:$1"
@@ -484,23 +534,42 @@ fn explain_cmd(
     let (cal, cal_warning) = load_calibration(calibration)?;
     let (store, stats_warning) = load_stats(stats_path);
     let warnings: Vec<String> = [cal_warning, stats_warning].into_iter().flatten().collect();
-    let obs_stats = store
-        .as_ref()
-        .and_then(|s| s.catalog(stats_catalog_key(db_path)));
+    let stats_key = stats_catalog_key(db_path);
+    let obs_stats = store.as_ref().and_then(|s| s.catalog(stats_key));
+    let stats_note = stats_path.map(|p| (p, stats_key));
+    explain_with(
+        &q, &catalog, w, &cal, obs_stats, stats_note, &warnings, &rules,
+    )
+}
+
+/// The `explain` body over preloaded data (catalog, calibration,
+/// statistics). The one-shot wrapper above loads everything from disk;
+/// `genpar serve` calls this with its resident copies. Resets the
+/// process obs registry to attribute rewrite/plan events to this query.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explain_with(
+    q: &Query,
+    catalog: &Catalog,
+    w: usize,
+    cal: &Calibration,
+    obs_stats: Option<&genpar_optimizer::CatalogStats>,
+    stats_note: Option<(&str, &str)>,
+    warnings: &[String],
+    rules: &RuleSet,
+) -> Result<String, CliError> {
     genpar_obs::reset();
     let (chosen, trace, base_est, new_est) =
-        optimize_costed_parallel_with_stats(&q, &rules, &catalog, w, &cal, obs_stats);
+        optimize_costed_parallel_with_stats(q, rules, catalog, w, cal, obs_stats);
     let snap = genpar_obs::snapshot();
 
-    let mut out = warning_lines(&warnings);
+    let mut out = warning_lines(warnings);
     let _ = writeln!(out, "query:     {q}");
     let _ = writeln!(out, "optimized: {chosen}");
-    if let Some(p) = stats_path {
+    if let Some((p, key)) = stats_note {
         let entries = obs_stats.map(|c| c.entries.len()).unwrap_or(0);
         let _ = writeln!(
             out,
-            "stats:     {p} (catalog '{}', {entries} observed entries)",
-            stats_catalog_key(db_path)
+            "stats:     {p} (catalog '{key}', {entries} observed entries)"
         );
     }
     let _ = writeln!(out);
@@ -590,7 +659,7 @@ fn explain_cmd(
     // both routes, costed under the (possibly measured) calibration and
     // any observed statistics — stats can flip this choice, never the
     // answer
-    let rc = route_costs_with_stats(&chosen, &catalog, w, &cal, obs_stats);
+    let rc = route_costs_with_stats(&chosen, catalog, w, cal, obs_stats);
     let _ = writeln!(
         out,
         "\nroute costs (calibration: {:.3}/worker overhead, {:.0} cells startup):",
@@ -643,7 +712,7 @@ fn explain_cmd(
                 let _ = writeln!(out, "  {line}");
             }
             let _ = writeln!(out, "\nestimated rows per operator:");
-            for (op, est, src) in estimate_nodes_with_sources(&chosen, &catalog, obs_stats) {
+            for (op, est, src) in estimate_nodes_with_sources(&chosen, catalog, obs_stats) {
                 let _ = writeln!(out, "  {op:<18} ~{:.0} rows  [{src}]", est.rows);
             }
         }
@@ -725,11 +794,61 @@ fn profile_cmd(
     let catalog = build_catalog(&q, db_path)?;
     let rules = build_rules(union_key)?;
     let (cal, cal_warning) = load_calibration(calibration)?;
-    let (mut store, stats_warning) = load_stats(stats_path);
+    let (store, stats_warning) = load_stats(stats_path);
     let warnings: Vec<String> = [cal_warning, stats_warning].into_iter().flatten().collect();
-    let stats_key = stats_catalog_key(db_path);
-    // consult a clone so the store stays mutable for the post-run harvest
-    let obs_stats_owned = store.as_ref().and_then(|s| s.catalog(stats_key)).cloned();
+    let outcome = profile_with(
+        &q,
+        &catalog,
+        &rules,
+        json,
+        w,
+        trace_path,
+        timeline,
+        &cal,
+        store.as_ref(),
+        stats_path,
+        stats_catalog_key(db_path),
+        calibration,
+        &warnings,
+    )?;
+    Ok(outcome.output)
+}
+
+/// What a profile run produced: the rendered report, plus the
+/// statistics store as written to disk after the harvest (so a resident
+/// caller — `genpar serve` — can refresh its in-memory copy).
+pub(crate) struct ProfileOutcome {
+    /// The rendered report (tree or JSON).
+    pub output: String,
+    /// The store state written by the harvest, when one happened.
+    pub written_store: Option<StatsStore>,
+}
+
+/// The `profile` body over preloaded data. The one-shot wrapper above
+/// loads catalog/calibration/statistics from disk; `genpar serve` calls
+/// this with its resident copies. The harvest goes through
+/// [`StatsStore::harvest_into`], which re-reads the on-disk store under
+/// the process persistence lock before folding — concurrent profilers
+/// (two serve sessions, or serve plus a one-shot CLI) cannot lose each
+/// other's samples. Resets the process obs registry so the snapshot
+/// attributes events to this query alone.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn profile_with(
+    q: &Query,
+    catalog: &Catalog,
+    rules: &RuleSet,
+    json: bool,
+    w: usize,
+    trace_path: Option<&str>,
+    timeline: bool,
+    cal: &Calibration,
+    consult: Option<&StatsStore>,
+    stats_path: Option<&str>,
+    stats_key: &str,
+    morsel_out: Option<&str>,
+    warnings: &[String],
+) -> Result<ProfileOutcome, CliError> {
+    let obs_stats_owned = consult.and_then(|s| s.catalog(stats_key)).cloned();
     let obs_stats = obs_stats_owned.as_ref();
     // a trace export without the recorder would fall back to the
     // synthetic layout, so --trace implies --timeline for this run; the
@@ -742,14 +861,14 @@ fn profile_cmd(
     }
     genpar_obs::reset();
     let (chosen, _trace, _base, new_est) =
-        optimize_costed_parallel_with_stats(&q, &rules, &catalog, w, &cal, obs_stats);
+        optimize_costed_parallel_with_stats(q, rules, catalog, w, cal, obs_stats);
     let mut stats = genpar_engine::plan::ExecStats::default();
     if w > 1 && partition_safety(&chosen).parallel_eligible() {
         // certified: plain partitioning, per-round fixpoint, or combiner
         // — eval_query picks the same route the executor would
         let cfg = ExecConfig::default().with_workers(w);
         let (_, s, _route) =
-            genpar_exec::eval_query(&chosen, &catalog, &cfg).map_err(CliError::from)?;
+            genpar_exec::eval_query(&chosen, catalog, &cfg).map_err(CliError::from)?;
         stats = s;
         stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
     } else {
@@ -760,7 +879,7 @@ fn profile_cmd(
                         genpar_exec::note_fallback(op, reason);
                     }
                 }
-                let (_, s) = plan.execute(&catalog).map_err(CliError::from)?;
+                let (_, s) = plan.execute(catalog).map_err(CliError::from)?;
                 stats = s;
                 // pair the model's prediction with the observed result size
                 stats.est_rows_out = new_est.rows.round().max(0.0) as u64;
@@ -786,7 +905,7 @@ fn profile_cmd(
     if want_timeline {
         genpar_obs::timeline::set_enabled(prev_timeline);
     }
-    let mis = misestimate_rows(&chosen, &catalog, &snap);
+    let mis = misestimate_rows(&chosen, catalog, &snap);
 
     if let Some(path) = trace_path {
         let text = if path.ends_with(".jsonl") {
@@ -799,18 +918,22 @@ fn profile_cmd(
     }
 
     // fold this run's per-node row counts back into the store, so the
-    // next run's estimates are observed rather than guessed
-    let harvested = match (stats_path, store.as_mut()) {
-        (Some(p), Some(store)) => {
-            let folded = store.harvest(stats_key, &snap);
-            store.save(p).map_err(CliError::runtime)?;
+    // next run's estimates are observed rather than guessed; the
+    // read-fold-write cycle runs under the persistence lock, so a
+    // concurrent harvester's samples are folded in, never overwritten
+    let mut written_store = None;
+    let harvested = match stats_path {
+        Some(p) => {
+            let (folded, written) =
+                StatsStore::harvest_into(p, stats_key, &snap).map_err(CliError::runtime)?;
+            written_store = Some(written);
             Some(folded)
         }
-        _ => None,
+        None => None,
     };
 
     // persist the converged morsel size so the next run starts tuned
-    let persisted_morsel = match calibration {
+    let persisted_morsel = match morsel_out {
         Some(p) => Some(persist_morsel_rows(p)?),
         None => None,
     };
@@ -895,11 +1018,14 @@ fn profile_cmd(
                 ));
             }
         }
-        Ok(format!("{j}\n"))
+        Ok(ProfileOutcome {
+            output: format!("{j}\n"),
+            written_store,
+        })
     } else {
         let mut out = format!(
             "{}query: {q}\n\n{}",
-            warning_lines(&warnings),
+            warning_lines(warnings),
             snap.render_tree()
         );
         if !mis.is_empty() {
@@ -925,10 +1051,13 @@ fn profile_cmd(
                 "stats: harvested {folded} node observations into {p} (catalog '{stats_key}')"
             );
         }
-        if let (Some(rows), Some(p)) = (persisted_morsel, calibration) {
+        if let (Some(rows), Some(p)) = (persisted_morsel, morsel_out) {
             let _ = writeln!(out, "morsel size {rows} persisted to {p}");
         }
-        Ok(out)
+        Ok(ProfileOutcome {
+            output: out,
+            written_store,
+        })
     }
 }
 

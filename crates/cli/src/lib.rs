@@ -31,6 +31,7 @@
 
 pub mod commands;
 pub mod dbfile;
+pub mod serve_cmd;
 
 use std::fmt;
 
@@ -60,6 +61,17 @@ impl ErrorKind {
             ErrorKind::Parse => 3,
             ErrorKind::Budget => 4,
             ErrorKind::Internal => 5,
+        }
+    }
+
+    /// The kind's name on the serve wire protocol (`error.kind`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::Usage => "usage",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Budget => "budget",
+            ErrorKind::Internal => "internal",
         }
     }
 }
@@ -173,6 +185,9 @@ USAGE:
   genpar calibrate [--bench FILE] [--out FILE]
   genpar stats    show|reset [--file FILE]
   genpar chaos    [--seed N] [--cases M]
+  genpar serve    <db.gdb> --port P [--parallel N] [--tenant-budget SPEC] [--max-inflight N]
+                  [--queue N] [--calibration FILE] [--stats FILE] [--timeout MS]
+  genpar bench-serve --port P --db FILE [--clients N] [--duration S] [--out FILE] [--tenant T]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
@@ -209,6 +224,21 @@ USAGE:
   worker, and only an exhausted ladder degrades the query to serial.
   GENPAR_FAULTS=site:nth|* arms deterministic fault injection at a
   known site (unknown sites are usage errors naming the bad token).
+  `genpar serve` keeps the database, calibration and statistics store
+  resident and answers a line-oriented JSON protocol on 127.0.0.1:PORT
+  (one request per line: {\"op\": \"run\"|\"explain\"|\"profile\"|\"stats\"|
+  \"ping\"|\"shutdown\", \"query\": ..., \"tenant\": ..., \"timeout_ms\": ...,
+  \"workers\": ...}). --tenant-budget SPEC (the GENPAR_BUDGET grammar)
+  gives every tenant its own cumulative quota pool — exhausting it
+  yields structured budget_exceeded responses while other tenants keep
+  running. --max-inflight / --queue bound admission: past both, requests
+  are shed with an `overloaded` response instead of degrading everyone.
+  SIGINT (or the shutdown op) drains in-flight queries, flushes state
+  files through the checksummed writer, and exits 0.
+  `genpar bench-serve` drives a live server with N closed-loop socket
+  clients for S seconds, asserts every response byte-identical to the
+  one-shot CLI, and writes BENCH_serve.json (latency percentiles,
+  throughput, shed count) for bench-compare.
   `genpar chaos` replays --cases seeded fault storms (morsel, merge,
   fixpoint-round, combine, retry and persistence faults) and fails
   loudly if any recovered answer differs from fault-free serial
@@ -344,6 +374,49 @@ pub enum Command {
         seed: u64,
         /// Number of cases to run (default 64).
         cases: u32,
+    },
+    /// `serve <db.gdb> --port P` — the resident multi-tenant query
+    /// service (line-oriented JSON over TCP).
+    Serve {
+        /// Path to the `.gdb` database file held resident.
+        db: String,
+        /// Port to bind on 127.0.0.1 (0 = ephemeral, announced on stderr).
+        port: u16,
+        /// Worker slots in the process-wide morsel pool (`--parallel`;
+        /// `None` defers to `GENPAR_PARALLEL`, then serial).
+        workers: Option<usize>,
+        /// Per-tenant quota spec (`--tenant-budget`, the `GENPAR_BUDGET`
+        /// grammar); `None` = unmetered tenants.
+        tenant_budget: Option<String>,
+        /// Queries executing concurrently before arrivals queue
+        /// (`--max-inflight`; defaults to twice the worker count).
+        max_inflight: Option<usize>,
+        /// Queued requests beyond which arrivals are shed (`--queue`).
+        queue_cap: Option<usize>,
+        /// Calibration file held resident (`--calibration`).
+        calibration: Option<String>,
+        /// Observed-statistics store held resident (`--stats`).
+        stats: Option<String>,
+        /// Default per-request wall deadline (`--timeout`), overridable
+        /// per request via the protocol's `timeout_ms` field.
+        timeout_ms: Option<u64>,
+    },
+    /// `bench-serve --port P --db FILE` — closed-loop load harness
+    /// against a live server.
+    BenchServe {
+        /// The `.gdb` file the server is serving (used to compute the
+        /// one-shot baseline outputs in-process).
+        db: String,
+        /// Server port on 127.0.0.1.
+        port: u16,
+        /// Concurrent closed-loop clients (`--clients`).
+        clients: usize,
+        /// Run duration in milliseconds (`--duration` takes seconds).
+        duration_ms: u64,
+        /// Report file to write (`--out`, default `BENCH_serve.json`).
+        out: String,
+        /// Tenant name stamped on every request (`--tenant`).
+        tenant: String,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -547,6 +620,102 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Chaos { seed, cases })
         }
+        "serve" => {
+            fn take_parsed<T: std::str::FromStr>(
+                rest: &mut Vec<&String>,
+                flag: &str,
+            ) -> Result<Option<T>, CliError>
+            where
+                T::Err: std::fmt::Display,
+            {
+                let present = rest.iter().any(|a| a.as_str() == flag);
+                match take_flag(rest, flag) {
+                    Some(v) => v
+                        .parse::<T>()
+                        .map(Some)
+                        .map_err(|e| CliError::usage(format!("bad {flag} {v:?}: {e}"))),
+                    None if present => Err(CliError::usage(format!("{flag} needs a value"))),
+                    None => Ok(None),
+                }
+            }
+            let port = take_parsed::<u16>(&mut rest, "--port")?
+                .ok_or_else(|| CliError::usage("serve needs --port P (0 = ephemeral)"))?;
+            let workers = take_workers(&mut rest)?;
+            let tenant_budget = take_flag(&mut rest, "--tenant-budget");
+            let max_inflight = take_parsed::<usize>(&mut rest, "--max-inflight")?;
+            let queue_cap = take_parsed::<usize>(&mut rest, "--queue")?;
+            let calibration = take_flag(&mut rest, "--calibration");
+            let stats = take_flag(&mut rest, "--stats");
+            let timeout_ms = take_timeout(&mut rest)?;
+            let db = rest
+                .first()
+                .ok_or_else(|| CliError::usage("serve needs a db file"))?
+                .to_string();
+            if let Some(stray) = rest.get(1) {
+                return Err(CliError::usage(format!(
+                    "serve takes one db file; unexpected argument {stray:?}"
+                )));
+            }
+            Ok(Command::Serve {
+                db,
+                port,
+                workers,
+                tenant_budget,
+                max_inflight,
+                queue_cap,
+                calibration,
+                stats,
+                timeout_ms,
+            })
+        }
+        "bench-serve" => {
+            let port = take_flag(&mut rest, "--port")
+                .ok_or_else(|| CliError::usage("bench-serve needs --port P"))?;
+            let port = port
+                .parse::<u16>()
+                .map_err(|e| CliError::usage(format!("bad --port {port:?}: {e}")))?;
+            let db = take_flag(&mut rest, "--db")
+                .ok_or_else(|| CliError::usage("bench-serve needs --db FILE"))?;
+            let clients = take_flag(&mut rest, "--clients")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| CliError::usage(format!("bad --clients {v:?}: {e}")))
+                })
+                .transpose()?
+                .unwrap_or(4);
+            if clients == 0 {
+                return Err(CliError::usage("--clients must be at least 1"));
+            }
+            let duration_ms = match take_flag(&mut rest, "--duration") {
+                Some(v) => {
+                    let secs = v
+                        .parse::<f64>()
+                        .map_err(|e| CliError::usage(format!("bad --duration {v:?}: {e}")))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(CliError::usage(
+                            "--duration must be a positive number of seconds",
+                        ));
+                    }
+                    (secs * 1000.0) as u64
+                }
+                None => 2000,
+            };
+            let out = take_flag(&mut rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+            let tenant = take_flag(&mut rest, "--tenant").unwrap_or_else(|| "bench".into());
+            if let Some(stray) = rest.first() {
+                return Err(CliError::usage(format!(
+                    "bench-serve takes no positional arguments (got {stray:?})"
+                )));
+            }
+            Ok(Command::BenchServe {
+                db,
+                port,
+                clients,
+                duration_ms,
+                out,
+                tenant,
+            })
+        }
         "stats" => {
             let file = take_flag(&mut rest, "--file").unwrap_or_else(|| "STATS.json".into());
             let action = rest
@@ -721,6 +890,89 @@ mod tests {
                 out: "c.json".into()
             }
         );
+        assert_eq!(
+            parse_args(&argv(&["serve", "--port", "7070", "x.gdb"])).unwrap(),
+            Command::Serve {
+                db: "x.gdb".into(),
+                port: 7070,
+                workers: None,
+                tenant_budget: None,
+                max_inflight: None,
+                queue_cap: None,
+                calibration: None,
+                stats: None,
+                timeout_ms: None
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "serve",
+                "x.gdb",
+                "--port",
+                "7070",
+                "--parallel",
+                "4",
+                "--tenant-budget",
+                "cells=1000",
+                "--max-inflight",
+                "8",
+                "--queue",
+                "32",
+                "--stats",
+                "STATS.json",
+                "--timeout",
+                "500"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                db: "x.gdb".into(),
+                port: 7070,
+                workers: Some(4),
+                tenant_budget: Some("cells=1000".into()),
+                max_inflight: Some(8),
+                queue_cap: Some(32),
+                calibration: None,
+                stats: Some("STATS.json".into()),
+                timeout_ms: Some(500)
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["bench-serve", "--port", "7070", "--db", "x.gdb"])).unwrap(),
+            Command::BenchServe {
+                db: "x.gdb".into(),
+                port: 7070,
+                clients: 4,
+                duration_ms: 2000,
+                out: "BENCH_serve.json".into(),
+                tenant: "bench".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "bench-serve",
+                "--port",
+                "7070",
+                "--db",
+                "x.gdb",
+                "--clients",
+                "8",
+                "--duration",
+                "1.5",
+                "--out",
+                "o.json",
+                "--tenant",
+                "t1"
+            ]))
+            .unwrap(),
+            Command::BenchServe {
+                db: "x.gdb".into(),
+                port: 7070,
+                clients: 8,
+                duration_ms: 1500,
+                out: "o.json".into(),
+                tenant: "t1".into()
+            }
+        );
     }
 
     #[test]
@@ -743,5 +995,44 @@ mod tests {
         assert!(parse_args(&argv(&["chaos", "--seed", "NaN"])).is_err());
         assert!(parse_args(&argv(&["chaos", "--cases", "0"])).is_err());
         assert!(parse_args(&argv(&["chaos", "stray"])).is_err());
+        // serve requires a port and a database; both omissions are usage
+        // errors naming what is missing
+        assert!(parse_args(&argv(&["serve", "x.gdb"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--port", "7070"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--port", "notaport", "x.gdb"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--port", "7070", "a.gdb", "b.gdb"])).is_err());
+        // bench-serve: port and db are required; clients must be positive;
+        // duration is seconds and must be a positive finite number
+        assert!(parse_args(&argv(&["bench-serve", "--db", "x.gdb"])).is_err());
+        assert!(parse_args(&argv(&["bench-serve", "--port", "7070"])).is_err());
+        assert!(parse_args(&argv(&[
+            "bench-serve",
+            "--port",
+            "7070",
+            "--db",
+            "x.gdb",
+            "--clients",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "bench-serve",
+            "--port",
+            "7070",
+            "--db",
+            "x.gdb",
+            "--duration",
+            "-1"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "bench-serve",
+            "--port",
+            "7070",
+            "--db",
+            "x.gdb",
+            "stray"
+        ]))
+        .is_err());
     }
 }

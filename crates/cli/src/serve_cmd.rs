@@ -1,0 +1,342 @@
+//! `genpar serve` and `genpar bench-serve`: the resident query service
+//! and its closed-loop load harness.
+//!
+//! [`ServeState`] is the bridge between the protocol-agnostic server in
+//! `genpar-serve` and this crate's command internals: it loads the
+//! database, catalog, calibration, and observed-statistics store ONCE,
+//! keeps them resident, and executes each request through the same
+//! functions the one-shot CLI uses ([`commands::run_with`],
+//! [`commands::explain_with`], [`commands::profile_with`]) — so a served
+//! response's `output` is byte-identical to the one-shot command by
+//! construction, not by testing alone.
+
+use crate::commands::{
+    self, catalog_from_db, explain_with, load_calibration, load_stats, parse_q,
+    persist_morsel_rows, profile_with, resolve_workers, run_with,
+};
+use crate::{dbfile, CliError};
+use genpar_engine::Catalog;
+use genpar_obs::Json;
+use genpar_optimizer::{Calibration, RuleSet, StatsStore};
+use genpar_serve::loadgen::{run_bench, BenchSpec};
+use genpar_serve::protocol::Op;
+use genpar_serve::server::{HandlerError, QueryHandler, ServeConfig};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Resident server state: everything a request needs, loaded once.
+pub struct ServeState {
+    db: genpar_algebra::Db,
+    catalog: Catalog,
+    rules: RuleSet,
+    cal: Calibration,
+    cal_path: Option<String>,
+    stats_path: Option<String>,
+    stats_key: String,
+    stats: RwLock<StatsStore>,
+    /// `profile` resets the process obs registry to attribute events to
+    /// one query; concurrent profiles would corrupt each other's
+    /// snapshots, so they serialize here (run/explain stay concurrent).
+    profile_gate: Mutex<()>,
+    default_workers: usize,
+}
+
+impl ServeState {
+    /// Load the database, calibration, and statistics store; returns the
+    /// state plus any load warnings (corrupt-file quarantines).
+    pub fn load(
+        db_path: &str,
+        calibration: Option<&str>,
+        stats_path: Option<&str>,
+        default_workers: usize,
+    ) -> Result<(ServeState, Vec<String>), CliError> {
+        let db = dbfile::load_db(db_path)?;
+        let catalog = catalog_from_db(&db)?;
+        let (cal, cal_warning) = load_calibration(calibration)?;
+        let (store, stats_warning) = load_stats(stats_path);
+        let warnings: Vec<String> = [cal_warning, stats_warning].into_iter().flatten().collect();
+        Ok((
+            ServeState {
+                db,
+                catalog,
+                rules: commands::build_rules(None)?,
+                cal,
+                cal_path: calibration.map(str::to_string),
+                stats_path: stats_path.map(str::to_string),
+                stats_key: commands::stats_catalog_key(Some(db_path)).to_string(),
+                stats: RwLock::new(store.unwrap_or_default()),
+                profile_gate: Mutex::new(()),
+                default_workers,
+            },
+            warnings,
+        ))
+    }
+
+    fn stats_read(&self) -> std::sync::RwLockReadGuard<'_, StatsStore> {
+        match self.stats.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn explain(&self, query: &str, workers: Option<usize>) -> Result<String, CliError> {
+        let q = parse_q(query)?;
+        let w = resolve_workers(workers.or(Some(self.default_workers)));
+        let guard = self.stats_read();
+        let obs_stats = self
+            .stats_path
+            .as_deref()
+            .and_then(|_| guard.catalog(&self.stats_key));
+        let stats_note = self
+            .stats_path
+            .as_deref()
+            .map(|p| (p, self.stats_key.as_str()));
+        explain_with(
+            &q,
+            &self.catalog,
+            w,
+            &self.cal,
+            obs_stats,
+            stats_note,
+            &[],
+            &self.rules,
+        )
+    }
+
+    fn profile(&self, query: &str, workers: Option<usize>) -> Result<String, CliError> {
+        let _gate = match self.profile_gate.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let q = parse_q(query)?;
+        let w = resolve_workers(workers.or(Some(self.default_workers)));
+        // consult a snapshot of the resident store, harvest through the
+        // locked on-disk read-fold-write, then refresh the resident copy
+        let consult = self.stats_read().clone();
+        let outcome = profile_with(
+            &q,
+            &self.catalog,
+            &self.rules,
+            false,
+            w,
+            None,
+            false,
+            &self.cal,
+            Some(&consult),
+            self.stats_path.as_deref(),
+            &self.stats_key,
+            None,
+            &[],
+        )?;
+        if let Some(written) = outcome.written_store {
+            match self.stats.write() {
+                Ok(mut g) => *g = written,
+                Err(poisoned) => *poisoned.into_inner() = written,
+            }
+        }
+        Ok(outcome.output)
+    }
+}
+
+impl QueryHandler for ServeState {
+    fn execute(&self, op: Op, query: &str, workers: Option<usize>) -> Result<String, HandlerError> {
+        let result = match op {
+            Op::Run => run_with(
+                query,
+                &self.db,
+                &self.catalog,
+                workers.or(Some(self.default_workers)),
+            ),
+            Op::Explain => self.explain(query, workers),
+            Op::Profile => self.profile(query, workers),
+            // stats/ping/shutdown are answered by the server itself
+            _ => Err(CliError::internal(format!(
+                "op {:?} is not a query",
+                op.name()
+            ))),
+        };
+        result.map_err(|e| HandlerError {
+            kind: e.kind.name().to_string(),
+            message: e.message,
+        })
+    }
+
+    fn flush(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if let Some(p) = self.stats_path.as_deref() {
+            // save() prunes, so flush a clone rather than the resident copy
+            let mut store = self.stats_read().clone();
+            if let Err(e) = store.save(p) {
+                warnings.push(format!("stats flush to {p} failed: {e}"));
+            }
+        }
+        if let Some(p) = self.cal_path.as_deref() {
+            if let Err(e) = persist_morsel_rows(p) {
+                warnings.push(format!("calibration flush to {p} failed: {e}"));
+            }
+        }
+        warnings
+    }
+}
+
+/// `genpar serve <db.gdb> --port P ...`: run the resident service until
+/// a graceful shutdown (SIGINT/SIGTERM or `{"op":"shutdown"}`) drains
+/// it. Exits 0 with a drain summary.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_cmd(
+    db: &str,
+    port: u16,
+    workers: Option<usize>,
+    tenant_budget: Option<&str>,
+    max_inflight: Option<usize>,
+    queue_cap: Option<usize>,
+    calibration: Option<&str>,
+    stats: Option<&str>,
+    timeout_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let w = resolve_workers(workers);
+    let budget = tenant_budget
+        .map(|spec| {
+            genpar_guard::ExecBudget::parse(spec)
+                .map_err(|e| CliError::usage(format!("bad --tenant-budget: {e}")))
+        })
+        .transpose()?;
+    let (state, warnings) = ServeState::load(db, calibration, stats, w)?;
+    for warning in &warnings {
+        eprintln!("genpar serve: warning: {warning}");
+    }
+    let cfg = ServeConfig {
+        port,
+        workers: w,
+        // enough concurrency to keep the pool busy, small enough that
+        // overload queues (and then sheds) instead of thrashing
+        max_inflight: max_inflight.unwrap_or_else(|| w.max(2) * 2),
+        queue_cap: queue_cap.unwrap_or(16),
+        tenant_budget: budget,
+        default_timeout_ms: timeout_ms,
+    };
+    genpar_serve::server::serve(&cfg, Arc::new(state)).map_err(CliError::runtime)
+}
+
+/// The query mix `bench-serve` drives: one of each parallel route (plain
+/// partitioned shapes, every combiner, a per-round fixpoint), filtered
+/// to the relations the target database actually defines.
+const BENCH_QUERIES: &[&str] = &[
+    "pi[$1](R)",
+    "select[$1=$2](R)",
+    "union(R, S)",
+    "diff(R, S)",
+    "pi[$1,$4](join[$2=$1](R, S))",
+    "count(R)",
+    "sum[$2](R)",
+    "fix[X](E, pi[$1,$4](join[$2=$1](X, E)))",
+];
+
+/// `genpar bench-serve --port P --db FILE --clients N --duration S`:
+/// the closed-loop load harness. Computes each query's one-shot output
+/// in-process first, drives real socket clients against the live
+/// server, asserts every `ok` response byte-identical, and writes a
+/// `BENCH_serve.json` report for bench-compare.
+pub fn bench_serve_cmd(
+    db: &str,
+    port: u16,
+    clients: usize,
+    duration_ms: u64,
+    out: &str,
+    tenant: &str,
+) -> Result<String, CliError> {
+    let dbv = dbfile::load_db(db)?;
+    let catalog = catalog_from_db(&dbv)?;
+    let defined: std::collections::BTreeSet<&str> =
+        catalog.tables().map(|t| t.name.as_str()).collect();
+    let mut queries = Vec::new();
+    for text in BENCH_QUERIES {
+        let q = parse_q(text)?;
+        if !q.rel_names().iter().all(|n| defined.contains(n.as_str())) {
+            continue;
+        }
+        // serial one-shot output is THE baseline: the serial-vs-parallel
+        // differential oracle already guarantees route-independence, so
+        // any served divergence is a serve-layer bug
+        let expected = run_with(text, &dbv, &catalog, Some(1))?;
+        queries.push((text.to_string(), expected));
+    }
+    if queries.is_empty() {
+        return Err(CliError::usage(format!(
+            "bench-serve: {db} defines none of the bench relations (R, S, E)"
+        )));
+    }
+    let n_queries = queries.len();
+    let spec = BenchSpec {
+        addr: format!("127.0.0.1:{port}"),
+        clients: clients.max(1),
+        duration: Duration::from_millis(duration_ms),
+        tenant: tenant.to_string(),
+        queries,
+    };
+    let report = run_bench(&spec).map_err(CliError::runtime)?;
+
+    let max_us = report.latencies_us.last().copied().unwrap_or(0);
+    let doc = Json::obj([
+        ("bench", Json::str("serve")),
+        ("schema_version", Json::Int(1)),
+        ("clients", Json::Int(spec.clients as i128)),
+        (
+            "duration_ms",
+            Json::Int(report.elapsed.as_millis().min(u64::MAX as u128) as i128),
+        ),
+        ("queries", Json::Int(n_queries as i128)),
+        ("offered", Json::Int(report.offered as i128)),
+        ("completed", Json::Int(report.completed as i128)),
+        ("shed", Json::Int(report.shed as i128)),
+        ("budget_exceeded", Json::Int(report.budget_exceeded as i128)),
+        ("errors", Json::Int(report.errors as i128)),
+        ("throughput_rps", Json::Num(report.throughput_rps())),
+        (
+            "latency_us",
+            Json::obj([
+                ("p50", Json::Int(report.percentile_us(50.0) as i128)),
+                ("p95", Json::Int(report.percentile_us(95.0) as i128)),
+                ("p99", Json::Int(report.percentile_us(99.0) as i128)),
+                ("max", Json::Int(max_us as i128)),
+            ]),
+        ),
+        ("byte_identical", Json::Bool(report.mismatches == 0)),
+        ("mismatches", Json::Int(report.mismatches as i128)),
+    ]);
+    std::fs::write(out, format!("{doc}\n"))
+        .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+
+    if report.mismatches > 0 {
+        return Err(CliError::internal(format!(
+            "bench-serve: {} response(s) diverged from one-shot CLI output; first: {}",
+            report.mismatches,
+            report
+                .first_mismatch
+                .as_deref()
+                .unwrap_or("(sample unavailable)")
+        )));
+    }
+    if report.completed == 0 {
+        return Err(CliError::runtime(format!(
+            "bench-serve: no request completed against 127.0.0.1:{port} — is the server up?"
+        )));
+    }
+    Ok(format!(
+        "bench-serve: {} clients x {:.1}s against 127.0.0.1:{port} ({n_queries} queries)\n\
+         offered {} / completed {} / shed {} / budget {} / errors {}\n\
+         throughput {:.1} req/s, latency p50 {}us p95 {}us p99 {}us max {max_us}us\n\
+         every response byte-identical to one-shot output; report written to {out}\n",
+        spec.clients,
+        report.elapsed.as_secs_f64(),
+        report.offered,
+        report.completed,
+        report.shed,
+        report.budget_exceeded,
+        report.errors,
+        report.throughput_rps(),
+        report.percentile_us(50.0),
+        report.percentile_us(95.0),
+        report.percentile_us(99.0),
+    ))
+}

@@ -1,0 +1,431 @@
+//! End-to-end tests for `genpar serve`: spawn the real binary as a
+//! resident server on an ephemeral port, drive it over raw TCP, and
+//! assert the three contracts the subsystem makes:
+//!
+//! * served `output` is byte-identical to the one-shot CLI's stdout,
+//! * SIGINT mid-load drains in-flight work and flushes state files
+//!   through the checksummed atomic writer (exit 0, file verifies),
+//! * an exhausted tenant is isolated — its `budget_exceeded` never
+//!   leaks onto a neighbor running the identical query.
+
+// the vendored proptest! macro is expansion-hungry at the default limit
+#![recursion_limit = "256"]
+
+use genpar_obs::Json;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+fn genpar() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_genpar"));
+    // The CI parallel job exports these globally; tests pin their own.
+    cmd.env_remove("GENPAR_FAULTS")
+        .env_remove("GENPAR_BUDGET")
+        .env_remove("GENPAR_PARALLEL");
+    cmd
+}
+
+fn tmp_path(stem: &str, ext: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "genpar-serve-{stem}-{}-{n}.{ext}",
+        std::process::id()
+    ))
+}
+
+fn write_db(contents: &str) -> PathBuf {
+    let path = tmp_path("db", "gdb");
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn small_db() -> PathBuf {
+    write_db("R = {(1, 2), (2, 3), (3, 4), (4, 5)}\nS = {(1, 9), (2, 8)}\n")
+}
+
+/// A spawned `genpar serve` child plus the address parsed from its
+/// stderr readiness line.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(db: &std::path::Path, extra: &[&str]) -> Server {
+        let mut cmd = genpar();
+        cmd.args([
+            "serve",
+            db.to_str().unwrap(),
+            "--port",
+            "0",
+            "--parallel",
+            "2",
+        ])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+        let mut child = cmd.spawn().unwrap();
+        let mut reader = BufReader::new(child.stderr.take().unwrap());
+        let mut addr = None;
+        let mut line = String::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                addr = rest.split_whitespace().next().map(str::to_string);
+                break;
+            }
+        }
+        // keep draining stderr so the server can never block on the pipe
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                sink.clear();
+            }
+        });
+        Server {
+            addr: addr.expect("server never printed its readiness line"),
+            child,
+        }
+    }
+
+    fn port(&self) -> String {
+        self.addr.rsplit(':').next().unwrap().to_string()
+    }
+
+    fn connect(&self) -> Conn {
+        Conn::open(&self.addr)
+    }
+
+    fn interrupt(&self) {
+        // no libc crate: reach the signal through the coreutils binary
+        let pid = self.child.id().to_string();
+        let status = Command::new("kill").args(["-INT", &pid]).status().unwrap();
+        assert!(status.success(), "kill -INT {pid} failed");
+    }
+
+    fn wait(mut self) -> std::process::ExitStatus {
+        self.child.wait().unwrap()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // failure-path cleanup; a no-op once the child has been reaped
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One client connection speaking the line-oriented JSON protocol.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let writer = stream.try_clone().unwrap();
+                    return Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                    };
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("cannot connect to {addr}: {e}"),
+            }
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        Json::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response {resp:?}: {e}"))
+    }
+}
+
+fn status_of(j: &Json) -> String {
+    j.get("status")
+        .and_then(|v| v.as_str())
+        .unwrap_or("(no status)")
+        .to_string()
+}
+
+fn output_of(j: &Json) -> String {
+    j.get("output")
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("response has no output: {j}"))
+        .to_string()
+}
+
+fn one_shot(db: &std::path::Path, subcommand: &str, query: &str) -> String {
+    // match the spawned server's pool (--parallel 2): a served request
+    // without a workers hint defaults to the server's worker count, and
+    // the explain text names it
+    let out = genpar()
+        .args([
+            subcommand,
+            "--db",
+            db.to_str().unwrap(),
+            "--parallel",
+            "2",
+            query,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "one-shot {subcommand} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn served_responses_are_byte_identical_to_one_shot_output() {
+    let db = small_db();
+    let server = Server::spawn(&db, &[]);
+    let mut conn = server.connect();
+
+    let ping = conn.request(r#"{"op": "ping"}"#);
+    assert_eq!(status_of(&ping), "ok");
+
+    for (op, query) in [
+        ("run", "pi[$1,$4](join[$2=$1](R, S))"),
+        ("run", "diff(R, S)"),
+        ("run", "count(R)"),
+        ("explain", "pi[$1](union(R, S))"),
+    ] {
+        let expected = one_shot(&db, if op == "run" { "run" } else { "explain" }, query);
+        let req = Json::obj([("op", Json::str(op)), ("query", Json::str(query))]);
+        let resp = conn.request(&req.to_string());
+        assert_eq!(status_of(&resp), "ok", "{resp}");
+        assert_eq!(
+            output_of(&resp),
+            expected,
+            "served {op} output diverged from one-shot CLI for {query}"
+        );
+    }
+
+    // a parse failure is a structured response on the same connection,
+    // never a disconnect — and the connection still works afterwards
+    let bad = conn.request(r#"{"op": "run", "query": "pi[$1]((("}"#);
+    assert_eq!(status_of(&bad), "error");
+    let again = conn.request(r#"{"op": "ping"}"#);
+    assert_eq!(status_of(&again), "ok");
+
+    let ack = conn.request(r#"{"op": "shutdown"}"#);
+    assert_eq!(status_of(&ack), "ok");
+    let code = server.wait();
+    assert_eq!(code.code(), Some(0), "graceful shutdown must exit 0");
+}
+
+#[test]
+fn bench_serve_closed_loop_reports_byte_identity() {
+    let db = small_db();
+    let server = Server::spawn(&db, &[]);
+    let report_path = tmp_path("bench", "json");
+
+    let out = genpar()
+        .args([
+            "bench-serve",
+            "--port",
+            &server.port(),
+            "--db",
+            db.to_str().unwrap(),
+            "--clients",
+            "4",
+            "--duration",
+            "1",
+            "--out",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "bench-serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = Json::parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("serve"));
+    assert_eq!(doc.get("mismatches").and_then(|v| v.as_int()), Some(0));
+    assert!(
+        doc.get("completed").and_then(|v| v.as_int()).unwrap_or(0) > 0,
+        "no requests completed: {doc}"
+    );
+
+    let mut conn = server.connect();
+    conn.request(r#"{"op": "shutdown"}"#);
+    assert_eq!(server.wait().code(), Some(0));
+}
+
+#[test]
+fn sigint_mid_load_drains_and_flushes_checksummed_state() {
+    let db = small_db();
+    let stats_path = tmp_path("stats", "json");
+    let stats = stats_path.to_str().unwrap().to_string();
+    let server = Server::spawn(&db, &["--stats", &stats]);
+    let addr = server.addr.clone();
+
+    // real load: two clients looping profile (which harvests into the
+    // stats store) while the signal lands mid-flight
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(&addr);
+                let until = Instant::now() + Duration::from_secs(10);
+                let mut served = 0u32;
+                while Instant::now() < until {
+                    writeln!(
+                        conn.writer,
+                        r#"{{"op": "profile", "query": "pi[$1,$4](join[$2=$1](R, S))"}}"#
+                    )
+                    .ok();
+                    conn.writer.flush().ok();
+                    let mut resp = String::new();
+                    match conn.reader.read_line(&mut resp) {
+                        Ok(0) | Err(_) => break, // server drained: done
+                        Ok(_) => {
+                            let j = Json::parse(resp.trim()).unwrap();
+                            match status_of(&j).as_str() {
+                                "ok" => served += 1,
+                                "shutting_down" => break,
+                                other => panic!("unexpected status {other}: {j}"),
+                            }
+                        }
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(400));
+    server.interrupt();
+
+    let code = server.wait();
+    assert_eq!(
+        code.code(),
+        Some(0),
+        "SIGINT must drain and exit 0, not die on the signal"
+    );
+    let served: u32 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0, "no request completed before the interrupt");
+
+    // the flushed stats file must carry the checksum header AND verify
+    let text = std::fs::read_to_string(&stats_path).unwrap();
+    assert!(
+        text.starts_with(genpar_optimizer::persist::CHECKSUM_MAGIC),
+        "flushed stats file is missing its checksum header: {text}"
+    );
+    let payload = genpar_optimizer::persist::read_payload(&stats)
+        .expect("flushed stats file must pass checksum verification")
+        .expect("stats file must exist after drain");
+    assert!(
+        Json::parse(&payload).is_ok(),
+        "flushed stats payload is not JSON: {payload}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Per-tenant budget isolation: one tenant exhausting its quota
+    /// must keep getting `budget_exceeded` while a second tenant's
+    /// identical query succeeds byte-identically. Each case runs its
+    /// own server (quotas are cumulative for the life of a process) and
+    /// fresh tenant names, with the query drawn by proptest.
+    #[test]
+    fn exhausted_tenant_never_starves_its_neighbors(qi in 0..3usize) {
+        static CASE: AtomicU32 = AtomicU32::new(0);
+        let queries = ["pi[$1](R)", "select[$1=$2](R)", "union(R, S)"];
+        let query = queries[qi];
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let hog = format!("hog-{case}");
+        let bystander = format!("bystander-{case}");
+
+        let db = small_db();
+        let server = Server::spawn(&db, &["--tenant-budget", "cells=400"]);
+        let mut conn = server.connect();
+        let req = |tenant: &str| {
+            Json::obj([
+                ("op", Json::str("run")),
+                ("query", Json::str(query)),
+                ("tenant", Json::str(tenant)),
+            ])
+            .to_string()
+        };
+
+        // drive the hog into its quota; capture its first good output
+        let mut expected = None;
+        let mut exhausted = false;
+        for _ in 0..200 {
+            let resp = conn.request(&req(&hog));
+            match status_of(&resp).as_str() {
+                "ok" => {
+                    let out = output_of(&resp);
+                    if let Some(prev) = &expected {
+                        prop_assert_eq!(prev, &out, "output changed under quota pressure");
+                    }
+                    expected = Some(out);
+                }
+                "budget_exceeded" => {
+                    exhausted = true;
+                    break;
+                }
+                other => prop_assert!(false, "unexpected status {}: {}", other, resp),
+            }
+        }
+        prop_assert!(exhausted, "hog never hit its quota within 200 requests");
+        let expected = match expected {
+            Some(e) => e,
+            None => {
+                prop_assert!(false, "quota must allow at least one request");
+                unreachable!()
+            }
+        };
+
+        // the bystander's identical query still succeeds, byte-identical
+        let resp = conn.request(&req(&bystander));
+        prop_assert_eq!(&status_of(&resp), "ok", "bystander was starved: {}", resp);
+        prop_assert_eq!(output_of(&resp), expected);
+
+        // and the hog stays exhausted — quotas are cumulative, not reset
+        let resp = conn.request(&req(&hog));
+        prop_assert_eq!(
+            &status_of(&resp),
+            "budget_exceeded",
+            "quota forgot: {}",
+            resp
+        );
+
+        let ack = conn.request(r#"{"op": "shutdown"}"#);
+        prop_assert_eq!(&status_of(&ack), "ok");
+        prop_assert_eq!(server.wait().code(), Some(0));
+    }
+}

@@ -235,7 +235,7 @@ impl EvalParallel for PhysicalPlan {
         let meter = SharedMeter::from_armed();
         let ctx = Ctx {
             cfg,
-            meter: meter.as_ref(),
+            meter: meter.as_deref(),
         };
         let mut stats = ExecStats::default();
         let rows = genpar_guard::catch_panics(|| run_plan(self, catalog, &ctx, &mut stats))
@@ -634,7 +634,7 @@ fn run_fixpoint_route(
     let meter = SharedMeter::from_armed();
     let ctx = Ctx {
         cfg,
-        meter: meter.as_ref(),
+        meter: meter.as_deref(),
     };
     let mut stats = ExecStats::default();
     let result = genpar_guard::catch_panics(|| {
@@ -803,7 +803,7 @@ fn run_combiner_route(
     let meter = SharedMeter::from_armed();
     let ctx = Ctx {
         cfg,
-        meter: meter.as_ref(),
+        meter: meter.as_deref(),
     };
     let mut stats = ExecStats::default();
     let result = genpar_guard::catch_panics(|| {

@@ -54,6 +54,117 @@ pub(crate) struct Recovery<'a, E> {
     pub gate: &'a (dyn Fn(usize, u32) -> Result<(), E> + Sync),
 }
 
+/// A bounded pool of worker slots shared by every parallel run in the
+/// process. A resident server installs one at startup
+/// ([`install_worker_governor`]) so concurrent queries *borrow* workers
+/// from a single pool instead of each spawning its own full complement —
+/// queries become morsel sources, not pool owners. With no governor
+/// installed (the one-shot CLI), every request is granted in full and
+/// nothing changes.
+struct Governor {
+    available: AtomicUsize,
+    total: usize,
+}
+
+impl Governor {
+    /// Take up to `want` slots (lock-free; a fully drained pool grants
+    /// zero and the caller runs inline on its own thread).
+    fn take(&self, want: usize) -> usize {
+        let mut avail = self.available.load(Ordering::Acquire);
+        loop {
+            let take = want.min(avail);
+            if take == 0 {
+                return 0;
+            }
+            match self.available.compare_exchange_weak(
+                avail,
+                avail - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(a) => avail = a,
+            }
+        }
+    }
+
+    fn put(&self, n: usize) {
+        self.available.fetch_add(n, Ordering::AcqRel);
+    }
+}
+
+static GOVERNOR: std::sync::OnceLock<Governor> = std::sync::OnceLock::new();
+
+/// Install the process-wide worker-slot pool (`total` slots, min 1).
+/// First installation wins and is permanent for the process; returns
+/// `false` if one was already installed.
+pub fn install_worker_governor(total: usize) -> bool {
+    let total = total.max(1);
+    GOVERNOR
+        .set(Governor {
+            available: AtomicUsize::new(total),
+            total,
+        })
+        .is_ok()
+}
+
+/// `(available, total)` slots of the installed governor, if any.
+pub fn worker_governor_stats() -> Option<(usize, usize)> {
+    GOVERNOR
+        .get()
+        .map(|g| (g.available.load(Ordering::Relaxed), g.total))
+}
+
+/// RAII permit over slots borrowed from the installed governor.
+/// `borrowed` distinguishes a real loan from the ungoverned full grant,
+/// so slots are only ever returned to a pool they came from.
+struct Permit {
+    granted: usize,
+    borrowed: bool,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        if self.borrowed {
+            if let Some(g) = GOVERNOR.get() {
+                g.put(self.granted);
+                genpar_obs::gauge(
+                    "exec.pool.available",
+                    g.available.load(Ordering::Relaxed) as i64,
+                );
+            }
+        }
+    }
+}
+
+fn acquire_workers(want: usize) -> Permit {
+    let Some(g) = GOVERNOR.get() else {
+        return Permit {
+            granted: want,
+            borrowed: false,
+        };
+    };
+    let take = g.take(want);
+    if take == 0 {
+        genpar_obs::counter("exec.pool.starved", 1);
+        return Permit {
+            granted: 0,
+            borrowed: false,
+        };
+    }
+    if take < want {
+        genpar_obs::counter("exec.pool.trimmed", 1);
+    }
+    genpar_obs::gauge(
+        "exec.pool.available",
+        g.available.load(Ordering::Relaxed) as i64,
+    );
+    Permit {
+        granted: take,
+        borrowed: true,
+    }
+}
+
 /// Lock a mutex, recovering from poisoning (a panicking worker must not
 /// wedge the pool — panics are converted at the executor boundary).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -108,6 +219,28 @@ where
     }
 }
 
+/// The no-threads path: run every item on the caller's thread (keeping
+/// thread-local state — an armed serial budget, say — visible), with
+/// in-place retries when recovery is armed.
+fn run_inline<T, R, E, F>(
+    items: Vec<T>,
+    recovery: Option<&Recovery<'_, E>>,
+    f: &F,
+) -> Result<Vec<R>, E>
+where
+    T: Clone,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.into_iter().enumerate() {
+        match recovery {
+            Some(rec) => out.push(run_with_retries(i, &item, rec, f)?),
+            None => out.push(f(i, item)?),
+        }
+    }
+    Ok(out)
+}
+
 /// Run `f` over every item on `workers` threads; results in item order.
 ///
 /// The first `Err` wins and cancels outstanding work. With `workers <= 1`
@@ -142,17 +275,18 @@ where
 {
     let n = items.len();
     if workers <= 1 || n <= 1 {
-        let mut out = Vec::with_capacity(n);
-        for (i, item) in items.into_iter().enumerate() {
-            match &recovery {
-                Some(rec) => out.push(run_with_retries(i, &item, rec, &f)?),
-                None => out.push(f(i, item)?),
-            }
-        }
-        return Ok(out);
+        return run_inline(items, recovery.as_ref(), &f);
     }
 
-    let w = workers.min(n);
+    // borrow worker slots from the process-wide governor (full grant
+    // when none is installed); a starved pool runs inline on the
+    // caller's thread, which is always available
+    let permit = acquire_workers(workers.min(n));
+    if permit.granted <= 1 {
+        drop(permit);
+        return run_inline(items, recovery.as_ref(), &f);
+    }
+    let w = permit.granted;
     // each item sits in its own slot; in plain mode it is taken exactly
     // once, in recovery mode it stays put until its task succeeds
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -457,6 +591,57 @@ mod tests {
         .unwrap();
         assert_eq!(got.len(), 32);
         assert_eq!(got[7], 7);
+    }
+
+    #[test]
+    fn governor_takes_trims_and_returns() {
+        // exercised against a local pool: the global OnceLock governor
+        // stays uninstalled so other tests keep their full grants
+        let g = Governor {
+            available: AtomicUsize::new(4),
+            total: 4,
+        };
+        assert_eq!(g.take(3), 3);
+        assert_eq!(g.take(3), 1, "partial grant when the pool runs low");
+        assert_eq!(g.take(3), 0, "drained pool grants nothing");
+        g.put(1);
+        g.put(3);
+        assert_eq!(g.take(9), 4, "returned slots are reusable, capped at total");
+        assert_eq!(g.total, 4);
+    }
+
+    #[test]
+    fn governor_is_consistent_under_contention() {
+        let g = Governor {
+            available: AtomicUsize::new(8),
+            total: 8,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        let got = g.take(3);
+                        assert!(got <= 3);
+                        if got > 0 {
+                            g.put(got);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            g.available.load(Ordering::Relaxed),
+            8,
+            "every borrowed slot came back"
+        );
+    }
+
+    #[test]
+    fn ungoverned_acquire_grants_in_full() {
+        // the global governor is never installed by unit tests
+        let p = acquire_workers(7);
+        assert_eq!(p.granted, 7);
+        assert!(!p.borrowed);
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! [`BudgetBreach`] once a cap is crossed. With no budget armed anywhere
 //! in the process, every charge is one relaxed atomic load.
 
+use crate::shared::SharedMeter;
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The environment variable holding a budget spec (see
 /// [`ExecBudget::parse`]).
@@ -19,14 +21,21 @@ pub const BUDGET_ENV: &str = "GENPAR_BUDGET";
 /// `charge_*` call returns after one relaxed load.
 static ARMED_SCOPES: AtomicUsize = AtomicUsize::new(0);
 
-/// Process-wide count of *any* armed guard scope — thread-local budget
-/// or wall deadline. Every `charge_*` fast path is exactly one relaxed
-/// load of this counter; the per-kind checks only run when it is
-/// nonzero, keeping the disarmed cost identical to pre-wall builds.
+/// Number of live [`SharedBudgetScope`]s across all threads (tenant
+/// quota pools armed by a resident server; see [`enter_shared`]).
+static SHARED_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of *any* armed guard scope — thread-local budget,
+/// shared meter, or wall deadline. Every `charge_*` fast path is exactly
+/// one relaxed load of this counter; the per-kind checks only run when
+/// it is nonzero, keeping the disarmed cost identical to pre-wall
+/// builds.
 pub(crate) static ACTIVE_GUARDS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static ACTIVE: RefCell<Option<Meter>> = const { RefCell::new(None) };
+    /// The shared meter armed on this thread by [`enter_shared`].
+    static ACTIVE_SHARED: RefCell<Option<Arc<SharedMeter>>> = const { RefCell::new(None) };
 }
 
 /// Which budgeted resource a charge draws from.
@@ -206,6 +215,43 @@ impl Drop for BudgetScope {
     }
 }
 
+/// Arm a long-lived [`SharedMeter`] — a tenant's cumulative quota pool —
+/// for the current thread until the returned scope drops. While armed,
+/// the `charge_*` free functions draw from the shared meter (in addition
+/// to any thread-scoped budget), so serial evaluation on a server
+/// session thread drains the same pool as the parallel workers, and
+/// [`SharedMeter::from_armed`] layers a per-request meter on top of it.
+/// Scopes nest; the innermost meter governs.
+#[must_use = "the shared meter is disarmed when the scope drops"]
+pub fn enter_shared(meter: Arc<SharedMeter>) -> SharedBudgetScope {
+    let prev = ACTIVE_SHARED.with(|a| a.borrow_mut().replace(meter));
+    SHARED_SCOPES.fetch_add(1, Ordering::Relaxed);
+    ACTIVE_GUARDS.fetch_add(1, Ordering::Relaxed);
+    SharedBudgetScope { prev }
+}
+
+/// RAII scope keeping a shared meter armed on the current thread.
+pub struct SharedBudgetScope {
+    prev: Option<Arc<SharedMeter>>,
+}
+
+impl Drop for SharedBudgetScope {
+    fn drop(&mut self) {
+        SHARED_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE_GUARDS.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE_SHARED.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The shared meter armed on the current thread, if any. One relaxed
+/// load when no shared scope exists anywhere in the process.
+pub(crate) fn active_shared() -> Option<Arc<SharedMeter>> {
+    if SHARED_SCOPES.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    ACTIVE_SHARED.with(|a| a.borrow().clone())
+}
+
 /// Usage accumulated against an armed budget.
 #[derive(Debug, Clone, Copy)]
 struct Meter {
@@ -294,12 +340,22 @@ fn active() -> bool {
     ACTIVE_GUARDS.load(Ordering::Relaxed) != 0
 }
 
-/// The budget armed on the current thread, if any.
-pub fn active_budget() -> Option<ExecBudget> {
+/// The budget armed on the current thread by [`ExecBudget::enter`], if
+/// any — excludes shared (tenant) meters, so
+/// [`SharedMeter::from_armed`] can layer the two explicitly.
+pub(crate) fn thread_budget() -> Option<ExecBudget> {
     if !armed() {
         return None;
     }
     ACTIVE.with(|a| a.borrow().as_ref().map(|m| m.budget))
+}
+
+/// The budget governing the current thread, if any: the thread-scoped
+/// [`ExecBudget::enter`] budget when one is armed, otherwise the budget
+/// of the shared meter armed by [`enter_shared`] (so depth and powerset
+/// caps follow the tenant quota on server session threads).
+pub fn active_budget() -> Option<ExecBudget> {
+    thread_budget().or_else(|| active_shared().map(|m| m.budget()))
 }
 
 /// Charge `n` rows materialized by operator `op` (per-operator cap, not
@@ -309,7 +365,11 @@ pub fn charge_rows(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     if !active() {
         return Ok(());
     }
-    crate::wall::check_wall(op)?;
+    match active_shared() {
+        // the shared meter checks the wall (global and thread-local)
+        Some(m) => m.charge_rows(n, op)?,
+        None => crate::wall::check_wall(op)?,
+    }
     if !armed() {
         return Ok(());
     }
@@ -328,7 +388,10 @@ pub fn charge_cells(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     if !active() {
         return Ok(());
     }
-    crate::wall::check_wall(op)?;
+    match active_shared() {
+        Some(m) => m.charge_cells(n, op)?,
+        None => crate::wall::check_wall(op)?,
+    }
     if !armed() {
         return Ok(());
     }
@@ -353,7 +416,10 @@ pub fn charge_steps(n: u64, op: &'static str) -> Result<(), BudgetBreach> {
     if !active() {
         return Ok(());
     }
-    crate::wall::check_wall(op)?;
+    match active_shared() {
+        Some(m) => m.charge_steps(n, op)?,
+        None => crate::wall::check_wall(op)?,
+    }
     if !armed() {
         return Ok(());
     }
@@ -380,7 +446,10 @@ pub fn charge_depth(depth: u64, op: &'static str) -> Result<(), BudgetBreach> {
     if !active() {
         return Ok(());
     }
-    crate::wall::check_wall(op)?;
+    match active_shared() {
+        Some(m) => m.charge_depth(depth, op)?,
+        None => crate::wall::check_wall(op)?,
+    }
     if !armed() {
         return Ok(());
     }
@@ -487,6 +556,55 @@ mod tests {
         assert!(ExecBudget::parse("rows=abc").is_err());
         assert!(ExecBudget::parse("clocks=1").is_err());
         assert_eq!(ExecBudget::parse("").unwrap(), ExecBudget::default());
+    }
+
+    #[test]
+    fn shared_scope_routes_free_charges_to_the_pool() {
+        let pool = Arc::new(SharedMeter::new(
+            ExecBudget::unlimited().with_max_cells(100),
+        ));
+        let scope = enter_shared(Arc::clone(&pool));
+        assert!(charge_cells(60, "a").is_ok());
+        assert_eq!(pool.cells_used(), 60);
+        let e = charge_cells(60, "b").unwrap_err();
+        assert_eq!(e.resource, Resource::Cells);
+        drop(scope);
+        // disarmed again: charges no longer touch the pool
+        assert!(charge_cells(60, "c").is_ok());
+        assert_eq!(pool.cells_used(), 120);
+    }
+
+    #[test]
+    fn shared_scope_governs_depth_and_powerset_caps() {
+        assert_eq!(depth_limit(), u64::MAX);
+        let pool = Arc::new(SharedMeter::new(
+            ExecBudget::unlimited()
+                .with_max_depth(4)
+                .with_max_powerset(6),
+        ));
+        let _scope = enter_shared(pool);
+        assert_eq!(depth_limit(), 4);
+        assert_eq!(powerset_cap(), 6);
+        assert_eq!(
+            charge_depth(5, "fix").unwrap_err().resource,
+            Resource::Depth
+        );
+        // a thread-scoped budget still narrows within the shared scope
+        let _inner = ExecBudget::unlimited().with_max_depth(2).enter();
+        assert_eq!(depth_limit(), 2);
+    }
+
+    #[test]
+    fn shared_scope_is_thread_local() {
+        let pool = Arc::new(SharedMeter::new(ExecBudget::unlimited().with_max_cells(10)));
+        let _scope = enter_shared(Arc::clone(&pool));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // other threads are not governed by this thread's pool
+                assert!(charge_cells(1_000, "t").is_ok());
+            });
+        });
+        assert_eq!(pool.cells_used(), 0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod wall;
 
 pub use budget::{
     active_budget, charge_cells, charge_depth, charge_rows, charge_steps, depth_limit,
-    powerset_cap, BudgetBreach, BudgetScope, ExecBudget, Resource, BUDGET_ENV,
+    enter_shared, powerset_cap, BudgetBreach, BudgetScope, ExecBudget, Resource, SharedBudgetScope,
+    BUDGET_ENV,
 };
 pub use fault::{
     arm_faults, arm_faults_from_env, arm_faults_strict, armed_faults, disarm_faults, faultpoint,
@@ -54,7 +55,9 @@ pub use fault::{
 };
 pub use retry::{RetryPolicy, RetrySpecError, RETRY_ENV};
 pub use shared::SharedMeter;
-pub use wall::{arm_wall_deadline, check_wall, WallScope};
+pub use wall::{
+    arm_wall_deadline, arm_wall_deadline_local, check_wall, LocalWallScope, WallDeadline, WallScope,
+};
 
 /// Render a panic payload (from `std::panic::catch_unwind`) as text.
 ///

@@ -18,9 +18,22 @@
 //! `q` at morsel granularity (`morsel_rows × row_width` cells), making
 //! the bound tight and documented rather than incidental. The
 //! `workers_cannot_overshoot_beyond_slack` test pins this bound.
+//!
+//! ## Layered meters (tenants)
+//!
+//! A resident server arms one long-lived `Arc<SharedMeter>` per tenant
+//! ([`crate::enter_shared`]); [`SharedMeter::from_armed`] then builds a
+//! fresh per-request meter whose `parent` is the tenant pool, so every
+//! worker charge draws from *both*: the request's own caps and the
+//! tenant's cumulative quota. The request meter also captures the
+//! session's thread-local wall deadline ([`crate::wall::local_deadline`])
+//! so pool workers — which never see the session thread's thread-locals —
+//! still enforce the per-request `--timeout`.
 
 use crate::budget::{BudgetBreach, ExecBudget, Resource};
+use crate::wall::WallDeadline;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An atomically charged budget shared by the workers of one parallel
 /// query execution.
@@ -33,6 +46,11 @@ pub struct SharedMeter {
     budget: ExecBudget,
     cells: AtomicU64,
     steps: AtomicU64,
+    /// Per-request wall deadline captured at construction; checked on
+    /// every charge so workers inherit the session's `--timeout`.
+    deadline: Option<WallDeadline>,
+    /// Longer-lived pool (a tenant quota) this meter also draws from.
+    parent: Option<Arc<SharedMeter>>,
 }
 
 impl SharedMeter {
@@ -42,15 +60,56 @@ impl SharedMeter {
             budget,
             cells: AtomicU64::new(0),
             steps: AtomicU64::new(0),
+            deadline: None,
+            parent: None,
         }
     }
 
-    /// A shared meter over the budget armed on the *current* thread, if
-    /// any — the bridge from the thread-scoped [`ExecBudget::enter`]
-    /// world into a worker pool. Returns `None` when nothing is armed,
-    /// so the disarmed fast path stays free.
-    pub fn from_armed() -> Option<SharedMeter> {
-        crate::budget::active_budget().map(SharedMeter::new)
+    /// A shared meter over the guard state armed on the *current*
+    /// thread, if any — the bridge from the thread-scoped world into a
+    /// worker pool. Returns `None` when nothing is armed, so the
+    /// disarmed fast path stays free.
+    ///
+    /// Layering, innermost first:
+    /// - a thread-scoped [`ExecBudget::enter`] budget becomes the
+    ///   request's own caps;
+    /// - a shared scope ([`crate::enter_shared`], the tenant pool)
+    ///   becomes the `parent` every charge also draws from — or, when no
+    ///   thread budget narrows it, is charged directly;
+    /// - a thread-local wall deadline
+    ///   ([`crate::arm_wall_deadline_local`]) is captured so workers
+    ///   enforce it; with only a deadline armed the meter's own caps are
+    ///   unlimited.
+    pub fn from_armed() -> Option<Arc<SharedMeter>> {
+        let tenant = crate::budget::active_shared();
+        let local = crate::budget::thread_budget();
+        let deadline = crate::wall::local_deadline();
+        match (tenant, local, deadline) {
+            (None, None, None) => None,
+            // nothing request-scoped to layer on: draw from the tenant
+            // pool directly (cumulative across requests)
+            (Some(t), None, None) => Some(t),
+            (tenant, local, deadline) => {
+                let budget = local
+                    .or_else(|| tenant.as_ref().map(|t| t.budget))
+                    .unwrap_or_else(ExecBudget::unlimited);
+                Some(Arc::new(SharedMeter {
+                    budget,
+                    cells: AtomicU64::new(0),
+                    steps: AtomicU64::new(0),
+                    deadline,
+                    parent: tenant,
+                }))
+            }
+        }
+    }
+
+    #[inline]
+    fn check_deadline(&self, op: &'static str) -> Result<(), BudgetBreach> {
+        match &self.deadline {
+            Some(d) => d.check(op),
+            None => Ok(()),
+        }
     }
 
     /// The budget this meter enforces.
@@ -73,47 +132,75 @@ impl SharedMeter {
     /// not cumulative — same semantics as [`crate::charge_rows`]).
     pub fn charge_rows(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
         crate::wall::check_wall(op)?;
+        self.check_deadline(op)?;
         if n > self.budget.max_rows {
-            Err(crate::budget::record_breach(
+            return Err(crate::budget::record_breach(
                 Resource::Rows,
                 self.budget.max_rows,
                 n,
                 op,
-            ))
-        } else {
-            Ok(())
+            ));
+        }
+        match &self.parent {
+            Some(p) => p.charge_rows(n, op),
+            None => Ok(()),
         }
     }
 
     /// Charge `n` cells processed (cumulative across all workers).
     pub fn charge_cells(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
         crate::wall::check_wall(op)?;
+        self.check_deadline(op)?;
         let used = self.cells.fetch_add(n, Ordering::Relaxed).saturating_add(n);
         if used > self.budget.max_cells {
-            Err(crate::budget::record_breach(
+            return Err(crate::budget::record_breach(
                 Resource::Cells,
                 self.budget.max_cells,
                 used,
                 op,
-            ))
-        } else {
-            Ok(())
+            ));
+        }
+        match &self.parent {
+            Some(p) => p.charge_cells(n, op),
+            None => Ok(()),
         }
     }
 
     /// Charge `n` evaluation steps (cumulative across all workers).
     pub fn charge_steps(&self, n: u64, op: &'static str) -> Result<(), BudgetBreach> {
         crate::wall::check_wall(op)?;
+        self.check_deadline(op)?;
         let used = self.steps.fetch_add(n, Ordering::Relaxed).saturating_add(n);
         if used > self.budget.max_steps {
-            Err(crate::budget::record_breach(
+            return Err(crate::budget::record_breach(
                 Resource::Steps,
                 self.budget.max_steps,
                 used,
                 op,
-            ))
-        } else {
-            Ok(())
+            ));
+        }
+        match &self.parent {
+            Some(p) => p.charge_steps(n, op),
+            None => Ok(()),
+        }
+    }
+
+    /// Check an iteration count against the depth cap (same semantics
+    /// as [`crate::charge_depth`]: the loop passes its running count).
+    pub fn charge_depth(&self, depth: u64, op: &'static str) -> Result<(), BudgetBreach> {
+        crate::wall::check_wall(op)?;
+        self.check_deadline(op)?;
+        if depth > self.budget.max_depth {
+            return Err(crate::budget::record_breach(
+                Resource::Depth,
+                self.budget.max_depth,
+                depth,
+                op,
+            ));
+        }
+        match &self.parent {
+            Some(p) => p.charge_depth(depth, op),
+            None => Ok(()),
         }
     }
 }
@@ -129,6 +216,60 @@ mod tests {
         let _scope = ExecBudget::default().with_max_cells(7).enter();
         let m = SharedMeter::from_armed().unwrap();
         assert_eq!(m.budget().max_cells, 7);
+    }
+
+    #[test]
+    fn shared_scope_alone_yields_the_pool_itself() {
+        let pool = Arc::new(SharedMeter::new(ExecBudget::unlimited().with_max_cells(50)));
+        let _scope = crate::budget::enter_shared(Arc::clone(&pool));
+        let m = SharedMeter::from_armed().unwrap();
+        assert!(
+            Arc::ptr_eq(&m, &pool),
+            "no request layer: charge the pool directly"
+        );
+        // cumulative across "requests": a second from_armed sees drained state
+        m.charge_cells(40, "a").unwrap();
+        let m2 = SharedMeter::from_armed().unwrap();
+        assert_eq!(
+            m2.charge_cells(40, "b").unwrap_err().resource,
+            Resource::Cells
+        );
+    }
+
+    #[test]
+    fn thread_budget_layers_over_the_tenant_pool() {
+        let pool = Arc::new(SharedMeter::new(
+            ExecBudget::unlimited().with_max_cells(100),
+        ));
+        let _scope = crate::budget::enter_shared(Arc::clone(&pool));
+        let _inner = ExecBudget::unlimited().with_max_cells(30).enter();
+        let m = SharedMeter::from_armed().unwrap();
+        // successful charges drain the tenant pool too...
+        m.charge_cells(20, "a").unwrap();
+        assert_eq!(pool.cells_used(), 20);
+        // ...and the request meter enforces its own (narrower) cap,
+        // stopping before the breaching charge reaches the pool
+        assert_eq!(m.budget().max_cells, 30);
+        assert_eq!(
+            m.charge_cells(20, "b").unwrap_err().resource,
+            Resource::Cells
+        );
+        assert_eq!(pool.cells_used(), 20);
+    }
+
+    #[test]
+    fn local_deadline_rides_into_the_meter() {
+        let _wall = crate::wall::arm_wall_deadline_local(std::time::Duration::ZERO);
+        let m = SharedMeter::from_armed().expect("deadline alone arms a meter");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // the captured deadline breaches even on a thread that never saw
+        // the arming thread's thread-locals
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let e = m.charge_cells(1, "exec.morsel").unwrap_err();
+                assert_eq!(e.resource, Resource::Wall);
+            });
+        });
     }
 
     #[test]

@@ -14,11 +14,21 @@
 //!
 //! Disarmed cost: one relaxed atomic load per check.
 //!
-//! The deadline is process-global and non-nesting (last armed wins) —
-//! it models "this whole invocation must finish by T", not a per-scope
-//! stopwatch.
+//! Two arming styles coexist:
+//!
+//! - [`arm_wall_deadline`] is process-global and non-nesting (last armed
+//!   wins) — it models "this whole invocation must finish by T", the
+//!   one-shot CLI `--timeout`.
+//! - [`arm_wall_deadline_local`] is thread-scoped: a resident server
+//!   handling many concurrent requests arms one deadline per session
+//!   thread without the sessions clobbering each other. The captured
+//!   [`WallDeadline`] also rides into [`crate::SharedMeter`] (see
+//!   [`local_deadline`]) so pool workers — which never see the session's
+//!   thread-locals — still enforce the request's deadline at every
+//!   metered charge.
 
 use crate::budget::{record_breach, BudgetBreach, Resource};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -43,6 +53,79 @@ fn epoch() -> Instant {
 
 fn now_us() -> u64 {
     epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+thread_local! {
+    /// The deadline armed on this thread by [`arm_wall_deadline_local`].
+    static LOCAL: Cell<Option<WallDeadline>> = const { Cell::new(None) };
+}
+
+/// A captured wall deadline: instants in microseconds against the
+/// process [`epoch`]. `Copy` so it can ride into a
+/// [`crate::SharedMeter`] and be checked by pool workers that never see
+/// the arming thread's thread-locals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallDeadline {
+    deadline_us: u64,
+    limit_ms: u64,
+    armed_at_us: u64,
+}
+
+impl WallDeadline {
+    fn starting_now(timeout: Duration) -> WallDeadline {
+        let start = now_us();
+        WallDeadline {
+            deadline_us: start.saturating_add(timeout.as_micros().min(u64::MAX as u128) as u64),
+            limit_ms: timeout.as_millis().min(u64::MAX as u128) as u64,
+            armed_at_us: start,
+        }
+    }
+
+    /// Has this deadline passed? Same breach shape as the global check.
+    pub(crate) fn check(&self, op: &'static str) -> Result<(), BudgetBreach> {
+        let now = now_us();
+        if now <= self.deadline_us {
+            return Ok(());
+        }
+        let elapsed_ms = now.saturating_sub(self.armed_at_us) / 1_000;
+        Err(record_breach(
+            Resource::Wall,
+            self.limit_ms,
+            elapsed_ms.max(self.limit_ms + 1),
+            op,
+        ))
+    }
+}
+
+/// The deadline armed on the current thread by
+/// [`arm_wall_deadline_local`], if any — captured by
+/// [`crate::SharedMeter::from_armed`] so parallel workers inherit it.
+pub fn local_deadline() -> Option<WallDeadline> {
+    LOCAL.with(|c| c.get())
+}
+
+/// Arm a wall deadline for the *current thread only*: concurrent server
+/// sessions each arm their own without interfering. Scopes nest; the
+/// innermost deadline governs until its scope drops.
+#[must_use = "the deadline is disarmed when the scope drops"]
+pub fn arm_wall_deadline_local(timeout: Duration) -> LocalWallScope {
+    let prev = LOCAL.with(|c| c.replace(Some(WallDeadline::starting_now(timeout))));
+    WALL_SCOPES.fetch_add(1, Ordering::Relaxed);
+    crate::budget::ACTIVE_GUARDS.fetch_add(1, Ordering::Relaxed);
+    LocalWallScope { prev }
+}
+
+/// RAII scope keeping a thread-local wall deadline armed.
+pub struct LocalWallScope {
+    prev: Option<WallDeadline>,
+}
+
+impl Drop for LocalWallScope {
+    fn drop(&mut self) {
+        LOCAL.with(|c| c.set(self.prev.take()));
+        WALL_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        crate::budget::ACTIVE_GUARDS.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Arm a process-global wall-clock deadline `timeout` from now. The
@@ -91,17 +174,20 @@ pub fn check_wall(op: &'static str) -> Result<(), BudgetBreach> {
 #[cold]
 fn check_wall_slow(op: &'static str) -> Result<(), BudgetBreach> {
     let now = now_us();
-    if now <= DEADLINE_US.load(Ordering::Relaxed) {
-        return Ok(());
+    if now > DEADLINE_US.load(Ordering::Relaxed) {
+        let limit = LIMIT_MS.load(Ordering::Relaxed);
+        let elapsed_ms = now.saturating_sub(ARMED_AT_US.load(Ordering::Relaxed)) / 1_000;
+        return Err(record_breach(
+            Resource::Wall,
+            limit,
+            elapsed_ms.max(limit + 1),
+            op,
+        ));
     }
-    let limit = LIMIT_MS.load(Ordering::Relaxed);
-    let elapsed_ms = now.saturating_sub(ARMED_AT_US.load(Ordering::Relaxed)) / 1_000;
-    Err(record_breach(
-        Resource::Wall,
-        limit,
-        elapsed_ms.max(limit + 1),
-        op,
-    ))
+    if let Some(d) = LOCAL.with(|c| c.get()) {
+        d.check(op)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -137,6 +223,54 @@ mod tests {
         assert!(e.used > e.limit, "{e}");
         drop(scope);
         assert!(check_wall("exec.morsel").is_ok());
+    }
+
+    #[test]
+    fn local_deadline_is_thread_scoped() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = arm_wall_deadline_local(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let e = check_wall("exec.morsel").unwrap_err();
+        assert_eq!(e.resource, Resource::Wall);
+        // another thread is not governed by this thread's deadline
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(check_wall("other").is_ok()));
+        });
+        drop(scope);
+        assert!(check_wall("exec.morsel").is_ok());
+    }
+
+    #[test]
+    fn local_deadlines_nest_and_restore() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = arm_wall_deadline_local(Duration::from_secs(3600));
+        let outer_dl = local_deadline().unwrap();
+        {
+            let _inner = arm_wall_deadline_local(Duration::ZERO);
+            std::thread::sleep(Duration::from_millis(2));
+            assert!(check_wall("t").is_err());
+        }
+        assert_eq!(local_deadline(), Some(outer_dl));
+        assert!(check_wall("t").is_ok());
+        drop(outer);
+        assert!(local_deadline().is_none());
+    }
+
+    #[test]
+    fn captured_deadline_breaches_off_thread() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scope = arm_wall_deadline_local(Duration::ZERO);
+        let dl = local_deadline().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        // a worker holding the captured deadline sees the breach even
+        // though the arming thread's thread-local is invisible to it
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let e = dl.check("exec.morsel").unwrap_err();
+                assert_eq!(e.resource, Resource::Wall);
+            });
+        });
+        drop(scope);
     }
 
     #[test]

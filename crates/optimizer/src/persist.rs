@@ -28,9 +28,32 @@
 //! `stats.quarantined` obs event and counter fire, and the caller
 //! regenerates from defaults. Load never panics and never silently
 //! drops data.
+//!
+//! ## Concurrent writers
+//!
+//! Atomic rename protects against *torn* files, not *lost updates*: two
+//! harvests in one process (two `profile --stats` threads, or a resident
+//! server's sessions) that each read-modify-write STATS.json can
+//! interleave so the second write resurrects the state the first writer
+//! read, silently dropping its samples. All writes therefore serialize
+//! on one process-wide lock — [`save_atomic`] takes it around the write,
+//! and read-modify-write cycles use [`update_atomic`], which holds it
+//! across the re-read, the caller's fold, and the write, so no
+//! interleaving can drop a sample.
 
 use genpar_obs::FieldValue;
 use std::io::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+/// The process-wide persistence lock (see "Concurrent writers" above).
+static PERSIST_LOCK: Mutex<()> = Mutex::new(());
+
+fn persist_lock() -> MutexGuard<'static, ()> {
+    match PERSIST_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Header prefix of a checksummed state file. The full first line is
 /// `#genpar-checksum: <16 lowercase hex digits>` and the digest covers
@@ -90,9 +113,31 @@ pub fn read_payload(path: &str) -> Result<Option<String>, String> {
 }
 
 /// Write `payload` to `path` crash-safely: checksum header, temp-file
-/// sibling, fsync, atomic rename. Passes the `io.persist` fault site so
-/// injected failures exercise every step.
+/// sibling, fsync, atomic rename — serialized behind the process-wide
+/// persistence lock. Passes the `io.persist` fault site so injected
+/// failures exercise every step.
 pub fn save_atomic(path: &str, payload: &str) -> Result<(), String> {
+    let _g = persist_lock();
+    save_atomic_unlocked(path, payload)
+}
+
+/// Read-modify-write `path` under the persistence lock: `f` receives
+/// the current payload (checksum-verified; `None` when the file is
+/// missing) and returns the next payload to write, or `Err` to abort
+/// with nothing written. Because the lock spans the re-read and the
+/// write, two concurrent updaters compose instead of clobbering each
+/// other — the second sees the first's result.
+pub fn update_atomic(
+    path: &str,
+    f: impl FnOnce(Option<String>) -> Result<String, String>,
+) -> Result<(), String> {
+    let _g = persist_lock();
+    let current = read_payload(path)?;
+    let next = f(current)?;
+    save_atomic_unlocked(path, &next)
+}
+
+fn save_atomic_unlocked(path: &str, payload: &str) -> Result<(), String> {
     genpar_guard::faultpoint("io.persist").map_err(|f| f.to_string())?;
     let tmp = format!("{path}.tmp.{}", std::process::id());
     let sealed = seal(payload);

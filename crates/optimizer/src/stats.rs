@@ -350,6 +350,38 @@ impl StatsStore {
         self.prune();
         crate::persist::save_atomic(path, &self.to_json().to_string())
     }
+
+    /// Fold a run's `plan.node_stats` events into the store file at
+    /// `path` under the process-wide persistence lock, re-reading the
+    /// latest on-disk state inside the critical section so two
+    /// concurrent harvesters compose instead of clobbering — the
+    /// STATS.json read-modify-write race. Returns `(folded, store)`:
+    /// how many events were folded and the store as written, so a
+    /// resident caller can refresh its in-memory copy. A corrupt file
+    /// surfaces as an error (callers quarantine via the usual load
+    /// path before harvesting).
+    pub fn harvest_into(
+        path: &str,
+        key: &str,
+        snap: &Snapshot,
+    ) -> Result<(usize, StatsStore), String> {
+        let mut folded = 0;
+        let mut written = StatsStore::new();
+        crate::persist::update_atomic(path, |current| {
+            let mut store = match current {
+                Some(text) => {
+                    let j = Json::parse(&text).map_err(|e| format!("stats file {path}: {e}"))?;
+                    StatsStore::from_json(&j)?
+                }
+                None => StatsStore::new(),
+            };
+            folded = store.harvest(key, snap);
+            store.prune();
+            written = store;
+            Ok(written.to_json().to_string())
+        })?;
+        Ok((folded, written))
+    }
 }
 
 /// Where a per-node cardinality estimate came from — what `explain`
@@ -482,5 +514,64 @@ mod tests {
             EstimateSource::Observed { n: 5 }.to_string(),
             "observed(n=5)"
         );
+    }
+
+    /// The STATS.json concurrent-writer regression: two threads each
+    /// harvest their own fingerprints into the same file. Before
+    /// persistence was serialized behind the lock in [`crate::persist`],
+    /// the interleaved read-modify-write could resurrect pre-read state
+    /// and silently drop one thread's samples; now every harvested
+    /// sample must survive.
+    #[test]
+    fn concurrent_harvests_lose_no_samples() {
+        let dir = std::env::temp_dir().join(format!("genpar-stats-race-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("STATS.json").to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        const ROUNDS: usize = 25;
+        let snap_for = |fp: u64| {
+            let reg = Registry::new();
+            reg.event(
+                "plan.node_stats",
+                [
+                    ("fp", FieldValue::U64(fp)),
+                    ("op", FieldValue::Str("plan.Filter".into())),
+                    ("rows_in", FieldValue::U64(100)),
+                    ("rows_out", FieldValue::U64(50)),
+                ],
+            );
+            reg.snapshot()
+        };
+        std::thread::scope(|s| {
+            for fp in [1u64, 2u64] {
+                let path = path.clone();
+                let snap_for = &snap_for;
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        loop {
+                            match StatsStore::harvest_into(&path, "race", &snap_for(fp)) {
+                                Ok(_) => break,
+                                // a neighbouring test may arm the
+                                // io.persist fault site process-wide;
+                                // nothing was written, so retry
+                                Err(e) if e.contains("io.persist") => continue,
+                                Err(e) => panic!("harvest must not error: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let store = StatsStore::load(&path).expect("file must be readable and checksummed");
+        let cat = store.catalog("race").expect("catalog present");
+        for fp in [1u64, 2u64] {
+            assert_eq!(
+                cat.entries[&fp].samples, ROUNDS as u64,
+                "thread harvesting fp {fp} lost samples"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }
