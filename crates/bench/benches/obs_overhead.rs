@@ -215,14 +215,82 @@ fn verify_timeline_overhead() -> f64 {
     overhead
 }
 
-/// Write `BENCH_obs.json` (schema v3: adds `timeline_overhead`) so
-/// `bench-compare` can catch regressions of the disabled-path and
-/// timeline-enabled overheads against the committed baseline.
-fn write_report(kill_switch_overhead: f64, guard_overhead: f64, timeline_overhead: f64) {
+/// Assert the scoped-recording claim: routing the instrumented kernel
+/// through a per-query [`genpar_obs::Scope`] (creation, thread-local
+/// dispatch on every call, and the roll-up merge on drop included)
+/// costs ≤ 5% over the global-registry path. Each measured round runs a
+/// batch of instrumented kernels so the per-round scope create/merge
+/// amortizes the way one scope per served request does. Same
+/// interleaved-median protocol as the other gates. Returns the measured
+/// relative overhead for the report.
+fn verify_scoped_overhead() -> f64 {
+    const KERNEL_OPS: u64 = 20_000;
+    const BATCH: usize = 32;
+    const ROUNDS: usize = 41;
+    genpar_obs::set_enabled(true);
+
+    let global_round = || {
+        let mut acc = 0u64;
+        for _ in 0..BATCH {
+            acc = acc.wrapping_add(black_box(kernel_instrumented(KERNEL_OPS)));
+        }
+        acc
+    };
+    let scoped_round = || {
+        let scope = genpar_obs::Scope::for_request(0, Some("bench-tenant"));
+        let guard = scope.enter();
+        let mut acc = 0u64;
+        for _ in 0..BATCH {
+            acc = acc.wrapping_add(black_box(kernel_instrumented(KERNEL_OPS)));
+        }
+        drop(guard);
+        drop(scope); // roll-up merge charged to the scoped variant
+        acc
+    };
+
+    // warmup
+    black_box(global_round());
+    black_box(scoped_round());
+    let mut global = Vec::with_capacity(ROUNDS);
+    let mut scoped = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        black_box(global_round());
+        global.push(t.elapsed());
+        let t = Instant::now();
+        black_box(scoped_round());
+        scoped.push(t.elapsed());
+    }
+    genpar_obs::reset();
+    genpar_obs::scope::clear_rollups();
+    let (mg, ms) = (median(global), median(scoped));
+    let overhead = ms.as_secs_f64() / mg.as_secs_f64() - 1.0;
+    println!(
+        "obs/scoped: global-path {mg:?}, scoped-path {ms:?} ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+    assert!(
+        ms <= mg.mul_f64(1.05) + Duration::from_micros(2),
+        "scoped recording overhead above 5%: global {mg:?}, scoped {ms:?}"
+    );
+    println!("obs/scoped: OK (≤ 5% bound holds)");
+    overhead
+}
+
+/// Write `BENCH_obs.json` (schema v4: adds `scoped_overhead`) so
+/// `bench-compare` can catch regressions of the disabled-path,
+/// timeline-enabled, and scoped-recording overheads against the
+/// committed baseline.
+fn write_report(
+    kill_switch_overhead: f64,
+    guard_overhead: f64,
+    timeline_overhead: f64,
+    scoped_overhead: f64,
+) {
     use genpar_obs::Json;
     let report = Json::obj([
         ("bench", Json::str("obs_overhead")),
-        ("schema_version", Json::Int(3)),
+        ("schema_version", Json::Int(4)),
         ("bound", Json::Num(0.05)),
         ("asserted", Json::Bool(true)),
         ("skip_reason", Json::Null),
@@ -232,6 +300,7 @@ fn write_report(kill_switch_overhead: f64, guard_overhead: f64, timeline_overhea
         ),
         ("guard_overhead", Json::Num(guard_overhead.max(0.0))),
         ("timeline_overhead", Json::Num(timeline_overhead.max(0.0))),
+        ("scoped_overhead", Json::Num(scoped_overhead.max(0.0))),
     ]);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -246,5 +315,6 @@ fn main() {
     let ks = verify_kill_switch_overhead();
     let guard = verify_disarmed_guard_overhead();
     let timeline = verify_timeline_overhead();
-    write_report(ks, guard, timeline);
+    let scoped = verify_scoped_overhead();
+    write_report(ks, guard, timeline, scoped);
 }

@@ -12,10 +12,11 @@
 //!   floor — rounds on the small bench graph are short enough that a
 //!   couple of scheduler hiccups would otherwise trip the relative
 //!   bound, or
-//! * the obs kill-switch (disabled-path), disarmed-guard, or
-//!   timeline-enabled overhead regresses by more than 10% relative with
-//!   a 0.5-percentage-point absolute slack (the timeline overhead is
-//!   additionally capped at 5% absolute — the tentpole's bound).
+//! * the obs kill-switch (disabled-path), disarmed-guard,
+//!   timeline-enabled, or scoped-recording overhead regresses by more
+//!   than 10% relative with a 0.5-percentage-point absolute slack (the
+//!   timeline and scoped overheads are additionally capped at 5%
+//!   absolute — their tentpoles' bounds).
 //!
 //! Every document is validated against its **declared**
 //! `schema_version`, not against whichever keys happen to be present: a
@@ -59,10 +60,11 @@ const P95_GATES: [(&str, &str, f64); 2] = [
 /// that introduced it)`. The introduction version is what makes the
 /// missing-key check loud: a document *declaring* that version without
 /// the key is malformed; a baseline predating it gets a loud skip.
-const OVERHEAD_GATES: [(&str, i128); 3] = [
+const OVERHEAD_GATES: [(&str, i128); 4] = [
     ("kill_switch_overhead", 1),
     ("guard_overhead", 2),
     ("timeline_overhead", 3),
+    ("scoped_overhead", 4),
 ];
 
 fn read_json(path: &str) -> Result<Json, String> {
@@ -302,11 +304,11 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
                 ));
             }
         }
-        // the timeline overhead additionally carries the tentpole's
+        // timeline and scoped recording each carry their tentpole's
         // absolute cap, enforced even when the baseline predates the key
-        if key == "timeline_overhead" && cur > TIMELINE_ABSOLUTE_CAP {
+        if (key == "timeline_overhead" || key == "scoped_overhead") && cur > TIMELINE_ABSOLUTE_CAP {
             regressions.push(format!(
-                "obs timeline_overhead above the absolute cap: {:.2}% > {:.2}%",
+                "obs {key} above the absolute cap: {:.2}% > {:.2}%",
                 cur * 100.0,
                 TIMELINE_ABSOLUTE_CAP * 100.0
             ));
@@ -321,9 +323,12 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
 /// block, and — the point of the harness — `mismatches`, which must be
 /// zero: a serve report recording responses that diverged from one-shot
 /// CLI output is a correctness failure, not a performance number.
+/// Schema v2 additionally promises a non-empty `tenants` map splitting
+/// the same counters and quantiles per tenant (the scoped-observability
+/// roll-ups made per-tenant latency measurable).
 fn validate_serve(doc: &Json, what: &str) -> Result<(), String> {
     let sv = schema_version(doc, what)?;
-    if sv != 1 {
+    if !(1..=2).contains(&sv) {
         return Err(format!("{what}: unknown serve schema v{sv}"));
     }
     if doc.get("bench").and_then(|b| b.as_str()) != Some("serve") {
@@ -338,18 +343,51 @@ fn validate_serve(doc: &Json, what: &str) -> Result<(), String> {
         "mismatches",
     ] {
         if doc.get(key).and_then(|v| v.as_int()).is_none() {
-            return Err(format!("{what}: schema v1 promises integer key \"{key}\""));
+            return Err(format!(
+                "{what}: schema v{sv} promises integer key \"{key}\""
+            ));
         }
     }
     if doc.get("throughput_rps").and_then(as_num).is_none() {
-        return Err(format!("{what}: schema v1 promises \"throughput_rps\""));
+        return Err(format!("{what}: schema v{sv} promises \"throughput_rps\""));
     }
     let lat = doc
         .get("latency_us")
-        .ok_or_else(|| format!("{what}: schema v1 promises \"latency_us\""))?;
+        .ok_or_else(|| format!("{what}: schema v{sv} promises \"latency_us\""))?;
     for q in ["p50", "p95", "p99", "max"] {
         if lat.get(q).and_then(|v| v.as_int()).is_none() {
-            return Err(format!("{what}: schema v1 promises latency_us.{q}"));
+            return Err(format!("{what}: schema v{sv} promises latency_us.{q}"));
+        }
+    }
+    if sv >= 2 {
+        let Some(Json::Obj(tenants)) = doc.get("tenants") else {
+            return Err(format!(
+                "{what}: schema v{sv} promises a \"tenants\" object"
+            ));
+        };
+        if tenants.is_empty() {
+            return Err(format!(
+                "{what}: schema v{sv} promises a non-empty \"tenants\" map"
+            ));
+        }
+        for (name, t) in tenants {
+            for key in ["offered", "completed", "shed", "budget_exceeded"] {
+                if t.get(key).and_then(|v| v.as_int()).is_none() {
+                    return Err(format!(
+                        "{what}: schema v{sv} promises integer \"{key}\" on tenant {name:?}"
+                    ));
+                }
+            }
+            let lat = t.get("latency_us").ok_or_else(|| {
+                format!("{what}: schema v{sv} promises latency_us on tenant {name:?}")
+            })?;
+            for q in ["p50", "p95", "p99", "max"] {
+                if lat.get(q).and_then(|v| v.as_int()).is_none() {
+                    return Err(format!(
+                        "{what}: schema v{sv} promises latency_us.{q} on tenant {name:?}"
+                    ));
+                }
+            }
         }
     }
     match doc.get("mismatches").and_then(|v| v.as_int()) {
@@ -358,7 +396,7 @@ fn validate_serve(doc: &Json, what: &str) -> Result<(), String> {
             "{what}: {n} served response(s) diverged from one-shot CLI output"
         )),
         None => Err(format!(
-            "{what}: schema v1 promises integer key \"mismatches\""
+            "{what}: schema v{sv} promises integer key \"mismatches\""
         )),
     }
 }
@@ -405,7 +443,13 @@ fn main() -> ExitCode {
                 eprintln!("bench-compare: malformed input — {e}");
                 return ExitCode::FAILURE;
             }
-            println!("bench-compare: serve report OK — {serve_path} (schema v1, byte-identical)");
+            let sv = serve
+                .get("schema_version")
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            println!(
+                "bench-compare: serve report OK — {serve_path} (schema v{sv}, byte-identical)"
+            );
         }
         Err(e) => println!("bench-compare: serve SKIPPED — {e}"),
     }
@@ -606,11 +650,97 @@ mod tests {
         ))
     }
 
+    fn obs_v4(scoped: f64) -> Json {
+        j(&format!(
+            "{{\"schema_version\": 4, \"kill_switch_overhead\": 0.01, \
+              \"guard_overhead\": 0.01, \"timeline_overhead\": 0.01, \
+              \"scoped_overhead\": {scoped}}}"
+        ))
+    }
+
+    #[test]
+    fn obs_schema4_without_scoped_overhead_fails_loudly() {
+        let doc = j("{\"schema_version\": 4, \"kill_switch_overhead\": 0.01, \
+                      \"guard_overhead\": 0.01, \"timeline_overhead\": 0.01}");
+        let err = validate_obs(&doc, "t").unwrap_err();
+        assert!(err.contains("scoped_overhead"), "unhelpful error: {err}");
+        // a v3 document never promised the key: still valid
+        assert!(validate_obs(&obs_v3(0.01), "t").is_ok());
+    }
+
+    #[test]
+    fn scoped_absolute_cap_applies_even_against_an_older_baseline() {
+        // baseline obs is schema v3 (predates scoped_overhead): the
+        // relative gate is skipped loudly, but the 5% cap still fires
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            ("obs", obs_v3(0.01)),
+        ]);
+        let over = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v4(0.08)).unwrap();
+        assert!(
+            over.iter()
+                .any(|r| r.contains("scoped_overhead") && r.contains("absolute cap")),
+            "expected the scoped absolute cap to fire: {over:?}"
+        );
+        let under = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v4(0.02)).unwrap();
+        assert!(under.is_empty(), "unexpected regressions: {under:?}");
+    }
+
+    #[test]
+    fn scoped_overhead_regression_gates_against_a_v4_baseline() {
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            ("obs", obs_v4(0.01)),
+        ]);
+        let slow = compare(&baseline, &parallel_v3(100.0, 200.0), &obs_v4(0.03)).unwrap();
+        assert!(
+            slow.iter().any(|r| r.contains("scoped_overhead regressed")),
+            "expected a scoped_overhead regression: {slow:?}"
+        );
+    }
+
     #[test]
     fn serve_report_with_mismatches_is_a_hard_failure() {
         assert!(validate_serve(&serve_v1(0), "t").is_ok());
         let err = validate_serve(&serve_v1(3), "t").unwrap_err();
         assert!(err.contains("diverged"), "unhelpful error: {err}");
+    }
+
+    fn serve_v2(tenants_body: &str) -> Json {
+        j(&format!(
+            "{{\"bench\": \"serve\", \"schema_version\": 2, \"clients\": 8, \
+              \"duration_ms\": 2000, \"offered\": 100, \"completed\": 98, \
+              \"shed\": 2, \"budget_exceeded\": 0, \"errors\": 0, \
+              \"throughput_rps\": 49.0, \
+              \"latency_us\": {{\"p50\": 900, \"p95\": 2000, \"p99\": 3000, \"max\": 4000}}, \
+              \"tenants\": {tenants_body}, \
+              \"byte_identical\": true, \"mismatches\": 0}}"
+        ))
+    }
+
+    #[test]
+    fn serve_schema2_requires_a_populated_tenants_map() {
+        let good = serve_v2(
+            "{\"bench-1\": {\"offered\": 50, \"completed\": 49, \"shed\": 1, \
+              \"budget_exceeded\": 0, \"errors\": 0, \
+              \"latency_us\": {\"p50\": 900, \"p95\": 2000, \"p99\": 3000, \"max\": 4000}}}",
+        );
+        assert!(validate_serve(&good, "t").is_ok());
+
+        let empty = serve_v2("{}");
+        let err = validate_serve(&empty, "t").unwrap_err();
+        assert!(err.contains("non-empty"), "unhelpful error: {err}");
+
+        let quantless = serve_v2(
+            "{\"bench-1\": {\"offered\": 50, \"completed\": 49, \"shed\": 1, \
+              \"budget_exceeded\": 0, \
+              \"latency_us\": {\"p50\": 900, \"p95\": 2000, \"p99\": 3000}}}",
+        );
+        let err = validate_serve(&quantless, "t").unwrap_err();
+        assert!(
+            err.contains("latency_us.max") && err.contains("bench-1"),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

@@ -110,7 +110,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             duration_ms,
             out,
             tenant,
-        } => crate::serve_cmd::bench_serve_cmd(db, *port, *clients, *duration_ms, out, tenant),
+            tenants,
+        } => crate::serve_cmd::bench_serve_cmd(
+            db,
+            *port,
+            *clients,
+            *duration_ms,
+            out,
+            tenant,
+            *tenants,
+        ),
         Command::Stats { action, file } => stats_cmd(action, file),
         Command::Chaos { seed, cases } => chaos_cmd(*seed, *cases),
         Command::Audit => audit(),
@@ -544,8 +553,10 @@ fn explain_cmd(
 
 /// The `explain` body over preloaded data (catalog, calibration,
 /// statistics). The one-shot wrapper above loads everything from disk;
-/// `genpar serve` calls this with its resident copies. Resets the
-/// process obs registry to attribute rewrite/plan events to this query.
+/// `genpar serve` calls this with its resident copies. Rewrite/plan
+/// events are attributed to this query through a private obs scope —
+/// nothing global is reset, so a resident server's cumulative counters
+/// survive every `explain`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explain_with(
     q: &Query,
@@ -557,10 +568,12 @@ pub(crate) fn explain_with(
     warnings: &[String],
     rules: &RuleSet,
 ) -> Result<String, CliError> {
-    genpar_obs::reset();
-    let (chosen, trace, base_est, new_est) =
-        optimize_costed_parallel_with_stats(q, rules, catalog, w, cal, obs_stats);
-    let snap = genpar_obs::snapshot();
+    let obs_scope = genpar_obs::Scope::anonymous();
+    let (chosen, trace, base_est, new_est) = {
+        let _g = obs_scope.enter();
+        optimize_costed_parallel_with_stats(q, rules, catalog, w, cal, obs_stats)
+    };
+    let snap = obs_scope.snapshot();
 
     let mut out = warning_lines(warnings);
     let _ = writeln!(out, "query:     {q}");
@@ -859,7 +872,12 @@ pub(crate) fn profile_with(
     if want_timeline {
         genpar_obs::timeline::set_enabled(true);
     }
-    genpar_obs::reset();
+    // attribute this run's instrumentation to a private obs scope instead
+    // of resetting the process registry: the snapshot below sees exactly
+    // this query, concurrent profiles see theirs, and on drop the scope
+    // rolls up into the parent so cumulative totals are preserved
+    let obs_scope = genpar_obs::Scope::anonymous();
+    let scope_guard = obs_scope.enter();
     let (chosen, _trace, _base, new_est) =
         optimize_costed_parallel_with_stats(q, rules, catalog, w, cal, obs_stats);
     let mut stats = genpar_engine::plan::ExecStats::default();
@@ -900,8 +918,14 @@ pub(crate) fn profile_with(
             }
         }
     }
-    let snap = genpar_obs::snapshot();
-    let tl = genpar_obs::timeline::snapshot();
+    drop(scope_guard);
+    let snap = obs_scope.snapshot();
+    let mut tl = genpar_obs::timeline::snapshot();
+    if obs_scope.query_id() != 0 {
+        // served request: the process timeline is shared with concurrent
+        // queries — keep only the records stamped with this query's id
+        tl = tl.for_query(obs_scope.query_id());
+    }
     if want_timeline {
         genpar_obs::timeline::set_enabled(prev_timeline);
     }

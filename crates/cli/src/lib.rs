@@ -188,6 +188,7 @@ USAGE:
   genpar serve    <db.gdb> --port P [--parallel N] [--tenant-budget SPEC] [--max-inflight N]
                   [--queue N] [--calibration FILE] [--stats FILE] [--timeout MS]
   genpar bench-serve --port P --db FILE [--clients N] [--duration S] [--out FILE] [--tenant T]
+                  [--tenants N]
   genpar audit
 
   --quiet (any command) or GENPAR_OBS=off disables observability.
@@ -237,8 +238,14 @@ USAGE:
   files through the checksummed writer, and exits 0.
   `genpar bench-serve` drives a live server with N closed-loop socket
   clients for S seconds, asserts every response byte-identical to the
-  one-shot CLI, and writes BENCH_serve.json (latency percentiles,
-  throughput, shed count) for bench-compare.
+  one-shot CLI, and writes BENCH_serve.json schema v2 (flat latency
+  percentiles, throughput, shed count, plus a per-tenant `tenants`
+  map) for bench-compare. --tenants N spreads the clients over N
+  numbered tenants (default 2; `T-1`..`T-N` from --tenant's T).
+  The serve `stats` op takes optional \"tenant\"/\"query_id\" fields
+  filtering over the per-tenant obs roll-ups retained by the scoped
+  registry (each request records into its own scope, rolled up into
+  the process totals on completion).
   `genpar chaos` replays --cases seeded fault storms (morsel, merge,
   fixpoint-round, combine, retry and persistence faults) and fails
   loudly if any recovered answer differs from fault-free serial
@@ -415,8 +422,12 @@ pub enum Command {
         duration_ms: u64,
         /// Report file to write (`--out`, default `BENCH_serve.json`).
         out: String,
-        /// Tenant name stamped on every request (`--tenant`).
+        /// Tenant name stamped on every request (`--tenant`); with
+        /// `tenants > 1` it becomes the prefix of the numbered names.
         tenant: String,
+        /// How many tenants to spread the clients over (`--tenants`,
+        /// default 2 so the per-tenant report is populated).
+        tenants: usize,
     },
     /// `audit` — classify the built-in paper catalog.
     Audit,
@@ -702,6 +713,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             };
             let out = take_flag(&mut rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
             let tenant = take_flag(&mut rest, "--tenant").unwrap_or_else(|| "bench".into());
+            let tenants = take_flag(&mut rest, "--tenants")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| CliError::usage(format!("bad --tenants {v:?}: {e}")))
+                })
+                .transpose()?
+                .unwrap_or(2);
+            if tenants == 0 {
+                return Err(CliError::usage("--tenants must be at least 1"));
+            }
             if let Some(stray) = rest.first() {
                 return Err(CliError::usage(format!(
                     "bench-serve takes no positional arguments (got {stray:?})"
@@ -714,6 +735,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 duration_ms,
                 out,
                 tenant,
+                tenants,
             })
         }
         "stats" => {
@@ -944,7 +966,8 @@ mod tests {
                 clients: 4,
                 duration_ms: 2000,
                 out: "BENCH_serve.json".into(),
-                tenant: "bench".into()
+                tenant: "bench".into(),
+                tenants: 2
             }
         );
         assert_eq!(
@@ -961,7 +984,9 @@ mod tests {
                 "--out",
                 "o.json",
                 "--tenant",
-                "t1"
+                "t1",
+                "--tenants",
+                "3"
             ]))
             .unwrap(),
             Command::BenchServe {
@@ -970,9 +995,20 @@ mod tests {
                 clients: 8,
                 duration_ms: 1500,
                 out: "o.json".into(),
-                tenant: "t1".into()
+                tenant: "t1".into(),
+                tenants: 3
             }
         );
+        assert!(parse_args(&argv(&[
+            "bench-serve",
+            "--port",
+            "7070",
+            "--db",
+            "x.gdb",
+            "--tenants",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

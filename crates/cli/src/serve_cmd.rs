@@ -21,7 +21,7 @@ use genpar_optimizer::{Calibration, RuleSet, StatsStore};
 use genpar_serve::loadgen::{run_bench, BenchSpec};
 use genpar_serve::protocol::Op;
 use genpar_serve::server::{HandlerError, QueryHandler, ServeConfig};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Resident server state: everything a request needs, loaded once.
@@ -34,10 +34,6 @@ pub struct ServeState {
     stats_path: Option<String>,
     stats_key: String,
     stats: RwLock<StatsStore>,
-    /// `profile` resets the process obs registry to attribute events to
-    /// one query; concurrent profiles would corrupt each other's
-    /// snapshots, so they serialize here (run/explain stay concurrent).
-    profile_gate: Mutex<()>,
     default_workers: usize,
 }
 
@@ -65,7 +61,6 @@ impl ServeState {
                 stats_path: stats_path.map(str::to_string),
                 stats_key: commands::stats_catalog_key(Some(db_path)).to_string(),
                 stats: RwLock::new(store.unwrap_or_default()),
-                profile_gate: Mutex::new(()),
                 default_workers,
             },
             warnings,
@@ -103,11 +98,9 @@ impl ServeState {
         )
     }
 
+    // concurrent profiles need no gate: each runs under its request's
+    // private obs scope, so snapshots are disjoint by construction
     fn profile(&self, query: &str, workers: Option<usize>) -> Result<String, CliError> {
-        let _gate = match self.profile_gate.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
         let q = parse_q(query)?;
         let w = resolve_workers(workers.or(Some(self.default_workers)));
         // consult a snapshot of the resident store, harvest through the
@@ -235,8 +228,10 @@ const BENCH_QUERIES: &[&str] = &[
 /// `genpar bench-serve --port P --db FILE --clients N --duration S`:
 /// the closed-loop load harness. Computes each query's one-shot output
 /// in-process first, drives real socket clients against the live
-/// server, asserts every `ok` response byte-identical, and writes a
-/// `BENCH_serve.json` report for bench-compare.
+/// server (spread over `tenant_count` tenants so per-tenant roll-ups
+/// are exercised), asserts every `ok` response byte-identical, and
+/// writes a `BENCH_serve.json` schema v2 report (flat totals plus a
+/// `tenants` map of per-tenant latency quantiles) for bench-compare.
 pub fn bench_serve_cmd(
     db: &str,
     port: u16,
@@ -244,6 +239,7 @@ pub fn bench_serve_cmd(
     duration_ms: u64,
     out: &str,
     tenant: &str,
+    tenant_count: usize,
 ) -> Result<String, CliError> {
     let dbv = dbfile::load_db(db)?;
     let catalog = catalog_from_db(&dbv)?;
@@ -267,19 +263,58 @@ pub fn bench_serve_cmd(
         )));
     }
     let n_queries = queries.len();
+    // N > 1 tenants get numbered names; N == 1 keeps the plain name so
+    // single-tenant runs read naturally in the report
+    let tenants: Vec<String> = if tenant_count.max(1) > 1 {
+        (1..=tenant_count)
+            .map(|i| format!("{tenant}-{i}"))
+            .collect()
+    } else {
+        vec![tenant.to_string()]
+    };
     let spec = BenchSpec {
         addr: format!("127.0.0.1:{port}"),
         clients: clients.max(1),
         duration: Duration::from_millis(duration_ms),
-        tenant: tenant.to_string(),
+        tenants,
         queries,
     };
     let report = run_bench(&spec).map_err(CliError::runtime)?;
 
     let max_us = report.latencies_us.last().copied().unwrap_or(0);
+    let tenants_json = Json::Obj(
+        report
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("offered", Json::Int(t.offered as i128)),
+                        ("completed", Json::Int(t.completed as i128)),
+                        ("shed", Json::Int(t.shed as i128)),
+                        ("budget_exceeded", Json::Int(t.budget_exceeded as i128)),
+                        ("errors", Json::Int(t.errors as i128)),
+                        (
+                            "latency_us",
+                            Json::obj([
+                                ("p50", Json::Int(t.percentile_us(50.0) as i128)),
+                                ("p95", Json::Int(t.percentile_us(95.0) as i128)),
+                                ("p99", Json::Int(t.percentile_us(99.0) as i128)),
+                                (
+                                    "max",
+                                    Json::Int(t.latencies_us.last().copied().unwrap_or(0) as i128),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     let doc = Json::obj([
         ("bench", Json::str("serve")),
-        ("schema_version", Json::Int(1)),
+        ("schema_version", Json::Int(2)),
         ("clients", Json::Int(spec.clients as i128)),
         (
             "duration_ms",
@@ -301,6 +336,7 @@ pub fn bench_serve_cmd(
                 ("max", Json::Int(max_us as i128)),
             ]),
         ),
+        ("tenants", tenants_json),
         ("byte_identical", Json::Bool(report.mismatches == 0)),
         ("mismatches", Json::Int(report.mismatches as i128)),
     ]);
@@ -322,13 +358,13 @@ pub fn bench_serve_cmd(
             "bench-serve: no request completed against 127.0.0.1:{port} — is the server up?"
         )));
     }
-    Ok(format!(
-        "bench-serve: {} clients x {:.1}s against 127.0.0.1:{port} ({n_queries} queries)\n\
+    let mut summary = format!(
+        "bench-serve: {} clients x {:.1}s against 127.0.0.1:{port} ({n_queries} queries, {} tenants)\n\
          offered {} / completed {} / shed {} / budget {} / errors {}\n\
-         throughput {:.1} req/s, latency p50 {}us p95 {}us p99 {}us max {max_us}us\n\
-         every response byte-identical to one-shot output; report written to {out}\n",
+         throughput {:.1} req/s, latency p50 {}us p95 {}us p99 {}us max {max_us}us\n",
         spec.clients,
         report.elapsed.as_secs_f64(),
+        spec.tenants.len(),
         report.offered,
         report.completed,
         report.shed,
@@ -338,5 +374,20 @@ pub fn bench_serve_cmd(
         report.percentile_us(50.0),
         report.percentile_us(95.0),
         report.percentile_us(99.0),
-    ))
+    );
+    for (name, t) in &report.tenants {
+        summary.push_str(&format!(
+            "  tenant {name}: completed {} / shed {} / budget {}, p50 {}us p95 {}us p99 {}us\n",
+            t.completed,
+            t.shed,
+            t.budget_exceeded,
+            t.percentile_us(50.0),
+            t.percentile_us(95.0),
+            t.percentile_us(99.0),
+        ));
+    }
+    summary.push_str(&format!(
+        "every response byte-identical to one-shot output; report written to {out}\n"
+    ));
+    Ok(summary)
 }

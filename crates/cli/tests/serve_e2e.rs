@@ -182,13 +182,17 @@ fn one_shot(db: &std::path::Path, subcommand: &str, query: &str) -> String {
     // match the spawned server's pool (--parallel 2): a served request
     // without a workers hint defaults to the server's worker count, and
     // the explain text names it
+    one_shot_at(db, subcommand, "2", query)
+}
+
+fn one_shot_at(db: &std::path::Path, subcommand: &str, parallel: &str, query: &str) -> String {
     let out = genpar()
         .args([
             subcommand,
             "--db",
             db.to_str().unwrap(),
             "--parallel",
-            "2",
+            parallel,
             query,
         ])
         .output()
@@ -350,6 +354,189 @@ fn sigint_mid_load_drains_and_flushes_checksummed_state() {
         Json::parse(&payload).is_ok(),
         "flushed stats payload is not JSON: {payload}"
     );
+}
+
+/// Collapse every wall-clock artifact in a profile rendering while
+/// keeping its structure: digit runs (with their decimal points) become
+/// `#`, the time-unit suffix after a collapsed number becomes `T` (a
+/// duration near a unit boundary renders as `999.8µs` in one process and
+/// `1.0ms` in another), and runs of spaces collapse (column alignment
+/// widens with the digits). Everything else — span tree shape, names,
+/// counter names, event fields — must survive verbatim.
+fn normalize_profile(text: &str) -> String {
+    let mut out = String::new();
+    let mut in_num = false;
+    let mut in_space = false;
+    for c in text.chars() {
+        if c.is_ascii_digit() || (c == '.' && in_num) {
+            if !in_num {
+                out.push('#');
+            }
+            in_num = true;
+            in_space = false;
+        } else if c == ' ' {
+            if !in_space {
+                out.push(' ');
+            }
+            in_num = false;
+            in_space = true;
+        } else {
+            out.push(c);
+            in_num = false;
+            in_space = false;
+        }
+    }
+    for unit in ["#ns", "#µs", "#ms", "#s"] {
+        out = out.replace(unit, "#T");
+    }
+    out
+}
+
+/// The `counters:` section of a profile rendering, raw — counters are
+/// deterministic (no wall-clock), so this part must match byte-for-byte
+/// where the span timings above it cannot.
+fn counters_section(text: &str) -> &str {
+    let start = text
+        .find("\ncounters:")
+        .unwrap_or_else(|| panic!("profile output has no counters section: {text}"));
+    let rest = &text[start + 1..];
+    match rest.find("\nevents") {
+        Some(end) => &rest[..end],
+        None => rest,
+    }
+}
+
+/// The regression this PR fixes: served `explain`/`profile` used to
+/// `reset()` the process-global registry to attribute records to one
+/// query, silently zeroing the server's own cumulative counters. Now
+/// they snapshot a private scope instead, so `stats` keeps counting.
+#[test]
+fn served_stats_stay_cumulative_across_explain_and_profile() {
+    let db = small_db();
+    let server = Server::spawn(&db, &[]);
+    let mut conn = server.connect();
+
+    for _ in 0..2 {
+        let resp = conn.request(r#"{"op": "run", "query": "pi[$1](R)", "tenant": "acme"}"#);
+        assert_eq!(status_of(&resp), "ok", "{resp}");
+    }
+    let admitted = |j: &Json| {
+        j.get("admitted")
+            .and_then(|v| v.as_int())
+            .unwrap_or_else(|| panic!("stats response has no admitted count: {j}"))
+    };
+    let stats0 = conn.request(r#"{"op": "stats"}"#);
+    assert_eq!(status_of(&stats0), "ok", "{stats0}");
+    let before = admitted(&stats0);
+    assert!(before >= 2, "two admitted runs are missing: {stats0}");
+
+    let ex = conn.request(r#"{"op": "explain", "query": "pi[$1](union(R, S))"}"#);
+    assert_eq!(status_of(&ex), "ok", "{ex}");
+    let prof = conn.request(r#"{"op": "profile", "query": "count(R)", "tenant": "acme"}"#);
+    assert_eq!(status_of(&prof), "ok", "{prof}");
+
+    let stats1 = conn.request(r#"{"op": "stats"}"#);
+    assert_eq!(
+        admitted(&stats1),
+        before + 2,
+        "explain/profile must never reset cumulative server counters: {stats1}"
+    );
+
+    // the retained per-tenant roll-ups behind the new stats filters:
+    // 2 runs + 1 profile were served under "acme"
+    let filtered = conn.request(r#"{"op": "stats", "tenant": "acme"}"#);
+    let roll = filtered
+        .get("tenant_rollup")
+        .unwrap_or_else(|| panic!("stats with a tenant filter has no tenant_rollup: {filtered}"));
+    assert_eq!(
+        roll.get("queries").and_then(|v| v.as_int()),
+        Some(3),
+        "{roll}"
+    );
+    assert_eq!(roll.get("tenant").and_then(|v| v.as_str()), Some("acme"));
+
+    // the per-query roll-up is addressable by the id the response named
+    let qid = prof
+        .get("query_id")
+        .and_then(|v| v.as_int())
+        .unwrap_or_else(|| panic!("profile response has no query_id: {prof}"));
+    let by_id = conn.request(&format!(r#"{{"op": "stats", "query_id": {qid}}}"#));
+    let qroll = by_id
+        .get("query_rollup")
+        .unwrap_or_else(|| panic!("stats with a query_id filter has no query_rollup: {by_id}"));
+    assert_eq!(qroll.get("tenant").and_then(|v| v.as_str()), Some("acme"));
+    assert_eq!(qroll.get("query_id").and_then(|v| v.as_int()), Some(qid));
+
+    // an unknown tenant is a null roll-up, not an error
+    let none = conn.request(r#"{"op": "stats", "tenant": "nobody"}"#);
+    assert_eq!(none.get("tenant_rollup"), Some(&Json::Null), "{none}");
+
+    let ack = conn.request(r#"{"op": "shutdown"}"#);
+    assert_eq!(status_of(&ack), "ok");
+    assert_eq!(server.wait().code(), Some(0));
+}
+
+/// Two profiles racing through one server must return disjoint
+/// snapshots: each response identical to the one-shot CLI profile of
+/// the same query (modulo wall-clock digits), with the deterministic
+/// counters section matching byte-for-byte. Before per-request scopes
+/// this needed a profile mutex; now the race itself is the test.
+#[test]
+fn concurrent_served_profiles_return_disjoint_one_shot_identical_snapshots() {
+    let db = small_db();
+    let join_q = "pi[$1,$4](join[$2=$1](R, S))";
+    let count_q = "count(R)";
+    // one-shot expectations at the worker count the requests will pin
+    let expected_join = one_shot_at(&db, "profile", "1", join_q);
+    let expected_count = one_shot_at(&db, "profile", "1", count_q);
+
+    let server = Server::spawn(&db, &[]);
+    let barrier = std::sync::Barrier::new(2);
+    let [served_join, served_count] = std::thread::scope(|s| {
+        [(join_q, "tenant-join"), (count_q, "tenant-count")]
+            .map(|(query, tenant)| {
+                let (server, barrier) = (&server, &barrier);
+                s.spawn(move || {
+                    let mut conn = server.connect();
+                    let req = Json::obj([
+                        ("op", Json::str("profile")),
+                        ("query", Json::str(query)),
+                        ("tenant", Json::str(tenant)),
+                        ("workers", Json::Int(1)),
+                    ]);
+                    barrier.wait();
+                    let resp = conn.request(&req.to_string());
+                    assert_eq!(status_of(&resp), "ok", "{resp}");
+                    output_of(&resp)
+                })
+            })
+            .map(|h| h.join().unwrap())
+    });
+
+    for (served, expected, other_span) in [
+        (&served_join, &expected_join, "alg.Count"),
+        (&served_count, &expected_count, "alg.Join"),
+    ] {
+        assert_eq!(
+            normalize_profile(served),
+            normalize_profile(expected),
+            "a served profile racing a sibling diverged from the one-shot CLI"
+        );
+        assert_eq!(
+            counters_section(served),
+            counters_section(expected),
+            "deterministic counters leaked between concurrent profile scopes"
+        );
+        assert!(
+            !served.contains(other_span),
+            "the sibling query's span tree leaked into this snapshot: {served}"
+        );
+    }
+
+    let mut conn = server.connect();
+    let ack = conn.request(r#"{"op": "shutdown"}"#);
+    assert_eq!(status_of(&ack), "ok");
+    assert_eq!(server.wait().code(), Some(0));
 }
 
 proptest! {

@@ -227,8 +227,16 @@ impl EvalParallel for PhysicalPlan {
             return self.execute(catalog);
         }
         // a parallel run is a fresh query on the timeline; pool workers
-        // stamp the same id on every span they record for it
-        let _q = genpar_obs::timeline::begin_query();
+        // stamp the same id on every span they record for it. When an
+        // obs scope is active (a served request), reuse its query id so
+        // timeline records and the scope stay keyed together instead of
+        // forking the numbering.
+        match genpar_obs::scope::current().map(|s| s.query_id()) {
+            Some(id) if id != 0 => genpar_obs::timeline::set_current_query(id),
+            _ => {
+                let _ = genpar_obs::timeline::begin_query();
+            }
+        }
         let mut sp = genpar_obs::span("exec.parallel");
         sp.field("workers", cfg.workers as u64);
         sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);

@@ -301,12 +301,18 @@ where
     let requeues: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let active = AtomicUsize::new(w);
 
+    // capture the spawning thread's obs scope so workers record into the
+    // scope of the query that spawned their tasks — work-stealing moves
+    // tasks between lanes, but every lane is entered into the same scope
+    let obs_scope = genpar_obs::scope::current();
     std::thread::scope(|s| {
         for wid in 0..w {
             let (deques, slots, results, requeues) = (&deques, &slots, &results, &requeues);
             let (first_err, stop, f, active) = (&first_err, &stop, &f, &active);
             let recovery = recovery.as_ref();
+            let obs_scope = obs_scope.clone();
             s.spawn(move || {
+                let _obs = obs_scope.map(genpar_obs::scope::enter);
                 // worker wid records on timeline lane wid + 1 (lane 0
                 // is the main thread)
                 genpar_obs::timeline::set_lane(wid as u32 + 1);

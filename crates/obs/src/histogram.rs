@@ -101,6 +101,28 @@ impl Histogram {
         }
     }
 
+    /// Add every cell of `self` into `target` (used by scope roll-up:
+    /// the child histogram's buckets fold additively into the parent's,
+    /// so quantiles over the merged histogram are exactly what one
+    /// shared histogram would have recorded).
+    pub(crate) fn add_into(&self, target: &Histogram) {
+        target
+            .count
+            .fetch_add(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        target
+            .sum
+            .fetch_add(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        target
+            .max
+            .fetch_max(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (src, dst) in self.buckets.iter().zip(&target.buckets) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Copy out an immutable summary (counts, quantiles).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let counts: Vec<u64> = self

@@ -42,6 +42,7 @@
 mod histogram;
 pub mod json;
 mod registry;
+pub mod scope;
 pub mod timeline;
 pub mod trace;
 
@@ -51,6 +52,7 @@ pub use registry::{
     Event, FieldValue, HistogramHandle, Registry, Snapshot, SpanGuard, SpanNode,
     DEFAULT_EVENT_CAPACITY,
 };
+pub use scope::Scope;
 pub use timeline::{QueryId, TimelineEvent, TimelineKind, TimelineSnapshot};
 
 use std::sync::OnceLock;
@@ -84,40 +86,62 @@ pub fn set_enabled(enabled: bool) {
     global().set_enabled(enabled);
 }
 
-/// Open a span on the global registry. See [`Registry::span`].
+/// Open a span on the current scope's registry (the global one when no
+/// [`scope::Scope`] is entered on this thread). See [`Registry::span`].
 #[inline]
 pub fn span(name: &str) -> SpanGuard {
-    global().span(name)
+    match scope::current_registry() {
+        Some(reg) => reg.span(name),
+        None => global().span(name),
+    }
 }
 
-/// Add to a counter on the global registry.
+/// Add to a counter on the current scope's registry (global fallback).
 #[inline]
 pub fn counter(name: &str, delta: u64) {
-    global().counter(name, delta);
+    match scope::current_registry() {
+        Some(reg) => reg.counter(name, delta),
+        None => global().counter(name, delta),
+    }
 }
 
-/// Set a gauge on the global registry.
+/// Set a gauge on the current scope's registry (global fallback).
 #[inline]
 pub fn gauge(name: &str, value: i64) {
-    global().gauge(name, value);
+    match scope::current_registry() {
+        Some(reg) => reg.gauge(name, value),
+        None => global().gauge(name, value),
+    }
 }
 
-/// Record an event on the global registry.
+/// Record an event on the current scope's registry (global fallback).
 pub fn event(kind: &str, fields: impl IntoIterator<Item = (&'static str, FieldValue)>) {
-    global().event(kind, fields);
+    match scope::current_registry() {
+        Some(reg) => reg.event(kind, fields),
+        None => global().event(kind, fields),
+    }
 }
 
-/// Intern a histogram on the global registry and return a handle that
-/// records lock-free. Hot loops should call this once and reuse the
-/// handle; see [`Registry::histogram`].
+/// Intern a histogram on the current scope's registry (global fallback)
+/// and return a handle that records lock-free. Hot loops should call
+/// this once and reuse the handle **within one scope**; a handle interned
+/// inside a scope records into that scope and must not outlive it.
+/// See [`Registry::histogram`].
 pub fn histogram(name: &str) -> HistogramHandle {
-    global().histogram(name)
+    match scope::current_registry() {
+        Some(reg) => reg.histogram(name),
+        None => global().histogram(name),
+    }
 }
 
-/// One-shot record into a named histogram on the global registry
-/// (interns on each call — prefer [`histogram`] + handle in hot paths).
+/// One-shot record into a named histogram on the current scope's
+/// registry (interns on each call — prefer [`histogram`] + handle in hot
+/// paths; global fallback).
 pub fn record(name: &str, value: u64) {
-    global().record(name, value);
+    match scope::current_registry() {
+        Some(reg) => reg.record(name, value),
+        None => global().record(name, value),
+    }
 }
 
 /// Snapshot the global registry.

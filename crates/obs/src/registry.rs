@@ -432,6 +432,78 @@ impl Registry {
         }
     }
 
+    /// Fold everything this registry recorded into `target` — the scope
+    /// roll-up primitive. Counters and span aggregates add, gauges take
+    /// the child's (newer) value, events append to the target ring (time
+    /// stamps translated onto the target's epoch, drops counted), and
+    /// histograms merge bucket-wise. Merging a registry into itself is a
+    /// no-op. `self` is left untouched, so a snapshot taken before the
+    /// merge still describes exactly what was contributed.
+    pub fn merge_into(&self, target: &Registry) {
+        if Arc::ptr_eq(&self.0, &target.0) {
+            return;
+        }
+        // histograms first: bucket adds are atomic, no inner lock needed
+        let src_hists: Vec<(String, Arc<Histogram>)> = {
+            let hists = match self.0.histograms.lock() {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+            hists.iter().map(|(k, h)| (k.clone(), h.clone())).collect()
+        };
+        for (name, h) in src_hists {
+            let dst = {
+                let mut hists = match target.0.histograms.lock() {
+                    Ok(g) => g,
+                    Err(e) => e.into_inner(),
+                };
+                hists
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(Histogram::new()))
+                    .clone()
+            };
+            h.add_into(&dst);
+        }
+        // copy the mutex-guarded state out before taking the target's
+        // lock — never hold both inner locks at once
+        let (counters, gauges, events, events_dropped, root, epoch) = {
+            let inner = self.lock();
+            (
+                inner.counters.clone(),
+                inner.gauges.clone(),
+                inner.events.iter().cloned().collect::<Vec<Event>>(),
+                inner.events_dropped,
+                inner.root.clone(),
+                inner.epoch,
+            )
+        };
+        let mut t = target.lock();
+        for (k, v) in counters {
+            *t.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in gauges {
+            t.gauges.insert(k, v);
+        }
+        // a child scope is created after its parent, so its epoch offset
+        // is non-negative; translate event stamps onto the parent clock
+        let offset_micros = epoch
+            .checked_duration_since(t.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        t.events_dropped += events_dropped;
+        for mut e in events {
+            e.seq = t.seq;
+            t.seq += 1;
+            e.at_micros = e.at_micros.saturating_add(offset_micros);
+            if t.events.len() >= t.event_capacity {
+                t.events.pop_front();
+                t.events_dropped += 1;
+            }
+            t.events.push_back(e);
+        }
+        merge_span_children(&mut t.root, &root);
+    }
+
     /// Copy out everything recorded so far. Histograms with zero
     /// recorded values (interned but never hit, e.g. under the kill
     /// switch) are omitted.
@@ -457,6 +529,22 @@ impl Registry {
             spans: inner.root.children.clone(),
             histograms,
         }
+    }
+}
+
+/// Accumulate `src`'s children into `dst`'s by tree position: calls,
+/// total time and numeric fields add; unseen children are appended in
+/// first-seen order — exactly how two executions recording into one
+/// shared registry would have aggregated.
+fn merge_span_children(dst: &mut SpanNode, src: &SpanNode) {
+    for child in &src.children {
+        let node = dst.child_mut(&child.name);
+        node.calls += child.calls;
+        node.total_nanos += child.total_nanos;
+        for (k, v) in &child.fields {
+            *node.fields.entry(k.clone()).or_insert(0) += v;
+        }
+        merge_span_children(node, child);
     }
 }
 

@@ -84,6 +84,26 @@ pub struct TimelineSnapshot {
     pub capacity_per_thread: usize,
 }
 
+impl TimelineSnapshot {
+    /// The snapshot restricted to records stamped with `query_id` — the
+    /// scope filter the trace renderers use when profiling one served
+    /// request among many. `written`/`dropped` stay whole-ring totals
+    /// (they describe ring pressure, which is shared across queries).
+    pub fn for_query(&self, query_id: u64) -> TimelineSnapshot {
+        TimelineSnapshot {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.query == query_id)
+                .cloned()
+                .collect(),
+            dropped: self.dropped,
+            written: self.written,
+            capacity_per_thread: self.capacity_per_thread,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // gating
 // ---------------------------------------------------------------------
@@ -139,6 +159,15 @@ pub fn begin_query() -> QueryId {
 #[inline]
 pub fn current_query() -> u64 {
     CURRENT_QUERY.load(Ordering::Relaxed)
+}
+
+/// Re-stamp an already-allocated [`QueryId`] as the process-wide current
+/// query without allocating a fresh one. The serve path allocates the id
+/// when a request is admitted (so the response and the obs scope share
+/// it); the executor entry then re-stamps it here instead of calling
+/// [`begin_query`] and forking the numbering.
+pub fn set_current_query(id: u64) {
+    CURRENT_QUERY.store(id, Ordering::Relaxed);
 }
 
 /// Declare this thread's timeline lane (0 = main, `wid + 1` = worker).

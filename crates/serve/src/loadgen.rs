@@ -12,9 +12,9 @@
 //! not an error).
 
 use genpar_obs::Json;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Load-run parameters.
@@ -25,8 +25,10 @@ pub struct BenchSpec {
     pub clients: usize,
     /// How long each client keeps issuing requests.
     pub duration: Duration,
-    /// Tenant name stamped on every request.
-    pub tenant: String,
+    /// Tenant names; client `i` drives tenant `i % tenants.len()`, so a
+    /// multi-tenant run exercises the server's per-tenant roll-ups and
+    /// the report can split latency distributions per tenant.
+    pub tenants: Vec<String>,
     /// `(query, expected one-shot output)` pairs; each `ok` response is
     /// asserted byte-identical to the expectation.
     pub queries: Vec<(String, String)>,
@@ -51,19 +53,50 @@ pub struct BenchReport {
     pub first_mismatch: Option<String>,
     /// Latency of every `ok` response, microseconds, sorted ascending.
     pub latencies_us: Vec<u64>,
+    /// Per-tenant splits of the same run (schema v2 `tenants` map).
+    pub tenants: BTreeMap<String, TenantStats>,
     /// Wall time of the whole run.
     pub elapsed: Duration,
+}
+
+/// One tenant's slice of a load run.
+#[derive(Debug, Default, Clone)]
+pub struct TenantStats {
+    /// Requests sent under this tenant.
+    pub offered: u64,
+    /// `ok` responses.
+    pub completed: u64,
+    /// `overloaded` responses.
+    pub shed: u64,
+    /// `budget_exceeded` responses.
+    pub budget_exceeded: u64,
+    /// `error` responses plus transport failures.
+    pub errors: u64,
+    /// Latencies of this tenant's `ok` responses, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl TenantStats {
+    /// The `p`-th latency percentile for this tenant (0 when empty).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        percentile(&self.latencies_us, p)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    sorted[(rank.round() as usize).min(sorted.len() - 1)]
 }
 
 impl BenchReport {
     /// The `p`-th latency percentile (0–100) in microseconds; 0 when no
     /// request completed.
     pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let rank = (p / 100.0) * (self.latencies_us.len() - 1) as f64;
-        self.latencies_us[(rank.round() as usize).min(self.latencies_us.len() - 1)]
+        percentile(&self.latencies_us, p)
     }
 
     /// Completed requests per second of wall time.
@@ -75,7 +108,7 @@ impl BenchReport {
         self.completed as f64 / secs
     }
 
-    fn merge(&mut self, other: BenchReport) {
+    fn merge(&mut self, tenant: &str, other: BenchReport) {
         self.offered += other.offered;
         self.completed += other.completed;
         self.shed += other.shed;
@@ -85,43 +118,54 @@ impl BenchReport {
         if self.first_mismatch.is_none() {
             self.first_mismatch = other.first_mismatch;
         }
+        let t = self.tenants.entry(tenant.to_string()).or_default();
+        t.offered += other.offered;
+        t.completed += other.completed;
+        t.shed += other.shed;
+        t.budget_exceeded += other.budget_exceeded;
+        t.errors += other.errors;
+        t.latencies_us.extend(other.latencies_us.iter().copied());
         self.latencies_us.extend(other.latencies_us);
     }
 }
 
-/// Run the closed loop and aggregate across clients.
+/// Run the closed loop and aggregate across clients (flat totals plus
+/// per-tenant splits).
 pub fn run_bench(spec: &BenchSpec) -> Result<BenchReport, String> {
     if spec.queries.is_empty() {
         return Err("bench-serve: no queries to issue".to_string());
     }
-    let merged = Mutex::new(BenchReport::default());
+    if spec.tenants.is_empty() {
+        return Err("bench-serve: no tenants to drive".to_string());
+    }
+    let mut report = BenchReport::default();
     let t0 = Instant::now();
     std::thread::scope(|s| -> Result<(), String> {
         let mut handles = Vec::new();
         for client_idx in 0..spec.clients.max(1) {
-            handles.push(s.spawn(move || client_loop(spec, client_idx)));
+            let tenant = spec.tenants[client_idx % spec.tenants.len()].as_str();
+            handles.push((
+                tenant,
+                s.spawn(move || client_loop(spec, client_idx, tenant)),
+            ));
         }
-        for h in handles {
-            let report = h
+        for (tenant, h) in handles {
+            let client_report = h
                 .join()
                 .map_err(|_| "bench-serve: client thread panicked".to_string())??;
-            match merged.lock() {
-                Ok(mut m) => m.merge(report),
-                Err(poisoned) => poisoned.into_inner().merge(report),
-            }
+            report.merge(tenant, client_report);
         }
         Ok(())
     })?;
-    let mut report = match merged.into_inner() {
-        Ok(m) => m,
-        Err(poisoned) => poisoned.into_inner(),
-    };
     report.elapsed = t0.elapsed();
     report.latencies_us.sort_unstable();
+    for t in report.tenants.values_mut() {
+        t.latencies_us.sort_unstable();
+    }
     Ok(report)
 }
 
-fn client_loop(spec: &BenchSpec, client_idx: usize) -> Result<BenchReport, String> {
+fn client_loop(spec: &BenchSpec, client_idx: usize, tenant: &str) -> Result<BenchReport, String> {
     let stream = TcpStream::connect(&spec.addr)
         .map_err(|e| format!("bench-serve: cannot connect to {}: {e}", spec.addr))?;
     let _ = stream.set_nodelay(true);
@@ -143,7 +187,7 @@ fn client_loop(spec: &BenchSpec, client_idx: usize) -> Result<BenchReport, Strin
         let request = Json::obj([
             ("op", Json::str("run")),
             ("query", Json::str(query.as_str())),
-            ("tenant", Json::str(spec.tenant.as_str())),
+            ("tenant", Json::str(tenant)),
         ]);
         report.offered += 1;
         let sent = Instant::now();

@@ -82,6 +82,11 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Worker-count hint (capped by the server's pool).
     pub workers: Option<usize>,
+    /// `stats` filter: was a `"tenant"` key present on the wire? When
+    /// set, the response carries that tenant's retained roll-up.
+    pub tenant_filter: Option<String>,
+    /// `stats` filter: retained roll-up for one query id.
+    pub query_id: Option<u64>,
 }
 
 /// Parse one request line. Errors are human-readable and become
@@ -115,11 +120,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             op.name()
         ));
     }
-    let tenant = j
+    // the raw key's presence doubles as the stats-op tenant filter: a
+    // plain `{"op": "stats"}` must not filter to the "default" roll-up
+    let tenant_filter = j
         .get("tenant")
         .and_then(|v| v.as_str())
-        .unwrap_or("default")
-        .to_string();
+        .map(|s| s.to_string());
+    let tenant = tenant_filter.clone().unwrap_or_else(|| "default".into());
     let timeout_ms = match j.get("timeout_ms") {
         None | Some(Json::Null) => None,
         Some(v) => Some(
@@ -136,12 +143,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("\"workers\" must be a positive integer")? as usize,
         ),
     };
+    let query_id = match j.get("query_id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_int()
+                .filter(|n| *n >= 0)
+                .ok_or("\"query_id\" must be a non-negative integer")? as u64,
+        ),
+    };
     Ok(Request {
         op,
         query,
         tenant,
         timeout_ms,
         workers,
+        tenant_filter,
+        query_id,
     })
 }
 

@@ -254,7 +254,7 @@ fn handle_request(ctx: &ServerCtx, req: &Request) -> Json {
                 ("draining", Json::Bool(true)),
             ])
         }
-        Op::Stats => stats_response(ctx),
+        Op::Stats => stats_response(ctx, req),
         Op::Run | Op::Explain | Op::Profile => handle_query(ctx, req),
     }
 }
@@ -271,6 +271,12 @@ fn handle_query(ctx: &ServerCtx, req: &Request) -> Json {
         Admit::Draining => return protocol::shutting_down_response(req.op),
     };
     let query_id = genpar_obs::timeline::begin_query().0;
+    // every record this request produces — on this thread and on every
+    // pool worker its tasks land on — lands in a per-request obs scope
+    // keyed by (query id, tenant); dropping it below rolls the registry
+    // up into the global root and retains the per-tenant summary that
+    // the stats op's "tenant"/"query_id" filters serve
+    let obs_scope = genpar_obs::Scope::for_request(query_id, Some(&req.tenant));
     // arm the tenant quota pool and the per-request wall deadline on
     // this session thread; SharedMeter::from_armed layers a request
     // meter over both for the parallel workers
@@ -281,11 +287,15 @@ fn handle_query(ctx: &ServerCtx, req: &Request) -> Json {
     let timeout = req.timeout_ms.or(ctx.default_timeout_ms);
     let _wall = timeout.map(|ms| genpar_guard::arm_wall_deadline_local(Duration::from_millis(ms)));
     let t0 = Instant::now();
-    let result = ctx.handler.execute(
-        req.op,
-        req.query.as_deref().unwrap_or_default(),
-        req.workers,
-    );
+    let result = {
+        let _g = obs_scope.enter();
+        ctx.handler.execute(
+            req.op,
+            req.query.as_deref().unwrap_or_default(),
+            req.workers,
+        )
+    };
+    drop(obs_scope); // roll up before rendering: stats sees this request
     let elapsed_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
     ctx.served.fetch_add(1, Ordering::Relaxed);
     drop(ticket); // free the in-flight slot before rendering
@@ -302,7 +312,7 @@ fn handle_query(ctx: &ServerCtx, req: &Request) -> Json {
     }
 }
 
-fn stats_response(ctx: &ServerCtx) -> Json {
+fn stats_response(ctx: &ServerCtx, req: &Request) -> Json {
     let snap = genpar_obs::snapshot();
     let counter = |name: &str| *snap.counters.get(name).unwrap_or(&0);
     let degrade_steps: u64 = snap
@@ -312,9 +322,25 @@ fn stats_response(ctx: &ServerCtx) -> Json {
         .map(|(_, v)| *v)
         .sum();
     let (pool_available, pool_total) = genpar_exec::pool::worker_governor_stats().unwrap_or((0, 0));
-    Json::obj([
-        ("status", Json::str("ok")),
-        ("op", Json::str("stats")),
+    let mut fields = vec![
+        ("status".to_string(), Json::str("ok")),
+        ("op".to_string(), Json::str("stats")),
+    ];
+    // optional filters over the retained per-tenant roll-ups: presence
+    // of the wire key selects the view, Json::Null means nothing kept
+    if let Some(t) = &req.tenant_filter {
+        fields.push((
+            "tenant_rollup".to_string(),
+            genpar_obs::scope::tenant_rollup_json(t),
+        ));
+    }
+    if let Some(id) = req.query_id {
+        fields.push((
+            "query_rollup".to_string(),
+            genpar_obs::scope::query_rollup_json(id),
+        ));
+    }
+    let mut j = Json::obj([
         (
             "uptime_us",
             Json::Int(ctx.started.elapsed().as_micros().min(u64::MAX as u128) as i128),
@@ -335,5 +361,10 @@ fn stats_response(ctx: &ServerCtx) -> Json {
             ]),
         ),
         ("tenants", ctx.tenants.usage_json()),
-    ])
+    ]);
+    if let Json::Obj(base) = &mut j {
+        // splice the status/op/filter fields in front of the counters
+        base.splice(0..0, fields);
+    }
+    j
 }
