@@ -290,14 +290,7 @@ fn eval_node(
         Query::Select(p, q) => {
             let s = eval_set(q, db, stats)?;
             sp.field("rows_in", s.len() as u64);
-            let mut out = BTreeSet::new();
-            for t in s {
-                stats.tuples_scanned += 1;
-                stats.fn_applications += 1;
-                if eval_pred(p, &t, db)? {
-                    out.insert(t);
-                }
-            }
+            let out = select_set(p, s, db, stats)?;
             stats.tuples_emitted += out.len() as u64;
             Ok(Value::Set(out))
         }
@@ -424,12 +417,7 @@ fn eval_node(
         Query::Map(f, q) => {
             let s = eval_set(q, db, stats)?;
             sp.field("rows_in", s.len() as u64);
-            let mut out = BTreeSet::new();
-            for t in &s {
-                stats.tuples_scanned += 1;
-                stats.fn_applications += 1;
-                out.insert(apply_fn(f, t, db)?);
-            }
+            let out = map_set(f, &s, db, stats)?;
             stats.tuples_emitted += out.len() as u64;
             Ok(Value::Set(out))
         }
@@ -663,6 +651,78 @@ fn concat_tuples(a: &Value, b: &Value) -> Result<Value, EvalError> {
     let x = a.as_tuple().ok_or_else(|| shape("×", a))?;
     let y = b.as_tuple().ok_or_else(|| shape("×", b))?;
     Ok(Value::Tuple(x.iter().chain(y).cloned().collect()))
+}
+
+/// One set through `σ_p`, on the compiled-program path when the VM is
+/// engaged (kill switch on, `vm.exec` fault site clean) and `p` is
+/// eligible, otherwise the AST walker. The two paths are
+/// observationally identical — verdicts, errors and the per-tuple stat
+/// counts all match — which is exactly the parametricity fact the
+/// differential oracle pins.
+fn select_set(
+    p: &Pred,
+    s: BTreeSet<Value>,
+    db: &Db,
+    stats: &mut EvalStats,
+) -> Result<BTreeSet<Value>, EvalError> {
+    let mut out = BTreeSet::new();
+    let prog = if crate::vm::engage() {
+        crate::vm::compile_pred(p).ok()
+    } else {
+        None
+    };
+    if let Some(prog) = prog {
+        let mut vm = crate::vm::Vm::new();
+        for t in s {
+            stats.tuples_scanned += 1;
+            stats.fn_applications += 1;
+            if vm.run_pred(&prog, &t, db)? {
+                out.insert(t);
+            }
+        }
+    } else {
+        for t in s {
+            stats.tuples_scanned += 1;
+            stats.fn_applications += 1;
+            if eval_pred(p, &t, db)? {
+                out.insert(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One set through `map(f)` — same engage-or-walk split as
+/// [`select_set`]. Ineligible functions (opaque closures, over-deep
+/// programs) silently keep the walker here; `explain` is where the
+/// refusal reason is surfaced.
+fn map_set(
+    f: &ValueFn,
+    s: &BTreeSet<Value>,
+    db: &Db,
+    stats: &mut EvalStats,
+) -> Result<BTreeSet<Value>, EvalError> {
+    let mut out = BTreeSet::new();
+    let prog = if crate::vm::engage() {
+        crate::vm::compile_fn(f).ok()
+    } else {
+        None
+    };
+    if let Some(prog) = prog {
+        let mut vm = crate::vm::Vm::new();
+        for t in s {
+            stats.tuples_scanned += 1;
+            stats.fn_applications += 1;
+            out.insert(vm.run_fn(&prog, t, db)?);
+        }
+    } else {
+        for t in s {
+            stats.tuples_scanned += 1;
+            stats.fn_applications += 1;
+            out.insert(apply_fn(f, t, db)?);
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluate a predicate on a tuple.

@@ -13,7 +13,11 @@
 //!   functions ([`expr::ValueFn`]);
 //! * [`eval`] — the evaluator `Query × Db → Value` with cost counters;
 //! * [`catalog`] — the paper's named queries (Q₁–Q₅, `eq_adom`, `even`,
-//!   nest-parity `np`, σ̂ variants) ready for the genericity experiments.
+//!   nest-parity `np`, σ̂ variants) ready for the genericity experiments;
+//! * [`vm`] — a compile-once stack bytecode for predicates and map
+//!   functions, observationally identical to the walker by construction
+//!   (and by the differential oracle), with `GENPAR_VM=0` as the kill
+//!   switch.
 //!
 //! A *database* is a finite assignment of names to complex values
 //! ([`eval::Db`]): "databases can be viewed as tuples of complex values"
@@ -27,6 +31,7 @@ pub mod expr;
 pub mod fixpoint;
 pub mod parse;
 pub mod types;
+pub mod vm;
 
 pub use eval::{Db, EvalError, EvalStats};
 pub use expr::{Pred, Query, ValueFn};

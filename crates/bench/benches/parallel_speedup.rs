@@ -72,6 +72,36 @@ fn fixpoint_workload() -> Query {
     )
 }
 
+/// Scan-filter workload for the VM-vs-AST comparison: a selection whose
+/// predicate tree is deep enough that the walker's recursive dispatch —
+/// not the scan — is the dominant per-tuple cost. This is the shape the
+/// bytecode VM exists for.
+fn vm_filter_catalog() -> Catalog {
+    let mut rng = StdRng::seed_from_u64(11);
+    Catalog::new().with(generate_table(
+        &mut rng,
+        "R",
+        WorkloadSpec {
+            rows: 40_000,
+            arity: 3,
+            value_range: 8,
+            key_on_first: false,
+        },
+    ))
+}
+
+fn vm_filter_workload() -> Query {
+    let mut p = Pred::True;
+    for k in 0..12i64 {
+        let col = (k as usize) % 3;
+        let leaf = Pred::eq_const(col, genpar_value::Value::Int(k % 7))
+            .or(Pred::eq_cols(col, (col + 1) % 3))
+            .or(Pred::Named("even".into(), vec![col]));
+        p = p.and(leaf);
+    }
+    Query::rel("R").select(p)
+}
+
 fn bench_workers(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec/parallel");
     group.sample_size(10);
@@ -184,6 +214,50 @@ fn verify_speedup_and_report() {
         );
     }
 
+    // VM-vs-AST on the scan-filter shape: same plan, same pool, same
+    // morsel size — only the expression engine differs. Measured at 2
+    // workers so the morsel kernels (the compile-once path) are what is
+    // timed; parity is asserted before either mode is clocked.
+    let vm_workers = 2usize;
+    let vm_cat = vm_filter_catalog();
+    let vm_plan = lower(&vm_filter_workload()).expect("vm workload lowers");
+    let vm_cfg = ExecConfig::serial().with_workers(vm_workers);
+    genpar_algebra::vm::set_enabled(false);
+    let ast_rows = vm_plan.eval_parallel(&vm_cat, &vm_cfg).expect("ast run").0;
+    genpar_algebra::vm::set_enabled(true);
+    let vm_rows = vm_plan.eval_parallel(&vm_cat, &vm_cfg).expect("vm run").0;
+    assert_eq!(vm_rows, ast_rows, "VM mode changed the filter result");
+    let time_mode = |vm_on: bool| {
+        genpar_algebra::vm::set_enabled(vm_on);
+        genpar_obs::reset();
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            black_box(
+                vm_plan
+                    .eval_parallel(&vm_cat, &vm_cfg)
+                    .expect("vm-mode run"),
+            );
+            samples.push(t.elapsed());
+        }
+        let snap = genpar_obs::snapshot();
+        let hist = snap
+            .histograms
+            .get("exec.morsel_us")
+            .copied()
+            .unwrap_or_default();
+        (median(samples), hist, degrade_steps(&snap))
+    };
+    let (ast_median, ast_hist, ast_deg) = time_mode(false);
+    let (vm_median, vm_hist, vm_deg) = time_mode(true);
+    genpar_algebra::vm::set_enabled(true);
+    let vm_speedup = ast_median.as_secs_f64() / vm_median.as_secs_f64();
+    println!(
+        "exec/parallel: vm_speedup={vm_speedup:.2}x at {vm_workers} workers \
+         (ast median {ast_median:?} p95 {}µs, vm median {vm_median:?} p95 {}µs)",
+        ast_hist.p95, vm_hist.p95
+    );
+
     let base = scan_medians[0].1.as_secs_f64();
     let four = scan_medians
         .iter()
@@ -250,12 +324,29 @@ fn verify_speedup_and_report() {
     }
     let report = Json::obj([
         ("bench", Json::str("parallel_speedup")),
-        ("schema_version", Json::Int(3)),
+        ("schema_version", Json::Int(4)),
         ("workload", Json::str(q.to_string())),
         ("hardware_threads", Json::Int(hw as i128)),
         ("asserted", Json::Bool(asserted)),
         ("skip_reason", skip_reason),
         ("calibration", cal.to_json()),
+        // schema v4: the VM-vs-AST comparison on the scan-filter shape —
+        // `bench-compare` gates vm_morsel_us.p95 against ast_morsel_us.p95
+        // always, and vm_speedup ≥ 1.2 when the hardware can show it
+        ("vm_speedup", Json::Num(vm_speedup)),
+        (
+            "vm_filter",
+            Json::obj([
+                ("workload", Json::str(vm_filter_workload().to_string())),
+                ("workers", Json::Int(vm_workers as i128)),
+                ("ast_median_us", Json::Num(ast_median.as_secs_f64() * 1e6)),
+                ("vm_median_us", Json::Num(vm_median.as_secs_f64() * 1e6)),
+                ("ast_degrade_steps", Json::Int(ast_deg as i128)),
+                ("vm_degrade_steps", Json::Int(vm_deg as i128)),
+                ("ast_morsel_us", ast_hist.to_json()),
+                ("vm_morsel_us", vm_hist.to_json()),
+            ]),
+        ),
         ("results", Json::Arr(results)),
     ]);
     // anchor to the workspace root so the report lands in one place no

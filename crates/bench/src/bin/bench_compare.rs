@@ -43,6 +43,14 @@ use std::process::ExitCode;
 
 const P95_RELATIVE_BOUND: f64 = 1.10;
 const OVERHEAD_RELATIVE_BOUND: f64 = 1.10;
+/// VM-vs-AST gates (schema v4, within the current report): the VM-mode
+/// morsel p95 may not exceed the AST-mode p95 by more than 10% relative
+/// with a 25µs absolute floor, and the scan-filter `vm_speedup` must
+/// clear 1.2× — the latter only on machines with ≥ 2 hardware threads
+/// (elsewhere the pool contends with itself and the gate is SKIPPED
+/// loudly).
+const VM_P95_FLOOR_US: f64 = 25.0;
+const VM_SPEEDUP_BOUND: f64 = 1.2;
 const OVERHEAD_ABSOLUTE_SLACK: f64 = 0.005;
 /// The tentpole's promise: timeline recording costs ≤ 5% on a real plan
 /// execution. Gated absolutely, on top of the relative regression bound.
@@ -138,6 +146,29 @@ fn validate_parallel(doc: &Json, what: &str) -> Result<(), String> {
             }
         }
     }
+    // schema v4: the VM-vs-AST comparison block
+    if sv >= 4 {
+        if doc.get("vm_speedup").and_then(as_num).is_none() {
+            return Err(format!(
+                "{what}: schema v{sv} promises numeric \"vm_speedup\""
+            ));
+        }
+        let vf = doc
+            .get("vm_filter")
+            .ok_or_else(|| format!("{what}: schema v{sv} promises a \"vm_filter\" object"))?;
+        for key in ["ast_morsel_us", "vm_morsel_us"] {
+            if vf
+                .get(key)
+                .and_then(|m| m.get("p95"))
+                .and_then(as_num)
+                .is_none()
+            {
+                return Err(format!(
+                    "{what}: schema v{sv} promises \"vm_filter.{key}.p95\""
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -222,6 +253,69 @@ fn compare(baseline: &Json, parallel: &Json, obs: &Json) -> Result<Vec<String>, 
         .get("hardware_threads")
         .and_then(|v| v.as_int())
         .ok_or("current parallel report has no hardware_threads")?;
+
+    // VM-vs-AST gates: compared *within the current report* (same run,
+    // same machine — no baseline or hardware parity needed), so they run
+    // before the cross-machine skip below.
+    let cur_sv = schema_version(parallel, "current parallel report")?;
+    if cur_sv >= 4 {
+        let speedup = parallel
+            .get("vm_speedup")
+            .and_then(as_num)
+            .ok_or("current parallel report lost \"vm_speedup\" after validation")?;
+        let vf = parallel
+            .get("vm_filter")
+            .ok_or("current parallel report lost \"vm_filter\" after validation")?;
+        let p95_of = |key: &str| {
+            vf.get(key)
+                .and_then(|m| m.get("p95"))
+                .and_then(as_num)
+                .ok_or_else(|| format!("current parallel report lost \"vm_filter.{key}.p95\""))
+        };
+        let ast_p95 = p95_of("ast_morsel_us")?;
+        let vm_p95 = p95_of("vm_morsel_us")?;
+        let bound = (ast_p95 * P95_RELATIVE_BOUND).max(ast_p95 + VM_P95_FLOOR_US);
+        let verdict = if vm_p95 > bound { "REGRESSION" } else { "ok" };
+        println!(
+            "bench-compare: vm_filter morsel p95: VM {vm_p95:.0}µs vs AST {ast_p95:.0}µs \
+             (bound {bound:.0}µs) — {verdict}"
+        );
+        if vm_p95 > bound {
+            regressions.push(format!(
+                "VM-mode morsel p95 regressed vs the AST walker: {vm_p95:.0}µs > \
+                 {bound:.0}µs (AST {ast_p95:.0}µs + 10%, {VM_P95_FLOOR_US:.0}µs floor)"
+            ));
+        }
+        if cur_hw >= 2 {
+            let verdict = if speedup < VM_SPEEDUP_BOUND {
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench-compare: vm_speedup: {speedup:.2}x (bound {VM_SPEEDUP_BOUND:.1}x) — \
+                 {verdict}"
+            );
+            if speedup < VM_SPEEDUP_BOUND {
+                regressions.push(format!(
+                    "vm_speedup below the acceptance bound: {speedup:.2}x < \
+                     {VM_SPEEDUP_BOUND:.1}x on the scan-filter workload"
+                ));
+            }
+        } else {
+            println!(
+                "bench-compare: vm_speedup SKIPPED — {cur_hw} hardware thread(s): the \
+                 {VM_SPEEDUP_BOUND:.1}x bound is only gated on ≥ 2 threads \
+                 (measured {speedup:.2}x, recorded in the report)"
+            );
+        }
+    } else {
+        println!(
+            "bench-compare: vm gates SKIPPED — current parallel report schema \
+             v{cur_sv} predates vm_speedup (refresh the report)"
+        );
+    }
+
     if base_hw != cur_hw {
         println!(
             "bench-compare: SKIPPED — baseline was recorded on {base_hw} hardware \
@@ -697,6 +791,78 @@ mod tests {
             slow.iter().any(|r| r.contains("scoped_overhead regressed")),
             "expected a scoped_overhead regression: {slow:?}"
         );
+    }
+
+    /// A schema-v4 parallel report: the v3 shape rows plus the VM block.
+    fn parallel_v4(hw: i128, ast_p95: f64, vm_p95: f64, speedup: f64) -> Json {
+        j(&format!(
+            "{{\"schema_version\": 4, \"hardware_threads\": {hw}, \
+              \"vm_speedup\": {speedup}, \
+              \"vm_filter\": {{\"workers\": 2, \"ast_morsel_us\": {}, \"vm_morsel_us\": {}}}, \
+              \"results\": [
+                {{\"workers\": 4, \"shape\": \"scan\", \"morsel_us\": {}}},
+                {{\"workers\": 4, \"shape\": \"fixpoint\", \"fixpoint_round_us\": {}}}
+            ]}}",
+            hist(ast_p95),
+            hist(vm_p95),
+            hist(100.0),
+            hist(200.0)
+        ))
+    }
+
+    #[test]
+    fn schema4_without_the_vm_block_fails_loudly() {
+        let no_speedup = j("{\"schema_version\": 4, \"results\": []}");
+        let err = validate_parallel(&no_speedup, "t").unwrap_err();
+        assert!(err.contains("vm_speedup"), "unhelpful error: {err}");
+        let no_hist = j("{\"schema_version\": 4, \"vm_speedup\": 1.5, \
+                          \"vm_filter\": {\"workers\": 2}, \"results\": []}");
+        let err = validate_parallel(&no_hist, "t").unwrap_err();
+        assert!(
+            err.contains("vm_filter.ast_morsel_us.p95"),
+            "unhelpful error: {err}"
+        );
+        assert!(validate_parallel(&parallel_v4(4, 100.0, 80.0, 1.5), "t").is_ok());
+    }
+
+    #[test]
+    fn vm_p95_regression_vs_ast_gates_within_the_current_report() {
+        // the baseline predates v4 entirely: the within-report gate must
+        // still fire — it needs no baseline at all
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            ("obs", obs_v3(0.01)),
+        ]);
+        let slow = compare(&baseline, &parallel_v4(4, 100.0, 400.0, 1.5), &obs_v3(0.01)).unwrap();
+        assert!(
+            slow.iter().any(|r| r.contains("VM-mode morsel p95")),
+            "expected a VM p95 regression: {slow:?}"
+        );
+        // jitter inside the 10% + 25µs envelope passes
+        let fine = compare(&baseline, &parallel_v4(4, 100.0, 120.0, 1.5), &obs_v3(0.01)).unwrap();
+        assert!(fine.is_empty(), "unexpected regressions: {fine:?}");
+    }
+
+    #[test]
+    fn vm_speedup_bound_gates_only_with_enough_hardware() {
+        let baseline = Json::obj([
+            ("parallel", parallel_v3(100.0, 200.0)),
+            ("obs", obs_v3(0.01)),
+        ]);
+        let slow = compare(&baseline, &parallel_v4(4, 100.0, 80.0, 1.05), &obs_v3(0.01)).unwrap();
+        assert!(
+            slow.iter().any(|r| r.contains("vm_speedup below")),
+            "expected a vm_speedup failure: {slow:?}"
+        );
+        // one hardware thread: the bound is SKIPPED, not failed
+        let skipped =
+            compare(&baseline, &parallel_v4(1, 100.0, 80.0, 1.05), &obs_v3(0.01)).unwrap();
+        assert!(
+            !skipped.iter().any(|r| r.contains("vm_speedup")),
+            "vm_speedup must be skipped on 1 thread: {skipped:?}"
+        );
+        let fast = compare(&baseline, &parallel_v4(4, 100.0, 80.0, 1.4), &obs_v3(0.01)).unwrap();
+        assert!(fast.is_empty(), "unexpected regressions: {fast:?}");
     }
 
     #[test]

@@ -557,6 +557,31 @@ fn explain_cmd(
 /// events are attributed to this query through a private obs scope —
 /// nothing global is reset, so a resident server's cumulative counters
 /// survive every `explain`.
+/// One `explain` line for a σ/map expression: either the compiled
+/// program (with the partition certificate it carries at run time) or
+/// the paper-citing refusal explaining why the AST walker keeps it —
+/// ineligibility is reported in the same voice as the partition gate,
+/// never silently.
+fn vm_line(
+    expr: String,
+    compiled: Result<genpar_algebra::vm::Program, genpar_algebra::vm::Ineligible>,
+    cert: Option<&genpar_core::SafetyCert>,
+) -> String {
+    match compiled {
+        Ok(prog) => match cert {
+            Some(c) => {
+                let prog = prog.with_cert(&c.to_string());
+                format!("  {expr}: program of {} [cert: {c}]", prog.describe())
+            }
+            None => format!(
+                "  {expr}: program of {} [uncertified route]",
+                prog.describe()
+            ),
+        },
+        Err(inel) => format!("  {expr}: AST walker — {inel}"),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explain_with(
     q: &Query,
@@ -641,7 +666,8 @@ pub(crate) fn explain_with(
             let _ = writeln!(out, "  (serial: pass --parallel N or set GENPAR_PARALLEL)");
         }
     };
-    match partition_safety(&chosen) {
+    let safety = partition_safety(&chosen);
+    match &safety {
         PartitionSafety::Safe(cert) => {
             let _ = writeln!(out, "  partition-safe: {cert}");
             serial_hint(&mut out, w);
@@ -667,6 +693,39 @@ pub(crate) fn explain_with(
         }
         PartitionSafety::Unsafe { op, reason } => {
             let _ = writeln!(out, "  falls back to serial: '{op}' — {reason}");
+        }
+    }
+    let _ = writeln!(out, "\nbytecode vm:");
+    if !genpar_algebra::vm::enabled() {
+        let _ = writeln!(
+            out,
+            "  disabled ({}=0): the AST walker evaluates every expression",
+            genpar_algebra::vm::VM_ENV
+        );
+    } else {
+        let cert = safety.certificate();
+        let mut vm_lines: Vec<String> = Vec::new();
+        chosen.visit(&mut |n| match n {
+            Query::Select(p, _) => vm_lines.push(vm_line(
+                format!("σ[{p:?}]"),
+                genpar_algebra::vm::compile_pred(p),
+                cert,
+            )),
+            Query::Map(f, _) => vm_lines.push(vm_line(
+                format!("map({f:?})"),
+                genpar_algebra::vm::compile_fn(f),
+                cert,
+            )),
+            _ => {}
+        });
+        if vm_lines.is_empty() {
+            let _ = writeln!(
+                out,
+                "  no compiled programs (plan has no σ/map expressions)"
+            );
+        }
+        for line in vm_lines {
+            let _ = writeln!(out, "{line}");
         }
     }
     // both routes, costed under the (possibly measured) calibration and
@@ -1639,6 +1698,39 @@ mod tests {
         .unwrap();
         assert!(out.contains("cost model kept the original"), "{out}");
         assert!(!out.contains("no rewrite fired"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_vm_programs_and_refusals() {
+        let _g = obs_guard();
+        // pin the switch regardless of the GENPAR_VM the test process
+        // inherited (the CI vm job runs the whole workspace with it off)
+        let vm_was = genpar_algebra::vm::enabled();
+        genpar_algebra::vm::set_enabled(true);
+        // an eligible σ compiles; the line carries the certificate the
+        // program is stamped with at run time
+        let out = explain_cmd("select[even($1)](R)", None, None, Some(2), None, None).unwrap();
+        assert!(out.contains("bytecode vm:"), "{out}");
+        assert!(out.contains("program of"), "{out}");
+        assert!(out.contains("[cert:"), "{out}");
+        // a plan with no σ/map expressions says so instead of going quiet
+        let out = explain_cmd("pi[$1](R)", None, None, Some(2), None, None).unwrap();
+        assert!(out.contains("no compiled programs"), "{out}");
+        // an ineligible expression gets the paper-citing refusal — the
+        // same voice as the partition gate, never a silent AST path
+        let line = vm_line(
+            "map(<custom>)".to_string(),
+            genpar_algebra::vm::compile_fn(&genpar_algebra::ValueFn::custom(|v| v.clone())),
+            None,
+        );
+        assert!(line.contains("AST walker"), "{line}");
+        assert!(line.contains("Section 4.4"), "{line}");
+        // the kill switch is reported loudly, not inferred from absence
+        genpar_algebra::vm::set_enabled(false);
+        let out = explain_cmd("select[even($1)](R)", None, None, Some(2), None, None);
+        genpar_algebra::vm::set_enabled(vm_was);
+        let out = out.unwrap();
+        assert!(out.contains("disabled (GENPAR_VM=0)"), "{out}");
     }
 
     #[test]

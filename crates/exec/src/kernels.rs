@@ -15,7 +15,7 @@
 
 use crate::morsel::{chunk_rows, key_partition, partition_rows, row_partition};
 use crate::{pool, tune, ExecConfig};
-use genpar_algebra::{eval::apply_fn, eval::eval_pred, Db, Pred, ValueFn};
+use genpar_algebra::{eval::apply_fn, eval::eval_pred, vm, Db, Pred, ValueFn};
 use genpar_engine::plan::{ExecError, ExecStats};
 use genpar_guard::SharedMeter;
 use genpar_value::{canonical_rows, Value};
@@ -30,6 +30,10 @@ pub(crate) type Rows = Vec<Vec<Value>>;
 pub(crate) struct Ctx<'a> {
     pub cfg: &'a ExecConfig,
     pub meter: Option<&'a SharedMeter>,
+    /// The partition gate's certificate rendering for this route, when
+    /// the gate ran — attached to every program the kernels compile, so
+    /// certification happens once at compile time, not per morsel.
+    pub cert: Option<&'a str>,
 }
 
 impl Ctx<'_> {
@@ -218,8 +222,60 @@ fn merge(
     Ok((rows, stats))
 }
 
-/// Parallel σ: embarrassingly parallel over morsels.
+/// Compile one operator's expression program — **once**, before the
+/// tasks fan out; every worker then shares the immutable program and
+/// holds its own reusable [`vm::Vm`]. The route certificate (when the
+/// gate ran) is attached to the program here, and the compilation is
+/// left on the obs trail: a `vm.programs` counter and `vm.program`
+/// event on success, `vm.ineligible` (with the paper-citing reason) on
+/// refusal.
+fn prepare_program(
+    compiled: Result<vm::Program, vm::Ineligible>,
+    cert: Option<&str>,
+    op: &'static str,
+) -> Option<vm::Program> {
+    if !vm::enabled() {
+        return None;
+    }
+    match compiled {
+        Ok(prog) => {
+            let prog = match cert {
+                Some(c) => prog.with_cert(c),
+                None => prog,
+            };
+            genpar_obs::counter("vm.programs", 1);
+            genpar_obs::event(
+                "vm.program",
+                [
+                    ("op", genpar_obs::FieldValue::from(op)),
+                    ("ops", genpar_obs::FieldValue::U64(prog.len() as u64)),
+                    (
+                        "certified",
+                        genpar_obs::FieldValue::U64(u64::from(prog.cert().is_some())),
+                    ),
+                ],
+            );
+            Some(prog)
+        }
+        Err(inel) => {
+            genpar_obs::counter("vm.ineligible", 1);
+            genpar_obs::event(
+                "vm.ineligible",
+                [
+                    ("op", genpar_obs::FieldValue::from(op)),
+                    ("reason", genpar_obs::FieldValue::from(inel.reason)),
+                ],
+            );
+            None
+        }
+    }
+}
+
+/// Parallel σ: embarrassingly parallel over morsels. The predicate is
+/// compiled once; each morsel re-checks [`vm::engage`] so an armed
+/// `vm.exec` fault degrades that one morsel to the AST walker.
 pub(crate) fn par_filter(input: Rows, p: &Pred, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
+    let prog = prepare_program(vm::compile_pred(p), ctx.cert, "plan.Filter");
     let parts = run_timed(
         ctx,
         TaskKind::Morsel,
@@ -229,12 +285,27 @@ pub(crate) fn par_filter(input: Rows, p: &Pred, ctx: &Ctx) -> Result<(Rows, Exec
             let db = Db::with_standard_int();
             let mut stats = ExecStats::default();
             let mut out = Vec::new();
-            for row in morsel {
-                stats.rows_processed += 1;
-                stats.cells_processed += row.len() as u64;
-                let tv = Value::Tuple(row.clone());
-                if eval_pred(p, &tv, &db).map_err(eval_err)? {
-                    out.push(row);
+            match prog.as_ref().filter(|_| vm::engage()) {
+                Some(prog) => {
+                    let mut m = vm::Vm::new();
+                    for row in morsel {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += row.len() as u64;
+                        let tv = Value::Tuple(row.clone());
+                        if m.run_pred(prog, &tv, &db).map_err(eval_err)? {
+                            out.push(row);
+                        }
+                    }
+                }
+                None => {
+                    for row in morsel {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += row.len() as u64;
+                        let tv = Value::Tuple(row.clone());
+                        if eval_pred(p, &tv, &db).map_err(eval_err)? {
+                            out.push(row);
+                        }
+                    }
                 }
             }
             Ok((out, stats))
@@ -276,8 +347,11 @@ pub(crate) fn par_project(
     merge(parts, ctx, "plan.Project")
 }
 
-/// Parallel map: embarrassingly parallel over morsels.
+/// Parallel map: embarrassingly parallel over morsels. Same
+/// compile-once / per-morsel-engage scheme as [`par_filter`];
+/// ineligible functions (opaque closures) keep the walker.
 pub(crate) fn par_map(input: Rows, f: &ValueFn, ctx: &Ctx) -> Result<(Rows, ExecStats), ExecError> {
+    let prog = prepare_program(vm::compile_fn(f), ctx.cert, "plan.MapRows");
     let parts = run_timed(
         ctx,
         TaskKind::Morsel,
@@ -287,13 +361,29 @@ pub(crate) fn par_map(input: Rows, f: &ValueFn, ctx: &Ctx) -> Result<(Rows, Exec
             let db = Db::with_standard_int();
             let mut stats = ExecStats::default();
             let mut out = Vec::new();
-            for row in morsel {
-                stats.rows_processed += 1;
-                stats.cells_processed += row.len() as u64;
-                let tv = Value::Tuple(row);
-                match apply_fn(f, &tv, &db).map_err(eval_err)? {
-                    Value::Tuple(cols) => out.push(cols),
-                    other => out.push(vec![other]),
+            match prog.as_ref().filter(|_| vm::engage()) {
+                Some(prog) => {
+                    let mut m = vm::Vm::new();
+                    for row in morsel {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += row.len() as u64;
+                        let tv = Value::Tuple(row);
+                        match m.run_fn(prog, &tv, &db).map_err(eval_err)? {
+                            Value::Tuple(cols) => out.push(cols),
+                            other => out.push(vec![other]),
+                        }
+                    }
+                }
+                None => {
+                    for row in morsel {
+                        stats.rows_processed += 1;
+                        stats.cells_processed += row.len() as u64;
+                        let tv = Value::Tuple(row);
+                        match apply_fn(f, &tv, &db).map_err(eval_err)? {
+                            Value::Tuple(cols) => out.push(cols),
+                            other => out.push(vec![other]),
+                        }
+                    }
                 }
             }
             Ok((out, stats))

@@ -221,40 +221,53 @@ impl EvalParallel for PhysicalPlan {
         catalog: &Catalog,
         cfg: &ExecConfig,
     ) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
-        if cfg.workers <= 1 {
-            // serial request: the engine's own path (thread-local budget
-            // charging, engine.* spans) is already exactly right
-            return self.execute(catalog);
-        }
-        // a parallel run is a fresh query on the timeline; pool workers
-        // stamp the same id on every span they record for it. When an
-        // obs scope is active (a served request), reuse its query id so
-        // timeline records and the scope stay keyed together instead of
-        // forking the numbering.
-        match genpar_obs::scope::current().map(|s| s.query_id()) {
-            Some(id) if id != 0 => genpar_obs::timeline::set_current_query(id),
-            _ => {
-                let _ = genpar_obs::timeline::begin_query();
-            }
-        }
-        let mut sp = genpar_obs::span("exec.parallel");
-        sp.field("workers", cfg.workers as u64);
-        sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
-        let meter = SharedMeter::from_armed();
-        let ctx = Ctx {
-            cfg,
-            meter: meter.as_deref(),
-        };
-        let mut stats = ExecStats::default();
-        let rows = genpar_guard::catch_panics(|| run_plan(self, catalog, &ctx, &mut stats))
-            .map_err(ExecError::Internal)??;
-        stats.rows_out = rows.len() as u64;
-        genpar_obs::counter("exec.executions", 1);
-        genpar_obs::counter("exec.rows_out", stats.rows_out);
-        genpar_obs::counter("exec.rows_processed", stats.rows_processed);
-        sp.field("rows_out", stats.rows_out);
-        Ok((rows, stats))
+        eval_plan_parallel(self, catalog, cfg, None)
     }
+}
+
+/// [`EvalParallel::eval_parallel`] with the gate's certificate rendering
+/// when the caller ran the gate ([`eval_query`] does) — the kernels
+/// attach it to every compiled expression program.
+fn eval_plan_parallel(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    cfg: &ExecConfig,
+    cert: Option<&str>,
+) -> Result<(Vec<Vec<Value>>, ExecStats), ExecError> {
+    if cfg.workers <= 1 {
+        // serial request: the engine's own path (thread-local budget
+        // charging, engine.* spans) is already exactly right
+        return plan.execute(catalog);
+    }
+    // a parallel run is a fresh query on the timeline; pool workers
+    // stamp the same id on every span they record for it. When an
+    // obs scope is active (a served request), reuse its query id so
+    // timeline records and the scope stay keyed together instead of
+    // forking the numbering.
+    match genpar_obs::scope::current().map(|s| s.query_id()) {
+        Some(id) if id != 0 => genpar_obs::timeline::set_current_query(id),
+        _ => {
+            let _ = genpar_obs::timeline::begin_query();
+        }
+    }
+    let mut sp = genpar_obs::span("exec.parallel");
+    sp.field("workers", cfg.workers as u64);
+    sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
+    let meter = SharedMeter::from_armed();
+    let ctx = Ctx {
+        cfg,
+        meter: meter.as_deref(),
+        cert,
+    };
+    let mut stats = ExecStats::default();
+    let rows = genpar_guard::catch_panics(|| run_plan(plan, catalog, &ctx, &mut stats))
+        .map_err(ExecError::Internal)??;
+    stats.rows_out = rows.len() as u64;
+    genpar_obs::counter("exec.executions", 1);
+    genpar_obs::counter("exec.rows_out", stats.rows_out);
+    genpar_obs::counter("exec.rows_processed", stats.rows_processed);
+    sp.field("rows_out", stats.rows_out);
+    Ok((rows, stats))
 }
 
 fn run_plan(
@@ -481,29 +494,32 @@ pub fn eval_query(
     }
     match partition_safety(q) {
         PartitionSafety::Safe(cert) => match lower(q) {
-            Some(plan) => match plan.eval_parallel(catalog, cfg) {
-                Ok((rows, stats)) => Ok((
-                    genpar_value::rows_to_value(rows),
-                    stats,
-                    ExecRoute::Parallel {
-                        workers: cfg.workers,
-                        certificate: cert.to_string(),
-                    },
-                )),
-                // the ladder's last rung: retries and quarantine are
-                // exhausted, so the whole query degrades to the serial
-                // interpreter — a correct answer, never a wrong one
-                Err(ExecError::Fault(_)) => {
-                    note_degrade("serial");
-                    fallback(
-                        q,
-                        catalog,
-                        "exec",
-                        "recovery ladder exhausted: degraded to the serial interpreter",
-                    )
+            Some(plan) => {
+                let certificate = cert.to_string();
+                match eval_plan_parallel(&plan, catalog, cfg, Some(&certificate)) {
+                    Ok((rows, stats)) => Ok((
+                        genpar_value::rows_to_value(rows),
+                        stats,
+                        ExecRoute::Parallel {
+                            workers: cfg.workers,
+                            certificate,
+                        },
+                    )),
+                    // the ladder's last rung: retries and quarantine are
+                    // exhausted, so the whole query degrades to the serial
+                    // interpreter — a correct answer, never a wrong one
+                    Err(ExecError::Fault(_)) => {
+                        note_degrade("serial");
+                        fallback(
+                            q,
+                            catalog,
+                            "exec",
+                            "recovery ladder exhausted: degraded to the serial interpreter",
+                        )
+                    }
+                    Err(e) => Err(e),
                 }
-                Err(e) => Err(e),
-            },
+            }
             None => fallback(q, catalog, "lit", "literal rows are not flat tuples"),
         },
         PartitionSafety::FixpointRoundSafe { body_cert } => {
@@ -640,9 +656,11 @@ fn run_fixpoint_route(
     sp.field("workers", cfg.workers as u64);
     sp.field("semi_naive", u64::from(semi_naive));
     let meter = SharedMeter::from_armed();
+    let body_cert_s = body_cert.to_string();
     let ctx = Ctx {
         cfg,
         meter: meter.as_deref(),
+        cert: Some(&body_cert_s),
     };
     let mut stats = ExecStats::default();
     let result = genpar_guard::catch_panics(|| {
@@ -809,9 +827,11 @@ fn run_combiner_route(
     sp.field("workers", cfg.workers as u64);
     sp.field("morsel_rows", cfg.effective_morsel_rows() as u64);
     let meter = SharedMeter::from_armed();
+    let cert_s = cert.to_string();
     let ctx = Ctx {
         cfg,
         meter: meter.as_deref(),
+        cert: Some(&cert_s),
     };
     let mut stats = ExecStats::default();
     let result = genpar_guard::catch_panics(|| {

@@ -98,6 +98,7 @@ pub const KNOWN_SITES: &[&str] = &[
     "optimizer.cost",
     "optimizer.rewrite",
     "transfer.check",
+    "vm.exec",
 ];
 
 fn parse_spec(spec: &str, strict: bool) -> Result<HashMap<String, Arm>, FaultSpecError> {

@@ -16,7 +16,7 @@
 //! `cargo test -q --test chaos` (or `genpar chaos --seed N`) reproduces
 //! it exactly.
 
-use genpar_algebra::{Pred, Query};
+use genpar_algebra::{Pred, Query, ValueFn};
 use genpar_engine::workload::{generate_edges, generate_table, WorkloadSpec};
 use genpar_engine::Catalog;
 use genpar_exec::{eval_query, ExecConfig};
@@ -39,13 +39,16 @@ fn fault_lock() -> MutexGuard<'static, ()> {
     }
 }
 
-/// Every fault site a storm may arm — all on the recovery ladder.
+/// Every fault site a storm may arm — the recovery ladder plus the
+/// bytecode VM's engage gate (whose rung is degradation to the AST
+/// walker rather than retry).
 const SITES: &[&str] = &[
     "exec.morsel",
     "exec.merge",
     "exec.fixpoint_round",
     "exec.combine",
     "exec.retry",
+    "vm.exec",
 ];
 
 /// A random query drawing from every parallel route.
@@ -54,7 +57,7 @@ fn random_query(rng: &mut StdRng) -> Query {
     let s = || Query::rel("S");
     let x = || Query::rel("X");
     let e = || Query::rel("E");
-    match rng.gen_range(0..9) {
+    match rng.gen_range(0..11) {
         0 => r().project(vec![rng.gen_range(0..2usize)]),
         1 => r().select(Pred::eq_cols(0, 1)),
         2 => r().union(s()),
@@ -63,6 +66,12 @@ fn random_query(rng: &mut StdRng) -> Query {
         5 => r().count(),
         6 => r().sum(rng.gen_range(0..2usize)),
         7 => Query::Even(Box::new(r().union(s()))),
+        // VM-compiled σ/map kernels — a `vm.exec` arm degrades these to
+        // the AST walker mid-plan
+        8 => r()
+            .union(s())
+            .select(Pred::Named("even".into(), vec![rng.gen_range(0..2)])),
+        9 => r().map(ValueFn::Cols(vec![1, 0])),
         _ => Query::fixpoint("X", e(), x().join_on(e(), [(1, 0)]).project(vec![0, 3])),
     }
 }

@@ -14,7 +14,7 @@
 //! the `GENPAR_PARALLEL`/`GENPAR_MORSEL` environment (same code paths,
 //! but hermetic under any ambient CI environment).
 
-use genpar_algebra::{Pred, Query};
+use genpar_algebra::{Pred, Query, ValueFn};
 use genpar_engine::workload::{generate_edges, generate_table, WorkloadSpec};
 use genpar_engine::Catalog;
 use genpar_exec::{eval_query, ExecConfig};
@@ -67,7 +67,7 @@ fn assert_differential(q: &Query, cat: &Catalog) -> Result<(), TestCaseError> {
 fn random_inner(rng: &mut StdRng) -> (Query, usize) {
     let r = Query::rel("R");
     let s = Query::rel("S");
-    match rng.gen_range(0..7) {
+    match rng.gen_range(0..9) {
         0 => (r, 2),
         1 => (r.project(vec![rng.gen_range(0..2usize)]), 1),
         2 => (r.select(Pred::eq_cols(0, 1)), 2),
@@ -77,6 +77,13 @@ fn random_inner(rng: &mut StdRng) -> (Query, usize) {
         ),
         4 => (r.union(s), 2),
         5 => (r.difference(s), 2),
+        // VM-compiled kernels: an interpreted σ and a column-shuffling
+        // map exercise the bytecode route wherever an inner plan goes
+        6 => (
+            r.select(Pred::Named("even".into(), vec![rng.gen_range(0..2)])),
+            2,
+        ),
+        7 => (r.map(ValueFn::Cols(vec![1, 0])), 2),
         _ => (r.join_on(s, [(0, 0)]).project(vec![0, 1, 3]), 3),
     }
 }
@@ -184,8 +191,9 @@ proptest! {
             _ => Query::Even(Box::new(random_inner(&mut rng).0)),
         };
         // re-armed per case: hit counters reset, so each case gets its
-        // own injected failure (2nd fixpoint round / 1st combine)
-        genpar_guard::arm_faults("exec.fixpoint_round:2,exec.combine:1")
+        // own injected failure (2nd fixpoint round / 1st combine / 2nd
+        // VM engage — the last degrades σ/map morsels to the AST walker)
+        genpar_guard::arm_faults("exec.fixpoint_round:2,exec.combine:1,vm.exec:2")
             .map_err(|e| TestCaseError::Fail(format!("arm_faults: {e}")))?;
         let verdict = assert_differential(&q, &cat);
         genpar_guard::disarm_faults();
